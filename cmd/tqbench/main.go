@@ -1,0 +1,45 @@
+// Command tqbench regenerates every table and figure of the paper and
+// prints each experiment's artifact with its verification status; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+//
+// Usage:
+//
+//	tqbench            # run all experiments
+//	tqbench -run E7    # run one experiment
+//	tqbench -quiet     # status lines only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tqp/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "run only the experiment with this id (E1..E10)")
+	quiet := flag.Bool("quiet", false, "print status lines only")
+	flag.Parse()
+
+	failed := 0
+	for _, r := range experiments.All() {
+		if *run != "" && r.ID != *run {
+			continue
+		}
+		status := "PASS"
+		if !r.Pass {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("== %-4s [%s] %s\n", r.ID, status, r.Title)
+		if !*quiet {
+			fmt.Print(r.Body)
+			fmt.Println()
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "tqbench: %d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,96 @@
+// Command tqshell is an interactive shell over a catalog: type temporal SQL
+// statements of the tsql dialect and get optimized, layered execution with
+// plan and trace inspection.
+//
+// Meta commands:
+//
+//	\d           list relations
+//	\d NAME      show a relation's contents
+//	\plan SQL    explain without executing
+//	\q           quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tqp"
+)
+
+func main() {
+	db := flag.String("db", "paper", "database: 'paper' or 'synth'")
+	employees := flag.Int("employees", 50, "synthetic database size (with -db synth)")
+	flag.Parse()
+
+	var cat *tqp.Catalog
+	switch *db {
+	case "paper":
+		cat = tqp.PaperCatalog()
+	case "synth":
+		cat = tqp.SyntheticEmployeeDB(tqp.EmployeeSpec{
+			Employees: *employees, SpellsPerEmp: 3, AssignmentsPerEmp: 4, Seed: 42,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "tqshell: unknown database %q\n", *db)
+		os.Exit(2)
+	}
+	opt := tqp.NewOptimizer(cat)
+
+	fmt.Println("tqp shell — temporal SQL over the", *db, "database; \\q quits, \\d lists relations")
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("tqp> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\q`:
+			return
+		case line == `\d`:
+			for _, name := range cat.Names() {
+				e, _ := cat.Entry(name)
+				fmt.Printf("  %-12s %s, %d tuples\n", name, e.Rel.Schema(), e.Rel.Len())
+			}
+		case strings.HasPrefix(line, `\d `):
+			name := strings.TrimSpace(line[3:])
+			if r, err := cat.Resolve(name); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Print(r)
+			}
+		case strings.HasPrefix(line, `\plan `):
+			explain(opt, strings.TrimSpace(line[6:]))
+		default:
+			runSQL(opt, line)
+		}
+		fmt.Print("tqp> ")
+	}
+}
+
+func explain(opt *tqp.Optimizer, sql string) {
+	plans, err := opt.OptimizeSQL(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	out, err := opt.Explain(plans.Best, plans.ResultType)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%d plans; best (cost %.0f, initial %.0f):\n%s",
+		len(plans.All), plans.BestCost, plans.InitialCost, out)
+}
+
+func runSQL(opt *tqp.Optimizer, sql string) {
+	result, plans, trace, err := opt.Run(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(result)
+	fmt.Printf("(%d tuples; %d plans considered; best cost %.0f; %d tuples transferred)\n",
+		result.Len(), len(plans.All), plans.BestCost, trace.TuplesTransferred)
+}

@@ -1,0 +1,50 @@
+// Nowrelative demonstrates the NOW-relative extension (the paper's §7
+// future work, after Clifford et al.): facts that still hold are stored
+// with their period end at the NOW sentinel and bound to a reference
+// instant before querying, giving consistent "as of" views of the same
+// history.
+//
+//	go run ./examples/nowrelative
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tqp"
+)
+
+func main() {
+	staff := tqp.MustSchema(
+		tqp.Attr("Name", tqp.KindString),
+		tqp.Attr("Role", tqp.KindString),
+		tqp.Attr("T1", tqp.KindTime),
+		tqp.Attr("T2", tqp.KindTime),
+	)
+	// ada was an engineer, became a manager and still is; bob joined later
+	// and still works here; eve left.
+	history := tqp.RelationFromRows(staff, [][]any{
+		{"ada", "engineer", 1, 6},
+		{"ada", "manager", 6, int(tqp.NowMarker)},
+		{"bob", "engineer", 9, int(tqp.NowMarker)},
+		{"eve", "engineer", 2, 5},
+	})
+	fmt.Printf("stored history (NOW-relative, sentinel end = %d):\n%s\n", int64(tqp.NowMarker), history)
+
+	for _, now := range []int{7, 12} {
+		asOf := history.BindNow(tqp.Chronon(now))
+		cat := tqp.NewCatalog()
+		if err := cat.Add("STAFF", asOf, tqp.BaseInfo{Distinct: true}); err != nil {
+			log.Fatal(err)
+		}
+		opt := tqp.NewOptimizer(cat)
+		result, _, _, err := opt.Run(`
+			VALIDTIME SELECT Role, COUNT(*) AS headcount
+			FROM STAFF GROUP BY Role
+			ORDER BY Role`)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("staffing as of instant %d:\n%s\n", now, result)
+	}
+}

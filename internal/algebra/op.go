@@ -1,0 +1,155 @@
+// Package algebra implements the logical operator trees of the paper's
+// temporally extended algebra (Section 2.4, Table 1).
+//
+// Nodes are immutable: rewrites build new trees sharing unchanged subtrees.
+// Every node derives its output schema, renders itself both as a canonical
+// one-line string (used to deduplicate plans during enumeration) and as an
+// indented tree (the style of Figures 2 and 6), and supports structural
+// equality.
+package algebra
+
+// Op identifies an operator of the algebra.
+type Op uint8
+
+// The operators. The first group derives from the conventional relational
+// algebra; operators prefixed with T are the temporal counterparts that are
+// snapshot-reducible to them. Union is the multiset union of Albert [1]
+// (max-multiplicity), distinct from UnionAll (concatenation). Coal is
+// coalescing, Sort is sorting, and TransferS/TransferD are the stratum
+// transfer operations of Section 4.5. Join and TJoin are idioms (Section
+// 2.4): combinations of product, selection and projection included for
+// efficiency and identified as such.
+const (
+	OpInvalid Op = iota
+	OpRel
+	OpSelect
+	OpProject
+	OpUnionAll
+	OpProduct
+	OpDiff
+	OpAggregate
+	OpRdup
+	OpTProduct
+	OpTDiff
+	OpTAggregate
+	OpTRdup
+	OpUnion
+	OpTUnion
+	OpCoal
+	OpSort
+	OpTransferS
+	OpTransferD
+	OpJoin
+	OpTJoin
+)
+
+// String returns the operator's rendering in plans, following the paper's
+// notation transliterated to ASCII-plus: σ→select, π→project, ⊔→unionall,
+// ×→product, \→diff, 𝒢→aggr, superscript-T→ suffix "T".
+func (o Op) String() string {
+	switch o {
+	case OpRel:
+		return "rel"
+	case OpSelect:
+		return "select"
+	case OpProject:
+		return "project"
+	case OpUnionAll:
+		return "unionall"
+	case OpProduct:
+		return "product"
+	case OpDiff:
+		return "diff"
+	case OpAggregate:
+		return "aggr"
+	case OpRdup:
+		return "rdup"
+	case OpTProduct:
+		return "productT"
+	case OpTDiff:
+		return "diffT"
+	case OpTAggregate:
+		return "aggrT"
+	case OpTRdup:
+		return "rdupT"
+	case OpUnion:
+		return "union"
+	case OpTUnion:
+		return "unionT"
+	case OpCoal:
+		return "coalT"
+	case OpSort:
+		return "sort"
+	case OpTransferS:
+		return "TS"
+	case OpTransferD:
+		return "TD"
+	case OpJoin:
+		return "join"
+	case OpTJoin:
+		return "joinT"
+	default:
+		return "invalid"
+	}
+}
+
+// Temporal reports whether the operator is one of the temporal operations
+// (snapshot-reducible counterparts, temporal union, or coalescing). These
+// are the operations the simulated conventional DBMS cannot execute; in the
+// layered architecture they run in the stratum (Section 2.1).
+func (o Op) Temporal() bool {
+	switch o {
+	case OpTProduct, OpTDiff, OpTAggregate, OpTRdup, OpTUnion, OpCoal, OpTJoin:
+		return true
+	default:
+		return false
+	}
+}
+
+// SnapshotReducible reports whether the operator is defined as the
+// snapshot-reducible counterpart of a conventional operation (Section 2.2),
+// i.e. its result's snapshots are fully determined by its arguments'
+// snapshots. Coalescing is deliberately not snapshot-reducible (it inspects
+// periods), and sorting/selection/projection are period-insensitive in a
+// different sense handled by the property inference.
+func (o Op) SnapshotReducible() bool {
+	switch o {
+	case OpTProduct, OpTDiff, OpTAggregate, OpTRdup, OpTUnion, OpTJoin:
+		return true
+	default:
+		return false
+	}
+}
+
+// Arity returns the number of children the operator takes.
+func (o Op) Arity() int {
+	switch o {
+	case OpRel:
+		return 0
+	case OpUnionAll, OpProduct, OpDiff, OpTProduct, OpTDiff, OpUnion, OpTUnion, OpJoin, OpTJoin:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// ConventionalCounterpart returns the conventional operation a temporal
+// operation is snapshot-reducible to, or OpInvalid.
+func (o Op) ConventionalCounterpart() Op {
+	switch o {
+	case OpTProduct:
+		return OpProduct
+	case OpTDiff:
+		return OpDiff
+	case OpTAggregate:
+		return OpAggregate
+	case OpTRdup:
+		return OpRdup
+	case OpTUnion:
+		return OpUnion
+	case OpTJoin:
+		return OpJoin
+	default:
+		return OpInvalid
+	}
+}

@@ -1,0 +1,210 @@
+// Package catalog manages named base relations together with the metadata
+// the optimizer needs: declared order, duplicate-freeness, snapshot
+// duplicate-freeness, coalescing state, and simple statistics for the cost
+// model. It also provides the paper's example database (Figure 1).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"tqp/internal/algebra"
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+	"tqp/internal/value"
+)
+
+// Stats summarizes a base relation for cardinality estimation.
+type Stats struct {
+	// Card is the tuple count.
+	Card int
+	// DistinctFrac estimates the fraction of distinct tuples.
+	DistinctFrac float64
+	// AvgPeriod is the mean period duration of a temporal relation.
+	AvgPeriod float64
+}
+
+// Entry is one catalog relation.
+type Entry struct {
+	Name  string
+	Rel   *relation.Relation
+	Info  algebra.BaseInfo
+	Stats Stats
+}
+
+// Catalog is a set of named relations.
+type Catalog struct {
+	entries map[string]*Entry
+}
+
+// New returns an empty catalog.
+func New() *Catalog { return &Catalog{entries: make(map[string]*Entry)} }
+
+// Add registers a relation under name. The Info flags are verified against
+// the instance so that the optimizer's static reasoning starts from true
+// premises; Add fails on a lie (e.g., declaring Distinct over data with
+// duplicates).
+func (c *Catalog) Add(name string, r *relation.Relation, info algebra.BaseInfo) error {
+	if _, dup := c.entries[name]; dup {
+		return fmt.Errorf("catalog: relation %q already exists", name)
+	}
+	if info.Distinct && r.HasDuplicates() {
+		return fmt.Errorf("catalog: %q declared distinct but has duplicates", name)
+	}
+	if info.SnapshotDistinct && r.HasSnapshotDuplicates() {
+		return fmt.Errorf("catalog: %q declared snapshot-distinct but has snapshot duplicates", name)
+	}
+	if info.Coalesced && !r.IsCoalesced() {
+		return fmt.Errorf("catalog: %q declared coalesced but is not", name)
+	}
+	if !info.Order.Empty() && !r.SortedBy(info.Order) {
+		return fmt.Errorf("catalog: %q declared sorted by %s but is not", name, info.Order)
+	}
+	r = r.Clone()
+	r.SetOrder(info.Order)
+	c.entries[name] = &Entry{Name: name, Rel: r, Info: info, Stats: computeStats(r)}
+	return nil
+}
+
+// MustAdd is Add panicking on error, for catalog literals.
+func (c *Catalog) MustAdd(name string, r *relation.Relation, info algebra.BaseInfo) {
+	if err := c.Add(name, r, info); err != nil {
+		panic(err)
+	}
+}
+
+func computeStats(r *relation.Relation) Stats {
+	s := Stats{Card: r.Len(), DistinctFrac: 1}
+	if r.Len() > 0 {
+		distinct := make(map[string]bool, r.Len())
+		for _, t := range r.Tuples() {
+			distinct[t.Key()] = true
+		}
+		s.DistinctFrac = float64(len(distinct)) / float64(r.Len())
+	}
+	if r.Temporal() && r.Len() > 0 {
+		var total int64
+		for _, p := range r.Periods() {
+			total += p.Duration()
+		}
+		s.AvgPeriod = float64(total) / float64(r.Len())
+	}
+	return s
+}
+
+// Resolve implements eval.Source.
+func (c *Catalog) Resolve(name string) (*relation.Relation, error) {
+	e, ok := c.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	return e.Rel, nil
+}
+
+// Entry returns the catalog entry for name.
+func (c *Catalog) Entry(name string) (*Entry, error) {
+	e, ok := c.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	return e, nil
+}
+
+// Node returns an algebra leaf for the named relation, carrying its schema
+// and base info.
+func (c *Catalog) Node(name string) (*algebra.Rel, error) {
+	e, ok := c.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown relation %q", name)
+	}
+	return algebra.NewRel(e.Name, e.Rel.Schema(), e.Info), nil
+}
+
+// MustNode is Node panicking on error.
+func (c *Catalog) MustNode(name string) *algebra.Rel {
+	n, err := c.Node(name)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Names returns the catalog's relation names, sorted.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.entries))
+	for n := range c.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EmployeeSchema is the schema of the paper's EMPLOYEE relation.
+func EmployeeSchema() *schema.Schema {
+	return schema.MustNew(
+		schema.Attr("EmpName", value.KindString),
+		schema.Attr("Dept", value.KindString),
+		schema.Attr(schema.T1, value.KindTime),
+		schema.Attr(schema.T2, value.KindTime),
+	)
+}
+
+// ProjectSchema is the schema of the paper's PROJECT relation.
+func ProjectSchema() *schema.Schema {
+	return schema.MustNew(
+		schema.Attr("EmpName", value.KindString),
+		schema.Attr("Prj", value.KindString),
+		schema.Attr(schema.T1, value.KindTime),
+		schema.Attr(schema.T2, value.KindTime),
+	)
+}
+
+// Paper returns the example database of Figure 1: the EMPLOYEE and PROJECT
+// temporal relations, with time values denoting months during some year and
+// a closed-open representation for time periods.
+func Paper() *Catalog {
+	c := New()
+	emp := relation.MustFromRows(EmployeeSchema(), [][]any{
+		{"John", "Sales", 1, 8},
+		{"John", "Advertising", 6, 11},
+		{"Anna", "Sales", 2, 6},
+		{"Anna", "Advertising", 2, 6},
+		{"Anna", "Sales", 6, 12},
+	})
+	prj := relation.MustFromRows(ProjectSchema(), [][]any{
+		{"John", "P1", 2, 3},
+		{"John", "P2", 5, 6},
+		{"John", "P1", 7, 8},
+		{"John", "P3", 9, 10},
+		{"Anna", "P2", 3, 4},
+		{"Anna", "P2", 5, 6},
+		{"Anna", "P3", 7, 8},
+		{"Anna", "P3", 9, 10},
+	})
+	// EMPLOYEE is distinct as a list of (name, dept, period) tuples but has
+	// duplicates in snapshots (Anna holds two departments over [2,6));
+	// PROJECT rows are distinct and snapshot-distinct (no employee is on
+	// the same project twice at once) but neither relation is coalesced as
+	// projected views may become; both are stored unordered.
+	c.MustAdd("EMPLOYEE", emp, algebra.BaseInfo{Distinct: true})
+	c.MustAdd("PROJECT", prj, algebra.BaseInfo{Distinct: true, SnapshotDistinct: true})
+	return c
+}
+
+// PaperResultRows returns the paper's expected Result relation from
+// Figure 1 (sorted by EmpName ASC, coalesced, snapshot-duplicate-free) as
+// raw rows over (EmpName, T1, T2).
+func PaperResultRows() [][]any {
+	return [][]any{
+		{"Anna", 2, 3},
+		{"Anna", 4, 5},
+		{"Anna", 6, 7},
+		{"Anna", 8, 9},
+		{"Anna", 10, 12},
+		{"John", 1, 2},
+		{"John", 3, 5},
+		{"John", 6, 7},
+		{"John", 8, 9},
+		{"John", 10, 11},
+	}
+}

@@ -1,0 +1,106 @@
+package catalog
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"tqp/internal/algebra"
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+	"tqp/internal/value"
+)
+
+// AddCSV loads a relation from CSV text whose header declares the schema as
+// "name:domain" columns — e.g.
+//
+//	EmpName:string,Dept:string,T1:time,T2:time
+//	John,Sales,1,8
+//
+// Domains are int, float, string, bool and time. A schema containing both
+// T1:time and T2:time loads as a temporal relation. The Info flags are
+// verified against the data like Add.
+func (c *Catalog) AddCSV(name string, r io.Reader, info algebra.BaseInfo) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("catalog: reading csv for %q: %w", name, err)
+	}
+	lines := splitLines(string(data))
+	if len(lines) == 0 {
+		return fmt.Errorf("catalog: empty csv for %q", name)
+	}
+	sch, err := parseCSVHeader(lines[0])
+	if err != nil {
+		return fmt.Errorf("catalog: %q: %w", name, err)
+	}
+	rel := relation.New(sch)
+	for ln, line := range lines[1:] {
+		cells := strings.Split(line, ",")
+		if len(cells) != sch.Len() {
+			return fmt.Errorf("catalog: %q line %d: %d cells, schema %s", name, ln+2, len(cells), sch)
+		}
+		t := make(relation.Tuple, len(cells))
+		for i, cell := range cells {
+			v, err := value.Parse(sch.At(i).Kind, strings.TrimSpace(cell))
+			if err != nil {
+				return fmt.Errorf("catalog: %q line %d: %w", name, ln+2, err)
+			}
+			t[i] = v
+		}
+		rel.Append(t)
+	}
+	return c.Add(name, rel, info)
+}
+
+func parseCSVHeader(header string) (*schema.Schema, error) {
+	cols := strings.Split(header, ",")
+	attrs := make([]schema.Attribute, 0, len(cols))
+	for _, col := range cols {
+		parts := strings.SplitN(strings.TrimSpace(col), ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("header column %q must be name:domain", col)
+		}
+		kind, err := value.ParseKind(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, schema.Attr(strings.TrimSpace(parts[0]), kind))
+	}
+	return schema.New(attrs...)
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// WriteCSV renders a relation in the AddCSV format, making catalogs
+// round-trippable.
+func WriteCSV(w io.Writer, r *relation.Relation) error {
+	sch := r.Schema()
+	header := make([]string, sch.Len())
+	for i := 0; i < sch.Len(); i++ {
+		a := sch.At(i)
+		header[i] = a.Name + ":" + a.Kind.String()
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, t := range r.Tuples() {
+		cells := make([]string, len(t))
+		for i, v := range t {
+			cells[i] = v.String()
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

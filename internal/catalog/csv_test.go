@@ -1,0 +1,76 @@
+package catalog_test
+
+import (
+	"strings"
+	"testing"
+
+	"tqp/internal/algebra"
+	"tqp/internal/catalog"
+)
+
+const employeeCSV = `EmpName:string,Dept:string,T1:time,T2:time
+John,Sales,1,8
+John,Advertising,6,11
+Anna,Sales,2,6
+Anna,Advertising,2,6
+Anna,Sales,6,12
+`
+
+func TestAddCSVRoundTrip(t *testing.T) {
+	c := catalog.New()
+	if err := c.AddCSV("EMP", strings.NewReader(employeeCSV), algebra.BaseInfo{Distinct: true}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Resolve("EMP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := catalog.Paper().Resolve("EMPLOYEE")
+	if !got.Schema().Equal(want.Schema()) {
+		t.Fatalf("schema %s, want %s", got.Schema(), want.Schema())
+	}
+	if !got.EqualAsList(want) {
+		t.Fatalf("csv load diverges:\n%s\nwant\n%s", got, want)
+	}
+
+	var sb strings.Builder
+	if err := catalog.WriteCSV(&sb, got); err != nil {
+		t.Fatal(err)
+	}
+	c2 := catalog.New()
+	if err := c2.AddCSV("EMP2", strings.NewReader(sb.String()), algebra.BaseInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	back, _ := c2.Resolve("EMP2")
+	if !back.EqualAsList(got) {
+		t.Error("WriteCSV/AddCSV round trip diverges")
+	}
+}
+
+func TestAddCSVErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+	}{
+		{"empty", ""},
+		{"no domain", "EmpName\nJohn"},
+		{"bad domain", "A:blob\n1"},
+		{"arity", "A:int,B:int\n1"},
+		{"bad cell", "A:int\nnotanumber"},
+		{"half temporal", "A:int,T1:time\n1,2"},
+	}
+	for _, cse := range cases {
+		c := catalog.New()
+		if err := c.AddCSV("R", strings.NewReader(cse.csv), algebra.BaseInfo{}); err == nil {
+			t.Errorf("%s: expected an error", cse.name)
+		}
+	}
+}
+
+func TestAddCSVValidatesInfo(t *testing.T) {
+	c := catalog.New()
+	dup := "A:int\n1\n1\n"
+	if err := c.AddCSV("R", strings.NewReader(dup), algebra.BaseInfo{Distinct: true}); err == nil {
+		t.Error("Distinct over duplicated CSV data must fail")
+	}
+}

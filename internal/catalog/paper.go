@@ -1,0 +1,60 @@
+package catalog
+
+import (
+	"tqp/internal/algebra"
+	"tqp/internal/relation"
+)
+
+// PaperProjection is the projection list π_{EmpName,T1,T2} used throughout
+// the paper's running example.
+func PaperProjection(child algebra.Node) algebra.Node {
+	return algebra.NewProjectCols(child, "EmpName", "T1", "T2")
+}
+
+// PaperInitialPlan builds the initial algebra expression of Figure 2(a) for
+// the query "Which employees worked in a department, but not on any
+// project, and when?" with the result required sorted, coalesced, and
+// without duplicates in its snapshots:
+//
+//	TS( sort_{EmpName ASC}( coalᵀ( rdupᵀ(
+//	        rdupᵀ(π_{EmpName,T1,T2}(EMPLOYEE)) \ᵀ π_{EmpName,T1,T2}(PROJECT) ) ) ) )
+//
+// The whole query is computed in the DBMS; the final TS transfers the
+// result to the stratum.
+func PaperInitialPlan(c *Catalog) algebra.Node {
+	left := algebra.NewTRdup(PaperProjection(c.MustNode("EMPLOYEE")))
+	right := PaperProjection(c.MustNode("PROJECT"))
+	diff := algebra.NewTDiff(left, right)
+	return algebra.NewTransferS(
+		algebra.NewSort(relation.OrderSpec{relation.Key("EmpName")},
+			algebra.NewCoal(algebra.NewTRdup(diff))))
+}
+
+// PaperIntermediatePlan builds the plan of Figure 6(a): transfers pushed
+// down, the top rdupᵀ removed by rule D2, and coalescing pushed below the
+// temporal difference by rule C10 (both arguments coalesced):
+//
+//	sort_{EmpName ASC}( coalᵀ(rdupᵀ(TS(π(EMPLOYEE)))) \ᵀ coalᵀ(TS(π(PROJECT))) )
+func PaperIntermediatePlan(c *Catalog) algebra.Node {
+	left := algebra.NewCoal(algebra.NewTRdup(
+		algebra.NewTransferS(PaperProjection(c.MustNode("EMPLOYEE")))))
+	right := algebra.NewCoal(
+		algebra.NewTransferS(PaperProjection(c.MustNode("PROJECT"))))
+	return algebra.NewSort(relation.OrderSpec{relation.Key("EmpName")},
+		algebra.NewTDiff(left, right))
+}
+
+// PaperOptimizedPlan builds the final plan of Figure 6(b): the right-hand
+// coalescing removed by rule C2 (order and periods need not be preserved in
+// the right branch of a temporal difference), and the sort pushed down into
+// the DBMS, whose retained order the operations above preserve:
+//
+//	coalᵀ(rdupᵀ(TS(sort_{EmpName ASC}(π(EMPLOYEE))))) \ᵀ TS(π(PROJECT))
+func PaperOptimizedPlan(c *Catalog) algebra.Node {
+	left := algebra.NewCoal(algebra.NewTRdup(
+		algebra.NewTransferS(
+			algebra.NewSort(relation.OrderSpec{relation.Key("EmpName")},
+				PaperProjection(c.MustNode("EMPLOYEE"))))))
+	right := algebra.NewTransferS(PaperProjection(c.MustNode("PROJECT")))
+	return algebra.NewTDiff(left, right)
+}

@@ -1,0 +1,53 @@
+package core_test
+
+import (
+	"testing"
+
+	"tqp/internal/catalog"
+	"tqp/internal/core"
+	"tqp/internal/equiv"
+	"tqp/internal/relation"
+	"tqp/internal/tsql"
+)
+
+// TestOptimizeBeamEndToEnd: the heuristic optimizer reaches the exhaustive
+// best on the paper query, and its chosen plan executes correctly in the
+// layered architecture.
+func TestOptimizeBeamEndToEnd(t *testing.T) {
+	c := catalog.Paper()
+	o := core.New(c)
+	q, err := tsql.Parse(paperSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, err := q.Plan(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exhaustive, err := o.Optimize(initial, q.ResultType(), q.OrderBy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	beam, err := o.OptimizeBeam(initial, q.ResultType(), q.OrderBy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beam.BestCost > exhaustive.BestCost*1.001 {
+		t.Errorf("beam best %.1f vs exhaustive %.1f", beam.BestCost, exhaustive.BestCost)
+	}
+	if len(beam.All) >= len(exhaustive.All) {
+		t.Errorf("beam should visit fewer plans: %d vs %d", len(beam.All), len(exhaustive.All))
+	}
+
+	got, _, err := o.Execute(beam.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.MustFromRows(got.Schema(), catalog.PaperResultRows())
+	ok, err := equiv.CheckSQL(equiv.ResultList,
+		relation.OrderSpec{relation.Key("EmpName")}, want, got)
+	if err != nil || !ok {
+		t.Errorf("beam-chosen plan produced a wrong result (err=%v):\n%s", err, got)
+	}
+}

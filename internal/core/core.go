@@ -1,0 +1,238 @@
+// Package core is the paper's primary contribution assembled into one
+// component: a provably correct temporal query optimizer. It wires the
+// three stages the paper assigns to the database implementor (Section 7) —
+// formally specified operations (packages algebra/eval), transformation
+// rules with proven equivalence types (package rules), and
+// property-guarded plan enumeration (packages props/enum) — and extends
+// them with the cost-based selection the paper lists as future work
+// (package cost) and the layered stratum/DBMS execution (packages
+// stratum/dbms).
+package core
+
+import (
+	"fmt"
+
+	"tqp/internal/algebra"
+	"tqp/internal/catalog"
+	"tqp/internal/cost"
+	"tqp/internal/enum"
+	"tqp/internal/equiv"
+	"tqp/internal/eval"
+	"tqp/internal/props"
+	"tqp/internal/relation"
+	"tqp/internal/rules"
+	"tqp/internal/stratum"
+	"tqp/internal/tsql"
+)
+
+// Optimizer plans and executes queries over one catalog.
+type Optimizer struct {
+	cat    *catalog.Catalog
+	model  *cost.Model
+	config enum.Config
+	seed   int64
+}
+
+// Option configures an Optimizer.
+type Option func(*Optimizer)
+
+// WithRules restricts the transformation-rule set.
+func WithRules(rs []rules.Rule) Option {
+	return func(o *Optimizer) { o.config.Rules = rs }
+}
+
+// WithMaxPlans caps enumeration.
+func WithMaxPlans(n int) Option {
+	return func(o *Optimizer) { o.config.MaxPlans = n }
+}
+
+// WithCostParams overrides the cost model calibration.
+func WithCostParams(p cost.Params) Option {
+	return func(o *Optimizer) { o.model = cost.New(o.cat, p) }
+}
+
+// WithDBMSSeed sets the simulated DBMS's order-nondeterminism seed.
+func WithDBMSSeed(seed int64) Option {
+	return func(o *Optimizer) { o.seed = seed }
+}
+
+// New returns an optimizer over the catalog.
+func New(cat *catalog.Catalog, opts ...Option) *Optimizer {
+	o := &Optimizer{
+		cat:   cat,
+		model: cost.New(cat, cost.DefaultParams()),
+		seed:  1,
+	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
+// Catalog returns the optimizer's catalog.
+func (o *Optimizer) Catalog() *catalog.Catalog { return o.cat }
+
+// Plans is the outcome of optimizing one query.
+type Plans struct {
+	// Query is the parsed statement (nil when optimizing a hand-built plan).
+	Query *tsql.Query
+	// Initial is the straightforward mapping of the query.
+	Initial algebra.Node
+	// All holds every enumerated plan, the initial plan first.
+	All []algebra.Node
+	// Best is the cheapest plan under the cost model.
+	Best algebra.Node
+	// BestCost and InitialCost are the model's estimates.
+	BestCost    float64
+	InitialCost float64
+	// ResultType and OrderBy derive from Definition 5.1.
+	ResultType equiv.ResultType
+	OrderBy    relation.OrderSpec
+	// Enumeration carries provenance and guard statistics.
+	Enumeration *enum.Result
+}
+
+// Parse parses a statement against the catalog's dialect.
+func (o *Optimizer) Parse(sql string) (*tsql.Query, error) { return tsql.Parse(sql) }
+
+// OptimizeSQL parses, plans, enumerates and costs a statement.
+func (o *Optimizer) OptimizeSQL(sql string) (*Plans, error) {
+	q, err := tsql.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	initial, err := q.Plan(o.cat)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := o.Optimize(initial, q.ResultType(), q.OrderBy())
+	if err != nil {
+		return nil, err
+	}
+	ps.Query = q
+	return ps, nil
+}
+
+// Optimize enumerates and costs plans for a hand-built initial plan.
+func (o *Optimizer) Optimize(initial algebra.Node, rt equiv.ResultType, orderBy relation.OrderSpec) (*Plans, error) {
+	cfg := o.config
+	cfg.ResultType = rt
+	res, err := enum.Enumerate(initial, cfg)
+	if err != nil {
+		return nil, err
+	}
+	best, bestCost, err := o.model.Best(res.Plans)
+	if err != nil {
+		return nil, err
+	}
+	initialCost, err := o.model.Cost(initial)
+	if err != nil {
+		return nil, err
+	}
+	return &Plans{
+		Initial:     initial,
+		All:         res.Plans,
+		Best:        best,
+		BestCost:    bestCost,
+		InitialCost: initialCost,
+		ResultType:  rt,
+		OrderBy:     orderBy,
+		Enumeration: res,
+	}, nil
+}
+
+// OptimizeBeam is the heuristic alternative to Optimize for plans whose
+// exhaustive closure would be too large: a cost-guided beam search
+// (internal/enum.Beam) that typically reaches the same best plan while
+// visiting a fraction of the space.
+func (o *Optimizer) OptimizeBeam(initial algebra.Node, rt equiv.ResultType, orderBy relation.OrderSpec) (*Plans, error) {
+	cfg := enum.BeamConfig{
+		Config: o.config,
+		Score:  o.model.Cost,
+	}
+	cfg.ResultType = rt
+	res, err := enum.Beam(initial, cfg)
+	if err != nil {
+		return nil, err
+	}
+	best, bestCost, err := o.model.Best(res.Plans)
+	if err != nil {
+		return nil, err
+	}
+	initialCost, err := o.model.Cost(initial)
+	if err != nil {
+		return nil, err
+	}
+	return &Plans{
+		Initial:     initial,
+		All:         res.Plans,
+		Best:        best,
+		BestCost:    bestCost,
+		InitialCost: initialCost,
+		ResultType:  rt,
+		OrderBy:     orderBy,
+		Enumeration: res,
+	}, nil
+}
+
+// Execute runs a plan through the layered stratum/DBMS executor.
+func (o *Optimizer) Execute(plan algebra.Node) (*relation.Relation, *stratum.Trace, error) {
+	if err := stratum.ValidateSites(plan); err != nil {
+		return nil, nil, err
+	}
+	return stratum.New(o.cat, o.seed).Execute(plan)
+}
+
+// Reference evaluates a plan with the reference evaluator (transfers are
+// identities), for verification against the layered execution.
+func (o *Optimizer) Reference(plan algebra.Node) (*relation.Relation, error) {
+	return eval.New(o.cat).Eval(plan)
+}
+
+// Run is the end-to-end convenience: parse, optimize, execute the best
+// plan, and verify it against the initial plan under ≡SQL (Definition 5.1).
+func (o *Optimizer) Run(sql string) (*relation.Relation, *Plans, *stratum.Trace, error) {
+	ps, err := o.OptimizeSQL(sql)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	got, trace, err := o.Execute(ps.Best)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	want, err := o.Reference(ps.Initial)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ok, err := equiv.CheckSQL(ps.ResultType, ps.OrderBy, want, got)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if !ok {
+		return nil, nil, nil, fmt.Errorf(
+			"core: best plan's layered execution is not ≡SQL to the reference result (plan %s)",
+			algebra.Canonical(ps.Best))
+	}
+	return got, ps, trace, nil
+}
+
+// Explain renders a plan with its property vectors (Figure 6 style) and
+// cost estimates.
+func (o *Optimizer) Explain(plan algebra.Node, rt equiv.ResultType) (string, error) {
+	st, err := props.InferStates(plan)
+	if err != nil {
+		return "", err
+	}
+	pm, err := props.Infer(plan, rt, st)
+	if err != nil {
+		return "", err
+	}
+	es, err := o.model.Plan(plan)
+	if err != nil {
+		return "", err
+	}
+	return algebra.Render(plan, func(n algebra.Node, _ algebra.Path) string {
+		return fmt.Sprintf("%s  site=%s rows≈%.0f cost≈%.0f",
+			pm[n].Vector(), st[n].Site, es[n].Rows, es[n].Cost)
+	}), nil
+}

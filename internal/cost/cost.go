@@ -1,0 +1,236 @@
+// Package cost implements the cost model the paper defers to future work
+// ("integrating the provided transformation rules with heuristics and cost
+// estimation techniques"): cardinality estimation grounded in Table 1's
+// cardinality column plus catalog statistics, per-operation cost functions,
+// and the stratum/DBMS asymmetry of the layered architecture — the DBMS
+// executes conventional operations faster and "sorts faster than the
+// stratum" (Section 2.1), while complex temporal operations are "often not
+// processed efficiently in conventional DBMSs"; transfers pay a per-tuple
+// price.
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"tqp/internal/algebra"
+	"tqp/internal/catalog"
+	"tqp/internal/props"
+)
+
+// Params weight the cost model.
+type Params struct {
+	// StratumTuple is the per-tuple processing cost in the stratum.
+	StratumTuple float64
+	// DBMSTuple is the per-tuple processing cost of conventional
+	// operations in the DBMS (a mature executor: cheaper).
+	DBMSTuple float64
+	// DBMSSortFactor scales sorting inside the DBMS relative to a stratum
+	// sort ("the DBMS sorts faster than the stratum").
+	DBMSSortFactor float64
+	// DBMSTemporalPenalty multiplies temporal operations executed in the
+	// DBMS, which must be expressed as complex self-join SQL.
+	DBMSTemporalPenalty float64
+	// TransferTuple is the per-tuple cost of a TS/TD transfer.
+	TransferTuple float64
+	// DefaultSelectivity estimates σ when nothing better is known.
+	DefaultSelectivity float64
+}
+
+// DefaultParams returns the calibration used by the experiments.
+func DefaultParams() Params {
+	return Params{
+		StratumTuple:        1.0,
+		DBMSTuple:           0.4,
+		DBMSSortFactor:      0.25,
+		DBMSTemporalPenalty: 20.0,
+		TransferTuple:       2.0,
+		DefaultSelectivity:  1.0 / 3,
+	}
+}
+
+// Estimate is the per-node outcome: estimated result rows and the
+// cumulative cost of producing them.
+type Estimate struct {
+	Rows float64
+	Cost float64
+}
+
+// Estimates maps plan nodes to their estimates.
+type Estimates map[algebra.Node]Estimate
+
+// Model estimates plans against a catalog's statistics.
+type Model struct {
+	params Params
+	cat    *catalog.Catalog
+}
+
+// New returns a model over the catalog with the given parameters.
+func New(cat *catalog.Catalog, params Params) *Model {
+	return &Model{params: params, cat: cat}
+}
+
+// Plan estimates every node of the plan; the root's Estimate carries the
+// total plan cost.
+func (m *Model) Plan(plan algebra.Node) (Estimates, error) {
+	st, err := props.InferStates(plan)
+	if err != nil {
+		return nil, err
+	}
+	es := make(Estimates)
+	if _, err := m.node(plan, st, es); err != nil {
+		return nil, err
+	}
+	return es, nil
+}
+
+// Cost returns the total estimated cost of the plan.
+func (m *Model) Cost(plan algebra.Node) (float64, error) {
+	es, err := m.Plan(plan)
+	if err != nil {
+		return 0, err
+	}
+	return es[plan].Cost, nil
+}
+
+// Best returns the cheapest plan of the given set and its cost.
+func (m *Model) Best(plans []algebra.Node) (algebra.Node, float64, error) {
+	if len(plans) == 0 {
+		return nil, 0, fmt.Errorf("cost: no plans")
+	}
+	var best algebra.Node
+	bestCost := math.Inf(1)
+	for _, p := range plans {
+		c, err := m.Cost(p)
+		if err != nil {
+			return nil, 0, err
+		}
+		if c < bestCost {
+			best, bestCost = p, c
+		}
+	}
+	return best, bestCost, nil
+}
+
+func (m *Model) node(n algebra.Node, st props.States, es Estimates) (Estimate, error) {
+	if e, ok := es[n]; ok {
+		return e, nil
+	}
+	ch := n.Children()
+	ce := make([]Estimate, len(ch))
+	for i, c := range ch {
+		e, err := m.node(c, st, es)
+		if err != nil {
+			return Estimate{}, err
+		}
+		ce[i] = e
+	}
+	site := st[n].Site
+	e := m.estimate(n, site, ce)
+	for _, c := range ce {
+		e.Cost += c.Cost
+	}
+	es[n] = e
+	return e, nil
+}
+
+// estimate derives one node's output cardinality (Table 1's cardinality
+// column used as an estimator) and its own processing cost.
+func (m *Model) estimate(n algebra.Node, site props.Site, ce []Estimate) Estimate {
+	p := m.params
+	tuple := p.StratumTuple
+	if site == props.DBMS {
+		tuple = p.DBMSTuple
+	}
+	temporalPenalty := 1.0
+	if site == props.DBMS && n.Op().Temporal() {
+		temporalPenalty = p.DBMSTemporalPenalty
+	}
+	logN := func(x float64) float64 {
+		if x < 2 {
+			return 1
+		}
+		return math.Log2(x)
+	}
+
+	switch n.Op() {
+	case algebra.OpRel:
+		rows := 32.0
+		if rel, ok := n.(*algebra.Rel); ok {
+			if e, err := m.cat.Entry(rel.Name); err == nil {
+				rows = float64(e.Stats.Card)
+			}
+		}
+		return Estimate{Rows: rows, Cost: 0}
+	case algebra.OpSelect:
+		in := ce[0].Rows
+		return Estimate{Rows: in * p.DefaultSelectivity, Cost: in * tuple}
+	case algebra.OpProject:
+		in := ce[0].Rows
+		return Estimate{Rows: in, Cost: in * tuple}
+	case algebra.OpSort:
+		in := ce[0].Rows
+		factor := 1.0
+		if site == props.DBMS {
+			factor = p.DBMSSortFactor
+		}
+		return Estimate{Rows: in, Cost: in * logN(in) * tuple * factor}
+	case algebra.OpRdup:
+		in := ce[0].Rows
+		return Estimate{Rows: math.Max(1, in*0.6), Cost: in * tuple}
+	case algebra.OpAggregate:
+		in := ce[0].Rows
+		return Estimate{Rows: math.Max(1, in*0.3), Cost: in * tuple}
+	case algebra.OpUnionAll:
+		return Estimate{Rows: ce[0].Rows + ce[1].Rows, Cost: (ce[0].Rows + ce[1].Rows) * tuple * 0.25}
+	case algebra.OpUnion:
+		// Between max(n1,n2) and n1+n2 (Table 1).
+		return Estimate{
+			Rows: math.Max(ce[0].Rows, ce[1].Rows) + 0.5*math.Min(ce[0].Rows, ce[1].Rows),
+			Cost: (ce[0].Rows + ce[1].Rows) * tuple,
+		}
+	case algebra.OpProduct, algebra.OpJoin:
+		rows := ce[0].Rows * ce[1].Rows
+		if n.Op() == algebra.OpJoin {
+			rows *= p.DefaultSelectivity
+		}
+		return Estimate{Rows: rows, Cost: ce[0].Rows * ce[1].Rows * tuple}
+	case algebra.OpDiff:
+		// Between n1−n2 and n1 (Table 1): take the midpoint.
+		lo := math.Max(ce[0].Rows-ce[1].Rows, 0)
+		return Estimate{Rows: (lo + ce[0].Rows) / 2, Cost: (ce[0].Rows + ce[1].Rows) * tuple}
+	case algebra.OpTProduct, algebra.OpTJoin:
+		// Pairs that overlap in time: a fraction of the full product.
+		overlap := 0.3
+		rows := ce[0].Rows * ce[1].Rows * overlap
+		if n.Op() == algebra.OpTJoin {
+			rows *= p.DefaultSelectivity
+		}
+		return Estimate{Rows: rows, Cost: ce[0].Rows * ce[1].Rows * tuple * temporalPenalty}
+	case algebra.OpTDiff:
+		// At most 2·n1 fragments (Table 1).
+		n1, n2 := ce[0].Rows, ce[1].Rows
+		work := (n1 + n2) * logN(n1+n2)
+		return Estimate{Rows: math.Min(2*n1, n1*1.25), Cost: work * tuple * temporalPenalty}
+	case algebra.OpTAggregate:
+		in := ce[0].Rows
+		// At most 2·n−1 constant intervals (Table 1).
+		return Estimate{Rows: math.Max(1, in*1.5), Cost: in * logN(in) * 2 * tuple * temporalPenalty}
+	case algebra.OpTRdup:
+		in := ce[0].Rows
+		// At most 2·n−1 (Table 1); duplicates also disappear.
+		return Estimate{Rows: math.Max(1, in*0.8), Cost: in * logN(in) * 2 * tuple * temporalPenalty}
+	case algebra.OpTUnion:
+		n1, n2 := ce[0].Rows, ce[1].Rows
+		// At least n1, at most n1+2·n2 (Table 1).
+		return Estimate{Rows: n1 + n2, Cost: (n1 + n2) * logN(n1+n2) * tuple * temporalPenalty}
+	case algebra.OpCoal:
+		in := ce[0].Rows
+		return Estimate{Rows: math.Max(1, in*0.7), Cost: in * logN(in) * tuple * temporalPenalty}
+	case algebra.OpTransferS, algebra.OpTransferD:
+		in := ce[0].Rows
+		return Estimate{Rows: in, Cost: in * p.TransferTuple}
+	default:
+		return Estimate{Rows: ce[0].Rows, Cost: ce[0].Rows * tuple}
+	}
+}

@@ -1,0 +1,119 @@
+package cost_test
+
+import (
+	"testing"
+
+	"tqp/internal/algebra"
+	"tqp/internal/catalog"
+	"tqp/internal/cost"
+	"tqp/internal/datagen"
+	"tqp/internal/relation"
+)
+
+func TestOptimizedPlanCheaper(t *testing.T) {
+	c := catalog.Paper()
+	m := cost.New(c, cost.DefaultParams())
+	initial, err := m.Cost(catalog.PaperInitialPlan(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimized, err := m.Cost(catalog.PaperOptimizedPlan(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optimized >= initial {
+		t.Errorf("optimized %.1f should beat initial %.1f", optimized, initial)
+	}
+}
+
+func TestCardinalityUsesCatalog(t *testing.T) {
+	c := catalog.Paper()
+	m := cost.New(c, cost.DefaultParams())
+	// Leaf estimates come from the catalog stats: EMPLOYEE has 5 tuples,
+	// and projection preserves cardinality.
+	plan := catalog.PaperProjection(c.MustNode("EMPLOYEE"))
+	es, err := m.Plan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := es[plan].Rows; got != 5 {
+		t.Errorf("π(EMPLOYEE) estimated rows = %.1f, want 5", got)
+	}
+}
+
+func TestSortSiteAsymmetry(t *testing.T) {
+	c := catalog.Paper()
+	m := cost.New(c, cost.DefaultParams())
+	spec := relation.OrderSpec{relation.Key("EmpName")}
+	proj := func() algebra.Node { return catalog.PaperProjection(c.MustNode("EMPLOYEE")) }
+	// sort inside the DBMS vs in the stratum: the paper's premise is that
+	// "the DBMS sorts faster than the stratum".
+	inDBMS := algebra.NewTransferS(algebra.NewSort(spec, proj()))
+	inStratum := algebra.NewSort(spec, algebra.NewTransferS(proj()))
+	cd, err := m.Cost(inDBMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := m.Cost(inStratum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd >= cs {
+		t.Errorf("DBMS sort (%.2f) should be cheaper than stratum sort (%.2f)", cd, cs)
+	}
+}
+
+func TestTemporalPenaltyInDBMS(t *testing.T) {
+	c := catalog.Paper()
+	m := cost.New(c, cost.DefaultParams())
+	proj := func() algebra.Node { return catalog.PaperProjection(c.MustNode("EMPLOYEE")) }
+	inDBMS := algebra.NewTransferS(algebra.NewTRdup(proj()))
+	inStratum := algebra.NewTRdup(algebra.NewTransferS(proj()))
+	cd, err := m.Cost(inDBMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := m.Cost(inStratum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs >= cd {
+		t.Errorf("temporal op in the stratum (%.2f) should be cheaper than in the DBMS (%.2f)", cs, cd)
+	}
+}
+
+func TestBestSelection(t *testing.T) {
+	c := catalog.Paper()
+	m := cost.New(c, cost.DefaultParams())
+	plans := []algebra.Node{
+		catalog.PaperInitialPlan(c),
+		catalog.PaperIntermediatePlan(c),
+		catalog.PaperOptimizedPlan(c),
+	}
+	best, bc, err := m.Best(plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !best.Equal(plans[2]) {
+		t.Errorf("expected the Figure 6(b) plan to win, got %s (%.1f)", algebra.Canonical(best), bc)
+	}
+	if _, _, err := m.Best(nil); err == nil {
+		t.Error("Best over no plans must fail")
+	}
+}
+
+func TestEstimatesScaleWithData(t *testing.T) {
+	small := datagen.EmployeeDB(datagen.EmployeeSpec{Employees: 10, SpellsPerEmp: 2, AssignmentsPerEmp: 2, Seed: 1})
+	large := datagen.EmployeeDB(datagen.EmployeeSpec{Employees: 100, SpellsPerEmp: 2, AssignmentsPerEmp: 2, Seed: 1})
+	cs, err := cost.New(small, cost.DefaultParams()).Cost(catalog.PaperInitialPlan(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cost.New(large, cost.DefaultParams()).Cost(catalog.PaperInitialPlan(large))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl <= cs {
+		t.Errorf("cost should grow with the database: %.1f vs %.1f", cl, cs)
+	}
+}

@@ -1,0 +1,82 @@
+package datagen_test
+
+import (
+	"testing"
+
+	"tqp/internal/datagen"
+)
+
+func TestTemporalDeterministic(t *testing.T) {
+	spec := datagen.TemporalSpec{Rows: 50, Values: 5, DupFrac: 0.2, AdjFrac: 0.3, Seed: 11}
+	a := datagen.Temporal(spec)
+	b := datagen.Temporal(spec)
+	if !a.EqualAsList(b) {
+		t.Error("same spec must generate the same relation")
+	}
+	c := datagen.Temporal(datagen.TemporalSpec{Rows: 50, Values: 5, DupFrac: 0.2, AdjFrac: 0.3, Seed: 12})
+	if a.EqualAsList(c) {
+		t.Error("different seeds should generate different relations")
+	}
+	if a.Len() != 50 {
+		t.Errorf("Rows = %d", a.Len())
+	}
+	if !a.Temporal() {
+		t.Error("generated relation must be temporal")
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.PeriodOf(i).Empty() {
+			t.Fatalf("tuple %d has an empty period", i)
+		}
+	}
+}
+
+func TestKnobsHaveEffect(t *testing.T) {
+	noDups := datagen.Temporal(datagen.TemporalSpec{Rows: 60, Values: 30, TimeRange: 1000, MaxPeriod: 3, DupFrac: 0, Seed: 3})
+	manyDups := datagen.Temporal(datagen.TemporalSpec{Rows: 60, Values: 30, DupFrac: 0.8, Seed: 3})
+	if !manyDups.HasDuplicates() {
+		t.Error("DupFrac 0.8 should create duplicates")
+	}
+	if noDups.HasDuplicates() {
+		t.Error("DupFrac 0 with a sparse domain should avoid duplicates")
+	}
+	adjacent := datagen.Temporal(datagen.TemporalSpec{Rows: 60, Values: 4, AdjFrac: 0.9, Seed: 4})
+	if adjacent.IsCoalesced() {
+		t.Error("AdjFrac 0.9 should create coalescable adjacency")
+	}
+}
+
+func TestSnapshotGenerator(t *testing.T) {
+	s := datagen.Snapshot(datagen.SnapshotSpec{Rows: 30, Values: 5, DupFrac: 0.3, Seed: 5})
+	if s.Len() != 30 || s.Temporal() {
+		t.Errorf("snapshot generator: %d tuples, temporal=%v", s.Len(), s.Temporal())
+	}
+	if !s.HasDuplicates() {
+		t.Error("DupFrac 0.3 over a 5-value domain should duplicate")
+	}
+}
+
+func TestEmployeeDB(t *testing.T) {
+	c := datagen.EmployeeDB(datagen.EmployeeSpec{
+		Employees: 10, SpellsPerEmp: 3, AssignmentsPerEmp: 2, Seed: 9,
+	})
+	emp, err := c.Resolve("EMPLOYEE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emp.Len() != 30 {
+		t.Errorf("EMPLOYEE = %d tuples, want 30", emp.Len())
+	}
+	prj, err := c.Resolve("PROJECT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prj.Len() != 20 {
+		t.Errorf("PROJECT = %d tuples, want 20", prj.Len())
+	}
+	// Schemas match the paper database so the paper plans run unchanged.
+	paper := datagen.EmployeeDB(datagen.EmployeeSpec{Employees: 1, SpellsPerEmp: 1, AssignmentsPerEmp: 1, Seed: 1})
+	e2, _ := paper.Resolve("EMPLOYEE")
+	if !emp.Schema().Equal(e2.Schema()) {
+		t.Error("schemas must be stable across specs")
+	}
+}

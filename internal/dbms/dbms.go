@@ -1,0 +1,166 @@
+// Package dbms simulates the conventional DBMS underneath the stratum
+// (Section 2.1). The simulation models exactly the three properties the
+// paper relies on:
+//
+//  1. multiset semantics — the engine computes the same tuple multisets as
+//     the reference evaluator;
+//  2. no order guarantee — the result of a subplan is permuted
+//     deterministically (seeded) unless the subplan's top operation is a
+//     sort, "sort being the only exception" (Section 4.5);
+//  3. its own optimizer — an ≡L-only rewriter (selection pushdown and
+//     cascades) runs before execution, standing in for "the DBMS, which
+//     will perform its own optimization".
+//
+// Temporal operations are executable (the paper's initial plans compute
+// everything in the DBMS) but are priced punitively by the cost model: a
+// conventional DBMS runs them as complex self-join SQL.
+package dbms
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tqp/internal/algebra"
+	"tqp/internal/eval"
+	"tqp/internal/props"
+	"tqp/internal/relation"
+	"tqp/internal/rules"
+	"tqp/internal/sqlgen"
+)
+
+// StratumCallback executes a TD-transferred stratum subtree; the stratum
+// executor supplies it so that plans may ship intermediate stratum results
+// back into the DBMS.
+type StratumCallback func(n algebra.Node) (*relation.Relation, error)
+
+// Engine is one simulated DBMS instance.
+type Engine struct {
+	src      eval.Source
+	seed     int64
+	stratum  StratumCallback
+	rewrites []rules.Rule
+}
+
+// New returns an engine over the given base-relation source. The seed
+// drives the order nondeterminism; two engines with different seeds are two
+// "DBMS implementations" that may sort results differently.
+func New(src eval.Source, seed int64) *Engine {
+	return &Engine{
+		src:  src,
+		seed: seed,
+		// The DBMS's own rewriter: ≡L rules only, so it is always safe
+		// regardless of result-type context.
+		rewrites: rules.ByName("P2", "P3", "P4", "P5", "P6b", "PP2", "PP1"),
+	}
+}
+
+// SetStratumCallback wires the executor handling TD subtrees.
+func (e *Engine) SetStratumCallback(cb StratumCallback) { e.stratum = cb }
+
+// Result is a DBMS execution outcome.
+type Result struct {
+	// Rel is the result relation. Its recorded order is the subplan's
+	// ORDER BY guarantee (empty unless the top operation is a sort).
+	Rel *relation.Relation
+	// SQL is the statement the stratum would have shipped.
+	SQL string
+	// Rewritten is the subplan after the DBMS's own rewriter.
+	Rewritten algebra.Node
+}
+
+// Execute runs a subplan fully inside the DBMS.
+func (e *Engine) Execute(subplan algebra.Node) (*Result, error) {
+	sql, err := sqlgen.Generate(subplan)
+	if err != nil {
+		// Plans containing TD subtrees have no single-statement SQL form;
+		// keep a marker for the trace.
+		sql = "-- (subplan with stratum round-trip; no single SQL statement)"
+	}
+	optimized := e.rewrite(subplan)
+	r, err := e.eval(optimized)
+	if err != nil {
+		return nil, err
+	}
+	out := r.Clone()
+	if subplan.Op() != algebra.OpSort {
+		e.permute(out)
+		out.SetOrder(nil)
+	} else {
+		out.SetOrder(sqlgen.OrderByOf(subplan))
+	}
+	return &Result{Rel: out, SQL: sql, Rewritten: optimized}, nil
+}
+
+// eval evaluates a DBMS subplan, dispatching TD subtrees to the stratum.
+func (e *Engine) eval(n algebra.Node) (*relation.Relation, error) {
+	if n.Op() == algebra.OpTransferD {
+		if e.stratum == nil {
+			return nil, fmt.Errorf("dbms: TD encountered but no stratum callback installed")
+		}
+		return e.stratum(n.Children()[0])
+	}
+	if n.Op() == algebra.OpTransferS {
+		return nil, fmt.Errorf("dbms: nested TS inside a DBMS subplan")
+	}
+	ch := n.Children()
+	if len(ch) == 0 {
+		return eval.New(e.src).Eval(n)
+	}
+	// Materialize children (handling TD recursively), then evaluate this
+	// operation over them.
+	src := make(eval.MapSource)
+	newCh := make([]algebra.Node, len(ch))
+	for i, c := range ch {
+		r, err := e.eval(c)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("@dbms%d", i)
+		src[name] = r
+		newCh[i] = algebra.NewRel(name, r.Schema(), algebra.BaseInfo{Order: r.Order()})
+	}
+	return eval.New(src).Eval(n.WithChildren(newCh...))
+}
+
+// rewrite applies the DBMS's own ≡L rewriter to a fixpoint (bounded).
+func (e *Engine) rewrite(plan algebra.Node) algebra.Node {
+	for round := 0; round < 16; round++ {
+		st, err := props.InferStates(plan)
+		if err != nil {
+			return plan
+		}
+		changed := false
+		for _, path := range algebra.Paths(plan) {
+			node, err := algebra.NodeAt(plan, path)
+			if err != nil {
+				continue
+			}
+			for _, rule := range e.rewrites {
+				rw := rule.Apply(node, st)
+				if rw == nil {
+					continue
+				}
+				if next, err := algebra.ReplaceAt(plan, path, rw.Result); err == nil {
+					plan = next
+					changed = true
+					break
+				}
+			}
+			if changed {
+				break
+			}
+		}
+		if !changed {
+			return plan
+		}
+	}
+	return plan
+}
+
+// permute applies the engine's deterministic seeded permutation — the
+// "whatever order the DBMS happens to produce" of Section 4.5.
+func (e *Engine) permute(r *relation.Relation) {
+	ts := r.Tuples()
+	rng := rand.New(rand.NewSource(e.seed + int64(len(ts))))
+	rng.Shuffle(len(ts), func(i, j int) { ts[i], ts[j] = ts[j], ts[i] })
+}

@@ -1,0 +1,182 @@
+// Package enum implements the query plan enumeration algorithm of Figure 5:
+// a worklist fixpoint over a set of plans and a set of transformation rules,
+// where a rule of equivalence type T may be applied at a location only when
+// the operation properties of every participating operation permit T
+// (package props). Per Theorem 6.1 the algorithm generates only correct
+// plans; per the paper's remark it is deterministic — the generated set does
+// not depend on the order of rules or locations.
+//
+// To terminate, the rule set must not contain expanding rules such as
+// r →S rdup(r) (Section 6); the default configuration excludes them, and a
+// plan cap bounds the walk regardless.
+package enum
+
+import (
+	"fmt"
+
+	"tqp/internal/algebra"
+	"tqp/internal/equiv"
+	"tqp/internal/props"
+	"tqp/internal/rules"
+)
+
+// Config controls an enumeration run.
+type Config struct {
+	// Rules is the transformation-rule set; nil means the full non-expanding
+	// catalog.
+	Rules []rules.Rule
+	// ResultType is the query's result type per Definition 5.1, which
+	// seeds the property inference at the root.
+	ResultType equiv.ResultType
+	// MaxPlans caps the number of generated plans (0 = 4096). The cap is a
+	// safety net; if it is hit, Result.Capped is set and determinism across
+	// rule orders is no longer guaranteed.
+	MaxPlans int
+	// IncludeExpanding admits expanding rules (plan-growing); use only with
+	// a tight MaxPlans.
+	IncludeExpanding bool
+}
+
+// Step records how a plan was derived.
+type Step struct {
+	// Parent is the canonical form of the plan the rule was applied to.
+	Parent string
+	// Rule is the name of the applied rule.
+	Rule string
+	// RuleType is the rule's equivalence type.
+	RuleType equiv.Type
+	// Path locates the rewritten node in the parent plan.
+	Path algebra.Path
+}
+
+// Result is the outcome of an enumeration.
+type Result struct {
+	// Plans holds every generated plan, the initial plan first, in
+	// discovery order.
+	Plans []algebra.Node
+	// Provenance maps each plan's canonical form to the step that first
+	// produced it (absent for the initial plan).
+	Provenance map[string]Step
+	// GuardRejections counts, per rule, how many syntactic matches the
+	// property guard of Figure 5 rejected.
+	GuardRejections map[string]int
+	// Applications counts, per rule, how many times it produced a plan
+	// (including rediscoveries of known plans).
+	Applications map[string]int
+	// Capped reports that MaxPlans stopped the fixpoint early.
+	Capped bool
+}
+
+// Enumerate runs the Figure 5 algorithm from the initial plan.
+func Enumerate(initial algebra.Node, cfg Config) (*Result, error) {
+	if err := algebra.Validate(initial); err != nil {
+		return nil, fmt.Errorf("enum: invalid initial plan: %w", err)
+	}
+	ruleSet := cfg.Rules
+	if ruleSet == nil {
+		ruleSet = rules.All()
+	}
+	if !cfg.IncludeExpanding {
+		ruleSet = rules.NonExpanding(ruleSet)
+	}
+	maxPlans := cfg.MaxPlans
+	if maxPlans <= 0 {
+		maxPlans = 4096
+	}
+
+	res := &Result{
+		Provenance:      make(map[string]Step),
+		GuardRejections: make(map[string]int),
+		Applications:    make(map[string]int),
+	}
+	seen := map[string]bool{algebra.Canonical(initial): true}
+	res.Plans = append(res.Plans, initial)
+
+	for i := 0; i < len(res.Plans); i++ {
+		plan := res.Plans[i]
+		planKey := algebra.Canonical(plan)
+		st, err := props.InferStates(plan)
+		if err != nil {
+			return nil, fmt.Errorf("enum: state inference: %w", err)
+		}
+		pm, err := props.Infer(plan, cfg.ResultType, st)
+		if err != nil {
+			return nil, fmt.Errorf("enum: property inference: %w", err)
+		}
+		for _, path := range algebra.Paths(plan) {
+			node, err := algebra.NodeAt(plan, path)
+			if err != nil {
+				return nil, err
+			}
+			for _, rule := range ruleSet {
+				rewrite := rule.Apply(node, st)
+				if rewrite == nil {
+					continue
+				}
+				if !guardAllows(rule, rewrite, pm) {
+					res.GuardRejections[rule.Name]++
+					continue
+				}
+				newPlan, err := algebra.ReplaceAt(plan, path, rewrite.Result)
+				if err != nil {
+					return nil, err
+				}
+				if err := algebra.Validate(newPlan); err != nil {
+					return nil, fmt.Errorf("enum: rule %s at %s produced invalid plan: %w",
+						rule.Name, path, err)
+				}
+				res.Applications[rule.Name]++
+				key := algebra.Canonical(newPlan)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				res.Plans = append(res.Plans, newPlan)
+				res.Provenance[key] = Step{
+					Parent:   planKey,
+					Rule:     rule.Name,
+					RuleType: rule.Type,
+					Path:     path.Clone(),
+				}
+				if len(res.Plans) >= maxPlans {
+					res.Capped = true
+					return res, nil
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// guardAllows implements the applicability condition of Figure 5: every
+// participating operation's properties must permit the rule's equivalence
+// type.
+func guardAllows(rule rules.Rule, rewrite *rules.Rewrite, pm props.PropsMap) bool {
+	ps := make([]props.Props, 0, len(rewrite.Participants))
+	for _, p := range rewrite.Participants {
+		prop, ok := pm[p]
+		if !ok {
+			// A participant outside the current plan (should not happen);
+			// be conservative.
+			return false
+		}
+		ps = append(ps, prop)
+	}
+	return props.Applicable(rule.Type, ps)
+}
+
+// Derivation reconstructs the chain of steps that produced the given plan,
+// earliest step first.
+func (r *Result) Derivation(plan algebra.Node) []Step {
+	var out []Step
+	key := algebra.Canonical(plan)
+	for {
+		step, ok := r.Provenance[key]
+		if !ok {
+			break
+		}
+		out = append([]Step{step}, out...)
+		key = step.Parent
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+// Package equiv implements the six relation equivalence types of Section 3
+// of the paper — list, multiset and set equivalence, and their snapshot
+// counterparts — plus the ORDER-BY-projected list equivalence ≡L,A used by
+// Definition 5.1, and the implication lattice of Theorem 3.1.
+package equiv
+
+import (
+	"fmt"
+
+	"tqp/internal/period"
+	"tqp/internal/relation"
+)
+
+// Type identifies one of the six equivalence types.
+type Type uint8
+
+// The equivalence types, strongest first within each row of Theorem 3.1's
+// lattice.
+const (
+	List Type = iota
+	Multiset
+	Set
+	SnapshotList
+	SnapshotMultiset
+	SnapshotSet
+)
+
+// String renders the type in the paper's notation.
+func (t Type) String() string {
+	switch t {
+	case List:
+		return "≡L"
+	case Multiset:
+		return "≡M"
+	case Set:
+		return "≡S"
+	case SnapshotList:
+		return "≡SL"
+	case SnapshotMultiset:
+		return "≡SM"
+	case SnapshotSet:
+		return "≡SS"
+	default:
+		return "≡?"
+	}
+}
+
+// Snapshot reports whether the type is one of the snapshot equivalences,
+// which are only defined between temporal relations.
+func (t Type) Snapshot() bool { return t >= SnapshotList }
+
+// Implies reports the implication lattice of Theorem 3.1:
+//
+//	≡L ⇒ ≡M ⇒ ≡S
+//	⇓     ⇓     ⇓      (downward implications apply to temporal relations)
+//	≡SL ⇒ ≡SM ⇒ ≡SS
+func (t Type) Implies(u Type) bool {
+	if t == u {
+		return true
+	}
+	switch t {
+	case List:
+		return true // implies everything (for temporal relations)
+	case Multiset:
+		return u == Set || u == SnapshotMultiset || u == SnapshotSet
+	case Set:
+		return u == SnapshotSet
+	case SnapshotList:
+		return u == SnapshotMultiset || u == SnapshotSet
+	case SnapshotMultiset:
+		return u == SnapshotSet
+	default:
+		return false
+	}
+}
+
+// All returns the six types, strongest to weakest row by row.
+func All() []Type {
+	return []Type{List, Multiset, Set, SnapshotList, SnapshotMultiset, SnapshotSet}
+}
+
+// Check reports whether relations a and b are equivalent under t. Snapshot
+// types require both relations to be temporal; comparing relations with
+// different schemas yields false, never an error, except for snapshot types
+// over non-temporal relations, which are undefined (Section 3) and return
+// an error.
+func Check(t Type, a, b *relation.Relation) (bool, error) {
+	if t.Snapshot() {
+		if !a.Temporal() || !b.Temporal() {
+			return false, fmt.Errorf("equiv: %s undefined for snapshot relations", t)
+		}
+		return snapshotCheck(t, a, b), nil
+	}
+	if !a.Schema().Equal(b.Schema()) {
+		return false, nil
+	}
+	switch t {
+	case List:
+		return a.EqualAsList(b), nil
+	case Multiset:
+		return multisetEqual(a, b), nil
+	default:
+		return setEqual(a, b), nil
+	}
+}
+
+// Holding returns every type under which a and b are equivalent; snapshot
+// types are skipped for non-temporal relations.
+func Holding(a, b *relation.Relation) []Type {
+	var out []Type
+	for _, t := range All() {
+		ok, err := Check(t, a, b)
+		if err == nil && ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func multisetEqual(a, b *relation.Relation) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	counts := make(map[string]int, a.Len())
+	for _, t := range a.Tuples() {
+		counts[t.Key()]++
+	}
+	for _, t := range b.Tuples() {
+		k := t.Key()
+		counts[k]--
+		if counts[k] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func setEqual(a, b *relation.Relation) bool {
+	as := make(map[string]bool, a.Len())
+	for _, t := range a.Tuples() {
+		as[t.Key()] = true
+	}
+	bs := make(map[string]bool, b.Len())
+	for _, t := range b.Tuples() {
+		bs[t.Key()] = true
+	}
+	if len(as) != len(bs) {
+		return false
+	}
+	for k := range as {
+		if !bs[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// snapshotCheck compares the snapshots of two temporal relations at one
+// witness instant per elementary interval of their combined periods;
+// between witnesses the snapshots are constant, so this covers the whole
+// time domain.
+func snapshotCheck(t Type, a, b *relation.Relation) bool {
+	ps := append(a.Periods(), b.Periods()...)
+	for _, w := range period.Witnesses(ps) {
+		sa, sb := a.Snapshot(w), b.Snapshot(w)
+		var ok bool
+		switch t {
+		case SnapshotList:
+			ok = sa.Schema().Equal(sb.Schema()) && sa.EqualAsList(sb)
+		case SnapshotMultiset:
+			ok = sa.Schema().Equal(sb.Schema()) && multisetEqual(sa, sb)
+		default:
+			ok = sa.Schema().Equal(sb.Schema()) && setEqual(sa, sb)
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ListOn implements ≡L,A of Definition 5.1: relations are ≡L,A equivalent
+// when their projections onto the ORDER BY list A are list equivalent. It
+// is what a query with ORDER BY A must preserve — attributes outside A may
+// tie-break differently.
+func ListOn(spec relation.OrderSpec, a, b *relation.Relation) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	sa, sb := a.Schema(), b.Schema()
+	for _, k := range spec {
+		ia, ib := sa.Index(k.Attr), sb.Index(k.Attr)
+		if ia < 0 || ib < 0 {
+			return false
+		}
+		for x := 0; x < a.Len(); x++ {
+			if !a.At(x)[ia].Equal(b.At(x)[ib]) {
+				return false
+			}
+		}
+	}
+	return true
+}

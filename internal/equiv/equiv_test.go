@@ -1,0 +1,189 @@
+package equiv_test
+
+import (
+	"testing"
+
+	"tqp/internal/datagen"
+	"tqp/internal/equiv"
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+	"tqp/internal/value"
+)
+
+func tempSchema() *schema.Schema {
+	return schema.MustNew(
+		schema.Attr("Name", value.KindString),
+		schema.Attr(schema.T1, value.KindTime),
+		schema.Attr(schema.T2, value.KindTime),
+	)
+}
+
+func tempRel(rows [][]any) *relation.Relation {
+	return relation.MustFromRows(tempSchema(), rows)
+}
+
+func TestBasicEquivalences(t *testing.T) {
+	a := tempRel([][]any{{"x", 1, 4}, {"y", 2, 6}})
+	sameList := tempRel([][]any{{"x", 1, 4}, {"y", 2, 6}})
+	reordered := tempRel([][]any{{"y", 2, 6}, {"x", 1, 4}})
+	extraDup := tempRel([][]any{{"x", 1, 4}, {"x", 1, 4}, {"y", 2, 6}})
+	fragmented := tempRel([][]any{{"x", 1, 2}, {"x", 2, 4}, {"y", 2, 6}})
+	different := tempRel([][]any{{"z", 1, 4}})
+
+	check := func(typ equiv.Type, x, y *relation.Relation, want bool, what string) {
+		t.Helper()
+		got, err := equiv.Check(typ, x, y)
+		if err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+		if got != want {
+			t.Errorf("%s: %s = %v, want %v", what, typ, got, want)
+		}
+	}
+
+	check(equiv.List, a, sameList, true, "identical lists")
+	check(equiv.List, a, reordered, false, "reordering breaks ≡L")
+	check(equiv.Multiset, a, reordered, true, "reordering keeps ≡M")
+	check(equiv.Multiset, a, extraDup, false, "duplicate count breaks ≡M")
+	check(equiv.Set, a, extraDup, true, "duplicates don't matter for ≡S")
+	check(equiv.Set, a, different, false, "different content breaks ≡S")
+	check(equiv.SnapshotList, a, fragmented, true, "fragmentation keeps snapshot lists")
+	check(equiv.SnapshotMultiset, a, fragmented, true, "fragmentation keeps snapshot multisets")
+	check(equiv.SnapshotSet, a, fragmented, true, "fragmentation keeps snapshot sets")
+	check(equiv.Multiset, a, fragmented, false, "fragmentation breaks ≡M")
+
+	// Snapshot multiset vs set: a duplicated fragment.
+	dupFrag := tempRel([][]any{{"x", 1, 4}, {"x", 1, 4}, {"y", 2, 6}})
+	check(equiv.SnapshotSet, a, dupFrag, true, "snapshot sets ignore per-instant counts")
+	check(equiv.SnapshotMultiset, a, dupFrag, false, "snapshot multisets count per instant")
+
+	// Snapshot-list order sensitivity within a snapshot.
+	ab := tempRel([][]any{{"x", 1, 4}, {"y", 1, 4}})
+	ba := tempRel([][]any{{"y", 1, 4}, {"x", 1, 4}})
+	check(equiv.SnapshotList, ab, ba, false, "within-snapshot order breaks ≡SL")
+	check(equiv.SnapshotMultiset, ab, ba, true, "…but keeps ≡SM")
+}
+
+func TestSnapshotUndefinedForConventional(t *testing.T) {
+	s := schema.MustNew(schema.Attr("A", value.KindInt))
+	a := relation.MustFromRows(s, [][]any{{1}})
+	if _, err := equiv.Check(equiv.SnapshotSet, a, a); err == nil {
+		t.Error("snapshot equivalence is undefined for snapshot relations (Section 3)")
+	}
+}
+
+func TestSchemasMustMatch(t *testing.T) {
+	a := tempRel([][]any{{"x", 1, 4}})
+	s2 := schema.MustNew(
+		schema.Attr("Other", value.KindString),
+		schema.Attr(schema.T1, value.KindTime),
+		schema.Attr(schema.T2, value.KindTime),
+	)
+	b := relation.MustFromRows(s2, [][]any{{"x", 1, 4}})
+	ok, err := equiv.Check(equiv.List, a, b)
+	if err != nil || ok {
+		t.Error("different schemas are never list-equivalent")
+	}
+}
+
+func TestImpliesLattice(t *testing.T) {
+	cases := []struct {
+		from, to equiv.Type
+		want     bool
+	}{
+		{equiv.List, equiv.Multiset, true},
+		{equiv.List, equiv.Set, true},
+		{equiv.List, equiv.SnapshotList, true},
+		{equiv.List, equiv.SnapshotSet, true},
+		{equiv.Multiset, equiv.Set, true},
+		{equiv.Multiset, equiv.SnapshotMultiset, true},
+		{equiv.Multiset, equiv.List, false},
+		{equiv.Multiset, equiv.SnapshotList, false},
+		{equiv.Set, equiv.SnapshotSet, true},
+		{equiv.Set, equiv.Multiset, false},
+		{equiv.SnapshotList, equiv.SnapshotMultiset, true},
+		{equiv.SnapshotMultiset, equiv.SnapshotSet, true},
+		{equiv.SnapshotSet, equiv.Set, false},
+		{equiv.SnapshotList, equiv.List, false},
+	}
+	for _, c := range cases {
+		if got := c.from.Implies(c.to); got != c.want {
+			t.Errorf("%s ⇒ %s = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+// TestHoldingRespectsLattice: on random pairs, the set of equivalences that
+// hold is upward closed under implication (Theorem 3.1).
+func TestHoldingRespectsLattice(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		a := datagen.Temporal(datagen.TemporalSpec{Rows: 7, Values: 3, DupFrac: 0.3, AdjFrac: 0.3, Seed: seed})
+		b := datagen.Temporal(datagen.TemporalSpec{Rows: 7, Values: 3, DupFrac: 0.3, AdjFrac: 0.3, Seed: seed / 2})
+		holding := equiv.Holding(a, b)
+		set := map[equiv.Type]bool{}
+		for _, h := range holding {
+			set[h] = true
+		}
+		for _, h := range holding {
+			for _, u := range equiv.All() {
+				if h.Implies(u) && !set[u] {
+					t.Fatalf("seed %d: %s holds but implied %s does not", seed, h, u)
+				}
+			}
+		}
+	}
+}
+
+func TestListOn(t *testing.T) {
+	spec := relation.OrderSpec{relation.Key("Name")}
+	a := tempRel([][]any{{"x", 1, 4}, {"y", 2, 6}})
+	// Same Name sequence, different periods: ≡L,A holds.
+	b := tempRel([][]any{{"x", 7, 9}, {"y", 1, 2}})
+	if !equiv.ListOn(spec, a, b) {
+		t.Error("≡L,A compares only the ORDER BY projection")
+	}
+	c := tempRel([][]any{{"y", 1, 4}, {"x", 2, 6}})
+	if equiv.ListOn(spec, a, c) {
+		t.Error("different Name sequences break ≡L,A")
+	}
+	if equiv.ListOn(spec, a, tempRel(nil)) {
+		t.Error("length mismatch breaks ≡L,A")
+	}
+}
+
+func TestCheckSQL(t *testing.T) {
+	spec := relation.OrderSpec{relation.Key("Name")}
+	a := tempRel([][]any{{"x", 1, 4}, {"y", 2, 6}})
+	sameMultisetSameOrder := tempRel([][]any{{"x", 1, 4}, {"y", 2, 6}})
+	reordered := tempRel([][]any{{"y", 2, 6}, {"x", 1, 4}})
+
+	ok, err := equiv.CheckSQL(equiv.ResultList, spec, a, sameMultisetSameOrder)
+	if err != nil || !ok {
+		t.Error("list result: same multiset and A-order must pass")
+	}
+	ok, _ = equiv.CheckSQL(equiv.ResultList, spec, a, reordered)
+	if ok {
+		t.Error("list result: reordering on A must fail")
+	}
+	ok, _ = equiv.CheckSQL(equiv.ResultMultiset, nil, a, reordered)
+	if !ok {
+		t.Error("multiset result: reordering is fine")
+	}
+	dup := tempRel([][]any{{"x", 1, 4}, {"x", 1, 4}, {"y", 2, 6}})
+	ok, _ = equiv.CheckSQL(equiv.ResultSet, nil, a, dup)
+	if !ok {
+		t.Error("set result: duplicate counts are immaterial")
+	}
+	ok, _ = equiv.CheckSQL(equiv.ResultMultiset, nil, a, dup)
+	if ok {
+		t.Error("multiset result: duplicate counts matter")
+	}
+}
+
+func TestGuardMapping(t *testing.T) {
+	if equiv.ResultList.Guard() != equiv.List ||
+		equiv.ResultMultiset.Guard() != equiv.Multiset ||
+		equiv.ResultSet.Guard() != equiv.Set {
+		t.Error("Definition 5.1 guard mapping")
+	}
+}

@@ -1,0 +1,287 @@
+package eval
+
+import (
+	"tqp/internal/algebra"
+	"tqp/internal/expr"
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+	"tqp/internal/value"
+)
+
+// evalUnionAll implements ⊔: concatenation of the argument lists. The
+// result is unordered per Table 1 (we nevertheless produce the
+// deterministic left-then-right list; "unordered" means no order guarantee
+// is recorded for the optimizer).
+func (e *Evaluator) evalUnionAll(n algebra.Node) (*relation.Relation, error) {
+	l, r, err := e.evalBoth(n)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(l.Schema())
+	for _, t := range l.Tuples() {
+		out.Append(t)
+	}
+	for _, t := range r.Tuples() {
+		out.Append(t)
+	}
+	return out, nil
+}
+
+// evalUnion implements the multiset union ∪ of Albert [1]: a tuple occurs
+// in the result as many times as it occurs in the argument with the most
+// occurrences of it. The list form is all of r1 followed by the excess
+// occurrences from r2 in their r2 order; the result is unordered.
+func (e *Evaluator) evalUnion(n algebra.Node) (*relation.Relation, error) {
+	l, r, err := e.evalBoth(n)
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[string]int, l.Len())
+	for _, t := range l.Tuples() {
+		counts[t.Key()]++
+	}
+	out := relation.New(l.Schema())
+	for _, t := range l.Tuples() {
+		out.Append(t)
+	}
+	for _, t := range r.Tuples() {
+		k := t.Key()
+		if counts[k] > 0 {
+			counts[k]--
+			continue
+		}
+		out.Append(t)
+	}
+	return out, nil
+}
+
+// evalProduct implements the conventional Cartesian product ×: a left-major
+// pair loop. Result order is Order(r1) (renamed under qualification).
+func (e *Evaluator) evalProduct(n algebra.Node) (*relation.Relation, error) {
+	return e.evalProductFiltered(n, nil)
+}
+
+// evalProductFiltered implements × with an optional fused join predicate.
+func (e *Evaluator) evalProductFiltered(n algebra.Node, p expr.Pred) (*relation.Relation, error) {
+	l, r, err := e.evalBoth(n)
+	if err != nil {
+		return nil, err
+	}
+	outSchema, err := n.Schema()
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(outSchema)
+	lw := l.Schema().Len()
+	for _, lt := range l.Tuples() {
+		for _, rt := range r.Tuples() {
+			nt := make(relation.Tuple, lw+r.Schema().Len())
+			copy(nt, lt)
+			copy(nt[lw:], rt)
+			if p != nil {
+				ok, err := p.Holds(outSchema, nt)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			out.Append(nt)
+		}
+	}
+	out.SetOrder(leftProductOrder(l.Order(), r.Schema(), outSchema))
+	return out, nil
+}
+
+// leftProductOrder maps the left argument's order spec into a product's
+// result schema: time attributes and attributes clashing with the right
+// argument acquire the "1." qualification; anything that still cannot be
+// found in the result schema ends the preserved prefix.
+func leftProductOrder(in relation.OrderSpec, right, outSchema *schema.Schema) relation.OrderSpec {
+	var out relation.OrderSpec
+	for _, k := range in {
+		name := k.Attr
+		if name == schema.T1 || name == schema.T2 || right.Has(name) {
+			name = "1." + name
+		}
+		if !outSchema.Has(name) {
+			break
+		}
+		out = append(out, relation.OrderKey{Attr: name, Dir: k.Dir})
+	}
+	return out
+}
+
+// evalDiff implements the multiset difference \: each tuple occurs
+// max(n1(t)−n2(t), 0) times. The earliest occurrences in r1 are the ones
+// cancelled, so the result retains the order (and the late duplicates) of
+// r1. On temporal arguments the result is a snapshot relation (time
+// attributes qualified); the tuple values are unchanged.
+func (e *Evaluator) evalDiff(n algebra.Node) (*relation.Relation, error) {
+	l, r, err := e.evalBoth(n)
+	if err != nil {
+		return nil, err
+	}
+	outSchema, err := n.Schema()
+	if err != nil {
+		return nil, err
+	}
+	budget := make(map[string]int, r.Len())
+	for _, t := range r.Tuples() {
+		budget[t.Key()]++
+	}
+	out := relation.New(outSchema)
+	for _, t := range l.Tuples() {
+		k := t.Key()
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		out.Append(t)
+	}
+	out.SetOrder(qualifyTimeOrder(l.Order(), outSchema))
+	return out, nil
+}
+
+// qualifyTimeOrder renames T1/T2 order keys to their "1."-qualified result
+// names for operations whose snapshot result keeps periods as plain data.
+func qualifyTimeOrder(in relation.OrderSpec, outSchema *schema.Schema) relation.OrderSpec {
+	var out relation.OrderSpec
+	for _, k := range in {
+		name := k.Attr
+		if name == schema.T1 || name == schema.T2 {
+			name = "1." + name
+		}
+		if !outSchema.Has(name) {
+			break
+		}
+		out = append(out, relation.OrderKey{Attr: name, Dir: k.Dir})
+	}
+	return out
+}
+
+// evalRdup implements regular duplicate elimination rdup: the first
+// occurrence of each tuple survives, so the order of the argument is
+// retained. On temporal arguments the result is a snapshot relation with
+// qualified time attributes (Figure 3, R2).
+func (e *Evaluator) evalRdup(n algebra.Node) (*relation.Relation, error) {
+	in, err := e.Eval(n.Children()[0])
+	if err != nil {
+		return nil, err
+	}
+	outSchema, err := n.Schema()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, in.Len())
+	out := relation.New(outSchema)
+	for _, t := range in.Tuples() {
+		k := t.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Append(t)
+	}
+	out.SetOrder(qualifyTimeOrder(in.Order(), outSchema))
+	return out, nil
+}
+
+// evalAggregate implements 𝒢 (and dispatches 𝒢ᵀ): group by the G
+// attributes, emit one tuple per group in order of first occurrence, so the
+// result order is Prefix(Order(r), GroupPairs) per Table 1.
+func (e *Evaluator) evalAggregate(n *algebra.Aggregate) (*relation.Relation, error) {
+	if n.Op() == algebra.OpTAggregate {
+		return e.evalTAggregate(n)
+	}
+	in, err := e.Eval(n.Children()[0])
+	if err != nil {
+		return nil, err
+	}
+	outSchema, err := n.Schema()
+	if err != nil {
+		return nil, err
+	}
+	gidx := make([]int, len(n.GroupBy))
+	for i, g := range n.GroupBy {
+		gidx[i] = in.Schema().Index(g)
+	}
+	type group struct {
+		rep  relation.Tuple
+		accs []*expr.Accumulator
+	}
+	var orderKeys []string
+	groups := make(map[string]*group)
+	for _, t := range in.Tuples() {
+		k := t.KeyOn(gidx)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{rep: t, accs: newAccs(n.Aggs, in.Schema())}
+			groups[k] = g
+			orderKeys = append(orderKeys, k)
+		}
+		if err := foldAggs(g.accs, n.Aggs, in.Schema(), t); err != nil {
+			return nil, err
+		}
+	}
+	out := relation.New(outSchema)
+	for _, k := range orderKeys {
+		g := groups[k]
+		nt := make(relation.Tuple, 0, outSchema.Len())
+		for _, gi := range gidx {
+			nt = append(nt, g.rep[gi])
+		}
+		for _, acc := range g.accs {
+			nt = append(nt, acc.Result())
+		}
+		out.Append(nt)
+	}
+	out.SetOrder(groupedOrder(in.Order(), n.GroupBy))
+	return out, nil
+}
+
+// groupedOrder computes Prefix(Order(r), GroupPairs).
+func groupedOrder(in relation.OrderSpec, groupBy []string) relation.OrderSpec {
+	return in.Prefix(groupBy)
+}
+
+func newAccs(aggs []expr.Aggregate, s *schema.Schema) []*expr.Accumulator {
+	out := make([]*expr.Accumulator, len(aggs))
+	for i, a := range aggs {
+		isInt := false
+		if a.Func == expr.Sum {
+			if k, err := s.KindOf(a.Arg); err == nil && k == value.KindInt {
+				isInt = true
+			}
+		}
+		out[i] = expr.NewAccumulator(a.Func, isInt)
+	}
+	return out
+}
+
+func foldAggs(accs []*expr.Accumulator, aggs []expr.Aggregate, s *schema.Schema, t relation.Tuple) error {
+	for i, a := range aggs {
+		switch a.Func {
+		case expr.CountAll:
+			accs[i].Add(value.Value{})
+		default:
+			j := s.Index(a.Arg)
+			accs[i].Add(t[j])
+		}
+	}
+	return nil
+}
+
+func (e *Evaluator) evalBoth(n algebra.Node) (l, r *relation.Relation, err error) {
+	ch := n.Children()
+	l, err = e.Eval(ch[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err = e.Eval(ch[1])
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
+}

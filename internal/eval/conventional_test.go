@@ -1,0 +1,178 @@
+package eval_test
+
+import (
+	"testing"
+
+	"tqp/internal/algebra"
+	"tqp/internal/eval"
+	"tqp/internal/expr"
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+	"tqp/internal/value"
+)
+
+func snapSchema() *schema.Schema {
+	return schema.MustNew(
+		schema.Attr("Name", value.KindString),
+		schema.Attr("Grp", value.KindInt),
+	)
+}
+
+func fixture() (eval.MapSource, algebra.Node, algebra.Node) {
+	s := snapSchema()
+	l := relation.MustFromRows(s, [][]any{
+		{"a", 1}, {"b", 2}, {"a", 1}, {"c", 3},
+	})
+	r := relation.MustFromRows(s, [][]any{
+		{"a", 1}, {"d", 4}, {"a", 1}, {"a", 1},
+	})
+	src := eval.MapSource{"L": l, "R": r}
+	return src,
+		algebra.NewRel("L", s, algebra.BaseInfo{}),
+		algebra.NewRel("R", s, algebra.BaseInfo{})
+}
+
+func evalNode(t *testing.T, src eval.Source, n algebra.Node) *relation.Relation {
+	t.Helper()
+	out, err := eval.New(src).Eval(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func wantList(t *testing.T, got *relation.Relation, rows [][]any) {
+	t.Helper()
+	want := relation.MustFromRows(got.Schema(), rows)
+	if !got.EqualAsList(want) {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestUnionAllList: ⊔ concatenates, left list then right list.
+func TestUnionAllList(t *testing.T) {
+	src, l, r := fixture()
+	got := evalNode(t, src, algebra.NewUnionAll(l, r))
+	wantList(t, got, [][]any{
+		{"a", 1}, {"b", 2}, {"a", 1}, {"c", 3},
+		{"a", 1}, {"d", 4}, {"a", 1}, {"a", 1},
+	})
+}
+
+// TestUnionMaxMultiplicity: ∪ keeps each tuple max(n1,n2) times — all of L,
+// then R's excess occurrences in R's order (Albert's multiset union).
+func TestUnionMaxMultiplicity(t *testing.T) {
+	src, l, r := fixture()
+	got := evalNode(t, src, algebra.NewUnion(l, r))
+	// L has a×2; R has a×3 → one extra a; d is new.
+	wantList(t, got, [][]any{
+		{"a", 1}, {"b", 2}, {"a", 1}, {"c", 3},
+		{"d", 4}, {"a", 1},
+	})
+}
+
+// TestDiffCancelsEarliest: \ removes min(n1,n2) occurrences of each tuple,
+// cancelling the earliest left occurrences so late duplicates survive in
+// order.
+func TestDiffCancelsEarliest(t *testing.T) {
+	src, l, r := fixture()
+	got := evalNode(t, src, algebra.NewDiff(l, r))
+	// L = a,b,a,c; R has a×3 → both a's cancelled.
+	wantList(t, got, [][]any{{"b", 2}, {"c", 3}})
+	// And the other direction: R \ L keeps one a (3−2) and d.
+	got = evalNode(t, src, algebra.NewDiff(r, l))
+	wantList(t, got, [][]any{{"d", 4}, {"a", 1}})
+}
+
+// TestRdupKeepsFirst: rdup keeps first occurrences in order.
+func TestRdupKeepsFirst(t *testing.T) {
+	src, l, _ := fixture()
+	got := evalNode(t, src, algebra.NewRdup(l))
+	wantList(t, got, [][]any{{"a", 1}, {"b", 2}, {"c", 3}})
+}
+
+// TestProductLeftMajor: × enumerates pairs left-major, preserving both
+// argument orders.
+func TestProductLeftMajor(t *testing.T) {
+	s := snapSchema()
+	l := relation.MustFromRows(s, [][]any{{"x", 1}, {"y", 2}})
+	r := relation.MustFromRows(schema.MustNew(schema.Attr("P", value.KindString)),
+		[][]any{{"p"}, {"q"}})
+	src := eval.MapSource{"L": l, "R": r}
+	got := evalNode(t, src,
+		algebra.NewProduct(
+			algebra.NewRel("L", l.Schema(), algebra.BaseInfo{}),
+			algebra.NewRel("R", r.Schema(), algebra.BaseInfo{})))
+	wantList(t, got, [][]any{
+		{"x", 1, "p"}, {"x", 1, "q"},
+		{"y", 2, "p"}, {"y", 2, "q"},
+	})
+}
+
+// TestAggregateGroupsInFirstSeenOrder: 𝒢 emits one tuple per group in
+// first-occurrence order with correct aggregate values.
+func TestAggregateGroupsInFirstSeenOrder(t *testing.T) {
+	src, l, _ := fixture()
+	got := evalNode(t, src, algebra.NewAggregate(
+		[]string{"Name"},
+		[]expr.Aggregate{
+			{Func: expr.CountAll, As: "cnt"},
+			{Func: expr.Sum, Arg: "Grp", As: "total"},
+		}, l))
+	wantList(t, got, [][]any{
+		{"a", 2, 2},
+		{"b", 1, 2},
+		{"c", 1, 3},
+	})
+}
+
+// TestSelectOrderRetention: σ over a sorted relation keeps the order spec.
+func TestSelectOrderRetention(t *testing.T) {
+	s := snapSchema()
+	l := relation.MustFromRows(s, [][]any{{"a", 1}, {"b", 2}, {"c", 3}})
+	src := eval.MapSource{"L": l}
+	spec := relation.OrderSpec{relation.Key("Name")}
+	node := algebra.NewSelect(
+		expr.Compare(expr.Ne, expr.Column("Name"), expr.Literal(value.String_("b"))),
+		algebra.NewRel("L", s, algebra.BaseInfo{Order: spec}))
+	got := evalNode(t, src, node)
+	if !got.Order().Equal(spec) {
+		t.Errorf("σ should retain order %s, got %s", spec, got.Order())
+	}
+	wantList(t, got, [][]any{{"a", 1}, {"c", 3}})
+}
+
+// TestProjectionComputes: generalized projection evaluates expressions and
+// renames.
+func TestProjectionComputes(t *testing.T) {
+	src, l, _ := fixture()
+	got := evalNode(t, src, algebra.NewProject([]algebra.ProjItem{
+		{Expr: expr.Column("Name"), As: "Who"},
+		{Expr: expr.Arith{Op: expr.Mul, L: expr.Column("Grp"), R: expr.Literal(value.Int(10))}, As: "Tens"},
+	}, l))
+	wantList(t, got, [][]any{
+		{"a", 10}, {"b", 20}, {"a", 10}, {"c", 30},
+	})
+}
+
+// TestEvalErrorsPropagate: unknown relations and failing predicates surface
+// as errors, not panics.
+func TestEvalErrorsPropagate(t *testing.T) {
+	src, l, _ := fixture()
+	ghost := algebra.NewRel("GHOST", snapSchema(), algebra.BaseInfo{})
+	if _, err := eval.New(src).Eval(ghost); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	divZero := algebra.NewSelect(
+		expr.Compare(expr.Gt,
+			expr.Arith{Op: expr.Div, L: expr.Column("Grp"), R: expr.Literal(value.Int(0))},
+			expr.Literal(value.Int(1))), l)
+	if _, err := eval.New(src).Eval(divZero); err == nil {
+		t.Error("division by zero must fail")
+	}
+	// Schema drift between plan and instance.
+	drifted := algebra.NewRel("L", schema.MustNew(schema.Attr("Other", value.KindInt)), algebra.BaseInfo{})
+	if _, err := eval.New(src).Eval(drifted); err == nil {
+		t.Error("schema mismatch must fail")
+	}
+}

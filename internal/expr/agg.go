@@ -1,0 +1,175 @@
+package expr
+
+import (
+	"fmt"
+
+	"tqp/internal/period"
+	"tqp/internal/schema"
+	"tqp/internal/value"
+)
+
+func periodOf(start, end value.Value) period.Period {
+	return period.Period{Start: start.AsTime(), End: end.AsTime()}
+}
+
+// coerceTimes lifts integer literals in period-predicate operands to the
+// time domain, so "PERIOD(T1, T2) OVERLAPS PERIOD(2, 6)" works without an
+// explicit time constructor.
+func coerceTimes(op PeriodOp, vs ...value.Value) (a, b, c, d value.Value, err error) {
+	out := make([]value.Value, len(vs))
+	for i, v := range vs {
+		switch v.Kind() {
+		case value.KindTime:
+			out[i] = v
+		case value.KindInt:
+			out[i] = value.Time(period.Chronon(v.AsInt()))
+		default:
+			return a, b, c, d, fmt.Errorf("expr: %s over non-time operand of domain %s", op, v.Kind())
+		}
+	}
+	return out[0], out[1], out[2], out[3], nil
+}
+
+// AggFunc names an aggregate function.
+type AggFunc uint8
+
+// Aggregate functions for the 𝒢 and 𝒢ᵀ operations.
+const (
+	Count AggFunc = iota
+	CountAll
+	Sum
+	Avg
+	Min
+	Max
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "COUNT"
+	case CountAll:
+		return "COUNT(*)"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	case Min:
+		return "MIN"
+	default:
+		return "MAX"
+	}
+}
+
+// DuplicateInsensitive reports whether the aggregate yields the same result
+// on multiset-equivalent inputs with different duplicate counts collapsed —
+// i.e., MIN and MAX. The property refines DuplicatesRelevant propagation
+// into aggregation arguments.
+func (f AggFunc) DuplicateInsensitive() bool { return f == Min || f == Max }
+
+// Aggregate pairs an aggregate function with its argument attribute and a
+// result attribute name. CountAll ignores Arg.
+type Aggregate struct {
+	Func AggFunc
+	Arg  string // argument attribute; empty for COUNT(*)
+	As   string // result attribute name
+}
+
+// String renders e.g. "SUM(Salary) AS total".
+func (a Aggregate) String() string {
+	switch a.Func {
+	case CountAll:
+		return fmt.Sprintf("COUNT(*) AS %s", a.As)
+	default:
+		return fmt.Sprintf("%s(%s) AS %s", a.Func, a.Arg, a.As)
+	}
+}
+
+// ResultKind returns the domain of the aggregate's result.
+func (a Aggregate) ResultKind(s *schema.Schema) (value.Kind, error) {
+	switch a.Func {
+	case Count, CountAll:
+		return value.KindInt, nil
+	case Avg:
+		return value.KindFloat, nil
+	case Sum:
+		k, err := s.KindOf(a.Arg)
+		if err != nil {
+			return value.KindInvalid, err
+		}
+		if k != value.KindInt && k != value.KindFloat {
+			return value.KindInvalid, fmt.Errorf("expr: SUM over non-numeric attribute %s", a.Arg)
+		}
+		return k, nil
+	default: // Min, Max
+		return s.KindOf(a.Arg)
+	}
+}
+
+// Attrs adds the aggregate's argument attribute to set.
+func (a Aggregate) Attrs(set map[string]bool) {
+	if a.Func != CountAll && a.Arg != "" {
+		set[a.Arg] = true
+	}
+}
+
+// Accumulator computes one aggregate over a stream of values.
+type Accumulator struct {
+	fn    AggFunc
+	n     int64
+	sumI  int64
+	sumF  float64
+	isInt bool
+	best  value.Value
+}
+
+// NewAccumulator returns an accumulator for f; isInt selects integer SUM.
+func NewAccumulator(f AggFunc, isInt bool) *Accumulator {
+	return &Accumulator{fn: f, isInt: isInt}
+}
+
+// Add folds one value (ignored for COUNT(*) semantics if invalid).
+func (ac *Accumulator) Add(v value.Value) {
+	ac.n++
+	switch ac.fn {
+	case Sum, Avg:
+		if ac.isInt && v.Kind() == value.KindInt {
+			ac.sumI += v.AsInt()
+		} else {
+			ac.sumF += v.NumericValue()
+		}
+	case Min:
+		if !ac.best.IsValid() || v.Compare(ac.best) < 0 {
+			ac.best = v
+		}
+	case Max:
+		if !ac.best.IsValid() || v.Compare(ac.best) > 0 {
+			ac.best = v
+		}
+	}
+}
+
+// Result returns the aggregate value; aggregates over empty groups return
+// COUNT=0 and invalid for the rest (the algebra's aggregation only produces
+// non-empty groups, so this does not surface in query results).
+func (ac *Accumulator) Result() value.Value {
+	switch ac.fn {
+	case Count, CountAll:
+		return value.Int(ac.n)
+	case Sum:
+		if ac.isInt {
+			return value.Int(ac.sumI)
+		}
+		return value.Float(ac.sumF)
+	case Avg:
+		if ac.n == 0 {
+			return value.Value{}
+		}
+		total := ac.sumF
+		if ac.isInt {
+			total = float64(ac.sumI)
+		}
+		return value.Float(total / float64(ac.n))
+	default:
+		return ac.best
+	}
+}

@@ -1,0 +1,108 @@
+package expr
+
+import "fmt"
+
+// SubstExpr replaces every column reference in e according to env: a column
+// named n becomes env[n] when present. It is the engine behind projection
+// composition (rule P7) and selection/projection pushdown (rule P8).
+func SubstExpr(e Expr, env map[string]Expr) (Expr, error) {
+	switch node := e.(type) {
+	case Col:
+		if repl, ok := env[node.Name]; ok {
+			return repl, nil
+		}
+		return node, nil
+	case Lit:
+		return node, nil
+	case Arith:
+		l, err := SubstExpr(node.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := SubstExpr(node.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return Arith{Op: node.Op, L: l, R: r}, nil
+	default:
+		return nil, fmt.Errorf("expr: cannot substitute into %T", e)
+	}
+}
+
+// SubstPred replaces every column reference in p according to env.
+func SubstPred(p Pred, env map[string]Expr) (Pred, error) {
+	switch node := p.(type) {
+	case Cmp:
+		l, err := SubstExpr(node.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := SubstExpr(node.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return Cmp{Op: node.Op, L: l, R: r}, nil
+	case And:
+		l, err := SubstPred(node.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := SubstPred(node.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return And{L: l, R: r}, nil
+	case Or:
+		l, err := SubstPred(node.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := SubstPred(node.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return Or{L: l, R: r}, nil
+	case Not:
+		inner, err := SubstPred(node.P, env)
+		if err != nil {
+			return nil, err
+		}
+		return Not{P: inner}, nil
+	case TruePred:
+		return node, nil
+	case PeriodPred:
+		as, err := SubstExpr(node.AStart, env)
+		if err != nil {
+			return nil, err
+		}
+		ae, err := SubstExpr(node.AEnd, env)
+		if err != nil {
+			return nil, err
+		}
+		bs, err := SubstExpr(node.BStart, env)
+		if err != nil {
+			return nil, err
+		}
+		be, err := SubstExpr(node.BEnd, env)
+		if err != nil {
+			return nil, err
+		}
+		return PeriodPred{Op: node.Op, AStart: as, AEnd: ae, BStart: bs, BEnd: be}, nil
+	default:
+		return nil, fmt.Errorf("expr: cannot substitute into %T", p)
+	}
+}
+
+// RenameEnv builds a substitution environment from an attribute-rename map.
+func RenameEnv(renames map[string]string) map[string]Expr {
+	env := make(map[string]Expr, len(renames))
+	for old, new := range renames {
+		env[old] = Column(new)
+	}
+	return env
+}
+
+// RenamePred renames attributes in p per the given map.
+func RenamePred(p Pred, renames map[string]string) (Pred, error) {
+	return SubstPred(p, RenameEnv(renames))
+}

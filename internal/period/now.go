@@ -1,0 +1,28 @@
+package period
+
+// NOW-relative values — an extension the paper lists as future work
+// (Section 7, citing Clifford et al., "On the Semantics of 'Now' in
+// Databases"). A fact that still holds is stored with the end of its period
+// set to the NowMarker sentinel; before a query is evaluated the marker is
+// bound to a concrete reference instant. Storing NOW as a maximal sentinel
+// is the standard stratum implementation trick: unbound relations still
+// sort and compare consistently, and binding is a pure substitution.
+
+// NowMarker is the sentinel chronon denoting "until NOW".
+const NowMarker Chronon = Forever
+
+// IsNowRelative reports whether the period's end is the NOW sentinel.
+func (p Period) IsNowRelative() bool { return p.End == NowMarker }
+
+// BindNow returns the period with a NOW-relative end bound to the given
+// reference instant. Facts that started after the reference instant bind to
+// an empty period — they do not exist yet as of that time.
+func (p Period) BindNow(now Chronon) Period {
+	if !p.IsNowRelative() {
+		return p
+	}
+	if p.Start >= now {
+		return Period{}
+	}
+	return Period{Start: p.Start, End: now}
+}

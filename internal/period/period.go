@@ -1,0 +1,190 @@
+// Package period implements the time domain of the algebra: closed-open
+// periods [Start, End) over an abstract, granularity-independent chronon
+// domain.
+//
+// Following Section 2.2 of the paper, all operations are expressed purely in
+// terms of the start and end chronons of periods, so the package is
+// independent of the granularity of time: a chronon may denote a month (as in
+// the paper's examples), a second, or any other granule.
+package period
+
+import (
+	"fmt"
+	"math"
+)
+
+// Chronon is an instant of the time domain T. The domain is a finite,
+// totally ordered set of integers; Beginning and Forever bound it.
+type Chronon int64
+
+// Beginning and Forever bound the time domain.
+const (
+	Beginning Chronon = math.MinInt64 / 4
+	Forever   Chronon = math.MaxInt64 / 4
+)
+
+// Period is a closed-open time period [Start, End). A period is valid when
+// Start < End; the zero Period{} is the canonical empty period.
+type Period struct {
+	Start Chronon
+	End   Chronon
+}
+
+// New returns the period [start, end).
+func New(start, end Chronon) Period { return Period{Start: start, End: end} }
+
+// Empty reports whether p contains no chronons.
+func (p Period) Empty() bool { return p.Start >= p.End }
+
+// Valid reports whether p is a non-empty, in-domain period.
+func (p Period) Valid() bool {
+	return p.Start < p.End && p.Start >= Beginning && p.End <= Forever
+}
+
+// Duration returns the number of chronons in p, or 0 for an empty period.
+func (p Period) Duration() int64 {
+	if p.Empty() {
+		return 0
+	}
+	return int64(p.End - p.Start)
+}
+
+// Contains reports whether instant t lies within p.
+func (p Period) Contains(t Chronon) bool { return p.Start <= t && t < p.End }
+
+// ContainsPeriod reports whether q is fully contained in p.
+func (p Period) ContainsPeriod(q Period) bool {
+	if q.Empty() {
+		return true
+	}
+	return p.Start <= q.Start && q.End <= p.End
+}
+
+// Overlaps reports whether p and q share at least one chronon.
+func (p Period) Overlaps(q Period) bool {
+	if p.Empty() || q.Empty() {
+		return false
+	}
+	return p.Start < q.End && q.Start < p.End
+}
+
+// Meets reports whether p ends exactly where q starts (Allen's "meets").
+func (p Period) Meets(q Period) bool {
+	return !p.Empty() && !q.Empty() && p.End == q.Start
+}
+
+// Adjacent reports whether p meets q or q meets p: the two periods can be
+// merged into one with no gap and no overlap.
+func (p Period) Adjacent(q Period) bool { return p.Meets(q) || q.Meets(p) }
+
+// MergeableWith reports whether p and q can be coalesced into a single
+// period, i.e. they overlap or are adjacent. Coalescing proper (coal^T)
+// only merges adjacent periods of value-equivalent tuples; overlap merging
+// additionally requires prior temporal duplicate elimination (Section 2.4).
+func (p Period) MergeableWith(q Period) bool { return p.Overlaps(q) || p.Adjacent(q) }
+
+// Precedes reports whether p ends at or before the start of q.
+func (p Period) Precedes(q Period) bool {
+	return !p.Empty() && !q.Empty() && p.End <= q.Start
+}
+
+// Intersect returns the common sub-period of p and q; the result is empty
+// when they do not overlap.
+func (p Period) Intersect(q Period) Period {
+	if !p.Overlaps(q) {
+		return Period{}
+	}
+	return Period{Start: maxC(p.Start, q.Start), End: minC(p.End, q.End)}
+}
+
+// Union returns the single period covering both p and q. It is only defined
+// when the two periods are mergeable; ok is false otherwise.
+func (p Period) Union(q Period) (Period, bool) {
+	if p.Empty() {
+		return q, true
+	}
+	if q.Empty() {
+		return p, true
+	}
+	if !p.MergeableWith(q) {
+		return Period{}, false
+	}
+	return Period{Start: minC(p.Start, q.Start), End: maxC(p.End, q.End)}, true
+}
+
+// Subtract returns p minus q as zero, one, or two disjoint periods in
+// ascending order. This is the period arithmetic underlying Change^T in the
+// definition of temporal duplicate elimination (Section 2.5): subtracting one
+// tuple's period from an overlapping tuple's period yields zero, one, or two
+// tuples.
+func (p Period) Subtract(q Period) []Period {
+	if p.Empty() {
+		return nil
+	}
+	if !p.Overlaps(q) {
+		return []Period{p}
+	}
+	var out []Period
+	if p.Start < q.Start {
+		out = append(out, Period{Start: p.Start, End: q.Start})
+	}
+	if q.End < p.End {
+		out = append(out, Period{Start: q.End, End: p.End})
+	}
+	return out
+}
+
+// Equal reports whether p and q are the same period. All empty periods are
+// considered equal.
+func (p Period) Equal(q Period) bool {
+	if p.Empty() && q.Empty() {
+		return true
+	}
+	return p.Start == q.Start && p.End == q.End
+}
+
+// Compare orders periods by start, then end. Empty periods sort first.
+func (p Period) Compare(q Period) int {
+	pe, qe := p.Empty(), q.Empty()
+	switch {
+	case pe && qe:
+		return 0
+	case pe:
+		return -1
+	case qe:
+		return 1
+	}
+	switch {
+	case p.Start < q.Start:
+		return -1
+	case p.Start > q.Start:
+		return 1
+	case p.End < q.End:
+		return -1
+	case p.End > q.End:
+		return 1
+	}
+	return 0
+}
+
+// String renders p in the paper's closed-open notation.
+func (p Period) String() string {
+	if p.Empty() {
+		return "[)"
+	}
+	return fmt.Sprintf("[%d,%d)", p.Start, p.End)
+}
+
+func minC(a, b Chronon) Chronon {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxC(a, b Chronon) Chronon {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,101 @@
+package props_test
+
+import (
+	"testing"
+
+	"tqp/internal/equiv"
+	"tqp/internal/props"
+)
+
+// vector builds Props from an [O D P] triple via the τ that projects to it
+// where one exists; for direct guard testing we construct the booleans
+// explicitly through representative τ values.
+func propsOf(tau equiv.Type) props.Props {
+	pm := props.PropsMap{}
+	_ = pm
+	// Infer's fromTau is unexported; reconstruct through the public fields.
+	return props.Props{
+		Tau:                tau,
+		OrderRequired:      tau == equiv.List || tau == equiv.SnapshotList,
+		DuplicatesRelevant: tau == equiv.List || tau == equiv.Multiset || tau == equiv.SnapshotList || tau == equiv.SnapshotMultiset,
+		PeriodPreserving:   tau == equiv.List || tau == equiv.Multiset || tau == equiv.Set,
+	}
+}
+
+// TestApplicableGuard pins the Figure 5 guard truth table: for each rule
+// type and each participant τ, whether application is admitted.
+func TestApplicableGuard(t *testing.T) {
+	cases := []struct {
+		ruleType equiv.Type
+		tau      equiv.Type
+		want     bool
+	}{
+		// ≡L rules: no restrictions.
+		{equiv.List, equiv.List, true},
+		{equiv.List, equiv.SnapshotSet, true},
+		// ≡M rules need ¬OrderRequired.
+		{equiv.Multiset, equiv.List, false},
+		{equiv.Multiset, equiv.Multiset, true},
+		{equiv.Multiset, equiv.SnapshotList, false},
+		{equiv.Multiset, equiv.SnapshotSet, true},
+		// ≡S rules need ¬Dups ∧ ¬Order.
+		{equiv.Set, equiv.Multiset, false},
+		{equiv.Set, equiv.Set, true},
+		{equiv.Set, equiv.SnapshotMultiset, false},
+		{equiv.Set, equiv.SnapshotSet, true},
+		// ≡SL rules need ¬Period.
+		{equiv.SnapshotList, equiv.List, false},
+		{equiv.SnapshotList, equiv.SnapshotList, true},
+		{equiv.SnapshotList, equiv.SnapshotSet, true},
+		// ≡SM rules need ¬Order ∧ ¬Period.
+		{equiv.SnapshotMultiset, equiv.SnapshotList, false},
+		{equiv.SnapshotMultiset, equiv.SnapshotMultiset, true},
+		{equiv.SnapshotMultiset, equiv.Multiset, false},
+		// ≡SS rules need all three negated.
+		{equiv.SnapshotSet, equiv.SnapshotMultiset, false},
+		{equiv.SnapshotSet, equiv.SnapshotSet, true},
+		{equiv.SnapshotSet, equiv.Set, false},
+	}
+	for _, c := range cases {
+		got := props.Applicable(c.ruleType, []props.Props{propsOf(c.tau)})
+		if got != c.want {
+			t.Errorf("rule %s at participant τ=%s: applicable=%v, want %v",
+				c.ruleType, c.tau, got, c.want)
+		}
+	}
+}
+
+// TestApplicableAllParticipants: one restrictive participant vetoes the
+// whole location.
+func TestApplicableAllParticipants(t *testing.T) {
+	free := propsOf(equiv.SnapshotSet)
+	pinned := propsOf(equiv.List)
+	if !props.Applicable(equiv.Multiset, []props.Props{free, free}) {
+		t.Error("all-free participants must admit ≡M")
+	}
+	if props.Applicable(equiv.Multiset, []props.Props{free, pinned}) {
+		t.Error("one order-pinned participant must veto ≡M")
+	}
+	if !props.Applicable(equiv.List, []props.Props{pinned, pinned}) {
+		t.Error("≡L is never vetoed")
+	}
+	if !props.Applicable(equiv.SnapshotSet, nil) {
+		t.Error("no participants, no veto")
+	}
+}
+
+// TestVectorRendering pins the Figure 6 bracket rendering.
+func TestVectorRendering(t *testing.T) {
+	if got := propsOf(equiv.List).Vector(); got != "[T T T]" {
+		t.Errorf("List vector = %s", got)
+	}
+	if got := propsOf(equiv.SnapshotSet).Vector(); got != "[- - -]" {
+		t.Errorf("SnapshotSet vector = %s", got)
+	}
+	if got := propsOf(equiv.SnapshotMultiset).Vector(); got != "[- T -]" {
+		t.Errorf("SnapshotMultiset vector = %s", got)
+	}
+	if got := propsOf(equiv.Multiset).Vector(); got != "[- T T]" {
+		t.Errorf("Multiset vector = %s", got)
+	}
+}

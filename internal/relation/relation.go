@@ -1,0 +1,365 @@
+// Package relation implements the paper's relation schema instances
+// (Definition 2.2): finite *sequences* of tuples over a schema. A relation
+// is a list — it can contain duplicate tuples, and the ordering of tuples is
+// significant. Multiset and set views are derived on demand for the weaker
+// equivalence types.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tqp/internal/period"
+	"tqp/internal/schema"
+	"tqp/internal/value"
+)
+
+// Relation is a list of tuples over a schema, together with the bookkeeping
+// the optimizer exploits: the known order of the list (the paper's Order(r)
+// function) and lazily computed duplicate/coalescing state.
+type Relation struct {
+	schema *schema.Schema
+	tuples []Tuple
+	order  OrderSpec
+}
+
+// New returns an empty relation over s.
+func New(s *schema.Schema) *Relation {
+	return &Relation{schema: s}
+}
+
+// FromTuples builds a relation over s from the given tuples, validating each
+// against the schema. The relation is considered unordered.
+func FromTuples(s *schema.Schema, tuples []Tuple) (*Relation, error) {
+	r := New(s)
+	for i, t := range tuples {
+		if err := t.CheckAgainst(s); err != nil {
+			return nil, fmt.Errorf("tuple %d: %w", i, err)
+		}
+		r.tuples = append(r.tuples, t)
+	}
+	return r, nil
+}
+
+// MustFromRows builds a relation from untyped rows (for tests, examples and
+// catalogs), converting each cell to the schema's domain. It panics on any
+// mismatch.
+func MustFromRows(s *schema.Schema, rows [][]any) *Relation {
+	r := New(s)
+	for _, row := range rows {
+		if len(row) != s.Len() {
+			panic(fmt.Sprintf("relation: row arity %d vs schema %s", len(row), s))
+		}
+		t := make(Tuple, len(row))
+		for i, cell := range row {
+			t[i] = convertCell(s.At(i).Kind, cell)
+		}
+		r.tuples = append(r.tuples, t)
+	}
+	return r
+}
+
+func convertCell(k value.Kind, cell any) value.Value {
+	switch k {
+	case value.KindInt:
+		switch c := cell.(type) {
+		case int:
+			return value.Int(int64(c))
+		case int64:
+			return value.Int(c)
+		}
+	case value.KindFloat:
+		switch c := cell.(type) {
+		case float64:
+			return value.Float(c)
+		case int:
+			return value.Float(float64(c))
+		}
+	case value.KindString:
+		if c, ok := cell.(string); ok {
+			return value.String_(c)
+		}
+	case value.KindBool:
+		if c, ok := cell.(bool); ok {
+			return value.Bool(c)
+		}
+	case value.KindTime:
+		switch c := cell.(type) {
+		case int:
+			return value.Time(period.Chronon(c))
+		case int64:
+			return value.Time(period.Chronon(c))
+		case period.Chronon:
+			return value.Time(c)
+		}
+	}
+	panic(fmt.Sprintf("relation: cannot convert %T to %s", cell, k))
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *schema.Schema { return r.schema }
+
+// Len is the paper's n(r): the cardinality of the list.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// At returns the i-th tuple (not a copy; callers must not mutate).
+func (r *Relation) At(i int) Tuple { return r.tuples[i] }
+
+// Tuples returns the underlying tuple list (not a copy).
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Append adds a tuple to the end of the list without validation; the caller
+// guarantees schema alignment.
+func (r *Relation) Append(t Tuple) { r.tuples = append(r.tuples, t) }
+
+// Order returns the known order of the relation, the paper's Order(r). An
+// empty spec means the relation is not known to be ordered.
+func (r *Relation) Order() OrderSpec { return r.order }
+
+// SetOrder records the known order of the relation. It is the evaluator's
+// job to only record orders the list actually satisfies; SortedBy can verify.
+func (r *Relation) SetOrder(o OrderSpec) { r.order = o }
+
+// Clone returns a deep-enough copy: the tuple list is copied, tuples are
+// shared (they are treated as immutable).
+func (r *Relation) Clone() *Relation {
+	return &Relation{
+		schema: r.schema,
+		tuples: append([]Tuple(nil), r.tuples...),
+		order:  append(OrderSpec(nil), r.order...),
+	}
+}
+
+// Temporal reports whether the relation is temporal.
+func (r *Relation) Temporal() bool { return r.schema.Temporal() }
+
+// PeriodOf returns the time period of the i-th tuple of a temporal relation.
+func (r *Relation) PeriodOf(i int) period.Period {
+	t1, t2 := r.schema.TimeIndices()
+	return r.tuples[i].PeriodAt(t1, t2)
+}
+
+// Periods returns the periods of all tuples of a temporal relation.
+func (r *Relation) Periods() []period.Period {
+	out := make([]period.Period, r.Len())
+	for i := range r.tuples {
+		out[i] = r.PeriodOf(i)
+	}
+	return out
+}
+
+// CompareOn orders two tuples by the given order spec; attributes outside
+// the spec do not participate.
+func CompareOn(s *schema.Schema, o OrderSpec, a, b Tuple) int {
+	for _, k := range o {
+		i := s.Index(k.Attr)
+		c := a[i].Compare(b[i])
+		if k.Dir == Desc {
+			c = -c
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// SortedBy reports whether the tuple list actually satisfies the order spec.
+func (r *Relation) SortedBy(o OrderSpec) bool {
+	if err := o.Validate(r.schema); err != nil {
+		return false
+	}
+	for i := 1; i < len(r.tuples); i++ {
+		if CompareOn(r.schema, o, r.tuples[i-1], r.tuples[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// HasDuplicates reports whether the list contains two equal tuples (regular
+// duplicates).
+func (r *Relation) HasDuplicates() bool {
+	seen := make(map[string]bool, len(r.tuples))
+	for _, t := range r.tuples {
+		k := t.Key()
+		if seen[k] {
+			return true
+		}
+		seen[k] = true
+	}
+	return false
+}
+
+// valueIdx returns the positions of the non-time attributes.
+func (r *Relation) valueIdx() []int {
+	t1, t2 := r.schema.TimeIndices()
+	idx := make([]int, 0, r.schema.Len())
+	for i := 0; i < r.schema.Len(); i++ {
+		if i == t1 || i == t2 {
+			continue
+		}
+		idx = append(idx, i)
+	}
+	return idx
+}
+
+// HasSnapshotDuplicates reports whether any snapshot of a temporal relation
+// contains duplicate tuples — i.e., whether two value-equivalent tuples have
+// overlapping periods. For snapshot relations it coincides with
+// HasDuplicates.
+func (r *Relation) HasSnapshotDuplicates() bool {
+	if !r.Temporal() {
+		return r.HasDuplicates()
+	}
+	idx := r.valueIdx()
+	groups := make(map[string][]period.Period)
+	for i, t := range r.tuples {
+		k := t.KeyOn(idx)
+		p := r.PeriodOf(i)
+		if p.Empty() {
+			continue
+		}
+		for _, q := range groups[k] {
+			if p.Overlaps(q) {
+				return true
+			}
+		}
+		groups[k] = append(groups[k], p)
+	}
+	return false
+}
+
+// IsCoalesced reports whether the relation contains no pair of
+// value-equivalent tuples with adjacent periods and no pair with overlapping
+// periods that could be merged. Per Section 2.4, coalescing merges
+// value-equivalent tuples with *adjacent* periods; a relation with snapshot
+// duplicates is not considered uncoalesced by that criterion, so we check
+// adjacency only. Coalescing is undefined for snapshot relations.
+func (r *Relation) IsCoalesced() bool {
+	if !r.Temporal() {
+		return false
+	}
+	idx := r.valueIdx()
+	groups := make(map[string][]period.Period)
+	for i, t := range r.tuples {
+		k := t.KeyOn(idx)
+		p := r.PeriodOf(i)
+		if p.Empty() {
+			continue
+		}
+		for _, q := range groups[k] {
+			if p.Adjacent(q) {
+				return false
+			}
+		}
+		groups[k] = append(groups[k], p)
+	}
+	return true
+}
+
+// Snapshot returns the snapshot of a temporal relation at instant t: the
+// conventional relation containing those tuples (without the time periods)
+// whose period contains t, in list order (Section 2.1).
+func (r *Relation) Snapshot(t period.Chronon) *Relation {
+	if !r.Temporal() {
+		panic("relation: Snapshot of a snapshot relation")
+	}
+	idx := r.valueIdx()
+	names := make([]string, len(idx))
+	for i, j := range idx {
+		names[i] = r.schema.At(j).Name
+	}
+	snapSchema, err := r.schema.Project(names)
+	if err != nil {
+		panic("relation: snapshot schema: " + err.Error())
+	}
+	out := New(snapSchema)
+	for i, tp := range r.tuples {
+		if r.PeriodOf(i).Contains(t) {
+			nt := make(Tuple, len(idx))
+			for k, j := range idx {
+				nt[k] = tp[j]
+			}
+			out.Append(nt)
+		}
+	}
+	out.SetOrder(r.order.Prefix(names))
+	return out
+}
+
+// CriticalInstants returns one witness chronon per elementary interval of
+// the relation's periods. Snapshot-equivalence and snapshot-reducibility
+// checks over these witnesses cover every instant of the domain.
+func (r *Relation) CriticalInstants() []period.Chronon {
+	return period.Witnesses(r.Periods())
+}
+
+// SortStable stable-sorts the tuple list by the given spec and records the
+// order. Stability matters: the paper's sort "retains duplicates" and list
+// semantics elsewhere depend on the relative order of ties.
+func (r *Relation) SortStable(o OrderSpec) error {
+	if err := o.Validate(r.schema); err != nil {
+		return err
+	}
+	sort.SliceStable(r.tuples, func(i, j int) bool {
+		return CompareOn(r.schema, o, r.tuples[i], r.tuples[j]) < 0
+	})
+	r.order = o
+	return nil
+}
+
+// EqualAsList reports list equivalence of the tuple sequences (schema
+// compatibility is the caller's concern; see package equiv for the full
+// six-way equivalence checks).
+func (r *Relation) EqualAsList(o *Relation) bool {
+	if r.Len() != o.Len() {
+		return false
+	}
+	for i := range r.tuples {
+		if !r.tuples[i].Equal(o.tuples[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation as an aligned table, matching the layout of
+// the paper's figures.
+func (r *Relation) String() string {
+	names := r.schema.Names()
+	widths := make([]int, len(names))
+	for i, n := range names {
+		widths[i] = len(n)
+	}
+	cells := make([][]string, r.Len())
+	for i, t := range r.tuples {
+		row := make([]string, len(t))
+		for j, v := range t {
+			row[j] = v.String()
+			if len(row[j]) > widths[j] {
+				widths[j] = len(row[j])
+			}
+		}
+		cells[i] = row
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for j, c := range row {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for p := len(c); p < widths[j]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(names)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+
+	"tqp/internal/period"
+	"tqp/internal/schema"
+	"tqp/internal/value"
+)
+
+// Tuple is a function from attributes to values (Definition 2.2), stored
+// positionally against a schema's attribute order.
+type Tuple []value.Value
+
+// NewTuple builds a tuple from values; the caller guarantees alignment with
+// the intended schema.
+func NewTuple(vs ...value.Value) Tuple { return Tuple(vs) }
+
+// Clone returns an independent copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// Equal reports position-wise equality of two tuples.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically position by position.
+func (t Tuple) Compare(u Tuple) int {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(u[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(u):
+		return -1
+	case len(t) > len(u):
+		return 1
+	}
+	return 0
+}
+
+// Key returns a hashable representation of the tuple; equal tuples have
+// equal keys.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(v.Key())
+	}
+	return b.String()
+}
+
+// KeyOn returns a hashable representation of the tuple restricted to the
+// given positions (used for value-equivalence and grouping).
+func (t Tuple) KeyOn(idx []int) string {
+	var b strings.Builder
+	for i, j := range idx {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(t[j].Key())
+	}
+	return b.String()
+}
+
+// String renders the tuple as "(v1, v2, ...)".
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// PeriodAt extracts the time period of a tuple given the schema's time
+// attribute indices.
+func (t Tuple) PeriodAt(t1, t2 int) period.Period {
+	return period.Period{Start: t[t1].AsTime(), End: t[t2].AsTime()}
+}
+
+// WithPeriodAt returns a copy of the tuple with the time period replaced.
+func (t Tuple) WithPeriodAt(t1, t2 int, p period.Period) Tuple {
+	out := t.Clone()
+	out[t1] = value.Time(p.Start)
+	out[t2] = value.Time(p.End)
+	return out
+}
+
+// CheckAgainst validates that the tuple's arity and domains match s.
+func (t Tuple) CheckAgainst(s *schema.Schema) error {
+	if len(t) != s.Len() {
+		return fmt.Errorf("relation: tuple arity %d does not match schema %s", len(t), s)
+	}
+	for i, v := range t {
+		want := s.At(i).Kind
+		if v.Kind() != want {
+			// Numeric domains are interchangeable in comparisons but not in
+			// storage: a column is either int or float.
+			return fmt.Errorf("relation: attribute %s expects %s, tuple holds %s",
+				s.At(i).Name, want, v.Kind())
+		}
+	}
+	return nil
+}

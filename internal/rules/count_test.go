@@ -1,0 +1,25 @@
+package rules_test
+
+import (
+	"testing"
+
+	"tqp/internal/rules"
+)
+
+// TestCatalogSize pins the rule-catalog size so EXPERIMENTS.md's counts stay
+// honest; update both when adding rules.
+func TestCatalogSize(t *testing.T) {
+	if got := len(rules.All()); got != 66 {
+		t.Errorf("rule catalog has %d rules; EXPERIMENTS.md says 66 — update both", got)
+	}
+	names := map[string]bool{}
+	for _, r := range rules.All() {
+		if names[r.Name] {
+			t.Errorf("duplicate rule name %s", r.Name)
+		}
+		names[r.Name] = true
+		if r.Doc == "" {
+			t.Errorf("rule %s lacks documentation", r.Name)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Package rules implements the transformation-rule catalog of Section 4:
+// the duplicate-elimination rules D1–D6, the coalescing rules C1–C10, the
+// sorting rules S1–S3 (plus the sort-pushdown family Section 4.4 sketches),
+// the conventional rules extended to lists and temporal operations
+// (Section 4.1), and the transfer rules of the stratum architecture
+// (Section 4.5).
+//
+// Every rule is an algebraic equivalence annotated with the strongest of
+// the six equivalence types that holds (Section 3), a syntactic match, a
+// semantic precondition over the static state of package props, and the
+// participant set whose operation properties gate its application in the
+// enumeration algorithm (Figure 5).
+package rules
+
+import (
+	"tqp/internal/algebra"
+	"tqp/internal/equiv"
+	"tqp/internal/props"
+)
+
+// Rewrite is the outcome of matching a rule at a location: the replacement
+// subtree and the participating operations (the operations explicitly
+// mentioned on the rule's left-hand side plus the roots of its subtree
+// variables, per Section 6).
+type Rewrite struct {
+	Result       algebra.Node
+	Participants []algebra.Node
+}
+
+// Rule is one transformation rule.
+type Rule struct {
+	// Name identifies the rule ("D2", "C10", "P3", ...).
+	Name string
+	// Type is the strongest equivalence type the rule preserves.
+	Type equiv.Type
+	// Doc is a one-line statement of the equivalence.
+	Doc string
+	// Expanding marks rules that grow the plan (e.g., introducing a
+	// duplicate elimination); the enumerator excludes them by default so
+	// that enumeration terminates (Section 6).
+	Expanding bool
+	// Apply matches the rule against the subtree rooted at n (a location
+	// in some plan) under the plan's static states; it returns nil when
+	// the rule does not apply there.
+	Apply func(n algebra.Node, st props.States) *Rewrite
+}
+
+// rw is a convenience constructor for Rewrite.
+func rw(result algebra.Node, participants ...algebra.Node) *Rewrite {
+	return &Rewrite{Result: result, Participants: participants}
+}
+
+// All returns the full rule catalog. The slice is freshly allocated; callers
+// may filter it (the enumerator's heuristics do).
+func All() []Rule {
+	var out []Rule
+	out = append(out, DupRules()...)
+	out = append(out, CoalRules()...)
+	out = append(out, SortRules()...)
+	out = append(out, ConventionalRules()...)
+	out = append(out, TransferRules()...)
+	return out
+}
+
+// ByName returns the named rules, panicking on unknown names (test helper).
+func ByName(names ...string) []Rule {
+	idx := make(map[string]Rule)
+	for _, r := range All() {
+		idx[r.Name] = r
+	}
+	out := make([]Rule, 0, len(names))
+	for _, n := range names {
+		r, ok := idx[n]
+		if !ok {
+			panic("rules: unknown rule " + n)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// NonExpanding filters the catalog to rules the enumerator may apply
+// without risking non-termination.
+func NonExpanding(rs []Rule) []Rule {
+	out := make([]Rule, 0, len(rs))
+	for _, r := range rs {
+		if !r.Expanding {
+			out = append(out, r)
+		}
+	}
+	return out
+}

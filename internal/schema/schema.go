@@ -1,0 +1,254 @@
+// Package schema implements relation schemas per Definition 2.1 of the
+// paper: a schema is (Σ, Δ, dom) — a finite set of attributes, a set of
+// domains, and a function associating a domain with each attribute. Because
+// tuples are stored positionally, our schemas additionally fix an attribute
+// order.
+//
+// Two reserved attribute names, T1 and T2, denote the start and end of a
+// temporal relation's time period (Section 2.3). A schema that contains both
+// is temporal; a schema that contains neither is a snapshot schema. The
+// conventional operations that have temporal counterparts (×, \, aggregation,
+// rdup) produce snapshot relations, so when applied to temporal arguments
+// they rename time attributes with an argument-index prefix — Figure 3 shows
+// rdup renaming T1 to "1.T1".
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"tqp/internal/value"
+)
+
+// T1 and T2 are the reserved names for the period start and end attributes
+// of temporal relations.
+const (
+	T1 = "T1"
+	T2 = "T2"
+)
+
+// Attribute is a named, typed column.
+type Attribute struct {
+	Name string
+	Kind value.Kind
+}
+
+// String renders "Name kind".
+func (a Attribute) String() string { return a.Name + " " + a.Kind.String() }
+
+// Schema is an ordered list of attributes with unique names.
+type Schema struct {
+	attrs  []Attribute
+	byName map[string]int
+	t1, t2 int // indices of T1/T2, or -1
+}
+
+// New builds a schema from the given attributes. It returns an error when a
+// name repeats, when a time attribute has a non-time domain, or when exactly
+// one of T1/T2 is present.
+func New(attrs ...Attribute) (*Schema, error) {
+	s := &Schema{
+		attrs:  append([]Attribute(nil), attrs...),
+		byName: make(map[string]int, len(attrs)),
+		t1:     -1,
+		t2:     -1,
+	}
+	for i, a := range s.attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("schema: attribute %d has empty name", i)
+		}
+		if _, dup := s.byName[a.Name]; dup {
+			return nil, fmt.Errorf("schema: duplicate attribute %q", a.Name)
+		}
+		s.byName[a.Name] = i
+		switch a.Name {
+		case T1:
+			if a.Kind != value.KindTime {
+				return nil, fmt.Errorf("schema: %s must have time domain, got %s", T1, a.Kind)
+			}
+			s.t1 = i
+		case T2:
+			if a.Kind != value.KindTime {
+				return nil, fmt.Errorf("schema: %s must have time domain, got %s", T2, a.Kind)
+			}
+			s.t2 = i
+		}
+	}
+	if (s.t1 >= 0) != (s.t2 >= 0) {
+		return nil, fmt.Errorf("schema: temporal schemas need both %s and %s", T1, T2)
+	}
+	return s, nil
+}
+
+// MustNew is New panicking on error; for literals in tests and examples.
+func MustNew(attrs ...Attribute) *Schema {
+	s, err := New(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Attr is shorthand for constructing an Attribute.
+func Attr(name string, kind value.Kind) Attribute { return Attribute{Name: name, Kind: kind} }
+
+// Len returns the number of attributes.
+func (s *Schema) Len() int { return len(s.attrs) }
+
+// At returns the i-th attribute.
+func (s *Schema) At(i int) Attribute { return s.attrs[i] }
+
+// Attributes returns a copy of the attribute list.
+func (s *Schema) Attributes() []Attribute { return append([]Attribute(nil), s.attrs...) }
+
+// Names returns the attribute names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Index returns the position of the named attribute, or -1.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Has reports whether the named attribute exists.
+func (s *Schema) Has(name string) bool { return s.Index(name) >= 0 }
+
+// KindOf returns the domain of the named attribute.
+func (s *Schema) KindOf(name string) (value.Kind, error) {
+	i := s.Index(name)
+	if i < 0 {
+		return value.KindInvalid, fmt.Errorf("schema: no attribute %q", name)
+	}
+	return s.attrs[i].Kind, nil
+}
+
+// Temporal reports whether the schema has the reserved T1/T2 attributes.
+func (s *Schema) Temporal() bool { return s.t1 >= 0 && s.t2 >= 0 }
+
+// TimeIndices returns the positions of T1 and T2; both are -1 for snapshot
+// schemas.
+func (s *Schema) TimeIndices() (t1, t2 int) { return s.t1, s.t2 }
+
+// NonTimeNames returns the names of all attributes except T1/T2. For a
+// temporal relation these are the "value-equivalence" attributes: tuples
+// with equal values on them are value-equivalent (Section 2.1).
+func (s *Schema) NonTimeNames() []string {
+	out := make([]string, 0, len(s.attrs))
+	for i, a := range s.attrs {
+		if i == s.t1 || i == s.t2 {
+			continue
+		}
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// Equal reports whether two schemas have identical attribute lists.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i := range s.attrs {
+		if s.attrs[i] != o.attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "(A int, B string, T1 time, T2 time)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, a := range s.attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Project returns the schema of a projection onto the named attributes, in
+// the given order. Names may repeat only if renamed by the caller; here they
+// must be unique.
+func (s *Schema) Project(names []string) (*Schema, error) {
+	attrs := make([]Attribute, 0, len(names))
+	for _, n := range names {
+		i := s.Index(n)
+		if i < 0 {
+			return nil, fmt.Errorf("schema: projection names unknown attribute %q", n)
+		}
+		attrs = append(attrs, s.attrs[i])
+	}
+	return New(attrs...)
+}
+
+// QualifyTime returns a copy of the schema in which the reserved time
+// attributes are renamed with the given argument-index prefix ("1." or
+// "2."), turning a temporal schema into a snapshot schema that retains the
+// period endpoints as ordinary data. This is the renaming the paper's
+// conventional operations apply to temporal arguments: the result of regular
+// duplicate elimination in Figure 3 carries attributes "1.T1" and "1.T2".
+func (s *Schema) QualifyTime(arg int) *Schema {
+	if !s.Temporal() {
+		return s
+	}
+	attrs := make([]Attribute, len(s.attrs))
+	copy(attrs, s.attrs)
+	attrs[s.t1].Name = fmt.Sprintf("%d.%s", arg, T1)
+	attrs[s.t2].Name = fmt.Sprintf("%d.%s", arg, T2)
+	out, err := New(attrs...)
+	if err != nil {
+		panic("schema: QualifyTime produced invalid schema: " + err.Error())
+	}
+	return out
+}
+
+// Concat returns the schema of a Cartesian product: the attributes of s
+// followed by those of o. Name clashes between the two sides are resolved by
+// prefixing the clashing attributes with "1." and "2." respectively, the
+// qualification convention of Section 4.3 (rule C9 removes "1.T1", "1.T2",
+// "2.T1", "2.T2" from a temporal product's schema).
+func (s *Schema) Concat(o *Schema) (*Schema, error) {
+	clash := make(map[string]bool)
+	for _, a := range o.attrs {
+		if s.Has(a.Name) {
+			clash[a.Name] = true
+		}
+	}
+	attrs := make([]Attribute, 0, s.Len()+o.Len())
+	for _, a := range s.attrs {
+		if clash[a.Name] {
+			a.Name = "1." + a.Name
+		}
+		attrs = append(attrs, a)
+	}
+	for _, a := range o.attrs {
+		if clash[a.Name] {
+			a.Name = "2." + a.Name
+		}
+		attrs = append(attrs, a)
+	}
+	return New(attrs...)
+}
+
+// Rename returns a copy of the schema with attribute old renamed to new.
+func (s *Schema) Rename(old, new string) (*Schema, error) {
+	i := s.Index(old)
+	if i < 0 {
+		return nil, fmt.Errorf("schema: rename of unknown attribute %q", old)
+	}
+	attrs := s.Attributes()
+	attrs[i].Name = new
+	return New(attrs...)
+}

@@ -1,0 +1,151 @@
+package schema
+
+import (
+	"testing"
+
+	"tqp/internal/value"
+)
+
+func temporalSchema(t *testing.T) *Schema {
+	t.Helper()
+	return MustNew(
+		Attr("Name", value.KindString),
+		Attr("Grp", value.KindInt),
+		Attr(T1, value.KindTime),
+		Attr(T2, value.KindTime),
+	)
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		attrs []Attribute
+		ok    bool
+	}{
+		{"plain", []Attribute{Attr("A", value.KindInt)}, true},
+		{"temporal", []Attribute{Attr("A", value.KindInt), Attr(T1, value.KindTime), Attr(T2, value.KindTime)}, true},
+		{"duplicate names", []Attribute{Attr("A", value.KindInt), Attr("A", value.KindString)}, false},
+		{"empty name", []Attribute{Attr("", value.KindInt)}, false},
+		{"half temporal", []Attribute{Attr(T1, value.KindTime)}, false},
+		{"T1 wrong domain", []Attribute{Attr(T1, value.KindInt), Attr(T2, value.KindTime)}, false},
+	}
+	for _, c := range cases {
+		_, err := New(c.attrs...)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: err=%v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestLookups(t *testing.T) {
+	s := temporalSchema(t)
+	if !s.Temporal() {
+		t.Error("schema should be temporal")
+	}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Index("Grp") != 1 || s.Index("missing") != -1 {
+		t.Error("Index")
+	}
+	if !s.Has(T1) || s.Has("1.T1") {
+		t.Error("Has")
+	}
+	if k, err := s.KindOf("Name"); err != nil || k != value.KindString {
+		t.Error("KindOf")
+	}
+	if _, err := s.KindOf("missing"); err == nil {
+		t.Error("KindOf should fail on missing attribute")
+	}
+	t1, t2 := s.TimeIndices()
+	if t1 != 2 || t2 != 3 {
+		t.Errorf("TimeIndices = %d, %d", t1, t2)
+	}
+	nt := s.NonTimeNames()
+	if len(nt) != 2 || nt[0] != "Name" || nt[1] != "Grp" {
+		t.Errorf("NonTimeNames = %v", nt)
+	}
+}
+
+func TestProject(t *testing.T) {
+	s := temporalSchema(t)
+	p, err := s.Project([]string{"Grp", "Name"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Temporal() {
+		t.Error("projection without periods should be a snapshot schema")
+	}
+	if p.At(0).Name != "Grp" || p.At(1).Name != "Name" {
+		t.Errorf("projection order: %s", p)
+	}
+	if _, err := s.Project([]string{"missing"}); err == nil {
+		t.Error("projection onto a missing attribute should fail")
+	}
+}
+
+func TestQualifyTime(t *testing.T) {
+	s := temporalSchema(t)
+	q := s.QualifyTime(1)
+	if q.Temporal() {
+		t.Error("qualified schema must be a snapshot schema")
+	}
+	if !q.Has("1."+T1) || !q.Has("1."+T2) || q.Has(T1) {
+		t.Errorf("QualifyTime: %s", q)
+	}
+	// Non-temporal schemas pass through unchanged.
+	plain := MustNew(Attr("A", value.KindInt))
+	if plain.QualifyTime(1) != plain {
+		t.Error("QualifyTime on a snapshot schema should be the identity")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	l := temporalSchema(t)
+	r := MustNew(Attr("Name", value.KindString), Attr("Prj", value.KindString))
+	// Clash on Name: both get qualified; time attributes pre-qualified by
+	// the caller in product derivations — here test raw Concat clash logic.
+	c, err := l.QualifyTime(1).Concat(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Has("1.Name") || !c.Has("2.Name") || c.Has("Name") {
+		t.Errorf("clash qualification: %s", c)
+	}
+	if !c.Has("Grp") || !c.Has("Prj") {
+		t.Errorf("non-clashing attributes survive unqualified: %s", c)
+	}
+}
+
+func TestRename(t *testing.T) {
+	s := temporalSchema(t)
+	r, err := s.Rename("Grp", "Group")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Has("Group") || r.Has("Grp") {
+		t.Errorf("Rename: %s", r)
+	}
+	if _, err := s.Rename("missing", "x"); err == nil {
+		t.Error("renaming a missing attribute should fail")
+	}
+	if _, err := s.Rename("Grp", "Name"); err == nil {
+		t.Error("renaming onto an existing name should fail")
+	}
+}
+
+func TestEqualAndString(t *testing.T) {
+	a := temporalSchema(t)
+	b := temporalSchema(t)
+	if !a.Equal(b) {
+		t.Error("identical schemas must be equal")
+	}
+	c := MustNew(Attr("Name", value.KindString))
+	if a.Equal(c) {
+		t.Error("different schemas must differ")
+	}
+	want := "(Name string, Grp int, T1 time, T2 time)"
+	if a.String() != want {
+		t.Errorf("String = %q, want %q", a.String(), want)
+	}
+}

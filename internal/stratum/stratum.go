@@ -1,0 +1,190 @@
+// Package stratum implements the layered architecture's executor
+// (Section 2.1): a plan's operations above any TS transfer run in the
+// stratum (the temporal layer), everything below a TS is shipped to the
+// simulated conventional DBMS, and TD transfers send intermediate stratum
+// results back down. The executor validates the division of labour,
+// collects the SQL shipped to the DBMS, counts transferred tuples, and
+// meters simulated cost units per site so experiments can report
+// deterministic measurements alongside wall-clock times.
+package stratum
+
+import (
+	"fmt"
+	"math"
+
+	"tqp/internal/algebra"
+	"tqp/internal/catalog"
+	"tqp/internal/cost"
+	"tqp/internal/dbms"
+	"tqp/internal/eval"
+	"tqp/internal/relation"
+)
+
+// Trace is the execution record of one plan.
+type Trace struct {
+	// SQL lists the statements shipped to the DBMS, outermost first.
+	SQL []string
+	// TuplesTransferred counts tuples crossing the stratum/DBMS boundary
+	// in either direction.
+	TuplesTransferred int
+	// StratumUnits and DBMSUnits are simulated per-site work units,
+	// computed from actual intermediate cardinalities with the cost
+	// model's per-operation weights.
+	StratumUnits float64
+	DBMSUnits    float64
+	// TransferUnits is the simulated transfer cost.
+	TransferUnits float64
+}
+
+// TotalUnits is the simulated total cost of the run.
+func (t *Trace) TotalUnits() float64 { return t.StratumUnits + t.DBMSUnits + t.TransferUnits }
+
+// Executor runs layered plans.
+type Executor struct {
+	cat    *catalog.Catalog
+	engine *dbms.Engine
+	params cost.Params
+}
+
+// New returns an executor over the catalog whose DBMS uses the given
+// order-nondeterminism seed.
+func New(cat *catalog.Catalog, seed int64) *Executor {
+	x := &Executor{cat: cat, engine: dbms.New(cat, seed), params: cost.DefaultParams()}
+	return x
+}
+
+// Execute runs the plan and returns its result with a trace.
+func (x *Executor) Execute(plan algebra.Node) (*relation.Relation, *Trace, error) {
+	tr := &Trace{}
+	x.engine.SetStratumCallback(func(n algebra.Node) (*relation.Relation, error) {
+		r, err := x.exec(n, tr)
+		if err != nil {
+			return nil, err
+		}
+		tr.TuplesTransferred += r.Len()
+		tr.TransferUnits += float64(r.Len()) * x.params.TransferTuple
+		return r, nil
+	})
+	r, err := x.exec(plan, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, tr, nil
+}
+
+// ValidateSites checks the division of labour: every base relation must sit
+// below a TS (base data lives in the DBMS), and transfers must alternate
+// sites correctly.
+func ValidateSites(plan algebra.Node) error {
+	return validateSites(plan, true)
+}
+
+func validateSites(n algebra.Node, inStratum bool) error {
+	switch n.Op() {
+	case algebra.OpRel:
+		if inStratum {
+			return fmt.Errorf("stratum: base relation %s accessed outside the DBMS (missing TS)", n.Label())
+		}
+		return nil
+	case algebra.OpTransferS:
+		if !inStratum {
+			return fmt.Errorf("stratum: TS nested inside a DBMS region")
+		}
+		return validateSites(n.Children()[0], false)
+	case algebra.OpTransferD:
+		if inStratum {
+			return fmt.Errorf("stratum: TD in the stratum region (it marks DBMS input)")
+		}
+		return validateSites(n.Children()[0], true)
+	default:
+		for _, c := range n.Children() {
+			if err := validateSites(c, inStratum); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func (x *Executor) exec(n algebra.Node, tr *Trace) (*relation.Relation, error) {
+	switch n.Op() {
+	case algebra.OpRel:
+		return nil, fmt.Errorf("stratum: base relation %s accessed in the stratum; wrap it in TS", n.Label())
+	case algebra.OpTransferS:
+		res, err := x.engine.Execute(n.Children()[0])
+		if err != nil {
+			return nil, err
+		}
+		tr.SQL = append(tr.SQL, res.SQL)
+		tr.TuplesTransferred += res.Rel.Len()
+		tr.TransferUnits += float64(res.Rel.Len()) * x.params.TransferTuple
+		x.meterDBMS(n.Children()[0], res.Rel.Len(), tr)
+		return res.Rel, nil
+	case algebra.OpTransferD:
+		return nil, fmt.Errorf("stratum: TD outside a DBMS region")
+	}
+
+	ch := n.Children()
+	src := make(eval.MapSource)
+	newCh := make([]algebra.Node, len(ch))
+	inRows := 0
+	for i, c := range ch {
+		r, err := x.exec(c, tr)
+		if err != nil {
+			return nil, err
+		}
+		inRows += r.Len()
+		name := fmt.Sprintf("@stratum%d", i)
+		src[name] = r
+		newCh[i] = algebra.NewRel(name, r.Schema(), algebra.BaseInfo{Order: r.Order()})
+	}
+	out, err := eval.New(src).Eval(n.WithChildren(newCh...))
+	if err != nil {
+		return nil, err
+	}
+	tr.StratumUnits += opUnits(n, inRows, x.params.StratumTuple, 1)
+	return out, nil
+}
+
+// meterDBMS charges simulated DBMS work for a shipped subplan. Without
+// instrumenting the engine's internals we charge each operation with the
+// subplan's output cardinality as a proxy; the relative penalties
+// (temporal ops expensive, sorts cheap) are what the experiments exercise.
+func (x *Executor) meterDBMS(subplan algebra.Node, outRows int, tr *Trace) {
+	algebra.Walk(subplan, func(n algebra.Node, _ algebra.Path) bool {
+		if n.Op() == algebra.OpRel {
+			return true
+		}
+		penalty := 1.0
+		if n.Op().Temporal() {
+			penalty = x.params.DBMSTemporalPenalty
+		}
+		if n.Op() == algebra.OpSort {
+			penalty = x.params.DBMSSortFactor
+		}
+		tr.DBMSUnits += opUnits(n, outRows, x.params.DBMSTuple, penalty)
+		return true
+	})
+}
+
+// opUnits assigns simulated work units to one operation over the given
+// input cardinality.
+func opUnits(n algebra.Node, rows int, tupleCost, penalty float64) float64 {
+	r := float64(rows)
+	logR := 1.0
+	if r >= 2 {
+		logR = math.Log2(r)
+	}
+	switch n.Op() {
+	case algebra.OpSort:
+		return r * logR * tupleCost * penalty
+	case algebra.OpProduct, algebra.OpTProduct, algebra.OpJoin, algebra.OpTJoin:
+		return r * r * tupleCost * penalty / 4
+	case algebra.OpTDiff, algebra.OpTRdup, algebra.OpTAggregate, algebra.OpTUnion, algebra.OpCoal:
+		return r * logR * tupleCost * penalty * 2
+	case algebra.OpTransferS, algebra.OpTransferD:
+		return 0
+	default:
+		return r * tupleCost * penalty
+	}
+}

@@ -1,0 +1,130 @@
+package stratum_test
+
+import (
+	"strings"
+	"testing"
+
+	"tqp/internal/algebra"
+	"tqp/internal/catalog"
+	"tqp/internal/equiv"
+	"tqp/internal/eval"
+	"tqp/internal/relation"
+	"tqp/internal/stratum"
+)
+
+func TestValidateSites(t *testing.T) {
+	c := catalog.Paper()
+	good := catalog.PaperOptimizedPlan(c)
+	if err := stratum.ValidateSites(good); err != nil {
+		t.Errorf("paper plan should validate: %v", err)
+	}
+	// A naked base relation in the stratum is a division-of-labour error.
+	naked := algebra.NewTRdup(catalog.PaperProjection(c.MustNode("EMPLOYEE")))
+	if err := stratum.ValidateSites(naked); err == nil {
+		t.Error("base relation outside the DBMS must be rejected")
+	}
+	// Nested TS inside a DBMS region.
+	nested := algebra.NewTransferS(algebra.NewTransferS(c.MustNode("EMPLOYEE")))
+	if err := stratum.ValidateSites(nested); err == nil {
+		t.Error("nested TS must be rejected")
+	}
+	// TD round-trip: stratum work shipped back into the DBMS.
+	roundTrip := algebra.NewTransferS(
+		algebra.NewSort(relation.OrderSpec{relation.Key("EmpName")},
+			algebra.NewTransferD(
+				algebra.NewCoal(algebra.NewTRdup(
+					algebra.NewTransferS(catalog.PaperProjection(c.MustNode("EMPLOYEE"))))))))
+	if err := stratum.ValidateSites(roundTrip); err != nil {
+		t.Errorf("TD round trip should validate: %v", err)
+	}
+}
+
+func TestExecuteMatchesReference(t *testing.T) {
+	c := catalog.Paper()
+	ev := eval.New(c)
+	for name, plan := range map[string]algebra.Node{
+		"initial":      catalog.PaperInitialPlan(c),
+		"intermediate": catalog.PaperIntermediatePlan(c),
+		"optimized":    catalog.PaperOptimizedPlan(c),
+	} {
+		want, err := ev.Eval(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, trace, err := stratum.New(c, 3).Execute(plan)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// The layered execution must agree with the reference result under
+		// ≡SQL for the ORDER BY EmpName list query.
+		ok, err := equiv.CheckSQL(equiv.ResultList,
+			relation.OrderSpec{relation.Key("EmpName")}, want, got)
+		if err != nil || !ok {
+			t.Errorf("%s: layered execution diverges (err=%v):\n%s\nvs reference\n%s",
+				name, err, got, want)
+		}
+		if trace.TuplesTransferred == 0 {
+			t.Errorf("%s: no tuples crossed the boundary?", name)
+		}
+		if trace.TotalUnits() <= 0 {
+			t.Errorf("%s: no simulated work metered", name)
+		}
+	}
+}
+
+func TestTraceSQLCollected(t *testing.T) {
+	c := catalog.Paper()
+	_, trace, err := stratum.New(c, 1).Execute(catalog.PaperOptimizedPlan(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.SQL) != 2 {
+		t.Fatalf("expected 2 shipped statements, got %d", len(trace.SQL))
+	}
+	joined := strings.Join(trace.SQL, "\n---\n")
+	for _, want := range []string{"EMPLOYEE", "PROJECT", "ORDER BY EmpName"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("shipped SQL missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestDivisionOfLabour(t *testing.T) {
+	c := catalog.Paper()
+	_, trInitial, err := stratum.New(c, 1).Execute(catalog.PaperInitialPlan(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, trOpt, err := stratum.New(c, 1).Execute(catalog.PaperOptimizedPlan(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The initial plan executes the temporal operations inside the DBMS at
+	// a heavy penalty; the optimized plan moves them into the stratum.
+	if trInitial.DBMSUnits <= trOpt.DBMSUnits {
+		t.Errorf("initial plan should burn more DBMS units: %.0f vs %.0f",
+			trInitial.DBMSUnits, trOpt.DBMSUnits)
+	}
+	if trOpt.StratumUnits <= trInitial.StratumUnits {
+		t.Errorf("optimized plan should do the temporal work in the stratum: %.0f vs %.0f",
+			trOpt.StratumUnits, trInitial.StratumUnits)
+	}
+	if trOpt.TotalUnits() >= trInitial.TotalUnits() {
+		t.Errorf("optimized plan should be cheaper overall: %.0f vs %.0f",
+			trOpt.TotalUnits(), trInitial.TotalUnits())
+	}
+}
+
+func TestErrorsSurface(t *testing.T) {
+	c := catalog.Paper()
+	// Executing a plan with a naked Rel errors cleanly.
+	naked := algebra.NewTRdup(catalog.PaperProjection(c.MustNode("EMPLOYEE")))
+	if _, _, err := stratum.New(c, 1).Execute(naked); err == nil {
+		t.Error("expected an error for a stratum-side base relation")
+	}
+	// Unknown relation inside the DBMS region.
+	ghost := algebra.NewTransferS(algebra.NewRel("GHOST", catalog.EmployeeSchema(), algebra.BaseInfo{}))
+	if _, _, err := stratum.New(c, 1).Execute(ghost); err == nil {
+		t.Error("expected an error for an unknown base relation")
+	}
+}

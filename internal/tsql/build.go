@@ -1,0 +1,230 @@
+package tsql
+
+import (
+	"fmt"
+
+	"tqp/internal/algebra"
+	"tqp/internal/catalog"
+	"tqp/internal/equiv"
+	"tqp/internal/expr"
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+)
+
+// Query is a parsed statement.
+type Query struct {
+	ast  *queryAST
+	Text string
+}
+
+// ResultType derives the query's result type per Definition 5.1: a list
+// when ORDER BY is present at the outermost level, a set when DISTINCT is
+// present without ORDER BY, and a multiset otherwise.
+func (q *Query) ResultType() equiv.ResultType {
+	switch {
+	case len(q.ast.orderBy) > 0:
+		return equiv.ResultList
+	case q.ast.selects[0].distinct:
+		return equiv.ResultSet
+	default:
+		return equiv.ResultMultiset
+	}
+}
+
+// OrderBy returns the outermost ORDER BY list (the A of ≡L,A).
+func (q *Query) OrderBy() relation.OrderSpec { return q.ast.orderBy }
+
+// ValidTime reports whether the statement is sequenced.
+func (q *Query) ValidTime() bool { return q.ast.validTime }
+
+// Plan maps the query to its initial algebra expression over the catalog,
+// following the paper's straightforward mapping (Section 2.1): the query is
+// computed entirely in the DBMS and the final TS transfers the result to
+// the stratum; sorting, coalescing and temporal duplicate elimination are
+// applied on top to obtain the user-required format.
+func (q *Query) Plan(cat *catalog.Catalog) (algebra.Node, error) {
+	vt := q.ast.validTime
+	branches := make([]algebra.Node, len(q.ast.selects))
+	for i, sel := range q.ast.selects {
+		b, err := buildSelect(sel, cat, vt)
+		if err != nil {
+			return nil, err
+		}
+		branches[i] = b
+	}
+	plan := branches[0]
+	compound := len(branches) > 1
+	for i, op := range q.ast.setOps {
+		right := branches[i+1]
+		switch {
+		case op == "UNION ALL":
+			plan = algebra.NewUnionAll(plan, right)
+		case op == "UNION" && vt:
+			plan = algebra.NewTUnion(plan, right)
+		case op == "UNION":
+			plan = algebra.NewUnion(plan, right)
+		case op == "EXCEPT" && vt:
+			plan = algebra.NewTDiff(plan, right)
+		case op == "EXCEPT":
+			plan = algebra.NewDiff(plan, right)
+		case op == "INTERSECT" && vt:
+			// Multiset intersection as the derived form l \ᵀ (l \ᵀ r):
+			// per instant, min(n1, n2) occurrences survive.
+			plan = algebra.NewTDiff(plan, algebra.NewTDiff(plan, right))
+		default: // INTERSECT, nonsequenced
+			plan = algebra.NewDiff(plan, algebra.NewDiff(plan, right))
+		}
+	}
+	head := q.ast.selects[0]
+	// For a compound query the per-branch duplicate eliminations do not
+	// make the combined result duplicate-free; re-apply at the top.
+	if head.distinct && compound {
+		if vt {
+			plan = algebra.NewTRdup(plan)
+		} else {
+			plan = algebra.NewRdup(plan)
+		}
+	}
+	if head.coalesced {
+		if !vt {
+			return nil, fmt.Errorf("tsql: COALESCED requires a VALIDTIME query")
+		}
+		plan = algebra.NewCoal(plan)
+	}
+	if len(q.ast.orderBy) > 0 {
+		plan = algebra.NewSort(q.ast.orderBy, plan)
+	}
+	plan = algebra.NewTransferS(plan)
+	if err := algebra.Validate(plan); err != nil {
+		return nil, fmt.Errorf("tsql: %w", err)
+	}
+	return plan, nil
+}
+
+// buildSelect maps one SELECT block.
+func buildSelect(sel *selectAST, cat *catalog.Catalog, vt bool) (algebra.Node, error) {
+	if len(sel.from) == 0 {
+		return nil, fmt.Errorf("tsql: empty FROM")
+	}
+	var plan algebra.Node
+	for i, name := range sel.from {
+		rel, err := cat.Node(name)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			plan = rel
+			continue
+		}
+		if vt {
+			plan = algebra.NewTProduct(plan, rel)
+		} else {
+			plan = algebra.NewProduct(plan, rel)
+		}
+	}
+	if sel.where != nil {
+		plan = algebra.NewSelect(sel.where, plan)
+	}
+
+	var aggs []expr.Aggregate
+	var items []algebra.ProjItem
+	for _, it := range sel.items {
+		switch {
+		case it.agg != nil:
+			a := *it.agg
+			if a.As == "" {
+				a.As = it.as
+			}
+			if it.as != "" {
+				a.As = it.as
+			}
+			if a.As == "" {
+				a.As = defaultAggName(a)
+			}
+			aggs = append(aggs, a)
+		default:
+			as := it.as
+			if as == "" {
+				if c, ok := it.e.(expr.Col); ok {
+					as = c.Name
+				} else {
+					as = it.e.String()
+				}
+			}
+			items = append(items, algebra.ProjItem{Expr: it.e, As: as})
+		}
+	}
+
+	switch {
+	case len(aggs) > 0:
+		groupBy := sel.groupBy
+		// Plain selected columns must be grouping attributes.
+		for _, it := range items {
+			c, ok := it.Expr.(expr.Col)
+			if !ok || !contains(groupBy, c.Name) {
+				return nil, fmt.Errorf("tsql: non-aggregated item %s must appear in GROUP BY", it)
+			}
+		}
+		if vt {
+			plan = algebra.NewTAggregate(groupBy, aggs, plan)
+		} else {
+			plan = algebra.NewAggregate(groupBy, aggs, plan)
+		}
+	case sel.star:
+		// No projection.
+	case len(items) > 0:
+		if vt {
+			items = ensurePeriod(items)
+		}
+		plan = algebra.NewProject(items, plan)
+	}
+
+	if sel.distinct {
+		if vt {
+			plan = algebra.NewTRdup(plan)
+		} else {
+			plan = algebra.NewRdup(plan)
+		}
+	}
+	return plan, nil
+}
+
+// ensurePeriod appends the reserved time attributes to a sequenced
+// projection when the statement did not name them: a VALIDTIME query's
+// result carries the periods implicitly.
+func ensurePeriod(items []algebra.ProjItem) []algebra.ProjItem {
+	hasT1, hasT2 := false, false
+	for _, it := range items {
+		if it.As == schema.T1 {
+			hasT1 = true
+		}
+		if it.As == schema.T2 {
+			hasT2 = true
+		}
+	}
+	if !hasT1 {
+		items = append(items, algebra.ColItem(schema.T1))
+	}
+	if !hasT2 {
+		items = append(items, algebra.ColItem(schema.T2))
+	}
+	return items
+}
+
+func defaultAggName(a expr.Aggregate) string {
+	switch a.Func {
+	case expr.CountAll:
+		return "count"
+	default:
+		return fmt.Sprintf("%s_%s", a.Func, a.Arg)
+	}
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

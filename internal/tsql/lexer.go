@@ -1,0 +1,145 @@
+// Package tsql implements the user-level query language of the examples: a
+// small temporal SQL dialect. It is one concrete instance of the
+// "user-level temporal query language" the paper's foundation is
+// deliberately independent of (Section 1): the parser maps statements to
+// initial algebra expressions, derives the query's result type per
+// Definition 5.1 (DISTINCT / ORDER BY at the outermost level), and supports
+// both statement classes of Section 2.2 — sequenced statements with
+// built-in temporal semantics (the VALIDTIME prefix, mapping to the
+// snapshot-reducible temporal operations) and nonsequenced statements that
+// manipulate the period endpoints T1/T2 as explicit data.
+//
+// Grammar sketch:
+//
+//	query   := [VALIDTIME] select { (UNION [ALL] | EXCEPT | INTERSECT) select } [ORDER BY keys]
+//	select  := SELECT [DISTINCT] [COALESCED] items FROM rel {, rel}
+//	           [WHERE pred] [GROUP BY names]
+//	items   := * | item {, item};  item := expr [AS name] | agg(name) [AS name]
+//	pred    := disjunctions/conjunctions/NOT over comparisons and
+//	           PERIOD(a,b) OVERLAPS|CONTAINS|MEETS|PRECEDES PERIOD(c,d)
+package tsql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // ( ) , * + - / =
+	tokCompare // < <= > >= <> =
+	tokKeyword
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "ORDER": true, "ASC": true, "DESC": true,
+	"AND": true, "OR": true, "NOT": true, "AS": true, "UNION": true,
+	"ALL": true, "EXCEPT": true, "INTERSECT": true, "VALIDTIME": true, "COALESCED": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"TRUE": true, "FALSE": true, "PERIOD": true, "OVERLAPS": true,
+	"CONTAINS": true, "MEETS": true, "PRECEDES": true,
+}
+
+type lexer struct {
+	in  string
+	pos int
+}
+
+// lex tokenizes the whole input.
+func lex(in string) ([]token, error) {
+	l := &lexer{in: in}
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.in) && unicode.IsSpace(rune(l.in[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.in) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.in[l.pos]
+	switch {
+	case c == '\'':
+		l.pos++
+		for l.pos < len(l.in) && l.in[l.pos] != '\'' {
+			l.pos++
+		}
+		if l.pos >= len(l.in) {
+			return token{}, fmt.Errorf("tsql: unterminated string at %d", start)
+		}
+		text := l.in[start+1 : l.pos]
+		l.pos++
+		return token{kind: tokString, text: text, pos: start}, nil
+	case isDigit(c):
+		for l.pos < len(l.in) && isDigit(l.in[l.pos]) {
+			l.pos++
+		}
+		// "1.EmpName" is a qualified identifier; "1.5" is a number.
+		if l.pos+1 < len(l.in) && l.in[l.pos] == '.' && isIdentStart(l.in[l.pos+1]) {
+			l.pos++ // consume dot
+			for l.pos < len(l.in) && isIdentChar(l.in[l.pos]) {
+				l.pos++
+			}
+			return token{kind: tokIdent, text: l.in[start:l.pos], pos: start}, nil
+		}
+		if l.pos < len(l.in) && l.in[l.pos] == '.' {
+			l.pos++
+			for l.pos < len(l.in) && isDigit(l.in[l.pos]) {
+				l.pos++
+			}
+		}
+		return token{kind: tokNumber, text: l.in[start:l.pos], pos: start}, nil
+	case isIdentStart(c):
+		for l.pos < len(l.in) && isIdentChar(l.in[l.pos]) {
+			l.pos++
+		}
+		text := l.in[start:l.pos]
+		if keywords[strings.ToUpper(text)] {
+			return token{kind: tokKeyword, text: strings.ToUpper(text), pos: start}, nil
+		}
+		return token{kind: tokIdent, text: text, pos: start}, nil
+	case c == '<' || c == '>':
+		l.pos++
+		if l.pos < len(l.in) && (l.in[l.pos] == '=' || (c == '<' && l.in[l.pos] == '>')) {
+			l.pos++
+		}
+		return token{kind: tokCompare, text: l.in[start:l.pos], pos: start}, nil
+	case c == '=':
+		l.pos++
+		return token{kind: tokCompare, text: "=", pos: start}, nil
+	case strings.ContainsRune("(),*+-/", rune(c)):
+		l.pos++
+		return token{kind: tokSymbol, text: string(c), pos: start}, nil
+	default:
+		return token{}, fmt.Errorf("tsql: unexpected character %q at %d", c, start)
+	}
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || unicode.IsLetter(rune(c)) }
+func isIdentChar(c byte) bool  { return isIdentStart(c) || isDigit(c) || c == '.' }

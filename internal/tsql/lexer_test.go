@@ -1,0 +1,90 @@
+package tsql
+
+import "testing"
+
+func kinds(ts []token) []tokenKind {
+	out := make([]tokenKind, len(ts))
+	for i, t := range ts {
+		out[i] = t.kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	ts, err := lex("SELECT EmpName, 42 FROM EMPLOYEE WHERE Dept = 'Sales'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tokenKind{
+		tokKeyword, tokIdent, tokSymbol, tokNumber, tokKeyword, tokIdent,
+		tokKeyword, tokIdent, tokCompare, tokString, tokEOF,
+	}
+	got := kinds(ts)
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d kind = %v, want %v (%q)", i, got[i], want[i], ts[i].text)
+		}
+	}
+	if ts[0].text != "SELECT" {
+		t.Error("keywords are upper-cased")
+	}
+	if ts[9].text != "Sales" {
+		t.Error("string content is unquoted")
+	}
+}
+
+func TestLexQualifiedIdentifiers(t *testing.T) {
+	ts, err := lex("1.EmpName 2.T1 1.5 12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[0].kind != tokIdent || ts[0].text != "1.EmpName" {
+		t.Errorf("1.EmpName lexes as %v %q", ts[0].kind, ts[0].text)
+	}
+	if ts[1].kind != tokIdent || ts[1].text != "2.T1" {
+		t.Errorf("2.T1 lexes as %v %q", ts[1].kind, ts[1].text)
+	}
+	if ts[2].kind != tokNumber || ts[2].text != "1.5" {
+		t.Errorf("1.5 lexes as %v %q", ts[2].kind, ts[2].text)
+	}
+	if ts[3].kind != tokNumber || ts[3].text != "12" {
+		t.Errorf("12 lexes as %v %q", ts[3].kind, ts[3].text)
+	}
+}
+
+func TestLexComparators(t *testing.T) {
+	ts, err := lex("< <= > >= <> =")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTexts := []string{"<", "<=", ">", ">=", "<>", "="}
+	for i, want := range wantTexts {
+		if ts[i].kind != tokCompare || ts[i].text != want {
+			t.Errorf("token %d = %v %q, want compare %q", i, ts[i].kind, ts[i].text, want)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lex("'unterminated"); err == nil {
+		t.Error("unterminated string must fail")
+	}
+	if _, err := lex("a ! b"); err == nil {
+		t.Error("unknown character must fail")
+	}
+}
+
+func TestLexCaseInsensitiveKeywords(t *testing.T) {
+	ts, err := lex("select Distinct validtime intersect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"SELECT", "DISTINCT", "VALIDTIME", "INTERSECT"} {
+		if ts[i].kind != tokKeyword || ts[i].text != want {
+			t.Errorf("token %d = %v %q, want keyword %q", i, ts[i].kind, ts[i].text, want)
+		}
+	}
+}

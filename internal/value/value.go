@@ -1,0 +1,294 @@
+// Package value implements the typed attribute values of the algebra.
+//
+// The paper's relations hold values drawn from a set of domains Δ
+// (Definition 2.1); we provide integer, float, string, boolean and time
+// domains. Values carry their domain and compare under a total order, which
+// the list-based algebra needs for sorting, duplicate detection and
+// equivalence checks.
+package value
+
+import (
+	"fmt"
+	"strconv"
+
+	"tqp/internal/period"
+)
+
+// Kind identifies a value's domain.
+type Kind uint8
+
+// The supported domains. KindTime is the time domain T of the paper; its
+// values are chronons.
+const (
+	KindInvalid Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+	KindTime
+)
+
+// String returns the domain name as used in schema declarations.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	case KindTime:
+		return "time"
+	default:
+		return "invalid"
+	}
+}
+
+// ParseKind converts a domain name to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "int":
+		return KindInt, nil
+	case "float":
+		return KindFloat, nil
+	case "string":
+		return KindString, nil
+	case "bool":
+		return KindBool, nil
+	case "time":
+		return KindTime, nil
+	default:
+		return KindInvalid, fmt.Errorf("value: unknown domain %q", s)
+	}
+}
+
+// Value is a single attribute value. The zero Value is invalid.
+type Value struct {
+	kind Kind
+	i    int64 // int, bool (0/1), time (chronon)
+	f    float64
+	s    string
+}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String_ returns a string value. (Named with a trailing underscore because
+// String is the Stringer method.)
+func String_(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Time returns a time-domain value holding the given chronon.
+func Time(t period.Chronon) Value { return Value{kind: KindTime, i: int64(t)} }
+
+// Kind returns the value's domain.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsValid reports whether v holds a value of some domain.
+func (v Value) IsValid() bool { return v.kind != KindInvalid }
+
+// AsInt returns the integer content; it panics on other kinds.
+func (v Value) AsInt() int64 {
+	v.mustBe(KindInt)
+	return v.i
+}
+
+// AsFloat returns the float content; it panics on other kinds.
+func (v Value) AsFloat() float64 {
+	v.mustBe(KindFloat)
+	return v.f
+}
+
+// AsString returns the string content; it panics on other kinds.
+func (v Value) AsString() string {
+	v.mustBe(KindString)
+	return v.s
+}
+
+// AsBool returns the boolean content; it panics on other kinds.
+func (v Value) AsBool() bool {
+	v.mustBe(KindBool)
+	return v.i != 0
+}
+
+// AsTime returns the chronon content; it panics on other kinds.
+func (v Value) AsTime() period.Chronon {
+	v.mustBe(KindTime)
+	return period.Chronon(v.i)
+}
+
+func (v Value) mustBe(k Kind) {
+	if v.kind != k {
+		panic(fmt.Sprintf("value: %s used as %s", v.kind, k))
+	}
+}
+
+// Numeric reports whether v belongs to a numeric domain (int or float).
+func (v Value) Numeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// NumericValue returns the value as a float64 for arithmetic; it accepts
+// both numeric kinds and panics otherwise.
+func (v Value) NumericValue() float64 {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i)
+	case KindFloat:
+		return v.f
+	default:
+		panic(fmt.Sprintf("value: %s used as numeric", v.kind))
+	}
+}
+
+// Equal reports value equality. Values of different domains are never equal,
+// except that int and float compare numerically, matching SQL comparison
+// semantics across numeric types.
+func (v Value) Equal(w Value) bool { return v.Compare(w) == 0 }
+
+// Compare imposes a total order over values: first by domain (with the two
+// numeric domains merged), then by content. It is the comparison used by
+// sorting, duplicate elimination and the equivalence checks.
+func (v Value) Compare(w Value) int {
+	vr, wr := v.rank(), w.rank()
+	if vr != wr {
+		if vr < wr {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case v.Numeric():
+		a, b := v.NumericValue(), w.NumericValue()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	case v.kind == KindString:
+		switch {
+		case v.s < w.s:
+			return -1
+		case v.s > w.s:
+			return 1
+		}
+		return 0
+	default: // bool, time
+		switch {
+		case v.i < w.i:
+			return -1
+		case v.i > w.i:
+			return 1
+		}
+		return 0
+	}
+}
+
+func (v Value) rank() int {
+	switch v.kind {
+	case KindInt, KindFloat:
+		return 1
+	case KindString:
+		return 2
+	case KindBool:
+		return 3
+	case KindTime:
+		return 4
+	default:
+		return 0
+	}
+}
+
+// Key returns a compact string usable as a map key for hashing tuples.
+// Distinct values have distinct keys within a domain rank.
+func (v Value) Key() string {
+	switch v.kind {
+	case KindInt:
+		return "i" + strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		// Integral floats share keys with ints, mirroring Compare.
+		if v.f == float64(int64(v.f)) {
+			return "i" + strconv.FormatInt(int64(v.f), 10)
+		}
+		return "f" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return "s" + v.s
+	case KindBool:
+		if v.i != 0 {
+			return "bT"
+		}
+		return "bF"
+	case KindTime:
+		return "t" + strconv.FormatInt(v.i, 10)
+	default:
+		return "?"
+	}
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindTime:
+		return strconv.FormatInt(v.i, 10)
+	default:
+		return "<invalid>"
+	}
+}
+
+// Parse converts a literal string into a value of the given domain.
+func Parse(k Kind, s string) (Value, error) {
+	switch k {
+	case KindInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("value: bad int literal %q: %v", s, err)
+		}
+		return Int(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("value: bad float literal %q: %v", s, err)
+		}
+		return Float(f), nil
+	case KindString:
+		return String_(s), nil
+	case KindBool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return Value{}, fmt.Errorf("value: bad bool literal %q: %v", s, err)
+		}
+		return Bool(b), nil
+	case KindTime:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("value: bad time literal %q: %v", s, err)
+		}
+		return Time(period.Chronon(i)), nil
+	default:
+		return Value{}, fmt.Errorf("value: cannot parse into domain %v", k)
+	}
+}

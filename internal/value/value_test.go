@@ -1,0 +1,177 @@
+package value
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tqp/internal/period"
+)
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindInt, KindFloat, KindString, KindBool, KindTime} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Error("ParseKind should reject unknown names")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	if Int(7).AsInt() != 7 {
+		t.Error("Int accessor")
+	}
+	if Float(2.5).AsFloat() != 2.5 {
+		t.Error("Float accessor")
+	}
+	if String_("x").AsString() != "x" {
+		t.Error("String accessor")
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("Bool accessor")
+	}
+	if Time(9).AsTime() != period.Chronon(9) {
+		t.Error("Time accessor")
+	}
+	if (Value{}).IsValid() {
+		t.Error("zero Value must be invalid")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("cross-kind accessor should panic")
+		}
+	}()
+	Int(1).AsString()
+}
+
+func TestNumericComparison(t *testing.T) {
+	// Int and float compare numerically, like SQL.
+	if !Int(3).Equal(Float(3.0)) {
+		t.Error("3 should equal 3.0")
+	}
+	if Int(3).Compare(Float(3.5)) >= 0 {
+		t.Error("3 < 3.5")
+	}
+	if Int(3).Key() != Float(3.0).Key() {
+		t.Error("equal values must share keys")
+	}
+	if Int(3).Key() == Float(3.5).Key() {
+		t.Error("distinct values must have distinct keys")
+	}
+}
+
+func TestCrossKindOrder(t *testing.T) {
+	// Values of different domains order by domain rank, never panic.
+	vs := []Value{Int(1), Float(2.5), String_("a"), Bool(true), Time(4)}
+	for _, a := range vs {
+		for _, b := range vs {
+			c1, c2 := a.Compare(b), b.Compare(a)
+			if c1 != -c2 {
+				t.Errorf("Compare(%v,%v) not antisymmetric", a, b)
+			}
+		}
+	}
+}
+
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return Int(int64(r.Intn(20) - 10))
+	case 1:
+		return Float(float64(r.Intn(40))/4 - 5)
+	case 2:
+		return String_(string(rune('a' + r.Intn(5))))
+	case 3:
+		return Bool(r.Intn(2) == 0)
+	default:
+		return Time(period.Chronon(r.Intn(20)))
+	}
+}
+
+// TestCompareTotalOrder: Compare is reflexive, antisymmetric and
+// transitive on random triples, and Equal agrees with Compare==0, and keys
+// agree with equality.
+func TestCompareTotalOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomValue(r), randomValue(r), randomValue(r)
+		if a.Compare(a) != 0 {
+			return false
+		}
+		if a.Compare(b) != -b.Compare(a) {
+			return false
+		}
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+			return false
+		}
+		if (a.Compare(b) == 0) != a.Equal(b) {
+			return false
+		}
+		if a.Equal(b) && a.Key() != b.Key() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		in   string
+		want Value
+		ok   bool
+	}{
+		{KindInt, "42", Int(42), true},
+		{KindInt, "x", Value{}, false},
+		{KindFloat, "2.5", Float(2.5), true},
+		{KindString, "hello", String_("hello"), true},
+		{KindBool, "true", Bool(true), true},
+		{KindBool, "yep", Value{}, false},
+		{KindTime, "7", Time(7), true},
+		{KindInvalid, "x", Value{}, false},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.k, c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("Parse(%v, %q): err=%v, want ok=%v", c.k, c.in, err, c.ok)
+			continue
+		}
+		if c.ok && !got.Equal(c.want) {
+			t.Errorf("Parse(%v, %q) = %v, want %v", c.k, c.in, got, c.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(-3), "-3"},
+		{Float(2.5), "2.5"},
+		{String_("hi"), "hi"},
+		{Bool(false), "false"},
+		{Time(11), "11"},
+		{Value{}, "<invalid>"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestNumericValue(t *testing.T) {
+	if Int(4).NumericValue() != 4 || Float(4.5).NumericValue() != 4.5 {
+		t.Error("NumericValue")
+	}
+	if !Int(1).Numeric() || !Float(1).Numeric() || String_("x").Numeric() {
+		t.Error("Numeric predicate")
+	}
+}

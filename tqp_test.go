@@ -1,0 +1,108 @@
+// Public-API tests: everything a downstream user touches goes through the
+// root package, so these tests double as documentation of the facade.
+package tqp_test
+
+import (
+	"strings"
+	"testing"
+
+	"tqp"
+)
+
+func TestPublicQuickstart(t *testing.T) {
+	rooms := tqp.MustSchema(
+		tqp.Attr("Room", tqp.KindString),
+		tqp.Attr("Occupant", tqp.KindString),
+		tqp.Attr("T1", tqp.KindTime),
+		tqp.Attr("T2", tqp.KindTime),
+	)
+	data := tqp.RelationFromRows(rooms, [][]any{
+		{"r1", "ada", 1, 5},
+		{"r1", "ada", 5, 9},
+		{"r2", "bob", 2, 6},
+	})
+	cat := tqp.NewCatalog()
+	if err := cat.Add("ROOMS", data, tqp.BaseInfo{Distinct: true}); err != nil {
+		t.Fatal(err)
+	}
+	opt := tqp.NewOptimizer(cat)
+	result, plans, trace, err := opt.Run(`
+		VALIDTIME SELECT DISTINCT COALESCED Occupant FROM ROOMS
+		WHERE Room = 'r1' ORDER BY Occupant`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Len() != 1 {
+		t.Fatalf("expected ada's coalesced [1,9) spell only:\n%s", result)
+	}
+	p := result.PeriodOf(0)
+	if p.Start != 1 || p.End != 9 {
+		t.Errorf("coalesced period = %s, want [1,9)", p)
+	}
+	if len(plans.All) < 2 {
+		t.Error("expected some enumeration")
+	}
+	if trace.TuplesTransferred == 0 {
+		t.Error("expected transfers")
+	}
+}
+
+func TestPublicPaperCatalog(t *testing.T) {
+	cat := tqp.PaperCatalog()
+	emp, err := cat.Resolve("EMPLOYEE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emp.Len() != 5 || !emp.Temporal() {
+		t.Error("paper catalog shape")
+	}
+}
+
+func TestPublicEquivalenceAPI(t *testing.T) {
+	cat := tqp.PaperCatalog()
+	a, _ := cat.Resolve("EMPLOYEE")
+	b := a.Clone()
+	ok, err := tqp.CheckEquivalence(tqp.EquivList, a, b)
+	if err != nil || !ok {
+		t.Error("a relation is ≡L itself")
+	}
+	holding := tqp.EquivalencesHolding(a, b)
+	if len(holding) != 6 {
+		t.Errorf("identical temporal relations satisfy all six types, got %v", holding)
+	}
+}
+
+func TestPublicParseAndRender(t *testing.T) {
+	q, err := tqp.ParseQuery("SELECT DISTINCT Dept FROM EMPLOYEE ORDER BY Dept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ResultType() != tqp.ResultList {
+		t.Error("result type")
+	}
+	cat := tqp.PaperCatalog()
+	plan, err := q.Plan(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := tqp.RenderPlan(plan)
+	for _, part := range []string{"TS", "sort{Dept ASC}", "rdup", "EMPLOYEE"} {
+		if !strings.Contains(rendered, part) {
+			t.Errorf("render missing %q:\n%s", part, rendered)
+		}
+	}
+	if r, err := tqp.Evaluate(cat, plan); err != nil || r.Len() != 2 {
+		t.Errorf("Evaluate: %v, %v", r, err)
+	}
+}
+
+func TestPublicSyntheticDB(t *testing.T) {
+	cat := tqp.SyntheticEmployeeDB(tqp.EmployeeSpec{
+		Employees: 5, SpellsPerEmp: 2, AssignmentsPerEmp: 1, Seed: 1,
+	})
+	opt := tqp.NewOptimizer(cat, tqp.WithDBMSSeed(4), tqp.WithMaxPlans(64))
+	if _, _, _, err := opt.Run(
+		"VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE ORDER BY EmpName"); err != nil {
+		t.Fatal(err)
+	}
+}
