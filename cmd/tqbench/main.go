@@ -4,9 +4,16 @@
 //
 // Usage:
 //
-//	tqbench            # run all experiments
-//	tqbench -run E7    # run one experiment
-//	tqbench -quiet     # status lines only
+//	tqbench                  # run all experiments
+//	tqbench -run E7          # run one experiment
+//	tqbench -engine exec     # run on the streaming hash engine
+//	tqbench -quiet           # status lines only
+//
+// -engine selects the physical engine for plan evaluation and stratum
+// subplans ("reference" or "exec"). The two engines agree list-exactly, so
+// the artifacts must come out identical either way — running with -engine
+// exec doubles as an end-to-end differential check (E11 additionally pins
+// the engines head-to-head with measured speedups).
 package main
 
 import (
@@ -14,16 +21,24 @@ import (
 	"fmt"
 	"os"
 
+	"tqp/internal/core"
 	"tqp/internal/experiments"
 )
 
 func main() {
-	run := flag.String("run", "", "run only the experiment with this id (E1..E10)")
+	run := flag.String("run", "", "run only the experiment with this id (E1..E11)")
+	engine := flag.String("engine", "reference", "physical engine: 'reference' or 'exec'")
 	quiet := flag.Bool("quiet", false, "print status lines only")
 	flag.Parse()
 
+	spec, err := core.EngineSpec(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tqbench: %v\n", err)
+		os.Exit(2)
+	}
+
 	failed := 0
-	for _, r := range experiments.All() {
+	for _, r := range experiments.AllWith(spec) {
 		if *run != "" && r.ID != *run {
 			continue
 		}

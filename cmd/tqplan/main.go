@@ -7,9 +7,12 @@
 //
 // Usage:
 //
-//	tqplan [-db paper|synth] [-employees N] [-enumerate] [-execute] [-q query]
+//	tqplan [-db paper|synth] [-employees N] [-engine reference|exec] [-enumerate] [-execute] [-q query]
 //
-// The default query is the paper's running example.
+// The default query is the paper's running example. -engine selects the
+// physical engine for stratum-assigned subplans: the reference evaluator
+// (the executable specification) or the streaming hash-based exec engine;
+// both produce identical results.
 package main
 
 import (
@@ -26,9 +29,16 @@ func main() {
 	db := flag.String("db", "paper", "database: 'paper' (Figure 1) or 'synth'")
 	employees := flag.Int("employees", 100, "synthetic database size (with -db synth)")
 	query := flag.String("q", experiments.PaperQuerySQL, "temporal SQL statement")
+	engine := flag.String("engine", "reference", "physical engine for stratum subplans: 'reference' or 'exec'")
 	enumerate := flag.Bool("enumerate", false, "list every enumerated plan")
 	execute := flag.Bool("execute", true, "execute the chosen plan and print the result")
 	flag.Parse()
+
+	spec, err := tqp.ResolveEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tqplan: %v\n", err)
+		os.Exit(2)
+	}
 
 	var cat *tqp.Catalog
 	switch *db {
@@ -43,7 +53,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opt := tqp.NewOptimizer(cat)
+	opt := tqp.NewOptimizer(cat, tqp.WithEngine(spec))
 	plans, err := opt.OptimizeSQL(*query)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tqplan: %v\n", err)
@@ -97,8 +107,8 @@ func main() {
 	for _, sql := range trace.SQL {
 		fmt.Printf("  ---\n%s\n", indent(sql))
 	}
-	fmt.Printf("\ntransferred %d tuples; simulated units: stratum=%.0f dbms=%.0f transfer=%.0f\n\n",
-		trace.TuplesTransferred, trace.StratumUnits, trace.DBMSUnits, trace.TransferUnits)
+	fmt.Printf("\nengine %s: transferred %d tuples; simulated units: stratum=%.0f dbms=%.0f transfer=%.0f\n\n",
+		trace.Engine, trace.TuplesTransferred, trace.StratumUnits, trace.DBMSUnits, trace.TransferUnits)
 	fmt.Printf("result (%d tuples):\n%s", result.Len(), result)
 }
 

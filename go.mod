@@ -1,0 +1,3 @@
+module tqp
+
+go 1.24

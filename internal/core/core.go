@@ -18,6 +18,7 @@ import (
 	"tqp/internal/enum"
 	"tqp/internal/equiv"
 	"tqp/internal/eval"
+	"tqp/internal/exec"
 	"tqp/internal/props"
 	"tqp/internal/relation"
 	"tqp/internal/rules"
@@ -31,10 +32,36 @@ type Optimizer struct {
 	model  *cost.Model
 	config enum.Config
 	seed   int64
+	engine eval.EngineSpec
 }
 
 // Option configures an Optimizer.
 type Option func(*Optimizer)
+
+// EngineSpec resolves a physical-engine name: "reference" is the executable
+// specification of package eval, "exec" the streaming hash-based engine of
+// package exec. Both produce identical result lists; they differ in speed
+// and therefore in the cost shapes the optimizer assumes.
+func EngineSpec(name string) (eval.EngineSpec, error) {
+	switch name {
+	case "", "reference":
+		return eval.Reference(), nil
+	case "exec":
+		return exec.Spec(), nil
+	default:
+		return eval.EngineSpec{}, fmt.Errorf("core: unknown engine %q (want \"reference\" or \"exec\")", name)
+	}
+}
+
+// WithEngine selects the physical engine that executes stratum-assigned
+// subplans and recalibrates the cost model to its operator shapes (a later
+// WithCostParams overrides the calibration).
+func WithEngine(spec eval.EngineSpec) Option {
+	return func(o *Optimizer) {
+		o.engine = spec
+		o.model = cost.New(o.cat, cost.ParamsFor(spec.Streaming))
+	}
+}
 
 // WithRules restricts the transformation-rule set.
 func WithRules(rs []rules.Rule) Option {
@@ -59,9 +86,10 @@ func WithDBMSSeed(seed int64) Option {
 // New returns an optimizer over the catalog.
 func New(cat *catalog.Catalog, opts ...Option) *Optimizer {
 	o := &Optimizer{
-		cat:   cat,
-		model: cost.New(cat, cost.DefaultParams()),
-		seed:  1,
+		cat:    cat,
+		model:  cost.New(cat, cost.DefaultParams()),
+		seed:   1,
+		engine: eval.Reference(),
 	}
 	for _, opt := range opts {
 		opt(o)
@@ -175,12 +203,13 @@ func (o *Optimizer) OptimizeBeam(initial algebra.Node, rt equiv.ResultType, orde
 	}, nil
 }
 
-// Execute runs a plan through the layered stratum/DBMS executor.
+// Execute runs a plan through the layered stratum/DBMS executor on the
+// optimizer's physical engine (see WithEngine).
 func (o *Optimizer) Execute(plan algebra.Node) (*relation.Relation, *stratum.Trace, error) {
 	if err := stratum.ValidateSites(plan); err != nil {
 		return nil, nil, err
 	}
-	return stratum.New(o.cat, o.seed).Execute(plan)
+	return stratum.NewWithEngine(o.cat, o.seed, o.engine).Execute(plan)
 }
 
 // Reference evaluates a plan with the reference evaluator (transfers are

@@ -1,0 +1,51 @@
+package core_test
+
+import (
+	"testing"
+
+	"tqp/internal/catalog"
+	"tqp/internal/core"
+	"tqp/internal/relation"
+)
+
+const engineTestSQL = `VALIDTIME SELECT DISTINCT COALESCED EmpName FROM EMPLOYEE
+EXCEPT SELECT EmpName FROM PROJECT ORDER BY EmpName ASC`
+
+// TestRunOnBothEngines drives the full pipeline — parse, enumerate, cost,
+// layered execution, ≡SQL verification — on each physical engine and pins
+// both to the paper's Result relation. Run itself re-verifies the layered
+// result against the reference evaluation, so a pass on the exec engine is
+// an end-to-end differential check through the stratum.
+func TestRunOnBothEngines(t *testing.T) {
+	for _, name := range []string{"reference", "exec"} {
+		spec, err := core.EngineSpec(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := catalog.Paper()
+		opt := core.New(c, core.WithEngine(spec))
+		got, _, trace, err := opt.Run(engineTestSQL)
+		if err != nil {
+			t.Fatalf("engine %s: Run: %v", name, err)
+		}
+		if trace.Engine != name {
+			t.Errorf("engine %s: trace records engine %q", name, trace.Engine)
+		}
+		want := relation.MustFromRows(got.Schema(), catalog.PaperResultRows())
+		if !got.EqualAsList(want) {
+			t.Errorf("engine %s: result differs from Figure 1:\n%s", name, got)
+		}
+	}
+}
+
+// TestEngineSpecRejectsUnknown pins the registry's error path the cmd flags
+// rely on.
+func TestEngineSpecRejectsUnknown(t *testing.T) {
+	if _, err := core.EngineSpec("vectorized"); err == nil {
+		t.Fatal("unknown engine name must be rejected")
+	}
+	spec, err := core.EngineSpec("")
+	if err != nil || spec.Name != "reference" {
+		t.Fatalf("empty name must default to the reference engine, got %q, %v", spec.Name, err)
+	}
+}

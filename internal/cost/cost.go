@@ -35,9 +35,19 @@ type Params struct {
 	TransferTuple float64
 	// DefaultSelectivity estimates σ when nothing better is known.
 	DefaultSelectivity float64
+	// HashTuple is the per-tuple cost of a hash-table build or probe in the
+	// exec engine's hash operators (hash join, hash rdup, value-group
+	// partitioning). It is charged on top of StratumTuple for the tuples a
+	// streaming operator hashes.
+	HashTuple float64
+	// Streaming declares that the stratum runs the exec engine: products
+	// and joins cost build+probe+output instead of pairwise work, and the
+	// temporal grouping operators drop their scan factors (see OpUnits).
+	Streaming bool
 }
 
-// DefaultParams returns the calibration used by the experiments.
+// DefaultParams returns the calibration used by the experiments, matching
+// the reference evaluator's operator shapes in the stratum.
 func DefaultParams() Params {
 	return Params{
 		StratumTuple:        1.0,
@@ -46,6 +56,46 @@ func DefaultParams() Params {
 		DBMSTemporalPenalty: 20.0,
 		TransferTuple:       2.0,
 		DefaultSelectivity:  1.0 / 3,
+		HashTuple:           0.5,
+	}
+}
+
+// ParamsFor returns the calibration for a stratum engine: the default
+// reference shapes, or the streaming shapes of the exec engine.
+func ParamsFor(streaming bool) Params {
+	p := DefaultParams()
+	p.Streaming = streaming
+	return p
+}
+
+// OpUnits assigns simulated work units to one operation over the given
+// input cardinality; the stratum executor meters actual executions with it.
+// streaming selects the exec engine's hash/one-pass shapes — linear
+// products, joins and temporal grouping operators — over the reference
+// evaluator's pairwise and scan-heavy ones.
+func OpUnits(op algebra.Op, rows int, tupleCost, penalty float64, streaming bool) float64 {
+	r := float64(rows)
+	logR := 1.0
+	if r >= 2 {
+		logR = math.Log2(r)
+	}
+	switch op {
+	case algebra.OpSort:
+		return r * logR * tupleCost * penalty
+	case algebra.OpProduct, algebra.OpTProduct, algebra.OpJoin, algebra.OpTJoin:
+		if streaming {
+			return r * tupleCost * penalty
+		}
+		return r * r * tupleCost * penalty / 4
+	case algebra.OpTDiff, algebra.OpTRdup, algebra.OpTAggregate, algebra.OpTUnion, algebra.OpCoal:
+		if streaming {
+			return r * tupleCost * penalty
+		}
+		return r * logR * tupleCost * penalty * 2
+	case algebra.OpTransferS, algebra.OpTransferD:
+		return 0
+	default:
+		return r * tupleCost * penalty
 	}
 }
 
@@ -146,6 +196,9 @@ func (m *Model) estimate(n algebra.Node, site props.Site, ce []Estimate) Estimat
 	if site == props.DBMS && n.Op().Temporal() {
 		temporalPenalty = p.DBMSTemporalPenalty
 	}
+	// The exec engine's hash operators only run in the stratum; DBMS
+	// subplans are always priced with the conventional shapes.
+	streaming := p.Streaming && site != props.DBMS
 	logN := func(x float64) float64 {
 		if x < 2 {
 			return 1
@@ -194,6 +247,10 @@ func (m *Model) estimate(n algebra.Node, site props.Site, ce []Estimate) Estimat
 		if n.Op() == algebra.OpJoin {
 			rows *= p.DefaultSelectivity
 		}
+		if streaming && n.Op() == algebra.OpJoin {
+			// Hash join: build + probe + emit, not pairwise work.
+			return Estimate{Rows: rows, Cost: (ce[0].Rows+ce[1].Rows)*p.HashTuple + rows*tuple}
+		}
 		return Estimate{Rows: rows, Cost: ce[0].Rows * ce[1].Rows * tuple}
 	case algebra.OpDiff:
 		// Between n1−n2 and n1 (Table 1): take the midpoint.
@@ -206,26 +263,46 @@ func (m *Model) estimate(n algebra.Node, site props.Site, ce []Estimate) Estimat
 		if n.Op() == algebra.OpTJoin {
 			rows *= p.DefaultSelectivity
 		}
+		if streaming && n.Op() == algebra.OpTJoin {
+			return Estimate{Rows: rows, Cost: (ce[0].Rows+ce[1].Rows)*p.HashTuple + rows*tuple}
+		}
 		return Estimate{Rows: rows, Cost: ce[0].Rows * ce[1].Rows * tuple * temporalPenalty}
 	case algebra.OpTDiff:
 		// At most 2·n1 fragments (Table 1).
 		n1, n2 := ce[0].Rows, ce[1].Rows
 		work := (n1 + n2) * logN(n1+n2)
+		if streaming {
+			// Hash partition both sides, one pass per value group.
+			work = (n1 + n2)
+			return Estimate{Rows: math.Min(2*n1, n1*1.25), Cost: (n1+n2)*p.HashTuple + work*tuple}
+		}
 		return Estimate{Rows: math.Min(2*n1, n1*1.25), Cost: work * tuple * temporalPenalty}
 	case algebra.OpTAggregate:
 		in := ce[0].Rows
 		// At most 2·n−1 constant intervals (Table 1).
+		if streaming {
+			return Estimate{Rows: math.Max(1, in*1.5), Cost: in*p.HashTuple + in*2*tuple}
+		}
 		return Estimate{Rows: math.Max(1, in*1.5), Cost: in * logN(in) * 2 * tuple * temporalPenalty}
 	case algebra.OpTRdup:
 		in := ce[0].Rows
 		// At most 2·n−1 (Table 1); duplicates also disappear.
+		if streaming {
+			return Estimate{Rows: math.Max(1, in*0.8), Cost: in*p.HashTuple + in*tuple}
+		}
 		return Estimate{Rows: math.Max(1, in*0.8), Cost: in * logN(in) * 2 * tuple * temporalPenalty}
 	case algebra.OpTUnion:
 		n1, n2 := ce[0].Rows, ce[1].Rows
 		// At least n1, at most n1+2·n2 (Table 1).
+		if streaming {
+			return Estimate{Rows: n1 + n2, Cost: (n1+n2)*p.HashTuple + (n1+n2)*tuple}
+		}
 		return Estimate{Rows: n1 + n2, Cost: (n1 + n2) * logN(n1+n2) * tuple * temporalPenalty}
 	case algebra.OpCoal:
 		in := ce[0].Rows
+		if streaming {
+			return Estimate{Rows: math.Max(1, in*0.7), Cost: in*p.HashTuple + in*tuple}
+		}
 		return Estimate{Rows: math.Max(1, in*0.7), Cost: in * logN(in) * tuple * temporalPenalty}
 	case algebra.OpTransferS, algebra.OpTransferD:
 		in := ce[0].Rows

@@ -90,15 +90,15 @@ func (e *Evaluator) evalProductFiltered(n algebra.Node, p expr.Pred) (*relation.
 			out.Append(nt)
 		}
 	}
-	out.SetOrder(leftProductOrder(l.Order(), r.Schema(), outSchema))
+	out.SetOrder(OrderAfterProduct(l.Order(), r.Schema(), outSchema))
 	return out, nil
 }
 
-// leftProductOrder maps the left argument's order spec into a product's
+// OrderAfterProduct maps the left argument's order spec into a product's
 // result schema: time attributes and attributes clashing with the right
 // argument acquire the "1." qualification; anything that still cannot be
 // found in the result schema ends the preserved prefix.
-func leftProductOrder(in relation.OrderSpec, right, outSchema *schema.Schema) relation.OrderSpec {
+func OrderAfterProduct(in relation.OrderSpec, right, outSchema *schema.Schema) relation.OrderSpec {
 	var out relation.OrderSpec
 	for _, k := range in {
 		name := k.Attr
@@ -140,13 +140,13 @@ func (e *Evaluator) evalDiff(n algebra.Node) (*relation.Relation, error) {
 		}
 		out.Append(t)
 	}
-	out.SetOrder(qualifyTimeOrder(l.Order(), outSchema))
+	out.SetOrder(OrderQualifyTime(l.Order(), outSchema))
 	return out, nil
 }
 
-// qualifyTimeOrder renames T1/T2 order keys to their "1."-qualified result
+// OrderQualifyTime renames T1/T2 order keys to their "1."-qualified result
 // names for operations whose snapshot result keeps periods as plain data.
-func qualifyTimeOrder(in relation.OrderSpec, outSchema *schema.Schema) relation.OrderSpec {
+func OrderQualifyTime(in relation.OrderSpec, outSchema *schema.Schema) relation.OrderSpec {
 	var out relation.OrderSpec
 	for _, k := range in {
 		name := k.Attr
@@ -184,7 +184,7 @@ func (e *Evaluator) evalRdup(n algebra.Node) (*relation.Relation, error) {
 		seen[k] = true
 		out.Append(t)
 	}
-	out.SetOrder(qualifyTimeOrder(in.Order(), outSchema))
+	out.SetOrder(OrderQualifyTime(in.Order(), outSchema))
 	return out, nil
 }
 
@@ -217,11 +217,11 @@ func (e *Evaluator) evalAggregate(n *algebra.Aggregate) (*relation.Relation, err
 		k := t.KeyOn(gidx)
 		g, ok := groups[k]
 		if !ok {
-			g = &group{rep: t, accs: newAccs(n.Aggs, in.Schema())}
+			g = &group{rep: t, accs: NewAccumulators(n.Aggs, in.Schema())}
 			groups[k] = g
 			orderKeys = append(orderKeys, k)
 		}
-		if err := foldAggs(g.accs, n.Aggs, in.Schema(), t); err != nil {
+		if err := FoldAggregates(g.accs, n.Aggs, in.Schema(), t); err != nil {
 			return nil, err
 		}
 	}
@@ -237,16 +237,16 @@ func (e *Evaluator) evalAggregate(n *algebra.Aggregate) (*relation.Relation, err
 		}
 		out.Append(nt)
 	}
-	out.SetOrder(groupedOrder(in.Order(), n.GroupBy))
+	out.SetOrder(OrderAfterGroup(in.Order(), n.GroupBy))
 	return out, nil
 }
 
-// groupedOrder computes Prefix(Order(r), GroupPairs).
-func groupedOrder(in relation.OrderSpec, groupBy []string) relation.OrderSpec {
+// OrderAfterGroup computes Prefix(Order(r), GroupPairs).
+func OrderAfterGroup(in relation.OrderSpec, groupBy []string) relation.OrderSpec {
 	return in.Prefix(groupBy)
 }
 
-func newAccs(aggs []expr.Aggregate, s *schema.Schema) []*expr.Accumulator {
+func NewAccumulators(aggs []expr.Aggregate, s *schema.Schema) []*expr.Accumulator {
 	out := make([]*expr.Accumulator, len(aggs))
 	for i, a := range aggs {
 		isInt := false
@@ -260,7 +260,7 @@ func newAccs(aggs []expr.Aggregate, s *schema.Schema) []*expr.Accumulator {
 	return out
 }
 
-func foldAggs(accs []*expr.Accumulator, aggs []expr.Aggregate, s *schema.Schema, t relation.Tuple) error {
+func FoldAggregates(accs []*expr.Accumulator, aggs []expr.Aggregate, s *schema.Schema, t relation.Tuple) error {
 	for i, a := range aggs {
 		switch a.Func {
 		case expr.CountAll:

@@ -35,6 +35,42 @@ func (m MapSource) Resolve(name string) (*relation.Relation, error) {
 	return r, nil
 }
 
+// Engine evaluates operator trees to relations. Two implementations exist:
+// the reference Evaluator of this package (the executable specification) and
+// the streaming hash-based engine of package exec. Both produce identical
+// result lists — exec is verified against the evaluator by differential
+// testing — so they are interchangeable wherever a plan is run.
+type Engine interface {
+	Eval(n algebra.Node) (*relation.Relation, error)
+}
+
+// Factory constructs an engine over a tuple source. The stratum executor
+// materializes intermediate results per node and re-binds them as base
+// relations, so it needs a factory rather than a single engine instance.
+type Factory func(src Source) Engine
+
+// EngineSpec names a physical engine and carries what the executor and the
+// cost model need to know about it.
+type EngineSpec struct {
+	// Name identifies the engine ("reference" or "exec").
+	Name string
+	// New constructs an engine over a source.
+	New Factory
+	// Streaming reports that the engine uses hash/one-pass physical
+	// operators, changing the stratum's cost shapes from pairwise and
+	// log-factor formulas to linear ones.
+	Streaming bool
+}
+
+// Reference returns the spec of this package's reference evaluator.
+func Reference() EngineSpec {
+	return EngineSpec{
+		Name:      "reference",
+		New:       func(src Source) Engine { return New(src) },
+		Streaming: false,
+	}
+}
+
 // Evaluator evaluates operator trees against a Source.
 type Evaluator struct {
 	src Source
@@ -150,14 +186,14 @@ func (e *Evaluator) evalProject(n *algebra.Project) (*relation.Relation, error) 
 		}
 		out.Append(nt)
 	}
-	out.SetOrder(projectedOrder(in.Order(), n))
+	out.SetOrder(OrderAfterProject(in.Order(), n))
 	return out, nil
 }
 
-// projectedOrder computes Prefix(Order(r), ProjPairs), following renames of
+// OrderAfterProject computes Prefix(Order(r), ProjPairs), following renames of
 // pure column items: an order key survives while its source attribute is
 // projected as a plain column (possibly under a new name).
-func projectedOrder(in relation.OrderSpec, n *algebra.Project) relation.OrderSpec {
+func OrderAfterProject(in relation.OrderSpec, n *algebra.Project) relation.OrderSpec {
 	rename := make(map[string]string) // source attr -> output name
 	for _, it := range n.Items {
 		if col, ok := it.Expr.(expr.Col); ok {

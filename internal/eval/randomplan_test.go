@@ -5,51 +5,14 @@ import (
 	"testing"
 
 	"tqp/internal/algebra"
-	"tqp/internal/catalog"
-	"tqp/internal/datagen"
 	"tqp/internal/eval"
-	"tqp/internal/expr"
 	"tqp/internal/props"
-	"tqp/internal/relation"
-	"tqp/internal/value"
+	"tqp/internal/testutil"
 )
 
-// randomPlan builds a random type-correct, schema-preserving plan of
-// bounded depth over the given temporal base relations (all operators here
-// keep the bases' schema, so binary set operations always type-check); the
-// caller may additionally cap the plan with a schema-changing temporal
-// aggregation.
-func randomPlan(rng *rand.Rand, bases []algebra.Node, depth int) algebra.Node {
-	if depth <= 0 {
-		return bases[rng.Intn(len(bases))]
-	}
-	child := func() algebra.Node { return randomPlan(rng, bases, depth-1) }
-	pred := expr.Compare(expr.Lt, expr.Column("Grp"), expr.Literal(value.Int(int64(rng.Intn(4)))))
-	byName := relation.OrderSpec{relation.Key("Name")}
-	switch rng.Intn(9) {
-	case 0:
-		return algebra.NewSelect(pred, child())
-	case 1:
-		return algebra.NewProjectCols(child(), "Name", "Grp", "T1", "T2")
-	case 2:
-		return algebra.NewSort(byName, child())
-	case 3:
-		return algebra.NewTRdup(child())
-	case 4:
-		return algebra.NewCoal(child())
-	case 5:
-		return algebra.NewUnionAll(child(), child())
-	case 6:
-		return algebra.NewTUnion(child(), child())
-	case 7:
-		return algebra.NewTDiff(child(), child())
-	default:
-		return algebra.NewSelect(pred, algebra.NewSort(byName, child()))
-	}
-}
-
-// TestRandomPlanInvariants generates hundreds of random temporal plans and
-// checks the invariants that hold for every evaluation:
+// TestRandomPlanInvariants generates hundreds of random conventional and
+// temporal plans (shared generator: internal/testutil) and checks the
+// invariants that hold for every evaluation:
 //
 //  1. the result conforms to the node's derived schema;
 //  2. the order the evaluator records actually holds (Table 1's order
@@ -60,31 +23,11 @@ func randomPlan(rng *rand.Rand, bases []algebra.Node, depth int) algebra.Node {
 func TestRandomPlanInvariants(t *testing.T) {
 	for seed := int64(0); seed < 60; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		c := catalog.New()
-		for i, spec := range []datagen.TemporalSpec{
-			{Rows: 8, Values: 3, DupFrac: 0.25, AdjFrac: 0.25, Seed: seed},
-			{Rows: 6, Values: 3, DupFrac: 0.1, AdjFrac: 0.4, Seed: seed + 100},
-		} {
-			r := datagen.Temporal(spec)
-			info := algebra.BaseInfo{
-				Distinct:         !r.HasDuplicates(),
-				SnapshotDistinct: !r.HasSnapshotDuplicates(),
-				Coalesced:        r.IsCoalesced(),
-			}
-			name := []string{"A", "B"}[i]
-			if err := c.Add(name, r, info); err != nil {
-				t.Fatal(err)
-			}
-		}
-		bases := []algebra.Node{c.MustNode("A"), c.MustNode("B")}
+		c, bases := testutil.TemporalCatalog(seed)
 		ev := eval.New(c)
 
 		for trial := 0; trial < 8; trial++ {
-			plan := randomPlan(rng, bases, 2+rng.Intn(2))
-			if rng.Intn(4) == 0 {
-				plan = algebra.NewTAggregate([]string{"Name"},
-					[]expr.Aggregate{{Func: expr.CountAll, As: "cnt"}}, plan)
-			}
+			plan := testutil.RandomPlan(rng, bases, 2+rng.Intn(2))
 			if err := algebra.Validate(plan); err != nil {
 				t.Fatalf("seed %d: generator produced an invalid plan: %v", seed, err)
 			}

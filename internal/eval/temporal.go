@@ -50,7 +50,7 @@ func (e *Evaluator) evalTProduct(n algebra.Node, p expr.Pred) (*relation.Relatio
 	}
 	// Table 1: the order of ×ᵀ is Order(r1) \ TimePairs — the left order's
 	// time-free prefix, renamed under qualification.
-	out.SetOrder(leftProductOrder(l.Order().TimeFreePrefix(), r.Schema(), outSchema))
+	out.SetOrder(OrderAfterProduct(l.Order().TimeFreePrefix(), r.Schema(), outSchema))
 	return out, nil
 }
 
@@ -319,14 +319,14 @@ func (e *Evaluator) evalTAggregate(n *algebra.Aggregate) (*relation.Relation, er
 			ps[x] = in.PeriodOf(i)
 		}
 		for _, iv := range period.ElementaryIntervals(ps) {
-			accs := newAccs(n.Aggs, in.Schema())
+			accs := NewAccumulators(n.Aggs, in.Schema())
 			live := 0
 			for x, i := range members {
 				if !ps[x].ContainsPeriod(iv) {
 					continue
 				}
 				live++
-				if err := foldAggs(accs, n.Aggs, in.Schema(), in.At(i)); err != nil {
+				if err := FoldAggregates(accs, n.Aggs, in.Schema(), in.At(i)); err != nil {
 					return nil, err
 				}
 			}
@@ -345,7 +345,7 @@ func (e *Evaluator) evalTAggregate(n *algebra.Aggregate) (*relation.Relation, er
 			out.Append(nt)
 		}
 	}
-	out.SetOrder(groupedOrder(in.Order(), n.GroupBy))
+	out.SetOrder(OrderAfterGroup(in.Order(), n.GroupBy))
 	return out, nil
 }
 

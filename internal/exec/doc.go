@@ -1,0 +1,59 @@
+// Package exec implements the streaming, hash-based execution engine: a
+// Volcano-style pull-iterator evaluator over algebra plans whose physical
+// operators beat the reference evaluator (package eval) asymptotically while
+// producing bit-identical result lists.
+//
+// # Two engines, one semantics
+//
+// The reference evaluator is the executable specification — every operator
+// materializes its input and joins or deduplicates with nested loops, making
+// it easy to audit against the paper's definitions but quadratic nearly
+// everywhere. This package is the performance engine the ROADMAP's "fast as
+// the hardware allows" goal calls for. Both implement eval.Engine and both
+// produce the same result *list* for every plan, not merely an equivalent
+// multiset. That strong contract is deliberate: the list algebra is
+// order-sensitive (coalescing on a permuted input can produce a genuinely
+// different multiset), so the only safe division of labour is for physical
+// operators to change *how* a result is computed, never *which list* comes
+// out. Differential tests (differential_test.go) drive hundreds of random
+// conventional and temporal plans through both engines and assert exact list
+// equality plus identical Table 1 order annotations.
+//
+// # Physical operators
+//
+//   - Scan, selection, projection, and union-all stream tuple-at-a-time.
+//   - Products and the join idioms extract equality conjuncts ("1.Grp" =
+//     "2.Grp") from the fused predicate and run a hash join: the right side
+//     is built into a collision-safe hash table (tuple hashes confirmed with
+//     value equality), the left side probes in list order, and matches are
+//     emitted in the right argument's list order — exactly the reference's
+//     left-major pair order at O(n+m+out) instead of O(n·m). Non-equi
+//     predicates fall back to a block nested loop that reuses a scratch
+//     tuple, allocating only for emitted pairs.
+//   - rdup streams through a hash set; diff and the max-multiplicity union
+//     build hash multiplicity counters on one side and stream the other.
+//   - Aggregation pipelines its input into per-group accumulators held in a
+//     hash table that preserves first-occurrence group order.
+//   - The temporal operators (rdupT, coalT, diffT, unionT, aggrT) partition
+//     by value-equivalence with tuple hashes instead of the reference's
+//     string keys, skipping the hash table entirely when the input's
+//     OrderSpec already makes value groups contiguous; the per-group work
+//     then runs group-locally — O(Σ g²) in the worst case versus the
+//     reference's global O(n²), and coalT additionally detects sorted,
+//     non-overlapping groups at run time and merges them in one pass.
+//     Fragments are re-interleaved by original tuple position so the output
+//     list matches the reference exactly. The engine deliberately does NOT
+//     "sort first and merge" when the input is unsorted: coalescing is not
+//     confluent under reordering, so a sort-based coalT would change the
+//     result multiset, not just its order.
+//
+// # Adding a physical operator
+//
+// Add a case to (*Engine).build returning a source (iterator + schema +
+// Table 1 order annotation). Derive the order with the helpers exported from
+// package eval (OrderAfterProject, OrderAfterProduct, OrderQualifyTime,
+// OrderAfterGroup) so the two engines cannot drift, and extend the
+// differential fuzz generator (internal/testutil) to cover the operator.
+// The cost model's streaming formulas (cost.OpUnits with streaming=true)
+// should be recalibrated when an operator's asymptotic shape changes.
+package exec

@@ -1,0 +1,192 @@
+package exec
+
+import (
+	"fmt"
+
+	"tqp/internal/algebra"
+	"tqp/internal/eval"
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+)
+
+// Engine is the streaming hash-based engine. It implements eval.Engine and
+// produces the same result list as the reference evaluator for every plan.
+type Engine struct {
+	src eval.Source
+}
+
+// New returns an engine over src.
+func New(src eval.Source) *Engine { return &Engine{src: src} }
+
+// Spec returns this engine's spec for the stratum executor, the optimizer's
+// engine registry, and the cost model (Streaming selects the hash/one-pass
+// cost shapes).
+func Spec() eval.EngineSpec {
+	return eval.EngineSpec{
+		Name:      "exec",
+		New:       func(src eval.Source) eval.Engine { return New(src) },
+		Streaming: true,
+	}
+}
+
+// Eval evaluates the tree rooted at n by building its iterator pipeline and
+// draining the root. The result's Order() carries the Table 1 guarantee.
+func (e *Engine) Eval(n algebra.Node) (*relation.Relation, error) {
+	s, err := e.build(n)
+	if err != nil {
+		return nil, err
+	}
+	return drain(s)
+}
+
+// source is one built pipeline stage: an iterator plus the static knowledge
+// the parent stages and the root need — the output schema and the Table 1
+// order annotation (derived at build time with the same rules the reference
+// evaluator applies at run time).
+type source struct {
+	it     iterator
+	schema *schema.Schema
+	order  relation.OrderSpec
+}
+
+// iterator is the pull interface of the engine. next returns (nil, nil) when
+// the stream is exhausted.
+type iterator interface {
+	next() (relation.Tuple, error)
+	close() error
+}
+
+// drain materializes a source into a relation and closes it.
+func drain(s *source) (*relation.Relation, error) {
+	out := relation.New(s.schema)
+	for {
+		t, err := s.it.next()
+		if err != nil {
+			s.it.close()
+			return nil, err
+		}
+		if t == nil {
+			break
+		}
+		out.Append(t)
+	}
+	if err := s.it.close(); err != nil {
+		return nil, err
+	}
+	out.SetOrder(s.order)
+	return out, nil
+}
+
+// build compiles a logical node into a physical pipeline stage.
+func (e *Engine) build(n algebra.Node) (*source, error) {
+	switch node := n.(type) {
+	case *algebra.Rel:
+		return e.buildRel(node)
+	case *algebra.Select:
+		return e.buildSelect(node)
+	case *algebra.Project:
+		return e.buildProject(node)
+	case *algebra.Aggregate:
+		if node.Op() == algebra.OpTAggregate {
+			return e.buildTAggregate(node)
+		}
+		return e.buildAggregate(node)
+	case *algebra.Sort:
+		return e.buildSort(node)
+	case *algebra.Join:
+		// The join idioms evaluate as their defining expansion with the
+		// predicate fused into the product — σ_P(l × r), σ_P(l ×ᵀ r).
+		if node.Op() == algebra.OpTJoin {
+			prod := node.Expand().Children()[0]
+			return e.buildProduct(prod, node.P, true)
+		}
+		prod := node.Expand().Children()[0]
+		return e.buildProduct(prod, node.P, false)
+	}
+	switch n.Op() {
+	case algebra.OpUnionAll:
+		return e.buildUnionAll(n)
+	case algebra.OpUnion:
+		return e.buildUnion(n)
+	case algebra.OpTUnion:
+		return e.buildTUnion(n)
+	case algebra.OpProduct:
+		return e.buildProduct(n, nil, false)
+	case algebra.OpTProduct:
+		return e.buildProduct(n, nil, true)
+	case algebra.OpDiff:
+		return e.buildDiff(n)
+	case algebra.OpTDiff:
+		return e.buildTDiff(n)
+	case algebra.OpRdup:
+		return e.buildRdup(n)
+	case algebra.OpTRdup:
+		return e.buildTRdup(n)
+	case algebra.OpCoal:
+		return e.buildCoal(n)
+	case algebra.OpTransferS, algebra.OpTransferD:
+		// Transfers are identities on data; their cost and site semantics
+		// live in the stratum executor.
+		return e.build(n.Children()[0])
+	default:
+		return nil, fmt.Errorf("exec: unsupported operator %s", n.Op())
+	}
+}
+
+// buildBoth builds both children of a binary node.
+func (e *Engine) buildBoth(n algebra.Node) (l, r *source, err error) {
+	ch := n.Children()
+	l, err = e.build(ch[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err = e.build(ch[1])
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
+}
+
+// sliceIter iterates over a pre-computed tuple list.
+type sliceIter struct {
+	ts []relation.Tuple
+	i  int
+}
+
+func (s *sliceIter) next() (relation.Tuple, error) {
+	if s.i >= len(s.ts) {
+		return nil, nil
+	}
+	t := s.ts[s.i]
+	s.i++
+	return t, nil
+}
+
+func (s *sliceIter) close() error { return nil }
+
+// lazyIter defers a materializing computation (sort, grouping) to the first
+// pull, keeping the pipeline demand-driven end to end.
+type lazyIter struct {
+	compute func() ([]relation.Tuple, error)
+	inner   sliceIter
+	done    bool
+}
+
+func (l *lazyIter) next() (relation.Tuple, error) {
+	if !l.done {
+		ts, err := l.compute()
+		if err != nil {
+			return nil, err
+		}
+		l.inner.ts = ts
+		l.done = true
+	}
+	return l.inner.next()
+}
+
+func (l *lazyIter) close() error { return nil }
+
+// lazySource wraps a materializing computation as a pipeline stage.
+func lazySource(sch *schema.Schema, order relation.OrderSpec, compute func() ([]relation.Tuple, error)) *source {
+	return &source{it: &lazyIter{compute: compute}, schema: sch, order: order}
+}

@@ -1,0 +1,199 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"tqp/internal/expr"
+	"tqp/internal/period"
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+	"tqp/internal/value"
+)
+
+func productSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	left := schema.MustNew(
+		schema.Attr("Name", value.KindString),
+		schema.Attr("Grp", value.KindInt),
+		schema.Attr(schema.T1, value.KindTime),
+		schema.Attr(schema.T2, value.KindTime))
+	out, err := left.QualifyTime(1).Concat(left.QualifyTime(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestEquiKeys pins the predicate split driving physical join selection.
+func TestEquiKeys(t *testing.T) {
+	out := productSchema(t) // 1.Name 1.Grp 1.T1 1.T2 2.Name 2.Grp 2.T1 2.T2
+	lw, rw := 4, 4
+
+	eq := expr.Compare(expr.Eq, expr.Column("1.Grp"), expr.Column("2.Grp"))
+	lidx, ridx, residual := equiKeys(eq, out, lw, rw)
+	if len(lidx) != 1 || lidx[0] != 1 || ridx[0] != 1 || residual != nil {
+		t.Fatalf("equi conjunct: lidx=%v ridx=%v residual=%v", lidx, ridx, residual)
+	}
+
+	// Reversed operand order must extract the same pair.
+	rev := expr.Compare(expr.Eq, expr.Column("2.Name"), expr.Column("1.Name"))
+	lidx, ridx, residual = equiKeys(rev, out, lw, rw)
+	if len(lidx) != 1 || lidx[0] != 0 || ridx[0] != 0 || residual != nil {
+		t.Fatalf("reversed equi conjunct: lidx=%v ridx=%v residual=%v", lidx, ridx, residual)
+	}
+
+	// Mixed predicate: the equality hashes, the inequality stays residual.
+	mixed := expr.Conj(eq, expr.Compare(expr.Lt, expr.Column("1.T1"), expr.Column("2.T1")))
+	lidx, _, residual = equiKeys(mixed, out, lw, rw)
+	if len(lidx) != 1 || residual == nil {
+		t.Fatalf("mixed predicate: lidx=%v residual=%v", lidx, residual)
+	}
+
+	// Same-side equality cannot be a hash key.
+	sameSide := expr.Compare(expr.Eq, expr.Column("1.Name"), expr.Column("1.Grp"))
+	lidx, _, residual = equiKeys(sameSide, out, lw, rw)
+	if lidx != nil || residual == nil {
+		t.Fatalf("same-side equality must stay residual: lidx=%v residual=%v", lidx, residual)
+	}
+
+	// A non-equi predicate falls back entirely.
+	theta := expr.Compare(expr.Lt, expr.Column("1.Grp"), expr.Column("2.Grp"))
+	lidx, _, residual = equiKeys(theta, out, lw, rw)
+	if lidx != nil || residual == nil {
+		t.Fatalf("theta predicate must stay residual: lidx=%v residual=%v", lidx, residual)
+	}
+}
+
+// TestGroupsContiguous pins the OrderSpec reasoning that lets the grouping
+// operators skip the hash table.
+func TestGroupsContiguous(t *testing.T) {
+	s := schema.MustNew(
+		schema.Attr("Name", value.KindString),
+		schema.Attr("Grp", value.KindInt),
+		schema.Attr(schema.T1, value.KindTime),
+		schema.Attr(schema.T2, value.KindTime))
+	vidx := valueIdx(s) // Name, Grp
+	cases := []struct {
+		ord  relation.OrderSpec
+		want bool
+	}{
+		{nil, false},
+		{relation.OrderSpec{relation.Key("Name")}, false}, // Grp still varies
+		{relation.OrderSpec{relation.Key("Name"), relation.Key("Grp")}, true},
+		{relation.OrderSpec{relation.KeyDesc("Grp"), relation.Key("Name")}, true}, // direction irrelevant
+		{relation.OrderSpec{relation.Key("Name"), relation.Key("Grp"), relation.Key("T1")}, true},
+		{relation.OrderSpec{relation.Key("T1"), relation.Key("Name"), relation.Key("Grp")}, false}, // time attr splits groups
+	}
+	for _, c := range cases {
+		if got := groupsContiguous(c.ord, s, vidx); got != c.want {
+			t.Errorf("groupsContiguous(%s) = %v, want %v", c.ord, got, c.want)
+		}
+	}
+}
+
+// TestGroupsContiguousDuplicateKeys is the regression for the duplicate
+// order-key bug: sort_{Name,Name} covers only Name, so it must NOT prove
+// (Name, Grp) groups contiguous — counting the repeat twice used to take
+// the hash-free path and split value groups.
+func TestGroupsContiguousDuplicateKeys(t *testing.T) {
+	s := schema.MustNew(
+		schema.Attr("Name", value.KindString),
+		schema.Attr("Grp", value.KindInt),
+		schema.Attr(schema.T1, value.KindTime),
+		schema.Attr(schema.T2, value.KindTime))
+	vidx := valueIdx(s)
+	dup := relation.OrderSpec{relation.Key("Name"), relation.Key("Name")}
+	if groupsContiguous(dup, s, vidx) {
+		t.Fatal("sort_{Name,Name} must not prove (Name,Grp) contiguity")
+	}
+	if !groupsContiguous(relation.OrderSpec{relation.Key("Grp"), relation.Key("Grp"), relation.Key("Name")}, s, vidx) {
+		t.Fatal("duplicates are harmless once every value attribute is covered")
+	}
+}
+
+// TestCoalesceOnePassMatchesIterative cross-checks the sorted-group fast
+// path against the reference shape of the iterative merge on random
+// sorted, non-overlapping groups.
+func TestCoalesceOnePassMatchesIterative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := schema.MustNew(
+		schema.Attr("Name", value.KindString),
+		schema.Attr(schema.T1, value.KindTime),
+		schema.Attr(schema.T2, value.KindTime))
+	t1, t2 := s.TimeIndices()
+	for trial := 0; trial < 2000; trial++ {
+		var rows []row
+		cur := period.Chronon(rng.Intn(3))
+		for i := 0; i < rng.Intn(8); i++ {
+			if rng.Intn(2) == 0 {
+				cur += period.Chronon(1 + rng.Intn(3)) // gap
+			}
+			end := cur + period.Chronon(1+rng.Intn(3))
+			p := period.New(cur, end)
+			tp := relation.NewTuple(value.String_("a"), value.Time(p.Start), value.Time(p.End))
+			rows = append(rows, row{orig: i, t: tp, p: p})
+			cur = end
+		}
+		if !sortedDisjoint(rows) {
+			t.Fatalf("generator must produce sorted disjoint groups")
+		}
+		fast := coalesceOnePass(append([]row(nil), rows...), t1, t2)
+
+		// The reference algorithm, group-locally.
+		slow := append([]row(nil), rows...)
+		for i := 0; i < len(slow); {
+			merged := false
+			for j := i + 1; j < len(slow); j++ {
+				if !slow[i].p.Adjacent(slow[j].p) {
+					continue
+				}
+				u, _ := slow[i].p.Union(slow[j].p)
+				slow[i].p = u
+				slow[i].t = slow[i].t.WithPeriodAt(t1, t2, u)
+				slow = append(slow[:j], slow[j+1:]...)
+				merged = true
+				break
+			}
+			if !merged {
+				i++
+			}
+		}
+		if len(fast) != len(slow) {
+			t.Fatalf("one-pass produced %d rows, iterative %d", len(fast), len(slow))
+		}
+		for i := range fast {
+			if !fast[i].t.Equal(slow[i].t) || fast[i].orig != slow[i].orig {
+				t.Fatalf("row %d: one-pass %s (orig %d) vs iterative %s (orig %d)",
+					i, fast[i].t, fast[i].orig, slow[i].t, slow[i].orig)
+			}
+		}
+	}
+}
+
+// TestSortedDisjoint pins the fast-path guard.
+func TestSortedDisjoint(t *testing.T) {
+	p := func(a, b int) period.Period { return period.New(period.Chronon(a), period.Chronon(b)) }
+	mk := func(ps ...period.Period) []row {
+		rows := make([]row, len(ps))
+		for i, pp := range ps {
+			rows[i] = row{orig: i, p: pp}
+		}
+		return rows
+	}
+	if !sortedDisjoint(mk(p(1, 2), p(2, 3), p(5, 7))) {
+		t.Error("adjacent+gapped sorted periods must qualify")
+	}
+	if sortedDisjoint(mk(p(1, 3), p(2, 4))) {
+		t.Error("overlap must disqualify")
+	}
+	if sortedDisjoint(mk(p(3, 4), p(1, 2))) {
+		t.Error("unsorted must disqualify")
+	}
+	if sortedDisjoint(mk(p(2, 2))) {
+		t.Error("empty period must disqualify")
+	}
+	if !sortedDisjoint(nil) {
+		t.Error("the empty group qualifies vacuously")
+	}
+}

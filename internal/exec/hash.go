@@ -1,0 +1,143 @@
+package exec
+
+import (
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+)
+
+// hashGroups assigns dense group ids to tuples equal on a key-column set.
+// Collisions are resolved by chaining on the canonical tuple hash and every
+// candidate is confirmed with value equality, so distinct keys never share a
+// group. Group ids are allocated in first-occurrence order, which is the
+// iteration order the reference evaluator's string-keyed maps expose.
+type hashGroups struct {
+	idx     []int
+	buckets map[uint64][]int
+	reps    []relation.Tuple
+}
+
+func newHashGroups(idx []int, sizeHint int) *hashGroups {
+	return &hashGroups{idx: idx, buckets: make(map[uint64][]int, sizeHint)}
+}
+
+// groupOf returns t's group id, allocating a fresh one (fresh=true) for the
+// first tuple with a given key.
+func (g *hashGroups) groupOf(t relation.Tuple) (id int, fresh bool) {
+	h := t.HashOn(g.idx)
+	for _, gid := range g.buckets[h] {
+		if g.reps[gid].EqualOn(g.idx, t) {
+			return gid, false
+		}
+	}
+	id = len(g.reps)
+	g.reps = append(g.reps, t)
+	g.buckets[h] = append(g.buckets[h], id)
+	return id, true
+}
+
+// lookup finds the group whose key equals t restricted to probeIdx —
+// position k of probeIdx pairs with position k of the table's key — or -1.
+func (g *hashGroups) lookup(t relation.Tuple, probeIdx []int) int {
+	h := t.HashOn(probeIdx)
+	for _, gid := range g.buckets[h] {
+		rep := g.reps[gid]
+		match := true
+		for k, pj := range probeIdx {
+			if !t[pj].Equal(rep[g.idx[k]]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return gid
+		}
+	}
+	return -1
+}
+
+// size returns the number of distinct groups seen.
+func (g *hashGroups) size() int { return len(g.reps) }
+
+// identityIdx returns [0, 1, ..., n).
+func identityIdx(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// valueIdx returns the positions of a temporal schema's non-time attributes:
+// the value-equivalence columns of Section 2.1.
+func valueIdx(s *schema.Schema) []int {
+	t1, t2 := s.TimeIndices()
+	out := make([]int, 0, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		if i == t1 || i == t2 {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// groupsContiguous reports whether tuples equal on idx are guaranteed to be
+// adjacent in a list sorted by ord: some prefix of ord covers exactly the
+// idx attribute set. When true the grouping operators run without a hash
+// table in a single comparison pass.
+func groupsContiguous(ord relation.OrderSpec, s *schema.Schema, idx []int) bool {
+	want := make(map[string]bool, len(idx))
+	for _, j := range idx {
+		want[s.At(j).Name] = true
+	}
+	// Count each distinct attribute once: an order spec may repeat a key
+	// (sort_{Name,Name} is valid), and a repeat proves nothing new.
+	covered := 0
+	seen := make(map[string]bool, len(want))
+	for _, k := range ord {
+		if !want[k.Attr] {
+			return false
+		}
+		if !seen[k.Attr] {
+			seen[k.Attr] = true
+			covered++
+		}
+		if covered == len(want) {
+			return true
+		}
+	}
+	return len(want) == 0
+}
+
+// groupRows partitions row indices by equality on idx, preserving
+// first-occurrence group order and list order within each group. With
+// contiguous=true (the caller proved equal rows adjacent via the input's
+// OrderSpec) it runs hash-free in one comparison pass.
+func groupRows(rows []relation.Tuple, idx []int, contiguous bool) [][]int {
+	if len(rows) == 0 {
+		return nil
+	}
+	if contiguous {
+		var out [][]int
+		cur := []int{0}
+		for i := 1; i < len(rows); i++ {
+			if rows[i].EqualOn(idx, rows[i-1]) {
+				cur = append(cur, i)
+				continue
+			}
+			out = append(out, cur)
+			cur = []int{i}
+		}
+		return append(out, cur)
+	}
+	groups := newHashGroups(idx, len(rows))
+	var out [][]int
+	for i, t := range rows {
+		gid, fresh := groups.groupOf(t)
+		if fresh {
+			out = append(out, nil)
+		}
+		out[gid] = append(out[gid], i)
+	}
+	return out
+}

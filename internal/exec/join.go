@@ -1,0 +1,224 @@
+package exec
+
+import (
+	"tqp/internal/algebra"
+	"tqp/internal/eval"
+	"tqp/internal/expr"
+	"tqp/internal/period"
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+	"tqp/internal/value"
+)
+
+// equiKeys splits a (possibly fused) product predicate into hashable
+// equality pairs — conjuncts of the form leftCol = rightCol over the
+// product's output schema — and the residual predicate evaluated per
+// candidate pair. Columns at or beyond lw+rw (a temporal product's fresh
+// intersection period) cannot be hashed and stay residual.
+func equiKeys(p expr.Pred, out *schema.Schema, lw, rw int) (lidx, ridx []int, residual expr.Pred) {
+	if p == nil {
+		return nil, nil, nil
+	}
+	var rest []expr.Pred
+	for _, c := range expr.SplitConj(p) {
+		if cmp, ok := c.(expr.Cmp); ok && cmp.Op == expr.Eq {
+			lc, lok := cmp.L.(expr.Col)
+			rc, rok := cmp.R.(expr.Col)
+			if lok && rok {
+				i, j := out.Index(lc.Name), out.Index(rc.Name)
+				switch {
+				case i >= 0 && i < lw && j >= lw && j < lw+rw:
+					lidx = append(lidx, i)
+					ridx = append(ridx, j-lw)
+					continue
+				case j >= 0 && j < lw && i >= lw && i < lw+rw:
+					lidx = append(lidx, j)
+					ridx = append(ridx, i-lw)
+					continue
+				}
+			}
+		}
+		rest = append(rest, c)
+	}
+	if len(lidx) == 0 {
+		return nil, nil, p
+	}
+	if len(rest) == 0 {
+		return lidx, ridx, nil
+	}
+	return lidx, ridx, expr.ConjList(rest)
+}
+
+// productIter evaluates × and ×ᵀ (optionally with a fused join predicate) in
+// the reference's left-major, right-list order. With equality keys it is a
+// hash join: the right side is built into a collision-safe table and each
+// left tuple visits only its key's candidates. Without keys it is a block
+// nested loop over the materialized right side that reuses a scratch tuple,
+// allocating only for emitted pairs.
+type productIter struct {
+	left     iterator
+	right    *source
+	out      *schema.Schema
+	lw, rw   int
+	lidx     []int // probe columns in the combined schema (left positions)
+	ridx     []int // build columns in the right schema
+	residual expr.Pred
+	temporal bool
+	lt1, lt2 int // left period positions (temporal)
+
+	built   bool
+	rows    []relation.Tuple
+	periods []period.Period
+	table   *hashGroups
+	members [][]int
+
+	cur  relation.Tuple
+	curP period.Period
+	cand []int
+	ci   int
+	buf  relation.Tuple
+}
+
+func (p *productIter) build() error {
+	r, err := drain(p.right)
+	if err != nil {
+		return err
+	}
+	p.rows = r.Tuples()
+	if p.temporal {
+		p.periods = r.Periods()
+	}
+	if len(p.lidx) > 0 {
+		p.table = newHashGroups(p.ridx, len(p.rows))
+		for i, t := range p.rows {
+			gid, fresh := p.table.groupOf(t)
+			if fresh {
+				p.members = append(p.members, nil)
+			}
+			p.members[gid] = append(p.members[gid], i)
+		}
+	} else {
+		p.cand = identityIdx(len(p.rows))
+	}
+	p.built = true
+	return nil
+}
+
+// advance pulls the next probe tuple and positions the candidate cursor.
+func (p *productIter) advance() error {
+	for {
+		t, err := p.left.next()
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			p.cur = nil
+			return nil
+		}
+		p.cur = t
+		if p.temporal {
+			p.curP = t.PeriodAt(p.lt1, p.lt2)
+		}
+		p.ci = 0
+		if p.table == nil {
+			return nil // nested loop: all right rows are candidates
+		}
+		if gid := p.table.lookup(t, p.lidx); gid >= 0 {
+			p.cand = p.members[gid]
+			return nil
+		}
+		// No hash match: try the next left tuple.
+	}
+}
+
+func (p *productIter) next() (relation.Tuple, error) {
+	if !p.built {
+		if err := p.build(); err != nil {
+			return nil, err
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	width := p.lw + p.rw
+	if p.temporal {
+		width += 2
+	}
+	for p.cur != nil {
+		for p.ci < len(p.cand) {
+			ri := p.cand[p.ci]
+			p.ci++
+			var iv period.Period
+			if p.temporal {
+				iv = p.curP.Intersect(p.periods[ri])
+				if iv.Empty() {
+					continue
+				}
+			}
+			if p.buf == nil {
+				p.buf = make(relation.Tuple, width)
+			}
+			copy(p.buf, p.cur)
+			copy(p.buf[p.lw:], p.rows[ri])
+			if p.temporal {
+				p.buf[p.lw+p.rw] = value.Time(iv.Start)
+				p.buf[p.lw+p.rw+1] = value.Time(iv.End)
+			}
+			if p.residual != nil {
+				ok, err := p.residual.Holds(p.out, p.buf)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			t := p.buf
+			p.buf = nil
+			return t, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+func (p *productIter) close() error { return p.left.close() }
+
+// buildProduct compiles × / ×ᵀ with an optional fused join predicate; the
+// join idioms dispatch here with their predicate.
+func (e *Engine) buildProduct(n algebra.Node, pred expr.Pred, temporal bool) (*source, error) {
+	l, r, err := e.buildBoth(n)
+	if err != nil {
+		return nil, err
+	}
+	outSchema, err := n.Schema()
+	if err != nil {
+		return nil, err
+	}
+	lw, rw := l.schema.Len(), r.schema.Len()
+	lidx, ridx, residual := equiKeys(pred, outSchema, lw, rw)
+	it := &productIter{
+		left:     l.it,
+		right:    r,
+		out:      outSchema,
+		lw:       lw,
+		rw:       rw,
+		lidx:     lidx,
+		ridx:     ridx,
+		residual: residual,
+		temporal: temporal,
+	}
+	leftOrder := l.order
+	if temporal {
+		it.lt1, it.lt2 = l.schema.TimeIndices()
+		// Table 1: the order of ×ᵀ is the left order's time-free prefix.
+		leftOrder = leftOrder.TimeFreePrefix()
+	}
+	return &source{
+		it:     it,
+		schema: outSchema,
+		order:  eval.OrderAfterProduct(leftOrder, r.schema, outSchema),
+	}, nil
+}

@@ -1,0 +1,114 @@
+package exec_test
+
+import (
+	"testing"
+
+	"tqp/internal/algebra"
+	"tqp/internal/catalog"
+	"tqp/internal/exec"
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+	"tqp/internal/value"
+)
+
+// The golden parity tests pin the exec engine to the paper's fixtures —
+// the same Figure 1/2/3 artifacts internal/eval/paper_test.go pins for the
+// reference evaluator — so both engines are anchored to the paper's
+// expected outputs, not merely to each other.
+
+func mustExec(t *testing.T, e *exec.Engine, n algebra.Node) *relation.Relation {
+	t.Helper()
+	r, err := e.Eval(n)
+	if err != nil {
+		t.Fatalf("exec.Eval: %v", err)
+	}
+	return r
+}
+
+func wantRows(t *testing.T, got *relation.Relation, s *schema.Schema, rows [][]any) {
+	t.Helper()
+	want := relation.MustFromRows(s, rows)
+	if !got.Schema().Equal(s) {
+		t.Fatalf("schema = %s, want %s", got.Schema(), s)
+	}
+	if !got.EqualAsList(want) {
+		t.Fatalf("result:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func resultSchema() *schema.Schema {
+	return schema.MustNew(
+		schema.Attr("EmpName", value.KindString),
+		schema.Attr(schema.T1, value.KindTime),
+		schema.Attr(schema.T2, value.KindTime))
+}
+
+// TestFigure3OnExec pins R1 = π(EMPLOYEE), R2 = rdup(R1), R3 = rdupᵀ(R1) of
+// Figure 3 on the exec engine.
+func TestFigure3OnExec(t *testing.T) {
+	c := catalog.Paper()
+	e := exec.New(c)
+	r1n := catalog.PaperProjection(c.MustNode("EMPLOYEE"))
+
+	temporal := schema.MustNew(
+		schema.Attr("EmpName", value.KindString),
+		schema.Attr(schema.T1, value.KindTime),
+		schema.Attr(schema.T2, value.KindTime))
+	wantRows(t, mustExec(t, e, r1n), temporal, [][]any{
+		{"John", 1, 8},
+		{"John", 6, 11},
+		{"Anna", 2, 6},
+		{"Anna", 2, 6},
+		{"Anna", 6, 12},
+	})
+
+	snapshot := schema.MustNew(
+		schema.Attr("EmpName", value.KindString),
+		schema.Attr("1.T1", value.KindTime),
+		schema.Attr("1.T2", value.KindTime))
+	wantRows(t, mustExec(t, e, algebra.NewRdup(r1n)), snapshot, [][]any{
+		{"John", 1, 8},
+		{"John", 6, 11},
+		{"Anna", 2, 6},
+		{"Anna", 6, 12},
+	})
+
+	r3 := mustExec(t, e, algebra.NewTRdup(r1n))
+	wantRows(t, r3, temporal, [][]any{
+		{"John", 1, 8},
+		{"John", 8, 11},
+		{"Anna", 2, 6},
+		{"Anna", 6, 12},
+	})
+	if r3.HasSnapshotDuplicates() {
+		t.Error("R3 must be free of duplicates in snapshots")
+	}
+}
+
+// TestFigure1ResultOnExec evaluates the three paper plans — Figure 2(a)
+// initial, Figure 6(a) intermediate, Figure 6(b) optimized — with the exec
+// engine and pins each to the exact Result relation of Figure 1.
+func TestFigure1ResultOnExec(t *testing.T) {
+	c := catalog.Paper()
+	e := exec.New(c)
+	for name, plan := range map[string]algebra.Node{
+		"initial 2(a)":      catalog.PaperInitialPlan(c),
+		"intermediate 6(a)": catalog.PaperIntermediatePlan(c),
+		"optimized 6(b)":    catalog.PaperOptimizedPlan(c),
+	} {
+		got := mustExec(t, e, plan)
+		want := relation.MustFromRows(resultSchema(), catalog.PaperResultRows())
+		if !got.EqualAsList(want) {
+			t.Errorf("plan %s:\n%s\nwant:\n%s", name, got, want)
+		}
+		if got.HasSnapshotDuplicates() {
+			t.Errorf("plan %s: result must be snapshot-duplicate-free", name)
+		}
+		if !got.IsCoalesced() {
+			t.Errorf("plan %s: result must be coalesced", name)
+		}
+		if !got.SortedBy(relation.OrderSpec{relation.Key("EmpName")}) {
+			t.Errorf("plan %s: result must be sorted by EmpName", name)
+		}
+	}
+}

@@ -1,0 +1,414 @@
+package exec
+
+import (
+	"fmt"
+
+	"tqp/internal/algebra"
+	"tqp/internal/eval"
+	"tqp/internal/expr"
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+)
+
+// buildRel compiles a base-relation scan.
+func (e *Engine) buildRel(n *algebra.Rel) (*source, error) {
+	r, err := e.src.Resolve(n.Name)
+	if err != nil {
+		return nil, err
+	}
+	if !r.Schema().Equal(n.Sch) {
+		return nil, fmt.Errorf("exec: relation %q schema mismatch: plan %s vs instance %s",
+			n.Name, n.Sch, r.Schema())
+	}
+	order := r.Order()
+	if !n.Info.Order.Empty() {
+		order = n.Info.Order
+	}
+	return &source{it: &sliceIter{ts: r.Tuples()}, schema: r.Schema(), order: order}, nil
+}
+
+// selectIter streams tuples satisfying the predicate.
+type selectIter struct {
+	in     iterator
+	p      expr.Pred
+	schema *schema.Schema
+}
+
+func (s *selectIter) next() (relation.Tuple, error) {
+	for {
+		t, err := s.in.next()
+		if err != nil || t == nil {
+			return nil, err
+		}
+		ok, err := s.p.Holds(s.schema, t)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return t, nil
+		}
+	}
+}
+
+func (s *selectIter) close() error { return s.in.close() }
+
+// buildSelect compiles σ_P: a streaming filter that retains order,
+// duplicates and coalescing.
+func (e *Engine) buildSelect(n *algebra.Select) (*source, error) {
+	in, err := e.build(n.Children()[0])
+	if err != nil {
+		return nil, err
+	}
+	if _, err := n.Schema(); err != nil {
+		return nil, err
+	}
+	return &source{
+		it:     &selectIter{in: in.it, p: n.P, schema: in.schema},
+		schema: in.schema,
+		order:  in.order,
+	}, nil
+}
+
+// projectIter streams the generalized projection π.
+type projectIter struct {
+	in       iterator
+	items    []algebra.ProjItem
+	inSchema *schema.Schema
+}
+
+func (p *projectIter) next() (relation.Tuple, error) {
+	t, err := p.in.next()
+	if err != nil || t == nil {
+		return nil, err
+	}
+	nt := make(relation.Tuple, len(p.items))
+	for i, it := range p.items {
+		v, err := it.Expr.Eval(p.inSchema, t)
+		if err != nil {
+			return nil, err
+		}
+		nt[i] = v
+	}
+	return nt, nil
+}
+
+func (p *projectIter) close() error { return p.in.close() }
+
+// buildProject compiles π with the Prefix(Order(r), ProjPairs) order rule.
+func (e *Engine) buildProject(n *algebra.Project) (*source, error) {
+	in, err := e.build(n.Children()[0])
+	if err != nil {
+		return nil, err
+	}
+	outSchema, err := n.Schema()
+	if err != nil {
+		return nil, err
+	}
+	return &source{
+		it:     &projectIter{in: in.it, items: n.Items, inSchema: in.schema},
+		schema: outSchema,
+		order:  eval.OrderAfterProject(in.order, n),
+	}, nil
+}
+
+// buildSort compiles sort_A: a materializing stable sort, with Table 1's
+// special case — sorting on a prefix of the existing order keeps the
+// stronger order.
+func (e *Engine) buildSort(n *algebra.Sort) (*source, error) {
+	in, err := e.build(n.Children()[0])
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Spec.Validate(in.schema); err != nil {
+		return nil, err
+	}
+	order := n.Spec
+	if n.Spec.IsPrefixOf(in.order) {
+		order = in.order
+	}
+	return lazySource(in.schema, order, func() ([]relation.Tuple, error) {
+		r, err := drain(in)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.SortStable(n.Spec); err != nil {
+			return nil, err
+		}
+		return r.Tuples(), nil
+	}), nil
+}
+
+// concatIter streams the left iterator, then the right.
+type concatIter struct {
+	cur, rest iterator
+}
+
+func (c *concatIter) next() (relation.Tuple, error) {
+	t, err := c.cur.next()
+	if err != nil || t != nil {
+		return t, err
+	}
+	if c.rest == nil {
+		return nil, nil
+	}
+	if err := c.cur.close(); err != nil {
+		return nil, err
+	}
+	c.cur, c.rest = c.rest, nil
+	return c.next()
+}
+
+func (c *concatIter) close() error {
+	err := c.cur.close()
+	if c.rest != nil {
+		if err2 := c.rest.close(); err == nil {
+			err = err2
+		}
+	}
+	return err
+}
+
+// buildUnionAll compiles ⊔: streaming concatenation, unordered result.
+func (e *Engine) buildUnionAll(n algebra.Node) (*source, error) {
+	l, r, err := e.buildBoth(n)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := n.Schema(); err != nil {
+		return nil, err
+	}
+	return &source{it: &concatIter{cur: l.it, rest: r.it}, schema: l.schema}, nil
+}
+
+// rdupIter streams the first occurrence of each tuple through a hash set.
+type rdupIter struct {
+	in   iterator
+	seen *hashGroups
+}
+
+func (r *rdupIter) next() (relation.Tuple, error) {
+	for {
+		t, err := r.in.next()
+		if err != nil || t == nil {
+			return nil, err
+		}
+		if r.seen.idx == nil {
+			r.seen.idx = identityIdx(len(t))
+		}
+		if _, fresh := r.seen.groupOf(t); fresh {
+			return t, nil
+		}
+	}
+}
+
+func (r *rdupIter) close() error { return r.in.close() }
+
+// buildRdup compiles rdup: streaming hash duplicate elimination. The first
+// occurrence survives, so the argument's order is retained (time attributes
+// qualified — the result is a snapshot relation).
+func (e *Engine) buildRdup(n algebra.Node) (*source, error) {
+	in, err := e.build(n.Children()[0])
+	if err != nil {
+		return nil, err
+	}
+	outSchema, err := n.Schema()
+	if err != nil {
+		return nil, err
+	}
+	return &source{
+		it:     &rdupIter{in: in.it, seen: newHashGroups(nil, 0)},
+		schema: outSchema,
+		order:  eval.OrderQualifyTime(in.order, outSchema),
+	}, nil
+}
+
+// diffIter implements the multiset difference \: the right side is drained
+// into hash multiplicity counters on first pull, then the left side streams
+// through, each tuple consuming one counter or surviving.
+type diffIter struct {
+	left   iterator
+	right  *source
+	groups *hashGroups
+	budget []int
+	built  bool
+}
+
+func (d *diffIter) next() (relation.Tuple, error) {
+	if !d.built {
+		r, err := drain(d.right)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range r.Tuples() {
+			if d.groups.idx == nil {
+				d.groups.idx = identityIdx(len(t))
+			}
+			gid, fresh := d.groups.groupOf(t)
+			if fresh {
+				d.budget = append(d.budget, 0)
+			}
+			d.budget[gid]++
+		}
+		d.built = true
+	}
+	for {
+		t, err := d.left.next()
+		if err != nil || t == nil {
+			return nil, err
+		}
+		if d.groups.idx == nil {
+			d.groups.idx = identityIdx(len(t))
+		}
+		if gid := d.groups.lookup(t, d.groups.idx); gid >= 0 && d.budget[gid] > 0 {
+			d.budget[gid]--
+			continue
+		}
+		return t, nil
+	}
+}
+
+func (d *diffIter) close() error { return d.left.close() }
+
+// buildDiff compiles the multiset difference \ as a hash anti-semi pass:
+// the earliest left occurrences absorb the subtraction, retaining the left
+// order and the late duplicates.
+func (e *Engine) buildDiff(n algebra.Node) (*source, error) {
+	l, r, err := e.buildBoth(n)
+	if err != nil {
+		return nil, err
+	}
+	outSchema, err := n.Schema()
+	if err != nil {
+		return nil, err
+	}
+	return &source{
+		it:     &diffIter{left: l.it, right: r, groups: newHashGroups(nil, 0)},
+		schema: outSchema,
+		order:  eval.OrderQualifyTime(l.order, outSchema),
+	}, nil
+}
+
+// unionIter implements the max-multiplicity union ∪: all of the left list,
+// followed by the right tuples exceeding the left's multiplicity counters.
+type unionIter struct {
+	left   *source
+	right  iterator
+	groups *hashGroups
+	budget []int
+	lts    []relation.Tuple
+	li     int
+	built  bool
+}
+
+func (u *unionIter) next() (relation.Tuple, error) {
+	if !u.built {
+		l, err := drain(u.left)
+		if err != nil {
+			return nil, err
+		}
+		u.lts = l.Tuples()
+		for _, t := range u.lts {
+			if u.groups.idx == nil {
+				u.groups.idx = identityIdx(len(t))
+			}
+			gid, fresh := u.groups.groupOf(t)
+			if fresh {
+				u.budget = append(u.budget, 0)
+			}
+			u.budget[gid]++
+		}
+		u.built = true
+	}
+	if u.li < len(u.lts) {
+		t := u.lts[u.li]
+		u.li++
+		return t, nil
+	}
+	for {
+		t, err := u.right.next()
+		if err != nil || t == nil {
+			return nil, err
+		}
+		if u.groups.idx == nil {
+			u.groups.idx = identityIdx(len(t))
+		}
+		if gid := u.groups.lookup(t, u.groups.idx); gid >= 0 && u.budget[gid] > 0 {
+			u.budget[gid]--
+			continue
+		}
+		return t, nil
+	}
+}
+
+func (u *unionIter) close() error { return u.right.close() }
+
+// buildUnion compiles the multiset union ∪ of Albert [1]: each tuple occurs
+// max(n1, n2) times; unordered result.
+func (e *Engine) buildUnion(n algebra.Node) (*source, error) {
+	l, r, err := e.buildBoth(n)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := n.Schema(); err != nil {
+		return nil, err
+	}
+	return &source{
+		it:     &unionIter{left: l, right: r.it, groups: newHashGroups(nil, 0)},
+		schema: l.schema,
+	}, nil
+}
+
+// buildAggregate compiles 𝒢: the input streams into per-group accumulators
+// held in a first-occurrence-ordered hash table; one tuple per group is
+// emitted once the input is exhausted.
+func (e *Engine) buildAggregate(n *algebra.Aggregate) (*source, error) {
+	in, err := e.build(n.Children()[0])
+	if err != nil {
+		return nil, err
+	}
+	outSchema, err := n.Schema()
+	if err != nil {
+		return nil, err
+	}
+	gidx := make([]int, len(n.GroupBy))
+	for i, g := range n.GroupBy {
+		gidx[i] = in.schema.Index(g)
+	}
+	order := eval.OrderAfterGroup(in.order, n.GroupBy)
+	return lazySource(outSchema, order, func() ([]relation.Tuple, error) {
+		groups := newHashGroups(gidx, 0)
+		var accs [][]*expr.Accumulator
+		for {
+			t, err := in.it.next()
+			if err != nil {
+				return nil, err
+			}
+			if t == nil {
+				break
+			}
+			gid, fresh := groups.groupOf(t)
+			if fresh {
+				accs = append(accs, eval.NewAccumulators(n.Aggs, in.schema))
+			}
+			if err := eval.FoldAggregates(accs[gid], n.Aggs, in.schema, t); err != nil {
+				return nil, err
+			}
+		}
+		if err := in.it.close(); err != nil {
+			return nil, err
+		}
+		out := make([]relation.Tuple, 0, groups.size())
+		for gid := 0; gid < groups.size(); gid++ {
+			nt := make(relation.Tuple, 0, outSchema.Len())
+			rep := groups.reps[gid]
+			for _, gi := range gidx {
+				nt = append(nt, rep[gi])
+			}
+			for _, acc := range accs[gid] {
+				nt = append(nt, acc.Result())
+			}
+			out = append(out, nt)
+		}
+		return out, nil
+	}), nil
+}

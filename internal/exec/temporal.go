@@ -1,0 +1,498 @@
+package exec
+
+import (
+	"sort"
+
+	"tqp/internal/algebra"
+	"tqp/internal/eval"
+	"tqp/internal/period"
+	"tqp/internal/relation"
+	"tqp/internal/value"
+)
+
+// row is one tuple of a value-equivalence group during temporal grouping,
+// tagged with its original list position so fragments re-interleave into the
+// reference's output order.
+type row struct {
+	orig int
+	t    relation.Tuple
+	p    period.Period
+}
+
+// groupRowsOf partitions a temporal relation's tuples into value-equivalence
+// groups of position-tagged rows, exploiting a contiguity-proving OrderSpec
+// to skip the hash table.
+func groupRowsOf(r *relation.Relation) [][]row {
+	vidx := valueIdx(r.Schema())
+	contiguous := groupsContiguous(r.Order(), r.Schema(), vidx)
+	idxGroups := groupRows(r.Tuples(), vidx, contiguous)
+	t1, t2 := r.Schema().TimeIndices()
+	out := make([][]row, len(idxGroups))
+	for g, members := range idxGroups {
+		rows := make([]row, len(members))
+		for x, i := range members {
+			rows[x] = row{orig: i, t: r.At(i), p: r.At(i).PeriodAt(t1, t2)}
+		}
+		out[g] = rows
+	}
+	return out
+}
+
+// mergeByOrig re-interleaves per-group result rows into original list order.
+// Each original position belongs to exactly one group and every group is
+// already ascending on orig, so a stable sort restores the global order with
+// fragments kept in their in-place sequence.
+func mergeByOrig(groups [][]row) []relation.Tuple {
+	n := 0
+	for _, g := range groups {
+		n += len(g)
+	}
+	all := make([]row, 0, n)
+	for _, g := range groups {
+		all = append(all, g...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].orig < all[j].orig })
+	out := make([]relation.Tuple, len(all))
+	for i, rw := range all {
+		out[i] = rw.t
+	}
+	return out
+}
+
+// buildTRdup compiles rdupᵀ: hash partition by value-equivalence, then run
+// the paper's iterative head/subtract algorithm group-locally. Rows of
+// different groups never interact and in-place replacement preserves their
+// relative order, so the group-local runs compose into exactly the
+// reference's global result at O(Σ g²) instead of O(n²) — and a group whose
+// periods arrive sorted and non-overlapping is recognized in a linear
+// pre-scan and skipped outright.
+func (e *Engine) buildTRdup(n algebra.Node) (*source, error) {
+	in, err := e.build(n.Children()[0])
+	if err != nil {
+		return nil, err
+	}
+	if _, err := n.Schema(); err != nil {
+		return nil, err
+	}
+	order := in.order.TimeFreePrefix()
+	return lazySource(in.schema, order, func() ([]relation.Tuple, error) {
+		r, err := drain(in)
+		if err != nil {
+			return nil, err
+		}
+		t1, t2 := r.Schema().TimeIndices()
+		groups := groupRowsOf(r)
+		for g, rows := range groups {
+			if sortedDisjoint(rows) {
+				continue // no overlaps exist: nothing to eliminate
+			}
+			for i := 0; i < len(rows); i++ {
+				head := rows[i]
+				for {
+					j := -1
+					for x := i + 1; x < len(rows); x++ {
+						if rows[x].p.Overlaps(head.p) {
+							j = x
+							break
+						}
+					}
+					if j < 0 {
+						break
+					}
+					frags := rows[j].p.Subtract(head.p)
+					repl := make([]row, 0, 2)
+					for _, f := range frags {
+						repl = append(repl, row{orig: rows[j].orig, t: rows[j].t.WithPeriodAt(t1, t2, f), p: f})
+					}
+					rows = append(rows[:j], append(repl, rows[j+1:]...)...)
+				}
+			}
+			groups[g] = rows
+		}
+		return mergeByOrig(groups), nil
+	}), nil
+}
+
+// sortedDisjoint reports that a group's periods are non-empty, sorted by
+// start, and pairwise non-overlapping — the shape left behind by a prior
+// rdupᵀ or a sort, under which overlap-driven work is provably absent.
+func sortedDisjoint(rows []row) bool {
+	for i, rw := range rows {
+		if rw.p.Empty() {
+			return false
+		}
+		if i > 0 && rw.p.Start < rows[i-1].p.End {
+			return false
+		}
+	}
+	return true
+}
+
+// buildCoal compiles coalᵀ: group-local adjacency merging. A group whose
+// periods are sorted and non-overlapping merges in one pass; otherwise the
+// reference's iterative merge runs group-locally (the engine never sorts
+// first — coalescing is not confluent under reordering, so that would change
+// the result multiset, not just its order).
+func (e *Engine) buildCoal(n algebra.Node) (*source, error) {
+	in, err := e.build(n.Children()[0])
+	if err != nil {
+		return nil, err
+	}
+	if _, err := n.Schema(); err != nil {
+		return nil, err
+	}
+	order := in.order.TimeFreePrefix()
+	return lazySource(in.schema, order, func() ([]relation.Tuple, error) {
+		r, err := drain(in)
+		if err != nil {
+			return nil, err
+		}
+		t1, t2 := r.Schema().TimeIndices()
+		groups := groupRowsOf(r)
+		for g, rows := range groups {
+			if sortedDisjoint(rows) {
+				groups[g] = coalesceOnePass(rows, t1, t2)
+				continue
+			}
+			for i := 0; i < len(rows); {
+				merged := false
+				for j := i + 1; j < len(rows); j++ {
+					if !rows[i].p.Adjacent(rows[j].p) {
+						continue
+					}
+					u, _ := rows[i].p.Union(rows[j].p)
+					rows[i].p = u
+					rows[i].t = rows[i].t.WithPeriodAt(t1, t2, u)
+					rows = append(rows[:j], rows[j+1:]...)
+					merged = true
+					break
+				}
+				if !merged {
+					i++
+				}
+			}
+			groups[g] = rows
+		}
+		return mergeByOrig(groups), nil
+	}), nil
+}
+
+// coalesceOnePass merges a sorted, non-overlapping group in a single sweep.
+// Under sortedDisjoint the first later adjacent row is always the immediate
+// successor and merging preserves the invariant, so this reproduces the
+// iterative algorithm exactly.
+func coalesceOnePass(rows []row, t1, t2 int) []row {
+	if len(rows) == 0 {
+		return rows
+	}
+	out := rows[:0:0]
+	cur := rows[0]
+	dirty := false
+	for _, rw := range rows[1:] {
+		if cur.p.End == rw.p.Start {
+			cur.p.End = rw.p.End
+			dirty = true
+			continue
+		}
+		if dirty {
+			cur.t = cur.t.WithPeriodAt(t1, t2, cur.p)
+		}
+		out = append(out, cur)
+		cur = rw
+		dirty = false
+	}
+	if dirty {
+		cur.t = cur.t.WithPeriodAt(t1, t2, cur.p)
+	}
+	return append(out, cur)
+}
+
+// buildTDiff compiles the temporal difference \ᵀ with exact per-snapshot
+// semantics: both sides hash-partition by value equivalence, each left
+// group's timeline decomposes into elementary intervals where the matching
+// right group's multiplicity forms a budget, and surviving fragments of each
+// left tuple re-emit in left list order — the reference's algorithm with
+// tuple hashes in place of string keys.
+func (e *Engine) buildTDiff(n algebra.Node) (*source, error) {
+	l, r, err := e.buildBoth(n)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := n.Schema(); err != nil {
+		return nil, err
+	}
+	order := l.order.TimeFreePrefix()
+	return lazySource(l.schema, order, func() ([]relation.Tuple, error) {
+		lr, err := drain(l)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := drain(r)
+		if err != nil {
+			return nil, err
+		}
+		t1, t2 := lr.Schema().TimeIndices()
+		vidx := valueIdx(lr.Schema())
+
+		// One shared id space over both sides' value-equivalence keys.
+		groups := newHashGroups(vidx, lr.Len()+rr.Len())
+		var leftMembers, rightMembers [][]int
+		grow := func(fresh bool) {
+			if fresh {
+				leftMembers = append(leftMembers, nil)
+				rightMembers = append(rightMembers, nil)
+			}
+		}
+		for i, t := range lr.Tuples() {
+			gid, fresh := groups.groupOf(t)
+			grow(fresh)
+			leftMembers[gid] = append(leftMembers[gid], i)
+		}
+		for j, t := range rr.Tuples() {
+			gid, fresh := groups.groupOf(t)
+			grow(fresh)
+			rightMembers[gid] = append(rightMembers[gid], j)
+		}
+
+		frag := make([][]period.Period, lr.Len())
+		for gid, leftIdx := range leftMembers {
+			if len(leftIdx) == 0 {
+				continue
+			}
+			var rightPeriods []period.Period
+			for _, j := range rightMembers[gid] {
+				if p := rr.PeriodOf(j); !p.Empty() {
+					rightPeriods = append(rightPeriods, p)
+				}
+			}
+			all := make([]period.Period, 0, len(leftIdx)+len(rightPeriods))
+			for _, i := range leftIdx {
+				all = append(all, lr.PeriodOf(i))
+			}
+			all = append(all, rightPeriods...)
+			ivs := period.ElementaryIntervals(all)
+			budget := make([]int, len(ivs))
+			for x, iv := range ivs {
+				for _, rp := range rightPeriods {
+					if rp.ContainsPeriod(iv) {
+						budget[x]++
+					}
+				}
+			}
+			for _, i := range leftIdx {
+				lp := lr.PeriodOf(i)
+				if lp.Empty() {
+					continue
+				}
+				var cur period.Period
+				for x, iv := range ivs {
+					if !lp.ContainsPeriod(iv) || iv.Empty() {
+						continue
+					}
+					if budget[x] > 0 {
+						budget[x]--
+						if !cur.Empty() {
+							frag[i] = append(frag[i], cur)
+							cur = period.Period{}
+						}
+						continue
+					}
+					if !cur.Empty() && cur.End == iv.Start {
+						cur.End = iv.End
+					} else {
+						if !cur.Empty() {
+							frag[i] = append(frag[i], cur)
+						}
+						cur = iv
+					}
+				}
+				if !cur.Empty() {
+					frag[i] = append(frag[i], cur)
+				}
+			}
+		}
+
+		var out []relation.Tuple
+		for i, t := range lr.Tuples() {
+			for _, p := range frag[i] {
+				out = append(out, t.WithPeriodAt(t1, t2, p))
+			}
+		}
+		return out, nil
+	}), nil
+}
+
+// buildTUnion compiles the temporal union ∪ᵀ: all of the left list followed
+// by, per right value group in first-occurrence order, the maximal periods
+// over which the right multiplicity exceeds the left's, layer by layer.
+func (e *Engine) buildTUnion(n algebra.Node) (*source, error) {
+	l, r, err := e.buildBoth(n)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := n.Schema(); err != nil {
+		return nil, err
+	}
+	return lazySource(l.schema, nil, func() ([]relation.Tuple, error) {
+		lr, err := drain(l)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := drain(r)
+		if err != nil {
+			return nil, err
+		}
+		t1, t2 := lr.Schema().TimeIndices()
+		vidx := valueIdx(lr.Schema())
+
+		groups := newHashGroups(vidx, lr.Len()+rr.Len())
+		var leftMembers, rightMembers [][]int
+		grow := func(fresh bool) {
+			if fresh {
+				leftMembers = append(leftMembers, nil)
+				rightMembers = append(rightMembers, nil)
+			}
+		}
+		for i, t := range lr.Tuples() {
+			gid, fresh := groups.groupOf(t)
+			grow(fresh)
+			leftMembers[gid] = append(leftMembers[gid], i)
+		}
+		var rOrder []int // right groups in first right occurrence order
+		for j, t := range rr.Tuples() {
+			gid, fresh := groups.groupOf(t)
+			grow(fresh)
+			if len(rightMembers[gid]) == 0 {
+				rOrder = append(rOrder, gid)
+			}
+			rightMembers[gid] = append(rightMembers[gid], j)
+		}
+
+		out := make([]relation.Tuple, 0, lr.Len())
+		out = append(out, lr.Tuples()...)
+		for _, gid := range rOrder {
+			var rps, lps []period.Period
+			for _, j := range rightMembers[gid] {
+				if p := rr.PeriodOf(j); !p.Empty() {
+					rps = append(rps, p)
+				}
+			}
+			for _, i := range leftMembers[gid] {
+				if p := lr.PeriodOf(i); !p.Empty() {
+					lps = append(lps, p)
+				}
+			}
+			all := append(append([]period.Period{}, rps...), lps...)
+			ivs := period.ElementaryIntervals(all)
+			extra := make([]int, len(ivs))
+			maxExtra := 0
+			for x, iv := range ivs {
+				c1, c2 := 0, 0
+				for _, p := range lps {
+					if p.ContainsPeriod(iv) {
+						c1++
+					}
+				}
+				for _, p := range rps {
+					if p.ContainsPeriod(iv) {
+						c2++
+					}
+				}
+				if c2 > c1 {
+					extra[x] = c2 - c1
+					if extra[x] > maxExtra {
+						maxExtra = extra[x]
+					}
+				}
+			}
+			if maxExtra == 0 {
+				continue
+			}
+			rep := rr.At(rightMembers[gid][0])
+			for layer := 1; layer <= maxExtra; layer++ {
+				var cur period.Period
+				flush := func() {
+					if !cur.Empty() {
+						out = append(out, rep.WithPeriodAt(t1, t2, cur))
+						cur = period.Period{}
+					}
+				}
+				for x, iv := range ivs {
+					if extra[x] < layer {
+						flush()
+						continue
+					}
+					if !cur.Empty() && cur.End == iv.Start {
+						cur.End = iv.End
+					} else {
+						flush()
+						cur = iv
+					}
+				}
+				flush()
+			}
+		}
+		return out, nil
+	}), nil
+}
+
+// buildTAggregate compiles 𝒢ᵀ: hash grouping in first-occurrence order,
+// then per group one result tuple per elementary interval with live tuples,
+// exactly the reference's constant-interval evaluation.
+func (e *Engine) buildTAggregate(n *algebra.Aggregate) (*source, error) {
+	in, err := e.build(n.Children()[0])
+	if err != nil {
+		return nil, err
+	}
+	outSchema, err := n.Schema()
+	if err != nil {
+		return nil, err
+	}
+	gidx := make([]int, len(n.GroupBy))
+	for i, g := range n.GroupBy {
+		gidx[i] = in.schema.Index(g)
+	}
+	order := eval.OrderAfterGroup(in.order, n.GroupBy)
+	return lazySource(outSchema, order, func() ([]relation.Tuple, error) {
+		r, err := drain(in)
+		if err != nil {
+			return nil, err
+		}
+		contiguous := groupsContiguous(r.Order(), r.Schema(), gidx)
+		groups := groupRows(r.Tuples(), gidx, contiguous)
+		var out []relation.Tuple
+		for _, members := range groups {
+			ps := make([]period.Period, len(members))
+			for x, i := range members {
+				ps[x] = r.PeriodOf(i)
+			}
+			for _, iv := range period.ElementaryIntervals(ps) {
+				accs := eval.NewAccumulators(n.Aggs, r.Schema())
+				live := 0
+				for x, i := range members {
+					if !ps[x].ContainsPeriod(iv) {
+						continue
+					}
+					live++
+					if err := eval.FoldAggregates(accs, n.Aggs, r.Schema(), r.At(i)); err != nil {
+						return nil, err
+					}
+				}
+				if live == 0 {
+					continue
+				}
+				nt := make(relation.Tuple, 0, outSchema.Len())
+				rep := r.At(members[0])
+				for _, gi := range gidx {
+					nt = append(nt, rep[gi])
+				}
+				for _, acc := range accs {
+					nt = append(nt, acc.Result())
+				}
+				nt = append(nt, value.Time(iv.Start), value.Time(iv.End))
+				out = append(out, nt)
+			}
+		}
+		return out, nil
+	}), nil
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"tqp/internal/algebra"
+	"tqp/internal/datagen"
+	"tqp/internal/eval"
+	"tqp/internal/exec"
+	"tqp/internal/expr"
+	"tqp/internal/relation"
+	"tqp/internal/testutil"
+)
+
+// E11Engines is an extension experiment: the streaming hash-based exec
+// engine head-to-head against the reference evaluator. It verifies
+// differential parity (identical result lists and Table 1 order annotations
+// on random conventional+temporal plans) and measures the wall-clock
+// speedup of the hash pipeline on an equijoin → rdupᵀ → coalᵀ plan — the
+// shape whose nested-loop evaluation dominates the reference's cost.
+func E11Engines() Report {
+	b := newReport()
+
+	plans, mismatches := 0, 0
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c, bases := testutil.TemporalCatalog(seed)
+		ref := eval.New(c)
+		ex := exec.New(c)
+		for trial := 0; trial < 6; trial++ {
+			plan := testutil.RandomPlan(rng, bases, 2+rng.Intn(2))
+			want, errRef := ref.Eval(plan)
+			got, errExec := ex.Eval(plan)
+			if (errRef == nil) != (errExec == nil) {
+				mismatches++
+				continue
+			}
+			if errRef != nil {
+				continue
+			}
+			plans++
+			if !got.EqualAsList(want) || !got.Order().Equal(want.Order()) {
+				mismatches++
+			}
+		}
+	}
+	b.printf("  %d random conventional+temporal plans through both engines, %d disagreements\n",
+		plans, mismatches)
+	b.check(mismatches == 0, "exec and reference agree list-exactly on every random plan")
+
+	b.printf("  join+rdupT+coalT  %12s %12s %9s\n", "reference", "exec", "speedup")
+	okParity, okSpeed := true, true
+	var lastSpeedup float64
+	for _, rows := range []int{500, 2000} {
+		l := datagen.Temporal(datagen.TemporalSpec{
+			Rows: rows, Values: rows / 4, TimeRange: 200, MaxPeriod: 12, Seed: 11})
+		r := datagen.Temporal(datagen.TemporalSpec{
+			Rows: 256, Values: rows / 4, TimeRange: 200, MaxPeriod: 12, Seed: 12})
+		src := eval.MapSource{"L": l, "R": r}
+		ln := algebra.NewRel("L", l.Schema(), algebra.BaseInfo{})
+		rn := algebra.NewRel("R", r.Schema(), algebra.BaseInfo{})
+		pred := expr.Compare(expr.Eq, expr.Column("1.Grp"), expr.Column("2.Grp"))
+		plan := algebra.NewCoal(algebra.NewTRdup(algebra.NewTJoin(pred, ln, rn)))
+
+		want, dRef, err1 := timedEval(eval.New(src), plan)
+		got, dExec, err2 := timedEval(exec.New(src), plan)
+		if err1 != nil || err2 != nil {
+			b.pass = false
+			b.printf("  rows=%d: evaluation error: %v %v\n", rows, err1, err2)
+			continue
+		}
+		okParity = okParity && got.EqualAsList(want)
+		if dExec <= 0 {
+			dExec = time.Nanosecond
+		}
+		lastSpeedup = float64(dRef) / float64(dExec)
+		b.printf("  rows=%-8d %12s %12s %8.1fx\n", rows, dRef.Round(time.Microsecond),
+			dExec.Round(time.Microsecond), lastSpeedup)
+	}
+	// The real margin is 30-100x; the gate is deliberately loose (best-of-5
+	// timings, 1.5x at the largest scale) so a loaded CI runner cannot turn
+	// a scheduling stall into a spurious failure. BenchmarkEngines carries
+	// the precise speedup trajectory.
+	okSpeed = lastSpeedup >= 1.5
+	b.check(okParity, "both engines produce the identical join+rdupT+coalT result list")
+	b.check(okSpeed, "exec is at least 1.5x faster at the largest scale (hash join vs pair loop)")
+	return Report{ID: "E11", Title: "Extension — streaming hash engine vs reference evaluator", Pass: b.pass, Body: b.String()}
+}
+
+// timedEval evaluates plan on the engine, best of five runs (minimizing the
+// influence of scheduling stalls on shared runners).
+func timedEval(e eval.Engine, plan algebra.Node) (*relation.Relation, time.Duration, error) {
+	var out *relation.Relation
+	best := time.Duration(0)
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		r, err := e.Eval(plan)
+		d := time.Since(start)
+		if err != nil {
+			return nil, 0, err
+		}
+		if out == nil || d < best {
+			out, best = r, d
+		}
+	}
+	return out, best, nil
+}

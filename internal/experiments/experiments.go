@@ -38,11 +38,18 @@ type Report struct {
 const PaperQuerySQL = `VALIDTIME SELECT DISTINCT COALESCED EmpName FROM EMPLOYEE
 EXCEPT SELECT EmpName FROM PROJECT ORDER BY EmpName ASC`
 
-// All runs every experiment in order.
-func All() []Report {
+// All runs every experiment in order on the reference evaluator.
+func All() []Report { return AllWith(eval.Reference()) }
+
+// AllWith runs every experiment with the given physical engine executing
+// stratum subplans and plan evaluations. The artifacts must come out
+// identical on either engine — the engines agree list-exactly — so running
+// `tqbench -engine exec` is itself an end-to-end differential check.
+func AllWith(spec eval.EngineSpec) []Report {
 	return []Report{
-		E1Figure1(), E2Figure2(), E3Figure3(), E4Table1(), E5Theorem31(),
-		E6Figure4(), E7Figure6(), E8Figure5(), E9Stratum(), E10Ablation(),
+		E1With(spec), E2With(spec), E3With(spec), E4Table1(), E5Theorem31(),
+		E6Figure4(), E7Figure6(), E8Figure5(), E9With(spec), E10Ablation(),
+		E11Engines(),
 	}
 }
 
@@ -68,7 +75,10 @@ func (b *reportBuilder) check(ok bool, what string) {
 
 // E1Figure1 reproduces Figure 1: the EMPLOYEE and PROJECT instances and the
 // exact Result relation of the running example query.
-func E1Figure1() Report {
+func E1Figure1() Report { return E1With(eval.Reference()) }
+
+// E1With is E1Figure1 on an explicit engine.
+func E1With(spec eval.EngineSpec) Report {
 	b := newReport()
 	c := catalog.Paper()
 	emp, _ := c.Resolve("EMPLOYEE")
@@ -76,7 +86,7 @@ func E1Figure1() Report {
 	b.printf("EMPLOYEE (%d tuples):\n%s\nPROJECT (%d tuples):\n%s\n",
 		emp.Len(), indent(emp.String()), prj.Len(), indent(prj.String()))
 
-	got, err := eval.New(c).Eval(catalog.PaperInitialPlan(c))
+	got, err := spec.New(c).Eval(catalog.PaperInitialPlan(c))
 	if err != nil {
 		b.pass = false
 		b.printf("eval error: %v\n", err)
@@ -94,7 +104,10 @@ func E1Figure1() Report {
 // E2Figure2 reproduces Figure 2: the initial algebra expression from the
 // user-level query, the optimized plan, and — as the extension measurement —
 // their costs under the model and their simulated execution work.
-func E2Figure2() Report {
+func E2Figure2() Report { return E2With(eval.Reference()) }
+
+// E2With is E2Figure2 on an explicit engine.
+func E2With(spec eval.EngineSpec) Report {
 	b := newReport()
 	c := catalog.Paper()
 	q, err := tsql.Parse(PaperQuerySQL)
@@ -118,7 +131,7 @@ func E2Figure2() Report {
 	b.check(cf < ci, "optimized plan is cheaper under the cost model")
 
 	for name, plan := range map[string]algebra.Node{"initial": initial, "optimized": final} {
-		_, tr, err := stratum.New(c, 1).Execute(plan)
+		_, tr, err := stratum.NewWithEngine(c, 1, spec).Execute(plan)
 		if err != nil {
 			b.pass = false
 			b.printf("  %s execution error: %v\n", name, err)
@@ -132,10 +145,13 @@ func E2Figure2() Report {
 
 // E3Figure3 reproduces Figure 3: R1 = π(EMPLOYEE), R2 = rdup(R1) with the
 // 1.T1/1.T2 renaming, R3 = rdupᵀ(R1) with John's period cut to [8,11).
-func E3Figure3() Report {
+func E3Figure3() Report { return E3With(eval.Reference()) }
+
+// E3With is E3Figure3 on an explicit engine.
+func E3With(spec eval.EngineSpec) Report {
 	b := newReport()
 	c := catalog.Paper()
-	ev := eval.New(c)
+	ev := spec.New(c)
 	r1n := catalog.PaperProjection(c.MustNode("EMPLOYEE"))
 
 	r1, _ := ev.Eval(r1n)
@@ -298,7 +314,10 @@ func E8Figure5() Report {
 // optimized division of labour (temporal operations in the stratum, sort in
 // the DBMS) beats computing everything in the DBMS, increasingly so with
 // size.
-func E9Stratum() Report {
+func E9Stratum() Report { return E9With(eval.Reference()) }
+
+// E9With is E9Stratum on an explicit engine.
+func E9With(spec eval.EngineSpec) Report {
 	b := newReport()
 	b.printf("  %-10s %14s %14s %8s\n", "employees", "initial units", "optimized", "speedup")
 	okAll := true
@@ -312,14 +331,14 @@ func E9Stratum() Report {
 			b.pass = false
 			continue
 		}
-		opt := core.New(c)
+		opt := core.New(c, core.WithEngine(spec))
 		plans, err := opt.Optimize(initial, equiv.ResultList, q.OrderBy())
 		if err != nil {
 			b.pass = false
 			continue
 		}
-		_, trI, err1 := stratum.New(c, 1).Execute(initial)
-		_, trB, err2 := stratum.New(c, 1).Execute(plans.Best)
+		_, trI, err1 := stratum.NewWithEngine(c, 1, spec).Execute(initial)
+		_, trB, err2 := stratum.NewWithEngine(c, 1, spec).Execute(plans.Best)
 		if err1 != nil || err2 != nil {
 			b.pass = false
 			continue

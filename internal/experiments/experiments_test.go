@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"tqp/internal/core"
 	"tqp/internal/experiments"
 )
 
@@ -11,8 +12,8 @@ import (
 // experiment must pass and carry a non-trivial body.
 func TestAllExperimentsPass(t *testing.T) {
 	reports := experiments.All()
-	if len(reports) != 10 {
-		t.Fatalf("expected 10 experiments, got %d", len(reports))
+	if len(reports) != 11 {
+		t.Fatalf("expected 11 experiments, got %d", len(reports))
 	}
 	seen := map[string]bool{}
 	for _, r := range reports {
@@ -60,5 +61,24 @@ func TestE9SpeedupsMonotonic(t *testing.T) {
 	}
 	if !strings.Contains(r.Body, "x") {
 		t.Errorf("E9 body should report speedups:\n%s", r.Body)
+	}
+}
+
+// TestAllExperimentsPassOnExec re-runs the engine-sensitive experiments on
+// the exec engine: the paper's artifacts must come out identical, so every
+// report still passes — tqbench -engine exec is an end-to-end differential
+// check of the streaming engine.
+func TestAllExperimentsPassOnExec(t *testing.T) {
+	spec, err := core.EngineSpec("exec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []experiments.Report{
+		experiments.E1With(spec), experiments.E2With(spec),
+		experiments.E3With(spec), experiments.E9With(spec),
+	} {
+		if !r.Pass {
+			t.Errorf("%s (%s) failed on the exec engine:\n%s", r.ID, r.Title, r.Body)
+		}
 	}
 }

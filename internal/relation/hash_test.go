@@ -1,0 +1,196 @@
+package relation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tqp/internal/period"
+	"tqp/internal/schema"
+	"tqp/internal/value"
+)
+
+// randomValue draws a value from a deliberately collision-prone pool: small
+// domains across every kind, including integral floats (which compare equal
+// to ints), period endpoints, and the NOW sentinel of NOW-relative
+// relations.
+func randomValue(rng *rand.Rand) value.Value {
+	switch rng.Intn(7) {
+	case 0:
+		return value.Int(int64(rng.Intn(5)))
+	case 1:
+		return value.Float(float64(rng.Intn(5))) // integral: equal to the int
+	case 2:
+		return value.Float(float64(rng.Intn(5)) + 0.5)
+	case 3:
+		return value.String_(fmt.Sprintf("v%d", rng.Intn(5)))
+	case 4:
+		return value.Bool(rng.Intn(2) == 0)
+	case 5:
+		return value.Time(period.Chronon(rng.Intn(5)))
+	default:
+		return value.Time(period.NowMarker)
+	}
+}
+
+// TestValueHashAgreesWithEquality is the property anchoring every hash
+// operator: for all value pairs across all kinds, Equal (i.e. Compare == 0)
+// implies equal hashes, and the hash agrees with the Key string's equality.
+func TestValueHashAgreesWithEquality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20000; trial++ {
+		a, b := randomValue(rng), randomValue(rng)
+		if a.Equal(b) != (a.Compare(b) == 0) {
+			t.Fatalf("Equal and Compare disagree for %s vs %s", a, b)
+		}
+		if a.Equal(b) && a.Hash() != b.Hash() {
+			t.Fatalf("%s and %s are equal but hash differently (%x vs %x)", a, b, a.Hash(), b.Hash())
+		}
+		if (a.Key() == b.Key()) != a.Equal(b) {
+			t.Fatalf("Key equality disagrees with Equal for %s vs %s", a, b)
+		}
+	}
+}
+
+// TestNumericCrossKindHash pins the subtle case: SQL comparison semantics
+// make int 3 and float 3.0 equal, so they must share a hash while float 3.5
+// must not collide with either by construction.
+func TestNumericCrossKindHash(t *testing.T) {
+	for i := int64(-4); i <= 4; i++ {
+		vi, vf := value.Int(i), value.Float(float64(i))
+		if !vi.Equal(vf) {
+			t.Fatalf("int %d and float %d must be equal", i, i)
+		}
+		if vi.Hash() != vf.Hash() {
+			t.Fatalf("int %d and float %d hash differently", i, i)
+		}
+		frac := value.Float(float64(i) + 0.5)
+		if vi.Equal(frac) {
+			t.Fatalf("int %d and float %g must differ", i, float64(i)+0.5)
+		}
+	}
+}
+
+// TestExtremeNumericConsistency pins the Equal ⇔ Key ⇒ Hash triangle at the
+// numeric extremes where float64 loses integer precision: distinct int64s
+// beyond 2^53 must stay distinct (comparison is exact, not via float64),
+// floats at/beyond ±2^63 must not collapse onto the extreme ints, and every
+// NaN payload is one self-equal value sorted below all numbers.
+func TestExtremeNumericConsistency(t *testing.T) {
+	check := func(a, b value.Value) {
+		t.Helper()
+		if a.Equal(b) != (a.Key() == b.Key()) {
+			t.Fatalf("Equal/Key disagree for %s vs %s", a, b)
+		}
+		if a.Equal(b) && a.Hash() != b.Hash() {
+			t.Fatalf("%s and %s equal but hash differently", a, b)
+		}
+	}
+	big := int64(1) << 62
+	check(value.Int(big), value.Int(big+1)) // must be distinct
+	if value.Int(big).Equal(value.Int(big + 1)) {
+		t.Fatal("2^62 and 2^62+1 must not be equal")
+	}
+	check(value.Int(big), value.Float(float64(big))) // exactly equal
+	if !value.Int(big).Equal(value.Float(float64(big))) {
+		t.Fatal("2^62 and float 2^62 must be equal")
+	}
+	const two63 = 9223372036854775808.0
+	check(value.Int(1<<63-1), value.Float(two63)) // maxint64 vs 2^63: distinct
+	if value.Int(1<<63 - 1).Equal(value.Float(two63)) {
+		t.Fatal("maxint64 must not equal float 2^63")
+	}
+	check(value.Int(-1<<63), value.Float(-two63)) // minint64 == -2^63 exactly
+	if !value.Int(-1 << 63).Equal(value.Float(-two63)) {
+		t.Fatal("minint64 must equal float -2^63")
+	}
+	nan := value.Float(math.NaN())
+	check(nan, nan)
+	if !nan.Equal(nan) {
+		t.Fatal("NaN must equal itself (total order)")
+	}
+	if nan.Compare(value.Int(0)) != -1 || value.Int(0).Compare(nan) != 1 {
+		t.Fatal("NaN must sort below every number")
+	}
+	check(nan, value.Float(math.Inf(1)))
+	check(value.Float(math.Inf(1)), value.Int(1<<63-1))
+	if value.Float(math.Inf(1)).Compare(value.Int(1<<63-1)) != 1 {
+		t.Fatal("+Inf must sort above maxint64")
+	}
+}
+
+// TestTupleHashAgreesWithEquality checks the tuple-level properties over
+// random temporal tuples: Equal ⇒ Hash equal, EqualOn ⇒ HashOn equal, and
+// the hash respects period rewrites (WithPeriodAt) the temporal operators
+// perform — including binding NOW-relative ends.
+func TestTupleHashAgreesWithEquality(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := schema.MustNew(
+		schema.Attr("Name", value.KindString),
+		schema.Attr("Grp", value.KindInt),
+		schema.Attr(schema.T1, value.KindTime),
+		schema.Attr(schema.T2, value.KindTime))
+	t1, t2 := s.TimeIndices()
+	vidx := []int{0, 1}
+	randomTuple := func() Tuple {
+		end := period.Chronon(3 + rng.Intn(4))
+		if rng.Intn(4) == 0 {
+			end = period.NowMarker
+		}
+		return NewTuple(
+			value.String_(fmt.Sprintf("v%d", rng.Intn(3))),
+			value.Int(int64(rng.Intn(3))),
+			value.Time(period.Chronon(rng.Intn(3))),
+			value.Time(end))
+	}
+	for trial := 0; trial < 20000; trial++ {
+		a, b := randomTuple(), randomTuple()
+		if a.Equal(b) && a.Hash() != b.Hash() {
+			t.Fatalf("%s and %s are equal but hash differently", a, b)
+		}
+		if (a.Key() == b.Key()) != a.Equal(b) {
+			t.Fatalf("Key equality disagrees with Equal for %s vs %s", a, b)
+		}
+		if a.EqualOn(vidx, b) && a.HashOn(vidx) != b.HashOn(vidx) {
+			t.Fatalf("%s and %s are value-equivalent but HashOn differs", a, b)
+		}
+		// Rewriting both tuples' periods identically must preserve both
+		// equality and hash agreement; binding NOW keeps them comparable.
+		p := a.PeriodAt(t1, t2).BindNow(5)
+		ra, rb := a.WithPeriodAt(t1, t2, p), b.WithPeriodAt(t1, t2, p)
+		if ra.EqualOn(vidx, rb) != a.EqualOn(vidx, rb) {
+			t.Fatalf("period rewrite changed value equivalence of %s", a)
+		}
+		if ra.Equal(rb) && ra.Hash() != rb.Hash() {
+			t.Fatalf("period-rewritten tuples %s and %s hash differently", ra, rb)
+		}
+	}
+}
+
+// TestTupleHashDistribution guards against a degenerate Hash (e.g. constant)
+// sneaking in: across a modest pool of distinct tuples the number of
+// distinct hashes must match the number of distinct keys.
+func TestTupleHashDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	hashes := make(map[uint64]string)
+	keys := make(map[string]bool)
+	collisions := 0
+	for trial := 0; trial < 5000; trial++ {
+		tp := NewTuple(
+			value.String_(fmt.Sprintf("n%d", rng.Intn(50))),
+			value.Int(int64(rng.Intn(50))),
+			value.Time(period.Chronon(rng.Intn(50))),
+			value.Time(period.Chronon(50+rng.Intn(50))))
+		k := tp.Key()
+		h := tp.Hash()
+		if prev, ok := hashes[h]; ok && prev != k {
+			collisions++
+		}
+		hashes[h] = k
+		keys[k] = true
+	}
+	if collisions > 0 {
+		t.Fatalf("%d hash collisions across %d distinct tuples — hash quality regression", collisions, len(keys))
+	}
+}

@@ -33,6 +33,39 @@ func (t Tuple) Equal(u Tuple) bool {
 	return true
 }
 
+// EqualOn reports equality of two tuples restricted to the given positions;
+// both tuples must cover every index.
+func (t Tuple) EqualOn(idx []int, u Tuple) bool {
+	for _, j := range idx {
+		if !t[j].Equal(u[j]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash returns the canonical 64-bit hash of the tuple: Equal tuples have
+// equal hashes. It is the allocation-free counterpart of Key; hash-based
+// operators must still confirm candidate matches with Equal (or EqualOn),
+// since distinct tuples may collide.
+func (t Tuple) Hash() uint64 {
+	h := value.HashSeed()
+	for _, v := range t {
+		h = v.HashInto(h)
+	}
+	return h
+}
+
+// HashOn returns the canonical hash of the tuple restricted to the given
+// positions; tuples equal under EqualOn(idx) have equal HashOn(idx).
+func (t Tuple) HashOn(idx []int) uint64 {
+	h := value.HashSeed()
+	for _, j := range idx {
+		h = t[j].HashInto(h)
+	}
+	return h
+}
+
 // Compare orders tuples lexicographically position by position.
 func (t Tuple) Compare(u Tuple) int {
 	n := len(t)

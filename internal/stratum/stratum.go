@@ -10,7 +10,6 @@ package stratum
 
 import (
 	"fmt"
-	"math"
 
 	"tqp/internal/algebra"
 	"tqp/internal/catalog"
@@ -22,6 +21,9 @@ import (
 
 // Trace is the execution record of one plan.
 type Trace struct {
+	// Engine names the physical engine that ran the stratum-assigned
+	// subplans ("reference" or "exec").
+	Engine string
 	// SQL lists the statements shipped to the DBMS, outermost first.
 	SQL []string
 	// TuplesTransferred counts tuples crossing the stratum/DBMS boundary
@@ -44,18 +46,35 @@ type Executor struct {
 	cat    *catalog.Catalog
 	engine *dbms.Engine
 	params cost.Params
+	phys   eval.EngineSpec
 }
 
 // New returns an executor over the catalog whose DBMS uses the given
-// order-nondeterminism seed.
+// order-nondeterminism seed; stratum subplans run on the reference
+// evaluator.
 func New(cat *catalog.Catalog, seed int64) *Executor {
-	x := &Executor{cat: cat, engine: dbms.New(cat, seed), params: cost.DefaultParams()}
-	return x
+	return NewWithEngine(cat, seed, eval.Reference())
+}
+
+// NewWithEngine returns an executor whose stratum-assigned subplans run on
+// the given physical engine (eval.Reference() or exec.Spec()); the metering
+// and the cost calibration follow the engine's operator shapes. The DBMS
+// simulation is unaffected — it models a conventional engine either way.
+func NewWithEngine(cat *catalog.Catalog, seed int64, spec eval.EngineSpec) *Executor {
+	if spec.New == nil {
+		spec = eval.Reference()
+	}
+	return &Executor{
+		cat:    cat,
+		engine: dbms.New(cat, seed),
+		params: cost.ParamsFor(spec.Streaming),
+		phys:   spec,
+	}
 }
 
 // Execute runs the plan and returns its result with a trace.
 func (x *Executor) Execute(plan algebra.Node) (*relation.Relation, *Trace, error) {
-	tr := &Trace{}
+	tr := &Trace{Engine: x.phys.Name}
 	x.engine.SetStratumCallback(func(n algebra.Node) (*relation.Relation, error) {
 		r, err := x.exec(n, tr)
 		if err != nil {
@@ -138,11 +157,11 @@ func (x *Executor) exec(n algebra.Node, tr *Trace) (*relation.Relation, error) {
 		src[name] = r
 		newCh[i] = algebra.NewRel(name, r.Schema(), algebra.BaseInfo{Order: r.Order()})
 	}
-	out, err := eval.New(src).Eval(n.WithChildren(newCh...))
+	out, err := x.phys.New(src).Eval(n.WithChildren(newCh...))
 	if err != nil {
 		return nil, err
 	}
-	tr.StratumUnits += opUnits(n, inRows, x.params.StratumTuple, 1)
+	tr.StratumUnits += cost.OpUnits(n.Op(), inRows, x.params.StratumTuple, 1, x.params.Streaming)
 	return out, nil
 }
 
@@ -162,29 +181,8 @@ func (x *Executor) meterDBMS(subplan algebra.Node, outRows int, tr *Trace) {
 		if n.Op() == algebra.OpSort {
 			penalty = x.params.DBMSSortFactor
 		}
-		tr.DBMSUnits += opUnits(n, outRows, x.params.DBMSTuple, penalty)
+		// The DBMS always simulates a conventional engine: never streaming.
+		tr.DBMSUnits += cost.OpUnits(n.Op(), outRows, x.params.DBMSTuple, penalty, false)
 		return true
 	})
-}
-
-// opUnits assigns simulated work units to one operation over the given
-// input cardinality.
-func opUnits(n algebra.Node, rows int, tupleCost, penalty float64) float64 {
-	r := float64(rows)
-	logR := 1.0
-	if r >= 2 {
-		logR = math.Log2(r)
-	}
-	switch n.Op() {
-	case algebra.OpSort:
-		return r * logR * tupleCost * penalty
-	case algebra.OpProduct, algebra.OpTProduct, algebra.OpJoin, algebra.OpTJoin:
-		return r * r * tupleCost * penalty / 4
-	case algebra.OpTDiff, algebra.OpTRdup, algebra.OpTAggregate, algebra.OpTUnion, algebra.OpCoal:
-		return r * logR * tupleCost * penalty * 2
-	case algebra.OpTransferS, algebra.OpTransferD:
-		return 0
-	default:
-		return r * tupleCost * penalty
-	}
 }

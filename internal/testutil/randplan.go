@@ -1,0 +1,231 @@
+// Package testutil provides shared test fixtures, centrally the random plan
+// generator used by the evaluator's invariant tests and by the differential
+// tests that pin the exec engine against the reference evaluator. The
+// generator covers the conventional and the temporal operators: a
+// schema-preserving "temporal core" (selection, projection, sorting, rdupᵀ,
+// coalᵀ, ⊔, ∪ᵀ, \ᵀ) optionally capped by a schema-changing operation
+// (aggregation, rdup, ∪, \, ×, the join idioms) and a conventional tail of
+// selections, sorts, projections and duplicate eliminations over whatever
+// schema the cap produced.
+package testutil
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tqp/internal/algebra"
+	"tqp/internal/catalog"
+	"tqp/internal/datagen"
+	"tqp/internal/expr"
+	"tqp/internal/period"
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+	"tqp/internal/value"
+)
+
+// TemporalCatalog builds a two-relation catalog (A, B over the
+// datagen.Temporal schema) with truthful base info, plus leaf nodes for
+// plan generation.
+func TemporalCatalog(seed int64) (*catalog.Catalog, []algebra.Node) {
+	c := catalog.New()
+	for i, spec := range []datagen.TemporalSpec{
+		{Rows: 8, Values: 3, DupFrac: 0.25, AdjFrac: 0.25, Seed: seed},
+		{Rows: 6, Values: 3, DupFrac: 0.1, AdjFrac: 0.4, Seed: seed + 100},
+	} {
+		r := datagen.Temporal(spec)
+		info := algebra.BaseInfo{
+			Distinct:         !r.HasDuplicates(),
+			SnapshotDistinct: !r.HasSnapshotDuplicates(),
+			Coalesced:        r.IsCoalesced(),
+		}
+		name := []string{"A", "B"}[i]
+		if err := c.Add(name, r, info); err != nil {
+			panic(fmt.Sprintf("testutil: %v", err))
+		}
+	}
+	return c, []algebra.Node{c.MustNode("A"), c.MustNode("B")}
+}
+
+// TemporalCore builds a random type-correct, schema-preserving temporal plan
+// of bounded depth over the given bases (which must share one temporal
+// schema with attributes Name and Grp, like datagen.Temporal's).
+func TemporalCore(rng *rand.Rand, bases []algebra.Node, depth int) algebra.Node {
+	if depth <= 0 {
+		return bases[rng.Intn(len(bases))]
+	}
+	child := func() algebra.Node { return TemporalCore(rng, bases, depth-1) }
+	pred := expr.Compare(expr.Lt, expr.Column("Grp"), expr.Literal(value.Int(int64(rng.Intn(4)))))
+	byName := relation.OrderSpec{relation.Key("Name")}
+	switch rng.Intn(9) {
+	case 0:
+		return algebra.NewSelect(pred, child())
+	case 1:
+		return algebra.NewProjectCols(child(), "Name", "Grp", "T1", "T2")
+	case 2:
+		return algebra.NewSort(byName, child())
+	case 3:
+		return algebra.NewTRdup(child())
+	case 4:
+		return algebra.NewCoal(child())
+	case 5:
+		return algebra.NewUnionAll(child(), child())
+	case 6:
+		return algebra.NewTUnion(child(), child())
+	case 7:
+		return algebra.NewTDiff(child(), child())
+	default:
+		return algebra.NewSelect(pred, algebra.NewSort(byName, child()))
+	}
+}
+
+// RandomPlan builds a random type-correct plan covering conventional and
+// temporal operators: a temporal core, an optional schema-changing cap, and
+// an optional conventional tail over the cap's schema.
+func RandomPlan(rng *rand.Rand, bases []algebra.Node, depth int) algebra.Node {
+	p := TemporalCore(rng, bases, depth)
+	sibling := func() algebra.Node { return TemporalCore(rng, bases, maxInt(depth-1, 0)) }
+	aggs := randomAggs(rng)
+	switch rng.Intn(10) {
+	case 0:
+		p = algebra.NewTAggregate([]string{"Name"}, aggs, p)
+	case 1:
+		p = algebra.NewAggregate([]string{"Name", "Grp"}, aggs, p)
+	case 2:
+		p = algebra.NewRdup(p)
+	case 3:
+		p = algebra.NewDiff(p, sibling())
+	case 4:
+		p = algebra.NewUnion(p, sibling())
+	case 5:
+		// Conventional equijoin over temporal arguments: the product
+		// qualifies every clashing attribute, so the join predicate names
+		// the "1."/"2." columns. The equality conjunct exercises the exec
+		// engine's hash-join path; the inequality stays residual.
+		pred := expr.Pred(expr.Compare(expr.Eq, expr.Column("1.Grp"), expr.Column("2.Grp")))
+		if rng.Intn(2) == 0 {
+			pred = expr.Conj(pred, expr.Compare(expr.Le, expr.Column("1.T1"), expr.Column("2.T2")))
+		}
+		p = algebra.NewJoin(pred, p, sibling())
+	case 6:
+		pred := expr.Pred(expr.Compare(expr.Eq, expr.Column("1.Name"), expr.Column("2.Name")))
+		if rng.Intn(2) == 0 {
+			pred = expr.Compare(expr.Lt, expr.Column("1.Grp"), expr.Column("2.Grp"))
+		}
+		p = algebra.NewTJoin(pred, p, sibling())
+	case 7:
+		p = algebra.NewProduct(p, sibling())
+	default:
+		// Leave the temporal core uncapped.
+	}
+	for rng.Intn(3) == 0 {
+		p = conventionalTail(rng, p)
+	}
+	return p
+}
+
+// conventionalTail wraps p in one schema-agnostic conventional operation.
+func conventionalTail(rng *rand.Rand, p algebra.Node) algebra.Node {
+	s, err := p.Schema()
+	if err != nil {
+		panic(fmt.Sprintf("testutil: generated plan has no schema: %v", err))
+	}
+	switch rng.Intn(4) {
+	case 0:
+		a := s.At(rng.Intn(s.Len()))
+		return algebra.NewSelect(randomCmp(rng, a), p)
+	case 1:
+		spec := relation.OrderSpec{randomKey(rng, s)}
+		if rng.Intn(2) == 0 {
+			k := randomKey(rng, s)
+			if k.Attr != spec[0].Attr {
+				spec = append(spec, k)
+			}
+		}
+		return algebra.NewSort(spec, p)
+	case 2:
+		// rdup qualifies a temporal argument's T1/T2 as "1.T1"/"1.T2"; on a
+		// schema that already carries those names (a product's output) the
+		// rename would clash, so fall through to a projection instead.
+		if !s.Temporal() || !s.Has("1."+schema.T1) {
+			return algebra.NewRdup(p)
+		}
+		fallthrough
+	default:
+		return algebra.NewProjectCols(p, projectedNames(rng, s)...)
+	}
+}
+
+// randomCmp compares an attribute against a random literal of its domain.
+func randomCmp(rng *rand.Rand, a schema.Attribute) expr.Pred {
+	ops := []expr.CmpOp{expr.Lt, expr.Le, expr.Gt, expr.Ge, expr.Ne}
+	op := ops[rng.Intn(len(ops))]
+	var lit value.Value
+	switch a.Kind {
+	case value.KindInt:
+		lit = value.Int(int64(rng.Intn(6)))
+	case value.KindFloat:
+		lit = value.Float(float64(rng.Intn(6)))
+	case value.KindString:
+		lit = value.String_(fmt.Sprintf("v%d", rng.Intn(4)))
+	case value.KindBool:
+		lit = value.Bool(rng.Intn(2) == 0)
+	default:
+		lit = value.Time(period.Chronon(rng.Intn(40)))
+	}
+	return expr.Compare(op, expr.Column(a.Name), expr.Literal(lit))
+}
+
+func randomKey(rng *rand.Rand, s *schema.Schema) relation.OrderKey {
+	a := s.At(rng.Intn(s.Len()))
+	if rng.Intn(2) == 0 {
+		return relation.KeyDesc(a.Name)
+	}
+	return relation.Key(a.Name)
+}
+
+// projectedNames picks a random non-empty subset of the schema's attributes
+// in order, treating the reserved T1/T2 pair atomically (a schema with
+// exactly one of them is invalid).
+func projectedNames(rng *rand.Rand, s *schema.Schema) []string {
+	t1, t2 := s.TimeIndices()
+	var names []string
+	keepTime := rng.Intn(2) == 0
+	for i := 0; i < s.Len(); i++ {
+		if i == t1 || i == t2 {
+			if keepTime {
+				names = append(names, s.At(i).Name)
+			}
+			continue
+		}
+		if rng.Intn(3) > 0 {
+			names = append(names, s.At(i).Name)
+		}
+	}
+	if len(names) == 0 {
+		names = append(names, s.At(0).Name)
+		if s.At(0).Name == schema.T1 {
+			// The first attribute of a temporal schema could be T1; fall
+			// back to the full attribute list rather than split the pair.
+			names = s.Names()
+		}
+	}
+	return names
+}
+
+func randomAggs(rng *rand.Rand) []expr.Aggregate {
+	aggs := []expr.Aggregate{{Func: expr.CountAll, As: "cnt"}}
+	switch rng.Intn(3) {
+	case 0:
+		aggs = append(aggs, expr.Aggregate{Func: expr.Sum, Arg: "Grp", As: "total"})
+	case 1:
+		aggs = append(aggs, expr.Aggregate{Func: expr.Max, Arg: "Grp", As: "top"})
+	}
+	return aggs
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

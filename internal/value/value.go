@@ -9,6 +9,7 @@ package value
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 
 	"tqp/internal/period"
@@ -170,14 +171,7 @@ func (v Value) Compare(w Value) int {
 	}
 	switch {
 	case v.Numeric():
-		a, b := v.NumericValue(), w.NumericValue()
-		switch {
-		case a < b:
-			return -1
-		case a > b:
-			return 1
-		}
-		return 0
+		return compareNumeric(v, w)
 	case v.kind == KindString:
 		switch {
 		case v.s < w.s:
@@ -197,6 +191,76 @@ func (v Value) Compare(w Value) int {
 	}
 }
 
+// compareNumeric compares two numeric values exactly. Same-kind pairs never
+// pass through a lossy conversion: int/int compares int64s (float64 would
+// collapse distinct ints beyond 2^53, breaking agreement with Key and Hash),
+// and mixed int/float pairs compare via the float's exact integer part. NaN
+// compares equal to itself and below every number, so Compare stays a total
+// order and Equal stays consistent with Key.
+func compareNumeric(v, w Value) int {
+	switch {
+	case v.kind == KindInt && w.kind == KindInt:
+		switch {
+		case v.i < w.i:
+			return -1
+		case v.i > w.i:
+			return 1
+		}
+		return 0
+	case v.kind == KindFloat && w.kind == KindFloat:
+		return compareFloats(v.f, w.f)
+	case v.kind == KindInt:
+		return compareIntFloat(v.i, w.f)
+	default:
+		return -compareIntFloat(w.i, v.f)
+	}
+}
+
+func compareFloats(a, b float64) int {
+	an, bn := math.IsNaN(a), math.IsNaN(b)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// compareIntFloat compares int64 i with float64 f exactly: out-of-range
+// floats (±Inf included) are decided by sign, in-range floats by their exact
+// integer part with the fraction breaking ties.
+func compareIntFloat(i int64, f float64) int {
+	const two63 = 9223372036854775808.0 // 2^63, exactly representable
+	switch {
+	case math.IsNaN(f):
+		return 1 // numbers sort above NaN
+	case f >= two63:
+		return -1
+	case f < -two63:
+		return 1
+	}
+	trunc := math.Trunc(f)
+	t := int64(trunc) // exact: |trunc| ≤ 2^63 and integral
+	switch {
+	case i < t:
+		return -1
+	case i > t:
+		return 1
+	case f > trunc: // i equals the integer part; a positive fraction wins
+		return -1
+	case f < trunc: // negative non-integer: trunc rounded toward zero
+		return 1
+	}
+	return 0
+}
+
 func (v Value) rank() int {
 	switch v.kind {
 	case KindInt, KindFloat:
@@ -212,6 +276,73 @@ func (v Value) rank() int {
 	}
 }
 
+// isInt64Exact reports that f is an integer exactly representable as int64,
+// so converting never saturates: a float at or beyond ±2^63 must keep a
+// float identity or it would collide with the extreme ints under Key/Hash
+// without being Equal to them.
+func isInt64Exact(f float64) bool {
+	const two63 = 9223372036854775808.0
+	return f >= -two63 && f < two63 && f == math.Trunc(f)
+}
+
+// fnvOffset and fnvPrime are the FNV-1a 64-bit constants.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// HashInto folds v into a running FNV-1a hash. The canonical form mirrors
+// Key and Compare: values that compare equal fold identically — in
+// particular an integral float folds as the equal int — and values of
+// different domain ranks fold a distinguishing rank byte first.
+func (v Value) HashInto(h uint64) uint64 {
+	hashByte := func(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
+	hashUint64 := func(h uint64, x uint64) uint64 {
+		for i := 0; i < 8; i++ {
+			h = hashByte(h, byte(x))
+			x >>= 8
+		}
+		return h
+	}
+	switch v.kind {
+	case KindInt:
+		return hashUint64(hashByte(h, 'i'), uint64(v.i))
+	case KindFloat:
+		// Every NaN payload is one value under Compare and Key ("fNaN").
+		if math.IsNaN(v.f) {
+			return hashByte(hashByte(h, 'f'), 'N')
+		}
+		// Integral floats hash as their int, mirroring Key and Compare.
+		if isInt64Exact(v.f) {
+			return hashUint64(hashByte(h, 'i'), uint64(int64(v.f)))
+		}
+		return hashUint64(hashByte(h, 'f'), math.Float64bits(v.f))
+	case KindString:
+		h = hashByte(h, 's')
+		for i := 0; i < len(v.s); i++ {
+			h = hashByte(h, v.s[i])
+		}
+		return h
+	case KindBool:
+		if v.i != 0 {
+			return hashByte(hashByte(h, 'b'), 'T')
+		}
+		return hashByte(hashByte(h, 'b'), 'F')
+	case KindTime:
+		return hashUint64(hashByte(h, 't'), uint64(v.i))
+	default:
+		return hashByte(h, '?')
+	}
+}
+
+// Hash returns the canonical 64-bit hash of v: Equal values have equal
+// hashes. It is the allocation-free counterpart of Key, used by the hash
+// operators of the exec engine.
+func (v Value) Hash() uint64 { return v.HashInto(fnvOffset) }
+
+// HashSeed is the initial running-hash value for HashInto chains.
+func HashSeed() uint64 { return fnvOffset }
+
 // Key returns a compact string usable as a map key for hashing tuples.
 // Distinct values have distinct keys within a domain rank.
 func (v Value) Key() string {
@@ -220,7 +351,7 @@ func (v Value) Key() string {
 		return "i" + strconv.FormatInt(v.i, 10)
 	case KindFloat:
 		// Integral floats share keys with ints, mirroring Compare.
-		if v.f == float64(int64(v.f)) {
+		if isInt64Exact(v.f) {
 			return "i" + strconv.FormatInt(int64(v.f), 10)
 		}
 		return "f" + strconv.FormatFloat(v.f, 'g', -1, 64)

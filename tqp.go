@@ -16,9 +16,33 @@
 //     plan-enumeration algorithm;
 //   - a layered (stratum) execution architecture over a simulated
 //     conventional DBMS, with SQL generation for the DBMS-assigned
-//     subplans; and
+//     subplans;
 //   - the cost model and cost-based plan selection the paper lists as
-//     future work.
+//     future work; and
+//   - two interchangeable physical engines for the stratum.
+//
+// # Two execution engines
+//
+// Stratum-assigned subplans run on one of two engines implementing
+// eval.Engine. The "reference" engine (internal/eval) is the executable
+// specification: every operator materializes its input and works by nested
+// loops, exactly mirroring the paper's definitions. The "exec" engine
+// (internal/exec) is the performance engine: a Volcano-style pull-iterator
+// pipeline with hash joins, hash duplicate elimination, hash-partitioned
+// temporal operators and pipelined aggregation that beats the reference
+// asymptotically while producing bit-identical result lists (enforced by a
+// differential fuzz suite and by both engines being pinned to the paper's
+// golden fixtures). Select the engine with
+//
+//	spec, _ := tqp.ResolveEngine("exec")
+//	opt := tqp.NewOptimizer(cat, tqp.WithEngine(spec))
+//
+// which also recalibrates the cost model to the engine's operator shapes, so
+// plan choice reflects what the chosen engine will actually pay. The cmd
+// tools expose the same switch as the -engine flag. How the optimizer
+// divides a plan between the DBMS and the stratum is unchanged — the engine
+// decides how stratum operators execute, never where they run; adding a new
+// physical operator is documented in internal/exec's package comment.
 //
 // The quickest route in:
 //
@@ -133,7 +157,14 @@ var (
 	WithDBMSSeed = core.WithDBMSSeed
 	// WithCostParams overrides the cost calibration.
 	WithCostParams = core.WithCostParams
+	// WithEngine selects the physical engine for stratum subplans.
+	WithEngine = core.WithEngine
+	// ResolveEngine maps an engine name ("reference", "exec") to its spec.
+	ResolveEngine = core.EngineSpec
 )
+
+// EngineSpec describes a physical execution engine for the stratum.
+type EngineSpec = eval.EngineSpec
 
 // ParseQuery parses a temporal SQL statement without planning it.
 func ParseQuery(sql string) (*Query, error) { return tsql.Parse(sql) }
