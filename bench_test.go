@@ -7,8 +7,11 @@
 package tqp_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"testing"
+	"time"
 
 	"tqp/internal/algebra"
 	"tqp/internal/catalog"
@@ -298,6 +301,57 @@ func BenchmarkE10_OptimizerAblation(b *testing.B) {
 	}
 }
 
+// benchRecord is one engine measurement of the machine-readable bench
+// output: which benchmark, at which scale, on which engine, how fast.
+type benchRecord struct {
+	Bench   string  `json:"bench"`
+	Rows    int     `json:"rows"`
+	Engine  string  `json:"engine"`
+	NsPerOp float64 `json:"ns_per_op"`
+	OutRows int     `json:"out_rows"`
+}
+
+// benchRecords accumulates engine measurements across the benchmark run;
+// TestMain writes them to the file named by BENCH_JSON (the CI bench smoke
+// sets BENCH_engines.json), giving the perf trajectory a machine-readable
+// artifact per commit. Benchmarks run sequentially, so no locking.
+var benchRecords []benchRecord
+
+// TestMain writes the collected engine benchmark records after the run.
+// Without -bench (or without BENCH_JSON in the environment) there is
+// nothing to write and the run is a plain test run.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BENCH_JSON"); path != "" && len(benchRecords) > 0 {
+		data, err := json.MarshalIndent(benchRecords, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: writing %s: %v\n", path, err)
+			if code == 0 {
+				code = 1
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "bench: wrote %d records to %s\n", len(benchRecords), path)
+		}
+	}
+	os.Exit(code)
+}
+
+// recordEngineBench times the benchmark loop wall-clock and appends one
+// record; ns/op is measured directly so the record does not depend on
+// testing internals.
+func recordEngineBench(bench string, rows int, engine string, elapsed time.Duration, n, outRows int) {
+	if n <= 0 {
+		return
+	}
+	benchRecords = append(benchRecords, benchRecord{
+		Bench: bench, Rows: rows, Engine: engine,
+		NsPerOp: float64(elapsed.Nanoseconds()) / float64(n), OutRows: outRows,
+	})
+}
+
 // BenchmarkEngines pits the two physical engines head-to-head on the
 // acceptance pipeline — equijoin ⋈ᵀ (hash join vs pair loop), rdupᵀ and
 // coalᵀ (hash value-partitioning vs global quadratic scans) — over datagen
@@ -338,6 +392,7 @@ func BenchmarkEngines(b *testing.B) {
 		for _, e := range engines {
 			b.Run(fmt.Sprintf("n=%d/%s", n, e.name), func(b *testing.B) {
 				var rows int
+				start := time.Now()
 				for i := 0; i < b.N; i++ {
 					out, err := e.eng.Eval(plan)
 					if err != nil {
@@ -345,6 +400,72 @@ func BenchmarkEngines(b *testing.B) {
 					}
 					rows = out.Len()
 				}
+				recordEngineBench("engines", n, e.name, time.Since(start), b.N, rows)
+				b.ReportMetric(float64(rows), "rows")
+			})
+		}
+	}
+}
+
+// BenchmarkMergeVsHash measures the merge operator family against the hash
+// baseline on pre-sorted inputs: both relations sorted (and declared) on
+// ⟨Name, Grp⟩, so the merge engine compiles a merge join, streaming
+// group-at-a-time rdupᵀ/coalᵀ, and an elided top sort, while the hash-only
+// engine (PR 1's operators) hashes everything and physically sorts. The
+// reference evaluator joins for scale. Records land in BENCH_engines.json
+// alongside BenchmarkEngines.
+func BenchmarkMergeVsHash(b *testing.B) {
+	byNameGrp := relation.OrderSpec{relation.Key("Name"), relation.Key("Grp")}
+	for _, n := range []int{1000, 10000} {
+		l := datagen.Temporal(datagen.TemporalSpec{
+			Rows: n, Values: n / 4, TimeRange: 400, MaxPeriod: 20, Seed: 11})
+		r := datagen.Temporal(datagen.TemporalSpec{
+			Rows: 256, Values: n / 4, TimeRange: 400, MaxPeriod: 20, Seed: 12})
+		for _, rel := range []*relation.Relation{l, r} {
+			if err := rel.SortStable(byNameGrp); err != nil {
+				b.Fatal(err)
+			}
+		}
+		src := eval.MapSource{"L": l, "R": r}
+		ln := algebra.NewRel("L", l.Schema(), algebra.BaseInfo{Order: byNameGrp})
+		rn := algebra.NewRel("R", r.Schema(), algebra.BaseInfo{Order: byNameGrp})
+		pred := expr.Compare(expr.Eq, expr.Column("1.Name"), expr.Column("2.Name"))
+		plan := algebra.NewSort(relation.OrderSpec{relation.Key("1.Name")},
+			algebra.NewCoal(algebra.NewTRdup(algebra.NewTJoin(pred, ln, rn))))
+
+		engines := []struct {
+			name string
+			eng  eval.Engine
+		}{
+			{"reference", eval.New(src)},
+			{"exec-hash", exec.NewWith(src, exec.Options{NoMerge: true, NoSortElision: true})},
+			{"exec-merge", exec.New(src)},
+		}
+		want, err := engines[0].eng.Eval(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range engines[1:] {
+			got, err := e.eng.Eval(plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !got.EqualAsList(want) {
+				b.Fatalf("%s disagrees with the reference on the benchmark plan", e.name)
+			}
+		}
+		for _, e := range engines {
+			b.Run(fmt.Sprintf("n=%d/%s", n, e.name), func(b *testing.B) {
+				var rows int
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					out, err := e.eng.Eval(plan)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rows = out.Len()
+				}
+				recordEngineBench("merge-vs-hash", n, e.name, time.Since(start), b.N, rows)
 				b.ReportMetric(float64(rows), "rows")
 			})
 		}

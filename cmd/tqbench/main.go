@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "", "run only the experiment with this id (E1..E11)")
+	run := flag.String("run", "", "run only the experiment with this id (E1..E12)")
 	engine := flag.String("engine", "reference", "physical engine: 'reference' or 'exec'")
 	quiet := flag.Bool("quiet", false, "print status lines only")
 	flag.Parse()

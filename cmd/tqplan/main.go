@@ -2,17 +2,24 @@
 // paper's example database (or a scaled synthetic one): it prints the
 // initial algebra expression with its property vectors (Figure 6 style),
 // enumerates equivalent plans with the Figure 5 algorithm, picks the
-// cheapest under the cost model, shows the SQL shipped to the DBMS, and
-// optionally executes the plan.
+// cheapest under the cost model, shows the physical plan with its
+// merge/hash/elided operator choices (exec engine), the SQL shipped to the
+// DBMS, and optionally executes the plan.
 //
 // Usage:
 //
-//	tqplan [-db paper|synth] [-employees N] [-engine reference|exec] [-enumerate] [-execute] [-q query]
+//	tqplan [-db paper|synth] [-employees N] [-engine reference|exec] [-sorted] [-enumerate] [-execute] [-q query]
 //
 // The default query is the paper's running example. -engine selects the
 // physical engine for stratum-assigned subplans: the reference evaluator
-// (the executable specification) or the streaming hash-based exec engine;
-// both produce identical results.
+// (the executable specification) or the streaming hash/merge exec engine;
+// both produce identical results. -sorted pre-sorts every base relation on
+// its value attributes and declares the order in the catalog, feeding the
+// order-aware planner. With -engine exec the chosen plan is wrapped in an
+// order-enforcing sort (the ≡SQL contract made physical), annotated with
+// the per-node physical decision, and costed against the order-blind model
+// — on the paper query the enforcer elides because the optimizer pushes the
+// sort into the DBMS and every operation above preserves its order.
 package main
 
 import (
@@ -22,7 +29,11 @@ import (
 
 	"tqp"
 	"tqp/internal/algebra"
+	"tqp/internal/core"
+	"tqp/internal/cost"
 	"tqp/internal/experiments"
+	"tqp/internal/physical"
+	"tqp/internal/relation"
 )
 
 func main() {
@@ -30,6 +41,7 @@ func main() {
 	employees := flag.Int("employees", 100, "synthetic database size (with -db synth)")
 	query := flag.String("q", experiments.PaperQuerySQL, "temporal SQL statement")
 	engine := flag.String("engine", "reference", "physical engine for stratum subplans: 'reference' or 'exec'")
+	sorted := flag.Bool("sorted", false, "pre-sort base relations on their value attributes and declare the order")
 	enumerate := flag.Bool("enumerate", false, "list every enumerated plan")
 	execute := flag.Bool("execute", true, "execute the chosen plan and print the result")
 	flag.Parse()
@@ -51,6 +63,12 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "tqplan: unknown database %q\n", *db)
 		os.Exit(2)
+	}
+	if *sorted {
+		if cat, err = sortedCatalog(cat); err != nil {
+			fmt.Fprintf(os.Stderr, "tqplan: -sorted: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	opt := tqp.NewOptimizer(cat, tqp.WithEngine(spec))
@@ -95,10 +113,40 @@ func main() {
 		fmt.Println()
 	}
 
+	// With the exec engine the executed plan carries an explicit order
+	// enforcer for the query's ORDER BY: it compiles away when the chosen
+	// plan already delivers the order, and the physical annotation shows
+	// it. The reference evaluator cannot elide, so it runs the chosen plan
+	// as-is (its ≡SQL order guarantee is verified by the optimizer tests).
+	final := plans.Best
+	if spec.Streaming {
+		final = core.EnforceOrder(plans.Best, plans.OrderBy)
+		dec, err := physical.Annotate(final)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tqplan: annotate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nphysical plan (engine %s, order enforcer at the root):\n%s",
+			spec.Name, algebra.Render(final, func(n algebra.Node, _ algebra.Path) string {
+				return string(dec[n].Algo)
+			}))
+		sum := physical.Summarize(dec)
+		awareCost, err1 := cost.New(cat, cost.ParamsFor(true)).Cost(final)
+		blindParams := cost.ParamsFor(true)
+		blindParams.OrderBlind = true
+		blindCost, err2 := cost.New(cat, blindParams).Cost(final)
+		if err1 != nil || err2 != nil {
+			fmt.Fprintf(os.Stderr, "tqplan: cost: %v %v\n", err1, err2)
+			os.Exit(1)
+		}
+		fmt.Printf("physical summary: %d sort(s) elided, %d merge operator(s); order-aware cost %.0f vs order-blind %.0f (%.2fx)\n",
+			sum.SortsElided, sum.MergeOps, awareCost, blindCost, blindCost/awareCost)
+	}
+
 	if !*execute {
 		return
 	}
-	result, trace, err := opt.Execute(plans.Best)
+	result, trace, err := opt.Execute(final)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tqplan: execute: %v\n", err)
 		os.Exit(1)
@@ -110,6 +158,42 @@ func main() {
 	fmt.Printf("\nengine %s: transferred %d tuples; simulated units: stratum=%.0f dbms=%.0f transfer=%.0f\n\n",
 		trace.Engine, trace.TuplesTransferred, trace.StratumUnits, trace.DBMSUnits, trace.TransferUnits)
 	fmt.Printf("result (%d tuples):\n%s", result.Len(), result)
+}
+
+// sortedCatalog rebuilds a catalog with every base relation physically
+// sorted on its value attributes (non-time, in schema order) and the order
+// declared in BaseInfo, so the static planner can reason from it. Other
+// base flags (distinctness, coalescing) are preserved — sorting cannot
+// invalidate them.
+func sortedCatalog(cat *tqp.Catalog) (*tqp.Catalog, error) {
+	out := tqp.NewCatalog()
+	for _, name := range cat.Names() {
+		e, err := cat.Entry(name)
+		if err != nil {
+			return nil, err
+		}
+		r := e.Rel.Clone()
+		var spec relation.OrderSpec
+		s := r.Schema()
+		t1, t2 := s.TimeIndices()
+		for i := 0; i < s.Len(); i++ {
+			if i == t1 || i == t2 {
+				continue
+			}
+			spec = append(spec, relation.Key(s.At(i).Name))
+		}
+		info := e.Info
+		if len(spec) > 0 {
+			if err := r.SortStable(spec); err != nil {
+				return nil, err
+			}
+			info.Order = spec
+		}
+		if err := out.Add(name, r, info); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 func indent(s string) string {

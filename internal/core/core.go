@@ -59,7 +59,11 @@ func EngineSpec(name string) (eval.EngineSpec, error) {
 func WithEngine(spec eval.EngineSpec) Option {
 	return func(o *Optimizer) {
 		o.engine = spec
-		o.model = cost.New(o.cat, cost.ParamsFor(spec.Streaming))
+		p := cost.ParamsFor(spec.Streaming)
+		// Price order-exploiting variants only for engines that compile
+		// them (spec.OrderAware); otherwise fall back to the blind shapes.
+		p.OrderBlind = !spec.OrderAware
+		o.model = cost.New(o.cat, p)
 	}
 }
 
@@ -201,6 +205,20 @@ func (o *Optimizer) OptimizeBeam(initial algebra.Node, rt equiv.ResultType, orde
 		OrderBy:     orderBy,
 		Enumeration: res,
 	}, nil
+}
+
+// EnforceOrder wraps a plan in sort_{orderBy}, physically guaranteeing the
+// ≡SQL order contract of Definition 5.1 at the root. The wrapper costs
+// next to nothing where the optimizer did its job: the exec engine elides
+// the sort whenever the plan already delivers an order orderBy is a prefix
+// of (e.g. Figure 6(b), whose DBMS sort's order every operation above
+// preserves), and the order-aware cost model prices exactly that. An empty
+// orderBy returns the plan unchanged.
+func EnforceOrder(plan algebra.Node, orderBy relation.OrderSpec) algebra.Node {
+	if orderBy.Empty() {
+		return plan
+	}
+	return algebra.NewSort(orderBy, plan)
 }
 
 // Execute runs a plan through the layered stratum/DBMS executor on the

@@ -15,7 +15,9 @@ import (
 
 	"tqp/internal/algebra"
 	"tqp/internal/catalog"
+	"tqp/internal/physical"
 	"tqp/internal/props"
+	"tqp/internal/relation"
 )
 
 // Params weight the cost model.
@@ -40,10 +42,31 @@ type Params struct {
 	// partitioning). It is charged on top of StratumTuple for the tuples a
 	// streaming operator hashes.
 	HashTuple float64
+	// MergeTuple is the per-tuple cost of the adjacent-comparison merge
+	// pass that replaces hashing when a streaming operator's inputs already
+	// deliver the order its groups or keys need (merge join, merge
+	// diff/union, sorted dedup, group-at-a-time temporal operators). It is
+	// cheaper than HashTuple: a comparison against the previous tuple
+	// instead of a hash-table build and probe.
+	MergeTuple float64
+	// SortVerifyFactor prices an elided sort — one whose input already
+	// delivers an order the requested spec is a prefix of — as a fraction
+	// of a linear pass instead of N·log N work. The stratum meter uses the
+	// same factor, so recalibration keeps model and trace consistent.
+	SortVerifyFactor float64
+	// MergeUnitsFactor scales the stratum meter's simulated units for a
+	// streaming operator compiled as its merge variant, relative to the
+	// hash variant's linear shape (the estimate-side counterpart is
+	// MergeTuple replacing HashTuple).
+	MergeUnitsFactor float64
 	// Streaming declares that the stratum runs the exec engine: products
 	// and joins cost build+probe+output instead of pairwise work, and the
 	// temporal grouping operators drop their scan factors (see OpUnits).
 	Streaming bool
+	// OrderBlind disables delivered-order reasoning: every operator is
+	// priced as if its inputs were unordered, exactly the PR 1 model. Used
+	// for ablation (E12) and the tqplan order-aware/order-blind comparison.
+	OrderBlind bool
 }
 
 // DefaultParams returns the calibration used by the experiments, matching
@@ -57,6 +80,9 @@ func DefaultParams() Params {
 		TransferTuple:       2.0,
 		DefaultSelectivity:  1.0 / 3,
 		HashTuple:           0.5,
+		MergeTuple:          0.1,
+		SortVerifyFactor:    0.25,
+		MergeUnitsFactor:    0.5,
 	}
 }
 
@@ -74,27 +100,54 @@ func ParamsFor(streaming bool) Params {
 // products, joins and temporal grouping operators — over the reference
 // evaluator's pairwise and scan-heavy ones.
 func OpUnits(op algebra.Op, rows int, tupleCost, penalty float64, streaming bool) float64 {
+	return DefaultParams().OpUnitsOrdered(op, rows, tupleCost, penalty, streaming, false)
+}
+
+// OpUnitsOrdered is OpUnits with delivered-order awareness: ordered reports
+// that the streaming engine compiled the order-exploiting variant at this
+// node (an elided sort, a merge join, or a contiguous-group merge pass), so
+// the metered work drops accordingly — an elided sort is a verify pass
+// (SortVerifyFactor), a merge pass scales the hash variant's per-tuple work
+// by MergeUnitsFactor. The factors come from the calibration so model and
+// meter recalibrate together. The reference evaluator (streaming=false) has
+// no such variants, so ordered is ignored.
+func (p Params) OpUnitsOrdered(op algebra.Op, rows int, tupleCost, penalty float64, streaming, ordered bool) float64 {
 	r := float64(rows)
 	logR := 1.0
 	if r >= 2 {
 		logR = math.Log2(r)
 	}
+	ordered = ordered && streaming
 	switch op {
 	case algebra.OpSort:
+		if ordered {
+			return r * tupleCost * penalty * p.SortVerifyFactor
+		}
 		return r * logR * tupleCost * penalty
 	case algebra.OpProduct, algebra.OpTProduct, algebra.OpJoin, algebra.OpTJoin:
 		if streaming {
-			return r * tupleCost * penalty
+			units := r * tupleCost * penalty
+			if ordered {
+				units *= p.MergeUnitsFactor
+			}
+			return units
 		}
 		return r * r * tupleCost * penalty / 4
 	case algebra.OpTDiff, algebra.OpTRdup, algebra.OpTAggregate, algebra.OpTUnion, algebra.OpCoal:
 		if streaming {
-			return r * tupleCost * penalty
+			units := r * tupleCost * penalty
+			if ordered {
+				units *= p.MergeUnitsFactor
+			}
+			return units
 		}
 		return r * logR * tupleCost * penalty * 2
 	case algebra.OpTransferS, algebra.OpTransferD:
 		return 0
 	default:
+		if ordered {
+			return r * tupleCost * penalty * p.MergeUnitsFactor
+		}
 		return r * tupleCost * penalty
 	}
 }
@@ -168,15 +221,17 @@ func (m *Model) node(n algebra.Node, st props.States, es Estimates) (Estimate, e
 	}
 	ch := n.Children()
 	ce := make([]Estimate, len(ch))
+	orders := make([]relation.OrderSpec, len(ch))
 	for i, c := range ch {
 		e, err := m.node(c, st, es)
 		if err != nil {
 			return Estimate{}, err
 		}
 		ce[i] = e
+		orders[i] = st[c].Order
 	}
 	site := st[n].Site
-	e := m.estimate(n, site, ce)
+	e := m.estimate(n, site, ce, orders)
 	for _, c := range ce {
 		e.Cost += c.Cost
 	}
@@ -185,8 +240,13 @@ func (m *Model) node(n algebra.Node, st props.States, es Estimates) (Estimate, e
 }
 
 // estimate derives one node's output cardinality (Table 1's cardinality
-// column used as an estimator) and its own processing cost.
-func (m *Model) estimate(n algebra.Node, site props.Site, ce []Estimate) Estimate {
+// column used as an estimator) and its own processing cost. With the
+// streaming engine and OrderBlind unset the cost is order-conditional: the
+// children's statically inferred orders (Table 1 propagation) are run
+// through the same physical decision procedure the engine compiles with
+// (package physical), and the merge/elided variants are priced with
+// MergeTuple/SortVerifyFactor instead of HashTuple and N·log N.
+func (m *Model) estimate(n algebra.Node, site props.Site, ce []Estimate, orders []relation.OrderSpec) Estimate {
 	p := m.params
 	tuple := p.StratumTuple
 	if site == props.DBMS {
@@ -196,9 +256,20 @@ func (m *Model) estimate(n algebra.Node, site props.Site, ce []Estimate) Estimat
 	if site == props.DBMS && n.Op().Temporal() {
 		temporalPenalty = p.DBMSTemporalPenalty
 	}
-	// The exec engine's hash operators only run in the stratum; DBMS
-	// subplans are always priced with the conventional shapes.
+	// The exec engine's hash and merge operators only run in the stratum;
+	// DBMS subplans are always priced with the conventional shapes.
 	streaming := p.Streaming && site != props.DBMS
+	var dec physical.Decision
+	if streaming && !p.OrderBlind {
+		dec = physical.Decide(n, orders)
+	}
+	// groupTuple is the per-tuple partitioning cost of a streaming grouping
+	// operator: a hash build/probe, or the cheaper adjacent comparison when
+	// the input's delivered order keeps the operator's groups contiguous.
+	groupTuple := p.HashTuple
+	if dec.Merge {
+		groupTuple = p.MergeTuple
+	}
 	logN := func(x float64) float64 {
 		if x < 2 {
 			return 1
@@ -223,6 +294,10 @@ func (m *Model) estimate(n algebra.Node, site props.Site, ce []Estimate) Estimat
 		return Estimate{Rows: in, Cost: in * tuple}
 	case algebra.OpSort:
 		in := ce[0].Rows
+		if streaming && dec.SortElided {
+			// The engine compiles the sort away; charge a verify pass.
+			return Estimate{Rows: in, Cost: in * tuple * p.SortVerifyFactor}
+		}
 		factor := 1.0
 		if site == props.DBMS {
 			factor = p.DBMSSortFactor
@@ -230,32 +305,46 @@ func (m *Model) estimate(n algebra.Node, site props.Site, ce []Estimate) Estimat
 		return Estimate{Rows: in, Cost: in * logN(in) * tuple * factor}
 	case algebra.OpRdup:
 		in := ce[0].Rows
+		if streaming && dec.Merge {
+			// Sorted input: dedup is an adjacent comparison per tuple.
+			return Estimate{Rows: math.Max(1, in*0.6), Cost: in * (tuple*0.5 + p.MergeTuple)}
+		}
 		return Estimate{Rows: math.Max(1, in*0.6), Cost: in * tuple}
 	case algebra.OpAggregate:
 		in := ce[0].Rows
+		if streaming && dec.Merge {
+			return Estimate{Rows: math.Max(1, in*0.3), Cost: in * (tuple*0.5 + p.MergeTuple)}
+		}
 		return Estimate{Rows: math.Max(1, in*0.3), Cost: in * tuple}
 	case algebra.OpUnionAll:
 		return Estimate{Rows: ce[0].Rows + ce[1].Rows, Cost: (ce[0].Rows + ce[1].Rows) * tuple * 0.25}
 	case algebra.OpUnion:
 		// Between max(n1,n2) and n1+n2 (Table 1).
-		return Estimate{
-			Rows: math.Max(ce[0].Rows, ce[1].Rows) + 0.5*math.Min(ce[0].Rows, ce[1].Rows),
-			Cost: (ce[0].Rows + ce[1].Rows) * tuple,
+		rows := math.Max(ce[0].Rows, ce[1].Rows) + 0.5*math.Min(ce[0].Rows, ce[1].Rows)
+		if streaming && dec.Merge {
+			return Estimate{Rows: rows, Cost: (ce[0].Rows + ce[1].Rows) * (tuple*0.5 + p.MergeTuple)}
 		}
+		return Estimate{Rows: rows, Cost: (ce[0].Rows + ce[1].Rows) * tuple}
 	case algebra.OpProduct, algebra.OpJoin:
 		rows := ce[0].Rows * ce[1].Rows
 		if n.Op() == algebra.OpJoin {
 			rows *= p.DefaultSelectivity
 		}
 		if streaming && n.Op() == algebra.OpJoin {
-			// Hash join: build + probe + emit, not pairwise work.
-			return Estimate{Rows: rows, Cost: (ce[0].Rows+ce[1].Rows)*p.HashTuple + rows*tuple}
+			// Hash join: build + probe + emit, not pairwise work — or, with
+			// key-covering input orders, a merge join at MergeTuple per input
+			// tuple instead of the hash build/probe.
+			return Estimate{Rows: rows, Cost: (ce[0].Rows+ce[1].Rows)*groupTuple + rows*tuple}
 		}
 		return Estimate{Rows: rows, Cost: ce[0].Rows * ce[1].Rows * tuple}
 	case algebra.OpDiff:
 		// Between n1−n2 and n1 (Table 1): take the midpoint.
 		lo := math.Max(ce[0].Rows-ce[1].Rows, 0)
-		return Estimate{Rows: (lo + ce[0].Rows) / 2, Cost: (ce[0].Rows + ce[1].Rows) * tuple}
+		rows := (lo + ce[0].Rows) / 2
+		if streaming && dec.Merge {
+			return Estimate{Rows: rows, Cost: (ce[0].Rows + ce[1].Rows) * (tuple*0.5 + p.MergeTuple)}
+		}
+		return Estimate{Rows: rows, Cost: (ce[0].Rows + ce[1].Rows) * tuple}
 	case algebra.OpTProduct, algebra.OpTJoin:
 		// Pairs that overlap in time: a fraction of the full product.
 		overlap := 0.3
@@ -264,7 +353,7 @@ func (m *Model) estimate(n algebra.Node, site props.Site, ce []Estimate) Estimat
 			rows *= p.DefaultSelectivity
 		}
 		if streaming && n.Op() == algebra.OpTJoin {
-			return Estimate{Rows: rows, Cost: (ce[0].Rows+ce[1].Rows)*p.HashTuple + rows*tuple}
+			return Estimate{Rows: rows, Cost: (ce[0].Rows+ce[1].Rows)*groupTuple + rows*tuple}
 		}
 		return Estimate{Rows: rows, Cost: ce[0].Rows * ce[1].Rows * tuple * temporalPenalty}
 	case algebra.OpTDiff:
@@ -281,14 +370,14 @@ func (m *Model) estimate(n algebra.Node, site props.Site, ce []Estimate) Estimat
 		in := ce[0].Rows
 		// At most 2·n−1 constant intervals (Table 1).
 		if streaming {
-			return Estimate{Rows: math.Max(1, in*1.5), Cost: in*p.HashTuple + in*2*tuple}
+			return Estimate{Rows: math.Max(1, in*1.5), Cost: in*groupTuple + in*2*tuple}
 		}
 		return Estimate{Rows: math.Max(1, in*1.5), Cost: in * logN(in) * 2 * tuple * temporalPenalty}
 	case algebra.OpTRdup:
 		in := ce[0].Rows
 		// At most 2·n−1 (Table 1); duplicates also disappear.
 		if streaming {
-			return Estimate{Rows: math.Max(1, in*0.8), Cost: in*p.HashTuple + in*tuple}
+			return Estimate{Rows: math.Max(1, in*0.8), Cost: in*groupTuple + in*tuple}
 		}
 		return Estimate{Rows: math.Max(1, in*0.8), Cost: in * logN(in) * 2 * tuple * temporalPenalty}
 	case algebra.OpTUnion:
@@ -301,7 +390,7 @@ func (m *Model) estimate(n algebra.Node, site props.Site, ce []Estimate) Estimat
 	case algebra.OpCoal:
 		in := ce[0].Rows
 		if streaming {
-			return Estimate{Rows: math.Max(1, in*0.7), Cost: in*p.HashTuple + in*tuple}
+			return Estimate{Rows: math.Max(1, in*0.7), Cost: in*groupTuple + in*tuple}
 		}
 		return Estimate{Rows: math.Max(1, in*0.7), Cost: in * logN(in) * tuple * temporalPenalty}
 	case algebra.OpTransferS, algebra.OpTransferD:

@@ -60,6 +60,11 @@ type EngineSpec struct {
 	// operators, changing the stratum's cost shapes from pairwise and
 	// log-factor formulas to linear ones.
 	Streaming bool
+	// OrderAware reports that the engine compiles the order-exploiting
+	// physical variants (merge operators, sort elision) when its inputs'
+	// delivered orders allow. The cost model and the stratum meter price
+	// those variants only for engines that actually compile them.
+	OrderAware bool
 }
 
 // Reference returns the spec of this package's reference evaluator.

@@ -1,7 +1,7 @@
-// Package exec implements the streaming, hash-based execution engine: a
-// Volcano-style pull-iterator evaluator over algebra plans whose physical
-// operators beat the reference evaluator (package eval) asymptotically while
-// producing bit-identical result lists.
+// Package exec implements the streaming, hash- and merge-based execution
+// engine: a Volcano-style pull-iterator evaluator over algebra plans whose
+// physical operators beat the reference evaluator (package eval)
+// asymptotically while producing bit-identical result lists.
 //
 // # Two engines, one semantics
 //
@@ -15,45 +15,65 @@
 // order-sensitive (coalescing on a permuted input can produce a genuinely
 // different multiset), so the only safe division of labour is for physical
 // operators to change *how* a result is computed, never *which list* comes
-// out. Differential tests (differential_test.go) drive hundreds of random
-// conventional and temporal plans through both engines and assert exact list
+// out. Differential tests (differential_test.go, order_test.go) drive
+// hundreds of random conventional and temporal plans through the reference,
+// the hash-only engine and the full merge engine and assert exact list
 // equality plus identical Table 1 order annotations.
 //
-// # Physical operators
+// # The delivered-order contract
 //
-//   - Scan, selection, projection, and union-all stream tuple-at-a-time.
-//   - Products and the join idioms extract equality conjuncts ("1.Grp" =
-//     "2.Grp") from the fused predicate and run a hash join: the right side
-//     is built into a collision-safe hash table (tuple hashes confirmed with
-//     value equality), the left side probes in list order, and matches are
-//     emitted in the right argument's list order — exactly the reference's
-//     left-major pair order at O(n+m+out) instead of O(n·m). Non-equi
-//     predicates fall back to a block nested loop that reuses a scratch
-//     tuple, allocating only for emitted pairs.
-//   - rdup streams through a hash set; diff and the max-multiplicity union
-//     build hash multiplicity counters on one side and stream the other.
-//   - Aggregation pipelines its input into per-group accumulators held in a
-//     hash table that preserves first-occurrence group order.
-//   - The temporal operators (rdupT, coalT, diffT, unionT, aggrT) partition
-//     by value-equivalence with tuple hashes instead of the reference's
-//     string keys, skipping the hash table entirely when the input's
-//     OrderSpec already makes value groups contiguous; the per-group work
-//     then runs group-locally — O(Σ g²) in the worst case versus the
-//     reference's global O(n²), and coalT additionally detects sorted,
-//     non-overlapping groups at run time and merges them in one pass.
-//     Fragments are re-interleaved by original tuple position so the output
-//     list matches the reference exactly. The engine deliberately does NOT
-//     "sort first and merge" when the input is unsorted: coalescing is not
-//     confluent under reordering, so a sort-based coalT would change the
-//     result multiset, not just its order.
+// Every compiled pipeline stage (the internal source struct) carries,
+// besides its iterator and schema, the order its stream delivers — derived
+// at build time with the same Table 1 propagation rules the reference
+// evaluator applies at run time (and that props.State.Order derives
+// statically; the golden matrix in order_golden_test.go pins all three to
+// each other). Delivered orders are list invariants, and the engine spends
+// them in three ways, all decided by the shared procedure in package
+// physical so the cost model prices exactly what the engine compiles:
+//
+//   - Sort elision. sort_A over an input delivering an order A is a prefix
+//     of is a physical no-op (a stable sort cannot move any tuple); the
+//     build step returns the input stage unchanged, stronger order
+//     included. Options.NoSortElision disables this for differential
+//     testing, and the elided/performed property test asserts bit-equal
+//     outputs either way.
+//
+//   - Merge operators. With key-covering aligned orders on both inputs,
+//     joins merge instead of hashing (mergeJoinIter: a monotone pointer
+//     over the materialized sorted right side, emitting the hash join's
+//     exact left-major pair order); \ and ∪ run two-pointer merges over a
+//     shared total order; rdup degenerates to an adjacent comparison.
+//
+//   - Streaming grouping. rdupᵀ, coalᵀ, 𝒢 and 𝒢ᵀ over inputs whose
+//     delivered order keeps their groups contiguous run group-at-a-time
+//     (groupIter): pull one group, transform it with the same group-local
+//     algorithm the hash path uses, emit, repeat — bounded state, no hash
+//     table, no global materialization.
+//
+// When no order helps, the PR 1 hash variants run unchanged: hash join on
+// extracted equi-keys with a block-nested-loop fallback, hash multiplicity
+// counters for \ and ∪, hash-partitioned group-local temporal operators
+// (skipping the hash table when materialized input order proves groups
+// contiguous), and pipelined hash aggregation. An explicit external merge
+// sort (mergeSortIter: bounded stable-sorted runs, heap-merged with a
+// run-index tie-break that reproduces the global stable sort) replaces the
+// monolithic materialize-and-sort. The engine deliberately does NOT "sort
+// first and merge" when an input is unsorted: coalescing is not confluent
+// under reordering, so a sort-based coalᵀ would change the result multiset,
+// not just its order. Options.NoMerge restricts the engine to the hash
+// variants (the exec-hash spec), and Stats counts which variants compiled.
 //
 // # Adding a physical operator
 //
 // Add a case to (*Engine).build returning a source (iterator + schema +
-// Table 1 order annotation). Derive the order with the helpers exported from
-// package eval (OrderAfterProject, OrderAfterProduct, OrderQualifyTime,
-// OrderAfterGroup) so the two engines cannot drift, and extend the
-// differential fuzz generator (internal/testutil) to cover the operator.
-// The cost model's streaming formulas (cost.OpUnits with streaming=true)
-// should be recalibrated when an operator's asymptotic shape changes.
+// Table 1 order annotation). Derive the order with the helpers exported
+// from package eval (OrderAfterProject, OrderAfterProduct, OrderQualifyTime,
+// OrderAfterGroup) so the engines cannot drift. If the operator has an
+// order-exploiting variant, put its applicability test in package physical's
+// Decide so the engine, the cost model, and the stratum meter make the same
+// choice, and extend the differential fuzz generator (internal/testutil)
+// with shapes that trigger it. The cost model's order-conditional formulas
+// (cost.Params MergeTuple/SortVerifyFactor/MergeUnitsFactor and the
+// Params.OpUnitsOrdered meter) should be recalibrated when a variant's
+// asymptotic shape changes.
 package exec

@@ -9,22 +9,71 @@ import (
 	"tqp/internal/schema"
 )
 
-// Engine is the streaming hash-based engine. It implements eval.Engine and
-// produces the same result list as the reference evaluator for every plan.
-type Engine struct {
-	src eval.Source
+// Options select which order-exploiting physical variants the engine may
+// use. The zero value enables everything; the restrictions exist for
+// differential testing (hash-only mode is PR 1's engine) and for measuring
+// the merge family's effect in isolation.
+type Options struct {
+	// NoMerge disables the merge/sort-based variants (merge join, merge
+	// diff/union, adjacent-compare dedup, streaming group-at-a-time
+	// temporal operators); every operator uses its hash variant.
+	NoMerge bool
+	// NoSortElision forces every sort node to physically sort, even when
+	// its input already delivers the requested order.
+	NoSortElision bool
 }
 
-// New returns an engine over src.
+// Stats counts the physical variants a single Engine instance compiled —
+// the run-time record that the order-exploiting paths actually fired.
+type Stats struct {
+	SortsElided int // sort nodes compiled away (input already ordered)
+	MergeSorts  int // external merge sorts performed
+	MergeJoins  int // merge joins chosen over hash joins
+	MergeOps    int // merge diff/union/dedup and streaming group operators
+}
+
+// Engine is the streaming hash- and merge-based engine. It implements
+// eval.Engine and produces the same result list as the reference evaluator
+// for every plan; when an input's delivered order allows it (and Options
+// permit), it compiles the cheaper merge/sort-based variant of an operator.
+type Engine struct {
+	src   eval.Source
+	opts  Options
+	stats Stats
+}
+
+// New returns an engine over src with every physical variant enabled.
 func New(src eval.Source) *Engine { return &Engine{src: src} }
+
+// NewWith returns an engine over src restricted by opts.
+func NewWith(src eval.Source, opts Options) *Engine {
+	return &Engine{src: src, opts: opts}
+}
+
+// Stats reports the physical-variant counters accumulated by this engine's
+// compilations so far.
+func (e *Engine) Stats() Stats { return e.stats }
 
 // Spec returns this engine's spec for the stratum executor, the optimizer's
 // engine registry, and the cost model (Streaming selects the hash/one-pass
 // cost shapes).
 func Spec() eval.EngineSpec {
 	return eval.EngineSpec{
-		Name:      "exec",
-		New:       func(src eval.Source) eval.Engine { return New(src) },
+		Name:       "exec",
+		New:        func(src eval.Source) eval.Engine { return New(src) },
+		Streaming:  true,
+		OrderAware: true,
+	}
+}
+
+// HashOnlySpec returns the engine restricted to PR 1's hash variants (no
+// merge operators, no sort elision) — the baseline the merge family is
+// benchmarked against. OrderAware is false: the cost model and the stratum
+// meter must not price merge variants this engine never compiles.
+func HashOnlySpec() eval.EngineSpec {
+	return eval.EngineSpec{
+		Name:      "exec-hash",
+		New:       func(src eval.Source) eval.Engine { return NewWith(src, Options{NoMerge: true, NoSortElision: true}) },
 		Streaming: true,
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"tqp/internal/expr"
 	"tqp/internal/period"
+	"tqp/internal/physical"
 	"tqp/internal/relation"
 	"tqp/internal/schema"
 	"tqp/internal/value"
@@ -31,35 +32,35 @@ func TestEquiKeys(t *testing.T) {
 	lw, rw := 4, 4
 
 	eq := expr.Compare(expr.Eq, expr.Column("1.Grp"), expr.Column("2.Grp"))
-	lidx, ridx, residual := equiKeys(eq, out, lw, rw)
+	lidx, ridx, residual := physical.EquiKeys(eq, out, lw, rw)
 	if len(lidx) != 1 || lidx[0] != 1 || ridx[0] != 1 || residual != nil {
 		t.Fatalf("equi conjunct: lidx=%v ridx=%v residual=%v", lidx, ridx, residual)
 	}
 
 	// Reversed operand order must extract the same pair.
 	rev := expr.Compare(expr.Eq, expr.Column("2.Name"), expr.Column("1.Name"))
-	lidx, ridx, residual = equiKeys(rev, out, lw, rw)
+	lidx, ridx, residual = physical.EquiKeys(rev, out, lw, rw)
 	if len(lidx) != 1 || lidx[0] != 0 || ridx[0] != 0 || residual != nil {
 		t.Fatalf("reversed equi conjunct: lidx=%v ridx=%v residual=%v", lidx, ridx, residual)
 	}
 
 	// Mixed predicate: the equality hashes, the inequality stays residual.
 	mixed := expr.Conj(eq, expr.Compare(expr.Lt, expr.Column("1.T1"), expr.Column("2.T1")))
-	lidx, _, residual = equiKeys(mixed, out, lw, rw)
+	lidx, _, residual = physical.EquiKeys(mixed, out, lw, rw)
 	if len(lidx) != 1 || residual == nil {
 		t.Fatalf("mixed predicate: lidx=%v residual=%v", lidx, residual)
 	}
 
 	// Same-side equality cannot be a hash key.
 	sameSide := expr.Compare(expr.Eq, expr.Column("1.Name"), expr.Column("1.Grp"))
-	lidx, _, residual = equiKeys(sameSide, out, lw, rw)
+	lidx, _, residual = physical.EquiKeys(sameSide, out, lw, rw)
 	if lidx != nil || residual == nil {
 		t.Fatalf("same-side equality must stay residual: lidx=%v residual=%v", lidx, residual)
 	}
 
 	// A non-equi predicate falls back entirely.
 	theta := expr.Compare(expr.Lt, expr.Column("1.Grp"), expr.Column("2.Grp"))
-	lidx, _, residual = equiKeys(theta, out, lw, rw)
+	lidx, _, residual = physical.EquiKeys(theta, out, lw, rw)
 	if lidx != nil || residual == nil {
 		t.Fatalf("theta predicate must stay residual: lidx=%v residual=%v", lidx, residual)
 	}

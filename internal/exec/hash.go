@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"tqp/internal/physical"
 	"tqp/internal/relation"
 	"tqp/internal/schema"
 )
@@ -68,45 +69,20 @@ func identityIdx(n int) []int {
 }
 
 // valueIdx returns the positions of a temporal schema's non-time attributes:
-// the value-equivalence columns of Section 2.1.
-func valueIdx(s *schema.Schema) []int {
-	t1, t2 := s.TimeIndices()
-	out := make([]int, 0, s.Len())
-	for i := 0; i < s.Len(); i++ {
-		if i == t1 || i == t2 {
-			continue
-		}
-		out = append(out, i)
-	}
-	return out
-}
+// the value-equivalence columns of Section 2.1 (shared with the planner's
+// decision procedure in package physical).
+func valueIdx(s *schema.Schema) []int { return physical.ValueIdx(s) }
 
 // groupsContiguous reports whether tuples equal on idx are guaranteed to be
-// adjacent in a list sorted by ord: some prefix of ord covers exactly the
-// idx attribute set. When true the grouping operators run without a hash
-// table in a single comparison pass.
+// adjacent in a list sorted by ord. The decision lives in package physical
+// so the engine, the cost model and the stratum meter agree; the empty-idx
+// case (grouping on no columns: one global group, trivially contiguous) is
+// engine-local because physical treats "no keys" as "no merge variant".
 func groupsContiguous(ord relation.OrderSpec, s *schema.Schema, idx []int) bool {
-	want := make(map[string]bool, len(idx))
-	for _, j := range idx {
-		want[s.At(j).Name] = true
+	if len(idx) == 0 {
+		return true
 	}
-	// Count each distinct attribute once: an order spec may repeat a key
-	// (sort_{Name,Name} is valid), and a repeat proves nothing new.
-	covered := 0
-	seen := make(map[string]bool, len(want))
-	for _, k := range ord {
-		if !want[k.Attr] {
-			return false
-		}
-		if !seen[k.Attr] {
-			seen[k.Attr] = true
-			covered++
-		}
-		if covered == len(want) {
-			return true
-		}
-	}
-	return len(want) == 0
+	return physical.GroupsContiguous(ord, s, idx)
 }
 
 // groupRows partitions row indices by equality on idx, preserving

@@ -5,49 +5,11 @@ import (
 	"tqp/internal/eval"
 	"tqp/internal/expr"
 	"tqp/internal/period"
+	"tqp/internal/physical"
 	"tqp/internal/relation"
 	"tqp/internal/schema"
 	"tqp/internal/value"
 )
-
-// equiKeys splits a (possibly fused) product predicate into hashable
-// equality pairs — conjuncts of the form leftCol = rightCol over the
-// product's output schema — and the residual predicate evaluated per
-// candidate pair. Columns at or beyond lw+rw (a temporal product's fresh
-// intersection period) cannot be hashed and stay residual.
-func equiKeys(p expr.Pred, out *schema.Schema, lw, rw int) (lidx, ridx []int, residual expr.Pred) {
-	if p == nil {
-		return nil, nil, nil
-	}
-	var rest []expr.Pred
-	for _, c := range expr.SplitConj(p) {
-		if cmp, ok := c.(expr.Cmp); ok && cmp.Op == expr.Eq {
-			lc, lok := cmp.L.(expr.Col)
-			rc, rok := cmp.R.(expr.Col)
-			if lok && rok {
-				i, j := out.Index(lc.Name), out.Index(rc.Name)
-				switch {
-				case i >= 0 && i < lw && j >= lw && j < lw+rw:
-					lidx = append(lidx, i)
-					ridx = append(ridx, j-lw)
-					continue
-				case j >= 0 && j < lw && i >= lw && i < lw+rw:
-					lidx = append(lidx, j)
-					ridx = append(ridx, i-lw)
-					continue
-				}
-			}
-		}
-		rest = append(rest, c)
-	}
-	if len(lidx) == 0 {
-		return nil, nil, p
-	}
-	if len(rest) == 0 {
-		return lidx, ridx, nil
-	}
-	return lidx, ridx, expr.ConjList(rest)
-}
 
 // productIter evaluates × and ×ᵀ (optionally with a fused join predicate) in
 // the reference's left-major, right-list order. With equality keys it is a
@@ -186,8 +148,146 @@ func (p *productIter) next() (relation.Tuple, error) {
 
 func (p *productIter) close() error { return p.left.close() }
 
+// mergeJoinIter evaluates an equi-key join over inputs both delivered in a
+// key-covering order: the right side is materialized once (as the hash join
+// does to build its table) and a single pointer advances monotonically as
+// the sorted left side streams through, each left tuple pairing with its
+// contiguous right key group in right-list order. The output is the exact
+// left-major pair sequence of the hash join — only the lookup machinery
+// differs — at zero hashing cost.
+type mergeJoinIter struct {
+	left     iterator
+	right    *source
+	out      *schema.Schema
+	lw, rw   int
+	keys     physical.JoinKeys
+	residual expr.Pred
+	temporal bool
+	lt1, lt2 int
+
+	built   bool
+	rows    []relation.Tuple
+	periods []period.Period
+	ri      int // start of the current (or next) right key group
+	gEnd    int // end of the current right key group
+
+	cur  relation.Tuple
+	curP period.Period
+	ci   int
+	buf  relation.Tuple
+}
+
+func (m *mergeJoinIter) build() error {
+	r, err := drain(m.right)
+	if err != nil {
+		return err
+	}
+	m.rows = r.Tuples()
+	if m.temporal {
+		m.periods = r.Periods()
+	}
+	m.built = true
+	return nil
+}
+
+// advance pulls the next left tuple and aligns the right group pointer.
+func (m *mergeJoinIter) advance() error {
+	for {
+		t, err := m.left.next()
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			m.cur = nil
+			return nil
+		}
+		// Left tuples arrive in key order, so the right pointer never moves
+		// backwards; a left key equal to the previous one reuses the group.
+		cmp := -1 // right side exhausted: no match for any further left key
+		for m.ri < len(m.rows) {
+			cmp = m.keys.Compare(t, m.rows[m.ri])
+			if cmp <= 0 {
+				break
+			}
+			m.ri++
+		}
+		if cmp == 0 {
+			if m.gEnd <= m.ri {
+				m.gEnd = m.ri + 1
+				for m.gEnd < len(m.rows) && m.keys.Compare(t, m.rows[m.gEnd]) == 0 {
+					m.gEnd++
+				}
+			}
+			m.cur = t
+			if m.temporal {
+				m.curP = t.PeriodAt(m.lt1, m.lt2)
+			}
+			m.ci = m.ri
+			return nil
+		}
+		// No right group for this key: try the next left tuple.
+	}
+}
+
+func (m *mergeJoinIter) next() (relation.Tuple, error) {
+	if !m.built {
+		if err := m.build(); err != nil {
+			return nil, err
+		}
+		if err := m.advance(); err != nil {
+			return nil, err
+		}
+	}
+	width := m.lw + m.rw
+	if m.temporal {
+		width += 2
+	}
+	for m.cur != nil {
+		for m.ci < m.gEnd {
+			ri := m.ci
+			m.ci++
+			var iv period.Period
+			if m.temporal {
+				iv = m.curP.Intersect(m.periods[ri])
+				if iv.Empty() {
+					continue
+				}
+			}
+			if m.buf == nil {
+				m.buf = make(relation.Tuple, width)
+			}
+			copy(m.buf, m.cur)
+			copy(m.buf[m.lw:], m.rows[ri])
+			if m.temporal {
+				m.buf[m.lw+m.rw] = value.Time(iv.Start)
+				m.buf[m.lw+m.rw+1] = value.Time(iv.End)
+			}
+			if m.residual != nil {
+				ok, err := m.residual.Holds(m.out, m.buf)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			t := m.buf
+			m.buf = nil
+			return t, nil
+		}
+		if err := m.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+func (m *mergeJoinIter) close() error { return m.left.close() }
+
 // buildProduct compiles × / ×ᵀ with an optional fused join predicate; the
-// join idioms dispatch here with their predicate.
+// join idioms dispatch here with their predicate. With equality keys and
+// both inputs delivered in a key-covering order the merge join is chosen;
+// with keys alone, the hash join; otherwise the block nested loop.
 func (e *Engine) buildProduct(n algebra.Node, pred expr.Pred, temporal bool) (*source, error) {
 	l, r, err := e.buildBoth(n)
 	if err != nil {
@@ -198,7 +298,31 @@ func (e *Engine) buildProduct(n algebra.Node, pred expr.Pred, temporal bool) (*s
 		return nil, err
 	}
 	lw, rw := l.schema.Len(), r.schema.Len()
-	lidx, ridx, residual := equiKeys(pred, outSchema, lw, rw)
+	lidx, ridx, residual := physical.EquiKeys(pred, outSchema, lw, rw)
+	leftOrder := l.order
+	outOrder := leftOrder
+	if temporal {
+		// Table 1: the order of ×ᵀ is the left order's time-free prefix.
+		outOrder = leftOrder.TimeFreePrefix()
+	}
+	src := &source{
+		schema: outSchema,
+		order:  eval.OrderAfterProduct(outOrder, r.schema, outSchema),
+	}
+	if !e.opts.NoMerge && len(lidx) > 0 {
+		if keys, ok := physical.MergeJoinKeys(leftOrder, r.order, l.schema, r.schema, lidx, ridx); ok {
+			e.stats.MergeJoins++
+			it := &mergeJoinIter{
+				left: l.it, right: r, out: outSchema, lw: lw, rw: rw,
+				keys: keys, residual: residual, temporal: temporal,
+			}
+			if temporal {
+				it.lt1, it.lt2 = l.schema.TimeIndices()
+			}
+			src.it = it
+			return src, nil
+		}
+	}
 	it := &productIter{
 		left:     l.it,
 		right:    r,
@@ -210,15 +334,9 @@ func (e *Engine) buildProduct(n algebra.Node, pred expr.Pred, temporal bool) (*s
 		residual: residual,
 		temporal: temporal,
 	}
-	leftOrder := l.order
 	if temporal {
 		it.lt1, it.lt2 = l.schema.TimeIndices()
-		// Table 1: the order of ×ᵀ is the left order's time-free prefix.
-		leftOrder = leftOrder.TimeFreePrefix()
 	}
-	return &source{
-		it:     it,
-		schema: outSchema,
-		order:  eval.OrderAfterProduct(leftOrder, r.schema, outSchema),
-	}, nil
+	src.it = it
+	return src, nil
 }

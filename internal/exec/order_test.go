@@ -1,0 +1,149 @@
+package exec_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"tqp/internal/algebra"
+	"tqp/internal/datagen"
+	"tqp/internal/eval"
+	"tqp/internal/exec"
+	"tqp/internal/relation"
+	"tqp/internal/testutil"
+)
+
+// TestDifferentialThreeWay is the merge family's correctness anchor: every
+// random plan runs through the reference evaluator, the hash-only engine
+// (PR 1's physical operators) and the full engine with the merge/sort-based
+// variants and sort elision enabled, and all three must produce the
+// identical tuple list and the identical Table 1 order annotation. The
+// generator over-weights order-sensitive shapes, and the accumulated engine
+// stats prove the merge paths actually compiled — a three-way pass over
+// plans that never hit a merge operator would be vacuous.
+func TestDifferentialThreeWay(t *testing.T) {
+	plans := 0
+	var total exec.Stats
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c, bases := testutil.TemporalCatalog(seed)
+		ref := eval.New(c)
+		hash := exec.NewWith(c, exec.Options{NoMerge: true, NoSortElision: true})
+		merge := exec.New(c)
+
+		for trial := 0; trial < 8; trial++ {
+			plan := testutil.RandomPlan(rng, bases, 2+rng.Intn(2))
+			want, errRef := ref.Eval(plan)
+			gotHash, errHash := hash.Eval(plan)
+			gotMerge, errMerge := merge.Eval(plan)
+			if (errRef == nil) != (errHash == nil) || (errRef == nil) != (errMerge == nil) {
+				t.Fatalf("seed %d: engines disagree on failure for %s: reference=%v hash=%v merge=%v",
+					seed, algebra.Canonical(plan), errRef, errHash, errMerge)
+			}
+			if errRef != nil {
+				continue
+			}
+			plans++
+			if !gotHash.EqualAsList(want) {
+				t.Fatalf("seed %d: %s: hash-only engine differs from reference\nhash (%d tuples):\n%s\nreference (%d tuples):\n%s",
+					seed, algebra.Canonical(plan), gotHash.Len(), gotHash, want.Len(), want)
+			}
+			if !gotMerge.EqualAsList(want) {
+				t.Fatalf("seed %d: %s: merge engine differs from reference\nmerge (%d tuples):\n%s\nreference (%d tuples):\n%s",
+					seed, algebra.Canonical(plan), gotMerge.Len(), gotMerge, want.Len(), want)
+			}
+			if !gotHash.Order().Equal(want.Order()) || !gotMerge.Order().Equal(want.Order()) {
+				t.Fatalf("seed %d: %s: order annotations differ: reference %s hash %s merge %s",
+					seed, algebra.Canonical(plan), want.Order(), gotHash.Order(), gotMerge.Order())
+			}
+		}
+		s := merge.Stats()
+		total.SortsElided += s.SortsElided
+		total.MergeSorts += s.MergeSorts
+		total.MergeJoins += s.MergeJoins
+		total.MergeOps += s.MergeOps
+	}
+	if plans < 300 {
+		t.Fatalf("three-way suite covered only %d plans, want ≥ 300", plans)
+	}
+	if total.SortsElided == 0 || total.MergeJoins == 0 || total.MergeOps == 0 || total.MergeSorts == 0 {
+		t.Fatalf("merge paths did not all fire across the suite: %+v", total)
+	}
+}
+
+// TestSortElisionSafe is the elided-sort property test: for random plans,
+// compiling with sort elision on and off must produce bit-identical result
+// lists and order annotations — eliding a sort whose spec is a prefix of
+// the delivered order can never move a tuple, because a stable sort of a
+// list already sorted on a stronger order is the identity.
+func TestSortElisionSafe(t *testing.T) {
+	plans, elided := 0, 0
+	for seed := int64(500); seed < 540; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c, bases := testutil.TemporalCatalog(seed)
+		withElision := exec.New(c)
+		withoutElision := exec.NewWith(c, exec.Options{NoSortElision: true})
+
+		for trial := 0; trial < 8; trial++ {
+			plan := testutil.RandomPlan(rng, bases, 2+rng.Intn(2))
+			got, err1 := withElision.Eval(plan)
+			want, err2 := withoutElision.Eval(plan)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("seed %d: elision changes failure behaviour for %s: %v vs %v",
+					seed, algebra.Canonical(plan), err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			plans++
+			if !got.EqualAsList(want) {
+				t.Fatalf("seed %d: %s: elided-sort result differs\nelided:\n%s\nperformed:\n%s",
+					seed, algebra.Canonical(plan), got, want)
+			}
+			if !got.Order().Equal(want.Order()) {
+				t.Fatalf("seed %d: %s: elided-sort order %s ≠ performed order %s",
+					seed, algebra.Canonical(plan), got.Order(), want.Order())
+			}
+		}
+		elided += withElision.Stats().SortsElided
+	}
+	if plans < 200 {
+		t.Fatalf("elision suite covered only %d plans, want ≥ 200", plans)
+	}
+	if elided == 0 {
+		t.Fatal("no sort was ever elided: the property test is vacuous")
+	}
+}
+
+// TestExternalMergeSortSpansRuns pins the external merge sort across run
+// boundaries: an input larger than one run (sortRunSize = 4096) must come
+// out exactly as the reference's stable sort, including the relative order
+// of equal keys that land in different runs — the heap's run-index
+// tie-break is what this test guards.
+func TestExternalMergeSortSpansRuns(t *testing.T) {
+	r := datagen.Temporal(datagen.TemporalSpec{
+		Rows: 10000, Values: 40, DupFrac: 0.3, AdjFrac: 0.2, TimeRange: 300, MaxPeriod: 15, Seed: 42,
+	})
+	src := eval.MapSource{"R": r}
+	base := algebra.NewRel("R", r.Schema(), algebra.BaseInfo{})
+	// Few distinct Name values over 10k rows: every run contains every key,
+	// so stability across runs is load-bearing, not incidental.
+	plan := algebra.NewSort(relation.OrderSpec{relation.Key("Name")}, base)
+	want, err := eval.New(src).Eval(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := exec.New(src)
+	got, err := ex.Eval(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Stats().MergeSorts != 1 {
+		t.Fatalf("expected one external merge sort, stats %+v", ex.Stats())
+	}
+	if !got.EqualAsList(want) {
+		t.Fatal("external merge sort differs from the reference stable sort")
+	}
+	if !got.Order().Equal(want.Order()) {
+		t.Fatalf("order annotation %s ≠ reference %s", got.Order(), want.Order())
+	}
+}

@@ -1,0 +1,123 @@
+package exec
+
+import (
+	"container/heap"
+	"sort"
+
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+)
+
+// sortRunSize bounds the tuples sorted per run of the external merge sort.
+// In-memory the bound only caps per-run sort working sets, but the operator
+// is written run-based so the same code serves spilling runs later.
+const sortRunSize = 4096
+
+// mergeSortIter is the explicit external-merge sort operator: the input is
+// consumed into consecutive bounded runs, each stable-sorted in place, and
+// the runs are merged through a min-heap whose tie-break — run index, then
+// position within the run — makes the merged sequence exactly the stable
+// sort of the whole input. Emission streams tuple-at-a-time from the heap,
+// so downstream operators start before the full output materializes.
+type mergeSortIter struct {
+	in     *source
+	spec   relation.OrderSpec
+	schema *schema.Schema
+
+	built bool
+	runs  [][]relation.Tuple
+	h     runHeap
+}
+
+// runCursor is one run's merge position.
+type runCursor struct {
+	run []relation.Tuple
+	idx int // run index: the stability tie-break
+	pos int
+}
+
+type runHeap struct {
+	cursors []*runCursor
+	schema  *schema.Schema
+	spec    relation.OrderSpec
+}
+
+func (h *runHeap) Len() int { return len(h.cursors) }
+func (h *runHeap) Less(i, j int) bool {
+	a, b := h.cursors[i], h.cursors[j]
+	c := relation.CompareOn(h.schema, h.spec, a.run[a.pos], b.run[b.pos])
+	if c != 0 {
+		return c < 0
+	}
+	return a.idx < b.idx
+}
+func (h *runHeap) Swap(i, j int) { h.cursors[i], h.cursors[j] = h.cursors[j], h.cursors[i] }
+func (h *runHeap) Push(x any)    { h.cursors = append(h.cursors, x.(*runCursor)) }
+func (h *runHeap) Pop() any {
+	n := len(h.cursors)
+	c := h.cursors[n-1]
+	h.cursors = h.cursors[:n-1]
+	return c
+}
+
+func (m *mergeSortIter) build() error {
+	run := make([]relation.Tuple, 0, sortRunSize)
+	flush := func() {
+		if len(run) == 0 {
+			return
+		}
+		r := run
+		sort.SliceStable(r, func(i, j int) bool {
+			return relation.CompareOn(m.schema, m.spec, r[i], r[j]) < 0
+		})
+		m.runs = append(m.runs, r)
+		run = make([]relation.Tuple, 0, sortRunSize)
+	}
+	for {
+		t, err := m.in.it.next()
+		if err != nil {
+			m.in.it.close()
+			return err
+		}
+		if t == nil {
+			break
+		}
+		run = append(run, t)
+		if len(run) == sortRunSize {
+			flush()
+		}
+	}
+	if err := m.in.it.close(); err != nil {
+		return err
+	}
+	flush()
+	m.h = runHeap{schema: m.schema, spec: m.spec}
+	for i, r := range m.runs {
+		m.h.cursors = append(m.h.cursors, &runCursor{run: r, idx: i})
+	}
+	heap.Init(&m.h)
+	m.built = true
+	return nil
+}
+
+func (m *mergeSortIter) next() (relation.Tuple, error) {
+	if !m.built {
+		if err := m.build(); err != nil {
+			return nil, err
+		}
+	}
+	if m.h.Len() == 0 {
+		return nil, nil
+	}
+	c := m.h.cursors[0]
+	t := c.run[c.pos]
+	c.pos++
+	if c.pos >= len(c.run) {
+		heap.Pop(&m.h)
+	} else {
+		heap.Fix(&m.h, 0)
+	}
+	return t, nil
+}
+
+func (m *mergeSortIter) close() error { return nil }

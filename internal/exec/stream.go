@@ -6,6 +6,7 @@ import (
 	"tqp/internal/algebra"
 	"tqp/internal/eval"
 	"tqp/internal/expr"
+	"tqp/internal/physical"
 	"tqp/internal/relation"
 	"tqp/internal/schema"
 )
@@ -111,9 +112,13 @@ func (e *Engine) buildProject(n *algebra.Project) (*source, error) {
 	}, nil
 }
 
-// buildSort compiles sort_A: a materializing stable sort, with Table 1's
-// special case — sorting on a prefix of the existing order keeps the
-// stronger order.
+// buildSort compiles sort_A. When the input already delivers an order A is
+// a prefix of, the sort is a physical no-op (a stable sort cannot move any
+// tuple) and compilation elides it outright, passing the input stage —
+// and its stronger order — through. Otherwise an explicit external merge
+// sort runs: bounded stable-sorted runs merged through a heap whose
+// run-index tie-break reproduces the global stable sort, streaming tuples
+// as the merge proceeds.
 func (e *Engine) buildSort(n *algebra.Sort) (*source, error) {
 	in, err := e.build(n.Children()[0])
 	if err != nil {
@@ -122,20 +127,22 @@ func (e *Engine) buildSort(n *algebra.Sort) (*source, error) {
 	if err := n.Spec.Validate(in.schema); err != nil {
 		return nil, err
 	}
+	if !e.opts.NoSortElision && n.Spec.IsPrefixOf(in.order) {
+		e.stats.SortsElided++
+		return in, nil
+	}
 	order := n.Spec
 	if n.Spec.IsPrefixOf(in.order) {
+		// Table 1's special case: sorting on a prefix of the existing order
+		// keeps the stronger order (reachable only with NoSortElision).
 		order = in.order
 	}
-	return lazySource(in.schema, order, func() ([]relation.Tuple, error) {
-		r, err := drain(in)
-		if err != nil {
-			return nil, err
-		}
-		if err := r.SortStable(n.Spec); err != nil {
-			return nil, err
-		}
-		return r.Tuples(), nil
-	}), nil
+	e.stats.MergeSorts++
+	return &source{
+		it:     &mergeSortIter{in: in, spec: n.Spec, schema: in.schema},
+		schema: in.schema,
+		order:  order,
+	}, nil
 }
 
 // concatIter streams the left iterator, then the right.
@@ -203,9 +210,11 @@ func (r *rdupIter) next() (relation.Tuple, error) {
 
 func (r *rdupIter) close() error { return r.in.close() }
 
-// buildRdup compiles rdup: streaming hash duplicate elimination. The first
+// buildRdup compiles rdup: streaming duplicate elimination. The first
 // occurrence survives, so the argument's order is retained (time attributes
-// qualified — the result is a snapshot relation).
+// qualified — the result is a snapshot relation). An input delivered in an
+// order covering every attribute keeps equal tuples contiguous, so a single
+// adjacent comparison replaces the hash set.
 func (e *Engine) buildRdup(n algebra.Node) (*source, error) {
 	in, err := e.build(n.Children()[0])
 	if err != nil {
@@ -215,11 +224,17 @@ func (e *Engine) buildRdup(n algebra.Node) (*source, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &source{
-		it:     &rdupIter{in: in.it, seen: newHashGroups(nil, 0)},
+	src := &source{
 		schema: outSchema,
 		order:  eval.OrderQualifyTime(in.order, outSchema),
-	}, nil
+	}
+	if !e.opts.NoMerge && physical.GroupsContiguous(in.order, in.schema, identityIdx(in.schema.Len())) {
+		e.stats.MergeOps++
+		src.it = &dedupSortedIter{in: in.it}
+		return src, nil
+	}
+	src.it = &rdupIter{in: in.it, seen: newHashGroups(nil, 0)}
+	return src, nil
 }
 
 // diffIter implements the multiset difference \: the right side is drained
@@ -269,9 +284,11 @@ func (d *diffIter) next() (relation.Tuple, error) {
 
 func (d *diffIter) close() error { return d.left.close() }
 
-// buildDiff compiles the multiset difference \ as a hash anti-semi pass:
-// the earliest left occurrences absorb the subtraction, retaining the left
-// order and the late duplicates.
+// buildDiff compiles the multiset difference \: the earliest left
+// occurrences absorb the subtraction, retaining the left order and the late
+// duplicates. When both inputs deliver one shared total order, a two-pointer
+// merge replaces the hash multiplicity counters; otherwise the hash
+// anti-semi pass runs.
 func (e *Engine) buildDiff(n algebra.Node) (*source, error) {
 	l, r, err := e.buildBoth(n)
 	if err != nil {
@@ -281,11 +298,19 @@ func (e *Engine) buildDiff(n algebra.Node) (*source, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &source{
-		it:     &diffIter{left: l.it, right: r, groups: newHashGroups(nil, 0)},
+	src := &source{
 		schema: outSchema,
 		order:  eval.OrderQualifyTime(l.order, outSchema),
-	}, nil
+	}
+	if !e.opts.NoMerge {
+		if spec, ok := physical.AlignedTotalOrder(l.order, r.order, l.schema); ok {
+			e.stats.MergeOps++
+			src.it = &mergeDiffIter{left: l.it, right: r, schema: l.schema, spec: spec}
+			return src, nil
+		}
+	}
+	src.it = &diffIter{left: l.it, right: r, groups: newHashGroups(nil, 0)}
+	return src, nil
 }
 
 // unionIter implements the max-multiplicity union ∪: all of the left list,
@@ -343,7 +368,8 @@ func (u *unionIter) next() (relation.Tuple, error) {
 func (u *unionIter) close() error { return u.right.close() }
 
 // buildUnion compiles the multiset union ∪ of Albert [1]: each tuple occurs
-// max(n1, n2) times; unordered result.
+// max(n1, n2) times; unordered result. When both inputs deliver one shared
+// total order, a two-pointer merge replaces the hash multiplicity counters.
 func (e *Engine) buildUnion(n algebra.Node) (*source, error) {
 	l, r, err := e.buildBoth(n)
 	if err != nil {
@@ -352,15 +378,26 @@ func (e *Engine) buildUnion(n algebra.Node) (*source, error) {
 	if _, err := n.Schema(); err != nil {
 		return nil, err
 	}
-	return &source{
-		it:     &unionIter{left: l, right: r.it, groups: newHashGroups(nil, 0)},
-		schema: l.schema,
-	}, nil
+	src := &source{schema: l.schema}
+	if !e.opts.NoMerge {
+		if spec, ok := physical.AlignedTotalOrder(l.order, r.order, l.schema); ok {
+			e.stats.MergeOps++
+			src.it = &mergeUnionIter{left: l, right: r.it, schema: l.schema, spec: spec}
+			return src, nil
+		}
+	}
+	src.it = &unionIter{left: l, right: r.it, groups: newHashGroups(nil, 0)}
+	return src, nil
 }
 
-// buildAggregate compiles 𝒢: the input streams into per-group accumulators
-// held in a first-occurrence-ordered hash table; one tuple per group is
-// emitted once the input is exhausted.
+// buildAggregate compiles 𝒢. Over an input whose delivered order keeps
+// grouping columns contiguous, the operator runs group-at-a-time: each
+// group's accumulators fold as its tuples arrive and the group's result
+// tuple is emitted the moment the group ends — a true pipeline with
+// bounded state. Otherwise the input streams into per-group accumulators
+// held in a first-occurrence-ordered hash table and one tuple per group is
+// emitted once the input is exhausted; the group orders coincide because
+// contiguous groups appear in first-occurrence order.
 func (e *Engine) buildAggregate(n *algebra.Aggregate) (*source, error) {
 	in, err := e.build(n.Children()[0])
 	if err != nil {
@@ -375,6 +412,30 @@ func (e *Engine) buildAggregate(n *algebra.Aggregate) (*source, error) {
 		gidx[i] = in.schema.Index(g)
 	}
 	order := eval.OrderAfterGroup(in.order, n.GroupBy)
+	if !e.opts.NoMerge && physical.GroupsContiguous(in.order, in.schema, gidx) {
+		e.stats.MergeOps++
+		emit := func(group []relation.Tuple) ([]relation.Tuple, error) {
+			accs := eval.NewAccumulators(n.Aggs, in.schema)
+			for _, t := range group {
+				if err := eval.FoldAggregates(accs, n.Aggs, in.schema, t); err != nil {
+					return nil, err
+				}
+			}
+			nt := make(relation.Tuple, 0, outSchema.Len())
+			for _, gi := range gidx {
+				nt = append(nt, group[0][gi])
+			}
+			for _, acc := range accs {
+				nt = append(nt, acc.Result())
+			}
+			return []relation.Tuple{nt}, nil
+		}
+		return &source{
+			it:     &groupIter{in: in.it, idx: gidx, emit: emit},
+			schema: outSchema,
+			order:  order,
+		}, nil
+	}
 	return lazySource(outSchema, order, func() ([]relation.Tuple, error) {
 		groups := newHashGroups(gidx, 0)
 		var accs [][]*expr.Accumulator

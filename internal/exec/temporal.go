@@ -6,6 +6,7 @@ import (
 	"tqp/internal/algebra"
 	"tqp/internal/eval"
 	"tqp/internal/period"
+	"tqp/internal/physical"
 	"tqp/internal/relation"
 	"tqp/internal/value"
 )
@@ -59,13 +60,63 @@ func mergeByOrig(groups [][]row) []relation.Tuple {
 	return out
 }
 
-// buildTRdup compiles rdupᵀ: hash partition by value-equivalence, then run
-// the paper's iterative head/subtract algorithm group-locally. Rows of
+// rdupTGroup runs the paper's iterative head/subtract algorithm on one
+// value-equivalence group, in place of the group's list order. A group
+// whose periods arrive sorted and non-overlapping is recognized in a linear
+// pre-scan and returned outright.
+func rdupTGroup(rows []row, t1, t2 int) []row {
+	if sortedDisjoint(rows) {
+		return rows // no overlaps exist: nothing to eliminate
+	}
+	for i := 0; i < len(rows); i++ {
+		head := rows[i]
+		for {
+			j := -1
+			for x := i + 1; x < len(rows); x++ {
+				if rows[x].p.Overlaps(head.p) {
+					j = x
+					break
+				}
+			}
+			if j < 0 {
+				break
+			}
+			frags := rows[j].p.Subtract(head.p)
+			repl := make([]row, 0, 2)
+			for _, f := range frags {
+				repl = append(repl, row{orig: rows[j].orig, t: rows[j].t.WithPeriodAt(t1, t2, f), p: f})
+			}
+			rows = append(rows[:j], append(repl, rows[j+1:]...)...)
+		}
+	}
+	return rows
+}
+
+// groupEmitter adapts a group-local row transform into a groupIter emit
+// function for the streaming contiguous-groups path.
+func groupEmitter(t1, t2 int, transform func([]row, int, int) []row) func([]relation.Tuple) ([]relation.Tuple, error) {
+	return func(group []relation.Tuple) ([]relation.Tuple, error) {
+		rows := make([]row, len(group))
+		for i, t := range group {
+			rows[i] = row{orig: i, t: t, p: t.PeriodAt(t1, t2)}
+		}
+		rows = transform(rows, t1, t2)
+		out := make([]relation.Tuple, len(rows))
+		for i, rw := range rows {
+			out[i] = rw.t
+		}
+		return out, nil
+	}
+}
+
+// buildTRdup compiles rdupᵀ: partition by value-equivalence, then run the
+// paper's iterative head/subtract algorithm group-locally. Rows of
 // different groups never interact and in-place replacement preserves their
 // relative order, so the group-local runs compose into exactly the
-// reference's global result at O(Σ g²) instead of O(n²) — and a group whose
-// periods arrive sorted and non-overlapping is recognized in a linear
-// pre-scan and skipped outright.
+// reference's global result at O(Σ g²) instead of O(n²). An input whose
+// delivered order keeps value groups contiguous streams group-at-a-time
+// with no hash table and no global materialization; otherwise the input is
+// materialized and hash-partitioned.
 func (e *Engine) buildTRdup(n algebra.Node) (*source, error) {
 	in, err := e.build(n.Children()[0])
 	if err != nil {
@@ -75,39 +126,21 @@ func (e *Engine) buildTRdup(n algebra.Node) (*source, error) {
 		return nil, err
 	}
 	order := in.order.TimeFreePrefix()
+	t1, t2 := in.schema.TimeIndices()
+	vidx := physical.ValueIdx(in.schema)
+	if !e.opts.NoMerge && physical.GroupsContiguous(in.order, in.schema, vidx) {
+		e.stats.MergeOps++
+		emit := groupEmitter(t1, t2, func(rows []row, t1, t2 int) []row { return rdupTGroup(rows, t1, t2) })
+		return &source{it: &groupIter{in: in.it, idx: vidx, emit: emit}, schema: in.schema, order: order}, nil
+	}
 	return lazySource(in.schema, order, func() ([]relation.Tuple, error) {
 		r, err := drain(in)
 		if err != nil {
 			return nil, err
 		}
-		t1, t2 := r.Schema().TimeIndices()
 		groups := groupRowsOf(r)
 		for g, rows := range groups {
-			if sortedDisjoint(rows) {
-				continue // no overlaps exist: nothing to eliminate
-			}
-			for i := 0; i < len(rows); i++ {
-				head := rows[i]
-				for {
-					j := -1
-					for x := i + 1; x < len(rows); x++ {
-						if rows[x].p.Overlaps(head.p) {
-							j = x
-							break
-						}
-					}
-					if j < 0 {
-						break
-					}
-					frags := rows[j].p.Subtract(head.p)
-					repl := make([]row, 0, 2)
-					for _, f := range frags {
-						repl = append(repl, row{orig: rows[j].orig, t: rows[j].t.WithPeriodAt(t1, t2, f), p: f})
-					}
-					rows = append(rows[:j], append(repl, rows[j+1:]...)...)
-				}
-			}
-			groups[g] = rows
+			groups[g] = rdupTGroup(rows, t1, t2)
 		}
 		return mergeByOrig(groups), nil
 	}), nil
@@ -128,11 +161,38 @@ func sortedDisjoint(rows []row) bool {
 	return true
 }
 
-// buildCoal compiles coalᵀ: group-local adjacency merging. A group whose
-// periods are sorted and non-overlapping merges in one pass; otherwise the
-// reference's iterative merge runs group-locally (the engine never sorts
-// first — coalescing is not confluent under reordering, so that would change
-// the result multiset, not just its order).
+// coalTGroup coalesces one value-equivalence group. A group whose periods
+// are sorted and non-overlapping merges in one pass; otherwise the
+// reference's iterative merge runs group-locally.
+func coalTGroup(rows []row, t1, t2 int) []row {
+	if sortedDisjoint(rows) {
+		return coalesceOnePass(rows, t1, t2)
+	}
+	for i := 0; i < len(rows); {
+		merged := false
+		for j := i + 1; j < len(rows); j++ {
+			if !rows[i].p.Adjacent(rows[j].p) {
+				continue
+			}
+			u, _ := rows[i].p.Union(rows[j].p)
+			rows[i].p = u
+			rows[i].t = rows[i].t.WithPeriodAt(t1, t2, u)
+			rows = append(rows[:j], rows[j+1:]...)
+			merged = true
+			break
+		}
+		if !merged {
+			i++
+		}
+	}
+	return rows
+}
+
+// buildCoal compiles coalᵀ: group-local adjacency merging (the engine never
+// sorts first — coalescing is not confluent under reordering, so that would
+// change the result multiset, not just its order). An input whose delivered
+// order keeps value groups contiguous streams group-at-a-time; otherwise
+// the input is materialized and hash-partitioned.
 func (e *Engine) buildCoal(n algebra.Node) (*source, error) {
 	in, err := e.build(n.Children()[0])
 	if err != nil {
@@ -142,36 +202,21 @@ func (e *Engine) buildCoal(n algebra.Node) (*source, error) {
 		return nil, err
 	}
 	order := in.order.TimeFreePrefix()
+	t1, t2 := in.schema.TimeIndices()
+	vidx := physical.ValueIdx(in.schema)
+	if !e.opts.NoMerge && physical.GroupsContiguous(in.order, in.schema, vidx) {
+		e.stats.MergeOps++
+		emit := groupEmitter(t1, t2, coalTGroup)
+		return &source{it: &groupIter{in: in.it, idx: vidx, emit: emit}, schema: in.schema, order: order}, nil
+	}
 	return lazySource(in.schema, order, func() ([]relation.Tuple, error) {
 		r, err := drain(in)
 		if err != nil {
 			return nil, err
 		}
-		t1, t2 := r.Schema().TimeIndices()
 		groups := groupRowsOf(r)
 		for g, rows := range groups {
-			if sortedDisjoint(rows) {
-				groups[g] = coalesceOnePass(rows, t1, t2)
-				continue
-			}
-			for i := 0; i < len(rows); {
-				merged := false
-				for j := i + 1; j < len(rows); j++ {
-					if !rows[i].p.Adjacent(rows[j].p) {
-						continue
-					}
-					u, _ := rows[i].p.Union(rows[j].p)
-					rows[i].p = u
-					rows[i].t = rows[i].t.WithPeriodAt(t1, t2, u)
-					rows = append(rows[:j], rows[j+1:]...)
-					merged = true
-					break
-				}
-				if !merged {
-					i++
-				}
-			}
-			groups[g] = rows
+			groups[g] = coalTGroup(rows, t1, t2)
 		}
 		return mergeByOrig(groups), nil
 	}), nil
@@ -436,9 +481,12 @@ func (e *Engine) buildTUnion(n algebra.Node) (*source, error) {
 	}), nil
 }
 
-// buildTAggregate compiles 𝒢ᵀ: hash grouping in first-occurrence order,
-// then per group one result tuple per elementary interval with live tuples,
-// exactly the reference's constant-interval evaluation.
+// buildTAggregate compiles 𝒢ᵀ: grouping in first-occurrence order, then
+// per group one result tuple per elementary interval with live tuples,
+// exactly the reference's constant-interval evaluation. An input whose
+// delivered order keeps grouping columns contiguous streams group-at-a-time
+// (each group's constant intervals are computed and emitted the moment the
+// group ends); otherwise the input materializes and hash-partitions.
 func (e *Engine) buildTAggregate(n *algebra.Aggregate) (*source, error) {
 	in, err := e.build(n.Children()[0])
 	if err != nil {
@@ -453,6 +501,48 @@ func (e *Engine) buildTAggregate(n *algebra.Aggregate) (*source, error) {
 		gidx[i] = in.schema.Index(g)
 	}
 	order := eval.OrderAfterGroup(in.order, n.GroupBy)
+	t1, t2 := in.schema.TimeIndices()
+	groupOut := func(group []relation.Tuple) ([]relation.Tuple, error) {
+		ps := make([]period.Period, len(group))
+		for x, t := range group {
+			ps[x] = t.PeriodAt(t1, t2)
+		}
+		var out []relation.Tuple
+		for _, iv := range period.ElementaryIntervals(ps) {
+			accs := eval.NewAccumulators(n.Aggs, in.schema)
+			live := 0
+			for x, t := range group {
+				if !ps[x].ContainsPeriod(iv) {
+					continue
+				}
+				live++
+				if err := eval.FoldAggregates(accs, n.Aggs, in.schema, t); err != nil {
+					return nil, err
+				}
+			}
+			if live == 0 {
+				continue
+			}
+			nt := make(relation.Tuple, 0, outSchema.Len())
+			for _, gi := range gidx {
+				nt = append(nt, group[0][gi])
+			}
+			for _, acc := range accs {
+				nt = append(nt, acc.Result())
+			}
+			nt = append(nt, value.Time(iv.Start), value.Time(iv.End))
+			out = append(out, nt)
+		}
+		return out, nil
+	}
+	if !e.opts.NoMerge && physical.GroupsContiguous(in.order, in.schema, gidx) {
+		e.stats.MergeOps++
+		return &source{
+			it:     &groupIter{in: in.it, idx: gidx, emit: groupOut},
+			schema: outSchema,
+			order:  order,
+		}, nil
+	}
 	return lazySource(outSchema, order, func() ([]relation.Tuple, error) {
 		r, err := drain(in)
 		if err != nil {
@@ -462,36 +552,15 @@ func (e *Engine) buildTAggregate(n *algebra.Aggregate) (*source, error) {
 		groups := groupRows(r.Tuples(), gidx, contiguous)
 		var out []relation.Tuple
 		for _, members := range groups {
-			ps := make([]period.Period, len(members))
+			group := make([]relation.Tuple, len(members))
 			for x, i := range members {
-				ps[x] = r.PeriodOf(i)
+				group[x] = r.At(i)
 			}
-			for _, iv := range period.ElementaryIntervals(ps) {
-				accs := eval.NewAccumulators(n.Aggs, r.Schema())
-				live := 0
-				for x, i := range members {
-					if !ps[x].ContainsPeriod(iv) {
-						continue
-					}
-					live++
-					if err := eval.FoldAggregates(accs, n.Aggs, r.Schema(), r.At(i)); err != nil {
-						return nil, err
-					}
-				}
-				if live == 0 {
-					continue
-				}
-				nt := make(relation.Tuple, 0, outSchema.Len())
-				rep := r.At(members[0])
-				for _, gi := range gidx {
-					nt = append(nt, rep[gi])
-				}
-				for _, acc := range accs {
-					nt = append(nt, acc.Result())
-				}
-				nt = append(nt, value.Time(iv.Start), value.Time(iv.End))
-				out = append(out, nt)
+			res, err := groupOut(group)
+			if err != nil {
+				return nil, err
 			}
+			out = append(out, res...)
 		}
 		return out, nil
 	}), nil

@@ -1,0 +1,155 @@
+package physical_test
+
+import (
+	"testing"
+
+	"tqp/internal/algebra"
+	"tqp/internal/expr"
+	"tqp/internal/physical"
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+	"tqp/internal/value"
+)
+
+func temporalSchema() *schema.Schema {
+	return schema.MustNew(
+		schema.Attr("Name", value.KindString),
+		schema.Attr("Grp", value.KindInt),
+		schema.Attr(schema.T1, value.KindTime),
+		schema.Attr(schema.T2, value.KindTime))
+}
+
+func leafWithOrder(name string, o relation.OrderSpec) algebra.Node {
+	return algebra.NewRel(name, temporalSchema(), algebra.BaseInfo{Order: o})
+}
+
+var (
+	byName    = relation.OrderSpec{relation.Key("Name")}
+	byNameGrp = relation.OrderSpec{relation.Key("Name"), relation.Key("Grp")}
+	byGrpDesc = relation.OrderSpec{relation.KeyDesc("Grp")}
+	byAll     = relation.OrderSpec{
+		relation.Key("Name"), relation.Key("Grp"), relation.Key("T1"), relation.Key("T2"),
+	}
+)
+
+// TestDecideSort pins the elision predicate.
+func TestDecideSort(t *testing.T) {
+	l := leafWithOrder("L", nil)
+	cases := []struct {
+		spec, in relation.OrderSpec
+		elided   bool
+	}{
+		{byName, byNameGrp, true},    // prefix: elide
+		{byNameGrp, byNameGrp, true}, // equal: elide
+		{byNameGrp, byName, false},   // stronger than delivered: sort
+		{byName, nil, false},         // unordered input: sort
+		{byGrpDesc, byNameGrp, false},
+	}
+	for _, c := range cases {
+		d := physical.Decide(algebra.NewSort(c.spec, l), []relation.OrderSpec{c.in})
+		if d.SortElided != c.elided {
+			t.Errorf("sort %s over %s: elided=%v, want %v", c.spec, c.in, d.SortElided, c.elided)
+		}
+	}
+}
+
+// TestDecideJoin pins merge-join applicability: key-covering aligned orders
+// on both sides, with direction and pairing checked.
+func TestDecideJoin(t *testing.T) {
+	eq := expr.Compare(expr.Eq, expr.Column("1.Name"), expr.Column("2.Name"))
+	mk := func(lo, ro relation.OrderSpec) physical.Decision {
+		j := algebra.NewTJoin(eq, leafWithOrder("L", lo), leafWithOrder("R", ro))
+		return physical.Decide(j, []relation.OrderSpec{lo, ro})
+	}
+	if d := mk(byName, byName); d.Algo != physical.AlgoMergeJoin || !d.Merge {
+		t.Errorf("both sides key-ordered: got %s", d.Algo)
+	}
+	// A longer left order still has the key-covering prefix ⟨Name⟩.
+	if d := mk(byNameGrp, byName); d.Algo != physical.AlgoMergeJoin {
+		t.Errorf("left ⟨Name,Grp⟩, right ⟨Name⟩: got %s", d.Algo)
+	}
+	if d := mk(byName, nil); d.Algo != physical.AlgoHashJoin {
+		t.Errorf("unordered right side: got %s", d.Algo)
+	}
+	if d := mk(byName, relation.OrderSpec{relation.KeyDesc("Name")}); d.Algo != physical.AlgoHashJoin {
+		t.Errorf("direction mismatch must fall back to hash: got %s", d.Algo)
+	}
+	if d := mk(byGrpDesc, byName); d.Algo != physical.AlgoHashJoin {
+		t.Errorf("left order not key-covering: got %s", d.Algo)
+	}
+	theta := algebra.NewTJoin(
+		expr.Compare(expr.Lt, expr.Column("1.Grp"), expr.Column("2.Grp")),
+		leafWithOrder("L", byName), leafWithOrder("R", byName))
+	if d := physical.Decide(theta, []relation.OrderSpec{byName, byName}); d.Algo != physical.AlgoNestedLoop {
+		t.Errorf("theta join: got %s", d.Algo)
+	}
+}
+
+// TestDecideGroupingAndSets pins the contiguity- and alignment-based
+// decisions of the unary grouping operators and the multiset operations.
+func TestDecideGroupingAndSets(t *testing.T) {
+	lv := leafWithOrder("L", nil)
+	rv := leafWithOrder("R", nil)
+	cases := []struct {
+		name   string
+		plan   algebra.Node
+		orders []relation.OrderSpec
+		want   physical.Algo
+	}{
+		{"rdupT sorted on values", algebra.NewTRdup(lv), []relation.OrderSpec{byNameGrp}, physical.AlgoMergeGroup},
+		{"rdupT sorted on prefix only", algebra.NewTRdup(lv), []relation.OrderSpec{byName}, physical.AlgoHashGroup},
+		{"coalT unordered", algebra.NewCoal(lv), []relation.OrderSpec{nil}, physical.AlgoHashGroup},
+		{"aggrT grouped on order prefix",
+			algebra.NewTAggregate([]string{"Name"}, []expr.Aggregate{{Func: expr.CountAll, As: "c"}}, lv),
+			[]relation.OrderSpec{byNameGrp}, physical.AlgoMergeGroup},
+		{"rdup total order", algebra.NewRdup(lv), []relation.OrderSpec{byAll}, physical.AlgoMergeDedup},
+		{"rdup partial order", algebra.NewRdup(lv), []relation.OrderSpec{byNameGrp}, physical.AlgoHashDedup},
+		{"diff aligned", algebra.NewDiff(lv, rv), []relation.OrderSpec{byAll, byAll}, physical.AlgoMergeDiff},
+		{"diff one-sided", algebra.NewDiff(lv, rv), []relation.OrderSpec{byAll, nil}, physical.AlgoHashDiff},
+		{"union aligned", algebra.NewUnion(lv, rv), []relation.OrderSpec{byAll, byAll}, physical.AlgoMergeUnion},
+		{"diffT always hash-partitions", algebra.NewTDiff(lv, rv), []relation.OrderSpec{byAll, byAll}, physical.AlgoHashPart},
+	}
+	for _, c := range cases {
+		if d := physical.Decide(c.plan, c.orders); d.Algo != c.want {
+			t.Errorf("%s: got %s, want %s", c.name, d.Algo, c.want)
+		}
+	}
+}
+
+// TestCoveringPrefix pins the prefix-covering predicate the decisions rest
+// on, including the duplicate-key regression.
+func TestCoveringPrefix(t *testing.T) {
+	s := temporalSchema()
+	vidx := physical.ValueIdx(s)
+	if p, ok := physical.CoveringPrefix(byNameGrp, s, vidx); !ok || len(p) != 2 {
+		t.Errorf("⟨Name,Grp⟩ must cover the value columns, got %v %v", p, ok)
+	}
+	if _, ok := physical.CoveringPrefix(byName, s, vidx); ok {
+		t.Error("⟨Name⟩ must not cover {Name,Grp}")
+	}
+	dup := relation.OrderSpec{relation.Key("Name"), relation.Key("Name")}
+	if _, ok := physical.CoveringPrefix(dup, s, vidx); ok {
+		t.Error("sort_{Name,Name} must not cover {Name,Grp}")
+	}
+	if _, ok := physical.CoveringPrefix(nil, s, nil); ok {
+		t.Error("empty attribute set has no covering prefix (no merge variant)")
+	}
+}
+
+// TestAnnotateStaticPlan pins Annotate end to end on a plan whose base
+// order makes every order-exploiting variant fire.
+func TestAnnotateStaticPlan(t *testing.T) {
+	l := leafWithOrder("L", byNameGrp)
+	plan := algebra.NewSort(byName, algebra.NewCoal(algebra.NewTRdup(l)))
+	dec, err := physical.Annotate(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := physical.Summarize(dec)
+	if sum.SortsElided != 1 || sum.MergeOps != 2 {
+		t.Fatalf("expected 1 elided sort and 2 merge groups, got %+v", sum)
+	}
+	if d := dec[plan]; d.Algo != physical.AlgoSortElided {
+		t.Fatalf("top sort: got %s", d.Algo)
+	}
+}

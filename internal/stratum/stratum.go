@@ -16,6 +16,7 @@ import (
 	"tqp/internal/cost"
 	"tqp/internal/dbms"
 	"tqp/internal/eval"
+	"tqp/internal/physical"
 	"tqp/internal/relation"
 )
 
@@ -64,10 +65,14 @@ func NewWithEngine(cat *catalog.Catalog, seed int64, spec eval.EngineSpec) *Exec
 	if spec.New == nil {
 		spec = eval.Reference()
 	}
+	params := cost.ParamsFor(spec.Streaming)
+	// Price the order-exploiting variants only for engines that compile
+	// them (e.g. not for exec.HashOnlySpec()).
+	params.OrderBlind = !spec.OrderAware
 	return &Executor{
 		cat:    cat,
 		engine: dbms.New(cat, seed),
-		params: cost.ParamsFor(spec.Streaming),
+		params: params,
 		phys:   spec,
 	}
 }
@@ -146,6 +151,7 @@ func (x *Executor) exec(n algebra.Node, tr *Trace) (*relation.Relation, error) {
 	ch := n.Children()
 	src := make(eval.MapSource)
 	newCh := make([]algebra.Node, len(ch))
+	childOrders := make([]relation.OrderSpec, len(ch))
 	inRows := 0
 	for i, c := range ch {
 		r, err := x.exec(c, tr)
@@ -155,13 +161,21 @@ func (x *Executor) exec(n algebra.Node, tr *Trace) (*relation.Relation, error) {
 		inRows += r.Len()
 		name := fmt.Sprintf("@stratum%d", i)
 		src[name] = r
+		childOrders[i] = r.Order()
 		newCh[i] = algebra.NewRel(name, r.Schema(), algebra.BaseInfo{Order: r.Order()})
 	}
-	out, err := x.phys.New(src).Eval(n.WithChildren(newCh...))
+	rebound := n.WithChildren(newCh...)
+	out, err := x.phys.New(src).Eval(rebound)
 	if err != nil {
 		return nil, err
 	}
-	tr.StratumUnits += cost.OpUnits(n.Op(), inRows, x.params.StratumTuple, 1, x.params.Streaming)
+	// Meter with the physical variant the engine actually compiled: the
+	// decision procedure is shared (package physical), driven here by the
+	// delivered orders of the materialized child results, and gated on the
+	// engine actually compiling order-exploiting variants.
+	ordered := x.params.Streaming && !x.params.OrderBlind &&
+		physical.Decide(rebound, childOrders).Ordered()
+	tr.StratumUnits += x.params.OpUnitsOrdered(n.Op(), inRows, x.params.StratumTuple, 1, x.params.Streaming, ordered)
 	return out, nil
 }
 

@@ -48,7 +48,12 @@ func TemporalCatalog(seed int64) (*catalog.Catalog, []algebra.Node) {
 
 // TemporalCore builds a random type-correct, schema-preserving temporal plan
 // of bounded depth over the given bases (which must share one temporal
-// schema with attributes Name and Grp, like datagen.Temporal's).
+// schema with attributes Name and Grp, like datagen.Temporal's). The shape
+// distribution deliberately over-weights order-sensitive compositions —
+// sorts feeding the grouping operators (the merge/streaming paths),
+// sort-prefix chains (the elision path), and sorts under the set
+// operations (merge diff) — so the differential suite exercises every
+// physical variant of the exec engine, not just the hash defaults.
 func TemporalCore(rng *rand.Rand, bases []algebra.Node, depth int) algebra.Node {
 	if depth <= 0 {
 		return bases[rng.Intn(len(bases))]
@@ -56,7 +61,9 @@ func TemporalCore(rng *rand.Rand, bases []algebra.Node, depth int) algebra.Node 
 	child := func() algebra.Node { return TemporalCore(rng, bases, depth-1) }
 	pred := expr.Compare(expr.Lt, expr.Column("Grp"), expr.Literal(value.Int(int64(rng.Intn(4)))))
 	byName := relation.OrderSpec{relation.Key("Name")}
-	switch rng.Intn(9) {
+	byNameGrp := relation.OrderSpec{relation.Key("Name"), relation.Key("Grp")}
+	byGrpName := relation.OrderSpec{relation.KeyDesc("Grp"), relation.Key("Name")}
+	switch rng.Intn(14) {
 	case 0:
 		return algebra.NewSelect(pred, child())
 	case 1:
@@ -73,6 +80,24 @@ func TemporalCore(rng *rand.Rand, bases []algebra.Node, depth int) algebra.Node 
 		return algebra.NewTUnion(child(), child())
 	case 7:
 		return algebra.NewTDiff(child(), child())
+	case 8:
+		// Value groups contiguous under the sort: the streaming
+		// group-at-a-time rdupᵀ path.
+		return algebra.NewTRdup(algebra.NewSort(byNameGrp, child()))
+	case 9:
+		// Same for coalᵀ, with a direction mix.
+		return algebra.NewCoal(algebra.NewSort(byGrpName, child()))
+	case 10:
+		// A sort-prefix chain: the outer sort elides against the inner.
+		return algebra.NewSort(byName, algebra.NewSort(byNameGrp, child()))
+	case 11:
+		// Both difference inputs share a total order on the value columns
+		// (time attributes still vary) — and with a sort over the whole
+		// schema the merge-diff path fires downstream of rdup/diff caps.
+		return algebra.NewTDiff(algebra.NewSort(byNameGrp, child()), algebra.NewSort(byNameGrp, child()))
+	case 12:
+		// Sorted-left temporal union: exercises one-sided order retention.
+		return algebra.NewTUnion(algebra.NewSort(byName, child()), child())
 	default:
 		return algebra.NewSelect(pred, algebra.NewSort(byName, child()))
 	}
@@ -80,12 +105,19 @@ func TemporalCore(rng *rand.Rand, bases []algebra.Node, depth int) algebra.Node 
 
 // RandomPlan builds a random type-correct plan covering conventional and
 // temporal operators: a temporal core, an optional schema-changing cap, and
-// an optional conventional tail over the cap's schema.
+// an optional conventional tail over the cap's schema. Order-sensitive caps
+// are weighted in: aggregation over explicitly sorted inputs (the
+// group-at-a-time paths), full-schema sorts under rdup/diff/union (the
+// merge dedup/diff/union paths), and equijoins over key-sorted inputs (the
+// merge join path).
 func RandomPlan(rng *rand.Rand, bases []algebra.Node, depth int) algebra.Node {
 	p := TemporalCore(rng, bases, depth)
 	sibling := func() algebra.Node { return TemporalCore(rng, bases, maxInt(depth-1, 0)) }
 	aggs := randomAggs(rng)
-	switch rng.Intn(10) {
+	byAll := relation.OrderSpec{
+		relation.Key("Name"), relation.Key("Grp"), relation.Key("T1"), relation.Key("T2"),
+	}
+	switch rng.Intn(14) {
 	case 0:
 		p = algebra.NewTAggregate([]string{"Name"}, aggs, p)
 	case 1:
@@ -96,22 +128,51 @@ func RandomPlan(rng *rand.Rand, bases []algebra.Node, depth int) algebra.Node {
 		p = algebra.NewDiff(p, sibling())
 	case 4:
 		p = algebra.NewUnion(p, sibling())
+	case 10:
+		// aggrᵀ over an input sorted on the grouping prefix: streaming
+		// group-at-a-time aggregation.
+		p = algebra.NewTAggregate([]string{"Name"}, aggs,
+			algebra.NewSort(relation.OrderSpec{relation.Key("Name")}, p))
+	case 11:
+		// rdup over a total order: the adjacent-compare dedup path.
+		p = algebra.NewRdup(algebra.NewSort(byAll, p))
+	case 12:
+		// Both difference inputs share one total order: the merge-diff path.
+		p = algebra.NewDiff(algebra.NewSort(byAll, p), algebra.NewSort(byAll, sibling()))
+	case 13:
+		// Both union inputs share one total order: the merge-union path.
+		p = algebra.NewUnion(algebra.NewSort(byAll, p), algebra.NewSort(byAll, sibling()))
 	case 5:
 		// Conventional equijoin over temporal arguments: the product
 		// qualifies every clashing attribute, so the join predicate names
 		// the "1."/"2." columns. The equality conjunct exercises the exec
-		// engine's hash-join path; the inequality stays residual.
+		// engine's hash-join path — or the merge-join path when both inputs
+		// are sorted on the key — and the inequality stays residual.
 		pred := expr.Pred(expr.Compare(expr.Eq, expr.Column("1.Grp"), expr.Column("2.Grp")))
 		if rng.Intn(2) == 0 {
 			pred = expr.Conj(pred, expr.Compare(expr.Le, expr.Column("1.T1"), expr.Column("2.T2")))
 		}
-		p = algebra.NewJoin(pred, p, sibling())
+		sib := sibling()
+		if rng.Intn(2) == 0 {
+			byGrp := relation.OrderSpec{relation.Key("Grp")}
+			p, sib = algebra.NewSort(byGrp, p), algebra.NewSort(byGrp, sib)
+		}
+		p = algebra.NewJoin(pred, p, sib)
 	case 6:
 		pred := expr.Pred(expr.Compare(expr.Eq, expr.Column("1.Name"), expr.Column("2.Name")))
+		equi := true
 		if rng.Intn(2) == 0 {
 			pred = expr.Compare(expr.Lt, expr.Column("1.Grp"), expr.Column("2.Grp"))
+			equi = false
 		}
-		p = algebra.NewTJoin(pred, p, sibling())
+		sib := sibling()
+		if equi && rng.Intn(2) == 0 {
+			// Key-sorted temporal join inputs: the merge-join path with the
+			// period intersection fused in.
+			byName := relation.OrderSpec{relation.Key("Name")}
+			p, sib = algebra.NewSort(byName, p), algebra.NewSort(byName, sib)
+		}
+		p = algebra.NewTJoin(pred, p, sib)
 	case 7:
 		p = algebra.NewProduct(p, sibling())
 	default:
