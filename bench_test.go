@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"tqp/internal/relation"
 	"tqp/internal/rules"
 	"tqp/internal/stratum"
+	"tqp/internal/testutil"
 	"tqp/internal/tsql"
 	"tqp/internal/value"
 )
@@ -466,6 +468,60 @@ func BenchmarkMergeVsHash(b *testing.B) {
 					rows = out.Len()
 				}
 				recordEngineBench("merge-vs-hash", n, e.name, time.Since(start), b.N, rows)
+				b.ReportMetric(float64(rows), "rows")
+			})
+		}
+	}
+}
+
+// BenchmarkParallel extends E13's scaling curve to 1M rows and feeds
+// BENCH_engines.json: the sequential engine (worker count 1) against the
+// morsel-parallel engine at 2 and GOMAXPROCS workers on the acceptance
+// pipeline (equijoin ⋈ᵀ → rdupᵀ → coalᵀ). On a multi-core runner the
+// parallel ns/op at 100k+ rows is the speedup evidence; on one core the
+// records document the exchange overhead instead. Parity across worker
+// counts is asserted at the smallest scale (the differential suite covers
+// the rest).
+func BenchmarkParallel(b *testing.B) {
+	workers := []int{1, 2}
+	if w := runtime.GOMAXPROCS(0); w > 2 {
+		workers = append(workers, w)
+	}
+	for _, n := range []int{10000, 100000, 1000000} {
+		src, plan := testutil.ParallelPipeline(n)
+
+		if n == 10000 {
+			want, err := exec.New(src).Eval(plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, w := range workers {
+				got, err := exec.NewWith(src, exec.Options{Parallelism: w}).Eval(plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !got.EqualAsList(want) {
+					b.Fatalf("parallelism %d disagrees with the sequential engine", w)
+				}
+			}
+		}
+		for _, w := range workers {
+			name := "exec-seq"
+			if w > 1 {
+				name = fmt.Sprintf("exec-par%d", w)
+			}
+			opts := exec.Options{Parallelism: w}
+			b.Run(fmt.Sprintf("n=%d/%s", n, name), func(b *testing.B) {
+				var rows int
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					out, err := exec.NewWith(src, opts).Eval(plan)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rows = out.Len()
+				}
+				recordEngineBench("parallel", n, name, time.Since(start), b.N, rows)
 				b.ReportMetric(float64(rows), "rows")
 			})
 		}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// record mirrors the benchRecord rows of BENCH_engines.json (written by the
+// repo-root TestMain collector).
+type record struct {
+	Bench   string  `json:"bench"`
+	Rows    int     `json:"rows"`
+	Engine  string  `json:"engine"`
+	NsPerOp float64 `json:"ns_per_op"`
+	OutRows int     `json:"out_rows"`
+}
+
+// key names one benchmark series across files.
+func (r record) key() string { return fmt.Sprintf("%s/n=%d/%s", r.Bench, r.Rows, r.Engine) }
+
+// readRecords loads a benchmark-record file, rejecting empty record sets —
+// an empty file means the bench smoke silently measured nothing, which the
+// gate must surface, not mask. Repeated measurements of one benchmark
+// (go test -count, and the sub-benchmark discovery pass that runs each sub
+// once inside its parent) aggregate to their fastest ns/op: the minimum is
+// the standard noise-floor estimator, and comparing noise floors keeps a
+// 25% gate meaningful on single-digit sample counts.
+func readRecords(path string) ([]record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []record
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark records", path)
+	}
+	best := make(map[string]int)
+	var out []record
+	for _, r := range rs {
+		if i, ok := best[r.key()]; ok {
+			if r.NsPerOp < out[i].NsPerOp {
+				out[i] = r
+			}
+			continue
+		}
+		best[r.key()] = len(out)
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// row is one comparison line of the report.
+type row struct {
+	Key        string
+	Base, Cur  float64 // ns/op; 0 marks a side with no record
+	Delta      float64 // normalized regression in percent (+ = slower)
+	Regression bool
+}
+
+// result is the full comparison.
+type result struct {
+	Rows        []row
+	Shared      int
+	Calibration float64 // median current/baseline ratio (1 when not normalizing)
+}
+
+// Regressions returns the rows that breached the threshold.
+func (r result) Regressions() []row {
+	var out []row
+	for _, w := range r.Rows {
+		if w.Regression {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// compare matches current records against the baseline by benchmark key.
+// With normalize, each ratio is divided by the median ratio over the shared
+// set — the machine-speed calibration — before the threshold applies, so a
+// baseline committed on one machine still gates code regressions on
+// another. One-sided benchmarks are listed but never regress.
+func compare(base, cur []record, threshold float64, normalize bool) result {
+	bm := make(map[string]record, len(base))
+	for _, r := range base {
+		bm[r.key()] = r
+	}
+	cm := make(map[string]record, len(cur))
+	var order []string
+	for _, r := range cur {
+		if _, dup := cm[r.key()]; !dup {
+			order = append(order, r.key())
+		}
+		cm[r.key()] = r
+	}
+	var ratios []float64
+	for _, k := range order {
+		if b, ok := bm[k]; ok && b.NsPerOp > 0 {
+			ratios = append(ratios, cm[k].NsPerOp/b.NsPerOp)
+		}
+	}
+	calibration := 1.0
+	if normalize && len(ratios) > 0 {
+		sorted := append([]float64(nil), ratios...)
+		sort.Float64s(sorted)
+		calibration = sorted[len(sorted)/2]
+		if len(sorted)%2 == 0 {
+			calibration = (sorted[len(sorted)/2-1] + sorted[len(sorted)/2]) / 2
+		}
+		if calibration <= 0 {
+			calibration = 1
+		}
+	}
+	res := result{Calibration: calibration}
+	for _, k := range order {
+		c := cm[k]
+		b, ok := bm[k]
+		w := row{Key: k, Cur: c.NsPerOp}
+		if ok && b.NsPerOp > 0 {
+			res.Shared++
+			w.Base = b.NsPerOp
+			w.Delta = (c.NsPerOp/b.NsPerOp/calibration - 1) * 100
+			w.Regression = w.Delta > threshold
+		}
+		res.Rows = append(res.Rows, w)
+	}
+	// Baseline-only benchmarks: shown so a vanished benchmark is visible,
+	// but not gated (worker-count records legitimately follow the host).
+	var missing []string
+	for _, r := range base {
+		if _, ok := cm[r.key()]; !ok {
+			missing = append(missing, r.key())
+		}
+	}
+	sort.Strings(missing)
+	for _, k := range missing {
+		res.Rows = append(res.Rows, row{Key: k, Base: bm[k].NsPerOp})
+	}
+	return res
+}
+
+// markdownTable renders the comparison for the job summary.
+func markdownTable(res result, threshold float64, normalize bool) string {
+	var b strings.Builder
+	b.WriteString("## Benchmark comparison\n\n")
+	if normalize {
+		fmt.Fprintf(&b, "Machine calibration (median current/baseline ratio): %.3f — deltas are relative to it.\n\n", res.Calibration)
+		if res.Calibration < 0.5 || res.Calibration > 2 {
+			// Normalization is blind to a slowdown that hits every
+			// benchmark equally — a large drift is either a much
+			// slower/faster machine or exactly that fleet-wide change.
+			fmt.Fprintf(&b, "⚠️ Calibration is far from 1: either the runner's speed changed or *every* benchmark moved together — the per-benchmark gate cannot tell. Compare absolute ns/op above, and re-baseline if the runner changed.\n\n")
+		}
+	}
+	b.WriteString("| benchmark | baseline ns/op | current ns/op | Δ (norm.) | status |\n")
+	b.WriteString("|---|---:|---:|---:|---|\n")
+	for _, w := range res.Rows {
+		status := "ok"
+		delta := fmt.Sprintf("%+.1f%%", w.Delta)
+		switch {
+		case w.Base == 0:
+			status, delta = "new", "—"
+		case w.Cur == 0:
+			status, delta = "baseline only", "—"
+		case w.Regression:
+			status = fmt.Sprintf("**REGRESSION** (> %.0f%%)", threshold)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n",
+			w.Key, fmtNs(w.Base), fmtNs(w.Cur), delta, status)
+	}
+	return b.String()
+}
+
+func fmtNs(ns float64) string {
+	if ns == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.0f", ns)
+}

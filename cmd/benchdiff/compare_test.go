@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func rec(bench string, rows int, engine string, ns float64) record {
+	return record{Bench: bench, Rows: rows, Engine: engine, NsPerOp: ns}
+}
+
+// TestCompareFlagsRealRegression: one benchmark 2x slower while the rest of
+// the suite is unchanged must breach a 25% gate, normalized or not.
+func TestCompareFlagsRealRegression(t *testing.T) {
+	base := []record{
+		rec("engines", 1000, "exec", 100), rec("engines", 10000, "exec", 1000),
+		rec("parallel", 10000, "exec-seq", 500), rec("parallel", 10000, "exec-par2", 400),
+	}
+	cur := append([]record(nil), base...)
+	cur[2] = rec("parallel", 10000, "exec-seq", 1000) // 2x slower
+	res := compare(base, cur, 25, true)
+	regs := res.Regressions()
+	if len(regs) != 1 || regs[0].Key != "parallel/n=10000/exec-seq" {
+		t.Fatalf("expected exactly the doubled benchmark to regress, got %+v", regs)
+	}
+}
+
+// TestCompareNormalizesMachineSpeed: a uniformly 3x-slower machine is a
+// calibration shift, not a regression — no benchmark actually changed
+// relative to the others.
+func TestCompareNormalizesMachineSpeed(t *testing.T) {
+	base := []record{
+		rec("engines", 1000, "exec", 100), rec("engines", 10000, "exec", 1000),
+		rec("merge-vs-hash", 1000, "exec-merge", 300), rec("parallel", 10000, "exec-seq", 500),
+	}
+	var cur []record
+	for _, r := range base {
+		r.NsPerOp *= 3
+		cur = append(cur, r)
+	}
+	res := compare(base, cur, 25, true)
+	if regs := res.Regressions(); len(regs) != 0 {
+		t.Fatalf("a uniform slowdown must normalize away, got regressions %+v", regs)
+	}
+	if res.Calibration < 2.9 || res.Calibration > 3.1 {
+		t.Fatalf("calibration should be ~3, got %.2f", res.Calibration)
+	}
+	// The same data without normalization must trip on every benchmark —
+	// the raw mode exists for same-machine comparisons only.
+	if regs := compare(base, cur, 25, false).Regressions(); len(regs) != len(base) {
+		t.Fatalf("raw mode should flag all %d benchmarks, got %d", len(base), len(regs))
+	}
+}
+
+// TestCompareOneSidedBenchmarks: host-dependent records (a wider parallel
+// engine on a bigger runner) appear as new/baseline-only rows and never
+// gate.
+func TestCompareOneSidedBenchmarks(t *testing.T) {
+	base := []record{rec("parallel", 10000, "exec-seq", 500), rec("parallel", 10000, "exec-par8", 100)}
+	cur := []record{rec("parallel", 10000, "exec-seq", 500), rec("parallel", 10000, "exec-par4", 150)}
+	res := compare(base, cur, 25, true)
+	if regs := res.Regressions(); len(regs) != 0 {
+		t.Fatalf("one-sided benchmarks must not regress, got %+v", regs)
+	}
+	table := markdownTable(res, 25, true)
+	if !strings.Contains(table, "new") || !strings.Contains(table, "baseline only") {
+		t.Fatalf("table must mark one-sided rows:\n%s", table)
+	}
+	if res.Shared != 1 {
+		t.Fatalf("exactly one shared benchmark expected, got %d", res.Shared)
+	}
+}
+
+// TestReadRecordsRejectsEmpty: an empty record set is a silently-skipped
+// bench run and must be an error, not a green gate.
+func TestReadRecordsRejectsEmpty(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte("[]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readRecords(empty); err == nil {
+		t.Fatal("empty record file must be rejected")
+	}
+	if _, err := readRecords(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing record file must be rejected")
+	}
+}
+
+// TestReadRecordsTakesFastest: repeated measurements of one benchmark
+// collapse to their minimum ns/op — the noise-floor comparison the
+// cross-run gate depends on.
+func TestReadRecordsTakesFastest(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.json")
+	data := `[
+	 {"bench":"engines","rows":1000,"engine":"exec","ns_per_op":900},
+	 {"bench":"engines","rows":1000,"engine":"exec","ns_per_op":500},
+	 {"bench":"engines","rows":1000,"engine":"exec","ns_per_op":700}
+	]`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := readRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].NsPerOp != 500 {
+		t.Fatalf("want one record at the 500ns floor, got %+v", rs)
+	}
+}

@@ -1,0 +1,63 @@
+// Command benchdiff is the CI benchmark-regression gate: it compares a
+// fresh BENCH_engines.json (written by the bench smoke via TestMain's
+// BENCH_JSON collector) against the committed BENCH_baseline.json, prints a
+// markdown comparison table (appended to the GitHub job summary when
+// GITHUB_STEP_SUMMARY is set), and exits non-zero when any shared
+// benchmark regresses by more than the threshold.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_engines.json [-threshold 25] [-normalize=false]
+//
+// Because the baseline is committed from one machine and CI runs on
+// another, raw ns/op comparisons would gate on hardware, not code. With
+// -normalize (the default) every current/baseline ratio is divided by the
+// median ratio across all shared benchmarks — the machine-speed
+// calibration — so the gate fires on benchmarks that got slower *relative
+// to the rest of the suite*, which is what a code regression looks like on
+// any hardware. Benchmarks present on only one side (e.g. the
+// GOMAXPROCS-wide parallel records, whose worker count follows the host)
+// are reported but never fail the gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline records")
+	current := flag.String("current", "BENCH_engines.json", "freshly measured records")
+	threshold := flag.Float64("threshold", 25, "maximum tolerated regression in percent")
+	normalize := flag.Bool("normalize", true, "calibrate away machine speed via the median current/baseline ratio")
+	flag.Parse()
+
+	base, err := readRecords(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := readRecords(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: current: %v\n", err)
+		os.Exit(2)
+	}
+
+	result := compare(base, cur, *threshold, *normalize)
+	table := markdownTable(result, *threshold, *normalize)
+	fmt.Print(table)
+	if summary := os.Getenv("GITHUB_STEP_SUMMARY"); summary != "" {
+		f, err := os.OpenFile(summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err == nil {
+			fmt.Fprint(f, table)
+			f.Close()
+		}
+	}
+	if n := len(result.Regressions()); n > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.0f%%\n", n, *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchdiff: no regression beyond %.0f%% across %d shared benchmark(s)\n",
+		*threshold, result.Shared)
+}

@@ -7,13 +7,15 @@
 //	tqbench                  # run all experiments
 //	tqbench -run E7          # run one experiment
 //	tqbench -engine exec     # run on the streaming hash engine
+//	tqbench -engine exec -parallel 8   # morsel-parallel engine, 8 workers
 //	tqbench -quiet           # status lines only
 //
 // -engine selects the physical engine for plan evaluation and stratum
-// subplans ("reference" or "exec"). The two engines agree list-exactly, so
+// subplans ("reference", "exec" or "parallel"); -parallel sets the worker
+// count of the morsel-parallel engine. All engines agree list-exactly, so
 // the artifacts must come out identical either way — running with -engine
-// exec doubles as an end-to-end differential check (E11 additionally pins
-// the engines head-to-head with measured speedups).
+// exec (or parallel) doubles as an end-to-end differential check (E11 pins
+// the engines head-to-head, E13 the parallel scaling curve).
 package main
 
 import (
@@ -26,12 +28,13 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "", "run only the experiment with this id (E1..E12)")
-	engine := flag.String("engine", "reference", "physical engine: 'reference' or 'exec'")
+	run := flag.String("run", "", "run only the experiment with this id (E1..E13)")
+	engine := flag.String("engine", "reference", "physical engine: 'reference', 'exec' or 'parallel'")
+	parallel := flag.Int("parallel", 0, "worker count for the morsel-parallel engine (with -engine exec|parallel)")
 	quiet := flag.Bool("quiet", false, "print status lines only")
 	flag.Parse()
 
-	spec, err := core.EngineSpec(*engine)
+	spec, err := core.EngineSpecWith(*engine, *parallel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tqbench: %v\n", err)
 		os.Exit(2)

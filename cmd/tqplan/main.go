@@ -8,12 +8,13 @@
 //
 // Usage:
 //
-//	tqplan [-db paper|synth] [-employees N] [-engine reference|exec] [-sorted] [-enumerate] [-execute] [-q query]
+//	tqplan [-db paper|synth] [-employees N] [-engine reference|exec|parallel] [-parallel N] [-sorted] [-enumerate] [-execute] [-q query]
 //
 // The default query is the paper's running example. -engine selects the
 // physical engine for stratum-assigned subplans: the reference evaluator
-// (the executable specification) or the streaming hash/merge exec engine;
-// both produce identical results. -sorted pre-sorts every base relation on
+// (the executable specification), the streaming hash/merge exec engine, or
+// its morsel-parallel variant (-parallel sets the worker count); all
+// produce identical results. -sorted pre-sorts every base relation on
 // its value attributes and declares the order in the catalog, feeding the
 // order-aware planner. With -engine exec the chosen plan is wrapped in an
 // order-enforcing sort (the ≡SQL contract made physical), annotated with
@@ -40,13 +41,14 @@ func main() {
 	db := flag.String("db", "paper", "database: 'paper' (Figure 1) or 'synth'")
 	employees := flag.Int("employees", 100, "synthetic database size (with -db synth)")
 	query := flag.String("q", experiments.PaperQuerySQL, "temporal SQL statement")
-	engine := flag.String("engine", "reference", "physical engine for stratum subplans: 'reference' or 'exec'")
+	engine := flag.String("engine", "reference", "physical engine for stratum subplans: 'reference', 'exec' or 'parallel'")
+	parallel := flag.Int("parallel", 0, "worker count for the morsel-parallel engine (with -engine exec|parallel)")
 	sorted := flag.Bool("sorted", false, "pre-sort base relations on their value attributes and declare the order")
 	enumerate := flag.Bool("enumerate", false, "list every enumerated plan")
 	execute := flag.Bool("execute", true, "execute the chosen plan and print the result")
 	flag.Parse()
 
-	spec, err := tqp.ResolveEngine(*engine)
+	spec, err := tqp.ResolveEngineWith(*engine, *parallel)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tqplan: %v\n", err)
 		os.Exit(2)
@@ -131,9 +133,12 @@ func main() {
 				return string(dec[n].Algo)
 			}))
 		sum := physical.Summarize(dec)
-		awareCost, err1 := cost.New(cat, cost.ParamsFor(true)).Cost(final)
+		awareParams := cost.ParamsFor(true)
+		awareParams.Parallelism = spec.Parallelism
+		awareCost, err1 := cost.New(cat, awareParams).Cost(final)
 		blindParams := cost.ParamsFor(true)
 		blindParams.OrderBlind = true
+		blindParams.Parallelism = spec.Parallelism
 		blindCost, err2 := cost.New(cat, blindParams).Cost(final)
 		if err1 != nil || err2 != nil {
 			fmt.Fprintf(os.Stderr, "tqplan: cost: %v %v\n", err1, err2)

@@ -14,6 +14,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,23 +26,36 @@ func main() {
 	employees := flag.Int("employees", 50, "synthetic database size (with -db synth)")
 	flag.Parse()
 
-	var cat *tqp.Catalog
-	switch *db {
-	case "paper":
-		cat = tqp.PaperCatalog()
-	case "synth":
-		cat = tqp.SyntheticEmployeeDB(tqp.EmployeeSpec{
-			Employees: *employees, SpellsPerEmp: 3, AssignmentsPerEmp: 4, Seed: 42,
-		})
-	default:
-		fmt.Fprintf(os.Stderr, "tqshell: unknown database %q\n", *db)
+	cat, err := openCatalog(*db, *employees)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tqshell: %v\n", err)
 		os.Exit(2)
 	}
+	repl(cat, *db, os.Stdin, os.Stdout)
+}
+
+// openCatalog resolves the -db flag to a catalog instance.
+func openCatalog(db string, employees int) (*tqp.Catalog, error) {
+	switch db {
+	case "paper":
+		return tqp.PaperCatalog(), nil
+	case "synth":
+		return tqp.SyntheticEmployeeDB(tqp.EmployeeSpec{
+			Employees: employees, SpellsPerEmp: 3, AssignmentsPerEmp: 4, Seed: 42,
+		}), nil
+	default:
+		return nil, fmt.Errorf("unknown database %q", db)
+	}
+}
+
+// repl runs the session loop over an explicit input and output, so a test
+// can script a session through a pipe.
+func repl(cat *tqp.Catalog, dbName string, in io.Reader, out io.Writer) {
 	opt := tqp.NewOptimizer(cat)
 
-	fmt.Println("tqp shell — temporal SQL over the", *db, "database; \\q quits, \\d lists relations")
-	sc := bufio.NewScanner(os.Stdin)
-	fmt.Print("tqp> ")
+	fmt.Fprintln(out, "tqp shell — temporal SQL over the", dbName, "database; \\q quits, \\d lists relations")
+	sc := bufio.NewScanner(in)
+	fmt.Fprint(out, "tqp> ")
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		switch {
@@ -51,46 +65,49 @@ func main() {
 		case line == `\d`:
 			for _, name := range cat.Names() {
 				e, _ := cat.Entry(name)
-				fmt.Printf("  %-12s %s, %d tuples\n", name, e.Rel.Schema(), e.Rel.Len())
+				fmt.Fprintf(out, "  %-12s %s, %d tuples\n", name, e.Rel.Schema(), e.Rel.Len())
 			}
 		case strings.HasPrefix(line, `\d `):
 			name := strings.TrimSpace(line[3:])
 			if r, err := cat.Resolve(name); err != nil {
-				fmt.Println("error:", err)
+				fmt.Fprintln(out, "error:", err)
 			} else {
-				fmt.Print(r)
+				fmt.Fprint(out, r)
 			}
 		case strings.HasPrefix(line, `\plan `):
-			explain(opt, strings.TrimSpace(line[6:]))
+			explain(opt, strings.TrimSpace(line[6:]), out)
 		default:
-			runSQL(opt, line)
+			runSQL(opt, line, out)
 		}
-		fmt.Print("tqp> ")
+		fmt.Fprint(out, "tqp> ")
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(out, "error: reading input:", err)
 	}
 }
 
-func explain(opt *tqp.Optimizer, sql string) {
+func explain(opt *tqp.Optimizer, sql string, out io.Writer) {
 	plans, err := opt.OptimizeSQL(sql)
 	if err != nil {
-		fmt.Println("error:", err)
+		fmt.Fprintln(out, "error:", err)
 		return
 	}
-	out, err := opt.Explain(plans.Best, plans.ResultType)
+	rendered, err := opt.Explain(plans.Best, plans.ResultType)
 	if err != nil {
-		fmt.Println("error:", err)
+		fmt.Fprintln(out, "error:", err)
 		return
 	}
-	fmt.Printf("%d plans; best (cost %.0f, initial %.0f):\n%s",
-		len(plans.All), plans.BestCost, plans.InitialCost, out)
+	fmt.Fprintf(out, "%d plans; best (cost %.0f, initial %.0f):\n%s",
+		len(plans.All), plans.BestCost, plans.InitialCost, rendered)
 }
 
-func runSQL(opt *tqp.Optimizer, sql string) {
+func runSQL(opt *tqp.Optimizer, sql string, out io.Writer) {
 	result, plans, trace, err := opt.Run(sql)
 	if err != nil {
-		fmt.Println("error:", err)
+		fmt.Fprintln(out, "error:", err)
 		return
 	}
-	fmt.Print(result)
-	fmt.Printf("(%d tuples; %d plans considered; best cost %.0f; %d tuples transferred)\n",
+	fmt.Fprint(out, result)
+	fmt.Fprintf(out, "(%d tuples; %d plans considered; best cost %.0f; %d tuples transferred)\n",
 		result.Len(), len(plans.All), plans.BestCost, trace.TuplesTransferred)
 }

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// session scripts one shell run over the paper catalog and returns the
+// rendered transcript.
+func session(t *testing.T, lines ...string) string {
+	t.Helper()
+	cat, err := openCatalog("paper", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	repl(cat, "paper", strings.NewReader(strings.Join(lines, "\n")+"\n"), &out)
+	return out.String()
+}
+
+// TestSessionQueries scripts a full stdin session — a parse error, a
+// conventional query, a temporal query, and the meta commands — and pins
+// the rendered output.
+func TestSessionQueries(t *testing.T) {
+	got := session(t,
+		`SELEC nonsense`,
+		`SELECT DISTINCT EmpName FROM EMPLOYEE ORDER BY EmpName`,
+		`VALIDTIME SELECT DISTINCT COALESCED EmpName FROM EMPLOYEE EXCEPT SELECT EmpName FROM PROJECT ORDER BY EmpName ASC`,
+		`\q`,
+	)
+	if !strings.Contains(got, "tqp shell — temporal SQL over the paper database") {
+		t.Errorf("missing banner:\n%s", got)
+	}
+	// The parse error reports, the shell keeps going.
+	if !strings.Contains(got, "error:") {
+		t.Errorf("parse error not reported:\n%s", got)
+	}
+	// The conventional query lists the distinct employee names in order.
+	for _, name := range []string{"Anna", "John"} {
+		if !strings.Contains(got, name) {
+			t.Errorf("conventional query output missing %q:\n%s", name, got)
+		}
+	}
+	// The temporal running example produces the Figure 1 Result rows and a
+	// trace line.
+	if !strings.Contains(got, "tuples transferred)") {
+		t.Errorf("temporal query trace line missing:\n%s", got)
+	}
+	if c := strings.Count(got, "plans considered"); c != 2 {
+		t.Errorf("expected 2 executed queries, saw %d:\n%s", c, got)
+	}
+	// Every interaction re-prompts: banner prompt + 4 lines.
+	if c := strings.Count(got, "tqp> "); c < 4 {
+		t.Errorf("expected at least 4 prompts, saw %d:\n%s", c, got)
+	}
+}
+
+// TestSessionMetaCommands covers \d, \d NAME, \plan and the unknown-name
+// error path.
+func TestSessionMetaCommands(t *testing.T) {
+	got := session(t,
+		`\d`,
+		`\d EMPLOYEE`,
+		`\d NOSUCH`,
+		`\plan VALIDTIME SELECT DISTINCT COALESCED EmpName FROM EMPLOYEE EXCEPT SELECT EmpName FROM PROJECT ORDER BY EmpName ASC`,
+		`\q`,
+	)
+	for _, want := range []string{"EMPLOYEE", "PROJECT", "tuples"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("\\d output missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(got, "error:") {
+		t.Errorf("\\d NOSUCH must report an error:\n%s", got)
+	}
+	if !strings.Contains(got, "plans; best (cost ") {
+		t.Errorf("\\plan must print the plan summary:\n%s", got)
+	}
+}
+
+// TestOpenCatalogRejectsUnknown pins the -db error path.
+func TestOpenCatalogRejectsUnknown(t *testing.T) {
+	if _, err := openCatalog("mystery", 0); err == nil {
+		t.Fatal("unknown database name must be rejected")
+	}
+	if cat, err := openCatalog("synth", 5); err != nil || len(cat.Names()) == 0 {
+		t.Fatalf("synth catalog: %v", err)
+	}
+}

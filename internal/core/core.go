@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"tqp/internal/algebra"
 	"tqp/internal/catalog"
@@ -39,17 +40,35 @@ type Optimizer struct {
 type Option func(*Optimizer)
 
 // EngineSpec resolves a physical-engine name: "reference" is the executable
-// specification of package eval, "exec" the streaming hash-based engine of
-// package exec. Both produce identical result lists; they differ in speed
-// and therefore in the cost shapes the optimizer assumes.
-func EngineSpec(name string) (eval.EngineSpec, error) {
+// specification of package eval, "exec" the streaming hash/merge engine of
+// package exec, "parallel" its morsel-parallel variant at GOMAXPROCS
+// workers. All produce identical result lists; they differ in speed and
+// therefore in the cost shapes the optimizer assumes.
+func EngineSpec(name string) (eval.EngineSpec, error) { return EngineSpecWith(name, 0) }
+
+// EngineSpecWith resolves an engine name with an explicit worker count (the
+// CLIs' -parallel flag): parallelism > 1 selects the morsel-parallel exec
+// engine at that width under "exec" or "parallel"; the reference evaluator
+// is single-threaded and rejects a parallelism request.
+func EngineSpecWith(name string, parallelism int) (eval.EngineSpec, error) {
 	switch name {
 	case "", "reference":
+		if parallelism > 1 {
+			return eval.EngineSpec{}, fmt.Errorf("core: the reference evaluator is single-threaded; use -engine exec with -parallel %d", parallelism)
+		}
 		return eval.Reference(), nil
 	case "exec":
+		if parallelism > 1 {
+			return exec.ParallelSpec(parallelism), nil
+		}
 		return exec.Spec(), nil
+	case "parallel":
+		if parallelism < 1 {
+			parallelism = runtime.GOMAXPROCS(0)
+		}
+		return exec.ParallelSpec(parallelism), nil
 	default:
-		return eval.EngineSpec{}, fmt.Errorf("core: unknown engine %q (want \"reference\" or \"exec\")", name)
+		return eval.EngineSpec{}, fmt.Errorf("core: unknown engine %q (want \"reference\", \"exec\" or \"parallel\")", name)
 	}
 }
 
@@ -63,6 +82,8 @@ func WithEngine(spec eval.EngineSpec) Option {
 		// Price order-exploiting variants only for engines that compile
 		// them (spec.OrderAware); otherwise fall back to the blind shapes.
 		p.OrderBlind = !spec.OrderAware
+		// Price partitioned operators with the engine's fan-out width.
+		p.Parallelism = spec.Parallelism
 		o.model = cost.New(o.cat, p)
 	}
 }

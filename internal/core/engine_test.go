@@ -13,12 +13,22 @@ EXCEPT SELECT EmpName FROM PROJECT ORDER BY EmpName ASC`
 
 // TestRunOnBothEngines drives the full pipeline — parse, enumerate, cost,
 // layered execution, ≡SQL verification — on each physical engine and pins
-// both to the paper's Result relation. Run itself re-verifies the layered
-// result against the reference evaluation, so a pass on the exec engine is
-// an end-to-end differential check through the stratum.
+// all of them to the paper's Result relation. Run itself re-verifies the
+// layered result against the reference evaluation, so a pass on the exec
+// and parallel engines is an end-to-end differential check through the
+// stratum.
 func TestRunOnBothEngines(t *testing.T) {
-	for _, name := range []string{"reference", "exec"} {
-		spec, err := core.EngineSpec(name)
+	for _, tc := range []struct {
+		name     string
+		parallel int
+		want     string
+	}{
+		{"reference", 0, "reference"},
+		{"exec", 0, "exec"},
+		{"exec", 4, "exec-par4"},
+		{"parallel", 2, "exec-par2"},
+	} {
+		spec, err := core.EngineSpecWith(tc.name, tc.parallel)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -26,20 +36,20 @@ func TestRunOnBothEngines(t *testing.T) {
 		opt := core.New(c, core.WithEngine(spec))
 		got, _, trace, err := opt.Run(engineTestSQL)
 		if err != nil {
-			t.Fatalf("engine %s: Run: %v", name, err)
+			t.Fatalf("engine %s: Run: %v", tc.want, err)
 		}
-		if trace.Engine != name {
-			t.Errorf("engine %s: trace records engine %q", name, trace.Engine)
+		if trace.Engine != tc.want {
+			t.Errorf("engine %s: trace records engine %q", tc.want, trace.Engine)
 		}
 		want := relation.MustFromRows(got.Schema(), catalog.PaperResultRows())
 		if !got.EqualAsList(want) {
-			t.Errorf("engine %s: result differs from Figure 1:\n%s", name, got)
+			t.Errorf("engine %s: result differs from Figure 1:\n%s", tc.want, got)
 		}
 	}
 }
 
-// TestEngineSpecRejectsUnknown pins the registry's error path the cmd flags
-// rely on.
+// TestEngineSpecRejectsUnknown pins the registry's error paths the cmd
+// flags rely on.
 func TestEngineSpecRejectsUnknown(t *testing.T) {
 	if _, err := core.EngineSpec("vectorized"); err == nil {
 		t.Fatal("unknown engine name must be rejected")
@@ -47,5 +57,12 @@ func TestEngineSpecRejectsUnknown(t *testing.T) {
 	spec, err := core.EngineSpec("")
 	if err != nil || spec.Name != "reference" {
 		t.Fatalf("empty name must default to the reference engine, got %q, %v", spec.Name, err)
+	}
+	if _, err := core.EngineSpecWith("reference", 8); err == nil {
+		t.Fatal("the single-threaded reference evaluator must reject a parallelism request")
+	}
+	spec, err = core.EngineSpecWith("parallel", 0)
+	if err != nil || spec.Parallelism < 1 {
+		t.Fatalf("'parallel' must default to a positive worker count, got %d, %v", spec.Parallelism, err)
 	}
 }

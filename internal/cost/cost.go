@@ -67,6 +67,19 @@ type Params struct {
 	// priced as if its inputs were unordered, exactly the PR 1 model. Used
 	// for ablation (E12) and the tqplan order-aware/order-blind comparison.
 	OrderBlind bool
+	// Parallelism is the worker count of the morsel-parallel exec engine
+	// (exec.ParallelSpec); 0 or 1 prices sequential execution. With W > 1
+	// every partitionable operator's own work divides by W while each input
+	// tuple pays ExchangeTuple and each output tuple GatherTuple — the
+	// Amdahl shape of partition + work + deterministic merge.
+	Parallelism int
+	// ExchangeTuple is the per-tuple cost of routing a tuple through a
+	// parallel exchange (a partition hash or segment lookup plus a copy
+	// into the partition stream).
+	ExchangeTuple float64
+	// GatherTuple is the per-tuple cost of the deterministic ordered gather
+	// (one k-way merge step by sequence key and partition index).
+	GatherTuple float64
 }
 
 // DefaultParams returns the calibration used by the experiments, matching
@@ -83,7 +96,33 @@ func DefaultParams() Params {
 		MergeTuple:          0.1,
 		SortVerifyFactor:    0.25,
 		MergeUnitsFactor:    0.5,
+		ExchangeTuple:       0.2,
+		GatherTuple:         0.05,
 	}
+}
+
+// partitionedOp reports that the exec engine fans op out through a parallel
+// exchange when Options.Parallelism > 1 (see exec/parallel.go); streaming
+// tuple-at-a-time operators (σ, π, ⊔) and transfers stay sequential.
+func partitionedOp(op algebra.Op) bool {
+	switch op {
+	case algebra.OpSort, algebra.OpProduct, algebra.OpTProduct, algebra.OpJoin, algebra.OpTJoin,
+		algebra.OpRdup, algebra.OpDiff, algebra.OpUnion, algebra.OpAggregate,
+		algebra.OpTRdup, algebra.OpCoal, algebra.OpTDiff, algebra.OpTUnion, algebra.OpTAggregate:
+		return true
+	}
+	return false
+}
+
+// parallelShape reprices one partitioned operator's own cost for a W-way
+// parallel engine: the per-partition work is the sequential work divided
+// across the workers, every input tuple pays the exchange routing, and
+// every output tuple one gather-merge step.
+func (p Params) parallelShape(own, inRows, outRows float64) float64 {
+	if p.Parallelism <= 1 {
+		return own
+	}
+	return own/float64(p.Parallelism) + inRows*p.ExchangeTuple + outRows*p.GatherTuple
 }
 
 // ParamsFor returns the calibration for a stratum engine: the default
@@ -110,8 +149,34 @@ func OpUnits(op algebra.Op, rows int, tupleCost, penalty float64, streaming bool
 // (SortVerifyFactor), a merge pass scales the hash variant's per-tuple work
 // by MergeUnitsFactor. The factors come from the calibration so model and
 // meter recalibrate together. The reference evaluator (streaming=false) has
-// no such variants, so ordered is ignored.
+// no such variants, so ordered is ignored. With Parallelism > 1 the
+// partitioned operators additionally take the parallel shape (per-partition
+// work plus exchange and gather, with the input cardinality standing in for
+// the output's, which the meter does not know).
 func (p Params) OpUnitsOrdered(op algebra.Op, rows int, tupleCost, penalty float64, streaming, ordered bool) float64 {
+	units := p.opUnitsSequential(op, rows, tupleCost, penalty, streaming, ordered)
+	// An ordered sort is an elided sort — a compiled-away no-op with no
+	// exchange to meter. Ordered grouping operators keep the shape: they
+	// still fan out, through the range exchange.
+	if streaming && partitionedOp(op) && !(op == algebra.OpSort && ordered) {
+		units = p.parallelShape(units, float64(rows), float64(rows))
+	}
+	return units
+}
+
+// OpUnitsForNode is OpUnitsOrdered with the node in hand — the stratum
+// meter's entry point. The node exposes the one exchange guard the
+// operator kind alone cannot: a GROUP-BY-less aggregate is one global
+// group the engine leaves on its sequential path, so no parallel shape
+// applies (mirroring the estimator's parallelApplies).
+func (p Params) OpUnitsForNode(n algebra.Node, rows int, tupleCost, penalty float64, streaming, ordered bool) float64 {
+	if agg, ok := n.(*algebra.Aggregate); ok && len(agg.GroupBy) == 0 {
+		return p.opUnitsSequential(n.Op(), rows, tupleCost, penalty, streaming, ordered)
+	}
+	return p.OpUnitsOrdered(n.Op(), rows, tupleCost, penalty, streaming, ordered)
+}
+
+func (p Params) opUnitsSequential(op algebra.Op, rows int, tupleCost, penalty float64, streaming, ordered bool) float64 {
 	r := float64(rows)
 	logR := 1.0
 	if r >= 2 {
@@ -245,8 +310,41 @@ func (m *Model) node(n algebra.Node, st props.States, es Estimates) (Estimate, e
 // children's statically inferred orders (Table 1 propagation) are run
 // through the same physical decision procedure the engine compiles with
 // (package physical), and the merge/elided variants are priced with
-// MergeTuple/SortVerifyFactor instead of HashTuple and N·log N.
+// MergeTuple/SortVerifyFactor instead of HashTuple and N·log N. With
+// Parallelism > 1 every partitioned operator then takes the parallel shape:
+// per-partition work plus an exchange charge on the input rows and a gather
+// charge on the output rows.
 func (m *Model) estimate(n algebra.Node, site props.Site, ce []Estimate, orders []relation.OrderSpec) Estimate {
+	est := m.estimateOne(n, site, ce, orders)
+	p := m.params
+	if p.Streaming && site != props.DBMS && p.Parallelism > 1 &&
+		partitionedOp(n.Op()) && m.parallelApplies(n, orders) {
+		in := 0.0
+		for _, c := range ce {
+			in += c.Rows
+		}
+		est.Cost = p.parallelShape(est.Cost, in, est.Rows)
+	}
+	return est
+}
+
+// parallelApplies mirrors the engine's per-node exchange guards beyond the
+// operator kind: an elided sort compiles to nothing (no exchange to price),
+// and a GROUP-BY-less aggregate is one global group the engine leaves on
+// its sequential path.
+func (m *Model) parallelApplies(n algebra.Node, orders []relation.OrderSpec) bool {
+	switch node := n.(type) {
+	case *algebra.Sort:
+		if !m.params.OrderBlind && physical.Decide(n, orders).SortElided {
+			return false
+		}
+	case *algebra.Aggregate:
+		return len(node.GroupBy) > 0
+	}
+	return true
+}
+
+func (m *Model) estimateOne(n algebra.Node, site props.Site, ce []Estimate, orders []relation.OrderSpec) Estimate {
 	p := m.params
 	tuple := p.StratumTuple
 	if site == props.DBMS {

@@ -117,3 +117,55 @@ func TestEstimatesScaleWithData(t *testing.T) {
 		t.Errorf("cost should grow with the database: %.1f vs %.1f", cl, cs)
 	}
 }
+
+// TestParallelShape pins the parallelism-aware calibration: a partitioned
+// operator over a large input gets cheaper as workers are added (the
+// per-partition work dominates the exchange/gather charges), while small
+// inputs can price higher than sequential — the exchange overhead is real
+// and the model must say so.
+func TestParallelShape(t *testing.T) {
+	c := datagen.EmployeeDB(datagen.EmployeeSpec{Employees: 400, SpellsPerEmp: 3, AssignmentsPerEmp: 4, Seed: 1})
+	// The optimized plan runs its temporal operators in the stratum, where
+	// the exec engine partitions them; the initial plan is all-DBMS and
+	// must ignore Parallelism entirely.
+	plan := catalog.PaperOptimizedPlan(c)
+	costAt := func(w int) float64 {
+		p := cost.ParamsFor(true)
+		p.Parallelism = w
+		got, err := cost.New(c, p).Cost(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	seq, par2, par8 := costAt(1), costAt(2), costAt(8)
+	if !(par8 < par2 && par2 < seq) {
+		t.Errorf("parallel costs must fall with workers on a large plan: w1=%.0f w2=%.0f w8=%.0f", seq, par2, par8)
+	}
+	// The exchange/gather floor: parallel cost cannot drop below the
+	// per-tuple routing work, so an 8-way plan is more than seq/8.
+	if par8 <= seq/8 {
+		t.Errorf("8-way cost %.0f must stay above the exchange floor (seq/8 = %.0f)", par8, seq/8)
+	}
+}
+
+// TestReferenceParamsIgnoreParallelism: the parallel shape is an exec-engine
+// property; a non-streaming calibration must price identically regardless
+// of the Parallelism field (the reference evaluator cannot partition).
+func TestReferenceParamsIgnoreParallelism(t *testing.T) {
+	c := catalog.Paper()
+	plan := catalog.PaperInitialPlan(c)
+	p := cost.DefaultParams()
+	seq, err := cost.New(c, p).Cost(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Parallelism = 8
+	par, err := cost.New(c, p).Cost(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != par {
+		t.Errorf("non-streaming params must ignore Parallelism: %.1f vs %.1f", seq, par)
+	}
+}

@@ -65,6 +65,11 @@ type EngineSpec struct {
 	// delivered orders allow. The cost model and the stratum meter price
 	// those variants only for engines that actually compile them.
 	OrderAware bool
+	// Parallelism is the worker count of a morsel-parallel engine (exec's
+	// ParallelSpec); 0 or 1 means sequential execution. The cost model uses
+	// it to price partitioned operators as per-partition work plus exchange
+	// and gather charges.
+	Parallelism int
 }
 
 // Reference returns the spec of this package's reference evaluator.

@@ -21,6 +21,13 @@ type Options struct {
 	// NoSortElision forces every sort node to physically sort, even when
 	// its input already delivers the requested order.
 	NoSortElision bool
+	// Parallelism is the number of workers a partitionable operator may fan
+	// out to (see parallel.go): join/product, rdup, \, ∪, the temporal
+	// value-group family and aggregation hash- or range-partition their
+	// inputs, sort parallelizes run generation, and a deterministic gather
+	// keeps every result list bit-identical to the sequential engine's.
+	// 0 or 1 compiles the sequential pipeline.
+	Parallelism int
 }
 
 // Stats counts the physical variants a single Engine instance compiled —
@@ -30,6 +37,8 @@ type Stats struct {
 	MergeSorts  int // external merge sorts performed
 	MergeJoins  int // merge joins chosen over hash joins
 	MergeOps    int // merge diff/union/dedup and streaming group operators
+	ParallelOps int // operators compiled with a parallel exchange
+	Partitions  int // partitions fanned out across those operators
 }
 
 // Engine is the streaming hash- and merge-based engine. It implements
@@ -78,6 +87,25 @@ func HashOnlySpec() eval.EngineSpec {
 	}
 }
 
+// ParallelSpec returns the morsel-parallel engine: every physical variant
+// enabled plus n-way partitioned execution of the expensive operators (see
+// parallel.go). n < 2 degenerates to the sequential engine under a distinct
+// name, so parallelism-1 runs stay traceable in experiments. The cost model
+// prices the spec's parallel shape (per-partition work plus exchange and
+// gather charges) through EngineSpec.Parallelism.
+func ParallelSpec(n int) eval.EngineSpec {
+	if n < 1 {
+		n = 1
+	}
+	return eval.EngineSpec{
+		Name:        fmt.Sprintf("exec-par%d", n),
+		New:         func(src eval.Source) eval.Engine { return NewWith(src, Options{Parallelism: n}) },
+		Streaming:   true,
+		OrderAware:  true,
+		Parallelism: n,
+	}
+}
+
 // Eval evaluates the tree rooted at n by building its iterator pipeline and
 // draining the root. The result's Order() carries the Table 1 guarantee.
 func (e *Engine) Eval(n algebra.Node) (*relation.Relation, error) {
@@ -105,8 +133,28 @@ type iterator interface {
 	close() error
 }
 
+// bulkIter is an iterator that can surrender its remaining tuples at once,
+// letting drain skip the per-tuple Append loop (and its slice-growth
+// churn) for stages that are already materialized.
+type bulkIter interface {
+	rest() ([]relation.Tuple, error)
+}
+
 // drain materializes a source into a relation and closes it.
 func drain(s *source) (*relation.Relation, error) {
+	if b, ok := s.it.(bulkIter); ok {
+		ts, err := b.rest()
+		if err != nil {
+			s.it.close()
+			return nil, err
+		}
+		if err := s.it.close(); err != nil {
+			return nil, err
+		}
+		out := relation.FromTuplesTrusted(s.schema, ts)
+		out.SetOrder(s.order)
+		return out, nil
+	}
 	out := relation.New(s.schema)
 	for {
 		t, err := s.it.next()
@@ -196,10 +244,14 @@ func (e *Engine) buildBoth(n algebra.Node) (l, r *source, err error) {
 	return l, r, nil
 }
 
-// sliceIter iterates over a pre-computed tuple list.
+// sliceIter iterates over a pre-computed tuple list. owned marks a list the
+// iterator may hand over outright in the bulk drain path; an un-owned list
+// (a base relation's tuples) is copied on handover so the relinquished
+// relation can be freely permuted.
 type sliceIter struct {
-	ts []relation.Tuple
-	i  int
+	ts    []relation.Tuple
+	i     int
+	owned bool
 }
 
 func (s *sliceIter) next() (relation.Tuple, error) {
@@ -211,26 +263,51 @@ func (s *sliceIter) next() (relation.Tuple, error) {
 	return t, nil
 }
 
+func (s *sliceIter) rest() ([]relation.Tuple, error) {
+	ts := s.ts[s.i:]
+	s.i = len(s.ts)
+	if !s.owned {
+		ts = append([]relation.Tuple(nil), ts...)
+	}
+	return ts, nil
+}
+
 func (s *sliceIter) close() error { return nil }
 
 // lazyIter defers a materializing computation (sort, grouping) to the first
-// pull, keeping the pipeline demand-driven end to end.
+// pull, keeping the pipeline demand-driven end to end. The computed list is
+// owned: a bulk drain takes it without copying.
 type lazyIter struct {
 	compute func() ([]relation.Tuple, error)
 	inner   sliceIter
 	done    bool
 }
 
+func (l *lazyIter) force() error {
+	if l.done {
+		return nil
+	}
+	ts, err := l.compute()
+	if err != nil {
+		return err
+	}
+	l.inner = sliceIter{ts: ts, owned: true}
+	l.done = true
+	return nil
+}
+
 func (l *lazyIter) next() (relation.Tuple, error) {
-	if !l.done {
-		ts, err := l.compute()
-		if err != nil {
-			return nil, err
-		}
-		l.inner.ts = ts
-		l.done = true
+	if err := l.force(); err != nil {
+		return nil, err
 	}
 	return l.inner.next()
+}
+
+func (l *lazyIter) rest() ([]relation.Tuple, error) {
+	if err := l.force(); err != nil {
+		return nil, err
+	}
+	return l.inner.rest()
 }
 
 func (l *lazyIter) close() error { return nil }

@@ -309,6 +309,10 @@ func (e *Engine) buildProduct(n algebra.Node, pred expr.Pred, temporal bool) (*s
 		schema: outSchema,
 		order:  eval.OrderAfterProduct(outOrder, r.schema, outSchema),
 	}
+	if e.parallel() {
+		src.it = e.parallelProductIter(l, r, outSchema, lidx, ridx, residual, temporal)
+		return src, nil
+	}
 	if !e.opts.NoMerge && len(lidx) > 0 {
 		if keys, ok := physical.MergeJoinKeys(leftOrder, r.order, l.schema, r.schema, lidx, ridx); ok {
 			e.stats.MergeJoins++

@@ -1,0 +1,852 @@
+// Morsel-driven parallel execution (Options.Parallelism > 1): a bounded
+// worker pool plus exchange operators that partition an operator's
+// materialized inputs, run the per-partition work concurrently, and gather
+// the partition outputs through a deterministic merge — so every parallel
+// plan produces the bit-identical result list of the sequential engine, and
+// therefore of the reference evaluator.
+//
+// Two exchange shapes exist, mirroring the physical decision procedure of
+// package physical:
+//
+//   - hash exchange: tuples route to partitions by the canonical hash of the
+//     operator's key columns (equi-join keys, full tuples for rdup/\/∪, the
+//     value-equivalence or grouping columns for the temporal family), so
+//     every key group lands wholly in one partition in list order and the
+//     sequential per-group algorithms apply unchanged per partition. Each
+//     emitted tuple carries a deterministic sequence key — its probe-side
+//     list position, or its group's first-occurrence position — and the
+//     gather is a k-way merge by (sequence, partition index).
+//
+//   - range exchange: when the input's delivered order proves the operator's
+//     groups contiguous (a covering prefix of the delivered order, via
+//     physical.GroupsContiguous), the input splits into contiguous segments
+//     aligned with group boundaries; each worker's output is then
+//     independently ordered and the gather is concatenation in segment
+//     order.
+//
+// Sorting fans out run generation — the bounded stable runs of the external
+// merge sort are sorted concurrently as morsels — and gathers through the
+// same run-index tie-breaking heap the sequential sort uses, which is
+// exactly the global stable sort.
+//
+// Scheduling is morsel-driven: workers claim task indices (input chunks,
+// partitions, runs, segments) from a shared counter. The scan and
+// run-generation phases are morsel-granular, so a slow chunk never idles
+// the pool; the per-partition operator phase is one task per partition, so
+// a heavily skewed key distribution serializes on its hot partition — the
+// price of keeping each key group whole, which the deterministic gather
+// depends on. The pool is bounded per exchange; pull-based evaluation
+// materializes one operator at a time, so a plan's exchanges run their
+// pools in sequence, not stacked.
+package exec
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"tqp/internal/expr"
+	"tqp/internal/period"
+	"tqp/internal/physical"
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+	"tqp/internal/value"
+)
+
+// morselSize is the chunk granularity of parallel input scans.
+const morselSize = 4096
+
+// parallel reports that the engine compiles partitioned operators.
+func (e *Engine) parallel() bool { return e.opts.Parallelism > 1 }
+
+// exchange records one parallel operator compilation in the engine's stats
+// and returns the partition count (the worker fan-out width).
+func (e *Engine) exchange() int {
+	p := e.opts.Parallelism
+	e.stats.ParallelOps++
+	e.stats.Partitions += p
+	return p
+}
+
+// runTasks runs fn(0..tasks-1) on up to workers goroutines that claim task
+// indices from a shared counter. After any task fails, workers stop
+// claiming new tasks (in-flight ones finish), and the lowest-index error
+// among the executed tasks is returned — the whole exchange is being
+// abandoned, so which of several failing tasks reports is immaterial.
+func runTasks(workers, tasks int, fn func(task int) error) error {
+	if tasks == 0 {
+		return nil
+	}
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers <= 1 {
+		for i := 0; i < tasks; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, tasks)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= tasks {
+					return
+				}
+				if errs[i] = fn(i); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prow is a tuple tagged with its global list position — the currency of
+// the hash exchange. Partitions preserve relative order, and the positions
+// drive the deterministic gather.
+type prow struct {
+	orig int
+	t    relation.Tuple
+}
+
+// hashPartition routes rows into p partitions by the canonical hash of the
+// idx columns, preserving relative list order within each partition, so any
+// set of tuples equal on idx lands wholly in one partition in list order.
+// The exchange is a two-pass morsel-parallel scatter: workers first hash
+// their chunks into a partition-id array with per-chunk counts, then —
+// after exact-size partition buffers are carved from the counts — write
+// their chunks into disjoint target ranges. No append growth, no
+// contention, and chunk-major offsets keep the partition order equal to
+// the sequential scan's. Both scan closures are infallible, so the
+// runTasks errors are structurally nil and intentionally dropped.
+func hashPartition(workers int, rows []relation.Tuple, idx []int, p int) [][]prow {
+	n := len(rows)
+	chunks := chunkRanges(n, (n+morselSize-1)/morselSize)
+	pids := make([]uint32, n)
+	counts := make([][]int, len(chunks))
+	runTasks(workers, len(chunks), func(c int) error {
+		cnt := make([]int, p)
+		for i := chunks[c][0]; i < chunks[c][1]; i++ {
+			b := uint32(rows[i].HashOn(idx) % uint64(p))
+			pids[i] = b
+			cnt[b]++
+		}
+		counts[c] = cnt
+		return nil
+	})
+	// offs[c][b]: where chunk c's partition-b rows start within out[b].
+	offs := make([][]int, len(chunks))
+	total := make([]int, p)
+	for c := range chunks {
+		offs[c] = make([]int, p)
+		for b := 0; b < p; b++ {
+			offs[c][b] = total[b]
+			total[b] += counts[c][b]
+		}
+	}
+	out := make([][]prow, p)
+	for b := 0; b < p; b++ {
+		out[b] = make([]prow, total[b])
+	}
+	runTasks(workers, len(chunks), func(c int) error {
+		pos := offs[c]
+		for i := chunks[c][0]; i < chunks[c][1]; i++ {
+			b := pids[i]
+			out[b][pos[b]] = prow{orig: i, t: rows[i]}
+			pos[b]++
+		}
+		return nil
+	})
+	return out
+}
+
+// chunkRanges splits n positions into at most p consecutive ranges — the
+// positional exchange of the keyless and broadcast paths.
+func chunkRanges(n, p int) [][2]int {
+	if p < 1 {
+		p = 1
+	}
+	target := (n + p - 1) / p
+	var out [][2]int
+	for lo := 0; lo < n; lo += target {
+		hi := lo + target
+		if hi > n {
+			hi = n
+		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// segmentRows splits rows into at most p contiguous segments whose
+// boundaries never split a run of rows equal on idx — the range exchange:
+// with the delivered order proving groups contiguous, each segment holds
+// whole groups and the segment outputs concatenate in order.
+func segmentRows(rows []relation.Tuple, idx []int, p int) [][2]int {
+	var segs [][2]int
+	n := len(rows)
+	target := (n + p - 1) / p
+	for lo := 0; lo < n; {
+		hi := lo + target
+		if hi > n {
+			hi = n
+		}
+		for hi < n && rows[hi].EqualOn(idx, rows[hi-1]) {
+			hi++
+		}
+		segs = append(segs, [2]int{lo, hi})
+		lo = hi
+	}
+	return segs
+}
+
+// runSegmented applies a per-group emitter over contiguous whole-group
+// segments concurrently and concatenates the segment outputs in segment
+// order — which is the sequential group-at-a-time output exactly, because
+// every group is whole within its segment.
+func runSegmented(workers int, rows []relation.Tuple, idx []int, emit func([]relation.Tuple) ([]relation.Tuple, error)) ([]relation.Tuple, error) {
+	segs := segmentRows(rows, idx, workers)
+	outs := make([][]relation.Tuple, len(segs))
+	if err := runTasks(workers, len(segs), func(s int) error {
+		lo, hi := segs[s][0], segs[s][1]
+		var res []relation.Tuple
+		for glo := lo; glo < hi; {
+			ghi := glo + 1
+			for ghi < hi && rows[ghi].EqualOn(idx, rows[glo]) {
+				ghi++
+			}
+			out, err := emit(rows[glo:ghi])
+			if err != nil {
+				return err
+			}
+			res = append(res, out...)
+			glo = ghi
+		}
+		outs[s] = res
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var out []relation.Tuple
+	for _, o := range outs {
+		out = append(out, o...)
+	}
+	return out, nil
+}
+
+// tagged is one parallel output tuple with its deterministic gather key.
+type tagged struct {
+	seq int
+	t   relation.Tuple
+}
+
+// mergeTagged is the deterministic ordered gather: each partition's stream
+// is non-decreasing in seq, and the k-way merge pops the smallest
+// (seq, partition index) head from a binary min-heap — O(N·log W), keeping
+// the single-threaded gather off the exchange's critical path. Tuples
+// sharing a seq — one probe tuple's join matches, one group's fragments —
+// always live in a single partition, so they stay in their partition-local
+// emission order and the merged list is the sequential operator's exact
+// output.
+func mergeTagged(parts [][]tagged) []relation.Tuple {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]relation.Tuple, 0, total)
+	// Hand-rolled cursor heap (h holds partition indices, pos the heads):
+	// unlike the sort gather's container/heap runHeap, this loop runs once
+	// per output tuple of every hash exchange, where the interface
+	// dispatch of heap.Interface is measurable.
+	pos := make([]int, len(parts))
+	less := func(a, b int) bool {
+		sa, sb := parts[a][pos[a]].seq, parts[b][pos[b]].seq
+		if sa != sb {
+			return sa < sb
+		}
+		return a < b
+	}
+	var h []int
+	siftDown := func(i int) {
+		for {
+			c := 2*i + 1
+			if c >= len(h) {
+				return
+			}
+			if c+1 < len(h) && less(h[c+1], h[c]) {
+				c++
+			}
+			if !less(h[c], h[i]) {
+				return
+			}
+			h[i], h[c] = h[c], h[i]
+			i = c
+		}
+	}
+	for i, p := range parts {
+		if len(p) > 0 {
+			h = append(h, i)
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(i)
+	}
+	for len(h) > 0 {
+		p := h[0]
+		out = append(out, parts[p][pos[p]].t)
+		pos[p]++
+		if pos[p] >= len(parts[p]) {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		siftDown(0)
+	}
+	return out
+}
+
+// parallelSortSource compiles sort_A with parallel run generation: the
+// drained input splits into the external sort's consecutive bounded runs,
+// workers stable-sort the runs concurrently, and the gather is the
+// sequential operator's own run-index tie-breaking heap — the merged
+// stream is exactly the stable sort of the whole input.
+func (e *Engine) parallelSortSource(in *source, spec relation.OrderSpec, order relation.OrderSpec) *source {
+	workers := e.exchange()
+	return lazySource(in.schema, order, func() ([]relation.Tuple, error) {
+		r, err := drain(in)
+		if err != nil {
+			return nil, err
+		}
+		// drain materialized a fresh tuple slice, so the runs sort in place.
+		rows := r.Tuples()
+		nRuns := (len(rows) + sortRunSize - 1) / sortRunSize
+		runs := make([][]relation.Tuple, nRuns)
+		if err := runTasks(workers, nRuns, func(i int) error {
+			lo, hi := i*sortRunSize, (i+1)*sortRunSize
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			run := rows[lo:hi:hi]
+			sort.SliceStable(run, func(a, b int) bool {
+				return relation.CompareOn(in.schema, spec, run[a], run[b]) < 0
+			})
+			runs[i] = run
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		h := runHeap{schema: in.schema, spec: spec}
+		for i, run := range runs {
+			h.cursors = append(h.cursors, &runCursor{run: run, idx: i})
+		}
+		heap.Init(&h)
+		out := make([]relation.Tuple, 0, len(rows))
+		for h.Len() > 0 {
+			c := h.cursors[0]
+			out = append(out, c.run[c.pos])
+			c.pos++
+			if c.pos >= len(c.run) {
+				heap.Pop(&h)
+			} else {
+				heap.Fix(&h, 0)
+			}
+		}
+		return out, nil
+	})
+}
+
+// broadcastLimit is the build-side size at or below which a keyed parallel
+// join shares one read-only hash table across the workers (the probe side
+// splits into positional chunks); larger build sides hash-partition on the
+// equi-keys so the build work parallelizes too. Keyless products always
+// broadcast — there is nothing to partition on.
+const broadcastLimit = 2048
+
+// parallelProductIter evaluates × / ×ᵀ (optionally with a fused join
+// predicate) under a parallel exchange. With equi-keys over a large build
+// side, both sides route by the shared key hash and each worker hash-joins
+// its partition; with a small (or absent) key table the probe side chunks
+// positionally against the shared build side. Every emitted pair is tagged
+// with its probe tuple's global position, so the gather restores the
+// reference's left-major pair sequence exactly.
+func (e *Engine) parallelProductIter(l, r *source, out *schema.Schema, lidx, ridx []int, residual expr.Pred, temporal bool) iterator {
+	workers := e.exchange()
+	lw, rw := l.schema.Len(), r.schema.Len()
+	lt1, lt2, rt1, rt2 := -1, -1, -1, -1
+	if temporal {
+		lt1, lt2 = l.schema.TimeIndices()
+		rt1, rt2 = r.schema.TimeIndices()
+	}
+	width := lw + rw
+	if temporal {
+		width += 2
+	}
+	return &lazyIter{compute: func() ([]relation.Tuple, error) {
+		lr, err := drain(l)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := drain(r)
+		if err != nil {
+			return nil, err
+		}
+		// joinChunk joins probe tuples (with their global positions) against
+		// one build-side row set, appending tagged pairs in probe order.
+		// table/members, when non-nil, restrict each probe tuple to its key
+		// group; rps carries the precomputed build periods.
+		joinChunk := func(probe []relation.Tuple, origBase int, origs []int, brows []relation.Tuple, rps []period.Period, table *hashGroups, members [][]int) ([]tagged, error) {
+			var res []tagged
+			for pi, lt := range probe {
+				orig := origBase + pi
+				if origs != nil {
+					orig = origs[pi]
+				}
+				n := len(brows)
+				var group []int
+				if table != nil {
+					gid := table.lookup(lt, lidx)
+					if gid < 0 {
+						continue
+					}
+					group = members[gid]
+					n = len(group)
+				}
+				var curP period.Period
+				if temporal {
+					curP = lt.PeriodAt(lt1, lt2)
+				}
+				for k := 0; k < n; k++ {
+					j := k
+					if group != nil {
+						j = group[k]
+					}
+					var iv period.Period
+					if temporal {
+						iv = curP.Intersect(rps[j])
+						if iv.Empty() {
+							continue
+						}
+					}
+					nt := make(relation.Tuple, width)
+					copy(nt, lt)
+					copy(nt[lw:], brows[j])
+					if temporal {
+						nt[lw+rw] = value.Time(iv.Start)
+						nt[lw+rw+1] = value.Time(iv.End)
+					}
+					if residual != nil {
+						ok, err := residual.Holds(out, nt)
+						if err != nil {
+							return nil, err
+						}
+						if !ok {
+							continue
+						}
+					}
+					res = append(res, tagged{seq: orig, t: nt})
+				}
+			}
+			return res, nil
+		}
+		periodsOf := func(rows []relation.Tuple) []period.Period {
+			if !temporal {
+				return nil
+			}
+			ps := make([]period.Period, len(rows))
+			for j, t := range rows {
+				ps[j] = t.PeriodAt(rt1, rt2)
+			}
+			return ps
+		}
+
+		if len(lidx) == 0 || rr.Len() <= broadcastLimit {
+			// Broadcast: one shared build side, probed read-only; the probe
+			// side splits into positional chunks.
+			brows := rr.Tuples()
+			rps := periodsOf(brows)
+			var table *hashGroups
+			var members [][]int
+			if len(lidx) > 0 {
+				table = newHashGroups(ridx, len(brows))
+				for j, t := range brows {
+					gid, fresh := table.groupOf(t)
+					if fresh {
+						members = append(members, nil)
+					}
+					members[gid] = append(members[gid], j)
+				}
+			}
+			chunks := chunkRanges(lr.Len(), workers)
+			outParts := make([][]tagged, len(chunks))
+			if err := runTasks(workers, len(chunks), func(c int) error {
+				res, err := joinChunk(lr.Tuples()[chunks[c][0]:chunks[c][1]], chunks[c][0], nil, brows, rps, table, members)
+				if err != nil {
+					return err
+				}
+				outParts[c] = res
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+			return mergeTagged(outParts), nil
+		}
+
+		// Partitioned: both sides route by the shared key hash; each worker
+		// builds and probes its own partition.
+		lparts := hashPartition(workers, lr.Tuples(), lidx, workers)
+		rparts := hashPartition(workers, rr.Tuples(), ridx, workers)
+		outParts := make([][]tagged, len(lparts))
+		if err := runTasks(workers, len(lparts), func(pt int) error {
+			brows := make([]relation.Tuple, len(rparts[pt]))
+			for j, pr := range rparts[pt] {
+				brows[j] = pr.t
+			}
+			table := newHashGroups(ridx, len(brows))
+			var members [][]int
+			for j, t := range brows {
+				gid, fresh := table.groupOf(t)
+				if fresh {
+					members = append(members, nil)
+				}
+				members[gid] = append(members[gid], j)
+			}
+			probe := make([]relation.Tuple, len(lparts[pt]))
+			origs := make([]int, len(lparts[pt]))
+			for i, pr := range lparts[pt] {
+				probe[i] = pr.t
+				origs[i] = pr.orig
+			}
+			res, err := joinChunk(probe, 0, origs, brows, periodsOf(brows), table, members)
+			if err != nil {
+				return err
+			}
+			outParts[pt] = res
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		return mergeTagged(outParts), nil
+	}}
+}
+
+// parallelBudgetedIter is the shared shape of \ and ∪ under a full-tuple
+// hash exchange: equal tuples land in one partition in list order on both
+// sides, one side funds per-key multiplicity budgets, the other streams
+// against them with budget hits cancelling, and the survivors merge back
+// into their side's list order. For \ (budgetLeft=false) the right side
+// funds and the filtered left survivors are the result; for ∪
+// (budgetLeft=true) the left side funds and the filtered right survivors
+// append behind the whole left list.
+func (e *Engine) parallelBudgetedIter(l, r *source, budgetLeft bool) iterator {
+	workers := e.exchange()
+	idx := identityIdx(l.schema.Len())
+	return &lazyIter{compute: func() ([]relation.Tuple, error) {
+		lr, err := drain(l)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := drain(r)
+		if err != nil {
+			return nil, err
+		}
+		lparts := hashPartition(workers, lr.Tuples(), idx, workers)
+		rparts := hashPartition(workers, rr.Tuples(), idx, workers)
+		fundParts, scanParts := rparts, lparts
+		if budgetLeft {
+			fundParts, scanParts = lparts, rparts
+		}
+		outParts := make([][]tagged, workers)
+		if err := runTasks(workers, workers, func(pt int) error {
+			groups := newHashGroups(idx, len(fundParts[pt]))
+			var budget []int
+			for _, pr := range fundParts[pt] {
+				gid, fresh := groups.groupOf(pr.t)
+				if fresh {
+					budget = append(budget, 0)
+				}
+				budget[gid]++
+			}
+			var res []tagged
+			for _, pr := range scanParts[pt] {
+				if gid := groups.lookup(pr.t, idx); gid >= 0 && budget[gid] > 0 {
+					budget[gid]--
+					continue
+				}
+				res = append(res, tagged{seq: pr.orig, t: pr.t})
+			}
+			outParts[pt] = res
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		merged := mergeTagged(outParts)
+		if !budgetLeft {
+			return merged, nil
+		}
+		out := make([]relation.Tuple, 0, lr.Len()+len(merged))
+		out = append(out, lr.Tuples()...)
+		return append(out, merged...), nil
+	}}
+}
+
+// parallelDiffIter runs \: the earliest left occurrences absorb the right
+// multiplicities, survivors in left list order.
+func (e *Engine) parallelDiffIter(l, r *source) iterator {
+	return e.parallelBudgetedIter(l, r, false)
+}
+
+// parallelUnionIter runs the max-multiplicity ∪: the left list passes
+// through whole, right tuples exceeding the left multiplicities follow in
+// right list order.
+func (e *Engine) parallelUnionIter(l, r *source) iterator {
+	return e.parallelBudgetedIter(l, r, true)
+}
+
+// parallelValueGroupSource runs a value-equivalence group transform
+// (rdupᵀ's head/subtract elimination, coalᵀ's adjacency merge) under a
+// parallel exchange. With a delivered order proving value groups contiguous
+// the exchange is range-shaped: whole-group segments process independently
+// and concatenate. Otherwise tuples route by value hash, each worker
+// transforms its partition's groups over globally-positioned rows, and the
+// gather re-interleaves the fragments into original list order — exactly
+// the sequential mergeByOrig, computed across partitions.
+func (e *Engine) parallelValueGroupSource(in *source, vidx []int, order relation.OrderSpec, transform func([]row, int, int) []row) *source {
+	workers := e.exchange()
+	t1, t2 := in.schema.TimeIndices()
+	contiguous := !e.opts.NoMerge && physical.GroupsContiguous(in.order, in.schema, vidx)
+	return lazySource(in.schema, order, func() ([]relation.Tuple, error) {
+		r, err := drain(in)
+		if err != nil {
+			return nil, err
+		}
+		rows := r.Tuples()
+		if contiguous {
+			return runSegmented(workers, rows, vidx, groupEmitter(t1, t2, transform))
+		}
+		parts := hashPartition(workers, rows, vidx, workers)
+		outParts := make([][]tagged, len(parts))
+		if err := runTasks(workers, len(parts), func(pt int) error {
+			groups := newHashGroups(vidx, len(parts[pt]))
+			var members [][]row
+			for _, pr := range parts[pt] {
+				gid, fresh := groups.groupOf(pr.t)
+				if fresh {
+					members = append(members, nil)
+				}
+				members[gid] = append(members[gid], row{orig: pr.orig, t: pr.t, p: pr.t.PeriodAt(t1, t2)})
+			}
+			var all []row
+			for g := range members {
+				all = append(all, transform(members[g], t1, t2)...)
+			}
+			sort.SliceStable(all, func(i, j int) bool { return all[i].orig < all[j].orig })
+			res := make([]tagged, len(all))
+			for i, rw := range all {
+				res[i] = tagged{seq: rw.orig, t: rw.t}
+			}
+			outParts[pt] = res
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		return mergeTagged(outParts), nil
+	})
+}
+
+// parallelGroupAggSource runs a grouping operator whose output is one batch
+// of tuples per group in group first-occurrence order — aggregation, its
+// temporal variant, and rdup (grouping on every attribute, the first
+// occurrence surviving). The exchange is range-shaped when the delivered
+// order proves groups contiguous, hash otherwise; the hash gather tags each
+// group's batch with the group's first-occurrence position and merges.
+func (e *Engine) parallelGroupAggSource(in *source, gidx []int, outSchema *schema.Schema, order relation.OrderSpec, emit func([]relation.Tuple) ([]relation.Tuple, error)) *source {
+	workers := e.exchange()
+	contiguous := !e.opts.NoMerge && physical.GroupsContiguous(in.order, in.schema, gidx)
+	return lazySource(outSchema, order, func() ([]relation.Tuple, error) {
+		r, err := drain(in)
+		if err != nil {
+			return nil, err
+		}
+		rows := r.Tuples()
+		if contiguous {
+			return runSegmented(workers, rows, gidx, emit)
+		}
+		parts := hashPartition(workers, rows, gidx, workers)
+		outParts := make([][]tagged, len(parts))
+		if err := runTasks(workers, len(parts), func(pt int) error {
+			groups := newHashGroups(gidx, len(parts[pt]))
+			var first []int
+			var tuples [][]relation.Tuple
+			for _, pr := range parts[pt] {
+				gid, fresh := groups.groupOf(pr.t)
+				if fresh {
+					first = append(first, pr.orig)
+					tuples = append(tuples, nil)
+				}
+				tuples[gid] = append(tuples[gid], pr.t)
+			}
+			var res []tagged
+			for g := range tuples {
+				out, err := emit(tuples[g])
+				if err != nil {
+					return err
+				}
+				for _, t := range out {
+					res = append(res, tagged{seq: first[g], t: t})
+				}
+			}
+			outParts[pt] = res
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		return mergeTagged(outParts), nil
+	})
+}
+
+// valueMembership groups one partition's two sides into a shared
+// value-equivalence id space — the common scaffolding of the two-sided
+// temporal exchanges. leftMembers/rightMembers hold partition-local row
+// indices per group; rOrder lists the group ids in first-right-occurrence
+// order (∪ᵀ's emission order; \ᵀ ignores it).
+func valueMembership(lp, rp []prow, vidx []int) (leftMembers, rightMembers [][]int, rOrder []int) {
+	groups := newHashGroups(vidx, len(lp)+len(rp))
+	grow := func(fresh bool) {
+		if fresh {
+			leftMembers = append(leftMembers, nil)
+			rightMembers = append(rightMembers, nil)
+		}
+	}
+	for k, pr := range lp {
+		gid, fresh := groups.groupOf(pr.t)
+		grow(fresh)
+		leftMembers[gid] = append(leftMembers[gid], k)
+	}
+	for k, pr := range rp {
+		gid, fresh := groups.groupOf(pr.t)
+		grow(fresh)
+		if len(rightMembers[gid]) == 0 {
+			rOrder = append(rOrder, gid)
+		}
+		rightMembers[gid] = append(rightMembers[gid], k)
+	}
+	return leftMembers, rightMembers, rOrder
+}
+
+// memberPeriods collects the periods of the partition rows at idxs.
+func memberPeriods(rows []prow, idxs []int, t1, t2 int) []period.Period {
+	ps := make([]period.Period, len(idxs))
+	for x, k := range idxs {
+		ps[x] = rows[k].t.PeriodAt(t1, t2)
+	}
+	return ps
+}
+
+// parallelTDiffSource runs \ᵀ with a value-hash exchange on both sides:
+// every value-equivalence group lands wholly in one partition, the
+// sequential per-group elementary-interval subtraction runs per partition,
+// and the surviving fragments merge back into left list order.
+func (e *Engine) parallelTDiffSource(l, r *source, order relation.OrderSpec) *source {
+	workers := e.exchange()
+	return lazySource(l.schema, order, func() ([]relation.Tuple, error) {
+		lr, err := drain(l)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := drain(r)
+		if err != nil {
+			return nil, err
+		}
+		t1, t2 := lr.Schema().TimeIndices()
+		vidx := valueIdx(lr.Schema())
+		lparts := hashPartition(workers, lr.Tuples(), vidx, workers)
+		rparts := hashPartition(workers, rr.Tuples(), vidx, workers)
+		outParts := make([][]tagged, workers)
+		if err := runTasks(workers, workers, func(pt int) error {
+			lp, rp := lparts[pt], rparts[pt]
+			leftMembers, rightMembers, _ := valueMembership(lp, rp, vidx)
+			frag := make([][]period.Period, len(lp))
+			for gid, lIdx := range leftMembers {
+				if len(lIdx) == 0 {
+					continue
+				}
+				lps := memberPeriods(lp, lIdx, t1, t2)
+				rps := memberPeriods(rp, rightMembers[gid], t1, t2)
+				for x, fs := range tdiffGroupFragments(lps, rps) {
+					frag[lIdx[x]] = fs
+				}
+			}
+			var res []tagged
+			for k, pr := range lp {
+				for _, p := range frag[k] {
+					res = append(res, tagged{seq: pr.orig, t: pr.t.WithPeriodAt(t1, t2, p)})
+				}
+			}
+			outParts[pt] = res
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		return mergeTagged(outParts), nil
+	})
+}
+
+// parallelTUnionSource runs ∪ᵀ with a value-hash exchange on both sides:
+// the left list passes through whole, each worker computes its partition's
+// right-excess layers per value group, and the gather merges the group
+// contributions into global first-right-occurrence order behind the left
+// list.
+func (e *Engine) parallelTUnionSource(l, r *source) *source {
+	workers := e.exchange()
+	return lazySource(l.schema, nil, func() ([]relation.Tuple, error) {
+		lr, err := drain(l)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := drain(r)
+		if err != nil {
+			return nil, err
+		}
+		t1, t2 := lr.Schema().TimeIndices()
+		vidx := valueIdx(lr.Schema())
+		lparts := hashPartition(workers, lr.Tuples(), vidx, workers)
+		rparts := hashPartition(workers, rr.Tuples(), vidx, workers)
+		outParts := make([][]tagged, workers)
+		if err := runTasks(workers, workers, func(pt int) error {
+			lp, rp := lparts[pt], rparts[pt]
+			leftMembers, rightMembers, rOrder := valueMembership(lp, rp, vidx)
+			var res []tagged
+			for _, gid := range rOrder {
+				lps := memberPeriods(lp, leftMembers[gid], t1, t2)
+				rps := memberPeriods(rp, rightMembers[gid], t1, t2)
+				rep := rp[rightMembers[gid][0]]
+				for _, p := range tunionExtraPeriods(lps, rps) {
+					res = append(res, tagged{seq: rep.orig, t: rep.t.WithPeriodAt(t1, t2, p)})
+				}
+			}
+			outParts[pt] = res
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		extra := mergeTagged(outParts)
+		out := make([]relation.Tuple, 0, lr.Len()+len(extra))
+		out = append(out, lr.Tuples()...)
+		return append(out, extra...), nil
+	})
+}

@@ -138,6 +138,9 @@ func (e *Engine) buildSort(n *algebra.Sort) (*source, error) {
 		order = in.order
 	}
 	e.stats.MergeSorts++
+	if e.parallel() {
+		return e.parallelSortSource(in, n.Spec, order), nil
+	}
 	return &source{
 		it:     &mergeSortIter{in: in, spec: n.Spec, schema: in.schema},
 		schema: in.schema,
@@ -228,6 +231,13 @@ func (e *Engine) buildRdup(n algebra.Node) (*source, error) {
 		schema: outSchema,
 		order:  eval.OrderQualifyTime(in.order, outSchema),
 	}
+	if e.parallel() {
+		// rdup is grouping on every attribute with the group's first
+		// occurrence surviving; the parallel group exchange merges survivors
+		// back into first-occurrence order.
+		return e.parallelGroupAggSource(in, identityIdx(in.schema.Len()), outSchema, src.order,
+			func(group []relation.Tuple) ([]relation.Tuple, error) { return group[:1], nil }), nil
+	}
 	if !e.opts.NoMerge && physical.GroupsContiguous(in.order, in.schema, identityIdx(in.schema.Len())) {
 		e.stats.MergeOps++
 		src.it = &dedupSortedIter{in: in.it}
@@ -301,6 +311,10 @@ func (e *Engine) buildDiff(n algebra.Node) (*source, error) {
 	src := &source{
 		schema: outSchema,
 		order:  eval.OrderQualifyTime(l.order, outSchema),
+	}
+	if e.parallel() {
+		src.it = e.parallelDiffIter(l, r)
+		return src, nil
 	}
 	if !e.opts.NoMerge {
 		if spec, ok := physical.AlignedTotalOrder(l.order, r.order, l.schema); ok {
@@ -379,6 +393,10 @@ func (e *Engine) buildUnion(n algebra.Node) (*source, error) {
 		return nil, err
 	}
 	src := &source{schema: l.schema}
+	if e.parallel() {
+		src.it = e.parallelUnionIter(l, r)
+		return src, nil
+	}
 	if !e.opts.NoMerge {
 		if spec, ok := physical.AlignedTotalOrder(l.order, r.order, l.schema); ok {
 			e.stats.MergeOps++
@@ -412,24 +430,27 @@ func (e *Engine) buildAggregate(n *algebra.Aggregate) (*source, error) {
 		gidx[i] = in.schema.Index(g)
 	}
 	order := eval.OrderAfterGroup(in.order, n.GroupBy)
+	emit := func(group []relation.Tuple) ([]relation.Tuple, error) {
+		accs := eval.NewAccumulators(n.Aggs, in.schema)
+		for _, t := range group {
+			if err := eval.FoldAggregates(accs, n.Aggs, in.schema, t); err != nil {
+				return nil, err
+			}
+		}
+		nt := make(relation.Tuple, 0, outSchema.Len())
+		for _, gi := range gidx {
+			nt = append(nt, group[0][gi])
+		}
+		for _, acc := range accs {
+			nt = append(nt, acc.Result())
+		}
+		return []relation.Tuple{nt}, nil
+	}
+	if e.parallel() && len(gidx) > 0 {
+		return e.parallelGroupAggSource(in, gidx, outSchema, order, emit), nil
+	}
 	if !e.opts.NoMerge && physical.GroupsContiguous(in.order, in.schema, gidx) {
 		e.stats.MergeOps++
-		emit := func(group []relation.Tuple) ([]relation.Tuple, error) {
-			accs := eval.NewAccumulators(n.Aggs, in.schema)
-			for _, t := range group {
-				if err := eval.FoldAggregates(accs, n.Aggs, in.schema, t); err != nil {
-					return nil, err
-				}
-			}
-			nt := make(relation.Tuple, 0, outSchema.Len())
-			for _, gi := range gidx {
-				nt = append(nt, group[0][gi])
-			}
-			for _, acc := range accs {
-				nt = append(nt, acc.Result())
-			}
-			return []relation.Tuple{nt}, nil
-		}
 		return &source{
 			it:     &groupIter{in: in.it, idx: gidx, emit: emit},
 			schema: outSchema,

@@ -128,6 +128,9 @@ func (e *Engine) buildTRdup(n algebra.Node) (*source, error) {
 	order := in.order.TimeFreePrefix()
 	t1, t2 := in.schema.TimeIndices()
 	vidx := physical.ValueIdx(in.schema)
+	if e.parallel() {
+		return e.parallelValueGroupSource(in, vidx, order, rdupTGroup), nil
+	}
 	if !e.opts.NoMerge && physical.GroupsContiguous(in.order, in.schema, vidx) {
 		e.stats.MergeOps++
 		emit := groupEmitter(t1, t2, func(rows []row, t1, t2 int) []row { return rdupTGroup(rows, t1, t2) })
@@ -204,6 +207,9 @@ func (e *Engine) buildCoal(n algebra.Node) (*source, error) {
 	order := in.order.TimeFreePrefix()
 	t1, t2 := in.schema.TimeIndices()
 	vidx := physical.ValueIdx(in.schema)
+	if e.parallel() {
+		return e.parallelValueGroupSource(in, vidx, order, coalTGroup), nil
+	}
 	if !e.opts.NoMerge && physical.GroupsContiguous(in.order, in.schema, vidx) {
 		e.stats.MergeOps++
 		emit := groupEmitter(t1, t2, coalTGroup)
@@ -267,6 +273,9 @@ func (e *Engine) buildTDiff(n algebra.Node) (*source, error) {
 		return nil, err
 	}
 	order := l.order.TimeFreePrefix()
+	if e.parallel() {
+		return e.parallelTDiffSource(l, r, order), nil
+	}
 	return lazySource(l.schema, order, func() ([]relation.Tuple, error) {
 		lr, err := drain(l)
 		if err != nil {
@@ -304,56 +313,16 @@ func (e *Engine) buildTDiff(n algebra.Node) (*source, error) {
 			if len(leftIdx) == 0 {
 				continue
 			}
-			var rightPeriods []period.Period
-			for _, j := range rightMembers[gid] {
-				if p := rr.PeriodOf(j); !p.Empty() {
-					rightPeriods = append(rightPeriods, p)
-				}
+			lps := make([]period.Period, len(leftIdx))
+			for k, i := range leftIdx {
+				lps[k] = lr.PeriodOf(i)
 			}
-			all := make([]period.Period, 0, len(leftIdx)+len(rightPeriods))
-			for _, i := range leftIdx {
-				all = append(all, lr.PeriodOf(i))
+			rps := make([]period.Period, len(rightMembers[gid]))
+			for k, j := range rightMembers[gid] {
+				rps[k] = rr.PeriodOf(j)
 			}
-			all = append(all, rightPeriods...)
-			ivs := period.ElementaryIntervals(all)
-			budget := make([]int, len(ivs))
-			for x, iv := range ivs {
-				for _, rp := range rightPeriods {
-					if rp.ContainsPeriod(iv) {
-						budget[x]++
-					}
-				}
-			}
-			for _, i := range leftIdx {
-				lp := lr.PeriodOf(i)
-				if lp.Empty() {
-					continue
-				}
-				var cur period.Period
-				for x, iv := range ivs {
-					if !lp.ContainsPeriod(iv) || iv.Empty() {
-						continue
-					}
-					if budget[x] > 0 {
-						budget[x]--
-						if !cur.Empty() {
-							frag[i] = append(frag[i], cur)
-							cur = period.Period{}
-						}
-						continue
-					}
-					if !cur.Empty() && cur.End == iv.Start {
-						cur.End = iv.End
-					} else {
-						if !cur.Empty() {
-							frag[i] = append(frag[i], cur)
-						}
-						cur = iv
-					}
-				}
-				if !cur.Empty() {
-					frag[i] = append(frag[i], cur)
-				}
+			for k, fs := range tdiffGroupFragments(lps, rps) {
+				frag[leftIdx[k]] = fs
 			}
 		}
 
@@ -377,6 +346,9 @@ func (e *Engine) buildTUnion(n algebra.Node) (*source, error) {
 	}
 	if _, err := n.Schema(); err != nil {
 		return nil, err
+	}
+	if e.parallel() {
+		return e.parallelTUnionSource(l, r), nil
 	}
 	return lazySource(l.schema, nil, func() ([]relation.Tuple, error) {
 		lr, err := drain(l)
@@ -416,69 +388,147 @@ func (e *Engine) buildTUnion(n algebra.Node) (*source, error) {
 		out := make([]relation.Tuple, 0, lr.Len())
 		out = append(out, lr.Tuples()...)
 		for _, gid := range rOrder {
-			var rps, lps []period.Period
-			for _, j := range rightMembers[gid] {
-				if p := rr.PeriodOf(j); !p.Empty() {
-					rps = append(rps, p)
-				}
+			lps := make([]period.Period, len(leftMembers[gid]))
+			for k, i := range leftMembers[gid] {
+				lps[k] = lr.PeriodOf(i)
 			}
-			for _, i := range leftMembers[gid] {
-				if p := lr.PeriodOf(i); !p.Empty() {
-					lps = append(lps, p)
-				}
-			}
-			all := append(append([]period.Period{}, rps...), lps...)
-			ivs := period.ElementaryIntervals(all)
-			extra := make([]int, len(ivs))
-			maxExtra := 0
-			for x, iv := range ivs {
-				c1, c2 := 0, 0
-				for _, p := range lps {
-					if p.ContainsPeriod(iv) {
-						c1++
-					}
-				}
-				for _, p := range rps {
-					if p.ContainsPeriod(iv) {
-						c2++
-					}
-				}
-				if c2 > c1 {
-					extra[x] = c2 - c1
-					if extra[x] > maxExtra {
-						maxExtra = extra[x]
-					}
-				}
-			}
-			if maxExtra == 0 {
-				continue
+			rps := make([]period.Period, len(rightMembers[gid]))
+			for k, j := range rightMembers[gid] {
+				rps[k] = rr.PeriodOf(j)
 			}
 			rep := rr.At(rightMembers[gid][0])
-			for layer := 1; layer <= maxExtra; layer++ {
-				var cur period.Period
-				flush := func() {
-					if !cur.Empty() {
-						out = append(out, rep.WithPeriodAt(t1, t2, cur))
-						cur = period.Period{}
-					}
-				}
-				for x, iv := range ivs {
-					if extra[x] < layer {
-						flush()
-						continue
-					}
-					if !cur.Empty() && cur.End == iv.Start {
-						cur.End = iv.End
-					} else {
-						flush()
-						cur = iv
-					}
-				}
-				flush()
+			for _, p := range tunionExtraPeriods(lps, rps) {
+				out = append(out, rep.WithPeriodAt(t1, t2, p))
 			}
 		}
 		return out, nil
 	}), nil
+}
+
+// tdiffGroupFragments runs the temporal difference on one value-equivalence
+// group: the group's timeline decomposes into elementary intervals, each
+// non-empty right period contributes one unit of budget to the intervals it
+// covers, and each left period — in list order, the earliest occurrences
+// absorbing the subtraction — either consumes budget or keeps the interval,
+// adjacent kept intervals fusing into maximal fragments. The result aligns
+// positionally with lps; empty left periods yield no fragments.
+func tdiffGroupFragments(lps, rps []period.Period) [][]period.Period {
+	var rightPeriods []period.Period
+	for _, p := range rps {
+		if !p.Empty() {
+			rightPeriods = append(rightPeriods, p)
+		}
+	}
+	all := make([]period.Period, 0, len(lps)+len(rightPeriods))
+	all = append(all, lps...)
+	all = append(all, rightPeriods...)
+	ivs := period.ElementaryIntervals(all)
+	budget := make([]int, len(ivs))
+	for x, iv := range ivs {
+		for _, rp := range rightPeriods {
+			if rp.ContainsPeriod(iv) {
+				budget[x]++
+			}
+		}
+	}
+	frag := make([][]period.Period, len(lps))
+	for k, lp := range lps {
+		if lp.Empty() {
+			continue
+		}
+		var cur period.Period
+		for x, iv := range ivs {
+			if !lp.ContainsPeriod(iv) || iv.Empty() {
+				continue
+			}
+			if budget[x] > 0 {
+				budget[x]--
+				if !cur.Empty() {
+					frag[k] = append(frag[k], cur)
+					cur = period.Period{}
+				}
+				continue
+			}
+			if !cur.Empty() && cur.End == iv.Start {
+				cur.End = iv.End
+			} else {
+				if !cur.Empty() {
+					frag[k] = append(frag[k], cur)
+				}
+				cur = iv
+			}
+		}
+		if !cur.Empty() {
+			frag[k] = append(frag[k], cur)
+		}
+	}
+	return frag
+}
+
+// tunionExtraPeriods computes one value-equivalence group's contribution
+// beyond the left list under ∪ᵀ: for each excess layer 1..max, the maximal
+// periods over which the right multiplicity exceeds the left's by at least
+// that layer, in layer-then-timeline emission order. Empty periods on
+// either side are ignored.
+func tunionExtraPeriods(lpsIn, rpsIn []period.Period) []period.Period {
+	var rps, lps []period.Period
+	for _, p := range rpsIn {
+		if !p.Empty() {
+			rps = append(rps, p)
+		}
+	}
+	for _, p := range lpsIn {
+		if !p.Empty() {
+			lps = append(lps, p)
+		}
+	}
+	all := append(append([]period.Period{}, rps...), lps...)
+	ivs := period.ElementaryIntervals(all)
+	extra := make([]int, len(ivs))
+	maxExtra := 0
+	for x, iv := range ivs {
+		c1, c2 := 0, 0
+		for _, p := range lps {
+			if p.ContainsPeriod(iv) {
+				c1++
+			}
+		}
+		for _, p := range rps {
+			if p.ContainsPeriod(iv) {
+				c2++
+			}
+		}
+		if c2 > c1 {
+			extra[x] = c2 - c1
+			if extra[x] > maxExtra {
+				maxExtra = extra[x]
+			}
+		}
+	}
+	var out []period.Period
+	for layer := 1; layer <= maxExtra; layer++ {
+		var cur period.Period
+		flush := func() {
+			if !cur.Empty() {
+				out = append(out, cur)
+				cur = period.Period{}
+			}
+		}
+		for x, iv := range ivs {
+			if extra[x] < layer {
+				flush()
+				continue
+			}
+			if !cur.Empty() && cur.End == iv.Start {
+				cur.End = iv.End
+			} else {
+				flush()
+				cur = iv
+			}
+		}
+		flush()
+	}
+	return out
 }
 
 // buildTAggregate compiles 𝒢ᵀ: grouping in first-occurrence order, then
@@ -534,6 +584,9 @@ func (e *Engine) buildTAggregate(n *algebra.Aggregate) (*source, error) {
 			out = append(out, nt)
 		}
 		return out, nil
+	}
+	if e.parallel() && len(gidx) > 0 {
+		return e.parallelGroupAggSource(in, gidx, outSchema, order, groupOut), nil
 	}
 	if !e.opts.NoMerge && physical.GroupsContiguous(in.order, in.schema, gidx) {
 		e.stats.MergeOps++

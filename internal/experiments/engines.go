@@ -91,9 +91,15 @@ func E11Engines() Report {
 // timedEval evaluates plan on the engine, best of five runs (minimizing the
 // influence of scheduling stalls on shared runners).
 func timedEval(e eval.Engine, plan algebra.Node) (*relation.Relation, time.Duration, error) {
+	return timedEvalN(e, plan, 5)
+}
+
+// timedEvalN is timedEval with an explicit repetition count, for plans
+// large enough that five runs would dominate an experiment's wall time.
+func timedEvalN(e eval.Engine, plan algebra.Node, n int) (*relation.Relation, time.Duration, error) {
 	var out *relation.Relation
 	best := time.Duration(0)
-	for i := 0; i < 5; i++ {
+	for i := 0; i < n; i++ {
 		start := time.Now()
 		r, err := e.Eval(plan)
 		d := time.Since(start)

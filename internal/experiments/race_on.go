@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that the race detector instruments this build; E13's
+// wall-clock speedup gate self-skips under it (shadow-memory bookkeeping
+// distorts parallel scaling beyond what any noise margin absorbs).
+const raceEnabled = true

@@ -29,6 +29,15 @@ func New(s *schema.Schema) *Relation {
 	return &Relation{schema: s}
 }
 
+// FromTuplesTrusted wraps an existing tuple list as a relation without
+// validation or copying. The caller guarantees schema alignment and hands
+// over ownership of the slice — the execution engine's bulk path for
+// materialized intermediate results, where per-tuple Append growth would
+// dominate the pipeline.
+func FromTuplesTrusted(s *schema.Schema, tuples []Tuple) *Relation {
+	return &Relation{schema: s, tuples: tuples}
+}
+
 // FromTuples builds a relation over s from the given tuples, validating each
 // against the schema. The relation is considered unordered.
 func FromTuples(s *schema.Schema, tuples []Tuple) (*Relation, error) {

@@ -67,8 +67,10 @@ func NewWithEngine(cat *catalog.Catalog, seed int64, spec eval.EngineSpec) *Exec
 	}
 	params := cost.ParamsFor(spec.Streaming)
 	// Price the order-exploiting variants only for engines that compile
-	// them (e.g. not for exec.HashOnlySpec()).
+	// them (e.g. not for exec.HashOnlySpec()), and partitioned operators
+	// with the engine's parallel fan-out width.
 	params.OrderBlind = !spec.OrderAware
+	params.Parallelism = spec.Parallelism
 	return &Executor{
 		cat:    cat,
 		engine: dbms.New(cat, seed),
@@ -175,7 +177,7 @@ func (x *Executor) exec(n algebra.Node, tr *Trace) (*relation.Relation, error) {
 	// engine actually compiling order-exploiting variants.
 	ordered := x.params.Streaming && !x.params.OrderBlind &&
 		physical.Decide(rebound, childOrders).Ordered()
-	tr.StratumUnits += x.params.OpUnitsOrdered(n.Op(), inRows, x.params.StratumTuple, 1, x.params.Streaming, ordered)
+	tr.StratumUnits += x.params.OpUnitsForNode(rebound, inRows, x.params.StratumTuple, 1, x.params.Streaming, ordered)
 	return out, nil
 }
 

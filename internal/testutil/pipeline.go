@@ -1,0 +1,25 @@
+package testutil
+
+import (
+	"tqp/internal/algebra"
+	"tqp/internal/datagen"
+	"tqp/internal/eval"
+	"tqp/internal/expr"
+)
+
+// ParallelPipeline is the single definition of the morsel-parallel
+// acceptance workload — an equijoin ⋈ᵀ on Grp feeding rdupᵀ then coalᵀ,
+// with a rows-wide probe side against a 256-row build side — shared by the
+// E13 scaling experiment and BenchmarkParallel so the CI-gated benchmark
+// and the experiment it extends cannot drift apart.
+func ParallelPipeline(rows int) (eval.MapSource, algebra.Node) {
+	l := datagen.Temporal(datagen.TemporalSpec{
+		Rows: rows, Values: rows / 50, TimeRange: 500, MaxPeriod: 25, Seed: 41})
+	r := datagen.Temporal(datagen.TemporalSpec{
+		Rows: 256, Values: rows / 50, TimeRange: 500, MaxPeriod: 25, Seed: 42})
+	src := eval.MapSource{"L": l, "R": r}
+	ln := algebra.NewRel("L", l.Schema(), algebra.BaseInfo{})
+	rn := algebra.NewRel("R", r.Schema(), algebra.BaseInfo{})
+	pred := expr.Compare(expr.Eq, expr.Column("1.Grp"), expr.Column("2.Grp"))
+	return src, algebra.NewCoal(algebra.NewTRdup(algebra.NewTJoin(pred, ln, rn)))
+}

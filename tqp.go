@@ -159,8 +159,12 @@ var (
 	WithCostParams = core.WithCostParams
 	// WithEngine selects the physical engine for stratum subplans.
 	WithEngine = core.WithEngine
-	// ResolveEngine maps an engine name ("reference", "exec") to its spec.
+	// ResolveEngine maps an engine name ("reference", "exec", "parallel")
+	// to its spec.
 	ResolveEngine = core.EngineSpec
+	// ResolveEngineWith resolves an engine name with an explicit worker
+	// count for the morsel-parallel engine.
+	ResolveEngineWith = core.EngineSpecWith
 )
 
 // EngineSpec describes a physical execution engine for the stratum.
