@@ -304,13 +304,35 @@ func BenchmarkE10_OptimizerAblation(b *testing.B) {
 }
 
 // benchRecord is one engine measurement of the machine-readable bench
-// output: which benchmark, at which scale, on which engine, how fast.
+// output: which benchmark, at which scale, on which engine, how fast, and
+// how allocation-hungry (B/op and allocs/op feed the CI allocation gate —
+// hardware-independent counts that compare raw across machines).
 type benchRecord struct {
-	Bench   string  `json:"bench"`
-	Rows    int     `json:"rows"`
-	Engine  string  `json:"engine"`
-	NsPerOp float64 `json:"ns_per_op"`
-	OutRows int     `json:"out_rows"`
+	Bench       string  `json:"bench"`
+	Rows        int     `json:"rows"`
+	Engine      string  `json:"engine"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	OutRows     int     `json:"out_rows"`
+}
+
+// memSnap is an allocation-counter snapshot bracketing a benchmark loop.
+type memSnap struct{ mallocs, bytes uint64 }
+
+func snapMem() memSnap {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return memSnap{ms.Mallocs, ms.TotalAlloc}
+}
+
+// since returns the per-op allocation deltas accumulated after m0.
+func (m0 memSnap) since(n int) (bPerOp, allocsPerOp float64) {
+	m1 := snapMem()
+	if n <= 0 {
+		return 0, 0
+	}
+	return float64(m1.bytes-m0.bytes) / float64(n), float64(m1.mallocs-m0.mallocs) / float64(n)
 }
 
 // benchRecords accumulates engine measurements across the benchmark run;
@@ -342,15 +364,17 @@ func TestMain(m *testing.M) {
 }
 
 // recordEngineBench times the benchmark loop wall-clock and appends one
-// record; ns/op is measured directly so the record does not depend on
-// testing internals.
-func recordEngineBench(bench string, rows int, engine string, elapsed time.Duration, n, outRows int) {
+// record; ns/op and the allocation metrics are measured directly so the
+// record does not depend on testing internals.
+func recordEngineBench(bench string, rows int, engine string, elapsed time.Duration, n, outRows int, bPerOp, allocsPerOp float64) {
 	if n <= 0 {
 		return
 	}
 	benchRecords = append(benchRecords, benchRecord{
 		Bench: bench, Rows: rows, Engine: engine,
-		NsPerOp: float64(elapsed.Nanoseconds()) / float64(n), OutRows: outRows,
+		NsPerOp: float64(elapsed.Nanoseconds()) / float64(n),
+		BPerOp:  bPerOp, AllocsPerOp: allocsPerOp,
+		OutRows: outRows,
 	})
 }
 
@@ -394,6 +418,7 @@ func BenchmarkEngines(b *testing.B) {
 		for _, e := range engines {
 			b.Run(fmt.Sprintf("n=%d/%s", n, e.name), func(b *testing.B) {
 				var rows int
+				m0 := snapMem()
 				start := time.Now()
 				for i := 0; i < b.N; i++ {
 					out, err := e.eng.Eval(plan)
@@ -402,7 +427,9 @@ func BenchmarkEngines(b *testing.B) {
 					}
 					rows = out.Len()
 				}
-				recordEngineBench("engines", n, e.name, time.Since(start), b.N, rows)
+				elapsed := time.Since(start)
+				bPerOp, allocsPerOp := m0.since(b.N)
+				recordEngineBench("engines", n, e.name, elapsed, b.N, rows, bPerOp, allocsPerOp)
 				b.ReportMetric(float64(rows), "rows")
 			})
 		}
@@ -459,6 +486,7 @@ func BenchmarkMergeVsHash(b *testing.B) {
 		for _, e := range engines {
 			b.Run(fmt.Sprintf("n=%d/%s", n, e.name), func(b *testing.B) {
 				var rows int
+				m0 := snapMem()
 				start := time.Now()
 				for i := 0; i < b.N; i++ {
 					out, err := e.eng.Eval(plan)
@@ -467,7 +495,9 @@ func BenchmarkMergeVsHash(b *testing.B) {
 					}
 					rows = out.Len()
 				}
-				recordEngineBench("merge-vs-hash", n, e.name, time.Since(start), b.N, rows)
+				elapsed := time.Since(start)
+				bPerOp, allocsPerOp := m0.since(b.N)
+				recordEngineBench("merge-vs-hash", n, e.name, elapsed, b.N, rows, bPerOp, allocsPerOp)
 				b.ReportMetric(float64(rows), "rows")
 			})
 		}
@@ -513,6 +543,7 @@ func BenchmarkParallel(b *testing.B) {
 			opts := exec.Options{Parallelism: w}
 			b.Run(fmt.Sprintf("n=%d/%s", n, name), func(b *testing.B) {
 				var rows int
+				m0 := snapMem()
 				start := time.Now()
 				for i := 0; i < b.N; i++ {
 					out, err := exec.NewWith(src, opts).Eval(plan)
@@ -521,7 +552,65 @@ func BenchmarkParallel(b *testing.B) {
 					}
 					rows = out.Len()
 				}
-				recordEngineBench("parallel", n, name, time.Since(start), b.N, rows)
+				elapsed := time.Since(start)
+				bPerOp, allocsPerOp := m0.since(b.N)
+				recordEngineBench("parallel", n, name, elapsed, b.N, rows, bPerOp, allocsPerOp)
+				b.ReportMetric(float64(rows), "rows")
+			})
+		}
+	}
+}
+
+// BenchmarkSpill measures the memory-bounded engine against the unbudgeted
+// one on the spill acceptance pipeline (rdupᵀ → coalᵀ over a single wide
+// relation): at 100k and 1M rows a 16MB budget forces grace-hash spilling
+// of both operators, so the records quantify the spill overhead (codec +
+// temp-file I/O) next to the in-memory engine, and E14 charts the same
+// curve across budgets. Results are asserted identical at the smallest
+// scale; records land in BENCH_engines.json alongside the other suites.
+func BenchmarkSpill(b *testing.B) {
+	const budget = 16 << 20
+	for _, n := range []int{100000, 1000000} {
+		src, plan := testutil.SpillPipeline(n)
+		if n == 100000 {
+			want, err := exec.New(src).Eval(plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng := exec.NewWith(src, exec.Options{MemoryBudget: budget})
+			got, err := eng.Eval(plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !got.EqualAsList(want) {
+				b.Fatal("budgeted engine disagrees with the unbudgeted engine")
+			}
+			if eng.Stats().SpilledOps == 0 {
+				b.Fatalf("vacuous spill benchmark: nothing spilled at %d bytes over %d rows", budget, n)
+			}
+		}
+		for _, e := range []struct {
+			name   string
+			budget int64
+		}{
+			{"exec", 0},
+			{"exec-mem16M", budget},
+		} {
+			opts := exec.Options{MemoryBudget: e.budget}
+			b.Run(fmt.Sprintf("n=%d/%s", n, e.name), func(b *testing.B) {
+				var rows int
+				m0 := snapMem()
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					out, err := exec.NewWith(src, opts).Eval(plan)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rows = out.Len()
+				}
+				elapsed := time.Since(start)
+				bPerOp, allocsPerOp := m0.since(b.N)
+				recordEngineBench("spill", n, e.name, elapsed, b.N, rows, bPerOp, allocsPerOp)
 				b.ReportMetric(float64(rows), "rows")
 			})
 		}

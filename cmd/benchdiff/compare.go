@@ -9,13 +9,16 @@ import (
 )
 
 // record mirrors the benchRecord rows of BENCH_engines.json (written by the
-// repo-root TestMain collector).
+// repo-root TestMain collector). Allocation fields are optional: records
+// from before the allocation gate carry none and are simply not alloc-gated.
 type record struct {
-	Bench   string  `json:"bench"`
-	Rows    int     `json:"rows"`
-	Engine  string  `json:"engine"`
-	NsPerOp float64 `json:"ns_per_op"`
-	OutRows int     `json:"out_rows"`
+	Bench       string  `json:"bench"`
+	Rows        int     `json:"rows"`
+	Engine      string  `json:"engine"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	OutRows     int     `json:"out_rows"`
 }
 
 // key names one benchmark series across files.
@@ -25,9 +28,9 @@ func (r record) key() string { return fmt.Sprintf("%s/n=%d/%s", r.Bench, r.Rows,
 // an empty file means the bench smoke silently measured nothing, which the
 // gate must surface, not mask. Repeated measurements of one benchmark
 // (go test -count, and the sub-benchmark discovery pass that runs each sub
-// once inside its parent) aggregate to their fastest ns/op: the minimum is
-// the standard noise-floor estimator, and comparing noise floors keeps a
-// 25% gate meaningful on single-digit sample counts.
+// once inside its parent) aggregate to their fastest ns/op — the minimum is
+// the standard noise-floor estimator — and allocation metrics follow the
+// same rule (GC timing jitters them upward, never downward).
 func readRecords(path string) ([]record, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -43,14 +46,21 @@ func readRecords(path string) ([]record, error) {
 	best := make(map[string]int)
 	var out []record
 	for _, r := range rs {
-		if i, ok := best[r.key()]; ok {
-			if r.NsPerOp < out[i].NsPerOp {
-				out[i] = r
-			}
+		i, ok := best[r.key()]
+		if !ok {
+			best[r.key()] = len(out)
+			out = append(out, r)
 			continue
 		}
-		best[r.key()] = len(out)
-		out = append(out, r)
+		if r.NsPerOp < out[i].NsPerOp {
+			out[i].NsPerOp = r.NsPerOp
+		}
+		if r.BPerOp > 0 && (out[i].BPerOp == 0 || r.BPerOp < out[i].BPerOp) {
+			out[i].BPerOp = r.BPerOp
+		}
+		if r.AllocsPerOp > 0 && (out[i].AllocsPerOp == 0 || r.AllocsPerOp < out[i].AllocsPerOp) {
+			out[i].AllocsPerOp = r.AllocsPerOp
+		}
 	}
 	return out, nil
 }
@@ -59,8 +69,14 @@ func readRecords(path string) ([]record, error) {
 type row struct {
 	Key        string
 	Base, Cur  float64 // ns/op; 0 marks a side with no record
-	Delta      float64 // normalized regression in percent (+ = slower)
-	Regression bool
+	Delta      float64 // normalized ns regression in percent (+ = slower)
+	Regression bool    // ns gate breached
+
+	BaseB, CurB           float64 // B/op; 0 marks no allocation record
+	DeltaB                float64 // raw B/op regression in percent
+	BaseAllocs, CurAllocs float64 // allocs/op
+	DeltaAllocs           float64
+	AllocRegression       bool // B/op or allocs/op gate breached
 }
 
 // result is the full comparison.
@@ -70,11 +86,11 @@ type result struct {
 	Calibration float64 // median current/baseline ratio (1 when not normalizing)
 }
 
-// Regressions returns the rows that breached the threshold.
+// Regressions returns the rows that breached either threshold.
 func (r result) Regressions() []row {
 	var out []row
 	for _, w := range r.Rows {
-		if w.Regression {
+		if w.Regression || w.AllocRegression {
 			out = append(out, w)
 		}
 	}
@@ -82,11 +98,15 @@ func (r result) Regressions() []row {
 }
 
 // compare matches current records against the baseline by benchmark key.
-// With normalize, each ratio is divided by the median ratio over the shared
-// set — the machine-speed calibration — before the threshold applies, so a
-// baseline committed on one machine still gates code regressions on
-// another. One-sided benchmarks are listed but never regress.
-func compare(base, cur []record, threshold float64, normalize bool) result {
+// With normalize, each ns ratio is divided by the median ratio over the
+// shared set — the machine-speed calibration — before the ns threshold
+// applies, so a baseline committed on one machine still gates code
+// regressions on another. Allocation metrics (B/op, allocs/op) are
+// hardware-independent, so they gate raw against their own allocThreshold,
+// with no calibration; a side missing allocation data (older records) is
+// listed but never alloc-gated. One-sided benchmarks are listed but never
+// regress.
+func compare(base, cur []record, threshold, allocThreshold float64, normalize bool) result {
 	bm := make(map[string]record, len(base))
 	for _, r := range base {
 		bm[r.key()] = r
@@ -121,12 +141,22 @@ func compare(base, cur []record, threshold float64, normalize bool) result {
 	for _, k := range order {
 		c := cm[k]
 		b, ok := bm[k]
-		w := row{Key: k, Cur: c.NsPerOp}
+		w := row{Key: k, Cur: c.NsPerOp, CurB: c.BPerOp, CurAllocs: c.AllocsPerOp}
 		if ok && b.NsPerOp > 0 {
 			res.Shared++
 			w.Base = b.NsPerOp
 			w.Delta = (c.NsPerOp/b.NsPerOp/calibration - 1) * 100
 			w.Regression = w.Delta > threshold
+			if b.BPerOp > 0 && c.BPerOp > 0 {
+				w.BaseB = b.BPerOp
+				w.DeltaB = (c.BPerOp/b.BPerOp - 1) * 100
+				w.AllocRegression = w.AllocRegression || w.DeltaB > allocThreshold
+			}
+			if b.AllocsPerOp > 0 && c.AllocsPerOp > 0 {
+				w.BaseAllocs = b.AllocsPerOp
+				w.DeltaAllocs = (c.AllocsPerOp/b.AllocsPerOp - 1) * 100
+				w.AllocRegression = w.AllocRegression || w.DeltaAllocs > allocThreshold
+			}
 		}
 		res.Rows = append(res.Rows, w)
 	}
@@ -140,17 +170,17 @@ func compare(base, cur []record, threshold float64, normalize bool) result {
 	}
 	sort.Strings(missing)
 	for _, k := range missing {
-		res.Rows = append(res.Rows, row{Key: k, Base: bm[k].NsPerOp})
+		res.Rows = append(res.Rows, row{Key: k, Base: bm[k].NsPerOp, BaseB: bm[k].BPerOp, BaseAllocs: bm[k].AllocsPerOp})
 	}
 	return res
 }
 
 // markdownTable renders the comparison for the job summary.
-func markdownTable(res result, threshold float64, normalize bool) string {
+func markdownTable(res result, threshold, allocThreshold float64, normalize bool) string {
 	var b strings.Builder
 	b.WriteString("## Benchmark comparison\n\n")
 	if normalize {
-		fmt.Fprintf(&b, "Machine calibration (median current/baseline ratio): %.3f — deltas are relative to it.\n\n", res.Calibration)
+		fmt.Fprintf(&b, "Machine calibration (median current/baseline ratio): %.3f — ns deltas are relative to it; B/op and allocs/op compare raw (hardware-independent), gated at %.0f%%.\n\n", res.Calibration, allocThreshold)
 		if res.Calibration < 0.5 || res.Calibration > 2 {
 			// Normalization is blind to a slowdown that hits every
 			// benchmark equally — a large drift is either a much
@@ -158,21 +188,32 @@ func markdownTable(res result, threshold float64, normalize bool) string {
 			fmt.Fprintf(&b, "⚠️ Calibration is far from 1: either the runner's speed changed or *every* benchmark moved together — the per-benchmark gate cannot tell. Compare absolute ns/op above, and re-baseline if the runner changed.\n\n")
 		}
 	}
-	b.WriteString("| benchmark | baseline ns/op | current ns/op | Δ (norm.) | status |\n")
-	b.WriteString("|---|---:|---:|---:|---|\n")
+	b.WriteString("| benchmark | baseline ns/op | current ns/op | Δns (norm.) | Δ B/op | Δ allocs/op | status |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---:|---|\n")
 	for _, w := range res.Rows {
 		status := "ok"
 		delta := fmt.Sprintf("%+.1f%%", w.Delta)
+		deltaB, deltaAllocs := "—", "—"
+		if w.BaseB > 0 && w.CurB > 0 {
+			deltaB = fmt.Sprintf("%+.1f%%", w.DeltaB)
+		}
+		if w.BaseAllocs > 0 && w.CurAllocs > 0 {
+			deltaAllocs = fmt.Sprintf("%+.1f%%", w.DeltaAllocs)
+		}
 		switch {
 		case w.Base == 0:
 			status, delta = "new", "—"
 		case w.Cur == 0:
 			status, delta = "baseline only", "—"
+		case w.Regression && w.AllocRegression:
+			status = fmt.Sprintf("**REGRESSION** (ns > %.0f%%, allocs > %.0f%%)", threshold, allocThreshold)
 		case w.Regression:
-			status = fmt.Sprintf("**REGRESSION** (> %.0f%%)", threshold)
+			status = fmt.Sprintf("**REGRESSION** (ns > %.0f%%)", threshold)
+		case w.AllocRegression:
+			status = fmt.Sprintf("**REGRESSION** (allocs > %.0f%%)", allocThreshold)
 		}
-		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n",
-			w.Key, fmtNs(w.Base), fmtNs(w.Cur), delta, status)
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s | %s |\n",
+			w.Key, fmtNs(w.Base), fmtNs(w.Cur), delta, deltaB, deltaAllocs, status)
 	}
 	return b.String()
 }

@@ -20,7 +20,7 @@ func TestCompareFlagsRealRegression(t *testing.T) {
 	}
 	cur := append([]record(nil), base...)
 	cur[2] = rec("parallel", 10000, "exec-seq", 1000) // 2x slower
-	res := compare(base, cur, 25, true)
+	res := compare(base, cur, 25, 30, true)
 	regs := res.Regressions()
 	if len(regs) != 1 || regs[0].Key != "parallel/n=10000/exec-seq" {
 		t.Fatalf("expected exactly the doubled benchmark to regress, got %+v", regs)
@@ -40,7 +40,7 @@ func TestCompareNormalizesMachineSpeed(t *testing.T) {
 		r.NsPerOp *= 3
 		cur = append(cur, r)
 	}
-	res := compare(base, cur, 25, true)
+	res := compare(base, cur, 25, 30, true)
 	if regs := res.Regressions(); len(regs) != 0 {
 		t.Fatalf("a uniform slowdown must normalize away, got regressions %+v", regs)
 	}
@@ -49,7 +49,7 @@ func TestCompareNormalizesMachineSpeed(t *testing.T) {
 	}
 	// The same data without normalization must trip on every benchmark —
 	// the raw mode exists for same-machine comparisons only.
-	if regs := compare(base, cur, 25, false).Regressions(); len(regs) != len(base) {
+	if regs := compare(base, cur, 25, 30, false).Regressions(); len(regs) != len(base) {
 		t.Fatalf("raw mode should flag all %d benchmarks, got %d", len(base), len(regs))
 	}
 }
@@ -60,16 +60,63 @@ func TestCompareNormalizesMachineSpeed(t *testing.T) {
 func TestCompareOneSidedBenchmarks(t *testing.T) {
 	base := []record{rec("parallel", 10000, "exec-seq", 500), rec("parallel", 10000, "exec-par8", 100)}
 	cur := []record{rec("parallel", 10000, "exec-seq", 500), rec("parallel", 10000, "exec-par4", 150)}
-	res := compare(base, cur, 25, true)
+	res := compare(base, cur, 25, 30, true)
 	if regs := res.Regressions(); len(regs) != 0 {
 		t.Fatalf("one-sided benchmarks must not regress, got %+v", regs)
 	}
-	table := markdownTable(res, 25, true)
+	table := markdownTable(res, 25, 30, true)
 	if !strings.Contains(table, "new") || !strings.Contains(table, "baseline only") {
 		t.Fatalf("table must mark one-sided rows:\n%s", table)
 	}
 	if res.Shared != 1 {
 		t.Fatalf("exactly one shared benchmark expected, got %d", res.Shared)
+	}
+}
+
+func recAlloc(bench string, rows int, engine string, ns, b, allocs float64) record {
+	return record{Bench: bench, Rows: rows, Engine: engine, NsPerOp: ns, BPerOp: b, AllocsPerOp: allocs}
+}
+
+// TestCompareAllocGate: allocation counts are hardware-independent, so a
+// B/op or allocs/op jump gates raw — even when the ns side is calm and even
+// on a uniformly slower machine whose ns calibration is far from 1.
+func TestCompareAllocGate(t *testing.T) {
+	base := []record{
+		recAlloc("engines", 1000, "exec", 100, 4096, 64),
+		recAlloc("engines", 10000, "exec", 1000, 40960, 640),
+		recAlloc("parallel", 10000, "exec-seq", 500, 20480, 320),
+	}
+	var cur []record
+	for _, r := range base {
+		r.NsPerOp *= 3 // slower machine: ns gate must stay calm
+		cur = append(cur, r)
+	}
+	cur[1].BPerOp *= 2 // but this one also doubles its bytes per op
+	res := compare(base, cur, 25, 30, true)
+	regs := res.Regressions()
+	if len(regs) != 1 || regs[0].Key != "engines/n=10000/exec" || !regs[0].AllocRegression || regs[0].Regression {
+		t.Fatalf("expected exactly the doubled-B/op benchmark to alloc-regress, got %+v", regs)
+	}
+	table := markdownTable(res, 25, 30, true)
+	if !strings.Contains(table, "allocs > 30%") {
+		t.Fatalf("table must name the allocation gate:\n%s", table)
+	}
+
+	// allocs/op regressions gate independently of B/op.
+	cur2 := append([]record(nil), base...)
+	cur2[2] = recAlloc("parallel", 10000, "exec-seq", 500, 20480, 500)
+	if regs := compare(base, cur2, 25, 30, true).Regressions(); len(regs) != 1 || !regs[0].AllocRegression {
+		t.Fatalf("allocs/op jump must gate, got %+v", regs)
+	}
+}
+
+// TestCompareAllocMissingData: records without allocation fields (old
+// baselines) list but never alloc-gate.
+func TestCompareAllocMissingData(t *testing.T) {
+	base := []record{rec("engines", 1000, "exec", 100)} // no alloc data
+	cur := []record{recAlloc("engines", 1000, "exec", 100, 1<<30, 1<<20)}
+	if regs := compare(base, cur, 25, 30, true).Regressions(); len(regs) != 0 {
+		t.Fatalf("missing baseline alloc data must not gate, got %+v", regs)
 	}
 }
 
@@ -96,9 +143,9 @@ func TestReadRecordsTakesFastest(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "r.json")
 	data := `[
-	 {"bench":"engines","rows":1000,"engine":"exec","ns_per_op":900},
-	 {"bench":"engines","rows":1000,"engine":"exec","ns_per_op":500},
-	 {"bench":"engines","rows":1000,"engine":"exec","ns_per_op":700}
+	 {"bench":"engines","rows":1000,"engine":"exec","ns_per_op":900,"b_per_op":5000,"allocs_per_op":70},
+	 {"bench":"engines","rows":1000,"engine":"exec","ns_per_op":500,"b_per_op":6000,"allocs_per_op":90},
+	 {"bench":"engines","rows":1000,"engine":"exec","ns_per_op":700,"b_per_op":4000,"allocs_per_op":60}
 	]`
 	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
 		t.Fatal(err)
@@ -109,5 +156,8 @@ func TestReadRecordsTakesFastest(t *testing.T) {
 	}
 	if len(rs) != 1 || rs[0].NsPerOp != 500 {
 		t.Fatalf("want one record at the 500ns floor, got %+v", rs)
+	}
+	if rs[0].BPerOp != 4000 || rs[0].AllocsPerOp != 60 {
+		t.Fatalf("allocation metrics must take their own floors, got %+v", rs[0])
 	}
 }

@@ -3,21 +3,25 @@
 // BENCH_JSON collector) against the committed BENCH_baseline.json, prints a
 // markdown comparison table (appended to the GitHub job summary when
 // GITHUB_STEP_SUMMARY is set), and exits non-zero when any shared
-// benchmark regresses by more than the threshold.
+// benchmark regresses by more than a threshold.
 //
 // Usage:
 //
-//	benchdiff -baseline BENCH_baseline.json -current BENCH_engines.json [-threshold 25] [-normalize=false]
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_engines.json [-threshold 25] [-alloc-threshold 30] [-normalize=false]
 //
-// Because the baseline is committed from one machine and CI runs on
-// another, raw ns/op comparisons would gate on hardware, not code. With
-// -normalize (the default) every current/baseline ratio is divided by the
-// median ratio across all shared benchmarks — the machine-speed
-// calibration — so the gate fires on benchmarks that got slower *relative
-// to the rest of the suite*, which is what a code regression looks like on
-// any hardware. Benchmarks present on only one side (e.g. the
-// GOMAXPROCS-wide parallel records, whose worker count follows the host)
-// are reported but never fail the gate.
+// Two gates run per shared benchmark. Wall-clock: because the baseline is
+// committed from one machine and CI runs on another, raw ns/op comparisons
+// would gate on hardware, not code; with -normalize (the default) every
+// current/baseline ratio is divided by the median ratio across all shared
+// benchmarks — the machine-speed calibration — so the gate fires on
+// benchmarks that got slower *relative to the rest of the suite*, which is
+// what a code regression looks like on any hardware. Allocations: B/op and
+// allocs/op are hardware-independent counts, so they compare raw against
+// -alloc-threshold with no calibration — an allocation regression is the
+// same number on every machine. Benchmarks present on only one side (e.g.
+// the GOMAXPROCS-wide parallel records, whose worker count follows the
+// host) are reported but never fail either gate, as are records without
+// allocation data (pre-gate baselines).
 package main
 
 import (
@@ -29,8 +33,9 @@ import (
 func main() {
 	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline records")
 	current := flag.String("current", "BENCH_engines.json", "freshly measured records")
-	threshold := flag.Float64("threshold", 25, "maximum tolerated regression in percent")
-	normalize := flag.Bool("normalize", true, "calibrate away machine speed via the median current/baseline ratio")
+	threshold := flag.Float64("threshold", 25, "maximum tolerated ns/op regression in percent")
+	allocThreshold := flag.Float64("alloc-threshold", 30, "maximum tolerated B/op or allocs/op regression in percent")
+	normalize := flag.Bool("normalize", true, "calibrate away machine speed via the median current/baseline ratio (ns gate only)")
 	flag.Parse()
 
 	base, err := readRecords(*baseline)
@@ -44,8 +49,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	result := compare(base, cur, *threshold, *normalize)
-	table := markdownTable(result, *threshold, *normalize)
+	result := compare(base, cur, *threshold, *allocThreshold, *normalize)
+	table := markdownTable(result, *threshold, *allocThreshold, *normalize)
 	fmt.Print(table)
 	if summary := os.Getenv("GITHUB_STEP_SUMMARY"); summary != "" {
 		f, err := os.OpenFile(summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
@@ -55,9 +60,10 @@ func main() {
 		}
 	}
 	if n := len(result.Regressions()); n > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.0f%%\n", n, *threshold)
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed (ns > %.0f%% or allocs > %.0f%%)\n",
+			n, *threshold, *allocThreshold)
 		os.Exit(1)
 	}
-	fmt.Printf("\nbenchdiff: no regression beyond %.0f%% across %d shared benchmark(s)\n",
-		*threshold, result.Shared)
+	fmt.Printf("\nbenchdiff: no regression beyond %.0f%% ns / %.0f%% allocs across %d shared benchmark(s)\n",
+		*threshold, *allocThreshold, result.Shared)
 }

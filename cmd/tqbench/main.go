@@ -8,14 +8,18 @@
 //	tqbench -run E7          # run one experiment
 //	tqbench -engine exec     # run on the streaming hash engine
 //	tqbench -engine exec -parallel 8   # morsel-parallel engine, 8 workers
+//	tqbench -engine exec -mem 16M      # memory-bounded engine, spilling past 16MB
 //	tqbench -quiet           # status lines only
 //
 // -engine selects the physical engine for plan evaluation and stratum
 // subplans ("reference", "exec" or "parallel"); -parallel sets the worker
-// count of the morsel-parallel engine. All engines agree list-exactly, so
-// the artifacts must come out identical either way — running with -engine
-// exec (or parallel) doubles as an end-to-end differential check (E11 pins
-// the engines head-to-head, E13 the parallel scaling curve).
+// count of the morsel-parallel engine; -mem bounds the exec engine's
+// blocking-operator working sets (grace-hash spilling to temp files; "64K",
+// "16M", "1G" or plain bytes). All engines agree list-exactly at every
+// budget, so the artifacts must come out identical either way — running
+// with -engine exec (or parallel, or a -mem budget) doubles as an
+// end-to-end differential check (E11 pins the engines head-to-head, E13
+// the parallel scaling curve, E14 the throughput-vs-budget curve).
 package main
 
 import (
@@ -28,13 +32,19 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "", "run only the experiment with this id (E1..E13)")
+	run := flag.String("run", "", "run only the experiment with this id (E1..E14)")
 	engine := flag.String("engine", "reference", "physical engine: 'reference', 'exec' or 'parallel'")
 	parallel := flag.Int("parallel", 0, "worker count for the morsel-parallel engine (with -engine exec|parallel)")
+	mem := flag.String("mem", "", "memory budget for the exec engine's blocking operators, e.g. 64K, 16M (0/empty = unlimited)")
 	quiet := flag.Bool("quiet", false, "print status lines only")
 	flag.Parse()
 
-	spec, err := core.EngineSpecWith(*engine, *parallel)
+	budget, err := core.ParseBytes(*mem)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tqbench: -mem: %v\n", err)
+		os.Exit(2)
+	}
+	spec, err := core.EngineSpecWith(*engine, *parallel, budget)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tqbench: %v\n", err)
 		os.Exit(2)

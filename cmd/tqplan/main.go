@@ -8,13 +8,15 @@
 //
 // Usage:
 //
-//	tqplan [-db paper|synth] [-employees N] [-engine reference|exec|parallel] [-parallel N] [-sorted] [-enumerate] [-execute] [-q query]
+//	tqplan [-db paper|synth] [-employees N] [-engine reference|exec|parallel] [-parallel N] [-mem BYTES] [-sorted] [-enumerate] [-execute] [-q query]
 //
 // The default query is the paper's running example. -engine selects the
 // physical engine for stratum-assigned subplans: the reference evaluator
 // (the executable specification), the streaming hash/merge exec engine, or
-// its morsel-parallel variant (-parallel sets the worker count); all
-// produce identical results. -sorted pre-sorts every base relation on
+// its morsel-parallel variant (-parallel sets the worker count); -mem
+// bounds the exec engine's blocking-operator working sets, spilling
+// grace-hash partitions to temp files past the budget ("64K", "16M", plain
+// bytes); all produce identical results. -sorted pre-sorts every base relation on
 // its value attributes and declares the order in the catalog, feeding the
 // order-aware planner. With -engine exec the chosen plan is wrapped in an
 // order-enforcing sort (the ≡SQL contract made physical), annotated with
@@ -43,12 +45,18 @@ func main() {
 	query := flag.String("q", experiments.PaperQuerySQL, "temporal SQL statement")
 	engine := flag.String("engine", "reference", "physical engine for stratum subplans: 'reference', 'exec' or 'parallel'")
 	parallel := flag.Int("parallel", 0, "worker count for the morsel-parallel engine (with -engine exec|parallel)")
+	mem := flag.String("mem", "", "memory budget for the exec engine's blocking operators, e.g. 64K, 16M (0/empty = unlimited)")
 	sorted := flag.Bool("sorted", false, "pre-sort base relations on their value attributes and declare the order")
 	enumerate := flag.Bool("enumerate", false, "list every enumerated plan")
 	execute := flag.Bool("execute", true, "execute the chosen plan and print the result")
 	flag.Parse()
 
-	spec, err := tqp.ResolveEngineWith(*engine, *parallel)
+	budget, err := core.ParseBytes(*mem)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tqplan: -mem: %v\n", err)
+		os.Exit(2)
+	}
+	spec, err := tqp.ResolveEngineWith(*engine, *parallel, budget)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tqplan: %v\n", err)
 		os.Exit(2)
@@ -135,10 +143,12 @@ func main() {
 		sum := physical.Summarize(dec)
 		awareParams := cost.ParamsFor(true)
 		awareParams.Parallelism = spec.Parallelism
+		awareParams.MemoryBudget = spec.MemoryBudget
 		awareCost, err1 := cost.New(cat, awareParams).Cost(final)
 		blindParams := cost.ParamsFor(true)
 		blindParams.OrderBlind = true
 		blindParams.Parallelism = spec.Parallelism
+		blindParams.MemoryBudget = spec.MemoryBudget
 		blindCost, err2 := cost.New(cat, blindParams).Cost(final)
 		if err1 != nil || err2 != nil {
 			fmt.Fprintf(os.Stderr, "tqplan: cost: %v %v\n", err1, err2)

@@ -19,19 +19,33 @@ import (
 	"strings"
 
 	"tqp"
+	"tqp/internal/core"
 )
 
 func main() {
 	db := flag.String("db", "paper", "database: 'paper' or 'synth'")
 	employees := flag.Int("employees", 50, "synthetic database size (with -db synth)")
+	engine := flag.String("engine", "reference", "physical engine for stratum subplans: 'reference', 'exec' or 'parallel'")
+	parallel := flag.Int("parallel", 0, "worker count for the morsel-parallel engine (with -engine exec|parallel)")
+	mem := flag.String("mem", "", "memory budget for the exec engine's blocking operators, e.g. 64K, 16M (0/empty = unlimited)")
 	flag.Parse()
 
+	budget, err := core.ParseBytes(*mem)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tqshell: -mem: %v\n", err)
+		os.Exit(2)
+	}
+	spec, err := tqp.ResolveEngineWith(*engine, *parallel, budget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tqshell: %v\n", err)
+		os.Exit(2)
+	}
 	cat, err := openCatalog(*db, *employees)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tqshell: %v\n", err)
 		os.Exit(2)
 	}
-	repl(cat, *db, os.Stdin, os.Stdout)
+	replWith(cat, *db, spec, os.Stdin, os.Stdout)
 }
 
 // openCatalog resolves the -db flag to a catalog instance.
@@ -49,9 +63,20 @@ func openCatalog(db string, employees int) (*tqp.Catalog, error) {
 }
 
 // repl runs the session loop over an explicit input and output, so a test
-// can script a session through a pipe.
+// can script a session through a pipe; the engine is the reference spec.
 func repl(cat *tqp.Catalog, dbName string, in io.Reader, out io.Writer) {
-	opt := tqp.NewOptimizer(cat)
+	replWith(cat, dbName, tqp.EngineSpec{}, in, out)
+}
+
+// replWith is repl on an explicit physical engine (tqshell's -engine,
+// -parallel and -mem flags resolve to one); a zero spec means the
+// optimizer's default, the reference evaluator.
+func replWith(cat *tqp.Catalog, dbName string, spec tqp.EngineSpec, in io.Reader, out io.Writer) {
+	var opts []tqp.OptimizerOption
+	if spec.New != nil {
+		opts = append(opts, tqp.WithEngine(spec))
+	}
+	opt := tqp.NewOptimizer(cat, opts...)
 
 	fmt.Fprintln(out, "tqp shell — temporal SQL over the", dbName, "database; \\q quits, \\d lists relations")
 	sc := bufio.NewScanner(in)

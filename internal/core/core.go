@@ -11,7 +11,9 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"runtime"
+	"strconv"
 
 	"tqp/internal/algebra"
 	"tqp/internal/catalog"
@@ -44,20 +46,31 @@ type Option func(*Optimizer)
 // package exec, "parallel" its morsel-parallel variant at GOMAXPROCS
 // workers. All produce identical result lists; they differ in speed and
 // therefore in the cost shapes the optimizer assumes.
-func EngineSpec(name string) (eval.EngineSpec, error) { return EngineSpecWith(name, 0) }
+func EngineSpec(name string) (eval.EngineSpec, error) { return EngineSpecWith(name, 0, 0) }
 
-// EngineSpecWith resolves an engine name with an explicit worker count (the
-// CLIs' -parallel flag): parallelism > 1 selects the morsel-parallel exec
-// engine at that width under "exec" or "parallel"; the reference evaluator
-// is single-threaded and rejects a parallelism request.
-func EngineSpecWith(name string, parallelism int) (eval.EngineSpec, error) {
+// EngineSpecWith resolves an engine name with an explicit worker count and
+// memory budget (the CLIs' -parallel and -mem flags): parallelism > 1
+// selects the morsel-parallel exec engine at that width under "exec" or
+// "parallel", and memBudget > 0 bounds the exec engine's blocking-operator
+// working sets with grace-hash spilling to temp files. The reference
+// evaluator is single-threaded and unbudgeted; it rejects both requests.
+func EngineSpecWith(name string, parallelism int, memBudget int64) (eval.EngineSpec, error) {
+	if memBudget < 0 {
+		return eval.EngineSpec{}, fmt.Errorf("core: negative memory budget %d", memBudget)
+	}
 	switch name {
 	case "", "reference":
 		if parallelism > 1 {
 			return eval.EngineSpec{}, fmt.Errorf("core: the reference evaluator is single-threaded; use -engine exec with -parallel %d", parallelism)
 		}
+		if memBudget > 0 {
+			return eval.EngineSpec{}, fmt.Errorf("core: the reference evaluator does not spill; use -engine exec with -mem")
+		}
 		return eval.Reference(), nil
 	case "exec":
+		if memBudget > 0 {
+			return exec.BudgetedSpec(parallelism, memBudget), nil
+		}
 		if parallelism > 1 {
 			return exec.ParallelSpec(parallelism), nil
 		}
@@ -66,10 +79,39 @@ func EngineSpecWith(name string, parallelism int) (eval.EngineSpec, error) {
 		if parallelism < 1 {
 			parallelism = runtime.GOMAXPROCS(0)
 		}
+		if memBudget > 0 {
+			return exec.BudgetedSpec(parallelism, memBudget), nil
+		}
 		return exec.ParallelSpec(parallelism), nil
 	default:
 		return eval.EngineSpec{}, fmt.Errorf("core: unknown engine %q (want \"reference\", \"exec\" or \"parallel\")", name)
 	}
+}
+
+// ParseBytes parses a human-friendly byte count for the CLIs' -mem flags:
+// a plain integer is bytes, and a K/M/G suffix (case-insensitive) scales by
+// the binary unit ("64K", "16M", "1G"). Empty and "0" mean unlimited.
+func ParseBytes(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("core: bad byte count %q (want e.g. 65536, 64K, 16M)", s)
+	}
+	if n > math.MaxInt64/mult {
+		return 0, fmt.Errorf("core: byte count %q overflows", s)
+	}
+	return n * mult, nil
 }
 
 // WithEngine selects the physical engine that executes stratum-assigned
@@ -82,8 +124,10 @@ func WithEngine(spec eval.EngineSpec) Option {
 		// Price order-exploiting variants only for engines that compile
 		// them (spec.OrderAware); otherwise fall back to the blind shapes.
 		p.OrderBlind = !spec.OrderAware
-		// Price partitioned operators with the engine's fan-out width.
+		// Price partitioned operators with the engine's fan-out width, and
+		// spilling against the engine's memory budget.
 		p.Parallelism = spec.Parallelism
+		p.MemoryBudget = spec.MemoryBudget
 		o.model = cost.New(o.cat, p)
 	}
 }

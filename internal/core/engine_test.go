@@ -21,14 +21,17 @@ func TestRunOnBothEngines(t *testing.T) {
 	for _, tc := range []struct {
 		name     string
 		parallel int
+		mem      int64
 		want     string
 	}{
-		{"reference", 0, "reference"},
-		{"exec", 0, "exec"},
-		{"exec", 4, "exec-par4"},
-		{"parallel", 2, "exec-par2"},
+		{"reference", 0, 0, "reference"},
+		{"exec", 0, 0, "exec"},
+		{"exec", 4, 0, "exec-par4"},
+		{"parallel", 2, 0, "exec-par2"},
+		{"exec", 0, 64 << 10, "exec-mem64K"},
+		{"exec", 2, 16 << 20, "exec-par2-mem16M"},
 	} {
-		spec, err := core.EngineSpecWith(tc.name, tc.parallel)
+		spec, err := core.EngineSpecWith(tc.name, tc.parallel, tc.mem)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -58,11 +61,43 @@ func TestEngineSpecRejectsUnknown(t *testing.T) {
 	if err != nil || spec.Name != "reference" {
 		t.Fatalf("empty name must default to the reference engine, got %q, %v", spec.Name, err)
 	}
-	if _, err := core.EngineSpecWith("reference", 8); err == nil {
+	if _, err := core.EngineSpecWith("reference", 8, 0); err == nil {
 		t.Fatal("the single-threaded reference evaluator must reject a parallelism request")
 	}
-	spec, err = core.EngineSpecWith("parallel", 0)
+	if _, err := core.EngineSpecWith("reference", 0, 1<<20); err == nil {
+		t.Fatal("the reference evaluator must reject a memory budget")
+	}
+	if _, err := core.EngineSpecWith("exec", 0, -1); err == nil {
+		t.Fatal("a negative memory budget must be rejected")
+	}
+	spec, err = core.EngineSpecWith("parallel", 0, 0)
 	if err != nil || spec.Parallelism < 1 {
 		t.Fatalf("'parallel' must default to a positive worker count, got %d, %v", spec.Parallelism, err)
+	}
+	spec, err = core.EngineSpecWith("exec", 0, 64<<10)
+	if err != nil || spec.MemoryBudget != 64<<10 {
+		t.Fatalf("budgeted spec must carry its budget, got %d, %v", spec.MemoryBudget, err)
+	}
+}
+
+// TestParseBytes pins the -mem flag syntax.
+func TestParseBytes(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+	}{
+		{"", 0}, {"0", 0}, {"65536", 65536},
+		{"64K", 64 << 10}, {"64k", 64 << 10},
+		{"16M", 16 << 20}, {"2g", 2 << 30},
+	} {
+		got, err := core.ParseBytes(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseBytes(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"x", "-1", "12xy3", "K", "17179869184G", "9223372036854775807M"} {
+		if _, err := core.ParseBytes(bad); err == nil {
+			t.Errorf("ParseBytes(%q) should fail", bad)
+		}
 	}
 }

@@ -80,6 +80,22 @@ type Params struct {
 	// GatherTuple is the per-tuple cost of the deterministic ordered gather
 	// (one k-way merge step by sequence key and partition index).
 	GatherTuple float64
+	// MemoryBudget is the exec engine's working-set bound in bytes; 0 means
+	// unlimited. When an operator's estimated materialized state exceeds
+	// the per-worker budget share, the model adds the grace-hash spill
+	// shape: every input tuple pays one SpillWrite and one SpillRead. This
+	// is what lets the beam trade an explicit sort (whose streaming variant
+	// never materializes) against a spilling hash operator.
+	MemoryBudget int64
+	// SpillWrite is the per-tuple cost of encoding and writing one tuple to
+	// a spill partition.
+	SpillWrite float64
+	// SpillRead is the per-tuple cost of reading and decoding one spilled
+	// tuple back.
+	SpillRead float64
+	// TupleBytes estimates the resident bytes of one tuple, converting
+	// cardinality estimates into working-set bytes for the spill decision.
+	TupleBytes float64
 }
 
 // DefaultParams returns the calibration used by the experiments, matching
@@ -98,6 +114,9 @@ func DefaultParams() Params {
 		MergeUnitsFactor:    0.5,
 		ExchangeTuple:       0.2,
 		GatherTuple:         0.05,
+		SpillWrite:          0.8,
+		SpillRead:           0.6,
+		TupleBytes:          192,
 	}
 }
 
@@ -123,6 +142,44 @@ func (p Params) parallelShape(own, inRows, outRows float64) float64 {
 		return own
 	}
 	return own/float64(p.Parallelism) + inRows*p.ExchangeTuple + outRows*p.GatherTuple
+}
+
+// memShare is the per-worker budget share the engine compares operator
+// state against (exec's opShare, estimate-side).
+func (p Params) memShare() float64 {
+	w := p.Parallelism
+	if w < 1 {
+		w = 1
+	}
+	return float64(p.MemoryBudget) / float64(w)
+}
+
+// spillShape adds the grace-hash spill charge when an operator's estimated
+// materialized state — inRows tuples at TupleBytes each — exceeds the
+// per-worker budget share: one spill write and one read per input tuple
+// (recursive re-partitioning passes are rare and left unpriced).
+func (p Params) spillShape(own, inRows float64) float64 {
+	if p.MemoryBudget <= 0 || inRows*p.TupleBytes <= p.memShare() {
+		return own
+	}
+	return own + inRows*(p.SpillWrite+p.SpillRead)
+}
+
+// spillExempt reports the compilations whose budgeted state is bounded
+// without partitioning, so no spill charge applies however large the
+// input: the streaming group-at-a-time merge family, which the budgeted
+// engine prefers whenever the delivered order proves groups contiguous.
+// The two-sided merge variants (diff/union/join) still materialize a side,
+// so the budgeted engine graces them and they stay priced.
+func spillExempt(op algebra.Op, ordered bool) bool {
+	if !ordered {
+		return false
+	}
+	switch op {
+	case algebra.OpRdup, algebra.OpAggregate, algebra.OpTRdup, algebra.OpCoal, algebra.OpTAggregate:
+		return true
+	}
+	return false
 }
 
 // ParamsFor returns the calibration for a stratum engine: the default
@@ -156,10 +213,14 @@ func OpUnits(op algebra.Op, rows int, tupleCost, penalty float64, streaming bool
 func (p Params) OpUnitsOrdered(op algebra.Op, rows int, tupleCost, penalty float64, streaming, ordered bool) float64 {
 	units := p.opUnitsSequential(op, rows, tupleCost, penalty, streaming, ordered)
 	// An ordered sort is an elided sort — a compiled-away no-op with no
-	// exchange to meter. Ordered grouping operators keep the shape: they
-	// still fan out, through the range exchange.
+	// exchange to meter and no state to spill. Ordered grouping operators
+	// keep both shapes: they still fan out (range exchange) and, budgeted,
+	// their materializing variants still partition to disk.
 	if streaming && partitionedOp(op) && !(op == algebra.OpSort && ordered) {
 		units = p.parallelShape(units, float64(rows), float64(rows))
+		if !spillExempt(op, ordered) {
+			units = p.spillShape(units, float64(rows))
+		}
 	}
 	return units
 }
@@ -317,13 +378,27 @@ func (m *Model) node(n algebra.Node, st props.States, es Estimates) (Estimate, e
 func (m *Model) estimate(n algebra.Node, site props.Site, ce []Estimate, orders []relation.OrderSpec) Estimate {
 	est := m.estimateOne(n, site, ce, orders)
 	p := m.params
-	if p.Streaming && site != props.DBMS && p.Parallelism > 1 &&
+	// The sequential unbudgeted configuration — the common case, paid per
+	// candidate plan by the beam search — takes neither shape; skip the
+	// decision work outright.
+	if (p.Parallelism > 1 || p.MemoryBudget > 0) && p.Streaming && site != props.DBMS &&
 		partitionedOp(n.Op()) && m.parallelApplies(n, orders) {
 		in := 0.0
 		for _, c := range ce {
 			in += c.Rows
 		}
-		est.Cost = p.parallelShape(est.Cost, in, est.Rows)
+		if p.Parallelism > 1 {
+			est.Cost = p.parallelShape(est.Cost, in, est.Rows)
+		}
+		if p.MemoryBudget > 0 {
+			ordered := false
+			if !p.OrderBlind {
+				ordered = physical.Decide(n, orders).Ordered()
+			}
+			if !spillExempt(n.Op(), ordered) {
+				est.Cost = p.spillShape(est.Cost, in)
+			}
+		}
 	}
 	return est
 }

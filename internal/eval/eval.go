@@ -70,6 +70,12 @@ type EngineSpec struct {
 	// it to price partitioned operators as per-partition work plus exchange
 	// and gather charges.
 	Parallelism int
+	// MemoryBudget is the working-set byte bound of a memory-bounded engine
+	// (exec's BudgetedSpec); 0 means unlimited. The cost model uses it to
+	// price grace-hash spilling (SpillWrite/SpillRead per tuple) on
+	// operators whose estimated state exceeds the per-worker budget share,
+	// so the optimizer can trade sorts against spilling hash operators.
+	MemoryBudget int64
 }
 
 // Reference returns the spec of this package's reference evaluator.

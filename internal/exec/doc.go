@@ -63,6 +63,16 @@
 // not just its order. Options.NoMerge restricts the engine to the hash
 // variants (the exec-hash spec), and Stats counts which variants compiled.
 //
+// Two further layers compose onto the same operator bodies without
+// changing any result list: the morsel-parallel exchange (parallel.go,
+// Options.Parallelism) partitions an operator's materialized inputs across
+// a worker pool and reassembles them through a deterministic sequence-key
+// gather, and the memory-bounded mode (grace.go, Options.MemoryBudget)
+// grace-hash partitions a blocking operator's too-big state to temp files
+// (package spill) and replays the partitions through that same gather —
+// budgeted plans run the identical per-partition algorithms, spilled or
+// not, sequential or parallel.
+//
 // # Adding a physical operator
 //
 // Add a case to (*Engine).build returning a source (iterator + schema +

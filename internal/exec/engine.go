@@ -7,6 +7,7 @@ import (
 	"tqp/internal/eval"
 	"tqp/internal/relation"
 	"tqp/internal/schema"
+	"tqp/internal/spill"
 )
 
 // Options select which order-exploiting physical variants the engine may
@@ -28,10 +29,27 @@ type Options struct {
 	// keeps every result list bit-identical to the sequential engine's.
 	// 0 or 1 compiles the sequential pipeline.
 	Parallelism int
+	// MemoryBudget bounds the working-set bytes of the blocking operators
+	// (hash tables, materialized build sides, sort runs; see grace.go). An
+	// operator whose state would exceed its share grace-hash partitions its
+	// inputs to temp files and processes one partition at a time, recursing
+	// while a partition still exceeds the share; the spilled partitions
+	// replay in original list order via sequence keys, so results stay
+	// bit-identical to the unbudgeted engine. 0 means unlimited (no
+	// spilling). With Parallelism > 1 the budget divides into per-worker
+	// shares: W partition tasks run concurrently, each bounded by budget/W.
+	MemoryBudget int64
+	// SpillDir is the directory spill files are created under (a fresh
+	// subdirectory per Eval, removed when the run ends — success or error).
+	// Empty means the system temp directory.
+	SpillDir string
 }
 
-// Stats counts the physical variants a single Engine instance compiled —
-// the run-time record that the order-exploiting paths actually fired.
+// Stats counts the physical variants the engine's most recent Eval
+// compiled and ran — the run-time record that the order-exploiting,
+// parallel and spilling paths actually fired. Eval resets the counters on
+// entry, so a reused Engine reports per-run stats, never an accumulation
+// across queries.
 type Stats struct {
 	SortsElided int // sort nodes compiled away (input already ordered)
 	MergeSorts  int // external merge sorts performed
@@ -39,6 +57,10 @@ type Stats struct {
 	MergeOps    int // merge diff/union/dedup and streaming group operators
 	ParallelOps int // operators compiled with a parallel exchange
 	Partitions  int // partitions fanned out across those operators
+
+	SpilledOps   int   // operators that exceeded their budget share and spilled
+	SpilledBytes int64 // encoded bytes written to spill files this run
+	PeakBytes    int64 // peak accounted working-set bytes this run
 }
 
 // Engine is the streaming hash- and merge-based engine. It implements
@@ -49,6 +71,11 @@ type Engine struct {
 	src   eval.Source
 	opts  Options
 	stats Stats
+
+	// Per-run memory-bounded execution state, set up by Eval when
+	// Options.MemoryBudget > 0 and torn down when the run ends.
+	mem      *arbiter
+	spillMgr *spill.Manager
 }
 
 // New returns an engine over src with every physical variant enabled.
@@ -59,9 +86,21 @@ func NewWith(src eval.Source, opts Options) *Engine {
 	return &Engine{src: src, opts: opts}
 }
 
-// Stats reports the physical-variant counters accumulated by this engine's
-// compilations so far.
+// Stats reports the physical-variant counters of the most recent Eval.
 func (e *Engine) Stats() Stats { return e.stats }
+
+// Close releases any spill state left behind by an interrupted run. Eval
+// removes its spill files on every path — success, error, panic — so Close
+// is idempotent insurance for holders that cache engines; it is always safe
+// to call, budgeted or not.
+func (e *Engine) Close() error {
+	if e.spillMgr != nil {
+		mgr := e.spillMgr
+		e.spillMgr = nil
+		return mgr.Cleanup()
+	}
+	return nil
+}
 
 // Spec returns this engine's spec for the stratum executor, the optimizer's
 // engine registry, and the cost model (Streaming selects the hash/one-pass
@@ -106,9 +145,67 @@ func ParallelSpec(n int) eval.EngineSpec {
 	}
 }
 
+// BudgetedSpec returns the memory-bounded engine: every physical variant
+// enabled, workers-way parallel when workers > 1, and the blocking
+// operators' working sets bounded by budget bytes with grace-hash spilling
+// to temp files (see grace.go). The cost model prices the spec's spill
+// shape (SpillWrite/SpillRead per tuple on operators whose estimated state
+// exceeds the budget share) through EngineSpec.MemoryBudget.
+func BudgetedSpec(workers int, budget int64) eval.EngineSpec {
+	if workers < 1 {
+		workers = 1
+	}
+	name := "exec"
+	if workers > 1 {
+		name = fmt.Sprintf("exec-par%d", workers)
+	}
+	if budget > 0 {
+		name += "-mem" + memString(budget)
+	}
+	return eval.EngineSpec{
+		Name: name,
+		New: func(src eval.Source) eval.Engine {
+			return NewWith(src, Options{Parallelism: workers, MemoryBudget: budget})
+		},
+		Streaming:    true,
+		OrderAware:   true,
+		Parallelism:  workers,
+		MemoryBudget: budget,
+	}
+}
+
+// memString renders a byte count compactly for engine names ("64K", "16M",
+// "1G", or plain bytes when not a whole unit).
+func memString(b int64) string {
+	switch {
+	case b >= 1<<30 && b%(1<<30) == 0:
+		return fmt.Sprintf("%dG", b>>30)
+	case b >= 1<<20 && b%(1<<20) == 0:
+		return fmt.Sprintf("%dM", b>>20)
+	case b >= 1<<10 && b%(1<<10) == 0:
+		return fmt.Sprintf("%dK", b>>10)
+	default:
+		return fmt.Sprintf("%d", b)
+	}
+}
+
 // Eval evaluates the tree rooted at n by building its iterator pipeline and
 // draining the root. The result's Order() carries the Table 1 guarantee.
+// Stats are reset on entry and describe this run alone. Under a memory
+// budget the run's spill files live in a fresh temp directory that is
+// removed before Eval returns, on the success and error paths alike.
 func (e *Engine) Eval(n algebra.Node) (*relation.Relation, error) {
+	e.stats = Stats{}
+	if e.opts.MemoryBudget > 0 {
+		e.mem = &arbiter{}
+		e.spillMgr = spill.NewManager(e.opts.SpillDir)
+		defer func() {
+			e.stats.SpilledBytes = e.spillMgr.BytesWritten()
+			e.stats.PeakBytes = e.mem.peakBytes()
+			e.Close()
+			e.mem = nil
+		}()
+	}
 	s, err := e.build(n)
 	if err != nil {
 		return nil, err

@@ -8,6 +8,7 @@ import (
 	"tqp/internal/physical"
 	"tqp/internal/relation"
 	"tqp/internal/schema"
+	"tqp/internal/spill"
 	"tqp/internal/value"
 )
 
@@ -284,10 +285,286 @@ func (m *mergeJoinIter) next() (relation.Tuple, error) {
 
 func (m *mergeJoinIter) close() error { return m.left.close() }
 
+// pairJoiner carries the physical parameters of one × / ×ᵀ compilation —
+// schemas, key columns, residual predicate, time positions — shared by the
+// parallel exchange (parallel.go) and the grace spill paths (grace.go), so
+// the pair-emission semantics exist exactly once.
+type pairJoiner struct {
+	out        *schema.Schema
+	lw, rw     int
+	lidx, ridx []int
+	residual   expr.Pred
+	temporal   bool
+	lt1, lt2   int
+	rt1, rt2   int
+	width      int
+}
+
+func newPairJoiner(l, r *source, out *schema.Schema, lidx, ridx []int, residual expr.Pred, temporal bool) *pairJoiner {
+	j := &pairJoiner{
+		out: out, lw: l.schema.Len(), rw: r.schema.Len(),
+		lidx: lidx, ridx: ridx, residual: residual, temporal: temporal,
+	}
+	j.width = j.lw + j.rw
+	if temporal {
+		j.width += 2
+		j.lt1, j.lt2 = l.schema.TimeIndices()
+		j.rt1, j.rt2 = r.schema.TimeIndices()
+	}
+	return j
+}
+
+// periodsOf precomputes the build side's periods (nil when conventional).
+func (j *pairJoiner) periodsOf(rows []relation.Tuple) []period.Period {
+	if !j.temporal {
+		return nil
+	}
+	ps := make([]period.Period, len(rows))
+	for i, t := range rows {
+		ps[i] = t.PeriodAt(j.rt1, j.rt2)
+	}
+	return ps
+}
+
+// pairOne emits the (probe, build) pair into a fresh tuple, or nil when the
+// temporal intersection is empty or the residual rejects it.
+func (j *pairJoiner) pairOne(lt relation.Tuple, curP period.Period, bt relation.Tuple, bp period.Period) (relation.Tuple, error) {
+	var iv period.Period
+	if j.temporal {
+		iv = curP.Intersect(bp)
+		if iv.Empty() {
+			return nil, nil
+		}
+	}
+	nt := make(relation.Tuple, j.width)
+	copy(nt, lt)
+	copy(nt[j.lw:], bt)
+	if j.temporal {
+		nt[j.lw+j.rw] = value.Time(iv.Start)
+		nt[j.lw+j.rw+1] = value.Time(iv.End)
+	}
+	if j.residual != nil {
+		ok, err := j.residual.Holds(j.out, nt)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+	}
+	return nt, nil
+}
+
+// joinChunk joins probe tuples (with their global positions) against one
+// build-side row set, appending tagged pairs in probe order. table/members,
+// when non-nil, restrict each probe tuple to its key group; rps carries the
+// precomputed build periods.
+func (j *pairJoiner) joinChunk(probe []relation.Tuple, origBase int, origs []int, brows []relation.Tuple, rps []period.Period, table *hashGroups, members [][]int) ([]tagged, error) {
+	var res []tagged
+	for pi, lt := range probe {
+		orig := origBase + pi
+		if origs != nil {
+			orig = origs[pi]
+		}
+		n := len(brows)
+		var group []int
+		if table != nil {
+			gid := table.lookup(lt, j.lidx)
+			if gid < 0 {
+				continue
+			}
+			group = members[gid]
+			n = len(group)
+		}
+		var curP period.Period
+		if j.temporal {
+			curP = lt.PeriodAt(j.lt1, j.lt2)
+		}
+		for k := 0; k < n; k++ {
+			bi := k
+			if group != nil {
+				bi = group[k]
+			}
+			var bp period.Period
+			if j.temporal {
+				bp = rps[bi]
+			}
+			nt, err := j.pairOne(lt, curP, brows[bi], bp)
+			if err != nil {
+				return nil, err
+			}
+			if nt != nil {
+				res = append(res, tagged{seq: orig, t: nt})
+			}
+		}
+	}
+	return res, nil
+}
+
+// joinPartition is the grace-bucket body: build a table over the bucket's
+// right rows, probe its left rows in sequence order.
+func (j *pairJoiner) joinPartition(lp, rp []prow) ([]tagged, error) {
+	brows := make([]relation.Tuple, len(rp))
+	for i, pr := range rp {
+		brows[i] = pr.t
+	}
+	table := newHashGroups(j.ridx, len(brows))
+	var members [][]int
+	for i, t := range brows {
+		gid, fresh := table.groupOf(t)
+		if fresh {
+			members = append(members, nil)
+		}
+		members[gid] = append(members[gid], i)
+	}
+	probe := make([]relation.Tuple, len(lp))
+	origs := make([]int, len(lp))
+	for i, pr := range lp {
+		probe[i] = pr.t
+		origs[i] = pr.orig
+	}
+	return j.joinChunk(probe, 0, origs, brows, j.periodsOf(brows), table, members)
+}
+
+// spillLoopIter is the memory-bounded keyless product: the build side, too
+// big for its share, lives in one spill file and is re-scanned per probe
+// tuple — the tuple-at-a-time nested loop with the inner relation on disk.
+// There is no key to grace-partition on, so this is the bounded fallback;
+// its output order is trivially the reference's left-major sequence. One
+// reader stays open across the whole probe side, rewound per probe tuple,
+// so the repeated scans reuse the file handle and buffer.
+type spillLoopIter struct {
+	left iterator
+	j    *pairJoiner
+
+	file *spill.File
+	r    *spill.Reader
+
+	cur  relation.Tuple
+	curP period.Period
+}
+
+func (s *spillLoopIter) next() (relation.Tuple, error) {
+	for {
+		if s.cur == nil {
+			t, err := s.left.next()
+			if err != nil {
+				return nil, err
+			}
+			if t == nil {
+				return nil, nil
+			}
+			s.cur = t
+			if s.j.temporal {
+				s.curP = t.PeriodAt(s.j.lt1, s.j.lt2)
+			}
+			if s.r == nil {
+				r, err := s.file.Open()
+				if err != nil {
+					return nil, err
+				}
+				s.r = r
+			} else if err := s.r.Rewind(); err != nil {
+				return nil, err
+			}
+		}
+		for {
+			_, bt, ok, err := s.r.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				s.cur = nil
+				break
+			}
+			var bp period.Period
+			if s.j.temporal {
+				bp = bt.PeriodAt(s.j.rt1, s.j.rt2)
+			}
+			nt, err := s.j.pairOne(s.cur, s.curP, bt, bp)
+			if err != nil {
+				return nil, err
+			}
+			if nt != nil {
+				return nt, nil
+			}
+		}
+	}
+}
+
+func (s *spillLoopIter) close() error {
+	if s.r != nil {
+		s.r.Close()
+		s.r = nil
+	}
+	return s.left.close()
+}
+
+// graceProductSource compiles the keyless × / ×ᵀ in memory-bounded mode:
+// the build side drains against the share; if it fits, the ordinary block
+// nested loop runs, otherwise the build side spills to one file and the
+// probe side streams against it.
+func (e *Engine) graceProductSource(l, r *source, j *pairJoiner, order relation.OrderSpec) *source {
+	return lazySource(j.out, order, func() ([]relation.Tuple, error) {
+		side, err := e.drainGrace(r, nil, e.opShare())
+		if err != nil {
+			l.it.close()
+			return nil, err
+		}
+		// The resident build side is this operator's working set; its
+		// accounting returns to the arbiter when the loop finishes.
+		defer e.releaseResident(side)
+		var it iterator
+		if !side.spilled {
+			brows := make([]relation.Tuple, len(side.rows))
+			for i, pr := range side.rows {
+				brows[i] = pr.t
+			}
+			rel := relation.FromTuplesTrusted(r.schema, brows)
+			it = &productIter{
+				left: l.it, right: &source{it: &sliceIter{ts: rel.Tuples(), owned: true}, schema: r.schema},
+				out: j.out, lw: j.lw, rw: j.rw, residual: j.residual,
+				temporal: j.temporal, lt1: j.lt1, lt2: j.lt2,
+			}
+		} else {
+			// With no keys every drained row landed in the single bucket of
+			// the empty-key hash, in list order — exactly the one file the
+			// nested loop needs.
+			var f *spill.File
+			for _, ps := range side.parts {
+				if ps.file != nil {
+					f = ps.file
+					break
+				}
+			}
+			e.graceNoteSpill()
+			it = &spillLoopIter{left: l.it, j: j, file: f}
+		}
+		var out []relation.Tuple
+		for {
+			t, err := it.next()
+			if err != nil {
+				it.close()
+				return nil, err
+			}
+			if t == nil {
+				break
+			}
+			out = append(out, t)
+		}
+		if err := it.close(); err != nil {
+			return nil, err
+		}
+		return out, nil
+	})
+}
+
 // buildProduct compiles × / ×ᵀ with an optional fused join predicate; the
 // join idioms dispatch here with their predicate. With equality keys and
 // both inputs delivered in a key-covering order the merge join is chosen;
-// with keys alone, the hash join; otherwise the block nested loop.
+// with keys alone, the hash join; otherwise the block nested loop. In
+// memory-bounded mode the keyed variants grace-hash partition both sides
+// and the keyless product spills its build side (grace.go).
 func (e *Engine) buildProduct(n algebra.Node, pred expr.Pred, temporal bool) (*source, error) {
 	l, r, err := e.buildBoth(n)
 	if err != nil {
@@ -308,6 +585,13 @@ func (e *Engine) buildProduct(n algebra.Node, pred expr.Pred, temporal bool) (*s
 	src := &source{
 		schema: outSchema,
 		order:  eval.OrderAfterProduct(outOrder, r.schema, outSchema),
+	}
+	if e.budgeted() {
+		j := newPairJoiner(l, r, outSchema, lidx, ridx, residual, temporal)
+		if len(lidx) > 0 {
+			return e.graceJoinSource(l, r, j, src.order), nil
+		}
+		return e.graceProductSource(l, r, j, src.order), nil
 	}
 	if e.parallel() {
 		src.it = e.parallelProductIter(l, r, outSchema, lidx, ridx, residual, temporal)

@@ -55,12 +55,13 @@ func TestDifferentialThreeWay(t *testing.T) {
 				t.Fatalf("seed %d: %s: order annotations differ: reference %s hash %s merge %s",
 					seed, algebra.Canonical(plan), want.Order(), gotHash.Order(), gotMerge.Order())
 			}
+			// Stats are per-run (Eval resets them), so accumulate per plan.
+			s := merge.Stats()
+			total.SortsElided += s.SortsElided
+			total.MergeSorts += s.MergeSorts
+			total.MergeJoins += s.MergeJoins
+			total.MergeOps += s.MergeOps
 		}
-		s := merge.Stats()
-		total.SortsElided += s.SortsElided
-		total.MergeSorts += s.MergeSorts
-		total.MergeJoins += s.MergeJoins
-		total.MergeOps += s.MergeOps
 	}
 	if plans < 300 {
 		t.Fatalf("three-way suite covered only %d plans, want ≥ 300", plans)
@@ -103,8 +104,9 @@ func TestSortElisionSafe(t *testing.T) {
 				t.Fatalf("seed %d: %s: elided-sort order %s ≠ performed order %s",
 					seed, algebra.Canonical(plan), got.Order(), want.Order())
 			}
+			// Stats are per-run (Eval resets them), so accumulate per plan.
+			elided += withElision.Stats().SortsElided
 		}
-		elided += withElision.Stats().SortsElided
 	}
 	if plans < 200 {
 		t.Fatalf("elision suite covered only %d plans, want ≥ 200", plans)

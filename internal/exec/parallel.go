@@ -51,7 +51,6 @@ import (
 	"tqp/internal/physical"
 	"tqp/internal/relation"
 	"tqp/internal/schema"
-	"tqp/internal/value"
 )
 
 // morselSize is the chunk granularity of parallel input scans.
@@ -265,15 +264,25 @@ type tagged struct {
 // emission order and the merged list is the sequential operator's exact
 // output.
 func mergeTagged(parts [][]tagged) []relation.Tuple {
+	out := make([]relation.Tuple, 0, taggedTotal(parts))
+	mergeTaggedInto(parts, func(tg tagged) { out = append(out, tg.t) })
+	return out
+}
+
+func taggedTotal(parts [][]tagged) int {
 	total := 0
 	for _, p := range parts {
 		total += len(p)
 	}
-	out := make([]relation.Tuple, 0, total)
-	// Hand-rolled cursor heap (h holds partition indices, pos the heads):
-	// unlike the sort gather's container/heap runHeap, this loop runs once
-	// per output tuple of every hash exchange, where the interface
-	// dispatch of heap.Interface is measurable.
+	return total
+}
+
+// mergeTaggedInto is the one gather loop behind mergeTagged and the grace
+// recursion's mergeTaggedSorted: a hand-rolled cursor heap (h holds
+// partition indices, pos the heads) — unlike the sort gather's
+// container/heap runHeap, this runs once per output tuple of every hash
+// exchange, where the interface dispatch of heap.Interface is measurable.
+func mergeTaggedInto(parts [][]tagged, emit func(tagged)) {
 	pos := make([]int, len(parts))
 	less := func(a, b int) bool {
 		sa, sb := parts[a][pos[a]].seq, parts[b][pos[b]].seq
@@ -309,7 +318,7 @@ func mergeTagged(parts [][]tagged) []relation.Tuple {
 	}
 	for len(h) > 0 {
 		p := h[0]
-		out = append(out, parts[p][pos[p]].t)
+		emit(parts[p][pos[p]])
 		pos[p]++
 		if pos[p] >= len(parts[p]) {
 			h[0] = h[len(h)-1]
@@ -317,7 +326,6 @@ func mergeTagged(parts [][]tagged) []relation.Tuple {
 		}
 		siftDown(0)
 	}
-	return out
 }
 
 // parallelSortSource compiles sort_A with parallel run generation: the
@@ -386,16 +394,7 @@ const broadcastLimit = 2048
 // reference's left-major pair sequence exactly.
 func (e *Engine) parallelProductIter(l, r *source, out *schema.Schema, lidx, ridx []int, residual expr.Pred, temporal bool) iterator {
 	workers := e.exchange()
-	lw, rw := l.schema.Len(), r.schema.Len()
-	lt1, lt2, rt1, rt2 := -1, -1, -1, -1
-	if temporal {
-		lt1, lt2 = l.schema.TimeIndices()
-		rt1, rt2 = r.schema.TimeIndices()
-	}
-	width := lw + rw
-	if temporal {
-		width += 2
-	}
+	j := newPairJoiner(l, r, out, lidx, ridx, residual, temporal)
 	return &lazyIter{compute: func() ([]relation.Tuple, error) {
 		lr, err := drain(l)
 		if err != nil {
@@ -405,96 +404,27 @@ func (e *Engine) parallelProductIter(l, r *source, out *schema.Schema, lidx, rid
 		if err != nil {
 			return nil, err
 		}
-		// joinChunk joins probe tuples (with their global positions) against
-		// one build-side row set, appending tagged pairs in probe order.
-		// table/members, when non-nil, restrict each probe tuple to its key
-		// group; rps carries the precomputed build periods.
-		joinChunk := func(probe []relation.Tuple, origBase int, origs []int, brows []relation.Tuple, rps []period.Period, table *hashGroups, members [][]int) ([]tagged, error) {
-			var res []tagged
-			for pi, lt := range probe {
-				orig := origBase + pi
-				if origs != nil {
-					orig = origs[pi]
-				}
-				n := len(brows)
-				var group []int
-				if table != nil {
-					gid := table.lookup(lt, lidx)
-					if gid < 0 {
-						continue
-					}
-					group = members[gid]
-					n = len(group)
-				}
-				var curP period.Period
-				if temporal {
-					curP = lt.PeriodAt(lt1, lt2)
-				}
-				for k := 0; k < n; k++ {
-					j := k
-					if group != nil {
-						j = group[k]
-					}
-					var iv period.Period
-					if temporal {
-						iv = curP.Intersect(rps[j])
-						if iv.Empty() {
-							continue
-						}
-					}
-					nt := make(relation.Tuple, width)
-					copy(nt, lt)
-					copy(nt[lw:], brows[j])
-					if temporal {
-						nt[lw+rw] = value.Time(iv.Start)
-						nt[lw+rw+1] = value.Time(iv.End)
-					}
-					if residual != nil {
-						ok, err := residual.Holds(out, nt)
-						if err != nil {
-							return nil, err
-						}
-						if !ok {
-							continue
-						}
-					}
-					res = append(res, tagged{seq: orig, t: nt})
-				}
-			}
-			return res, nil
-		}
-		periodsOf := func(rows []relation.Tuple) []period.Period {
-			if !temporal {
-				return nil
-			}
-			ps := make([]period.Period, len(rows))
-			for j, t := range rows {
-				ps[j] = t.PeriodAt(rt1, rt2)
-			}
-			return ps
-		}
-
 		if len(lidx) == 0 || rr.Len() <= broadcastLimit {
 			// Broadcast: one shared build side, probed read-only; the probe
 			// side splits into positional chunks.
 			brows := rr.Tuples()
-			rps := periodsOf(brows)
+			rps := j.periodsOf(brows)
 			var table *hashGroups
 			var members [][]int
 			if len(lidx) > 0 {
 				table = newHashGroups(ridx, len(brows))
-				for j, t := range brows {
+				for bi, t := range brows {
 					gid, fresh := table.groupOf(t)
 					if fresh {
 						members = append(members, nil)
 					}
-					members[gid] = append(members[gid], j)
+					members[gid] = append(members[gid], bi)
 				}
 			}
 			chunks := chunkRanges(lr.Len(), workers)
 			outParts := make([][]tagged, len(chunks))
 			if err := runTasks(workers, len(chunks), func(c int) error {
-				res, err := joinChunk(lr.Tuples()[chunks[c][0]:chunks[c][1]], chunks[c][0], nil, brows, rps, table, members)
+				res, err := j.joinChunk(lr.Tuples()[chunks[c][0]:chunks[c][1]], chunks[c][0], nil, brows, rps, table, members)
 				if err != nil {
 					return err
 				}
@@ -512,26 +442,7 @@ func (e *Engine) parallelProductIter(l, r *source, out *schema.Schema, lidx, rid
 		rparts := hashPartition(workers, rr.Tuples(), ridx, workers)
 		outParts := make([][]tagged, len(lparts))
 		if err := runTasks(workers, len(lparts), func(pt int) error {
-			brows := make([]relation.Tuple, len(rparts[pt]))
-			for j, pr := range rparts[pt] {
-				brows[j] = pr.t
-			}
-			table := newHashGroups(ridx, len(brows))
-			var members [][]int
-			for j, t := range brows {
-				gid, fresh := table.groupOf(t)
-				if fresh {
-					members = append(members, nil)
-				}
-				members[gid] = append(members[gid], j)
-			}
-			probe := make([]relation.Tuple, len(lparts[pt]))
-			origs := make([]int, len(lparts[pt]))
-			for i, pr := range lparts[pt] {
-				probe[i] = pr.t
-				origs[i] = pr.orig
-			}
-			res, err := joinChunk(probe, 0, origs, brows, periodsOf(brows), table, members)
+			res, err := j.joinPartition(lparts[pt], rparts[pt])
 			if err != nil {
 				return err
 			}
@@ -572,24 +483,7 @@ func (e *Engine) parallelBudgetedIter(l, r *source, budgetLeft bool) iterator {
 		}
 		outParts := make([][]tagged, workers)
 		if err := runTasks(workers, workers, func(pt int) error {
-			groups := newHashGroups(idx, len(fundParts[pt]))
-			var budget []int
-			for _, pr := range fundParts[pt] {
-				gid, fresh := groups.groupOf(pr.t)
-				if fresh {
-					budget = append(budget, 0)
-				}
-				budget[gid]++
-			}
-			var res []tagged
-			for _, pr := range scanParts[pt] {
-				if gid := groups.lookup(pr.t, idx); gid >= 0 && budget[gid] > 0 {
-					budget[gid]--
-					continue
-				}
-				res = append(res, tagged{seq: pr.orig, t: pr.t})
-			}
-			outParts[pt] = res
+			outParts[pt] = budgetedPartition(fundParts[pt], scanParts[pt], idx, 0)
 			return nil
 		}); err != nil {
 			return nil, err
@@ -641,25 +535,7 @@ func (e *Engine) parallelValueGroupSource(in *source, vidx []int, order relation
 		parts := hashPartition(workers, rows, vidx, workers)
 		outParts := make([][]tagged, len(parts))
 		if err := runTasks(workers, len(parts), func(pt int) error {
-			groups := newHashGroups(vidx, len(parts[pt]))
-			var members [][]row
-			for _, pr := range parts[pt] {
-				gid, fresh := groups.groupOf(pr.t)
-				if fresh {
-					members = append(members, nil)
-				}
-				members[gid] = append(members[gid], row{orig: pr.orig, t: pr.t, p: pr.t.PeriodAt(t1, t2)})
-			}
-			var all []row
-			for g := range members {
-				all = append(all, transform(members[g], t1, t2)...)
-			}
-			sort.SliceStable(all, func(i, j int) bool { return all[i].orig < all[j].orig })
-			res := make([]tagged, len(all))
-			for i, rw := range all {
-				res[i] = tagged{seq: rw.orig, t: rw.t}
-			}
-			outParts[pt] = res
+			outParts[pt] = valueGroupPartition(parts[pt], vidx, t1, t2, transform)
 			return nil
 		}); err != nil {
 			return nil, err
@@ -689,26 +565,9 @@ func (e *Engine) parallelGroupAggSource(in *source, gidx []int, outSchema *schem
 		parts := hashPartition(workers, rows, gidx, workers)
 		outParts := make([][]tagged, len(parts))
 		if err := runTasks(workers, len(parts), func(pt int) error {
-			groups := newHashGroups(gidx, len(parts[pt]))
-			var first []int
-			var tuples [][]relation.Tuple
-			for _, pr := range parts[pt] {
-				gid, fresh := groups.groupOf(pr.t)
-				if fresh {
-					first = append(first, pr.orig)
-					tuples = append(tuples, nil)
-				}
-				tuples[gid] = append(tuples[gid], pr.t)
-			}
-			var res []tagged
-			for g := range tuples {
-				out, err := emit(tuples[g])
-				if err != nil {
-					return err
-				}
-				for _, t := range out {
-					res = append(res, tagged{seq: first[g], t: t})
-				}
+			res, err := groupAggPartition(parts[pt], gidx, emit)
+			if err != nil {
+				return err
 			}
 			outParts[pt] = res
 			return nil
@@ -778,26 +637,7 @@ func (e *Engine) parallelTDiffSource(l, r *source, order relation.OrderSpec) *so
 		rparts := hashPartition(workers, rr.Tuples(), vidx, workers)
 		outParts := make([][]tagged, workers)
 		if err := runTasks(workers, workers, func(pt int) error {
-			lp, rp := lparts[pt], rparts[pt]
-			leftMembers, rightMembers, _ := valueMembership(lp, rp, vidx)
-			frag := make([][]period.Period, len(lp))
-			for gid, lIdx := range leftMembers {
-				if len(lIdx) == 0 {
-					continue
-				}
-				lps := memberPeriods(lp, lIdx, t1, t2)
-				rps := memberPeriods(rp, rightMembers[gid], t1, t2)
-				for x, fs := range tdiffGroupFragments(lps, rps) {
-					frag[lIdx[x]] = fs
-				}
-			}
-			var res []tagged
-			for k, pr := range lp {
-				for _, p := range frag[k] {
-					res = append(res, tagged{seq: pr.orig, t: pr.t.WithPeriodAt(t1, t2, p)})
-				}
-			}
-			outParts[pt] = res
+			outParts[pt] = tdiffPartition(lparts[pt], rparts[pt], vidx, t1, t2)
 			return nil
 		}); err != nil {
 			return nil, err
@@ -828,18 +668,7 @@ func (e *Engine) parallelTUnionSource(l, r *source) *source {
 		rparts := hashPartition(workers, rr.Tuples(), vidx, workers)
 		outParts := make([][]tagged, workers)
 		if err := runTasks(workers, workers, func(pt int) error {
-			lp, rp := lparts[pt], rparts[pt]
-			leftMembers, rightMembers, rOrder := valueMembership(lp, rp, vidx)
-			var res []tagged
-			for _, gid := range rOrder {
-				lps := memberPeriods(lp, leftMembers[gid], t1, t2)
-				rps := memberPeriods(rp, rightMembers[gid], t1, t2)
-				rep := rp[rightMembers[gid][0]]
-				for _, p := range tunionExtraPeriods(lps, rps) {
-					res = append(res, tagged{seq: rep.orig, t: rep.t.WithPeriodAt(t1, t2, p)})
-				}
-			}
-			outParts[pt] = res
+			outParts[pt] = tunionPartition(lparts[pt], rparts[pt], vidx, t1, t2, 0)
 			return nil
 		}); err != nil {
 			return nil, err

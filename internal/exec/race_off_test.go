@@ -1,0 +1,6 @@
+//go:build !race
+
+package exec_test
+
+// raceEnabled reports a race-instrumented test binary.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package exec_test
+
+// raceEnabled reports a race-instrumented test binary; the heaviest scale
+// tests skip under it (their logic is covered at smaller scales).
+const raceEnabled = true

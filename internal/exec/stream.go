@@ -138,11 +138,13 @@ func (e *Engine) buildSort(n *algebra.Sort) (*source, error) {
 		order = in.order
 	}
 	e.stats.MergeSorts++
-	if e.parallel() {
+	if e.parallel() && !e.budgeted() {
 		return e.parallelSortSource(in, n.Spec, order), nil
 	}
+	// Under a budget the run machinery cuts runs by bytes and spills them;
+	// unbudgeted it keeps the fixed in-memory run size (see sort.go).
 	return &source{
-		it:     &mergeSortIter{in: in, spec: n.Spec, schema: in.schema},
+		it:     &mergeSortIter{eng: e, in: in, spec: n.Spec, schema: in.schema},
 		schema: in.schema,
 		order:  order,
 	}, nil
@@ -231,7 +233,7 @@ func (e *Engine) buildRdup(n algebra.Node) (*source, error) {
 		schema: outSchema,
 		order:  eval.OrderQualifyTime(in.order, outSchema),
 	}
-	if e.parallel() {
+	if e.parallel() && !e.budgeted() {
 		// rdup is grouping on every attribute with the group's first
 		// occurrence surviving; the parallel group exchange merges survivors
 		// back into first-occurrence order.
@@ -239,9 +241,17 @@ func (e *Engine) buildRdup(n algebra.Node) (*source, error) {
 			func(group []relation.Tuple) ([]relation.Tuple, error) { return group[:1], nil }), nil
 	}
 	if !e.opts.NoMerge && physical.GroupsContiguous(in.order, in.schema, identityIdx(in.schema.Len())) {
+		// The adjacent-compare variant holds one tuple of state — already
+		// memory-bounded, so the budgeted engine prefers it too.
 		e.stats.MergeOps++
 		src.it = &dedupSortedIter{in: in.it}
 		return src, nil
+	}
+	if e.budgeted() {
+		idx := identityIdx(in.schema.Len())
+		return e.graceGroupSource(in, idx, outSchema, src.order, func(part []prow) ([]tagged, error) {
+			return rdupPartition(part, idx), nil
+		}), nil
 	}
 	src.it = &rdupIter{in: in.it, seen: newHashGroups(nil, 0)}
 	return src, nil
@@ -311,6 +321,11 @@ func (e *Engine) buildDiff(n algebra.Node) (*source, error) {
 	src := &source{
 		schema: outSchema,
 		order:  eval.OrderQualifyTime(l.order, outSchema),
+	}
+	if e.budgeted() {
+		// Both the hash and the merge variant materialize the right side;
+		// under a budget the grace exchange bounds it instead.
+		return e.graceDiffSource(l, r, outSchema, src.order), nil
 	}
 	if e.parallel() {
 		src.it = e.parallelDiffIter(l, r)
@@ -393,6 +408,9 @@ func (e *Engine) buildUnion(n algebra.Node) (*source, error) {
 		return nil, err
 	}
 	src := &source{schema: l.schema}
+	if e.budgeted() {
+		return e.graceUnionSource(l, r, l.schema), nil
+	}
 	if e.parallel() {
 		src.it = e.parallelUnionIter(l, r)
 		return src, nil
@@ -446,16 +464,27 @@ func (e *Engine) buildAggregate(n *algebra.Aggregate) (*source, error) {
 		}
 		return []relation.Tuple{nt}, nil
 	}
-	if e.parallel() && len(gidx) > 0 {
+	if e.parallel() && !e.budgeted() && len(gidx) > 0 {
 		return e.parallelGroupAggSource(in, gidx, outSchema, order, emit), nil
 	}
-	if !e.opts.NoMerge && physical.GroupsContiguous(in.order, in.schema, gidx) {
+	if len(gidx) > 0 && !e.opts.NoMerge && physical.GroupsContiguous(in.order, in.schema, gidx) {
+		// Group-at-a-time streaming holds one group of state — bounded, so
+		// the budgeted engine prefers it over partitioning.
 		e.stats.MergeOps++
 		return &source{
 			it:     &groupIter{in: in.it, idx: gidx, emit: emit},
 			schema: outSchema,
 			order:  order,
 		}, nil
+	}
+	if e.budgeted() && len(gidx) > 0 {
+		// Grace aggregation: partition rows by the grouping columns, one
+		// group's rows land whole in one partition. A GROUP-BY-less
+		// aggregate folds one global set of accumulators below — state
+		// bounded by construction, nothing to spill.
+		return e.graceGroupSource(in, gidx, outSchema, order, func(part []prow) ([]tagged, error) {
+			return groupAggPartition(part, gidx, emit)
+		}), nil
 	}
 	return lazySource(outSchema, order, func() ([]relation.Tuple, error) {
 		groups := newHashGroups(gidx, 0)

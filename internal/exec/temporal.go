@@ -128,13 +128,18 @@ func (e *Engine) buildTRdup(n algebra.Node) (*source, error) {
 	order := in.order.TimeFreePrefix()
 	t1, t2 := in.schema.TimeIndices()
 	vidx := physical.ValueIdx(in.schema)
-	if e.parallel() {
+	if e.parallel() && !e.budgeted() {
 		return e.parallelValueGroupSource(in, vidx, order, rdupTGroup), nil
 	}
 	if !e.opts.NoMerge && physical.GroupsContiguous(in.order, in.schema, vidx) {
 		e.stats.MergeOps++
 		emit := groupEmitter(t1, t2, func(rows []row, t1, t2 int) []row { return rdupTGroup(rows, t1, t2) })
 		return &source{it: &groupIter{in: in.it, idx: vidx, emit: emit}, schema: in.schema, order: order}, nil
+	}
+	if e.budgeted() {
+		return e.graceGroupSource(in, vidx, in.schema, order, func(part []prow) ([]tagged, error) {
+			return valueGroupPartition(part, vidx, t1, t2, rdupTGroup), nil
+		}), nil
 	}
 	return lazySource(in.schema, order, func() ([]relation.Tuple, error) {
 		r, err := drain(in)
@@ -207,13 +212,18 @@ func (e *Engine) buildCoal(n algebra.Node) (*source, error) {
 	order := in.order.TimeFreePrefix()
 	t1, t2 := in.schema.TimeIndices()
 	vidx := physical.ValueIdx(in.schema)
-	if e.parallel() {
+	if e.parallel() && !e.budgeted() {
 		return e.parallelValueGroupSource(in, vidx, order, coalTGroup), nil
 	}
 	if !e.opts.NoMerge && physical.GroupsContiguous(in.order, in.schema, vidx) {
 		e.stats.MergeOps++
 		emit := groupEmitter(t1, t2, coalTGroup)
 		return &source{it: &groupIter{in: in.it, idx: vidx, emit: emit}, schema: in.schema, order: order}, nil
+	}
+	if e.budgeted() {
+		return e.graceGroupSource(in, vidx, in.schema, order, func(part []prow) ([]tagged, error) {
+			return valueGroupPartition(part, vidx, t1, t2, coalTGroup), nil
+		}), nil
 	}
 	return lazySource(in.schema, order, func() ([]relation.Tuple, error) {
 		r, err := drain(in)
@@ -273,6 +283,9 @@ func (e *Engine) buildTDiff(n algebra.Node) (*source, error) {
 		return nil, err
 	}
 	order := l.order.TimeFreePrefix()
+	if e.budgeted() {
+		return e.graceTDiffSource(l, r, order), nil
+	}
 	if e.parallel() {
 		return e.parallelTDiffSource(l, r, order), nil
 	}
@@ -346,6 +359,9 @@ func (e *Engine) buildTUnion(n algebra.Node) (*source, error) {
 	}
 	if _, err := n.Schema(); err != nil {
 		return nil, err
+	}
+	if e.budgeted() {
+		return e.graceTUnionSource(l, r), nil
 	}
 	if e.parallel() {
 		return e.parallelTUnionSource(l, r), nil
@@ -585,7 +601,7 @@ func (e *Engine) buildTAggregate(n *algebra.Aggregate) (*source, error) {
 		}
 		return out, nil
 	}
-	if e.parallel() && len(gidx) > 0 {
+	if e.parallel() && !e.budgeted() && len(gidx) > 0 {
 		return e.parallelGroupAggSource(in, gidx, outSchema, order, groupOut), nil
 	}
 	if !e.opts.NoMerge && physical.GroupsContiguous(in.order, in.schema, gidx) {
@@ -595,6 +611,14 @@ func (e *Engine) buildTAggregate(n *algebra.Aggregate) (*source, error) {
 			schema: outSchema,
 			order:  order,
 		}, nil
+	}
+	if e.budgeted() && len(gidx) > 0 {
+		// A GROUP-BY-less 𝒢ᵀ is one global group whose constant intervals
+		// need every row at once — nothing to partition on; it stays on the
+		// materializing path below (documented bound exemption).
+		return e.graceGroupSource(in, gidx, outSchema, order, func(part []prow) ([]tagged, error) {
+			return groupAggPartition(part, gidx, groupOut)
+		}), nil
 	}
 	return lazySource(outSchema, order, func() ([]relation.Tuple, error) {
 		r, err := drain(in)

@@ -49,7 +49,7 @@ func AllWith(spec eval.EngineSpec) []Report {
 	return []Report{
 		E1With(spec), E2With(spec), E3With(spec), E4Table1(), E5Theorem31(),
 		E6Figure4(), E7Figure6(), E8Figure5(), E9With(spec), E10Ablation(),
-		E11Engines(), E12OrderAware(), E13ParallelScaling(),
+		E11Engines(), E12OrderAware(), E13ParallelScaling(), E14MemoryBounded(),
 	}
 }
 

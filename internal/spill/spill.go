@@ -1,0 +1,402 @@
+// Package spill implements the disk half of the exec engine's
+// memory-bounded execution mode: temp-file spill partitions holding
+// sequence-tagged tuples in a sized, checksummed binary codec.
+//
+// A Manager owns one run's spill directory (created lazily on first write,
+// removed wholesale by Cleanup), hands out Writers, and tracks the total
+// bytes written for the engine's Stats. A Writer appends records and is
+// Finished into an immutable File, which Opens into a Reader streaming the
+// records back in write order. Every record carries its own length and a
+// CRC-32C of its payload, so a truncated or corrupted spill file is
+// detected at read time instead of silently corrupting a query result.
+//
+// The codec is also the accounting currency of the memory arbiter:
+// TupleMemSize estimates a tuple's resident bytes, so the spill decision
+// and the spilled representation agree about what "too big" means.
+package spill
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"tqp/internal/period"
+	"tqp/internal/relation"
+	"tqp/internal/value"
+)
+
+// castagnoli is the CRC-32C table; hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Manager owns one execution run's spill directory. The zero-ish Manager
+// returned by NewManager creates no directory until the first file is
+// created, so unbudgeted and unspilled runs never touch the filesystem.
+type Manager struct {
+	parent string // directory to create the spill dir under; "" = os.TempDir()
+
+	mu   sync.Mutex
+	dir  string
+	next int
+
+	bytes atomic.Int64
+}
+
+// NewManager returns a manager that will create its spill directory under
+// parent ("" means the system temp directory).
+func NewManager(parent string) *Manager { return &Manager{parent: parent} }
+
+// Dir returns the spill directory, or "" when nothing has spilled yet.
+func (m *Manager) Dir() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dir
+}
+
+// BytesWritten is the total encoded bytes appended across all writers.
+func (m *Manager) BytesWritten() int64 { return m.bytes.Load() }
+
+// Create opens a fresh spill file for writing.
+func (m *Manager) Create() (*Writer, error) {
+	m.mu.Lock()
+	if m.dir == "" {
+		parent := m.parent
+		if parent == "" {
+			parent = os.TempDir()
+		}
+		dir, err := os.MkdirTemp(parent, "tqp-spill-")
+		if err != nil {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("spill: creating spill directory: %w", err)
+		}
+		m.dir = dir
+	}
+	name := filepath.Join(m.dir, fmt.Sprintf("part-%06d", m.next))
+	m.next++
+	m.mu.Unlock()
+
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("spill: creating %s: %w", name, err)
+	}
+	return &Writer{mgr: m, f: f, bw: bufio.NewWriterSize(f, writerBufSize)}, nil
+}
+
+// Cleanup removes the spill directory and everything in it. It is safe to
+// call when nothing ever spilled, and to call more than once.
+func (m *Manager) Cleanup() error {
+	m.mu.Lock()
+	dir := m.dir
+	m.dir = ""
+	m.mu.Unlock()
+	if dir == "" {
+		return nil
+	}
+	return os.RemoveAll(dir)
+}
+
+// writerBufSize is each Writer's (and Reader's) buffer. Spill fan-out keeps
+// several writers open at once, so the buffer is deliberately modest; the
+// engine's partition count is chosen so that fan-out × buffer stays well
+// inside the memory budget share.
+const writerBufSize = 16 << 10
+
+// Writer appends sequence-tagged tuples to one spill file.
+type Writer struct {
+	mgr      *Manager
+	f        *os.File
+	bw       *bufio.Writer
+	buf      []byte
+	count    int
+	bytes    int64
+	memBytes int64
+}
+
+// Append encodes one record. seq is the tuple's sequence key (its original
+// list position — the deterministic replay order of the spilled partition).
+func (w *Writer) Append(seq int, t relation.Tuple) error {
+	w.buf = encodeRecord(w.buf[:0], seq, t)
+	if _, err := w.bw.Write(w.buf); err != nil {
+		return fmt.Errorf("spill: writing %s: %w", w.f.Name(), err)
+	}
+	w.count++
+	w.bytes += int64(len(w.buf))
+	w.memBytes += TupleMemSize(t)
+	return nil
+}
+
+// Count returns the records appended so far.
+func (w *Writer) Count() int { return w.count }
+
+// Bytes returns the encoded bytes appended so far.
+func (w *Writer) Bytes() int64 { return w.bytes }
+
+// Finish flushes and closes the writer, returning the immutable file.
+func (w *Writer) Finish() (*File, error) {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return nil, fmt.Errorf("spill: flushing %s: %w", w.f.Name(), err)
+	}
+	name := w.f.Name()
+	if err := w.f.Close(); err != nil {
+		return nil, fmt.Errorf("spill: closing %s: %w", name, err)
+	}
+	w.mgr.bytes.Add(w.bytes)
+	return &File{path: name, count: w.count, bytes: w.bytes, memBytes: w.memBytes}, nil
+}
+
+// Abort closes and deletes the half-written file.
+func (w *Writer) Abort() {
+	w.f.Close()
+	os.Remove(w.f.Name())
+}
+
+// File is one finished spill file.
+type File struct {
+	path     string
+	count    int
+	bytes    int64
+	memBytes int64
+}
+
+// Count returns the number of records in the file.
+func (f *File) Count() int { return f.count }
+
+// Bytes returns the file's encoded on-disk size.
+func (f *File) Bytes() int64 { return f.bytes }
+
+// MemBytes returns the resident cost of the file's tuples once decoded —
+// the sum of TupleMemSize over its records. The engine's recursion
+// decisions and arbiter accounting use this, never the (several-fold
+// smaller) encoded size: "fits the share" must mean fits in memory.
+func (f *File) MemBytes() int64 { return f.memBytes }
+
+// Open returns a reader streaming the records in write order.
+func (f *File) Open() (*Reader, error) {
+	file, err := os.Open(f.path)
+	if err != nil {
+		return nil, fmt.Errorf("spill: opening %s: %w", f.path, err)
+	}
+	return &Reader{f: file, br: bufio.NewReaderSize(file, writerBufSize), remaining: f.count, total: f.count}, nil
+}
+
+// Remove deletes the file; the data is consumed and the disk space should
+// return before the operator finishes, not at run cleanup.
+func (f *File) Remove() error { return os.Remove(f.path) }
+
+// Reader streams one spill file's records.
+type Reader struct {
+	f         *os.File
+	br        *bufio.Reader
+	buf       []byte
+	remaining int
+	total     int
+}
+
+// Rewind repositions the reader at the first record, reusing the open file
+// handle and buffer — the repeated-scan path of the spilled nested loop,
+// which would otherwise pay an open/close and a fresh buffer per pass.
+func (r *Reader) Rewind() error {
+	if _, err := r.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("spill: rewinding %s: %w", r.f.Name(), err)
+	}
+	r.br.Reset(r.f)
+	r.remaining = r.total
+	return nil
+}
+
+// Next returns the next record. ok=false with a nil error marks the end of
+// the file; a short file (fewer records than written) is an error.
+func (r *Reader) Next() (seq int, t relation.Tuple, ok bool, err error) {
+	if r.remaining == 0 {
+		return 0, nil, false, nil
+	}
+	seq, t, r.buf, err = decodeRecord(r.br, r.buf)
+	if err != nil {
+		return 0, nil, false, fmt.Errorf("spill: reading %s: %w", r.f.Name(), err)
+	}
+	r.remaining--
+	return seq, t, true, nil
+}
+
+// Close releases the file handle.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// encodeRecord appends one record to dst:
+//
+//	uvarint payloadLen | payload | uint32le CRC-32C(payload)
+//	payload = uvarint seq | uvarint nvals | value*
+//	value   = kind byte | content
+//
+// Content is varint for int/time (zigzag), 8-byte LE bits for float, one
+// byte for bool, uvarint length + bytes for string. The encoding is exact:
+// a decoded value is Equal (and Compare-identical) to the original, so
+// spilled partitions replay bit-identically.
+func encodeRecord(dst []byte, seq int, t relation.Tuple) []byte {
+	payload := binary.AppendUvarint(nil, uint64(seq))
+	payload = binary.AppendUvarint(payload, uint64(len(t)))
+	for _, v := range t {
+		payload = append(payload, byte(v.Kind()))
+		switch v.Kind() {
+		case value.KindInt:
+			payload = binary.AppendVarint(payload, v.AsInt())
+		case value.KindFloat:
+			payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(v.AsFloat()))
+		case value.KindString:
+			s := v.AsString()
+			payload = binary.AppendUvarint(payload, uint64(len(s)))
+			payload = append(payload, s...)
+		case value.KindBool:
+			b := byte(0)
+			if v.AsBool() {
+				b = 1
+			}
+			payload = append(payload, b)
+		case value.KindTime:
+			payload = binary.AppendVarint(payload, int64(v.AsTime()))
+		default:
+			// Invalid values never reach a relation; the bare kind byte is a
+			// marker decode rejects rather than panicking mid-spill.
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+}
+
+// decodeRecord reads one record, verifying length and checksum. buf is a
+// scratch buffer recycled across calls.
+func decodeRecord(br *bufio.Reader, buf []byte) (int, relation.Tuple, []byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, nil, buf, fmt.Errorf("record header: %w", err)
+	}
+	if n > maxRecordSize {
+		return 0, nil, buf, fmt.Errorf("record of %d bytes exceeds the %d-byte bound (corrupt header)", n, maxRecordSize)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	payload := buf[:n]
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return 0, nil, buf, fmt.Errorf("record payload: %w", err)
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(br, sum[:]); err != nil {
+		return 0, nil, buf, fmt.Errorf("record checksum: %w", err)
+	}
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(sum[:]) {
+		return 0, nil, buf, fmt.Errorf("record checksum mismatch (corrupt spill file)")
+	}
+
+	pos := 0
+	readUvarint := func() (uint64, error) {
+		v, k := binary.Uvarint(payload[pos:])
+		if k <= 0 {
+			return 0, fmt.Errorf("truncated varint in record")
+		}
+		pos += k
+		return v, nil
+	}
+	readVarint := func() (int64, error) {
+		v, k := binary.Varint(payload[pos:])
+		if k <= 0 {
+			return 0, fmt.Errorf("truncated varint in record")
+		}
+		pos += k
+		return v, nil
+	}
+	seq64, err := readUvarint()
+	if err != nil {
+		return 0, nil, buf, err
+	}
+	nvals, err := readUvarint()
+	if err != nil {
+		return 0, nil, buf, err
+	}
+	if nvals > n { // each value takes ≥1 byte; cheap sanity bound
+		return 0, nil, buf, fmt.Errorf("record claims %d values in %d bytes", nvals, n)
+	}
+	t := make(relation.Tuple, nvals)
+	for i := range t {
+		if pos >= len(payload) {
+			return 0, nil, buf, fmt.Errorf("record truncated at value %d", i)
+		}
+		kind := value.Kind(payload[pos])
+		pos++
+		switch kind {
+		case value.KindInt:
+			v, err := readVarint()
+			if err != nil {
+				return 0, nil, buf, err
+			}
+			t[i] = value.Int(v)
+		case value.KindFloat:
+			if pos+8 > len(payload) {
+				return 0, nil, buf, fmt.Errorf("record truncated in float value")
+			}
+			t[i] = value.Float(math.Float64frombits(binary.LittleEndian.Uint64(payload[pos:])))
+			pos += 8
+		case value.KindString:
+			l, err := readUvarint()
+			if err != nil {
+				return 0, nil, buf, err
+			}
+			if pos+int(l) > len(payload) {
+				return 0, nil, buf, fmt.Errorf("record truncated in string value")
+			}
+			t[i] = value.String_(string(payload[pos : pos+int(l)]))
+			pos += int(l)
+		case value.KindBool:
+			if pos >= len(payload) {
+				return 0, nil, buf, fmt.Errorf("record truncated in bool value")
+			}
+			t[i] = value.Bool(payload[pos] != 0)
+			pos++
+		case value.KindTime:
+			v, err := readVarint()
+			if err != nil {
+				return 0, nil, buf, err
+			}
+			t[i] = value.Time(period.Chronon(v))
+		default:
+			return 0, nil, buf, fmt.Errorf("record holds unknown value kind %d", kind)
+		}
+	}
+	if pos != len(payload) {
+		return 0, nil, buf, fmt.Errorf("record has %d trailing bytes", len(payload)-pos)
+	}
+	return int(seq64), t, buf, nil
+}
+
+// maxRecordSize bounds a single record; a corrupt length prefix must not
+// drive a multi-gigabyte allocation.
+const maxRecordSize = 64 << 20
+
+// tupleOverhead approximates the resident cost of one tuple beyond its
+// values: the slice header plus allocator slack.
+const tupleOverhead = 48
+
+// valueSize is the resident size of one value.Value struct.
+const valueSize = 40
+
+// TupleMemSize estimates the resident bytes of one tuple — the accounting
+// currency of the engine's memory arbiter. It deliberately leans high
+// (headers and allocator slack included): the budget is a working-set
+// bound, and over-counting errs toward spilling early rather than blowing
+// the budget.
+func TupleMemSize(t relation.Tuple) int64 {
+	n := int64(tupleOverhead) + int64(len(t))*valueSize
+	for _, v := range t {
+		if v.Kind() == value.KindString {
+			n += int64(len(v.AsString()))
+		}
+	}
+	return n
+}

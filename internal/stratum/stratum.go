@@ -67,10 +67,13 @@ func NewWithEngine(cat *catalog.Catalog, seed int64, spec eval.EngineSpec) *Exec
 	}
 	params := cost.ParamsFor(spec.Streaming)
 	// Price the order-exploiting variants only for engines that compile
-	// them (e.g. not for exec.HashOnlySpec()), and partitioned operators
-	// with the engine's parallel fan-out width.
+	// them (e.g. not for exec.HashOnlySpec()), partitioned operators with
+	// the engine's parallel fan-out width, and spilling against the
+	// engine's memory budget — so the meter mirrors what the budgeted
+	// engine actually pays.
 	params.OrderBlind = !spec.OrderAware
 	params.Parallelism = spec.Parallelism
+	params.MemoryBudget = spec.MemoryBudget
 	return &Executor{
 		cat:    cat,
 		engine: dbms.New(cat, seed),

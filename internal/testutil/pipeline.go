@@ -23,3 +23,15 @@ func ParallelPipeline(rows int) (eval.MapSource, algebra.Node) {
 	pred := expr.Compare(expr.Eq, expr.Column("1.Grp"), expr.Column("2.Grp"))
 	return src, algebra.NewCoal(algebra.NewTRdup(algebra.NewTJoin(pred, ln, rn)))
 }
+
+// SpillPipeline is the single definition of the memory-bounded acceptance
+// workload — rdupᵀ feeding coalᵀ over one rows-wide temporal relation,
+// the pipeline the spill acceptance test runs at 1M rows under a 16MB
+// budget — shared by the E14 budget-curve experiment and BenchmarkSpill so
+// the CI-gated benchmark and the experiment cannot drift apart.
+func SpillPipeline(rows int) (eval.MapSource, algebra.Node) {
+	r := datagen.Temporal(datagen.TemporalSpec{
+		Rows: rows, Values: rows / 50, TimeRange: 500, MaxPeriod: 25, Seed: 43})
+	src := eval.MapSource{"R": r}
+	return src, algebra.NewCoal(algebra.NewTRdup(algebra.NewRel("R", r.Schema(), algebra.BaseInfo{})))
+}

@@ -27,10 +27,24 @@ import (
 // datagen.Temporal schema) with truthful base info, plus leaf nodes for
 // plan generation.
 func TemporalCatalog(seed int64) (*catalog.Catalog, []algebra.Node) {
+	return TemporalCatalogSized(seed, 8, 6)
+}
+
+// TemporalCatalogSized is TemporalCatalog with explicit base cardinalities.
+// The default differential suites run tiny relations for plan coverage; the
+// memory-bounded suites size them up so operators genuinely exceed small
+// budgets and the spill paths fire non-vacuously.
+func TemporalCatalogSized(seed int64, rowsA, rowsB int) (*catalog.Catalog, []algebra.Node) {
+	values := func(rows int) int {
+		if v := rows / 3; v > 3 {
+			return v
+		}
+		return 3
+	}
 	c := catalog.New()
 	for i, spec := range []datagen.TemporalSpec{
-		{Rows: 8, Values: 3, DupFrac: 0.25, AdjFrac: 0.25, Seed: seed},
-		{Rows: 6, Values: 3, DupFrac: 0.1, AdjFrac: 0.4, Seed: seed + 100},
+		{Rows: rowsA, Values: values(rowsA), DupFrac: 0.25, AdjFrac: 0.25, Seed: seed},
+		{Rows: rowsB, Values: values(rowsB), DupFrac: 0.1, AdjFrac: 0.4, Seed: seed + 100},
 	} {
 		r := datagen.Temporal(spec)
 		info := algebra.BaseInfo{

@@ -149,6 +149,9 @@ func NewOptimizer(cat *Catalog, opts ...core.Option) *Optimizer {
 	return core.New(cat, opts...)
 }
 
+// OptimizerOption configures NewOptimizer (see the With* options below).
+type OptimizerOption = core.Option
+
 // Optimizer options.
 var (
 	// WithMaxPlans caps plan enumeration.
@@ -163,7 +166,8 @@ var (
 	// to its spec.
 	ResolveEngine = core.EngineSpec
 	// ResolveEngineWith resolves an engine name with an explicit worker
-	// count for the morsel-parallel engine.
+	// count for the morsel-parallel engine and a memory budget in bytes
+	// (0 = unlimited) for the memory-bounded engine.
 	ResolveEngineWith = core.EngineSpecWith
 )
 
