@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"tqp/internal/props"
 	"tqp/internal/relation"
 	"tqp/internal/rules"
+	"tqp/internal/server"
 	"tqp/internal/stratum"
 	"tqp/internal/testutil"
 	"tqp/internal/tsql"
@@ -611,6 +613,89 @@ func BenchmarkSpill(b *testing.B) {
 				elapsed := time.Since(start)
 				bPerOp, allocsPerOp := m0.since(b.N)
 				recordEngineBench("spill", n, e.name, elapsed, b.N, rows, bPerOp, allocsPerOp)
+				b.ReportMetric(float64(rows), "rows")
+			})
+		}
+	}
+}
+
+// BenchmarkServerThroughput measures the serving layer end to end: N
+// concurrent TCP clients (1, 8, 32) firing the paper query at one server,
+// with the plan cache disabled ("cold-cache": every statement re-parses
+// and re-enumerates) versus enabled ("warm-cache": repeat statements skip
+// straight to execution). Every client issues b.N queries, so each cell
+// really runs at its client count regardless of -benchtime; the recorded
+// ns_per_op is per query with that many clients in flight. The warm/cold
+// ratio at each client count is the measured value of the plan cache — on
+// this planning-dominant statement the beam enumeration is most of a
+// query's cost, so warm should win by a wide margin. Records land in
+// BENCH_engines.json ("server"; rows = client count) and gate in CI like
+// the engine suites.
+func BenchmarkServerThroughput(b *testing.B) {
+	cat := catalog.Paper()
+	for _, mode := range []struct {
+		name      string
+		cacheSize int
+	}{
+		{"cold-cache", -1}, // negative disables the cache
+		{"warm-cache", 0},  // 0 selects the default capacity
+	} {
+		for _, clients := range []int{1, 8, 32} {
+			b.Run(fmt.Sprintf("clients=%d/%s", clients, mode.name), func(b *testing.B) {
+				srv, err := server.Start(server.Config{
+					Catalog:       cat,
+					CacheSize:     mode.cacheSize,
+					MaxConcurrent: 8,
+					Workers:       8,
+					MaxQueue:      64,
+					QueueTimeout:  time.Minute, // saturation is the point; never reject
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer srv.Close()
+				cls := make([]*server.Client, clients)
+				for i := range cls {
+					cl, err := server.Dial(srv.Addr())
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer cl.Close()
+					cls[i] = cl
+				}
+				// Sanity (and the warm leg's cache fill): one query up front.
+				r, _, err := cls[0].Query(paperSQL)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows := r.Len()
+
+				b.ResetTimer()
+				m0 := snapMem()
+				start := time.Now()
+				errc := make(chan error, clients)
+				var wg sync.WaitGroup
+				for _, cl := range cls {
+					wg.Add(1)
+					go func(cl *server.Client) {
+						defer wg.Done()
+						for j := 0; j < b.N; j++ {
+							if _, _, err := cl.Query(paperSQL); err != nil {
+								errc <- err
+								return
+							}
+						}
+					}(cl)
+				}
+				wg.Wait()
+				elapsed := time.Since(start)
+				close(errc)
+				for err := range errc {
+					b.Fatal(err)
+				}
+				queries := b.N * clients
+				bPerOp, allocsPerOp := m0.since(queries)
+				recordEngineBench("server", clients, mode.name, elapsed, queries, rows, bPerOp, allocsPerOp)
 				b.ReportMetric(float64(rows), "rows")
 			})
 		}

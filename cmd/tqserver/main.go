@@ -1,0 +1,108 @@
+// Command tqserver serves a catalog over TCP: the concurrent temporal-query
+// service of internal/server (length-prefixed JSON protocol, per-connection
+// sessions, shared plan cache, admission control). Connect with
+//
+//	tqshell -connect host:port
+//
+// or programmatically with server.Dial. SIGINT/SIGTERM shut the server
+// down gracefully: in-flight queries drain, queued ones are rejected with
+// the typed shutdown error, and no spill files are left behind.
+//
+// Flags mirror the other commands where they overlap (-db, -engine, -mem)
+// and add the serving knobs: -max-concurrent, -queue, -queue-timeout,
+// -workers, -cache, -spill-dir, -drain-timeout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tqp"
+	"tqp/internal/core"
+	"tqp/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7040", "TCP listen address (use :0 for an ephemeral port)")
+		db           = flag.String("db", "paper", "database: 'paper' or 'synth'")
+		employees    = flag.Int("employees", 1000, "synthetic database size (with -db synth)")
+		engine       = flag.String("engine", "exec", "default session engine: 'reference', 'exec' or 'parallel'")
+		maxConc      = flag.Int("max-concurrent", 0, "concurrent query cap (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 0, "admission queue length (0 = 4x the cap, negative = no queue)")
+		queueTimeout = flag.Duration("queue-timeout", 2*time.Second, "admission queue deadline")
+		workers      = flag.Int("workers", 0, "global worker pool divided across admitted queries (0 = GOMAXPROCS)")
+		mem          = flag.String("mem", "", "global memory budget divided across admitted queries, e.g. 256M (empty = unlimited)")
+		cacheSize    = flag.Int("cache", 256, "plan cache capacity in entries (negative disables caching)")
+		spillDir     = flag.String("spill-dir", "", "directory for the budgeted engine's spill files (empty = system temp)")
+		seed         = flag.Int64("seed", 1, "simulated DBMS order-nondeterminism seed")
+		drain        = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain deadline")
+	)
+	flag.Parse()
+
+	cfg, err := buildConfig(*addr, *db, *employees, *engine, *maxConc, *queue, *queueTimeout,
+		*workers, *mem, *cacheSize, *spillDir, *seed, *drain)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tqserver: %v\n", err)
+		os.Exit(2)
+	}
+	srv, err := server.Start(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tqserver: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("tqserver: serving the %s database on %s (engine %s, cap %d, cache %d)\n",
+		*db, srv.Addr(), cfg.Engine, cfg.MaxConcurrent, cfg.CacheSize)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("tqserver: shutting down (draining in-flight queries)")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "tqserver: %v\n", err)
+		os.Exit(1)
+	}
+	cs, as := srv.CacheStats(), srv.AdmissionStats()
+	fmt.Printf("tqserver: done — %d admitted, %d rejected; plan cache %d hits / %d misses / %d evictions\n",
+		as.Admitted, as.Rejected, cs.Hits, cs.Misses, cs.Evictions)
+}
+
+// buildConfig resolves the flag surface to a server.Config; split out of
+// main for testability.
+func buildConfig(addr, db string, employees int, engine string, maxConc, queue int,
+	queueTimeout time.Duration, workers int, mem string, cacheSize int,
+	spillDir string, seed int64, drain time.Duration) (server.Config, error) {
+	budget, err := core.ParseBytes(mem)
+	if err != nil {
+		return server.Config{}, err
+	}
+	var cat *tqp.Catalog
+	switch db {
+	case "paper":
+		cat = tqp.PaperCatalog()
+	case "synth":
+		cat = tqp.SyntheticEmployeeDB(tqp.EmployeeSpec{
+			Employees: employees, SpellsPerEmp: 3, AssignmentsPerEmp: 4, Seed: 42,
+		})
+	default:
+		return server.Config{}, fmt.Errorf("unknown database %q (want 'paper' or 'synth')", db)
+	}
+	return server.Config{
+		Addr:          addr,
+		Catalog:       cat,
+		Engine:        engine,
+		MaxConcurrent: maxConc,
+		MaxQueue:      queue,
+		QueueTimeout:  queueTimeout,
+		Workers:       workers,
+		MemoryBudget:  budget,
+		SpillDir:      spillDir,
+		CacheSize:     cacheSize,
+		Seed:          seed,
+		DrainTimeout:  drain,
+	}, nil
+}

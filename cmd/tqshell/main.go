@@ -1,13 +1,19 @@
-// Command tqshell is an interactive shell over a catalog: type temporal SQL
-// statements of the tsql dialect and get optimized, layered execution with
-// plan and trace inspection.
+// Command tqshell is an interactive shell for temporal SQL — local over an
+// in-process catalog, or remote against a tqserver instance
+// (-connect host:port), with the same REPL either way.
 //
 // Meta commands:
 //
-//	\d           list relations
-//	\d NAME      show a relation's contents
-//	\plan SQL    explain without executing
-//	\q           quit
+//	\d                list relations (local mode)
+//	\d NAME           show a relation's contents (local mode)
+//	\plan SQL         explain without executing (local mode)
+//	\set              show the session's engine settings
+//	\set NAME VALUE   change a setting: engine, parallel or mem
+//	\q                quit
+//
+// In client mode \set updates the server-side session (the same settings an
+// in-band "SET name value" statement changes), so a session can switch
+// engines, worker counts and memory budgets without reconnecting.
 package main
 
 import (
@@ -16,28 +22,37 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"tqp"
 	"tqp/internal/core"
+	"tqp/internal/server"
 )
 
 func main() {
-	db := flag.String("db", "paper", "database: 'paper' or 'synth'")
+	db := flag.String("db", "paper", "database: 'paper' or 'synth' (local mode)")
 	employees := flag.Int("employees", 50, "synthetic database size (with -db synth)")
 	engine := flag.String("engine", "reference", "physical engine for stratum subplans: 'reference', 'exec' or 'parallel'")
 	parallel := flag.Int("parallel", 0, "worker count for the morsel-parallel engine (with -engine exec|parallel)")
 	mem := flag.String("mem", "", "memory budget for the exec engine's blocking operators, e.g. 64K, 16M (0/empty = unlimited)")
+	connect := flag.String("connect", "", "connect to a tqserver at host:port instead of evaluating locally")
 	flag.Parse()
+
+	if *connect != "" {
+		cl, err := server.Dial(*connect)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tqshell: %v\n", err)
+			os.Exit(2)
+		}
+		defer cl.Close()
+		runREPL(newRemoteBackend(cl, *connect), os.Stdin, os.Stdout)
+		return
+	}
 
 	budget, err := core.ParseBytes(*mem)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tqshell: -mem: %v\n", err)
-		os.Exit(2)
-	}
-	spec, err := tqp.ResolveEngineWith(*engine, *parallel, budget)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tqshell: %v\n", err)
 		os.Exit(2)
 	}
 	cat, err := openCatalog(*db, *employees)
@@ -45,7 +60,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tqshell: %v\n", err)
 		os.Exit(2)
 	}
-	replWith(cat, *db, spec, os.Stdin, os.Stdout)
+	b, err := newLocalBackend(cat, *db, *engine, *parallel, budget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tqshell: %v\n", err)
+		os.Exit(2)
+	}
+	runREPL(b, os.Stdin, os.Stdout)
 }
 
 // openCatalog resolves the -db flag to a catalog instance.
@@ -62,23 +82,25 @@ func openCatalog(db string, employees int) (*tqp.Catalog, error) {
 	}
 }
 
-// repl runs the session loop over an explicit input and output, so a test
-// can script a session through a pipe; the engine is the reference spec.
-func repl(cat *tqp.Catalog, dbName string, in io.Reader, out io.Writer) {
-	replWith(cat, dbName, tqp.EngineSpec{}, in, out)
+// backend is what the REPL drives: local in-process evaluation or a remote
+// tqserver session.
+type backend interface {
+	banner() string
+	// run executes a statement and renders result + trace line.
+	run(sql string, out io.Writer)
+	// set changes one session setting (engine, parallel, mem).
+	set(name, value string) error
+	// settings renders the current session settings.
+	settings() string
+	// describe renders \d (arg "" lists relations); plan renders \plan.
+	describe(arg string, out io.Writer)
+	plan(sql string, out io.Writer)
 }
 
-// replWith is repl on an explicit physical engine (tqshell's -engine,
-// -parallel and -mem flags resolve to one); a zero spec means the
-// optimizer's default, the reference evaluator.
-func replWith(cat *tqp.Catalog, dbName string, spec tqp.EngineSpec, in io.Reader, out io.Writer) {
-	var opts []tqp.OptimizerOption
-	if spec.New != nil {
-		opts = append(opts, tqp.WithEngine(spec))
-	}
-	opt := tqp.NewOptimizer(cat, opts...)
-
-	fmt.Fprintln(out, "tqp shell — temporal SQL over the", dbName, "database; \\q quits, \\d lists relations")
+// runREPL is the session loop over an explicit input and output, so tests
+// can script sessions through a pipe.
+func runREPL(b backend, in io.Reader, out io.Writer) {
+	fmt.Fprintln(out, b.banner())
 	sc := bufio.NewScanner(in)
 	fmt.Fprint(out, "tqp> ")
 	for sc.Scan() {
@@ -88,21 +110,26 @@ func replWith(cat *tqp.Catalog, dbName string, spec tqp.EngineSpec, in io.Reader
 		case line == `\q`:
 			return
 		case line == `\d`:
-			for _, name := range cat.Names() {
-				e, _ := cat.Entry(name)
-				fmt.Fprintf(out, "  %-12s %s, %d tuples\n", name, e.Rel.Schema(), e.Rel.Len())
-			}
+			b.describe("", out)
 		case strings.HasPrefix(line, `\d `):
-			name := strings.TrimSpace(line[3:])
-			if r, err := cat.Resolve(name); err != nil {
+			b.describe(strings.TrimSpace(line[3:]), out)
+		case line == `\set`:
+			fmt.Fprintln(out, b.settings())
+		case strings.HasPrefix(line, `\set `):
+			fields := strings.Fields(line[5:])
+			if len(fields) != 2 {
+				fmt.Fprintln(out, `error: usage: \set engine|parallel|mem VALUE`)
+				break
+			}
+			if err := b.set(strings.ToLower(fields[0]), fields[1]); err != nil {
 				fmt.Fprintln(out, "error:", err)
 			} else {
-				fmt.Fprint(out, r)
+				fmt.Fprintln(out, b.settings())
 			}
 		case strings.HasPrefix(line, `\plan `):
-			explain(opt, strings.TrimSpace(line[6:]), out)
+			b.plan(strings.TrimSpace(line[6:]), out)
 		default:
-			runSQL(opt, line, out)
+			b.run(line, out)
 		}
 		fmt.Fprint(out, "tqp> ")
 	}
@@ -111,13 +138,103 @@ func replWith(cat *tqp.Catalog, dbName string, spec tqp.EngineSpec, in io.Reader
 	}
 }
 
-func explain(opt *tqp.Optimizer, sql string, out io.Writer) {
-	plans, err := opt.OptimizeSQL(sql)
+// localBackend evaluates statements in process over a catalog. It keeps
+// the session's engine settings (the -engine/-parallel/-mem flags, mutable
+// via \set) and rebuilds its optimizer when they change.
+type localBackend struct {
+	cat      *tqp.Catalog
+	dbName   string
+	engine   string // "" = the optimizer's default (reference, default costs)
+	parallel int
+	mem      int64
+	opt      *tqp.Optimizer
+}
+
+// newLocalBackend builds a local backend; an empty engine name keeps the
+// optimizer's defaults (the repl test helper's mode).
+func newLocalBackend(cat *tqp.Catalog, dbName, engine string, parallel int, mem int64) (*localBackend, error) {
+	b := &localBackend{cat: cat, dbName: dbName, engine: engine, parallel: parallel, mem: mem}
+	if err := b.rebuild(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// rebuild re-derives the optimizer from the current settings.
+func (b *localBackend) rebuild() error {
+	if b.engine == "" && b.parallel == 0 && b.mem == 0 {
+		b.opt = tqp.NewOptimizer(b.cat)
+		return nil
+	}
+	spec, err := tqp.ResolveEngineWith(b.engine, b.parallel, b.mem)
+	if err != nil {
+		return err
+	}
+	b.opt = tqp.NewOptimizer(b.cat, tqp.WithEngine(spec))
+	return nil
+}
+
+func (b *localBackend) banner() string {
+	return "tqp shell — temporal SQL over the " + b.dbName + " database; \\q quits, \\d lists relations"
+}
+
+func (b *localBackend) set(name, value string) error {
+	old := *b
+	switch name {
+	case "engine":
+		b.engine = value
+	case "parallel":
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad parallel %q (want a worker count)", value)
+		}
+		b.parallel = n
+	case "mem":
+		budget, err := core.ParseBytes(value)
+		if err != nil {
+			return err
+		}
+		b.mem = budget
+	default:
+		return fmt.Errorf("unknown setting %q (want engine, parallel or mem)", name)
+	}
+	if err := b.rebuild(); err != nil {
+		*b = old // an invalid combination leaves the session untouched
+		return err
+	}
+	return nil
+}
+
+func (b *localBackend) settings() string {
+	engine := b.engine
+	if engine == "" {
+		engine = "reference"
+	}
+	return fmt.Sprintf("settings: engine=%s parallel=%d mem=%d", engine, b.parallel, b.mem)
+}
+
+func (b *localBackend) describe(arg string, out io.Writer) {
+	if arg == "" {
+		for _, name := range b.cat.Names() {
+			e, _ := b.cat.Entry(name)
+			fmt.Fprintf(out, "  %-12s %s, %d tuples\n", name, e.Rel.Schema(), e.Rel.Len())
+		}
+		return
+	}
+	if r, err := b.cat.Resolve(arg); err != nil {
+		fmt.Fprintln(out, "error:", err)
+	} else {
+		fmt.Fprint(out, r)
+	}
+}
+
+func (b *localBackend) plan(sql string, out io.Writer) {
+	plans, err := b.opt.OptimizeSQL(sql)
 	if err != nil {
 		fmt.Fprintln(out, "error:", err)
 		return
 	}
-	rendered, err := opt.Explain(plans.Best, plans.ResultType)
+	rendered, err := b.opt.Explain(plans.Best, plans.ResultType)
 	if err != nil {
 		fmt.Fprintln(out, "error:", err)
 		return
@@ -126,8 +243,8 @@ func explain(opt *tqp.Optimizer, sql string, out io.Writer) {
 		len(plans.All), plans.BestCost, plans.InitialCost, rendered)
 }
 
-func runSQL(opt *tqp.Optimizer, sql string, out io.Writer) {
-	result, plans, trace, err := opt.Run(sql)
+func (b *localBackend) run(sql string, out io.Writer) {
+	result, plans, trace, err := b.opt.Run(sql)
 	if err != nil {
 		fmt.Fprintln(out, "error:", err)
 		return
@@ -135,4 +252,79 @@ func runSQL(opt *tqp.Optimizer, sql string, out io.Writer) {
 	fmt.Fprint(out, result)
 	fmt.Fprintf(out, "(%d tuples; %d plans considered; best cost %.0f; %d tuples transferred)\n",
 		result.Len(), len(plans.All), plans.BestCost, trace.TuplesTransferred)
+}
+
+// remoteBackend drives a tqserver session. The engine settings live
+// server-side; the backend tracks what it set for \set's display.
+type remoteBackend struct {
+	cl       *server.Client
+	addr     string
+	engine   string
+	parallel string
+	mem      string
+}
+
+func newRemoteBackend(cl *server.Client, addr string) *remoteBackend {
+	return &remoteBackend{cl: cl, addr: addr, engine: "(server default)", parallel: "-", mem: "-"}
+}
+
+func (b *remoteBackend) banner() string {
+	return "tqp shell — connected to tqserver at " + b.addr + "; \\q quits, \\set changes session settings"
+}
+
+func (b *remoteBackend) set(name, value string) error {
+	if err := b.cl.Set(name, value); err != nil {
+		return err
+	}
+	b.track(name, value)
+	return nil
+}
+
+// track records a server-acknowledged setting for \set's display.
+func (b *remoteBackend) track(name, value string) {
+	switch name {
+	case "engine":
+		b.engine = value
+	case "parallel":
+		b.parallel = value
+	case "mem":
+		b.mem = value
+	}
+}
+
+func (b *remoteBackend) settings() string {
+	return fmt.Sprintf("settings: engine=%s parallel=%s mem=%s (session at %s)",
+		b.engine, b.parallel, b.mem, b.addr)
+}
+
+func (b *remoteBackend) describe(_ string, out io.Writer) {
+	fmt.Fprintln(out, `error: \d is not available in client mode (the catalog lives server-side)`)
+}
+
+func (b *remoteBackend) plan(_ string, out io.Writer) {
+	fmt.Fprintln(out, `error: \plan is not available in client mode`)
+}
+
+func (b *remoteBackend) run(sql string, out io.Writer) {
+	result, meta, err := b.cl.Query(sql)
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	if result == nil {
+		// An in-band SET statement: acknowledged, no result set. Mirror it
+		// into the tracked settings so \set displays what the server holds.
+		if name, val, isSet, perr := server.ParseSet(sql); isSet && perr == nil {
+			b.track(name, val)
+		}
+		fmt.Fprintln(out, "ok")
+		return
+	}
+	cache := "miss"
+	if meta.CacheHit {
+		cache = "hit"
+	}
+	fmt.Fprint(out, result)
+	fmt.Fprintf(out, "(%d tuples; plan cache %s; engine %s; %d tuples transferred)\n",
+		result.Len(), cache, meta.Engine, meta.TuplesTransferred)
 }

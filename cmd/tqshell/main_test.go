@@ -3,18 +3,25 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"tqp/internal/server"
 )
 
-// session scripts one shell run over the paper catalog and returns the
-// rendered transcript.
+// session scripts one local shell run over the paper catalog (the
+// optimizer's defaults, like the bare CLI before any flags) and returns
+// the rendered transcript.
 func session(t *testing.T, lines ...string) string {
 	t.Helper()
 	cat, err := openCatalog("paper", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
+	b, err := newLocalBackend(cat, "paper", "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var out strings.Builder
-	repl(cat, "paper", strings.NewReader(strings.Join(lines, "\n")+"\n"), &out)
+	runREPL(b, strings.NewReader(strings.Join(lines, "\n")+"\n"), &out)
 	return out.String()
 }
 
@@ -75,6 +82,115 @@ func TestSessionMetaCommands(t *testing.T) {
 	}
 	if !strings.Contains(got, "plans; best (cost ") {
 		t.Errorf("\\plan must print the plan summary:\n%s", got)
+	}
+}
+
+// TestSessionSetLocal scripts the \set meta-command in local mode: the
+// session switches engines, worker counts and budgets mid-session, invalid
+// combinations are rejected without clobbering the session, and queries
+// keep working (and agreeing) across switches.
+func TestSessionSetLocal(t *testing.T) {
+	got := session(t,
+		`\set`,
+		`SELECT DISTINCT EmpName FROM EMPLOYEE ORDER BY EmpName`,
+		`\set engine exec`,
+		`SELECT DISTINCT EmpName FROM EMPLOYEE ORDER BY EmpName`,
+		`\set parallel 2`,
+		`\set mem 1M`,
+		`SELECT DISTINCT EmpName FROM EMPLOYEE ORDER BY EmpName`,
+		`\set engine reference`, // invalid: parallel 2 is still set
+		`\set bogus 1`,
+		`\set parallel notanumber`,
+		`\set parallel 2abc`, // trailing garbage must be rejected, not truncated
+		`\q`,
+	)
+	if !strings.Contains(got, "settings: engine=reference parallel=0 mem=0") {
+		t.Errorf("\\set must show the defaults:\n%s", got)
+	}
+	if !strings.Contains(got, "settings: engine=exec parallel=0 mem=0") {
+		t.Errorf("\\set engine exec must update the settings line:\n%s", got)
+	}
+	if !strings.Contains(got, "settings: engine=exec parallel=2 mem=1048576") {
+		t.Errorf("\\set mem 1M must update the settings line:\n%s", got)
+	}
+	// Three successful queries, identical result rows each time.
+	if c := strings.Count(got, "plans considered"); c != 3 {
+		t.Errorf("expected 3 executed queries, saw %d:\n%s", c, got)
+	}
+	if c := strings.Count(got, "Anna"); c != 3 {
+		t.Errorf("every engine must produce the same rows (saw Anna %d times):\n%s", c, got)
+	}
+	// The invalid switch to reference (single-threaded) is refused.
+	if !strings.Contains(got, "single-threaded") {
+		t.Errorf("reference+parallel must be rejected:\n%s", got)
+	}
+	for _, want := range []string{`unknown setting "bogus"`, `bad parallel "notanumber"`, `bad parallel "2abc"`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestSessionClientMode scripts a session against an in-process tqserver:
+// the same REPL speaks the wire protocol, \set drives the server-side
+// session, in-band SET statements work, and repeat statements hit the plan
+// cache.
+func TestSessionClientMode(t *testing.T) {
+	cat, err := openCatalog("paper", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.Start(server.Config{Catalog: cat, MaxConcurrent: 2, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := server.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	lines := []string{
+		`SELECT DISTINCT EmpName FROM EMPLOYEE ORDER BY EmpName`,
+		`SELECT DISTINCT EmpName FROM EMPLOYEE ORDER BY EmpName`, // cache hit
+		`\set parallel 2`,
+		`SET mem = 1M`, // in-band SET statement
+		`\set`,         // must mirror the in-band change
+		`SELECT DISTINCT EmpName FROM EMPLOYEE ORDER BY EmpName`,
+		`\set engine bogus`,
+		`\d`,
+		`\q`,
+	}
+	var out strings.Builder
+	runREPL(newRemoteBackend(cl, srv.Addr()), strings.NewReader(strings.Join(lines, "\n")+"\n"), &out)
+	got := out.String()
+
+	if !strings.Contains(got, "connected to tqserver at") {
+		t.Errorf("missing client banner:\n%s", got)
+	}
+	if !strings.Contains(got, "plan cache miss") || !strings.Contains(got, "plan cache hit") {
+		t.Errorf("expected a cache miss then a hit:\n%s", got)
+	}
+	// After \set parallel 2 and SET mem 1M the query reports the derived
+	// engine spec name.
+	if !strings.Contains(got, "engine exec-par2-mem1M") {
+		t.Errorf("session settings must reach the engine spec:\n%s", got)
+	}
+	if !strings.Contains(got, "ok") {
+		t.Errorf("in-band SET must acknowledge:\n%s", got)
+	}
+	if !strings.Contains(got, "parallel=2 mem=1M") {
+		t.Errorf("\\set must mirror in-band SET statements:\n%s", got)
+	}
+	if !strings.Contains(got, `unknown engine "bogus"`) {
+		t.Errorf("invalid engine must be rejected server-side:\n%s", got)
+	}
+	if !strings.Contains(got, `\d is not available in client mode`) {
+		t.Errorf("\\d must explain itself in client mode:\n%s", got)
+	}
+	if c := strings.Count(got, "Anna"); c != 3 {
+		t.Errorf("every query must return the rows (saw Anna %d times):\n%s", c, got)
 	}
 }
 

@@ -6,6 +6,7 @@ package catalog
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"tqp/internal/algebra"
@@ -127,6 +128,25 @@ func (c *Catalog) MustNode(name string) *algebra.Rel {
 		panic(err)
 	}
 	return n
+}
+
+// Fingerprint returns a stable hash of the catalog's planning-relevant
+// state: relation names, schemas, base-info flags, declared orders and
+// statistics. Two catalogs with equal fingerprints yield identical plans
+// for any statement, so the fingerprint keys cached physical plans (the
+// server's plan cache) — a catalog swap or a statistics change invalidates
+// every entry keyed under the old fingerprint. Instance tuples are not
+// hashed; they don't influence planning, only Stats does.
+func (c *Catalog) Fingerprint() string {
+	h := fnv.New64a()
+	for _, name := range c.Names() {
+		e := c.entries[name]
+		fmt.Fprintf(h, "%s|%s|%v|%v|%v|%s|%d|%.9g|%.9g;",
+			name, e.Rel.Schema(), e.Info.Distinct, e.Info.SnapshotDistinct,
+			e.Info.Coalesced, e.Info.Order, e.Stats.Card,
+			e.Stats.DistinctFrac, e.Stats.AvgPeriod)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Names returns the catalog's relation names, sorted.

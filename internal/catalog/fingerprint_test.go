@@ -1,0 +1,61 @@
+package catalog_test
+
+import (
+	"testing"
+
+	"tqp/internal/algebra"
+	"tqp/internal/catalog"
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+	"tqp/internal/value"
+)
+
+// TestFingerprint pins the plan-cache invalidation contract: equal
+// catalogs fingerprint equally (stable across instances and calls), and
+// any planning-relevant difference — an extra relation, different
+// statistics, different base info — changes the fingerprint.
+func TestFingerprint(t *testing.T) {
+	a, b := catalog.Paper(), catalog.Paper()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal catalogs must fingerprint equally")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("the fingerprint must be stable across calls")
+	}
+
+	s := schema.MustNew(schema.Attr("A", value.KindInt))
+	one := relation.MustFromRows(s, [][]any{{1}})
+	two := relation.MustFromRows(s, [][]any{{1}, {2}})
+
+	// An extra relation changes the fingerprint.
+	if err := b.Add("EXTRA", one, algebra.BaseInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("an extra relation must change the fingerprint")
+	}
+
+	// Different statistics (cardinality) under the same name differ.
+	c1, c2 := catalog.New(), catalog.New()
+	if err := c1.Add("R", one, algebra.BaseInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Add("R", two, algebra.BaseInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	if c1.Fingerprint() == c2.Fingerprint() {
+		t.Fatal("different cardinalities must change the fingerprint")
+	}
+
+	// Different base info under identical data differs.
+	c3, c4 := catalog.New(), catalog.New()
+	if err := c3.Add("R", one, algebra.BaseInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c4.Add("R", one, algebra.BaseInfo{Distinct: true}); err != nil {
+		t.Fatal(err)
+	}
+	if c3.Fingerprint() == c4.Fingerprint() {
+		t.Fatal("different base info must change the fingerprint")
+	}
+}

@@ -1,0 +1,182 @@
+package core_test
+
+// The concurrency audit the serving layer relies on: one Optimizer (and
+// one cached Prepared) used from many goroutines at once must be safe and
+// deterministic. CI runs this under -race; any shared mutable state on the
+// parse → plan → enumerate → cost → execute path surfaces here. The
+// invariant is strong on purpose: not merely "no race", but every
+// concurrent execution returns the exact result list the sequential path
+// returns.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"tqp/internal/catalog"
+	"tqp/internal/core"
+	"tqp/internal/exec"
+	"tqp/internal/relation"
+)
+
+// auditStatements covers the pipeline breadth-first: conventional and
+// sequenced selects, set operations, grouping, coalescing, a qualified
+// join, and the paper's running example.
+var auditStatements = []string{
+	"SELECT EmpName FROM EMPLOYEE",
+	"SELECT DISTINCT EmpName FROM EMPLOYEE ORDER BY EmpName",
+	"SELECT EmpName, Dept FROM EMPLOYEE WHERE Dept = 'Sales' ORDER BY EmpName DESC",
+	"VALIDTIME SELECT DISTINCT COALESCED EmpName FROM EMPLOYEE EXCEPT SELECT EmpName FROM PROJECT ORDER BY EmpName ASC",
+	"SELECT EmpName FROM EMPLOYEE UNION SELECT EmpName FROM PROJECT ORDER BY EmpName",
+	"VALIDTIME SELECT Dept, COUNT(*) AS headcount FROM EMPLOYEE GROUP BY Dept",
+	"VALIDTIME SELECT DISTINCT 1.EmpName FROM EMPLOYEE, PROJECT WHERE 1.EmpName = 2.EmpName",
+}
+
+// TestOptimizerConcurrentUse shares one Optimizer across N goroutines,
+// each independently preparing and executing the audit statements, and
+// requires every result to be bit-identical to the sequential outcome.
+func TestOptimizerConcurrentUse(t *testing.T) {
+	cat := catalog.Paper()
+	spec := exec.SpecWith(exec.Options{Parallelism: 2})
+	opt := core.New(cat, core.WithEngine(spec), core.WithDBMSSeed(1))
+
+	// Sequential oracle first.
+	want := make(map[string]*relation.Relation, len(auditStatements))
+	for _, sql := range auditStatements {
+		prep, err := opt.Prepare(sql)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		r, _, err := opt.ExecutePlan(prep.Plan, spec)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		want[sql] = r
+	}
+
+	const goroutines = 8
+	errc := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, sql := range auditStatements {
+				// Rotate the starting statement so goroutines collide on
+				// different statements at any instant.
+				sql = auditStatements[(i+g)%len(auditStatements)]
+				prep, err := opt.Prepare(sql)
+				if err != nil {
+					errc <- fmt.Errorf("goroutine %d: prepare %q: %w", g, sql, err)
+					return
+				}
+				got, _, err := opt.ExecutePlan(prep.Plan, spec)
+				if err != nil {
+					errc <- fmt.Errorf("goroutine %d: execute %q: %w", g, sql, err)
+					return
+				}
+				if !got.EqualAsList(want[sql]) {
+					errc <- fmt.Errorf("goroutine %d: %q: concurrent result differs from sequential", g, sql)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedPreparedConcurrentExecution executes one cached Prepared — one
+// shared plan tree — from many goroutines on distinct engine specs at
+// once. This is exactly what a plan-cache hit does on a busy server: the
+// tree must behave as immutable under execution.
+func TestSharedPreparedConcurrentExecution(t *testing.T) {
+	cat := catalog.Paper()
+	opt := core.New(cat, core.WithDBMSSeed(1))
+	const sql = "VALIDTIME SELECT DISTINCT COALESCED EmpName FROM EMPLOYEE EXCEPT SELECT EmpName FROM PROJECT ORDER BY EmpName ASC"
+	prep, err := opt.Prepare(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []struct {
+		name string
+		opts exec.Options
+	}{
+		{"seq", exec.Options{}},
+		{"par2", exec.Options{Parallelism: 2}},
+		{"mem64K", exec.Options{MemoryBudget: 64 << 10}},
+	}
+	want, _, err := opt.ExecutePlan(prep.Plan, exec.SpecWith(specs[0].opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const perSpec = 4
+	errc := make(chan error, len(specs)*perSpec)
+	var wg sync.WaitGroup
+	for _, sc := range specs {
+		for k := 0; k < perSpec; k++ {
+			wg.Add(1)
+			go func(name string, o exec.Options) {
+				defer wg.Done()
+				got, _, err := opt.ExecutePlan(prep.Plan, exec.SpecWith(o))
+				if err != nil {
+					errc <- fmt.Errorf("%s: %w", name, err)
+					return
+				}
+				if !got.EqualAsList(want) {
+					errc <- fmt.Errorf("%s: shared-plan execution differs", name)
+				}
+			}(sc.name, sc.opts)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestOptimizerConcurrentRunAndExplain exercises the remaining public
+// surface concurrently — Run (with its ≡SQL verification), OptimizeSQL and
+// Explain — since the shell and the server lean on all three.
+func TestOptimizerConcurrentRunAndExplain(t *testing.T) {
+	cat := catalog.Paper()
+	spec, err := core.EngineSpec("exec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.New(cat, core.WithEngine(spec))
+	const goroutines = 6
+	errc := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sql := auditStatements[g%len(auditStatements)]
+			result, plans, _, err := opt.Run(sql)
+			if err != nil {
+				errc <- fmt.Errorf("run %q: %w", sql, err)
+				return
+			}
+			if result.Len() == 0 {
+				// Every audit statement yields rows on the paper catalog;
+				// a zero-length result marks a wrong plan.
+				errc <- fmt.Errorf("run %q: empty result", sql)
+				return
+			}
+			if _, err := opt.Explain(plans.Best, plans.ResultType); err != nil {
+				errc <- fmt.Errorf("explain %q: %w", sql, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

@@ -272,6 +272,84 @@ func (o *Optimizer) OptimizeBeam(initial algebra.Node, rt equiv.ResultType, orde
 	}, nil
 }
 
+// Prepared is a statement optimized down to one executable physical plan —
+// the unit the serving layer caches. It carries everything needed to run
+// the statement again without parsing or enumerating: the chosen plan
+// (wrapped in its EnforceOrder sort, so the ORDER BY contract is physical),
+// the result type, and the planning provenance the server reports with
+// results. A Prepared is immutable after Prepare returns; plan trees are
+// never mutated by execution (the stratum executor rebinds children into
+// fresh nodes), so one Prepared may be executed from any number of
+// goroutines concurrently.
+type Prepared struct {
+	// SQL is the statement text as planned.
+	SQL string
+	// Plan is the best plan under the cost model, order-enforced at the root.
+	Plan algebra.Node
+	// ResultType and OrderBy derive from Definition 5.1.
+	ResultType equiv.ResultType
+	OrderBy    relation.OrderSpec
+	// PlanCount and BestCost record the enumeration outcome.
+	PlanCount int
+	BestCost  float64
+}
+
+// Prepare parses, plans and costs a statement down to a single executable
+// physical plan — the plan-cache hook: the server calls Prepare on a cache
+// miss, stores the result keyed by (normalized SQL, catalog fingerprint,
+// engine spec), and executes cached Prepareds directly on a hit, skipping
+// the parse and the beam enumeration entirely. Enumeration uses the
+// cost-guided beam search (OptimizeBeam), the production path for
+// statements whose exhaustive closure would be large.
+func (o *Optimizer) Prepare(sql string) (*Prepared, error) {
+	q, err := tsql.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	initial, err := q.Plan(o.cat)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := o.OptimizeBeam(initial, q.ResultType(), q.OrderBy())
+	if err != nil {
+		return nil, err
+	}
+	plan := EnforceOrder(ps.Best, ps.OrderBy)
+	if err := stratum.ValidateSites(plan); err != nil {
+		return nil, err
+	}
+	return &Prepared{
+		SQL:        sql,
+		Plan:       plan,
+		ResultType: ps.ResultType,
+		OrderBy:    ps.OrderBy,
+		PlanCount:  len(ps.All),
+		BestCost:   ps.BestCost,
+	}, nil
+}
+
+// ExecutePlan runs a plan through the layered stratum/DBMS executor on an
+// explicit physical engine spec, overriding the optimizer's own (see
+// WithEngine). This is the per-query execution path of the serving layer:
+// the admission controller derives a spec from each query's resource grant
+// (worker share, memory share, spill directory) and executes the cached
+// plan on it, while planning stays keyed to the session's engine settings.
+// A fresh executor is built per call, so concurrent ExecutePlan calls on
+// one Optimizer never share mutable state.
+func (o *Optimizer) ExecutePlan(plan algebra.Node, spec eval.EngineSpec) (*relation.Relation, *stratum.Trace, error) {
+	if err := stratum.ValidateSites(plan); err != nil {
+		return nil, nil, err
+	}
+	return stratum.NewWithEngine(o.cat, o.seed, spec).Execute(plan)
+}
+
+// Fingerprint returns the catalog's planning fingerprint (see
+// catalog.Fingerprint) — one of the three components of a plan-cache key.
+func (o *Optimizer) Fingerprint() string { return o.cat.Fingerprint() }
+
+// Engine returns the optimizer's physical engine spec.
+func (o *Optimizer) Engine() eval.EngineSpec { return o.engine }
+
 // EnforceOrder wraps a plan in sort_{orderBy}, physically guaranteeing the
 // ≡SQL order contract of Definition 5.1 at the root. The wrapper costs
 // next to nothing where the optimizer did its job: the exec engine elides

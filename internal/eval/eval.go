@@ -78,6 +78,18 @@ type EngineSpec struct {
 	MemoryBudget int64
 }
 
+// Instantiate constructs a fresh engine over src from the spec — the
+// per-query instantiation path: holders share one immutable EngineSpec (the
+// server's sessions, the stratum executor) and build a private engine per
+// evaluation, so no engine state is ever shared across concurrent queries.
+// A zero spec (nil New) instantiates the reference evaluator.
+func (s EngineSpec) Instantiate(src Source) Engine {
+	if s.New == nil {
+		return New(src)
+	}
+	return s.New(src)
+}
+
 // Reference returns the spec of this package's reference evaluator.
 func Reference() EngineSpec {
 	return EngineSpec{

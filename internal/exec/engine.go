@@ -174,6 +174,39 @@ func BudgetedSpec(workers int, budget int64) eval.EngineSpec {
 	}
 }
 
+// SpecWith returns the engine spec for an arbitrary Options value, named
+// consistently with Spec/ParallelSpec/BudgetedSpec ("exec", "exec-par4",
+// "exec-par4-mem16M", …). It is the general constructor the serving layer
+// uses: a session's engine settings plus the admission controller's
+// resource shares (and the server's spill directory) become one immutable
+// spec, instantiated per query via eval.EngineSpec.Instantiate. The
+// restriction flags (NoMerge, NoSortElision) exist for differential tests
+// and are reflected in OrderAware so the cost model never prices variants
+// the engine won't compile.
+func SpecWith(opts Options) eval.EngineSpec {
+	if opts.Parallelism < 1 {
+		opts.Parallelism = 1
+	}
+	name := "exec"
+	if opts.NoMerge || opts.NoSortElision {
+		name = "exec-hash"
+	}
+	if opts.Parallelism > 1 {
+		name += fmt.Sprintf("-par%d", opts.Parallelism)
+	}
+	if opts.MemoryBudget > 0 {
+		name += "-mem" + memString(opts.MemoryBudget)
+	}
+	return eval.EngineSpec{
+		Name:         name,
+		New:          func(src eval.Source) eval.Engine { return NewWith(src, opts) },
+		Streaming:    true,
+		OrderAware:   !opts.NoMerge && !opts.NoSortElision,
+		Parallelism:  opts.Parallelism,
+		MemoryBudget: opts.MemoryBudget,
+	}
+}
+
 // memString renders a byte count compactly for engine names ("64K", "16M",
 // "1G", or plain bytes when not a whole unit).
 func memString(b int64) string {

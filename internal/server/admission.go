@@ -1,0 +1,209 @@
+package server
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrSaturated is the typed rejection of the admission controller: the
+// concurrency cap is reached and either the wait queue is full or the
+// queue deadline expired before a slot freed up. Wire responses carry it
+// as error code "admission".
+var ErrSaturated = errors.New("server: admission saturated")
+
+// ErrClosing reports a query arriving while the server drains. Wire
+// responses carry it as error code "shutdown".
+var ErrClosing = errors.New("server: shutting down")
+
+// AdmissionStats is a point-in-time snapshot of the controller's counters.
+type AdmissionStats struct {
+	// Admitted counts queries granted a slot (immediately or after
+	// queueing); Rejected those bounced off a full queue; TimedOut those
+	// whose queue deadline expired before a slot freed up.
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+	TimedOut int64 `json:"timed_out"`
+	// Active and Queued are the current occupancy; the Peak values their
+	// high-water marks.
+	Active     int `json:"active"`
+	Queued     int `json:"queued"`
+	PeakActive int `json:"peak_active"`
+	PeakQueued int `json:"peak_queued"`
+	// MaxConcurrent and MaxQueue echo the configuration.
+	MaxConcurrent int `json:"max_concurrent"`
+	MaxQueue      int `json:"max_queue"`
+}
+
+// Grant is one admitted query's resource share: the slice of the server's
+// global worker pool and memory budget it may use. Shares are static —
+// pool/cap and budget/cap — rather than load-dependent, so the engine spec
+// a session derives from its grant is deterministic and cacheable; the
+// trade is that a lone query on an idle server still runs at its share
+// width rather than the full pool.
+type Grant struct {
+	// Workers is the query's worker-pool share (≥ 1).
+	Workers int
+	// Memory is the query's memory-budget share in bytes; 0 when the
+	// server is unbudgeted.
+	Memory int64
+}
+
+// waiter is one queued admission request.
+type waiter struct {
+	granted chan bool // true = slot handed over; false = server closing
+}
+
+// admission caps concurrent queries at maxConcurrent, queues up to
+// maxQueue excess arrivals for at most queueTimeout each (FIFO), and
+// rejects the rest with ErrSaturated. Releases hand the freed slot to the
+// longest waiter directly, so the queue drains in arrival order.
+type admission struct {
+	maxConcurrent int
+	maxQueue      int
+	queueTimeout  time.Duration
+	workers       int
+	memory        int64
+
+	mu       sync.Mutex
+	active   int
+	queue    *list.List // of *waiter
+	closed   bool
+	admitted int64
+	rejected int64
+	timedOut int64
+	peakAct  int
+	peakQue  int
+}
+
+// newAdmission builds a controller over a global pool of workers and a
+// global memory budget (0 = unbudgeted).
+func newAdmission(maxConcurrent, maxQueue int, queueTimeout time.Duration, workers int, memory int64) *admission {
+	a := &admission{
+		maxConcurrent: maxConcurrent,
+		maxQueue:      maxQueue,
+		queueTimeout:  queueTimeout,
+		workers:       workers,
+		memory:        memory,
+		queue:         list.New(),
+	}
+	return a
+}
+
+// grant computes the static per-query resource share.
+func (a *admission) grant() Grant {
+	g := Grant{Workers: a.workers / a.maxConcurrent}
+	if g.Workers < 1 {
+		g.Workers = 1
+	}
+	if a.memory > 0 {
+		g.Memory = a.memory / int64(a.maxConcurrent)
+		if g.Memory < 1 {
+			g.Memory = 1
+		}
+	}
+	return g
+}
+
+// acquire blocks until a slot is granted, the queue deadline expires, or
+// the controller closes. On success the caller must release() exactly once.
+func (a *admission) acquire() (Grant, error) {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return Grant{}, ErrClosing
+	}
+	if a.active < a.maxConcurrent {
+		a.active++
+		a.admitted++
+		if a.active > a.peakAct {
+			a.peakAct = a.active
+		}
+		a.mu.Unlock()
+		return a.grant(), nil
+	}
+	if a.queue.Len() >= a.maxQueue {
+		a.rejected++
+		a.mu.Unlock()
+		return Grant{}, fmt.Errorf("%w: %d queries active, queue of %d full", ErrSaturated, a.maxConcurrent, a.maxQueue)
+	}
+	w := &waiter{granted: make(chan bool, 1)}
+	el := a.queue.PushBack(w)
+	if a.queue.Len() > a.peakQue {
+		a.peakQue = a.queue.Len()
+	}
+	a.mu.Unlock()
+
+	timer := time.NewTimer(a.queueTimeout)
+	defer timer.Stop()
+	select {
+	case ok := <-w.granted:
+		if !ok {
+			return Grant{}, ErrClosing
+		}
+		return a.grant(), nil
+	case <-timer.C:
+		a.mu.Lock()
+		// The deadline raced a hand-over: if the slot arrived while the
+		// timer fired, keep it — the releaser already did the bookkeeping.
+		select {
+		case ok := <-w.granted:
+			a.mu.Unlock()
+			if !ok {
+				return Grant{}, ErrClosing
+			}
+			return a.grant(), nil
+		default:
+		}
+		a.queue.Remove(el)
+		a.timedOut++
+		a.mu.Unlock()
+		return Grant{}, fmt.Errorf("%w: queue deadline %s expired with %d queries active", ErrSaturated, a.queueTimeout, a.maxConcurrent)
+	}
+}
+
+// release frees a slot, handing it to the longest waiter if any.
+func (a *admission) release() {
+	a.mu.Lock()
+	if el := a.queue.Front(); el != nil {
+		a.queue.Remove(el)
+		a.admitted++
+		// The slot transfers: active stays constant.
+		el.Value.(*waiter).granted <- true
+		a.mu.Unlock()
+		return
+	}
+	a.active--
+	a.mu.Unlock()
+}
+
+// close rejects every queued waiter and makes future acquires fail with
+// ErrClosing. Active queries are unaffected — the server drains them.
+func (a *admission) close() {
+	a.mu.Lock()
+	a.closed = true
+	for el := a.queue.Front(); el != nil; el = el.Next() {
+		el.Value.(*waiter).granted <- false
+	}
+	a.queue.Init()
+	a.mu.Unlock()
+}
+
+// stats snapshots the counters.
+func (a *admission) stats() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionStats{
+		Admitted:      a.admitted,
+		Rejected:      a.rejected,
+		TimedOut:      a.timedOut,
+		Active:        a.active,
+		Queued:        a.queue.Len(),
+		PeakActive:    a.peakAct,
+		PeakQueued:    a.peakQue,
+		MaxConcurrent: a.maxConcurrent,
+		MaxQueue:      a.maxQueue,
+	}
+}

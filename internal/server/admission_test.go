@@ -1,0 +1,152 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmissionGrantShares pins the static resource division: pool/cap and
+// budget/cap, floored at one worker and one byte.
+func TestAdmissionGrantShares(t *testing.T) {
+	a := newAdmission(4, 0, time.Second, 8, 64<<20)
+	if g := a.grant(); g.Workers != 2 || g.Memory != 16<<20 {
+		t.Fatalf("grant: %+v", g)
+	}
+	a = newAdmission(8, 0, time.Second, 4, 3)
+	if g := a.grant(); g.Workers != 1 || g.Memory != 1 {
+		t.Fatalf("floored grant: %+v", g)
+	}
+	a = newAdmission(4, 0, time.Second, 4, 0)
+	if g := a.grant(); g.Workers != 1 || g.Memory != 0 {
+		t.Fatalf("unbudgeted grant: %+v", g)
+	}
+}
+
+// TestAdmissionCapAndQueue pins the slot discipline: immediate grants up
+// to the cap, FIFO hand-over to queued waiters, typed rejection when the
+// queue is full.
+func TestAdmissionCapAndQueue(t *testing.T) {
+	a := newAdmission(1, 1, time.Minute, 1, 0)
+	if _, err := a.acquire(); err != nil {
+		t.Fatal(err)
+	}
+	// The slot is held; the next acquire queues. Release hands it over.
+	got := make(chan error, 1)
+	go func() {
+		_, err := a.acquire()
+		got <- err
+	}()
+	for a.stats().Queued == 0 { // wait until the waiter is registered
+		time.Sleep(time.Millisecond)
+	}
+	// Queue full now: a third acquire is rejected immediately.
+	if _, err := a.acquire(); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("full queue: want ErrSaturated, got %v", err)
+	}
+	a.release()
+	if err := <-got; err != nil {
+		t.Fatalf("queued waiter after release: %v", err)
+	}
+	a.release()
+	st := a.stats()
+	if st.Admitted != 2 || st.Rejected != 1 || st.Active != 0 || st.Queued != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.PeakActive != 1 || st.PeakQueued != 1 {
+		t.Fatalf("peaks: %+v", st)
+	}
+}
+
+// TestAdmissionQueueTimeout pins the queue deadline: a waiter whose
+// deadline expires is rejected with ErrSaturated and leaves the queue.
+func TestAdmissionQueueTimeout(t *testing.T) {
+	a := newAdmission(1, 4, 20*time.Millisecond, 1, 0)
+	if _, err := a.acquire(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := a.acquire()
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("want ErrSaturated after deadline, got %v", err)
+	}
+	st := a.stats()
+	if st.TimedOut != 1 || st.Queued != 0 {
+		t.Fatalf("stats after timeout: %+v", st)
+	}
+	a.release()
+	// The slot must still be reusable after the timed-out waiter left.
+	if _, err := a.acquire(); err != nil {
+		t.Fatalf("acquire after timeout cycle: %v", err)
+	}
+	a.release()
+}
+
+// TestAdmissionClose pins the shutdown behaviour: queued waiters are
+// rejected with ErrClosing, future acquires fail, active slots release
+// normally.
+func TestAdmissionClose(t *testing.T) {
+	a := newAdmission(1, 4, time.Minute, 1, 0)
+	if _, err := a.acquire(); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		_, err := a.acquire()
+		got <- err
+	}()
+	for a.stats().Queued == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	a.close()
+	if err := <-got; !errors.Is(err, ErrClosing) {
+		t.Fatalf("queued waiter at close: want ErrClosing, got %v", err)
+	}
+	if _, err := a.acquire(); !errors.Is(err, ErrClosing) {
+		t.Fatalf("acquire after close: want ErrClosing, got %v", err)
+	}
+	a.release() // the active query drains without incident
+	if st := a.stats(); st.Active != 0 {
+		t.Fatalf("active after drain: %+v", st)
+	}
+}
+
+// TestAdmissionConcurrent runs many acquire/release cycles across
+// goroutines and checks the cap was never breached; under -race this is
+// the controller's data-race guard.
+func TestAdmissionConcurrent(t *testing.T) {
+	const cap = 3
+	a := newAdmission(cap, 64, time.Minute, cap, 0)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	active, peak := 0, 0
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := a.acquire(); err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				mu.Lock()
+				active++
+				if active > peak {
+					peak = active
+				}
+				mu.Unlock()
+				mu.Lock()
+				active--
+				mu.Unlock()
+				a.release()
+			}
+		}()
+	}
+	wg.Wait()
+	if peak > cap {
+		t.Fatalf("concurrency cap breached: observed %d > %d", peak, cap)
+	}
+	if st := a.stats(); st.Admitted != 16*50 || st.Active != 0 || st.Queued != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"tqp/internal/core"
+)
+
+// CacheStats is a point-in-time snapshot of the plan cache's counters.
+type CacheStats struct {
+	// Hits and Misses count lookups; Evictions counts entries dropped by
+	// the LRU bound (an overwrite of an existing key is not an eviction).
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	// Entries is the current entry count; Capacity the LRU bound (0 when
+	// caching is disabled).
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+}
+
+// planCache is the shared statement→physical-plan cache: an LRU over
+// prepared plans keyed by PlanKey (normalized statement text, catalog
+// fingerprint, engine spec name). Cached core.Prepared values are immutable
+// and safe to execute from any number of queries concurrently, so a hit
+// skips parsing and beam enumeration outright. A capacity of zero disables
+// caching — every lookup misses — which the throughput benchmark uses as
+// its cold-cache leg.
+type planCache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	byKey     map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// cacheEntry is one LRU element.
+type cacheEntry struct {
+	key  string
+	prep *core.Prepared
+}
+
+// newPlanCache returns a cache bounded to capacity entries; capacity <= 0
+// disables caching.
+func newPlanCache(capacity int) *planCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &planCache{
+		capacity: capacity,
+		ll:       list.New(),
+		byKey:    make(map[string]*list.Element),
+	}
+}
+
+// PlanKey composes the cache key. All three components matter: the
+// fingerprint invalidates plans when the catalog changes, the engine spec
+// name separates plans costed for different engines (a plan chosen for the
+// parallel engine's cost shapes is not the plan for the reference
+// evaluator), and the normalized statement folds trivial text variants of
+// one statement onto one entry.
+func PlanKey(fingerprint, engine, sql string) string {
+	return fingerprint + "\x1f" + engine + "\x1f" + NormalizeSQL(sql)
+}
+
+// get returns the cached preparation for key, promoting it to most
+// recently used; nil on a miss.
+func (c *planCache) get(key string) *core.Prepared {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).prep
+}
+
+// put stores a preparation under key, evicting from the LRU tail past
+// capacity. Concurrent misses on one key may both plan and both put; the
+// second put simply refreshes the entry — duplicate planning work, never a
+// wrong result.
+func (c *planCache) put(key string, prep *core.Prepared) {
+	if c.capacity == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).prep = prep
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, prep: prep})
+	for c.ll.Len() > c.capacity {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.byKey, tail.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// stats snapshots the counters.
+func (c *planCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Capacity:  c.capacity,
+	}
+}

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"tqp/internal/relation"
+)
+
+// Client is a synchronous connection to a Server: one request in flight at
+// a time (guarded by a mutex, so a Client may be shared across goroutines —
+// requests serialize). Each Client maps to one server session, so engine
+// settings applied with Set stick to this connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a server at addr (host:port).
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}, nil
+}
+
+// Close closes the connection (and with it the server-side session).
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// QueryMeta is the provenance a completed query carries back.
+type QueryMeta struct {
+	// CacheHit reports whether the server served a cached physical plan.
+	CacheHit bool
+	// Plans and BestCost record the (possibly cached) preparation.
+	Plans    int
+	BestCost float64
+	// TuplesTransferred counts stratum/DBMS boundary crossings server-side.
+	TuplesTransferred int
+	// Engine names the engine spec the query ran on.
+	Engine string
+}
+
+// send writes one request frame and flushes it; callers hold c.mu.
+func (c *Client) send(req *Request) error {
+	if err := WriteFrame(c.bw, req); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// read reads one response frame; callers hold c.mu.
+func (c *Client) read() (*Response, error) {
+	var resp Response
+	if err := ReadFrame(c.br, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Kind == KindError {
+		if resp.Err == nil {
+			return nil, &ServerError{Code: CodeProto, Msg: "error response without payload"}
+		}
+		return nil, &ServerError{Code: resp.Err.Code, Msg: resp.Err.Msg}
+	}
+	return &resp, nil
+}
+
+// Query runs one statement and materializes the result relation (with its
+// delivered order annotation) plus the execution provenance. Server-side
+// failures come back as *ServerError with the wire code preserved, so
+// callers can branch on admission rejections versus statement errors.
+func (c *Client) Query(sql string) (*relation.Relation, *QueryMeta, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.send(&Request{Op: OpQuery, SQL: sql}); err != nil {
+		return nil, nil, err
+	}
+	head, err := c.read()
+	if err != nil {
+		return nil, nil, err
+	}
+	if head.Kind == KindOK {
+		// A SET statement routed through Query: no result set.
+		return nil, &QueryMeta{}, nil
+	}
+	if head.Kind != KindSchema {
+		return nil, nil, fmt.Errorf("server: expected schema frame, got %q", head.Kind)
+	}
+	sch, err := schemaOf(head.Cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	var tuples []relation.Tuple
+	for {
+		resp, err := c.read()
+		if err != nil {
+			return nil, nil, err
+		}
+		switch resp.Kind {
+		case KindRows:
+			ts, err := decodeRows(sch, resp.Rows)
+			if err != nil {
+				return nil, nil, err
+			}
+			tuples = append(tuples, ts...)
+		case KindDone:
+			if resp.Done == nil {
+				return nil, nil, fmt.Errorf("server: done frame without payload")
+			}
+			if resp.Done.Tuples != len(tuples) {
+				return nil, nil, fmt.Errorf("server: done frame claims %d tuples, received %d", resp.Done.Tuples, len(tuples))
+			}
+			rel := relation.FromTuplesTrusted(sch, tuples)
+			rel.SetOrder(orderSpecOf(head.Order))
+			return rel, &QueryMeta{
+				CacheHit:          resp.Done.CacheHit,
+				Plans:             resp.Done.Plans,
+				BestCost:          resp.Done.BestCost,
+				TuplesTransferred: resp.Done.TuplesTransferred,
+				Engine:            resp.Done.Engine,
+			}, nil
+		default:
+			return nil, nil, fmt.Errorf("server: unexpected frame %q inside a result stream", resp.Kind)
+		}
+	}
+}
+
+// Set updates one session setting (engine, parallel, mem).
+func (c *Client) Set(name, val string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.send(&Request{Op: OpSet, Name: name, Value: val}); err != nil {
+		return err
+	}
+	resp, err := c.read()
+	if err != nil {
+		return err
+	}
+	if resp.Kind != KindOK {
+		return fmt.Errorf("server: expected ok frame, got %q", resp.Kind)
+	}
+	return nil
+}
+
+// Stats fetches the server's cache and admission statistics.
+func (c *Client) Stats() (*StatsReply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.send(&Request{Op: OpStats}); err != nil {
+		return nil, err
+	}
+	resp, err := c.read()
+	if err != nil {
+		return nil, err
+	}
+	if resp.Kind != KindStats || resp.Stats == nil {
+		return nil, fmt.Errorf("server: expected stats frame, got %q", resp.Kind)
+	}
+	return resp.Stats, nil
+}
+
+// Ping round-trips a connectivity check.
+func (c *Client) Ping() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.send(&Request{Op: OpPing}); err != nil {
+		return err
+	}
+	resp, err := c.read()
+	if err != nil {
+		return err
+	}
+	if resp.Kind != KindPong {
+		return fmt.Errorf("server: expected pong frame, got %q", resp.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,413 @@
+// Package server is the concurrent temporal-query service: a TCP server
+// speaking a length-prefixed JSON protocol over the optimizer assembled in
+// internal/core. It adds the three things the in-process API lacks for
+// serving repetitive multiset workloads to many clients at once:
+//
+//   - per-connection sessions carrying engine settings (engine, worker
+//     count, memory budget), adjustable mid-session via SET statements;
+//   - a shared plan cache mapping (normalized statement, catalog
+//     fingerprint, engine spec) to a prepared physical plan, so repeat
+//     statements skip parsing and beam enumeration entirely; and
+//   - an admission controller that caps concurrent queries and divides the
+//     server's global memory budget and worker pool into per-query shares,
+//     queueing excess arrivals with a deadline and rejecting with a typed
+//     error when saturated.
+//
+// The wire protocol is deliberately small. Every message is one frame: a
+// 4-byte big-endian payload length followed by that many bytes of JSON.
+// Clients send Request frames; the server answers each request with one or
+// more Response frames. A query answer is a "schema" frame, zero or more
+// "rows" frames (batched), and a terminal "done" frame — or a single
+// "error" frame. Attribute values travel as strings under a kind-aware
+// codec (see encodeValue), so int64 and chronon values round-trip exactly
+// regardless of JSON number precision.
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"tqp/internal/period"
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+	"tqp/internal/value"
+)
+
+// MaxFrame bounds a single protocol frame. A peer announcing a larger
+// payload is malformed (or hostile); the connection is dropped rather than
+// the allocation attempted.
+const MaxFrame = 64 << 20
+
+// Request operations.
+const (
+	// OpQuery optimizes and executes a statement (or applies a SET
+	// statement; see ParseSet).
+	OpQuery = "query"
+	// OpSet updates one session setting: name ∈ {engine, parallel, mem}.
+	OpSet = "set"
+	// OpStats returns server-wide cache and admission statistics.
+	OpStats = "stats"
+	// OpPing answers with a pong frame; a connectivity check.
+	OpPing = "ping"
+)
+
+// Response kinds.
+const (
+	KindSchema = "schema"
+	KindRows   = "rows"
+	KindDone   = "done"
+	KindOK     = "ok"
+	KindError  = "error"
+	KindStats  = "stats"
+	KindPong   = "pong"
+)
+
+// Error codes carried by error responses. Clients branch on the code, not
+// the message.
+const (
+	// CodeProto marks a malformed request (unknown op, bad frame payload).
+	CodeProto = "proto"
+	// CodeParse marks a statement the tsql dialect rejects.
+	CodeParse = "parse"
+	// CodePlan marks a statement that parsed but could not be planned.
+	CodePlan = "plan"
+	// CodeExec marks a runtime execution failure (e.g. division by zero).
+	CodeExec = "exec"
+	// CodeAdmission marks rejection by the admission controller: the
+	// concurrency cap is reached and the queue is full, or the queue
+	// deadline expired before a slot freed up.
+	CodeAdmission = "admission"
+	// CodeShutdown marks a query arriving while the server drains.
+	CodeShutdown = "shutdown"
+	// CodeSet marks an invalid session setting.
+	CodeSet = "set"
+)
+
+// Request is one client→server message.
+type Request struct {
+	Op string `json:"op"`
+	// SQL is the statement text (OpQuery).
+	SQL string `json:"sql,omitempty"`
+	// Name/Value carry a session setting (OpSet).
+	Name  string `json:"name,omitempty"`
+	Value string `json:"value,omitempty"`
+}
+
+// Col is one result column of a schema frame.
+type Col struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+// Order is one key of the result's delivered order.
+type Order struct {
+	Attr string `json:"attr"`
+	Desc bool   `json:"desc,omitempty"`
+}
+
+// Done summarizes a completed query.
+type Done struct {
+	// Tuples is the result cardinality (the rows frames sum to it).
+	Tuples int `json:"tuples"`
+	// Plans is the number of plans the beam enumeration visited when this
+	// statement was prepared (a cache hit reports the cached preparation's
+	// count).
+	Plans int `json:"plans"`
+	// CacheHit reports whether the physical plan came from the plan cache.
+	CacheHit bool `json:"cache_hit"`
+	// BestCost is the cost model's estimate for the executed plan.
+	BestCost float64 `json:"best_cost"`
+	// TuplesTransferred counts tuples crossing the stratum/DBMS boundary.
+	TuplesTransferred int `json:"tuples_transferred"`
+	// Engine names the physical engine spec the query ran on.
+	Engine string `json:"engine"`
+}
+
+// WireError is the payload of an error response.
+type WireError struct {
+	Code string `json:"code"`
+	Msg  string `json:"msg"`
+}
+
+// StatsReply is the payload of a stats response.
+type StatsReply struct {
+	Cache       CacheStats     `json:"cache"`
+	Admission   AdmissionStats `json:"admission"`
+	Conns       int            `json:"conns"`
+	Fingerprint string         `json:"fingerprint"`
+}
+
+// Response is one server→client message.
+type Response struct {
+	Kind  string      `json:"kind"`
+	Cols  []Col       `json:"cols,omitempty"`
+	Order []Order     `json:"order,omitempty"`
+	Rows  [][]string  `json:"rows,omitempty"`
+	Done  *Done       `json:"done,omitempty"`
+	Err   *WireError  `json:"error,omitempty"`
+	Stats *StatsReply `json:"stats,omitempty"`
+}
+
+// ServerError is the client-side form of an error response.
+type ServerError struct {
+	Code string
+	Msg  string
+}
+
+func (e *ServerError) Error() string { return fmt.Sprintf("server: [%s] %s", e.Code, e.Msg) }
+
+// WriteFrame marshals v and writes it as one length-prefixed frame.
+func WriteFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("server: encoding frame: %w", err)
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("server: frame of %d bytes exceeds the %d-byte limit", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame and unmarshals it into v.
+// io.EOF before the first header byte means a clean peer hangup and is
+// returned verbatim; a partial frame is an io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("server: reading frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("server: peer announced a %d-byte frame (limit %d)", n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("server: reading frame payload: %w", err)
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("%w: %v", errBadPayload, err)
+	}
+	return nil
+}
+
+// errBadPayload marks a well-framed message whose JSON payload failed to
+// decode. The frame was fully consumed, so the stream is still in sync —
+// the server answers with a proto error and keeps serving the connection,
+// unlike framing errors, which are unrecoverable.
+var errBadPayload = errors.New("server: bad frame payload")
+
+// colsOf renders a schema for the wire.
+func colsOf(s *schema.Schema) []Col {
+	out := make([]Col, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		a := s.At(i)
+		out[i] = Col{Name: a.Name, Kind: a.Kind.String()}
+	}
+	return out
+}
+
+// schemaOf rebuilds a schema from wire columns.
+func schemaOf(cols []Col) (*schema.Schema, error) {
+	attrs := make([]schema.Attribute, len(cols))
+	for i, c := range cols {
+		k, err := value.ParseKind(c.Kind)
+		if err != nil {
+			return nil, err
+		}
+		attrs[i] = schema.Attr(c.Name, k)
+	}
+	return schema.New(attrs...)
+}
+
+// orderOf renders an order spec for the wire.
+func orderOf(o relation.OrderSpec) []Order {
+	out := make([]Order, len(o))
+	for i, k := range o {
+		out[i] = Order{Attr: k.Attr, Desc: k.Dir == relation.Desc}
+	}
+	return out
+}
+
+// orderSpecOf rebuilds an order spec from wire keys.
+func orderSpecOf(keys []Order) relation.OrderSpec {
+	if len(keys) == 0 {
+		return nil
+	}
+	out := make(relation.OrderSpec, len(keys))
+	for i, k := range keys {
+		if k.Desc {
+			out[i] = relation.KeyDesc(k.Attr)
+		} else {
+			out[i] = relation.Key(k.Attr)
+		}
+	}
+	return out
+}
+
+// encodeValue renders one attribute value losslessly. JSON numbers decode
+// as float64 and would corrupt int64/chronon values past 2^53, so every
+// kind travels as a string and the receiver decodes against the schema's
+// kind (the schema frame always precedes the rows frames).
+func encodeValue(v value.Value) string {
+	switch v.Kind() {
+	case value.KindInt:
+		return strconv.FormatInt(v.AsInt(), 10)
+	case value.KindFloat:
+		return strconv.FormatFloat(v.AsFloat(), 'g', -1, 64)
+	case value.KindString:
+		return v.AsString()
+	case value.KindBool:
+		if v.AsBool() {
+			return "t"
+		}
+		return "f"
+	case value.KindTime:
+		return strconv.FormatInt(int64(v.AsTime()), 10)
+	default:
+		return ""
+	}
+}
+
+// decodeValue parses one encoded value against its schema kind.
+func decodeValue(k value.Kind, s string) (value.Value, error) {
+	switch k {
+	case value.KindInt:
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("server: bad int %q: %w", s, err)
+		}
+		return value.Int(n), nil
+	case value.KindFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("server: bad float %q: %w", s, err)
+		}
+		return value.Float(f), nil
+	case value.KindString:
+		return value.String_(s), nil
+	case value.KindBool:
+		switch s {
+		case "t":
+			return value.Bool(true), nil
+		case "f":
+			return value.Bool(false), nil
+		}
+		return value.Value{}, fmt.Errorf("server: bad bool %q", s)
+	case value.KindTime:
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("server: bad chronon %q: %w", s, err)
+		}
+		return value.Time(period.Chronon(n)), nil
+	default:
+		return value.Value{}, fmt.Errorf("server: cannot decode kind %s", k)
+	}
+}
+
+// encodeRows renders tuples[from:to] for a rows frame.
+func encodeRows(tuples []relation.Tuple, from, to int) [][]string {
+	out := make([][]string, to-from)
+	for i := from; i < to; i++ {
+		t := tuples[i]
+		row := make([]string, len(t))
+		for j, v := range t {
+			row[j] = encodeValue(v)
+		}
+		out[i-from] = row
+	}
+	return out
+}
+
+// decodeRows parses rows frames back into tuples, validating against the
+// schema as it goes.
+func decodeRows(s *schema.Schema, rows [][]string) ([]relation.Tuple, error) {
+	out := make([]relation.Tuple, len(rows))
+	for i, row := range rows {
+		if len(row) != s.Len() {
+			return nil, fmt.Errorf("server: row arity %d vs schema %s", len(row), s)
+		}
+		t := make(relation.Tuple, len(row))
+		for j, cell := range row {
+			v, err := decodeValue(s.At(j).Kind, cell)
+			if err != nil {
+				return nil, err
+			}
+			t[j] = v
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// NormalizeSQL is the plan cache's statement normal form: runs of
+// whitespace outside single-quoted literals collapse to one space, leading
+// and trailing whitespace is trimmed, and a trailing semicolon is dropped.
+// It is deliberately conservative — identifier and keyword case are left
+// alone (identifiers are case-sensitive in the dialect), so a case variant
+// is merely a cache miss, never a wrong hit.
+func NormalizeSQL(sql string) string {
+	var b strings.Builder
+	b.Grow(len(sql))
+	inQuote := false
+	space := false
+	for _, r := range sql {
+		if inQuote {
+			b.WriteRune(r)
+			if r == '\'' {
+				inQuote = false
+			}
+			continue
+		}
+		switch {
+		case r == '\'':
+			if space && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			space = false
+			inQuote = true
+			b.WriteRune(r)
+		case r == ' ' || r == '\t' || r == '\n' || r == '\r':
+			space = true
+		default:
+			if space && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			space = false
+			b.WriteRune(r)
+		}
+	}
+	return strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(b.String()), ";"))
+}
+
+// ParseSet recognizes a SET statement — "SET name value" or
+// "SET name = value" (name case-insensitive) — the in-band form of the
+// protocol's set operation, so sessions can be reconfigured from any plain
+// query source (tqshell scripts, the examples). ok is false when the text
+// is not a SET statement at all; a malformed SET returns an error.
+func ParseSet(sql string) (name, val string, ok bool, err error) {
+	trimmed := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";"))
+	fields := strings.Fields(trimmed)
+	if len(fields) == 0 || !strings.EqualFold(fields[0], "SET") {
+		return "", "", false, nil
+	}
+	rest := strings.ReplaceAll(strings.TrimSpace(trimmed[len(fields[0]):]), "=", " ")
+	fields = strings.Fields(rest)
+	if len(fields) != 2 {
+		return "", "", true, fmt.Errorf("server: malformed SET (want SET engine|parallel|mem VALUE): %q", sql)
+	}
+	return strings.ToLower(fields[0]), fields[1], true, nil
+}

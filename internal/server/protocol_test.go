@@ -1,0 +1,193 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"tqp/internal/period"
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+	"tqp/internal/value"
+)
+
+// TestFrameRoundTrip pins the frame layout: 4-byte big-endian length, JSON
+// payload, EOF on clean hangup, errors on truncation and oversize claims.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := Request{Op: OpQuery, SQL: "SELECT EmpName FROM EMPLOYEE"}
+	if err := WriteFrame(&buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if n := binary.BigEndian.Uint32(buf.Bytes()[:4]); int(n) != buf.Len()-4 {
+		t.Fatalf("header says %d bytes, payload is %d", n, buf.Len()-4)
+	}
+	var got Request
+	if err := ReadFrame(&buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip: got %+v want %+v", got, want)
+	}
+	// Clean hangup: plain EOF.
+	if err := ReadFrame(&buf, &got); err != io.EOF {
+		t.Fatalf("empty stream: want io.EOF, got %v", err)
+	}
+	// Truncated payload: loud error, not EOF.
+	var trunc bytes.Buffer
+	if err := WriteFrame(&trunc, &want); err != nil {
+		t.Fatal(err)
+	}
+	half := bytes.NewReader(trunc.Bytes()[:trunc.Len()-3])
+	if err := ReadFrame(half, &got); err == nil || err == io.EOF {
+		t.Fatalf("truncated frame: want a loud error, got %v", err)
+	}
+	// Oversize claim: rejected before allocation.
+	var huge bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	huge.Write(hdr[:])
+	if err := ReadFrame(&huge, &got); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("oversize frame: want a limit error, got %v", err)
+	}
+}
+
+// TestValueCodec round-trips every kind through the wire encoding,
+// including the values JSON numbers would corrupt (int64 past 2^53, the
+// NOW marker chronon) and float specials.
+func TestValueCodec(t *testing.T) {
+	vals := []value.Value{
+		value.Int(0), value.Int(-7), value.Int(math.MaxInt64), value.Int(math.MinInt64),
+		value.Float(0), value.Float(-2.5), value.Float(1e300), value.Float(math.Pi),
+		value.String_(""), value.String_("it's quoted; with, commas"), value.String_("Anna"),
+		value.Bool(true), value.Bool(false),
+		value.Time(0), value.Time(42), value.Time(period.NowMarker),
+	}
+	for _, v := range vals {
+		got, err := decodeValue(v.Kind(), encodeValue(v))
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if !got.Equal(v) || got.Kind() != v.Kind() {
+			t.Fatalf("round trip: got %v (%s) want %v (%s)", got, got.Kind(), v, v.Kind())
+		}
+	}
+	if _, err := decodeValue(value.KindInt, "not-a-number"); err == nil {
+		t.Fatal("bad int must not decode")
+	}
+	if _, err := decodeValue(value.KindBool, "yes"); err == nil {
+		t.Fatal("bad bool must not decode")
+	}
+}
+
+// TestRelationCodec encodes a relation schema+rows+order for the wire and
+// reconstructs it bit-identically.
+func TestRelationCodec(t *testing.T) {
+	sch := schema.MustNew(
+		schema.Attr("Name", value.KindString),
+		schema.Attr("N", value.KindInt),
+		schema.Attr(schema.T1, value.KindTime),
+		schema.Attr(schema.T2, value.KindTime),
+	)
+	rel := relation.MustFromRows(sch, [][]any{
+		{"Anna", 1, 2, 6},
+		{"John", 2, 1, 8},
+		{"John", 2, 1, 8}, // duplicates are significant
+	})
+	spec := relation.OrderSpec{relation.Key("Name"), relation.KeyDesc("N")}
+
+	sch2, err := schemaOf(colsOf(sch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sch2.Equal(sch) {
+		t.Fatalf("schema round trip: %s vs %s", sch2, sch)
+	}
+	tuples, err := decodeRows(sch2, encodeRows(rel.Tuples(), 0, rel.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := relation.FromTuplesTrusted(sch2, tuples)
+	got.SetOrder(orderSpecOf(orderOf(spec)))
+	if !got.EqualAsList(rel) {
+		t.Fatalf("rows round trip:\n%s\nvs\n%s", got, rel)
+	}
+	if !got.Order().Equal(spec) {
+		t.Fatalf("order round trip: %s vs %s", got.Order(), spec)
+	}
+	// Arity mismatches are loud.
+	if _, err := decodeRows(sch2, [][]string{{"Anna", "1"}}); err == nil {
+		t.Fatal("short row must not decode")
+	}
+}
+
+// TestNormalizeSQL pins the cache normal form: whitespace collapses outside
+// string literals, never inside them.
+func TestNormalizeSQL(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT EmpName FROM EMPLOYEE", "SELECT EmpName FROM EMPLOYEE"},
+		{"  SELECT\tEmpName \n FROM   EMPLOYEE ; ", "SELECT EmpName FROM EMPLOYEE"},
+		{"SELECT EmpName FROM EMPLOYEE;", "SELECT EmpName FROM EMPLOYEE"},
+		{"SELECT 'a  b' FROM R", "SELECT 'a  b' FROM R"},
+		{"SELECT  'a  b'  FROM R", "SELECT 'a  b' FROM R"},
+		{"SELECT X FROM R WHERE N = 'it''s  two  spaces'", "SELECT X FROM R WHERE N = 'it''s  two  spaces'"},
+	}
+	for _, c := range cases {
+		if got := NormalizeSQL(c.in); got != c.want {
+			t.Errorf("NormalizeSQL(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Text variants of one statement share one cache key; different
+	// literals do not.
+	a := PlanKey("fp", "exec", "SELECT EmpName  FROM EMPLOYEE")
+	b := PlanKey("fp", "exec", "SELECT EmpName FROM EMPLOYEE;")
+	if a != b {
+		t.Fatal("whitespace variants must share a cache key")
+	}
+	if PlanKey("fp", "exec", "SELECT 'a' FROM R") == PlanKey("fp", "exec", "SELECT 'b' FROM R") {
+		t.Fatal("distinct literals must not share a cache key")
+	}
+	if PlanKey("fp", "exec", "SELECT EmpName FROM EMPLOYEE") == PlanKey("fp", "reference", "SELECT EmpName FROM EMPLOYEE") {
+		t.Fatal("distinct engines must not share a cache key")
+	}
+}
+
+// TestParseSet pins the in-band SET statement forms.
+func TestParseSet(t *testing.T) {
+	for _, c := range []struct {
+		in, name, val string
+		isSet, bad    bool
+	}{
+		{"SET engine exec", "engine", "exec", true, false},
+		{"set ENGINE = reference;", "engine", "reference", true, false},
+		{"  SET parallel=4  ", "parallel", "4", true, false},
+		{"SET mem 64K", "mem", "64K", true, false},
+		{"SELECT EmpName FROM EMPLOYEE", "", "", false, false},
+		{"", "", "", false, false},
+		{"SET", "", "", true, true},
+		{"SET engine", "", "", true, true},
+		{"SET engine exec extra", "", "", true, true},
+	} {
+		name, val, isSet, err := ParseSet(c.in)
+		if isSet != c.isSet {
+			t.Errorf("ParseSet(%q): isSet=%v want %v", c.in, isSet, c.isSet)
+			continue
+		}
+		if c.bad {
+			if err == nil {
+				t.Errorf("ParseSet(%q): want error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSet(%q): %v", c.in, err)
+			continue
+		}
+		if isSet && (name != c.name || val != c.val) {
+			t.Errorf("ParseSet(%q) = %q,%q want %q,%q", c.in, name, val, c.name, c.val)
+		}
+	}
+}

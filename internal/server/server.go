@@ -1,0 +1,456 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"tqp/internal/catalog"
+	"tqp/internal/core"
+	"tqp/internal/eval"
+)
+
+// Config parameterizes a Server. The zero value of every field has a
+// usable default; only Catalog is required.
+type Config struct {
+	// Addr is the TCP listen address; default "127.0.0.1:0" (an ephemeral
+	// port — read the chosen one back with Server.Addr).
+	Addr string
+	// Catalog is the database served. It must not be mutated while the
+	// server runs; its fingerprint is computed once at startup and keys
+	// the plan cache.
+	Catalog *catalog.Catalog
+	// Engine is the default session engine name ("reference", "exec",
+	// "parallel"); default "exec".
+	Engine string
+	// MaxConcurrent caps concurrently executing queries; default
+	// GOMAXPROCS.
+	MaxConcurrent int
+	// MaxQueue bounds the admission wait queue; default 4×MaxConcurrent.
+	MaxQueue int
+	// QueueTimeout is the admission queue deadline; default 2s.
+	QueueTimeout time.Duration
+	// Workers is the global worker pool divided across admitted queries;
+	// default GOMAXPROCS.
+	Workers int
+	// MemoryBudget is the global working-set bound in bytes divided across
+	// admitted queries; 0 = unbudgeted.
+	MemoryBudget int64
+	// SpillDir roots the budgeted engine's spill files; "" = system temp.
+	SpillDir string
+	// CacheSize bounds the plan cache (entries); default 256, negative
+	// disables caching.
+	CacheSize int
+	// BatchRows is the result streaming batch size; default 256.
+	BatchRows int
+	// WriteTimeout bounds each network write to a client; default 30s. A
+	// peer that stops reading stalls its connection's writes, and this
+	// deadline is what unsticks the handler (admission slots are already
+	// safe: they release before result streaming begins).
+	WriteTimeout time.Duration
+	// Seed drives the simulated DBMS's order nondeterminism; default 1.
+	// Two servers with equal catalogs, seeds and engine settings return
+	// bit-identical result lists for every statement.
+	Seed int64
+	// DrainTimeout bounds how long Close waits for in-flight queries;
+	// default 10s.
+	DrainTimeout time.Duration
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Engine == "" {
+		c.Engine = "exec"
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 4 * c.MaxConcurrent
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.BatchRows <= 0 {
+		c.BatchRows = 256
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Server is one running temporal-query service instance.
+type Server struct {
+	cfg   Config
+	ln    net.Listener
+	fp    string
+	cache *planCache
+	adm   *admission
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	opts   map[string]*core.Optimizer // per engine-spec name, for planning
+	closed bool
+
+	queries  sync.WaitGroup // in-flight query executions
+	handlers sync.WaitGroup // connection handler goroutines
+	accept   sync.WaitGroup // the accept loop
+
+	closeOnce sync.Once
+	closeErr  error
+
+	// execGate, when set by a test, runs while the query holds its
+	// admission slot — the hook the admission and shutdown tests use to
+	// make occupancy deterministic without timing games.
+	execGate func()
+}
+
+// Start launches a server: it binds the listen address, starts the accept
+// loop, and returns. Stop it with Close.
+func Start(cfg Config) (*Server, error) {
+	if cfg.Catalog == nil {
+		return nil, fmt.Errorf("server: Config.Catalog is required")
+	}
+	cfg = cfg.withDefaults()
+	// Validate the default engine name (and the session derivation) once at
+	// startup rather than on every connection.
+	adm := newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueTimeout, cfg.Workers, cfg.MemoryBudget)
+	if _, err := newSession(cfg.Engine, adm.grant(), cfg.SpillDir); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen: %w", err)
+	}
+	s := &Server{
+		cfg:   cfg,
+		ln:    ln,
+		fp:    cfg.Catalog.Fingerprint(),
+		cache: newPlanCache(cfg.CacheSize),
+		adm:   adm,
+		conns: make(map[net.Conn]bool),
+		opts:  make(map[string]*core.Optimizer),
+	}
+	s.accept.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// CacheStats snapshots the plan cache counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.stats() }
+
+// AdmissionStats snapshots the admission controller counters.
+func (s *Server) AdmissionStats() AdmissionStats { return s.adm.stats() }
+
+// Close shuts the server down gracefully: it stops accepting connections,
+// rejects queued and future queries with a shutdown error, drains in-flight
+// queries for up to DrainTimeout, then closes every connection. It is
+// idempotent — every call returns the first call's outcome — and on a clean
+// drain no spill files remain (each query's engine removes its spill
+// directory when its evaluation ends). An exceeded drain deadline is
+// reported as an error; the stragglers' connections are closed underneath
+// them, and their spill cleanup still runs when their evaluations finish.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+
+		s.ln.Close()
+		s.accept.Wait()
+		s.adm.close()
+
+		if !waitTimeout(&s.queries, s.cfg.DrainTimeout) {
+			s.closeErr = fmt.Errorf("server: close: drain deadline %s exceeded with queries in flight", s.cfg.DrainTimeout)
+		}
+
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+
+		// Idle handlers unblock off their closed connections immediately;
+		// handlers stuck in a straggler query are already counted in
+		// closeErr, so don't wait for them forever.
+		waitTimeout(&s.handlers, time.Second)
+	})
+	return s.closeErr
+}
+
+// waitTimeout waits on wg for at most d; false on timeout.
+func waitTimeout(wg *sync.WaitGroup, d time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.accept.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.handlers.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+// handleConn serves one connection: a session plus a request loop.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.handlers.Done()
+	defer s.dropConn(conn)
+
+	sess, err := newSession(s.cfg.Engine, s.adm.grant(), s.cfg.SpillDir)
+	if err != nil {
+		return // Start validated this; unreachable in practice
+	}
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(deadlineWriter{conn: conn, timeout: s.cfg.WriteTimeout})
+	for {
+		var req Request
+		if err := ReadFrame(br, &req); err != nil {
+			if errors.Is(err, errBadPayload) {
+				// The frame was consumed whole; answer and keep serving.
+				if writeError(bw, CodeProto, err) != nil || bw.Flush() != nil {
+					return
+				}
+				continue
+			}
+			return // hangup or unrecoverable framing error
+		}
+		if err := s.handleRequest(&req, sess, bw); err != nil {
+			return // write failure: the peer is gone
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// deadlineWriter arms a fresh write deadline before every underlying
+// write, so a peer that stops reading errors the handler out within
+// timeout instead of blocking it forever. Per-write (not per-response)
+// granularity: a large result to a slow-but-reading client keeps making
+// progress, only a genuine stall trips the deadline.
+type deadlineWriter struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (w deadlineWriter) Write(p []byte) (int, error) {
+	if w.timeout > 0 {
+		if err := w.conn.SetWriteDeadline(time.Now().Add(w.timeout)); err != nil {
+			return 0, err
+		}
+	}
+	return w.conn.Write(p)
+}
+
+// handleRequest dispatches one request, writing the full response to w. A
+// returned error means the connection is unusable; per-request failures are
+// written as error frames and return nil.
+func (s *Server) handleRequest(req *Request, sess *session, w io.Writer) error {
+	switch req.Op {
+	case OpPing:
+		return WriteFrame(w, &Response{Kind: KindPong})
+	case OpStats:
+		return WriteFrame(w, &Response{Kind: KindStats, Stats: s.statsReply()})
+	case OpSet:
+		if err := sess.set(strings.ToLower(req.Name), req.Value); err != nil {
+			return writeError(w, CodeSet, err)
+		}
+		return WriteFrame(w, &Response{Kind: KindOK})
+	case OpQuery:
+		if name, val, isSet, err := ParseSet(req.SQL); isSet {
+			if err == nil {
+				err = sess.set(name, val)
+			}
+			if err != nil {
+				return writeError(w, CodeSet, err)
+			}
+			return WriteFrame(w, &Response{Kind: KindOK})
+		}
+		return s.runQuery(req.SQL, sess, w)
+	default:
+		return writeError(w, CodeProto, fmt.Errorf("server: unknown op %q", req.Op))
+	}
+}
+
+func (s *Server) statsReply() *StatsReply {
+	s.mu.Lock()
+	conns := len(s.conns)
+	s.mu.Unlock()
+	return &StatsReply{
+		Cache:       s.cache.stats(),
+		Admission:   s.adm.stats(),
+		Conns:       conns,
+		Fingerprint: s.fp,
+	}
+}
+
+// writeError writes one typed error frame.
+func writeError(w io.Writer, code string, err error) error {
+	return WriteFrame(w, &Response{Kind: KindError, Err: &WireError{Code: code, Msg: err.Error()}})
+}
+
+// runQuery is the serving path: admission, plan-cache lookup (preparing on
+// a miss), execution on the session's engine share, and batched result
+// streaming.
+func (s *Server) runQuery(sql string, sess *session, w io.Writer) error {
+	// Count the query as in flight before touching admission, under the
+	// same lock Close uses to flip closed — after Close observes closed,
+	// no new query can register, which makes the drain wait race-free.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return writeError(w, CodeShutdown, ErrClosing)
+	}
+	s.queries.Add(1)
+	gate := s.execGate
+	s.mu.Unlock()
+	defer s.queries.Done()
+
+	if _, err := s.adm.acquire(); err != nil {
+		code := CodeAdmission
+		if errors.Is(err, ErrClosing) {
+			code = CodeShutdown
+		}
+		return writeError(w, code, err)
+	}
+	// The slot covers the expensive phases — planning and execution. It
+	// releases before result streaming: the result is fully materialized
+	// by then, so a slow (or stalled) reader must not keep a slot from
+	// the queue while bytes trickle out.
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			s.adm.release()
+		}
+	}
+	defer release()
+	if gate != nil {
+		gate()
+	}
+
+	spec := sess.spec
+	key := PlanKey(s.fp, spec.Name, sql)
+	prep := s.cache.get(key)
+	hit := prep != nil
+	opt := s.optimizerFor(spec)
+	if prep == nil {
+		var err error
+		prep, err = opt.Prepare(sql)
+		if err != nil {
+			// Classify exactly: if the statement does not even parse it
+			// is a parse error; anything after (name resolution, planning,
+			// enumeration, site validation) is a plan error.
+			code := CodePlan
+			if _, perr := opt.Parse(sql); perr != nil {
+				code = CodeParse
+			}
+			return writeError(w, code, err)
+		}
+		s.cache.put(key, prep)
+	}
+
+	result, trace, err := opt.ExecutePlan(prep.Plan, spec)
+	if err != nil {
+		return writeError(w, CodeExec, err)
+	}
+	release()
+
+	if err := WriteFrame(w, &Response{
+		Kind:  KindSchema,
+		Cols:  colsOf(result.Schema()),
+		Order: orderOf(result.Order()),
+	}); err != nil {
+		return err
+	}
+	tuples := result.Tuples()
+	for from := 0; from < len(tuples); from += s.cfg.BatchRows {
+		to := from + s.cfg.BatchRows
+		if to > len(tuples) {
+			to = len(tuples)
+		}
+		if err := WriteFrame(w, &Response{Kind: KindRows, Rows: encodeRows(tuples, from, to)}); err != nil {
+			return err
+		}
+	}
+	return WriteFrame(w, &Response{Kind: KindDone, Done: &Done{
+		Tuples:            result.Len(),
+		Plans:             prep.PlanCount,
+		CacheHit:          hit,
+		BestCost:          prep.BestCost,
+		TuplesTransferred: trace.TuplesTransferred,
+		Engine:            spec.Name,
+	}})
+}
+
+// optimizerFor returns the planning optimizer calibrated to the spec,
+// building one lazily per distinct engine-spec name. Optimizers are safe
+// for concurrent use (pinned by internal/core's concurrency suite), so one
+// instance per spec serves every connection.
+func (s *Server) optimizerFor(spec eval.EngineSpec) *core.Optimizer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if opt, ok := s.opts[spec.Name]; ok {
+		return opt
+	}
+	opt := core.New(s.cfg.Catalog, core.WithEngine(spec), core.WithDBMSSeed(s.cfg.Seed))
+	s.opts[spec.Name] = opt
+	return opt
+}

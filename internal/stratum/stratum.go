@@ -170,7 +170,10 @@ func (x *Executor) exec(n algebra.Node, tr *Trace) (*relation.Relation, error) {
 		newCh[i] = algebra.NewRel(name, r.Schema(), algebra.BaseInfo{Order: r.Order()})
 	}
 	rebound := n.WithChildren(newCh...)
-	out, err := x.phys.New(src).Eval(rebound)
+	// A fresh engine instance per node evaluation (EngineSpec.Instantiate):
+	// the spec is shared and immutable, engine state never is — this is what
+	// lets the server run many executors over one catalog concurrently.
+	out, err := x.phys.Instantiate(src).Eval(rebound)
 	if err != nil {
 		return nil, err
 	}

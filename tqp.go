@@ -53,6 +53,11 @@
 //	    EXCEPT SELECT EmpName FROM PROJECT
 //	    ORDER BY EmpName ASC`)
 //
+// To serve a catalog to many clients over TCP — with per-connection
+// sessions, a shared plan cache and admission control — see
+// internal/server and cmd/tqserver (tqshell -connect is the matching
+// client).
+//
 // See the examples directory for runnable programs and EXPERIMENTS.md for
 // the paper-artifact reproduction index.
 package tqp
