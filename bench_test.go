@@ -380,16 +380,20 @@ func recordEngineBench(bench string, rows int, engine string, elapsed time.Durat
 	})
 }
 
-// BenchmarkEngines pits the two physical engines head-to-head on the
+// BenchmarkEngines pits the physical engines head-to-head on the
 // acceptance pipeline — equijoin ⋈ᵀ (hash join vs pair loop), rdupᵀ and
 // coalᵀ (hash value-partitioning vs global quadratic scans) — over datagen
-// relations at n ∈ {1k, 10k, 100k} probe rows against a 256-row build side.
-// The ns/op ratio between the reference and exec sub-benchmarks at each
-// scale is the speedup trajectory; the exec engine's result is additionally
-// asserted list-identical to the reference's at the smallest scale (the
+// relations at n ∈ {1k, 10k, 100k, 1M} probe rows against a 256-row build
+// side. The exec-novec leg runs the same tuple-at-a-time operators with
+// the columnar batch pipeline disabled, so exec vs exec-novec at each
+// scale is the measured value of vectorization. The reference evaluator
+// sits out the 1M leg (its pair-loop join is quadratic there). The ns/op
+// ratio between the reference and exec sub-benchmarks at each scale is the
+// speedup trajectory; the exec engines' results are additionally asserted
+// list-identical to the reference's at the smallest scale (the
 // differential suite covers the rest).
 func BenchmarkEngines(b *testing.B) {
-	for _, n := range []int{1000, 10000, 100000} {
+	for _, n := range []int{1000, 10000, 100000, 1000000} {
 		l := datagen.Temporal(datagen.TemporalSpec{
 			Rows: n, Values: n / 4, TimeRange: 400, MaxPeriod: 20, Seed: 11})
 		r := datagen.Temporal(datagen.TemporalSpec{
@@ -406,18 +410,27 @@ func BenchmarkEngines(b *testing.B) {
 		}{
 			{"reference", eval.New(src)},
 			{"exec", exec.New(src)},
+			{"exec-novec", exec.NewWith(src, exec.Options{NoColumnar: true})},
 		}
 		if n == 1000 {
-			want, err1 := engines[0].eng.Eval(plan)
-			got, err2 := engines[1].eng.Eval(plan)
-			if err1 != nil || err2 != nil {
-				b.Fatalf("engine eval failed: %v %v", err1, err2)
+			want, err := engines[0].eng.Eval(plan)
+			if err != nil {
+				b.Fatal(err)
 			}
-			if !got.EqualAsList(want) {
-				b.Fatal("exec and reference disagree on the benchmark plan")
+			for _, e := range engines[1:] {
+				got, err := e.eng.Eval(plan)
+				if err != nil {
+					b.Fatalf("engine %s eval failed: %v", e.name, err)
+				}
+				if !got.EqualAsList(want) {
+					b.Fatalf("%s and reference disagree on the benchmark plan", e.name)
+				}
 			}
 		}
 		for _, e := range engines {
+			if n == 1000000 && e.name == "reference" {
+				continue
+			}
 			b.Run(fmt.Sprintf("n=%d/%s", n, e.name), func(b *testing.B) {
 				var rows int
 				m0 := snapMem()
@@ -432,6 +445,74 @@ func BenchmarkEngines(b *testing.B) {
 				elapsed := time.Since(start)
 				bPerOp, allocsPerOp := m0.since(b.N)
 				recordEngineBench("engines", n, e.name, elapsed, b.N, rows, bPerOp, allocsPerOp)
+				b.ReportMetric(float64(rows), "rows")
+			})
+		}
+	}
+}
+
+// BenchmarkColumnar isolates the columnar batch pipeline on its target
+// shape — scan → filter → equijoin ⋈ᵀ → rdupᵀ → coalᵀ, every operator of
+// which has a vectorized variant — at 100k and 1M probe rows. Unlike
+// BenchmarkEngines (unfiltered inputs, arbitrary plans) this is the
+// vectorization acceptance measurement: exec runs batch-at-a-time with
+// selection vectors end to end, exec-novec runs the identical tuple
+// operators, and the gap is the step-change the columnar refactor buys.
+// Parity and non-vacuity (the columnar leg must actually compile vector
+// operators) are asserted at the smaller scale.
+func BenchmarkColumnar(b *testing.B) {
+	for _, n := range []int{100000, 1000000} {
+		l := datagen.Temporal(datagen.TemporalSpec{
+			Rows: n, Values: n / 4, TimeRange: 400, MaxPeriod: 20, Seed: 11})
+		r := datagen.Temporal(datagen.TemporalSpec{
+			Rows: 256, Values: n / 4, TimeRange: 400, MaxPeriod: 20, Seed: 12})
+		src := eval.MapSource{"L": l, "R": r}
+		ln := algebra.NewRel("L", l.Schema(), algebra.BaseInfo{})
+		rn := algebra.NewRel("R", r.Schema(), algebra.BaseInfo{})
+		// ~50% selective scan filter: Grp draws from [0, n/4).
+		filtered := algebra.NewSelect(
+			expr.Compare(expr.Lt, expr.Column("Grp"), expr.Literal(value.Int(int64(n/8)))), ln)
+		pred := expr.Compare(expr.Eq, expr.Column("1.Grp"), expr.Column("2.Grp"))
+		plan := algebra.NewCoal(algebra.NewTRdup(algebra.NewTJoin(pred, filtered, rn)))
+
+		if n == 100000 {
+			vec := exec.New(src)
+			got, err := vec.Eval(plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			want, err := exec.NewWith(src, exec.Options{NoColumnar: true}).Eval(plan)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !got.EqualAsList(want) {
+				b.Fatal("columnar and tuple engines disagree on the benchmark plan")
+			}
+			if st := vec.Stats(); st.VectorOps == 0 || st.VectorBatches == 0 {
+				b.Fatalf("vacuous columnar benchmark: VectorOps=%d VectorBatches=%d", st.VectorOps, st.VectorBatches)
+			}
+		}
+		for _, e := range []struct {
+			name string
+			opts exec.Options
+		}{
+			{"exec", exec.Options{}},
+			{"exec-novec", exec.Options{NoColumnar: true}},
+		} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, e.name), func(b *testing.B) {
+				var rows int
+				m0 := snapMem()
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					out, err := exec.NewWith(src, e.opts).Eval(plan)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rows = out.Len()
+				}
+				elapsed := time.Since(start)
+				bPerOp, allocsPerOp := m0.since(b.N)
+				recordEngineBench("columnar", n, e.name, elapsed, b.N, rows, bPerOp, allocsPerOp)
 				b.ReportMetric(float64(rows), "rows")
 			})
 		}

@@ -35,7 +35,7 @@ func main() {
 	run := flag.String("run", "", "run only the experiment with this id (E1..E14)")
 	engine := flag.String("engine", "reference", "physical engine: 'reference', 'exec' or 'parallel'")
 	parallel := flag.Int("parallel", 0, "worker count for the morsel-parallel engine (with -engine exec|parallel)")
-	mem := flag.String("mem", "", "memory budget for the exec engine's blocking operators, e.g. 64K, 16M (0/empty = unlimited)")
+	mem := flag.String("mem", "", "memory budget for the exec engine's blocking operators, e.g. 64K, 16MB, 1GB (0 or empty = unlimited)")
 	quiet := flag.Bool("quiet", false, "print status lines only")
 	flag.Parse()
 

@@ -45,7 +45,7 @@ func main() {
 	query := flag.String("q", experiments.PaperQuerySQL, "temporal SQL statement")
 	engine := flag.String("engine", "reference", "physical engine for stratum subplans: 'reference', 'exec' or 'parallel'")
 	parallel := flag.Int("parallel", 0, "worker count for the morsel-parallel engine (with -engine exec|parallel)")
-	mem := flag.String("mem", "", "memory budget for the exec engine's blocking operators, e.g. 64K, 16M (0/empty = unlimited)")
+	mem := flag.String("mem", "", "memory budget for the exec engine's blocking operators, e.g. 64K, 16MB, 1GB (0 or empty = unlimited)")
 	sorted := flag.Bool("sorted", false, "pre-sort base relations on their value attributes and declare the order")
 	enumerate := flag.Bool("enumerate", false, "list every enumerated plan")
 	execute := flag.Bool("execute", true, "execute the chosen plan and print the result")

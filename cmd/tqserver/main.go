@@ -36,7 +36,7 @@ func main() {
 		queue        = flag.Int("queue", 0, "admission queue length (0 = 4x the cap, negative = no queue)")
 		queueTimeout = flag.Duration("queue-timeout", 2*time.Second, "admission queue deadline")
 		workers      = flag.Int("workers", 0, "global worker pool divided across admitted queries (0 = GOMAXPROCS)")
-		mem          = flag.String("mem", "", "global memory budget divided across admitted queries, e.g. 256M (empty = unlimited)")
+		mem          = flag.String("mem", "", "global memory budget divided across admitted queries, e.g. 256M, 256MB (0 or empty = unlimited)")
 		cacheSize    = flag.Int("cache", 256, "plan cache capacity in entries (negative disables caching)")
 		spillDir     = flag.String("spill-dir", "", "directory for the budgeted engine's spill files (empty = system temp)")
 		seed         = flag.Int64("seed", 1, "simulated DBMS order-nondeterminism seed")

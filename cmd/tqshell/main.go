@@ -35,7 +35,7 @@ func main() {
 	employees := flag.Int("employees", 50, "synthetic database size (with -db synth)")
 	engine := flag.String("engine", "reference", "physical engine for stratum subplans: 'reference', 'exec' or 'parallel'")
 	parallel := flag.Int("parallel", 0, "worker count for the morsel-parallel engine (with -engine exec|parallel)")
-	mem := flag.String("mem", "", "memory budget for the exec engine's blocking operators, e.g. 64K, 16M (0/empty = unlimited)")
+	mem := flag.String("mem", "", "memory budget for the exec engine's blocking operators, e.g. 64K, 16MB, 1GB (0 or empty = unlimited)")
 	connect := flag.String("connect", "", "connect to a tqserver at host:port instead of evaluating locally")
 	flag.Parse()
 

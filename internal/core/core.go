@@ -90,10 +90,24 @@ func EngineSpecWith(name string, parallelism int, memBudget int64) (eval.EngineS
 
 // ParseBytes parses a human-friendly byte count for the CLIs' -mem flags:
 // a plain integer is bytes, and a K/M/G suffix (case-insensitive) scales by
-// the binary unit ("64K", "16M", "1G"). Empty and "0" mean unlimited.
+// the binary unit. An optional trailing b/B is accepted, so the common
+// two-letter spellings work too ("64K", "64KB", "16MB", "1GB"). The empty
+// string is an explicit alias for 0: both mean unlimited (no memory budget
+// is applied).
 func ParseBytes(s string) (int64, error) {
 	if s == "" {
 		return 0, nil
+	}
+	orig := s
+	if last := s[len(s)-1]; (last == 'b' || last == 'B') && len(s) > 1 {
+		switch s[len(s)-2] {
+		case 'k', 'K', 'm', 'M', 'g', 'G':
+			s = s[:len(s)-1] // unit suffix: "64KB" → "64K"
+		default:
+			if s[len(s)-2] >= '0' && s[len(s)-2] <= '9' {
+				s = s[:len(s)-1] // plain bytes: "512B" → "512"
+			}
+		}
 	}
 	mult := int64(1)
 	switch s[len(s)-1] {
@@ -106,10 +120,10 @@ func ParseBytes(s string) (int64, error) {
 	}
 	n, err := strconv.ParseInt(s, 10, 64)
 	if err != nil || n < 0 {
-		return 0, fmt.Errorf("core: bad byte count %q (want e.g. 65536, 64K, 16M)", s)
+		return 0, fmt.Errorf("core: bad byte count %q (want e.g. 65536, 64K, 16MB)", orig)
 	}
 	if n > math.MaxInt64/mult {
-		return 0, fmt.Errorf("core: byte count %q overflows", s)
+		return 0, fmt.Errorf("core: byte count %q overflows", orig)
 	}
 	return n * mult, nil
 }

@@ -89,13 +89,19 @@ func TestParseBytes(t *testing.T) {
 		{"", 0}, {"0", 0}, {"65536", 65536},
 		{"64K", 64 << 10}, {"64k", 64 << 10},
 		{"16M", 16 << 20}, {"2g", 2 << 30},
+		// Two-letter unit spellings: a trailing b/B after a unit letter.
+		{"64KB", 64 << 10}, {"64kb", 64 << 10}, {"64Kb", 64 << 10},
+		{"16MB", 16 << 20}, {"16mB", 16 << 20}, {"1GB", 1 << 30}, {"2gb", 2 << 30},
+		// A trailing b/B after a digit is plain bytes.
+		{"512B", 512}, {"512b", 512}, {"0B", 0},
 	} {
 		got, err := core.ParseBytes(tc.in)
 		if err != nil || got != tc.want {
 			t.Errorf("ParseBytes(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
 		}
 	}
-	for _, bad := range []string{"x", "-1", "12xy3", "K", "17179869184G", "9223372036854775807M"} {
+	for _, bad := range []string{"x", "-1", "12xy3", "K", "17179869184G", "9223372036854775807M",
+		"B", "b", "KB", "64KBB", "64BK", "xB"} {
 		if _, err := core.ParseBytes(bad); err == nil {
 			t.Errorf("ParseBytes(%q) should fail", bad)
 		}

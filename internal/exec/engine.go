@@ -43,6 +43,14 @@ type Options struct {
 	// subdirectory per Eval, removed when the run ends — success or error).
 	// Empty means the system temp directory.
 	SpillDir string
+	// NoColumnar disables the vectorized columnar variants (see vec.go):
+	// every operator that would compile batch-at-a-time falls back to its
+	// tuple-at-a-time implementation. The flag exists for differential
+	// testing and for measuring vectorization in isolation; columnar
+	// execution is also implicitly off under NoMerge/NoSortElision,
+	// parallelism, or a memory budget, whose specialized variants take
+	// precedence.
+	NoColumnar bool
 }
 
 // Stats counts the physical variants the engine's most recent Eval
@@ -61,6 +69,9 @@ type Stats struct {
 	SpilledOps   int   // operators that exceeded their budget share and spilled
 	SpilledBytes int64 // encoded bytes written to spill files this run
 	PeakBytes    int64 // peak accounted working-set bytes this run
+
+	VectorOps     int // operators compiled batch-at-a-time over columnar input
+	VectorBatches int // columnar batches emitted by those operators this run
 }
 
 // Engine is the streaming hash- and merge-based engine. It implements
@@ -76,6 +87,31 @@ type Engine struct {
 	// Options.MemoryBudget > 0 and torn down when the run ends.
 	mem      *arbiter
 	spillMgr *spill.Manager
+}
+
+// columnar reports whether the engine may compile the vectorized columnar
+// variants: only in the full-featured sequential engine. The restricted
+// modes keep their existing pipelines untouched — hash-only mode is PR 1's
+// differential baseline, and the parallel and budgeted paths have their own
+// specialized operators that take precedence anyway.
+func (e *Engine) columnar() bool {
+	return !e.opts.NoColumnar && !e.opts.NoMerge && !e.opts.NoSortElision &&
+		!e.parallel() && !e.budgeted()
+}
+
+// batchOf returns r's columnar image, converting on first use. The image
+// caches on the relation itself (see Relation.ColumnarImage), so the
+// one-time tuple→batch transposition amortizes across every engine and
+// query scanning r — the load-time conversion of a columnar store, paid
+// lazily. The cached batch is immutable; mutating relation methods drop
+// the cache.
+func (e *Engine) batchOf(r *relation.Relation) *batch {
+	if b, ok := r.ColumnarImage().(*batch); ok {
+		return b
+	}
+	b := batchOfTuples(r.Schema(), r.Tuples())
+	r.SetColumnarImage(b)
+	return b
 }
 
 // New returns an engine over src with every physical variant enabled.
@@ -190,6 +226,8 @@ func SpecWith(opts Options) eval.EngineSpec {
 	name := "exec"
 	if opts.NoMerge || opts.NoSortElision {
 		name = "exec-hash"
+	} else if opts.NoColumnar {
+		name += "-novec"
 	}
 	if opts.Parallelism > 1 {
 		name += fmt.Sprintf("-par%d", opts.Parallelism)
@@ -254,6 +292,13 @@ type source struct {
 	it     iterator
 	schema *schema.Schema
 	order  relation.OrderSpec
+
+	// vec is the stage's columnar view, set when the stage compiled
+	// batch-at-a-time (see vec.go). A columnar parent pulls vec directly;
+	// a tuple-at-a-time parent pulls it, which for such a stage is the
+	// batch→tuple adapter over the same stream. Exactly one of the two
+	// views is ever consumed.
+	vec vecIterator
 }
 
 // iterator is the pull interface of the engine. next returns (nil, nil) when
@@ -270,7 +315,11 @@ type bulkIter interface {
 	rest() ([]relation.Tuple, error)
 }
 
-// drain materializes a source into a relation and closes it.
+// drain materializes a source into a relation and closes it. A columnar
+// stage drains batch-at-a-time straight from its vec view, skipping the
+// tuple adapter; a stage that can hand over its tuples outright (a scan,
+// a lazy materialization) stays on the cheaper bulk path — for those the
+// vec view is a convert-on-demand alternative that was never pulled.
 func drain(s *source) (*relation.Relation, error) {
 	if b, ok := s.it.(bulkIter); ok {
 		ts, err := b.rest()
@@ -284,6 +333,9 @@ func drain(s *source) (*relation.Relation, error) {
 		out := relation.FromTuplesTrusted(s.schema, ts)
 		out.SetOrder(s.order)
 		return out, nil
+	}
+	if s.vec != nil {
+		return drainVec(s)
 	}
 	out := relation.New(s.schema)
 	for {

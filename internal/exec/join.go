@@ -611,6 +611,17 @@ func (e *Engine) buildProduct(n algebra.Node, pred expr.Pred, temporal bool) (*s
 			return src, nil
 		}
 	}
+	if e.columnar() && len(lidx) > 0 && l.vec != nil {
+		e.stats.VectorOps++
+		v := &vecJoinIter{
+			e: e, left: l.vec, right: r, out: outSchema, lw: lw, rw: rw,
+			lidx: lidx, ridx: ridx, residual: residual, temporal: temporal,
+		}
+		if temporal {
+			v.lt1, v.lt2 = l.schema.TimeIndices()
+		}
+		return vecSource(v, outSchema, src.order), nil
+	}
 	it := &productIter{
 		left:     l.it,
 		right:    r,

@@ -57,12 +57,17 @@ func recordFuzzFailure(t *testing.T, format string, args ...any) {
 }
 
 // TestDifferentialFiveWay is the memory-bounded engine's correctness
-// anchor: reference vs hash-only vs merge vs parallel vs budgeted-spill at
-// budgets {64KB, 1MB, unlimited}, all five bit-identical on random plans.
-// Two sweeps run: tiny catalogs for plan-shape coverage, and sized
-// catalogs (hundreds of rows) so the small budget genuinely forces the
-// grace-hash spill paths — the vacuity guard asserts Stats.SpilledOps > 0
-// there. The parallel budgeted leg exercises the per-worker budget shares.
+// anchor: reference vs hash-only vs columnar vs tuple-at-a-time vs parallel
+// vs budgeted-spill at budgets {64KB, 1MB, unlimited}, all bit-identical on
+// random plans. The default engine compiles the vectorized columnar
+// variants (vec.go); the exec-novec leg pins the tuple pipeline those
+// variants replaced, so the two sides of every batch↔tuple adapter
+// boundary are compared on the same plans. Two sweeps run: tiny catalogs
+// for plan-shape coverage, and sized catalogs (hundreds of rows) so the
+// small budget genuinely forces the grace-hash spill paths — vacuity
+// guards assert Stats.SpilledOps > 0 there and Stats.VectorOps > 0 on the
+// columnar leg. The parallel budgeted leg exercises the per-worker budget
+// shares.
 func TestDifferentialFiveWay(t *testing.T) {
 	small := smallBudget()
 	type leg struct {
@@ -72,6 +77,7 @@ func TestDifferentialFiveWay(t *testing.T) {
 	legs := []leg{
 		{"exec-hash", exec.Options{NoMerge: true, NoSortElision: true}},
 		{"exec-merge", exec.Options{}},
+		{"exec-novec", exec.Options{NoColumnar: true}},
 		{"exec-par3", exec.Options{Parallelism: 3}},
 		{"spill-small", exec.Options{MemoryBudget: small}},
 		{"spill-1M", exec.Options{MemoryBudget: 1 << 20}},
@@ -82,7 +88,7 @@ func TestDifferentialFiveWay(t *testing.T) {
 	}
 
 	spillDir := t.TempDir()
-	plans, spilledSmall := 0, 0
+	plans, spilledSmall, vectorOps, vectorBatches := 0, 0, 0, 0
 	sweep := func(seedLo, seedHi int64, rowsA, rowsB, trials int) {
 		for seed := seedLo; seed < seedHi; seed++ {
 			rng := rand.New(rand.NewSource(seed))
@@ -118,6 +124,15 @@ func TestDifferentialFiveWay(t *testing.T) {
 					if st.SpilledOps > 0 && st.SpilledBytes == 0 {
 						t.Fatalf("seed %d leg %s: spilled %d ops but recorded no bytes", seed, lg.name, st.SpilledOps)
 					}
+					switch lg.name {
+					case "exec-merge":
+						vectorOps += st.VectorOps
+						vectorBatches += st.VectorBatches
+					case "exec-novec", "exec-hash":
+						if st.VectorOps != 0 {
+							t.Fatalf("seed %d leg %s: columnar operators compiled with columnar execution disabled", seed, lg.name)
+						}
+					}
 				}
 				if errRef == nil {
 					plans++
@@ -134,6 +149,10 @@ func TestDifferentialFiveWay(t *testing.T) {
 	}
 	if spilledSmall == 0 {
 		t.Fatalf("vacuous run: the %d-byte budget never spilled across %d plans", small, plans)
+	}
+	if vectorOps == 0 || vectorBatches == 0 {
+		t.Fatalf("vacuous run: the columnar leg compiled %d vectorized operators and flowed %d batches across %d plans",
+			vectorOps, vectorBatches, plans)
 	}
 	// The shared spill directory must be empty again: every Eval removes
 	// its run directory on completion.

@@ -25,7 +25,14 @@ func (e *Engine) buildRel(n *algebra.Rel) (*source, error) {
 	if !n.Info.Order.Empty() {
 		order = n.Info.Order
 	}
-	return &source{it: &sliceIter{ts: r.Tuples()}, schema: r.Schema(), order: order}, nil
+	src := &source{it: &sliceIter{ts: r.Tuples()}, schema: r.Schema(), order: order}
+	if e.columnar() {
+		// The columnar view converts lazily on the first batch pull (and is
+		// cached per relation), so a plan whose parents stay tuple-at-a-time
+		// pays nothing for it.
+		src.vec = &onceBatchIter{compute: func() (*batch, error) { return e.batchOf(r), nil }}
+	}
+	return src, nil
 }
 
 // selectIter streams tuples satisfying the predicate.
@@ -62,6 +69,11 @@ func (e *Engine) buildSelect(n *algebra.Select) (*source, error) {
 	}
 	if _, err := n.Schema(); err != nil {
 		return nil, err
+	}
+	if e.columnar() && in.vec != nil {
+		e.stats.VectorOps++
+		v := &vecFilterIter{e: e, in: in.vec, p: n.P, schema: in.schema, fast: compileVecPred(n.P, in.schema)}
+		return vecSource(v, in.schema, in.order), nil
 	}
 	return &source{
 		it:     &selectIter{in: in.it, p: n.P, schema: in.schema},
@@ -105,10 +117,21 @@ func (e *Engine) buildProject(n *algebra.Project) (*source, error) {
 	if err != nil {
 		return nil, err
 	}
+	order := eval.OrderAfterProject(in.order, n)
+	if e.columnar() && in.vec != nil {
+		e.stats.VectorOps++
+		items := make([]projVecItem, len(n.Items))
+		for i, it := range n.Items {
+			items[i].eval = it.Expr
+		}
+		gather := compileProjItems(items, in.schema)
+		v := &vecProjectIter{e: e, in: in.vec, items: items, gather: gather, inSchema: in.schema, outSchema: outSchema}
+		return vecSource(v, outSchema, order), nil
+	}
 	return &source{
 		it:     &projectIter{in: in.it, items: n.Items, inSchema: in.schema},
 		schema: outSchema,
-		order:  eval.OrderAfterProject(in.order, n),
+		order:  order,
 	}, nil
 }
 
@@ -252,6 +275,10 @@ func (e *Engine) buildRdup(n algebra.Node) (*source, error) {
 		return e.graceGroupSource(in, idx, outSchema, src.order, func(part []prow) ([]tagged, error) {
 			return rdupPartition(part, idx), nil
 		}), nil
+	}
+	if e.columnar() && in.vec != nil {
+		e.stats.VectorOps++
+		return vecSource(&vecRdupIter{e: e, in: in.vec}, outSchema, src.order), nil
 	}
 	src.it = &rdupIter{in: in.it, seen: newHashGroups(nil, 0)}
 	return src, nil
@@ -485,6 +512,9 @@ func (e *Engine) buildAggregate(n *algebra.Aggregate) (*source, error) {
 		return e.graceGroupSource(in, gidx, outSchema, order, func(part []prow) ([]tagged, error) {
 			return groupAggPartition(part, gidx, emit)
 		}), nil
+	}
+	if e.columnar() && in.vec != nil {
+		return e.vecAggregateSource(in, gidx, outSchema, order, n.Aggs), nil
 	}
 	return lazySource(outSchema, order, func() ([]relation.Tuple, error) {
 		groups := newHashGroups(gidx, 0)

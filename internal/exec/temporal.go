@@ -141,6 +141,9 @@ func (e *Engine) buildTRdup(n algebra.Node) (*source, error) {
 			return valueGroupPartition(part, vidx, t1, t2, rdupTGroup), nil
 		}), nil
 	}
+	if e.columnar() && in.vec != nil {
+		return e.vecValueGroupSource(in, vidx, order, rdupTSpans), nil
+	}
 	return lazySource(in.schema, order, func() ([]relation.Tuple, error) {
 		r, err := drain(in)
 		if err != nil {
@@ -224,6 +227,9 @@ func (e *Engine) buildCoal(n algebra.Node) (*source, error) {
 		return e.graceGroupSource(in, vidx, in.schema, order, func(part []prow) ([]tagged, error) {
 			return valueGroupPartition(part, vidx, t1, t2, coalTGroup), nil
 		}), nil
+	}
+	if e.columnar() && in.vec != nil {
+		return e.vecValueGroupSource(in, vidx, order, coalTSpans), nil
 	}
 	return lazySource(in.schema, order, func() ([]relation.Tuple, error) {
 		r, err := drain(in)
@@ -619,6 +625,9 @@ func (e *Engine) buildTAggregate(n *algebra.Aggregate) (*source, error) {
 		return e.graceGroupSource(in, gidx, outSchema, order, func(part []prow) ([]tagged, error) {
 			return groupAggPartition(part, gidx, groupOut)
 		}), nil
+	}
+	if e.columnar() && in.vec != nil {
+		return e.vecGroupEmitSource(in, gidx, outSchema, order, groupOut), nil
 	}
 	return lazySource(outSchema, order, func() ([]relation.Tuple, error) {
 		r, err := drain(in)

@@ -1,0 +1,576 @@
+package exec
+
+import (
+	"tqp/internal/period"
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+	"tqp/internal/value"
+)
+
+// vecBatchRows is the row capacity the columnar operators target per batch:
+// large enough to amortize per-batch bookkeeping, small enough that a
+// pipeline's working batches stay cache-resident. Scans are the exception —
+// a base relation converts once and travels as a single batch, so its
+// columns are never re-sliced or copied.
+const vecBatchRows = 1024
+
+// colvec is one column of a batch: per-kind typed storage over value.Value
+// kinds. A column created for a schema attribute stores its payloads
+// unboxed — int, bool and time share the int64 plane exactly as
+// value.Value does internally, floats and strings get their own — and
+// reconstructs a value.Value only at materialization boundaries. A column
+// that ever receives a value of a foreign kind demotes itself to the boxed
+// fallback (vals), so kind-mixed columns remain correct, merely slower;
+// schema-checked pipelines never take that path.
+type colvec struct {
+	kind   value.Kind // homogeneous storage kind; KindInvalid = boxed fallback
+	ints   []int64    // int, bool (0/1), time (chronon)
+	floats []float64
+	strs   []string
+	vals   []value.Value // boxed fallback, used iff kind == KindInvalid
+}
+
+// newColvec returns an empty column for kind k with room for capHint values.
+func newColvec(k value.Kind, capHint int) colvec {
+	c := colvec{kind: k}
+	switch k {
+	case value.KindInt, value.KindBool, value.KindTime:
+		c.ints = make([]int64, 0, capHint)
+	case value.KindFloat:
+		c.floats = make([]float64, 0, capHint)
+	case value.KindString:
+		c.strs = make([]string, 0, capHint)
+	default:
+		c.kind = value.KindInvalid
+		c.vals = make([]value.Value, 0, capHint)
+	}
+	return c
+}
+
+// length returns the number of values stored.
+func (c *colvec) length() int {
+	switch c.kind {
+	case value.KindInt, value.KindBool, value.KindTime:
+		return len(c.ints)
+	case value.KindFloat:
+		return len(c.floats)
+	case value.KindString:
+		return len(c.strs)
+	default:
+		return len(c.vals)
+	}
+}
+
+// at reconstructs the value at index i. The result is a plain struct — no
+// allocation — and Equal/Compare/HashInto on it agree bit-for-bit with the
+// tuple the column was filled from.
+func (c *colvec) at(i int) value.Value {
+	switch c.kind {
+	case value.KindInt:
+		return value.Int(c.ints[i])
+	case value.KindBool:
+		return value.Bool(c.ints[i] != 0)
+	case value.KindTime:
+		return value.Time(period.Chronon(c.ints[i]))
+	case value.KindFloat:
+		return value.Float(c.floats[i])
+	case value.KindString:
+		return value.String_(c.strs[i])
+	default:
+		return c.vals[i]
+	}
+}
+
+// demote converts the column to boxed storage; the escape hatch for
+// kind-mixed appends.
+func (c *colvec) demote() {
+	n := c.length()
+	vals := make([]value.Value, n, n+1)
+	for i := 0; i < n; i++ {
+		vals[i] = c.at(i)
+	}
+	c.kind = value.KindInvalid
+	c.ints, c.floats, c.strs = nil, nil, nil
+	c.vals = vals
+}
+
+// append adds v, demoting to boxed storage when v's kind does not match.
+func (c *colvec) append(v value.Value) {
+	if c.kind != v.Kind() && c.kind != value.KindInvalid {
+		c.demote()
+	}
+	switch c.kind {
+	case value.KindInt:
+		c.ints = append(c.ints, v.AsInt())
+	case value.KindBool:
+		if v.AsBool() {
+			c.ints = append(c.ints, 1)
+		} else {
+			c.ints = append(c.ints, 0)
+		}
+	case value.KindTime:
+		c.ints = append(c.ints, int64(v.AsTime()))
+	case value.KindFloat:
+		c.floats = append(c.floats, v.AsFloat())
+	case value.KindString:
+		c.strs = append(c.strs, v.AsString())
+	default:
+		c.vals = append(c.vals, v)
+	}
+}
+
+// appendFrom copies o's value at i, staying on the typed plane when the
+// storage kinds match.
+func (c *colvec) appendFrom(o *colvec, i int) {
+	if c.kind == o.kind {
+		switch c.kind {
+		case value.KindInt, value.KindBool, value.KindTime:
+			c.ints = append(c.ints, o.ints[i])
+			return
+		case value.KindFloat:
+			c.floats = append(c.floats, o.floats[i])
+			return
+		case value.KindString:
+			c.strs = append(c.strs, o.strs[i])
+			return
+		}
+	}
+	c.append(o.at(i))
+}
+
+// appendRange bulk-copies o's values [lo,hi), staying typed when possible.
+func (c *colvec) appendRange(o *colvec, lo, hi int) {
+	if c.kind == o.kind {
+		switch c.kind {
+		case value.KindInt, value.KindBool, value.KindTime:
+			c.ints = append(c.ints, o.ints[lo:hi]...)
+			return
+		case value.KindFloat:
+			c.floats = append(c.floats, o.floats[lo:hi]...)
+			return
+		case value.KindString:
+			c.strs = append(c.strs, o.strs[lo:hi]...)
+			return
+		}
+	}
+	for i := lo; i < hi; i++ {
+		c.append(o.at(i))
+	}
+}
+
+// hashInto folds the value at i into a running hash, producing exactly the
+// bits value.Value.HashInto produces for the equal tuple value.
+func (c *colvec) hashInto(i int, h uint64) uint64 { return c.at(i).HashInto(h) }
+
+// equalAt reports value equality between c[i] and o[j] under the canonical
+// Compare order, with typed fast paths for the exact-match kinds. Floats go
+// through the generic path so NaN and cross-kind numeric equality keep the
+// canonical semantics.
+func (c *colvec) equalAt(i int, o *colvec, j int) bool {
+	if c.kind == o.kind {
+		switch c.kind {
+		case value.KindInt, value.KindBool, value.KindTime:
+			return c.ints[i] == o.ints[j]
+		case value.KindString:
+			return c.strs[i] == o.strs[j]
+		}
+	}
+	return c.at(i).Equal(o.at(j))
+}
+
+// batch is a columnar slice of a tuple stream: one colvec per schema
+// attribute, n physical rows, and an optional selection vector. With sel
+// non-nil the batch presents rows sel[0..len(sel)) in that order; filters
+// emit selections instead of compacting, and the consumer compacts (or
+// gathers) only when it materializes. Batches flowing between operators are
+// immutable — a filter wraps its input in a new batch struct sharing the
+// columns, never mutating them.
+type batch struct {
+	schema *schema.Schema
+	cols   []colvec
+	n      int   // physical rows in the columns
+	sel    []int // selected physical row indices, nil = all rows
+}
+
+// newBatch returns an empty batch for s with per-column room for capHint.
+func newBatch(s *schema.Schema, capHint int) *batch {
+	b := &batch{schema: s, cols: make([]colvec, s.Len())}
+	for i := range b.cols {
+		b.cols[i] = newColvec(s.At(i).Kind, capHint)
+	}
+	return b
+}
+
+// rows returns the presented row count (the selection's, when one is set).
+func (b *batch) rows() int {
+	if b.sel != nil {
+		return len(b.sel)
+	}
+	return b.n
+}
+
+// rowIndex maps a presented position to its physical row index.
+func (b *batch) rowIndex(k int) int {
+	if b.sel != nil {
+		return b.sel[k]
+	}
+	return k
+}
+
+// tupleAt materializes the physical row i as a tuple.
+func (b *batch) tupleAt(i int) relation.Tuple {
+	t := make(relation.Tuple, len(b.cols))
+	for c := range b.cols {
+		t[c] = b.cols[c].at(i)
+	}
+	return t
+}
+
+// fillTuple writes the physical row i into a caller-owned scratch tuple.
+func (b *batch) fillTuple(t relation.Tuple, i int) {
+	for c := range b.cols {
+		t[c] = b.cols[c].at(i)
+	}
+}
+
+// appendTuple appends t as a new physical row.
+func (b *batch) appendTuple(t relation.Tuple) {
+	for c := range b.cols {
+		b.cols[c].append(t[c])
+	}
+	b.n++
+}
+
+// appendRow appends src's physical row i as a new physical row.
+func (b *batch) appendRow(src *batch, i int) {
+	for c := range b.cols {
+		b.cols[c].appendFrom(&src.cols[c], i)
+	}
+	b.n++
+}
+
+// periodAt reads the period at time positions t1/t2 of physical row i.
+func (b *batch) periodAt(t1, t2, i int) period.Period {
+	c1, c2 := &b.cols[t1], &b.cols[t2]
+	if c1.kind == value.KindTime && c2.kind == value.KindTime {
+		return period.Period{Start: period.Chronon(c1.ints[i]), End: period.Chronon(c2.ints[i])}
+	}
+	return period.Period{Start: c1.at(i).AsTime(), End: c2.at(i).AsTime()}
+}
+
+// compact resolves the selection vector into dense columns. A batch with no
+// selection is returned as-is.
+func (b *batch) compact() *batch {
+	if b.sel == nil {
+		return b
+	}
+	out := newBatch(b.schema, len(b.sel))
+	for c := range out.cols {
+		for _, i := range b.sel {
+			out.cols[c].appendFrom(&b.cols[c], i)
+		}
+	}
+	out.n = len(b.sel)
+	return out
+}
+
+// withSel returns a view of b presenting exactly the physical rows in sel,
+// sharing b's columns.
+func (b *batch) withSel(sel []int) *batch {
+	nb := *b
+	nb.sel = sel
+	return &nb
+}
+
+// batchOfTuples converts a tuple list to one batch.
+func batchOfTuples(s *schema.Schema, ts []relation.Tuple) *batch {
+	b := newBatch(s, len(ts))
+	for c := range b.cols {
+		col := &b.cols[c]
+		for _, t := range ts {
+			col.append(t[c])
+		}
+	}
+	b.n = len(ts)
+	return b
+}
+
+// vecIterator is the pull interface of the columnar pipeline. nextBatch
+// returns (nil, nil) when the stream is exhausted; emitted batches are
+// immutable and may be views sharing column storage with earlier batches.
+type vecIterator interface {
+	nextBatch() (*batch, error)
+	close() error
+}
+
+// batchTupleIter adapts a columnar stage for a tuple-at-a-time parent — the
+// downstream half of the batch↔tuple adapter boundary.
+type batchTupleIter struct {
+	in  vecIterator
+	cur *batch
+	k   int
+}
+
+func (a *batchTupleIter) next() (relation.Tuple, error) {
+	for {
+		if a.cur != nil && a.k < a.cur.rows() {
+			i := a.cur.rowIndex(a.k)
+			a.k++
+			return a.cur.tupleAt(i), nil
+		}
+		b, err := a.in.nextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		a.cur, a.k = b, 0
+	}
+}
+
+func (a *batchTupleIter) close() error { return a.in.close() }
+
+// tupleBatchIter adapts a tuple stage for a columnar parent — the upstream
+// half of the adapter boundary. Tuples are packed into fresh batches of
+// vecBatchRows.
+type tupleBatchIter struct {
+	in     iterator
+	schema *schema.Schema
+	done   bool
+}
+
+func (a *tupleBatchIter) nextBatch() (*batch, error) {
+	if a.done {
+		return nil, nil
+	}
+	b := newBatch(a.schema, vecBatchRows)
+	for b.n < vecBatchRows {
+		t, err := a.in.next()
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			a.done = true
+			break
+		}
+		b.appendTuple(t)
+	}
+	if b.n == 0 {
+		return nil, nil
+	}
+	return b, nil
+}
+
+func (a *tupleBatchIter) close() error { return a.in.close() }
+
+// vecInput returns s's columnar view: the stage's own batch stream when it
+// compiled columnar, otherwise its tuple iterator behind an adapter.
+func (s *source) vecInput() vecIterator {
+	if s.vec != nil {
+		return s.vec
+	}
+	return &tupleBatchIter{in: s.it, schema: s.schema}
+}
+
+// vecSource wraps a columnar iterator as a pipeline stage. The tuple view
+// (source.it) is the adapter, so a tuple-at-a-time parent can consume the
+// stage without knowing it is columnar; exactly one of the two views is
+// ever pulled.
+func vecSource(v vecIterator, sch *schema.Schema, order relation.OrderSpec) *source {
+	return &source{it: &batchTupleIter{in: v}, vec: v, schema: sch, order: order}
+}
+
+// vecDrainOne drains a columnar stream into a single compacted batch (the
+// build/materialization points: hash-join build sides, value-group and
+// grouping inputs). A stream of exactly one unselected batch is returned
+// as-is, copy-free.
+func vecDrainOne(v vecIterator, sch *schema.Schema) (*batch, error) {
+	var parts []*batch
+	total := 0
+	for {
+		b, err := v.nextBatch()
+		if err != nil {
+			v.close()
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		parts = append(parts, b)
+		total += b.rows()
+	}
+	if err := v.close(); err != nil {
+		return nil, err
+	}
+	if len(parts) == 1 && parts[0].sel == nil {
+		return parts[0], nil
+	}
+	out := newBatch(sch, total)
+	for c := range out.cols {
+		col := &out.cols[c]
+		for _, p := range parts {
+			src := &p.cols[c]
+			if p.sel == nil {
+				col.appendRange(src, 0, p.n)
+				continue
+			}
+			for _, i := range p.sel {
+				col.appendFrom(src, i)
+			}
+		}
+	}
+	out.n = total
+	return out, nil
+}
+
+// drainVec materializes a columnar stage into a relation.
+func drainVec(s *source) (*relation.Relation, error) {
+	var ts []relation.Tuple
+	for {
+		b, err := s.vec.nextBatch()
+		if err != nil {
+			s.vec.close()
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if ts == nil {
+			ts = make([]relation.Tuple, 0, b.rows())
+		}
+		for k := 0; k < b.rows(); k++ {
+			ts = append(ts, b.tupleAt(b.rowIndex(k)))
+		}
+	}
+	if err := s.vec.close(); err != nil {
+		return nil, err
+	}
+	out := relation.FromTuplesTrusted(s.schema, ts)
+	out.SetOrder(s.order)
+	return out, nil
+}
+
+// vecGroups assigns dense group ids to batch rows equal on a key-column
+// set: the columnar counterpart of hashGroups, hashing straight off the
+// column storage. Ids are allocated in first-occurrence order and
+// representatives are (batch, row) references, so no tuple is ever
+// materialized. The referenced batches stay alive as long as the table.
+type vecGroups struct {
+	idx     []int
+	buckets map[uint64][]int
+	repB    []*batch
+	repRow  []int
+}
+
+func newVecGroups(idx []int, sizeHint int) *vecGroups {
+	return &vecGroups{idx: idx, buckets: make(map[uint64][]int, sizeHint)}
+}
+
+func (g *vecGroups) hashAt(b *batch, i int) uint64 {
+	h := value.HashSeed()
+	for _, c := range g.idx {
+		h = b.cols[c].hashInto(i, h)
+	}
+	return h
+}
+
+// groupOf returns row i's group id, allocating a fresh one (fresh=true) for
+// the first row with a given key.
+func (g *vecGroups) groupOf(b *batch, i int) (id int, fresh bool) {
+	h := g.hashAt(b, i)
+	for _, gid := range g.buckets[h] {
+		if g.equalRep(gid, b, i) {
+			return gid, false
+		}
+	}
+	id = len(g.repB)
+	g.repB = append(g.repB, b)
+	g.repRow = append(g.repRow, i)
+	g.buckets[h] = append(g.buckets[h], id)
+	return id, true
+}
+
+func (g *vecGroups) equalRep(gid int, b *batch, i int) bool {
+	rb, ri := g.repB[gid], g.repRow[gid]
+	for _, c := range g.idx {
+		if !rb.cols[c].equalAt(ri, &b.cols[c], i) {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup finds the group whose key equals row i restricted to probeIdx —
+// position k of probeIdx pairs with position k of the table's key — or -1.
+func (g *vecGroups) lookup(b *batch, i int, probeIdx []int) int {
+	h := value.HashSeed()
+	for _, c := range probeIdx {
+		h = b.cols[c].hashInto(i, h)
+	}
+	for _, gid := range g.buckets[h] {
+		rb, ri := g.repB[gid], g.repRow[gid]
+		match := true
+		for k, pc := range probeIdx {
+			if !b.cols[pc].equalAt(i, &rb.cols[g.idx[k]], ri) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return gid
+		}
+	}
+	return -1
+}
+
+// size returns the number of distinct groups seen.
+func (g *vecGroups) size() int { return len(g.repB) }
+
+// vecGroupRows partitions a compacted batch's rows by equality on idx,
+// preserving first-occurrence group order and row order within each group;
+// the columnar counterpart of groupRows. contiguous=true (equal rows proved
+// adjacent by the input's OrderSpec) runs hash-free; an empty idx is one
+// global group.
+func vecGroupRows(b *batch, idx []int, contiguous bool) [][]int {
+	if b.n == 0 {
+		return nil
+	}
+	if len(idx) == 0 {
+		all := make([]int, b.n)
+		for i := range all {
+			all[i] = i
+		}
+		return [][]int{all}
+	}
+	if contiguous {
+		var out [][]int
+		cur := []int{0}
+		for i := 1; i < b.n; i++ {
+			same := true
+			for _, c := range idx {
+				if !b.cols[c].equalAt(i, &b.cols[c], i-1) {
+					same = false
+					break
+				}
+			}
+			if same {
+				cur = append(cur, i)
+				continue
+			}
+			out = append(out, cur)
+			cur = []int{i}
+		}
+		return append(out, cur)
+	}
+	groups := newVecGroups(idx, b.n)
+	var out [][]int
+	for i := 0; i < b.n; i++ {
+		gid, fresh := groups.groupOf(b, i)
+		if fresh {
+			out = append(out, nil)
+		}
+		out[gid] = append(out[gid], i)
+	}
+	return out
+}

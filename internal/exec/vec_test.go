@@ -1,0 +1,338 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tqp/internal/expr"
+	"tqp/internal/period"
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+	"tqp/internal/value"
+)
+
+// TestColvecRoundTrip checks that every value kind survives the typed
+// column storage bit-for-bit: at(i) must reconstruct a value that is Equal
+// to the appended one and hashes to the same bits.
+func TestColvecRoundTrip(t *testing.T) {
+	cases := []struct {
+		kind value.Kind
+		vals []value.Value
+	}{
+		{value.KindInt, []value.Value{value.Int(0), value.Int(-7), value.Int(1 << 62), value.Int(math.MinInt64)}},
+		{value.KindBool, []value.Value{value.Bool(true), value.Bool(false)}},
+		{value.KindTime, []value.Value{value.Time(0), value.Time(42), value.Time(period.NowMarker), value.Time(period.Beginning)}},
+		{value.KindFloat, []value.Value{value.Float(0), value.Float(-1.5), value.Float(math.NaN()), value.Float(math.Inf(1))}},
+		{value.KindString, []value.Value{value.String_(""), value.String_("a"), value.String_("it's")}},
+	}
+	for _, tc := range cases {
+		c := newColvec(tc.kind, 0)
+		for _, v := range tc.vals {
+			c.append(v)
+		}
+		if c.kind != tc.kind {
+			t.Fatalf("kind %v: column demoted to %v on same-kind appends", tc.kind, c.kind)
+		}
+		if c.length() != len(tc.vals) {
+			t.Fatalf("kind %v: length %d, want %d", tc.kind, c.length(), len(tc.vals))
+		}
+		for i, v := range tc.vals {
+			got := c.at(i)
+			if !got.Equal(v) || got.Kind() != v.Kind() {
+				t.Fatalf("kind %v: at(%d) = %v (%v), want %v", tc.kind, i, got, got.Kind(), v)
+			}
+			if got.HashInto(value.HashSeed()) != v.HashInto(value.HashSeed()) {
+				t.Fatalf("kind %v: at(%d) hashes differently from the appended value", tc.kind, i)
+			}
+			if !c.equalAt(i, &c, i) {
+				t.Fatalf("kind %v: equalAt(%d,%d) false on the same slot", tc.kind, i, i)
+			}
+		}
+	}
+}
+
+// TestColvecKindMixed checks the demotion escape hatch: a column fed a
+// foreign kind falls back to boxed storage without losing the earlier
+// typed values — including cross-kind numeric equality semantics.
+func TestColvecKindMixed(t *testing.T) {
+	c := newColvec(value.KindInt, 0)
+	c.append(value.Int(3))
+	c.append(value.Float(3.5)) // demotes
+	c.append(value.String_("x"))
+	if c.kind != value.KindInvalid {
+		t.Fatalf("mixed column kept kind %v, want boxed fallback", c.kind)
+	}
+	want := []value.Value{value.Int(3), value.Float(3.5), value.String_("x")}
+	for i, v := range want {
+		if got := c.at(i); !got.Equal(v) || got.Kind() != v.Kind() {
+			t.Fatalf("after demotion at(%d) = %v (%v), want %v", i, got, got.Kind(), v)
+		}
+	}
+	// Cross-kind numeric equality must keep the canonical Compare result:
+	// Int(3) == Float(3.0) even across differently-typed columns.
+	f := newColvec(value.KindFloat, 0)
+	f.append(value.Float(3))
+	if !c.equalAt(0, &f, 0) {
+		t.Fatal("Int(3) and Float(3.0) must compare equal across columns")
+	}
+	// NaN equals NaN under the canonical total order.
+	n1 := newColvec(value.KindFloat, 0)
+	n1.append(value.Float(math.NaN()))
+	if !n1.equalAt(0, &n1, 0) {
+		t.Fatal("NaN must equal NaN under the canonical order")
+	}
+}
+
+// TestBatchSelectionCompact checks selection-vector semantics: a view
+// presents exactly the selected rows in selection order, compaction
+// resolves it into dense columns, and the underlying batch is untouched.
+func TestBatchSelectionCompact(t *testing.T) {
+	s := schema.MustNew(
+		schema.Attr("K", value.KindInt),
+		schema.Attr("S", value.KindString),
+		schema.Attr(schema.T1, value.KindTime),
+		schema.Attr(schema.T2, value.KindTime))
+	var tuples []relation.Tuple
+	for i := 0; i < 6; i++ {
+		tuples = append(tuples, relation.Tuple{
+			value.Int(int64(i)), value.String_(string(rune('a' + i))),
+			value.Time(period.Chronon(i)), value.Time(period.Chronon(i + 10)),
+		})
+	}
+	b := batchOfTuples(s, tuples)
+	if b.n != 6 || b.rows() != 6 {
+		t.Fatalf("batch rows = %d/%d, want 6/6", b.n, b.rows())
+	}
+	v := b.withSel([]int{4, 1, 3})
+	if v.rows() != 3 {
+		t.Fatalf("view rows = %d, want 3", v.rows())
+	}
+	for k, phys := range []int{4, 1, 3} {
+		if got := v.rowIndex(k); got != phys {
+			t.Fatalf("view rowIndex(%d) = %d, want %d", k, got, phys)
+		}
+		if !v.tupleAt(v.rowIndex(k)).Equal(tuples[phys]) {
+			t.Fatalf("view row %d differs from source tuple %d", k, phys)
+		}
+	}
+	c := v.compact()
+	if c.sel != nil || c.n != 3 {
+		t.Fatalf("compacted batch n=%d sel=%v, want 3/nil", c.n, c.sel)
+	}
+	for k, phys := range []int{4, 1, 3} {
+		if !c.tupleAt(k).Equal(tuples[phys]) {
+			t.Fatalf("compacted row %d differs from source tuple %d", k, phys)
+		}
+	}
+	// The shared base is untouched by the view and the compaction.
+	if b.sel != nil || b.n != 6 {
+		t.Fatal("selection view mutated its base batch")
+	}
+	for i, tu := range tuples {
+		if !b.tupleAt(i).Equal(tu) {
+			t.Fatalf("base batch row %d changed", i)
+		}
+	}
+	// periodAt must read NOW-relative periods through the typed time plane.
+	nb := batchOfTuples(s, []relation.Tuple{{
+		value.Int(1), value.String_("now"), value.Time(5), value.Time(period.NowMarker),
+	}})
+	p := nb.periodAt(2, 3, 0)
+	if p.Start != 5 || p.End != period.NowMarker || !p.IsNowRelative() {
+		t.Fatalf("periodAt = %v, want [5, NOW)", p)
+	}
+}
+
+// TestVecDrainOne checks the materialization helper: a multi-batch stream
+// with selections compacts into one dense batch in presented order, and a
+// single unselected batch passes through without copying.
+func TestVecDrainOne(t *testing.T) {
+	s := schema.MustNew(schema.Attr("K", value.KindInt))
+	mk := func(vals ...int64) *batch {
+		b := newBatch(s, len(vals))
+		for _, v := range vals {
+			b.appendTuple(relation.Tuple{value.Int(v)})
+		}
+		return b
+	}
+	b1 := mk(1, 2, 3).withSel([]int{2, 0})
+	b2 := mk(4, 5)
+	out, err := vecDrainOne(&stubVecIter{batches: []*batch{b1, b2}}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{3, 1, 4, 5}
+	if out.n != len(want) || out.sel != nil {
+		t.Fatalf("drained n=%d sel=%v, want %d/nil", out.n, out.sel, len(want))
+	}
+	for i, w := range want {
+		if got := out.cols[0].at(i); got.AsInt() != w {
+			t.Fatalf("drained row %d = %v, want %d", i, got, w)
+		}
+	}
+	single := mk(7, 8)
+	out, err = vecDrainOne(&stubVecIter{batches: []*batch{single}}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != single {
+		t.Fatal("a single unselected batch must pass through vecDrainOne without copying")
+	}
+}
+
+type stubVecIter struct {
+	batches []*batch
+	i       int
+}
+
+func (s *stubVecIter) nextBatch() (*batch, error) {
+	if s.i >= len(s.batches) {
+		return nil, nil
+	}
+	b := s.batches[s.i]
+	s.i++
+	return b, nil
+}
+
+func (s *stubVecIter) close() error { return nil }
+
+// TestVecGroupsMatchesHashGroups drives random kind-mixed tuples through
+// the columnar and the tuple hash-grouping side by side: identical group
+// ids in identical order, and identical cross-schema lookups.
+func TestVecGroupsMatchesHashGroups(t *testing.T) {
+	s := schema.MustNew(
+		schema.Attr("A", value.KindInt),
+		schema.Attr("B", value.KindString),
+		schema.Attr("C", value.KindFloat))
+	rng := rand.New(rand.NewSource(7))
+	var tuples []relation.Tuple
+	for i := 0; i < 400; i++ {
+		tuples = append(tuples, relation.Tuple{
+			value.Int(int64(rng.Intn(5))),
+			value.String_(string(rune('a' + rng.Intn(3)))),
+			value.Float(float64(rng.Intn(3))),
+		})
+	}
+	idx := []int{0, 1, 2}
+	b := batchOfTuples(s, tuples)
+	hg := newHashGroups(idx, 0)
+	vg := newVecGroups(idx, 0)
+	for i, tu := range tuples {
+		hid, hfresh := hg.groupOf(tu)
+		vid, vfresh := vg.groupOf(b, i)
+		if hid != vid || hfresh != vfresh {
+			t.Fatalf("row %d: hashGroups (%d,%v) ≠ vecGroups (%d,%v)", i, hid, hfresh, vid, vfresh)
+		}
+	}
+	for i, tu := range tuples {
+		if hg.lookup(tu, idx) != vg.lookup(b, i, idx) {
+			t.Fatalf("row %d: lookup disagrees", i)
+		}
+	}
+}
+
+// TestSpanAlgorithmsMatchRowAlgorithms is the property test tying the
+// span-level temporal algorithms to the row-level ones they mirror: on
+// random period multisets (overlaps, duplicates, empties, NOW markers)
+// rdupTSpans/coalTSpans must produce exactly the fragment sequence of
+// rdupTGroup/coalTGroup.
+func TestSpanAlgorithmsMatchRowAlgorithms(t *testing.T) {
+	s := schema.MustNew(
+		schema.Attr("V", value.KindInt),
+		schema.Attr(schema.T1, value.KindTime),
+		schema.Attr(schema.T2, value.KindTime))
+	t1, t2 := s.TimeIndices()
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		rows := make([]row, n)
+		for i := 0; i < n; i++ {
+			start := period.Chronon(rng.Intn(10))
+			end := start + period.Chronon(rng.Intn(8))
+			if rng.Intn(10) == 0 {
+				end = period.NowMarker // NOW-relative period
+			}
+			p := period.Period{Start: start, End: end}
+			tu := relation.Tuple{value.Int(1), value.Time(p.Start), value.Time(p.End)}
+			rows[i] = row{orig: i, t: tu, p: p}
+		}
+		spans := make([]vspan, n)
+		for i, rw := range rows {
+			spans[i] = vspan{src: i, p: rw.p}
+		}
+		check := func(name string, gotSpans []vspan, wantRows []row) {
+			if len(gotSpans) != len(wantRows) {
+				t.Fatalf("seed %d %s: %d spans vs %d rows", seed, name, len(gotSpans), len(wantRows))
+			}
+			for k := range gotSpans {
+				if gotSpans[k].p != wantRows[k].p {
+					t.Fatalf("seed %d %s: fragment %d period %v ≠ %v", seed, name, k, gotSpans[k].p, wantRows[k].p)
+				}
+				if gotSpans[k].src != wantRows[k].orig {
+					t.Fatalf("seed %d %s: fragment %d source %d ≠ orig %d", seed, name, k, gotSpans[k].src, wantRows[k].orig)
+				}
+				wantP := wantRows[k].t.PeriodAt(t1, t2)
+				if gotSpans[k].p != wantP {
+					t.Fatalf("seed %d %s: fragment %d span period %v ≠ tuple period %v", seed, name, k, gotSpans[k].p, wantP)
+				}
+			}
+		}
+		rCopy := append([]row(nil), rows...)
+		sCopy := append([]vspan(nil), spans...)
+		check("rdupT", rdupTSpans(sCopy), rdupTGroup(rCopy, t1, t2))
+		rCopy = append([]row(nil), rows...)
+		sCopy = append([]vspan(nil), spans...)
+		check("coalT", coalTSpans(sCopy), coalTGroup(rCopy, t1, t2))
+	}
+}
+
+// TestVecPredCompiler checks the columnar predicate fast path against
+// Pred.Holds over every comparison operator and the boolean connectives.
+func TestVecPredCompiler(t *testing.T) {
+	s := schema.MustNew(
+		schema.Attr("A", value.KindInt),
+		schema.Attr("B", value.KindFloat))
+	var tuples []relation.Tuple
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		tuples = append(tuples, relation.Tuple{
+			value.Int(int64(rng.Intn(7) - 3)),
+			value.Float(float64(rng.Intn(7)) - 3.5),
+		})
+	}
+	b := batchOfTuples(s, tuples)
+	a, bcol := expr.Column("A"), expr.Column("B")
+	zero := expr.Literal(value.Int(0))
+	preds := []expr.Pred{
+		expr.TruePred{},
+		expr.Compare(expr.Eq, a, zero),
+		expr.Compare(expr.Ne, a, zero),
+		expr.Compare(expr.Lt, a, bcol), // cross-kind int vs float comparison
+		expr.Compare(expr.Le, a, bcol),
+		expr.Compare(expr.Gt, bcol, expr.Literal(value.Float(0.5))),
+		expr.Compare(expr.Ge, a, expr.Literal(value.Int(-1))),
+		expr.Neg(expr.Compare(expr.Eq, a, zero)),
+		expr.Conj(expr.Compare(expr.Gt, a, zero), expr.Compare(expr.Lt, bcol, expr.Literal(value.Float(2)))),
+		expr.Disj(expr.Compare(expr.Lt, a, zero), expr.Compare(expr.Gt, bcol, expr.Literal(value.Float(1)))),
+	}
+	for pi, p := range preds {
+		fast := compileVecPred(p, s)
+		if fast == nil {
+			t.Fatalf("pred %d (%s): compiler refused a supported shape", pi, p)
+		}
+		for i, tu := range tuples {
+			want, err := p.Holds(s, tu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := fast(b, i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("pred %d (%s) row %d: fast %v ≠ Holds %v", pi, p, i, got, want)
+			}
+		}
+	}
+}

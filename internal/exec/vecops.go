@@ -1,0 +1,848 @@
+package exec
+
+import (
+	"sort"
+
+	"tqp/internal/eval"
+	"tqp/internal/expr"
+	"tqp/internal/period"
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+	"tqp/internal/value"
+)
+
+// This file holds the batch-at-a-time operator variants. Each mirrors the
+// semantics of the hash fallback it replaces exactly — first-occurrence
+// group order, left-major/right-list join order, group-local temporal
+// transforms re-interleaved by original position — so the columnar engine
+// stays bit-identical to the tuple engine; only the storage layout and the
+// per-row constant factors change. The builders install a columnar variant
+// only when the stage's input itself compiled columnar (regions grow
+// outward from scans) and e.columnar() holds, so the merge, parallel and
+// grace variants keep their existing precedence untouched.
+
+// onceBatchIter defers a batch-producing computation to the first pull and
+// emits its result as a single batch; the columnar counterpart of lazyIter.
+type onceBatchIter struct {
+	compute func() (*batch, error)
+	done    bool
+}
+
+func (o *onceBatchIter) nextBatch() (*batch, error) {
+	if o.done {
+		return nil, nil
+	}
+	o.done = true
+	b, err := o.compute()
+	if err != nil {
+		return nil, err
+	}
+	if b == nil || b.rows() == 0 {
+		return nil, nil
+	}
+	return b, nil
+}
+
+func (o *onceBatchIter) close() error { return nil }
+
+// vecPred is a predicate compiled against columnar input: evaluated on the
+// physical row i of b without materializing a tuple.
+type vecPred func(b *batch, i int) (bool, error)
+
+// compileVecPred builds a columnar evaluator for p over s, or nil when p
+// contains a shape the compiler does not specialize (arithmetic, period
+// predicates); the caller then falls back to scratch-tuple evaluation.
+// Comparisons reconstruct values straight off the columns and reuse
+// value.Compare, so the result is the one Pred.Holds computes.
+func compileVecPred(p expr.Pred, s *schema.Schema) vecPred {
+	switch q := p.(type) {
+	case expr.TruePred:
+		return func(*batch, int) (bool, error) { return true, nil }
+	case expr.Not:
+		inner := compileVecPred(q.P, s)
+		if inner == nil {
+			return nil
+		}
+		return func(b *batch, i int) (bool, error) {
+			ok, err := inner(b, i)
+			return !ok, err
+		}
+	case expr.And:
+		l, r := compileVecPred(q.L, s), compileVecPred(q.R, s)
+		if l == nil || r == nil {
+			return nil
+		}
+		return func(b *batch, i int) (bool, error) {
+			ok, err := l(b, i)
+			if err != nil || !ok {
+				return false, err
+			}
+			return r(b, i)
+		}
+	case expr.Or:
+		l, r := compileVecPred(q.L, s), compileVecPred(q.R, s)
+		if l == nil || r == nil {
+			return nil
+		}
+		return func(b *batch, i int) (bool, error) {
+			ok, err := l(b, i)
+			if err != nil || ok {
+				return ok, err
+			}
+			return r(b, i)
+		}
+	case expr.Cmp:
+		if fast := compileTypedCmp(q, s); fast != nil {
+			return fast
+		}
+		lv := compileVecExpr(q.L, s)
+		rv := compileVecExpr(q.R, s)
+		if lv == nil || rv == nil {
+			return nil
+		}
+		op := q.Op
+		return func(b *batch, i int) (bool, error) {
+			cr := lv(b, i).Compare(rv(b, i))
+			return cmpHolds(op, cr), nil
+		}
+	}
+	return nil
+}
+
+// cmpHolds applies a comparison operator to a three-way Compare result.
+func cmpHolds(op expr.CmpOp, cr int) bool {
+	switch op {
+	case expr.Eq:
+		return cr == 0
+	case expr.Ne:
+		return cr != 0
+	case expr.Lt:
+		return cr < 0
+	case expr.Le:
+		return cr <= 0
+	case expr.Gt:
+		return cr > 0
+	default:
+		return cr >= 0
+	}
+}
+
+// intCmp returns op as a direct int64 comparison — exact for same-kind
+// int, bool and time values, whose canonical Compare is the payload order.
+func intCmp(op expr.CmpOp) func(a, b int64) bool {
+	switch op {
+	case expr.Eq:
+		return func(a, b int64) bool { return a == b }
+	case expr.Ne:
+		return func(a, b int64) bool { return a != b }
+	case expr.Lt:
+		return func(a, b int64) bool { return a < b }
+	case expr.Le:
+		return func(a, b int64) bool { return a <= b }
+	case expr.Gt:
+		return func(a, b int64) bool { return a > b }
+	default:
+		return func(a, b int64) bool { return a >= b }
+	}
+}
+
+// strCmp is intCmp's string-plane counterpart.
+func strCmp(op expr.CmpOp) func(a, b string) bool {
+	switch op {
+	case expr.Eq:
+		return func(a, b string) bool { return a == b }
+	case expr.Ne:
+		return func(a, b string) bool { return a != b }
+	case expr.Lt:
+		return func(a, b string) bool { return a < b }
+	case expr.Le:
+		return func(a, b string) bool { return a <= b }
+	case expr.Gt:
+		return func(a, b string) bool { return a > b }
+	default:
+		return func(a, b string) bool { return a >= b }
+	}
+}
+
+// compileTypedCmp specializes Col-vs-Lit and Col-vs-Col comparisons to read
+// the typed column planes directly — no value.Value construction, no
+// generic Compare — whenever the runtime storage kind matches the schema
+// kind the closure was compiled for. Only exact-payload kinds specialize:
+// int, bool and time compare as their int64 payloads and strings as
+// strings, exactly value.Compare's same-kind order. Floats (NaN, cross-kind
+// numeric equality) and demoted columns take the generic path, which every
+// closure falls back to per row when the plane check fails.
+func compileTypedCmp(q expr.Cmp, s *schema.Schema) vecPred {
+	generic := func(op expr.CmpOp) func(a, b value.Value) bool {
+		return func(a, b value.Value) bool { return cmpHolds(op, a.Compare(b)) }
+	}
+	intPlane := func(k value.Kind) bool {
+		return k == value.KindInt || k == value.KindBool || k == value.KindTime
+	}
+	lcol, lok := q.L.(expr.Col)
+	if !lok {
+		return nil
+	}
+	li := s.Index(lcol.Name)
+	if li < 0 {
+		return nil
+	}
+	lk := s.At(li).Kind
+	switch r := q.R.(type) {
+	case expr.Lit:
+		lit := r.Val
+		if intPlane(lk) && lk == lit.Kind() {
+			var k int64
+			switch lk {
+			case value.KindInt:
+				k = lit.AsInt()
+			case value.KindBool:
+				if lit.AsBool() {
+					k = 1
+				}
+			default:
+				k = int64(lit.AsTime())
+			}
+			cmp, slow := intCmp(q.Op), generic(q.Op)
+			return func(b *batch, i int) (bool, error) {
+				if c := &b.cols[li]; c.kind == lk {
+					return cmp(c.ints[i], k), nil
+				}
+				return slow(b.cols[li].at(i), lit), nil
+			}
+		}
+		if lk == value.KindString && lit.Kind() == value.KindString {
+			k := lit.AsString()
+			cmp, slow := strCmp(q.Op), generic(q.Op)
+			return func(b *batch, i int) (bool, error) {
+				if c := &b.cols[li]; c.kind == value.KindString {
+					return cmp(c.strs[i], k), nil
+				}
+				return slow(b.cols[li].at(i), lit), nil
+			}
+		}
+	case expr.Col:
+		ri := s.Index(r.Name)
+		if ri < 0 {
+			return nil
+		}
+		rk := s.At(ri).Kind
+		if intPlane(lk) && lk == rk {
+			cmp, slow := intCmp(q.Op), generic(q.Op)
+			return func(b *batch, i int) (bool, error) {
+				lc, rc := &b.cols[li], &b.cols[ri]
+				if lc.kind == lk && rc.kind == lk {
+					return cmp(lc.ints[i], rc.ints[i]), nil
+				}
+				return slow(lc.at(i), rc.at(i)), nil
+			}
+		}
+		if lk == value.KindString && rk == value.KindString {
+			cmp, slow := strCmp(q.Op), generic(q.Op)
+			return func(b *batch, i int) (bool, error) {
+				lc, rc := &b.cols[li], &b.cols[ri]
+				if lc.kind == value.KindString && rc.kind == value.KindString {
+					return cmp(lc.strs[i], rc.strs[i]), nil
+				}
+				return slow(lc.at(i), rc.at(i)), nil
+			}
+		}
+	}
+	return nil
+}
+
+// compileVecExpr specializes a scalar expression to a column read or a
+// constant; nil for any other shape.
+func compileVecExpr(e expr.Expr, s *schema.Schema) func(b *batch, i int) value.Value {
+	switch x := e.(type) {
+	case expr.Col:
+		ci := s.Index(x.Name)
+		if ci < 0 {
+			return nil
+		}
+		return func(b *batch, i int) value.Value { return b.cols[ci].at(i) }
+	case expr.Lit:
+		v := x.Val
+		return func(*batch, int) value.Value { return v }
+	}
+	return nil
+}
+
+// vecFilterIter is the columnar σ_P: per input batch it evaluates the
+// predicate over the presented rows and emits a selection-vector view — no
+// row is copied, a fully-passing batch passes through as-is.
+type vecFilterIter struct {
+	e       *Engine
+	in      vecIterator
+	p       expr.Pred
+	schema  *schema.Schema
+	fast    vecPred
+	scratch relation.Tuple
+}
+
+func (f *vecFilterIter) holds(b *batch, i int) (bool, error) {
+	if f.fast != nil {
+		return f.fast(b, i)
+	}
+	if f.scratch == nil {
+		f.scratch = make(relation.Tuple, f.schema.Len())
+	}
+	b.fillTuple(f.scratch, i)
+	return f.p.Holds(f.schema, f.scratch)
+}
+
+func (f *vecFilterIter) nextBatch() (*batch, error) {
+	for {
+		b, err := f.in.nextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		// Preallocate the selection at the only bound that is always right
+		// (every row passes): one allocation per input batch instead of a
+		// growslice doubling chain — on a full scan batch the copies and
+		// the GC churn they cause would dominate the filter itself. The
+		// slice cannot be reused across batches: the emitted view owns it,
+		// and downstream group operators retain batches.
+		n := b.rows()
+		sel := make([]int, 0, n)
+		pass := 0
+		for k := 0; k < n; k++ {
+			i := b.rowIndex(k)
+			ok, err := f.holds(b, i)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				pass++
+				sel = append(sel, i)
+			}
+		}
+		if pass == 0 {
+			continue
+		}
+		f.e.stats.VectorBatches++
+		if pass == n {
+			return b, nil
+		}
+		return b.withSel(sel), nil
+	}
+}
+
+func (f *vecFilterIter) close() error { return f.in.close() }
+
+// vecProjectIter is the columnar π. A projection whose items are all bare
+// column references is a zero-copy column gather — the output batch shares
+// the input's storage and selection; anything else evaluates row-at-a-time
+// into a fresh batch through a reused scratch tuple.
+type vecProjectIter struct {
+	e         *Engine
+	in        vecIterator
+	items     []projVecItem
+	gather    bool // every item is a plain column reference
+	inSchema  *schema.Schema
+	outSchema *schema.Schema
+	scratch   relation.Tuple
+}
+
+// projVecItem is one compiled projection item: a source column index when
+// the item is a bare reference, else the expression to evaluate.
+type projVecItem struct {
+	col  int
+	eval expr.Expr
+}
+
+func compileProjItems(items []projVecItem, in *schema.Schema) bool {
+	gather := true
+	for i := range items {
+		items[i].col = -1
+		if c, ok := items[i].eval.(expr.Col); ok {
+			if ci := in.Index(c.Name); ci >= 0 {
+				items[i].col = ci
+				continue
+			}
+		}
+		gather = false
+	}
+	return gather
+}
+
+func (p *vecProjectIter) nextBatch() (*batch, error) {
+	b, err := p.in.nextBatch()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	p.e.stats.VectorBatches++
+	if p.gather {
+		out := &batch{schema: p.outSchema, cols: make([]colvec, len(p.items)), n: b.n, sel: b.sel}
+		for k, it := range p.items {
+			out.cols[k] = b.cols[it.col]
+		}
+		return out, nil
+	}
+	n := b.rows()
+	out := newBatch(p.outSchema, n)
+	if p.scratch == nil {
+		p.scratch = make(relation.Tuple, p.inSchema.Len())
+	}
+	for k := 0; k < n; k++ {
+		i := b.rowIndex(k)
+		for c, it := range p.items {
+			if it.col >= 0 {
+				out.cols[c].appendFrom(&b.cols[it.col], i)
+				continue
+			}
+			b.fillTuple(p.scratch, i)
+			v, err := it.eval.Eval(p.inSchema, p.scratch)
+			if err != nil {
+				return nil, err
+			}
+			out.cols[c].append(v)
+		}
+	}
+	out.n = n
+	return out, nil
+}
+
+func (p *vecProjectIter) close() error { return p.in.close() }
+
+// vecRdupIter is the columnar rdup: a streaming hash set over the columns,
+// emitting each batch's first-occurrence rows as a selection view. The set
+// holds (batch, row) references, so surviving rows are never copied.
+type vecRdupIter struct {
+	e    *Engine
+	in   vecIterator
+	seen *vecGroups
+}
+
+func (r *vecRdupIter) nextBatch() (*batch, error) {
+	for {
+		b, err := r.in.nextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		if r.seen == nil {
+			r.seen = newVecGroups(identityIdx(len(b.cols)), 0)
+		}
+		var sel []int
+		n := b.rows()
+		for k := 0; k < n; k++ {
+			i := b.rowIndex(k)
+			if _, fresh := r.seen.groupOf(b, i); fresh {
+				sel = append(sel, i)
+			}
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		r.e.stats.VectorBatches++
+		if b.sel == nil && len(sel) == n {
+			return b, nil
+		}
+		return b.withSel(sel), nil
+	}
+}
+
+func (r *vecRdupIter) close() error { return r.in.close() }
+
+// vecJoinIter is the columnar equi-key × / ×ᵀ: the build side drains into
+// one batch plus a columnar hash table, then probe batches stream through,
+// each probe row pairing with its key group in right-list order. Output
+// rows are assembled column-wise — the hash fallback's per-pair tuple
+// allocation disappears — and the emission order is exactly productIter's
+// left-major sequence.
+type vecJoinIter struct {
+	e        *Engine
+	left     vecIterator
+	right    *source
+	out      *schema.Schema
+	lw, rw   int
+	lidx     []int
+	ridx     []int
+	residual expr.Pred
+	temporal bool
+	lt1, lt2 int
+
+	built   bool
+	build   *batch
+	periods []period.Period
+	table   *vecGroups
+	members [][]int
+
+	pb       *batch // current probe batch
+	pk       int    // next presented row in pb
+	curProbe int    // physical index of the probe row the cursor is on
+	ci       int    // next candidate within cand
+	cand     []int
+	curP     period.Period
+	live     bool // a probe row with candidates is parked on the cursor
+	scratch  relation.Tuple
+}
+
+func (j *vecJoinIter) buildSide() error {
+	b, err := vecDrainOne(j.right.vecInput(), j.right.schema)
+	if err != nil {
+		return err
+	}
+	j.build = b
+	if j.temporal {
+		rt1, rt2 := j.right.schema.TimeIndices()
+		j.periods = make([]period.Period, b.n)
+		for i := 0; i < b.n; i++ {
+			j.periods[i] = b.periodAt(rt1, rt2, i)
+		}
+	}
+	j.table = newVecGroups(j.ridx, b.n)
+	for i := 0; i < b.n; i++ {
+		gid, fresh := j.table.groupOf(b, i)
+		if fresh {
+			j.members = append(j.members, nil)
+		}
+		j.members[gid] = append(j.members[gid], i)
+	}
+	j.built = true
+	return nil
+}
+
+// advance positions the candidate cursor on the next probe row with a key
+// match, pulling probe batches as needed; false when the left is exhausted.
+func (j *vecJoinIter) advance() (bool, error) {
+	for {
+		if j.pb == nil || j.pk >= j.pb.rows() {
+			b, err := j.left.nextBatch()
+			if err != nil {
+				return false, err
+			}
+			if b == nil {
+				return false, nil
+			}
+			j.pb, j.pk = b, 0
+			continue
+		}
+		i := j.pb.rowIndex(j.pk)
+		j.pk++
+		if gid := j.table.lookup(j.pb, i, j.lidx); gid >= 0 {
+			j.cand = j.members[gid]
+			j.ci = 0
+			if j.temporal {
+				j.curP = j.pb.periodAt(j.lt1, j.lt2, i)
+			}
+			// Park the probe row index in cand's cursor state: emit pairs
+			// against it until the candidate list is spent.
+			j.curProbe = i
+			return true, nil
+		}
+	}
+}
+
+func (j *vecJoinIter) nextBatch() (*batch, error) {
+	if !j.built {
+		if err := j.buildSide(); err != nil {
+			return nil, err
+		}
+		ok, err := j.advance()
+		if err != nil {
+			return nil, err
+		}
+		j.live = ok
+	}
+	if !j.live {
+		return nil, nil
+	}
+	out := newBatch(j.out, vecBatchRows)
+	for j.live {
+		for j.ci < len(j.cand) {
+			ri := j.cand[j.ci]
+			j.ci++
+			var iv period.Period
+			if j.temporal {
+				iv = j.curP.Intersect(j.periods[ri])
+				if iv.Empty() {
+					continue
+				}
+			}
+			if j.residual != nil {
+				ok, err := j.residualHolds(ri, iv)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			for c := 0; c < j.lw; c++ {
+				out.cols[c].appendFrom(&j.pb.cols[c], j.curProbe)
+			}
+			for c := 0; c < j.rw; c++ {
+				out.cols[j.lw+c].appendFrom(&j.build.cols[c], ri)
+			}
+			if j.temporal {
+				out.cols[j.lw+j.rw].append(value.Time(iv.Start))
+				out.cols[j.lw+j.rw+1].append(value.Time(iv.End))
+			}
+			out.n++
+		}
+		if out.n >= vecBatchRows {
+			break
+		}
+		ok, err := j.advance()
+		if err != nil {
+			return nil, err
+		}
+		j.live = ok
+	}
+	if out.n == 0 {
+		return nil, nil
+	}
+	j.e.stats.VectorBatches++
+	return out, nil
+}
+
+// residualHolds evaluates the fused residual predicate on the would-be
+// output row, assembled into a reused scratch tuple exactly as the hash
+// join assembles its buffer.
+func (j *vecJoinIter) residualHolds(ri int, iv period.Period) (bool, error) {
+	if j.scratch == nil {
+		width := j.lw + j.rw
+		if j.temporal {
+			width += 2
+		}
+		j.scratch = make(relation.Tuple, width)
+	}
+	for c := 0; c < j.lw; c++ {
+		j.scratch[c] = j.pb.cols[c].at(j.curProbe)
+	}
+	for c := 0; c < j.rw; c++ {
+		j.scratch[j.lw+c] = j.build.cols[c].at(ri)
+	}
+	if j.temporal {
+		j.scratch[j.lw+j.rw] = value.Time(iv.Start)
+		j.scratch[j.lw+j.rw+1] = value.Time(iv.End)
+	}
+	return j.residual.Holds(j.out, j.scratch)
+}
+
+func (j *vecJoinIter) close() error { return j.left.close() }
+
+// vspan is one period fragment of a value-equivalence group during columnar
+// temporal grouping: the physical row its values come from (which is also
+// its original list position — the merge key) plus its current period. The
+// value columns are never touched until the final gather, so the temporal
+// algorithms below run on 24-byte structs instead of tuples.
+type vspan struct {
+	src int
+	p   period.Period
+}
+
+// spansSortedDisjoint mirrors sortedDisjoint on spans.
+func spansSortedDisjoint(ss []vspan) bool {
+	for i, s := range ss {
+		if s.p.Empty() {
+			return false
+		}
+		if i > 0 && s.p.Start < ss[i-1].p.End {
+			return false
+		}
+	}
+	return true
+}
+
+// rdupTSpans mirrors rdupTGroup: the paper's iterative head/subtract
+// algorithm on one value-equivalence group, reading and writing only
+// periods. Fragments inherit their source row.
+func rdupTSpans(ss []vspan) []vspan {
+	if spansSortedDisjoint(ss) {
+		return ss
+	}
+	for i := 0; i < len(ss); i++ {
+		head := ss[i]
+		for {
+			j := -1
+			for x := i + 1; x < len(ss); x++ {
+				if ss[x].p.Overlaps(head.p) {
+					j = x
+					break
+				}
+			}
+			if j < 0 {
+				break
+			}
+			frags := ss[j].p.Subtract(head.p)
+			repl := make([]vspan, 0, 2)
+			for _, f := range frags {
+				repl = append(repl, vspan{src: ss[j].src, p: f})
+			}
+			ss = append(ss[:j], append(repl, ss[j+1:]...)...)
+		}
+	}
+	return ss
+}
+
+// coalTSpans mirrors coalTGroup: group-local adjacency merging, the merged
+// span keeping the earlier row's values.
+func coalTSpans(ss []vspan) []vspan {
+	if spansSortedDisjoint(ss) {
+		return coalesceOnePassSpans(ss)
+	}
+	for i := 0; i < len(ss); {
+		merged := false
+		for j := i + 1; j < len(ss); j++ {
+			if !ss[i].p.Adjacent(ss[j].p) {
+				continue
+			}
+			u, _ := ss[i].p.Union(ss[j].p)
+			ss[i].p = u
+			ss = append(ss[:j], ss[j+1:]...)
+			merged = true
+			break
+		}
+		if !merged {
+			i++
+		}
+	}
+	return ss
+}
+
+// coalesceOnePassSpans mirrors coalesceOnePass on spans.
+func coalesceOnePassSpans(ss []vspan) []vspan {
+	if len(ss) == 0 {
+		return ss
+	}
+	out := ss[:0:0]
+	cur := ss[0]
+	for _, s := range ss[1:] {
+		if cur.p.End == s.p.Start {
+			cur.p.End = s.p.End
+			continue
+		}
+		out = append(out, cur)
+		cur = s
+	}
+	return append(out, cur)
+}
+
+// vecValueGroupSource compiles the columnar rdupᵀ / coalᵀ: drain the input
+// into one batch, partition rows by value equivalence off the columns, run
+// the span-level transform group-locally, stable-merge the surviving spans
+// back into original list order, and gather the result column-wise — value
+// columns copied straight from the input batch, period columns written from
+// the spans. This is the hash fallback's drain → group → transform →
+// mergeByOrig pipeline with the per-row tuple work removed.
+func (e *Engine) vecValueGroupSource(in *source, vidx []int, order relation.OrderSpec, transform func([]vspan) []vspan) *source {
+	e.stats.VectorOps++
+	t1, t2 := in.schema.TimeIndices()
+	compute := func() (*batch, error) {
+		b, err := vecDrainOne(in.vec, in.schema)
+		if err != nil {
+			return nil, err
+		}
+		contiguous := groupsContiguous(in.order, in.schema, vidx)
+		groups := vecGroupRows(b, vidx, contiguous)
+		var all []vspan
+		for _, members := range groups {
+			ss := make([]vspan, len(members))
+			for k, i := range members {
+				ss[k] = vspan{src: i, p: b.periodAt(t1, t2, i)}
+			}
+			all = append(all, transform(ss)...)
+		}
+		// src doubles as the original list position, so the stable sort is
+		// exactly mergeByOrig: fragments of one row keep their order.
+		sort.SliceStable(all, func(x, y int) bool { return all[x].src < all[y].src })
+		out := newBatch(in.schema, len(all))
+		for _, c := range vidx {
+			col := &out.cols[c]
+			for _, s := range all {
+				col.appendFrom(&b.cols[c], s.src)
+			}
+		}
+		for _, s := range all {
+			out.cols[t1].append(value.Time(s.p.Start))
+			out.cols[t2].append(value.Time(s.p.End))
+		}
+		out.n = len(all)
+		e.stats.VectorBatches++
+		return out, nil
+	}
+	return vecSource(&onceBatchIter{compute: compute}, in.schema, order)
+}
+
+// vecAggregateSource compiles the columnar 𝒢 hash path: batches stream
+// into per-group accumulators keyed off the columns, grouping keys are
+// read back from the group representatives' column positions, and one
+// tuple per group emits in first-occurrence order.
+func (e *Engine) vecAggregateSource(in *source, gidx []int, outSchema *schema.Schema, order relation.OrderSpec, aggs []expr.Aggregate) *source {
+	e.stats.VectorOps++
+	return lazySource(outSchema, order, func() ([]relation.Tuple, error) {
+		groups := newVecGroups(gidx, 0)
+		var accs [][]*expr.Accumulator
+		scratch := make(relation.Tuple, in.schema.Len())
+		for {
+			b, err := in.vec.nextBatch()
+			if err != nil {
+				in.vec.close()
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			e.stats.VectorBatches++
+			n := b.rows()
+			for k := 0; k < n; k++ {
+				i := b.rowIndex(k)
+				gid, fresh := groups.groupOf(b, i)
+				if fresh {
+					accs = append(accs, eval.NewAccumulators(aggs, in.schema))
+				}
+				b.fillTuple(scratch, i)
+				if err := eval.FoldAggregates(accs[gid], aggs, in.schema, scratch); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := in.vec.close(); err != nil {
+			return nil, err
+		}
+		out := make([]relation.Tuple, 0, groups.size())
+		for gid := 0; gid < groups.size(); gid++ {
+			nt := make(relation.Tuple, 0, outSchema.Len())
+			rb, ri := groups.repB[gid], groups.repRow[gid]
+			for _, gi := range gidx {
+				nt = append(nt, rb.cols[gi].at(ri))
+			}
+			for _, acc := range accs[gid] {
+				nt = append(nt, acc.Result())
+			}
+			out = append(out, nt)
+		}
+		return out, nil
+	})
+}
+
+// vecGroupEmitSource compiles the columnar 𝒢ᵀ hash path: drain into one
+// batch, partition by grouping columns off the columns, then hand each
+// group — materialized once — to the shared per-group emitter.
+func (e *Engine) vecGroupEmitSource(in *source, gidx []int, outSchema *schema.Schema, order relation.OrderSpec, groupOut func([]relation.Tuple) ([]relation.Tuple, error)) *source {
+	e.stats.VectorOps++
+	return lazySource(outSchema, order, func() ([]relation.Tuple, error) {
+		b, err := vecDrainOne(in.vec, in.schema)
+		if err != nil {
+			return nil, err
+		}
+		e.stats.VectorBatches++
+		contiguous := groupsContiguous(in.order, in.schema, gidx)
+		groups := vecGroupRows(b, gidx, contiguous)
+		var out []relation.Tuple
+		for _, members := range groups {
+			group := make([]relation.Tuple, len(members))
+			for x, i := range members {
+				group[x] = b.tupleAt(i)
+			}
+			res, err := groupOut(group)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, res...)
+		}
+		return out, nil
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"tqp/internal/period"
 	"tqp/internal/schema"
@@ -22,6 +23,40 @@ type Relation struct {
 	schema *schema.Schema
 	tuples []Tuple
 	order  OrderSpec
+
+	// columnar caches an opaque immutable columnar image of the tuple list,
+	// built and interpreted by the execution engine (which cannot be
+	// imported from here). It rides on the relation rather than on an engine
+	// instance so the one-time conversion amortizes across every engine and
+	// query that scans this relation. The pointer is atomic — concurrent
+	// queries share catalog relations — and every tuple-list mutation drops
+	// it.
+	columnar atomic.Pointer[columnarImage]
+}
+
+// columnarImage pairs the engine's opaque image with the tuple count it was
+// built from, a cheap staleness cross-check on top of explicit
+// invalidation.
+type columnarImage struct {
+	img  any
+	rows int
+}
+
+// ColumnarImage returns the cached columnar image, or nil when none is
+// cached or the cache no longer matches the tuple count.
+func (r *Relation) ColumnarImage() any {
+	c := r.columnar.Load()
+	if c == nil || c.rows != len(r.tuples) {
+		return nil
+	}
+	return c.img
+}
+
+// SetColumnarImage caches img as the columnar form of the current tuple
+// list. The image must be immutable; concurrent builders may race and any
+// winner is acceptable.
+func (r *Relation) SetColumnarImage(img any) {
+	r.columnar.Store(&columnarImage{img: img, rows: len(r.tuples)})
 }
 
 // New returns an empty relation over s.
@@ -120,7 +155,10 @@ func (r *Relation) Tuples() []Tuple { return r.tuples }
 
 // Append adds a tuple to the end of the list without validation; the caller
 // guarantees schema alignment.
-func (r *Relation) Append(t Tuple) { r.tuples = append(r.tuples, t) }
+func (r *Relation) Append(t Tuple) {
+	r.tuples = append(r.tuples, t)
+	r.columnar.Store(nil)
+}
 
 // Order returns the known order of the relation, the paper's Order(r). An
 // empty spec means the relation is not known to be ordered.
@@ -316,6 +354,7 @@ func (r *Relation) SortStable(o OrderSpec) error {
 		return CompareOn(r.schema, o, r.tuples[i], r.tuples[j]) < 0
 	})
 	r.order = o
+	r.columnar.Store(nil)
 	return nil
 }
 

@@ -105,7 +105,14 @@ func (c *Client) Query(sql string) (*relation.Relation, *QueryMeta, error) {
 		}
 		switch resp.Kind {
 		case KindRows:
-			ts, err := decodeRows(sch, resp.Rows)
+			// Column-major is what today's server sends; row-major keeps
+			// older peers readable.
+			var ts []relation.Tuple
+			if resp.ColRows != nil {
+				ts, err = decodeCols(sch, resp.ColRows)
+			} else {
+				ts, err = decodeRows(sch, resp.Rows)
+			}
 			if err != nil {
 				return nil, nil, err
 			}

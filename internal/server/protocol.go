@@ -142,15 +142,21 @@ type StatsReply struct {
 	Fingerprint string         `json:"fingerprint"`
 }
 
-// Response is one server→client message.
+// Response is one server→client message. A rows frame carries its tuples
+// in exactly one of two layouts: Rows (row-major, the legacy form) or
+// ColRows (column-major — ColRows[j][i] is row i's value for column j).
+// The server emits ColRows, mirroring the exec engine's columnar batches
+// onto the wire: one slice per column per frame instead of one per row;
+// clients decode both.
 type Response struct {
-	Kind  string      `json:"kind"`
-	Cols  []Col       `json:"cols,omitempty"`
-	Order []Order     `json:"order,omitempty"`
-	Rows  [][]string  `json:"rows,omitempty"`
-	Done  *Done       `json:"done,omitempty"`
-	Err   *WireError  `json:"error,omitempty"`
-	Stats *StatsReply `json:"stats,omitempty"`
+	Kind    string      `json:"kind"`
+	Cols    []Col       `json:"cols,omitempty"`
+	Order   []Order     `json:"order,omitempty"`
+	Rows    [][]string  `json:"rows,omitempty"`
+	ColRows [][]string  `json:"colrows,omitempty"`
+	Done    *Done       `json:"done,omitempty"`
+	Err     *WireError  `json:"error,omitempty"`
+	Stats   *StatsReply `json:"stats,omitempty"`
 }
 
 // ServerError is the client-side form of an error response.
@@ -353,9 +359,64 @@ func decodeRows(s *schema.Schema, rows [][]string) ([]relation.Tuple, error) {
 	return out, nil
 }
 
+// encodeCols renders tuples[from:to] column-major for a rows frame:
+// out[j] holds column j's cells in row order.
+func encodeCols(tuples []relation.Tuple, from, to int) [][]string {
+	if to == from {
+		return nil
+	}
+	arity := len(tuples[from])
+	out := make([][]string, arity)
+	cells := make([]string, arity*(to-from))
+	for j := range out {
+		col := cells[j*(to-from) : (j+1)*(to-from) : (j+1)*(to-from)]
+		for i := from; i < to; i++ {
+			col[i-from] = encodeValue(tuples[i][j])
+		}
+		out[j] = col
+	}
+	return out
+}
+
+// decodeCols parses a column-major rows frame back into tuples, validating
+// arity and column lengths against the schema as it goes.
+func decodeCols(s *schema.Schema, cols [][]string) ([]relation.Tuple, error) {
+	if len(cols) != s.Len() {
+		return nil, fmt.Errorf("server: frame arity %d vs schema %s", len(cols), s)
+	}
+	if len(cols) == 0 {
+		return nil, nil
+	}
+	n := len(cols[0])
+	for j, col := range cols {
+		if len(col) != n {
+			return nil, fmt.Errorf("server: ragged columnar frame: column %d has %d cells, column 0 has %d", j, len(col), n)
+		}
+	}
+	vals := make([]value.Value, n*len(cols))
+	out := make([]relation.Tuple, n)
+	for i := range out {
+		out[i] = relation.Tuple(vals[i*len(cols) : (i+1)*len(cols) : (i+1)*len(cols)])
+	}
+	for j, col := range cols {
+		k := s.At(j).Kind
+		for i, cell := range col {
+			v, err := decodeValue(k, cell)
+			if err != nil {
+				return nil, err
+			}
+			out[i][j] = v
+		}
+	}
+	return out, nil
+}
+
 // NormalizeSQL is the plan cache's statement normal form: runs of
 // whitespace outside single-quoted literals collapse to one space, leading
 // and trailing whitespace is trimmed, and a trailing semicolon is dropped.
+// A doubled quote inside a literal is the dialect's escape for a quote
+// character ('it''s'), so it keeps the in-literal state — whitespace in the
+// remainder of the literal is part of the value and is never collapsed.
 // It is deliberately conservative — identifier and keyword case are left
 // alone (identifiers are case-sensitive in the dialect), so a case variant
 // is merely a cache miss, never a wrong hit.
@@ -364,30 +425,37 @@ func NormalizeSQL(sql string) string {
 	b.Grow(len(sql))
 	inQuote := false
 	space := false
-	for _, r := range sql {
+	for i := 0; i < len(sql); i++ {
+		c := sql[i]
 		if inQuote {
-			b.WriteRune(r)
-			if r == '\'' {
+			b.WriteByte(c)
+			if c == '\'' {
+				if i+1 < len(sql) && sql[i+1] == '\'' {
+					// Escaped quote: emit both halves, stay in the literal.
+					b.WriteByte('\'')
+					i++
+					continue
+				}
 				inQuote = false
 			}
 			continue
 		}
 		switch {
-		case r == '\'':
+		case c == '\'':
 			if space && b.Len() > 0 {
 				b.WriteByte(' ')
 			}
 			space = false
 			inQuote = true
-			b.WriteRune(r)
-		case r == ' ' || r == '\t' || r == '\n' || r == '\r':
+			b.WriteByte(c)
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
 			space = true
 		default:
 			if space && b.Len() > 0 {
 				b.WriteByte(' ')
 			}
 			space = false
-			b.WriteRune(r)
+			b.WriteByte(c)
 		}
 	}
 	return strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(b.String()), ";"))

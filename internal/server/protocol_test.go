@@ -124,6 +124,67 @@ func TestRelationCodec(t *testing.T) {
 	}
 }
 
+// TestColumnarRowsCodec round-trips the column-major rows-frame layout the
+// server streams (one cell slice per column) and pins its error paths.
+func TestColumnarRowsCodec(t *testing.T) {
+	sch := schema.MustNew(
+		schema.Attr("Name", value.KindString),
+		schema.Attr("N", value.KindInt),
+		schema.Attr(schema.T1, value.KindTime),
+		schema.Attr(schema.T2, value.KindTime),
+	)
+	rel := relation.MustFromRows(sch, [][]any{
+		{"Anna", 1, 2, 6},
+		{"it's", int64(1) << 62, 1, 8},
+		{"John", 2, 1, int64(period.NowMarker)},
+	})
+
+	cols := encodeCols(rel.Tuples(), 0, rel.Len())
+	if len(cols) != sch.Len() {
+		t.Fatalf("encoded %d columns, want %d", len(cols), sch.Len())
+	}
+	for j, col := range cols {
+		if len(col) != rel.Len() {
+			t.Fatalf("column %d has %d cells, want %d", j, len(col), rel.Len())
+		}
+	}
+	// Column-major layout: cols[j][i] is row i's value for column j.
+	if cols[0][1] != "it's" || cols[1][1] != "4611686018427387904" {
+		t.Fatalf("layout is not column-major: %v", cols)
+	}
+	tuples, err := decodeCols(sch, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := relation.FromTuplesTrusted(sch, tuples)
+	if !got.EqualAsList(rel) {
+		t.Fatalf("columnar round trip:\n%s\nvs\n%s", got, rel)
+	}
+	// Both layouts decode to identical tuples.
+	rows, err := decodeRows(sch, encodeRows(rel.Tuples(), 0, rel.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if !rows[i].Equal(tuples[i]) {
+			t.Fatalf("row %d: row-major %s vs column-major %s", i, rows[i], tuples[i])
+		}
+	}
+	// A sliced window encodes only [from, to).
+	win := encodeCols(rel.Tuples(), 1, 3)
+	if len(win[0]) != 2 || win[0][0] != "it's" {
+		t.Fatalf("window encode: %v", win)
+	}
+	// Error paths: arity mismatch and ragged columns are loud.
+	if _, err := decodeCols(sch, cols[:2]); err == nil {
+		t.Fatal("short frame must not decode")
+	}
+	ragged := [][]string{cols[0], cols[1], cols[2], cols[3][:1]}
+	if _, err := decodeCols(sch, ragged); err == nil {
+		t.Fatal("ragged frame must not decode")
+	}
+}
+
 // TestNormalizeSQL pins the cache normal form: whitespace collapses outside
 // string literals, never inside them.
 func TestNormalizeSQL(t *testing.T) {
@@ -149,6 +210,16 @@ func TestNormalizeSQL(t *testing.T) {
 	}
 	if PlanKey("fp", "exec", "SELECT 'a' FROM R") == PlanKey("fp", "exec", "SELECT 'b' FROM R") {
 		t.Fatal("distinct literals must not share a cache key")
+	}
+	// The doubled-quote escape is literal text, not a terminator: 'a''b'
+	// denotes a'b, which differs from 'ab' — and whitespace after the
+	// escape is still inside the literal, so it must neither collapse nor
+	// let two spacing variants collide on one key.
+	if PlanKey("fp", "exec", "SELECT 'a''b' FROM R") == PlanKey("fp", "exec", "SELECT 'ab' FROM R") {
+		t.Fatal("escaped-quote literal must not share a cache key with its unescaped lookalike")
+	}
+	if PlanKey("fp", "exec", "SELECT 'x''  y' FROM R") == PlanKey("fp", "exec", "SELECT 'x'' y' FROM R") {
+		t.Fatal("literals differing in whitespace after an escaped quote must not share a cache key")
 	}
 	if PlanKey("fp", "exec", "SELECT EmpName FROM EMPLOYEE") == PlanKey("fp", "reference", "SELECT EmpName FROM EMPLOYEE") {
 		t.Fatal("distinct engines must not share a cache key")

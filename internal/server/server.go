@@ -206,17 +206,21 @@ func (s *Server) Close() error {
 	return s.closeErr
 }
 
-// waitTimeout waits on wg for at most d; false on timeout.
+// waitTimeout waits on wg for at most d; false on timeout. The timer is
+// stopped on the wait path (like the admission queue's) rather than left to
+// fire — time.After would keep a live timer per call until d elapses.
 func waitTimeout(wg *sync.WaitGroup, d time.Duration) bool {
 	done := make(chan struct{})
 	go func() {
 		wg.Wait()
 		close(done)
 	}()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
 	select {
 	case <-done:
 		return true
-	case <-time.After(d):
+	case <-timer.C:
 		return false
 	}
 }
@@ -426,7 +430,7 @@ func (s *Server) runQuery(sql string, sess *session, w io.Writer) error {
 		if to > len(tuples) {
 			to = len(tuples)
 		}
-		if err := WriteFrame(w, &Response{Kind: KindRows, Rows: encodeRows(tuples, from, to)}); err != nil {
+		if err := WriteFrame(w, &Response{Kind: KindRows, ColRows: encodeCols(tuples, from, to)}); err != nil {
 			return err
 		}
 	}

@@ -1,14 +1,19 @@
 // Package spill implements the disk half of the exec engine's
 // memory-bounded execution mode: temp-file spill partitions holding
-// sequence-tagged tuples in a sized, checksummed binary codec.
+// sequence-tagged tuples in a sized, checksummed columnar block codec.
 //
 // A Manager owns one run's spill directory (created lazily on first write,
 // removed wholesale by Cleanup), hands out Writers, and tracks the total
-// bytes written for the engine's Stats. A Writer appends records and is
+// bytes written for the engine's Stats. A Writer appends tuples and is
 // Finished into an immutable File, which Opens into a Reader streaming the
-// records back in write order. Every record carries its own length and a
-// CRC-32C of its payload, so a truncated or corrupted spill file is
-// detected at read time instead of silently corrupting a query result.
+// tuples back in write order. On disk, tuples are grouped into columnar
+// blocks: a block holds up to blockRows same-arity tuples with each
+// attribute's values packed contiguously under a single kind byte, so the
+// per-value kind tag of a row codec is paid once per column instead of
+// once per cell and decode reconstructs a whole block of tuples from one
+// backing allocation. Every block carries its own length and a CRC-32C of
+// its payload, so a truncated or corrupted spill file is detected at read
+// time instead of silently corrupting a query result.
 //
 // The codec is also the accounting currency of the memory arbiter:
 // TupleMemSize estimates a tuple's resident bytes, so the spill decision
@@ -107,38 +112,78 @@ func (m *Manager) Cleanup() error {
 // inside the memory budget share.
 const writerBufSize = 16 << 10
 
-// Writer appends sequence-tagged tuples to one spill file.
+// blockRows caps the tuples buffered into one columnar block. The cap
+// bounds the writer's resident buffer (the arbiter already accounts the
+// tuples themselves, which stay referenced until the flush) and keeps a
+// single corrupt block's blast radius small.
+const blockRows = 256
+
+// Writer appends sequence-tagged tuples to one spill file, packing them
+// into columnar blocks of up to blockRows same-arity tuples. Appended
+// tuples are referenced, not copied, until their block flushes — safe
+// because engine tuples are immutable once built.
 type Writer struct {
 	mgr      *Manager
 	f        *os.File
 	bw       *bufio.Writer
 	buf      []byte
+	seqs     []int
+	pend     []relation.Tuple
+	arity    int
 	count    int
 	bytes    int64
 	memBytes int64
 }
 
-// Append encodes one record. seq is the tuple's sequence key (its original
+// Append buffers one tuple. seq is the tuple's sequence key (its original
 // list position — the deterministic replay order of the spilled partition).
+// A full buffer or an arity change flushes the pending block.
 func (w *Writer) Append(seq int, t relation.Tuple) error {
-	w.buf = encodeRecord(w.buf[:0], seq, t)
-	if _, err := w.bw.Write(w.buf); err != nil {
-		return fmt.Errorf("spill: writing %s: %w", w.f.Name(), err)
+	if len(w.pend) > 0 && len(t) != w.arity {
+		if err := w.flush(); err != nil {
+			return err
+		}
 	}
+	if len(w.pend) == 0 {
+		w.arity = len(t)
+	}
+	w.pend = append(w.pend, t)
+	w.seqs = append(w.seqs, seq)
 	w.count++
-	w.bytes += int64(len(w.buf))
 	w.memBytes += TupleMemSize(t)
+	if len(w.pend) >= blockRows {
+		return w.flush()
+	}
 	return nil
 }
 
-// Count returns the records appended so far.
+// flush encodes and writes the pending block.
+func (w *Writer) flush() error {
+	if len(w.pend) == 0 {
+		return nil
+	}
+	w.buf = encodeBlock(w.buf[:0], w.seqs, w.pend)
+	w.seqs = w.seqs[:0]
+	w.pend = w.pend[:0]
+	if _, err := w.bw.Write(w.buf); err != nil {
+		return fmt.Errorf("spill: writing %s: %w", w.f.Name(), err)
+	}
+	w.bytes += int64(len(w.buf))
+	return nil
+}
+
+// Count returns the tuples appended so far.
 func (w *Writer) Count() int { return w.count }
 
-// Bytes returns the encoded bytes appended so far.
+// Bytes returns the encoded bytes of the blocks flushed so far.
 func (w *Writer) Bytes() int64 { return w.bytes }
 
 // Finish flushes and closes the writer, returning the immutable file.
 func (w *Writer) Finish() (*File, error) {
+	if err := w.flush(); err != nil {
+		w.f.Close()
+		return nil, err
+	}
 	if err := w.bw.Flush(); err != nil {
 		w.f.Close()
 		return nil, fmt.Errorf("spill: flushing %s: %w", w.f.Name(), err)
@@ -190,13 +235,17 @@ func (f *File) Open() (*Reader, error) {
 // return before the operator finishes, not at run cleanup.
 func (f *File) Remove() error { return os.Remove(f.path) }
 
-// Reader streams one spill file's records.
+// Reader streams one spill file's tuples, decoding a columnar block at a
+// time and handing out its tuples in write order.
 type Reader struct {
 	f         *os.File
 	br        *bufio.Reader
 	buf       []byte
 	remaining int
 	total     int
+	blkSeqs   []int
+	blkRows   []relation.Tuple
+	blkPos    int
 }
 
 // Rewind repositions the reader at the first record, reusing the open file
@@ -208,19 +257,28 @@ func (r *Reader) Rewind() error {
 	}
 	r.br.Reset(r.f)
 	r.remaining = r.total
+	r.blkSeqs, r.blkRows, r.blkPos = r.blkSeqs[:0], r.blkRows[:0], 0
 	return nil
 }
 
 // Next returns the next record. ok=false with a nil error marks the end of
 // the file; a short file (fewer records than written) is an error.
 func (r *Reader) Next() (seq int, t relation.Tuple, ok bool, err error) {
-	if r.remaining == 0 {
-		return 0, nil, false, nil
+	if r.blkPos == len(r.blkRows) {
+		if r.remaining == 0 {
+			return 0, nil, false, nil
+		}
+		r.blkSeqs, r.blkRows, r.buf, err = decodeBlock(r.br, r.blkSeqs[:0], r.buf)
+		if err != nil {
+			return 0, nil, false, fmt.Errorf("spill: reading %s: %w", r.f.Name(), err)
+		}
+		if len(r.blkRows) > r.remaining {
+			return 0, nil, false, fmt.Errorf("spill: reading %s: block holds %d tuples, only %d expected", r.f.Name(), len(r.blkRows), r.remaining)
+		}
+		r.blkPos = 0
 	}
-	seq, t, r.buf, err = decodeRecord(r.br, r.buf)
-	if err != nil {
-		return 0, nil, false, fmt.Errorf("spill: reading %s: %w", r.f.Name(), err)
-	}
+	seq, t = r.blkSeqs[r.blkPos], r.blkRows[r.blkPos]
+	r.blkPos++
 	r.remaining--
 	return seq, t, true, nil
 }
@@ -228,41 +286,74 @@ func (r *Reader) Next() (seq int, t relation.Tuple, ok bool, err error) {
 // Close releases the file handle.
 func (r *Reader) Close() error { return r.f.Close() }
 
-// encodeRecord appends one record to dst:
+// kindHetero marks a column whose cells do not share one kind; each cell
+// then carries its own kind byte, row-codec style.
+const kindHetero = 0xFF
+
+// appendCell appends one value's content (no kind byte) to dst. Content is
+// varint for int/time (zigzag), 8-byte LE bits for float, one byte for
+// bool, uvarint length + bytes for string. The encoding is exact: a decoded
+// value is Equal (and Compare-identical) to the original, so spilled
+// partitions replay bit-identically.
+func appendCell(dst []byte, v value.Value) []byte {
+	switch v.Kind() {
+	case value.KindInt:
+		return binary.AppendVarint(dst, v.AsInt())
+	case value.KindFloat:
+		return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.AsFloat()))
+	case value.KindString:
+		s := v.AsString()
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		return append(dst, s...)
+	case value.KindBool:
+		b := byte(0)
+		if v.AsBool() {
+			b = 1
+		}
+		return append(dst, b)
+	case value.KindTime:
+		return binary.AppendVarint(dst, int64(v.AsTime()))
+	default:
+		// Invalid values never reach a relation; the empty cell leaves the
+		// unknown kind byte for decode to reject rather than panicking
+		// mid-spill.
+		return dst
+	}
+}
+
+// encodeBlock appends one columnar block of same-arity tuples to dst:
 //
 //	uvarint payloadLen | payload | uint32le CRC-32C(payload)
-//	payload = uvarint seq | uvarint nvals | value*
-//	value   = kind byte | content
-//
-// Content is varint for int/time (zigzag), 8-byte LE bits for float, one
-// byte for bool, uvarint length + bytes for string. The encoding is exact:
-// a decoded value is Equal (and Compare-identical) to the original, so
-// spilled partitions replay bit-identically.
-func encodeRecord(dst []byte, seq int, t relation.Tuple) []byte {
-	payload := binary.AppendUvarint(nil, uint64(seq))
-	payload = binary.AppendUvarint(payload, uint64(len(t)))
-	for _, v := range t {
-		payload = append(payload, byte(v.Kind()))
-		switch v.Kind() {
-		case value.KindInt:
-			payload = binary.AppendVarint(payload, v.AsInt())
-		case value.KindFloat:
-			payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(v.AsFloat()))
-		case value.KindString:
-			s := v.AsString()
-			payload = binary.AppendUvarint(payload, uint64(len(s)))
-			payload = append(payload, s...)
-		case value.KindBool:
-			b := byte(0)
-			if v.AsBool() {
-				b = 1
+//	payload = uvarint nrows | uvarint arity | nrows×uvarint seq | arity×column
+//	column  = kind byte | nrows×cell            (all cells share the kind)
+//	        | 0xFF | nrows×(kind byte | cell)   (heterogeneous fallback)
+func encodeBlock(dst []byte, seqs []int, rows []relation.Tuple) []byte {
+	arity := len(rows[0])
+	payload := binary.AppendUvarint(nil, uint64(len(rows)))
+	payload = binary.AppendUvarint(payload, uint64(arity))
+	for _, s := range seqs {
+		payload = binary.AppendUvarint(payload, uint64(s))
+	}
+	for j := 0; j < arity; j++ {
+		k := rows[0][j].Kind()
+		homog := k != value.KindInvalid
+		for _, t := range rows {
+			if t[j].Kind() != k {
+				homog = false
+				break
 			}
-			payload = append(payload, b)
-		case value.KindTime:
-			payload = binary.AppendVarint(payload, int64(v.AsTime()))
-		default:
-			// Invalid values never reach a relation; the bare kind byte is a
-			// marker decode rejects rather than panicking mid-spill.
+		}
+		if homog {
+			payload = append(payload, byte(k))
+			for _, t := range rows {
+				payload = appendCell(payload, t[j])
+			}
+		} else {
+			payload = append(payload, kindHetero)
+			for _, t := range rows {
+				payload = append(payload, byte(t[j].Kind()))
+				payload = appendCell(payload, t[j])
+			}
 		}
 	}
 	dst = binary.AppendUvarint(dst, uint64(len(payload)))
@@ -270,36 +361,38 @@ func encodeRecord(dst []byte, seq int, t relation.Tuple) []byte {
 	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
 }
 
-// decodeRecord reads one record, verifying length and checksum. buf is a
-// scratch buffer recycled across calls.
-func decodeRecord(br *bufio.Reader, buf []byte) (int, relation.Tuple, []byte, error) {
+// decodeBlock reads one columnar block, verifying length and checksum.
+// seqs and buf are scratch recycled across calls; the returned tuples are
+// freshly allocated (callers retain them past the next block) and share
+// one backing array per block.
+func decodeBlock(br *bufio.Reader, seqs []int, buf []byte) ([]int, []relation.Tuple, []byte, error) {
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
-		return 0, nil, buf, fmt.Errorf("record header: %w", err)
+		return seqs, nil, buf, fmt.Errorf("block header: %w", err)
 	}
-	if n > maxRecordSize {
-		return 0, nil, buf, fmt.Errorf("record of %d bytes exceeds the %d-byte bound (corrupt header)", n, maxRecordSize)
+	if n > maxBlockSize {
+		return seqs, nil, buf, fmt.Errorf("block of %d bytes exceeds the %d-byte bound (corrupt header)", n, maxBlockSize)
 	}
 	if cap(buf) < int(n) {
 		buf = make([]byte, n)
 	}
 	payload := buf[:n]
 	if _, err := io.ReadFull(br, payload); err != nil {
-		return 0, nil, buf, fmt.Errorf("record payload: %w", err)
+		return seqs, nil, buf, fmt.Errorf("block payload: %w", err)
 	}
 	var sum [4]byte
 	if _, err := io.ReadFull(br, sum[:]); err != nil {
-		return 0, nil, buf, fmt.Errorf("record checksum: %w", err)
+		return seqs, nil, buf, fmt.Errorf("block checksum: %w", err)
 	}
 	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(sum[:]) {
-		return 0, nil, buf, fmt.Errorf("record checksum mismatch (corrupt spill file)")
+		return seqs, nil, buf, fmt.Errorf("block checksum mismatch (corrupt spill file)")
 	}
 
 	pos := 0
 	readUvarint := func() (uint64, error) {
 		v, k := binary.Uvarint(payload[pos:])
 		if k <= 0 {
-			return 0, fmt.Errorf("truncated varint in record")
+			return 0, fmt.Errorf("truncated varint in block")
 		}
 		pos += k
 		return v, nil
@@ -307,77 +400,124 @@ func decodeRecord(br *bufio.Reader, buf []byte) (int, relation.Tuple, []byte, er
 	readVarint := func() (int64, error) {
 		v, k := binary.Varint(payload[pos:])
 		if k <= 0 {
-			return 0, fmt.Errorf("truncated varint in record")
+			return 0, fmt.Errorf("truncated varint in block")
 		}
 		pos += k
 		return v, nil
 	}
-	seq64, err := readUvarint()
-	if err != nil {
-		return 0, nil, buf, err
-	}
-	nvals, err := readUvarint()
-	if err != nil {
-		return 0, nil, buf, err
-	}
-	if nvals > n { // each value takes ≥1 byte; cheap sanity bound
-		return 0, nil, buf, fmt.Errorf("record claims %d values in %d bytes", nvals, n)
-	}
-	t := make(relation.Tuple, nvals)
-	for i := range t {
-		if pos >= len(payload) {
-			return 0, nil, buf, fmt.Errorf("record truncated at value %d", i)
-		}
-		kind := value.Kind(payload[pos])
-		pos++
+	readCell := func(kind value.Kind) (value.Value, error) {
 		switch kind {
 		case value.KindInt:
 			v, err := readVarint()
 			if err != nil {
-				return 0, nil, buf, err
+				return value.Value{}, err
 			}
-			t[i] = value.Int(v)
+			return value.Int(v), nil
 		case value.KindFloat:
 			if pos+8 > len(payload) {
-				return 0, nil, buf, fmt.Errorf("record truncated in float value")
+				return value.Value{}, fmt.Errorf("block truncated in float value")
 			}
-			t[i] = value.Float(math.Float64frombits(binary.LittleEndian.Uint64(payload[pos:])))
+			v := value.Float(math.Float64frombits(binary.LittleEndian.Uint64(payload[pos:])))
 			pos += 8
+			return v, nil
 		case value.KindString:
 			l, err := readUvarint()
 			if err != nil {
-				return 0, nil, buf, err
+				return value.Value{}, err
 			}
 			if pos+int(l) > len(payload) {
-				return 0, nil, buf, fmt.Errorf("record truncated in string value")
+				return value.Value{}, fmt.Errorf("block truncated in string value")
 			}
-			t[i] = value.String_(string(payload[pos : pos+int(l)]))
+			v := value.String_(string(payload[pos : pos+int(l)]))
 			pos += int(l)
+			return v, nil
 		case value.KindBool:
 			if pos >= len(payload) {
-				return 0, nil, buf, fmt.Errorf("record truncated in bool value")
+				return value.Value{}, fmt.Errorf("block truncated in bool value")
 			}
-			t[i] = value.Bool(payload[pos] != 0)
+			v := value.Bool(payload[pos] != 0)
 			pos++
+			return v, nil
 		case value.KindTime:
 			v, err := readVarint()
 			if err != nil {
-				return 0, nil, buf, err
+				return value.Value{}, err
 			}
-			t[i] = value.Time(period.Chronon(v))
+			return value.Time(period.Chronon(v)), nil
 		default:
-			return 0, nil, buf, fmt.Errorf("record holds unknown value kind %d", kind)
+			return value.Value{}, fmt.Errorf("block holds unknown value kind %d", kind)
+		}
+	}
+
+	nrows64, err := readUvarint()
+	if err != nil {
+		return seqs, nil, buf, err
+	}
+	arity64, err := readUvarint()
+	if err != nil {
+		return seqs, nil, buf, err
+	}
+	nrows, arity := int(nrows64), int(arity64)
+	// Sanity bounds before allocating: every seq takes ≥1 byte, and every
+	// column takes ≥ 1+nrows bytes (kind byte plus one byte per cell at
+	// minimum), so a corrupt header cannot claim more cells than the
+	// payload could hold.
+	if nrows == 0 || nrows64 > n || arity64 > n {
+		return seqs, nil, buf, fmt.Errorf("block claims %d rows × %d columns in %d bytes", nrows64, arity64, n)
+	}
+	if arity > 0 && uint64(arity)*(nrows64+1) > n {
+		return seqs, nil, buf, fmt.Errorf("block claims %d×%d cells in %d bytes", nrows64, arity64, n)
+	}
+	for i := 0; i < nrows; i++ {
+		s, err := readUvarint()
+		if err != nil {
+			return seqs, nil, buf, err
+		}
+		seqs = append(seqs, int(s))
+	}
+	vals := make([]value.Value, nrows*arity)
+	rows := make([]relation.Tuple, nrows)
+	for i := range rows {
+		rows[i] = relation.Tuple(vals[i*arity : (i+1)*arity : (i+1)*arity])
+	}
+	for j := 0; j < arity; j++ {
+		if pos >= len(payload) {
+			return seqs, nil, buf, fmt.Errorf("block truncated at column %d", j)
+		}
+		kind := value.Kind(payload[pos])
+		pos++
+		if kind == kindHetero {
+			for i := 0; i < nrows; i++ {
+				if pos >= len(payload) {
+					return seqs, nil, buf, fmt.Errorf("block truncated at column %d row %d", j, i)
+				}
+				ck := value.Kind(payload[pos])
+				pos++
+				v, err := readCell(ck)
+				if err != nil {
+					return seqs, nil, buf, err
+				}
+				vals[i*arity+j] = v
+			}
+			continue
+		}
+		for i := 0; i < nrows; i++ {
+			v, err := readCell(kind)
+			if err != nil {
+				return seqs, nil, buf, err
+			}
+			vals[i*arity+j] = v
 		}
 	}
 	if pos != len(payload) {
-		return 0, nil, buf, fmt.Errorf("record has %d trailing bytes", len(payload)-pos)
+		return seqs, nil, buf, fmt.Errorf("block has %d trailing bytes", len(payload)-pos)
 	}
-	return int(seq64), t, buf, nil
+	return seqs, rows, buf, nil
 }
 
-// maxRecordSize bounds a single record; a corrupt length prefix must not
+// maxBlockSize bounds a single block; a corrupt length prefix must not
 // drive a multi-gigabyte allocation.
-const maxRecordSize = 64 << 20
+const maxBlockSize = 64 << 20
 
 // tupleOverhead approximates the resident cost of one tuple beyond its
 // values: the slice header plus allocator slack.

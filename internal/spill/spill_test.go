@@ -157,6 +157,181 @@ func readAll(f *File) error {
 	}
 }
 
+// TestBlockSpanning drives the codec across many block boundaries: more
+// tuples than one block holds, a mid-file Rewind, and sequence keys intact
+// throughout.
+func TestBlockSpanning(t *testing.T) {
+	m := NewManager(t.TempDir())
+	defer m.Cleanup()
+	w, err := m.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3*blockRows + 17
+	tuples := make([]relation.Tuple, n)
+	for i := range tuples {
+		tuples[i] = relation.NewTuple(value.Int(int64(i)), value.String_("row"), value.Time(period.Chronon(i%5)))
+		if err := w.Append(i*3, tuples[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Count() != n {
+		t.Fatalf("count %d, want %d", f.Count(), n)
+	}
+	r, err := f.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	check := func(from int) {
+		t.Helper()
+		for i := from; i < n; i++ {
+			seq, got, ok, err := r.Next()
+			if err != nil || !ok {
+				t.Fatalf("tuple %d: ok=%v err=%v", i, ok, err)
+			}
+			if seq != i*3 || !got.Equal(tuples[i]) {
+				t.Fatalf("tuple %d: seq=%d got %s", i, seq, got)
+			}
+		}
+		if _, _, ok, err := r.Next(); ok || err != nil {
+			t.Fatalf("want clean EOF, got ok=%v err=%v", ok, err)
+		}
+	}
+	// Read halfway, rewind from inside a block, then read everything.
+	for i := 0; i < n/2; i++ {
+		if _, _, ok, err := r.Next(); !ok || err != nil {
+			t.Fatalf("priming read %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if err := r.Rewind(); err != nil {
+		t.Fatal(err)
+	}
+	check(0)
+	if err := r.Rewind(); err != nil {
+		t.Fatal(err)
+	}
+	check(0)
+}
+
+// TestBlockArityChange: a writer fed tuples of shifting arity must flush a
+// block at every change and replay the exact sequence — the schema is not
+// per-file, it is per-block.
+func TestBlockArityChange(t *testing.T) {
+	m := NewManager(t.TempDir())
+	defer m.Cleanup()
+	w, err := m.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tuples []relation.Tuple
+	for i := 0; i < 40; i++ {
+		var tp relation.Tuple
+		switch i % 3 {
+		case 0:
+			tp = relation.NewTuple(value.Int(int64(i)))
+		case 1:
+			tp = relation.NewTuple(value.Int(int64(i)), value.Bool(i%2 == 0))
+		default:
+			tp = relation.Tuple{}
+		}
+		tuples = append(tuples, tp)
+		if err := w.Append(i, tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := f.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i, want := range tuples {
+		seq, got, ok, err := r.Next()
+		if err != nil || !ok || seq != i || !got.Equal(want) {
+			t.Fatalf("tuple %d: seq=%d ok=%v err=%v got %s want %s", i, seq, ok, err, got, want)
+		}
+	}
+	if _, _, ok, _ := r.Next(); ok {
+		t.Fatal("trailing tuples after the last arity group")
+	}
+}
+
+// TestBlockHeterogeneousColumn: a column whose cells disagree on kind takes
+// the per-cell fallback and still round-trips exactly.
+func TestBlockHeterogeneousColumn(t *testing.T) {
+	m := NewManager(t.TempDir())
+	defer m.Cleanup()
+	w, err := m.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := []relation.Tuple{
+		relation.NewTuple(value.Int(1), value.Int(10)),
+		relation.NewTuple(value.String_("two"), value.Int(20)),
+		relation.NewTuple(value.Float(3.5), value.Int(30)),
+		relation.NewTuple(value.Bool(true), value.Int(40)),
+		relation.NewTuple(value.Time(5), value.Int(50)),
+	}
+	for i, tp := range tuples {
+		if err := w.Append(i, tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := f.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i, want := range tuples {
+		_, got, ok, err := r.Next()
+		if err != nil || !ok || !got.Equal(want) {
+			t.Fatalf("tuple %d: ok=%v err=%v got %s want %s", i, ok, err, got, want)
+		}
+		if got[0].Kind() != want[0].Kind() {
+			t.Fatalf("tuple %d: kind %v, want %v", i, got[0].Kind(), want[0].Kind())
+		}
+	}
+}
+
+// TestColumnarSmallerThanRowCodec pins the point of the block layout: for a
+// homogeneous relation the kind tag is paid once per column per block, so
+// the encoded file undercuts a row codec's one-tag-per-cell floor.
+func TestColumnarSmallerThanRowCodec(t *testing.T) {
+	m := NewManager(t.TempDir())
+	defer m.Cleanup()
+	w, err := m.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2048
+	for i := 0; i < n; i++ {
+		if err := w.Append(i, relation.NewTuple(value.Int(1), value.Int(2), value.Int(3), value.Int(4))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row codec floor: 4 kind bytes + 4 one-byte varints per tuple, before
+	// any framing. The columnar file must beat even that.
+	if f.Bytes() >= int64(n*8) {
+		t.Fatalf("columnar file is %d bytes for %d tuples; per-cell kind tags would start at %d", f.Bytes(), n, n*8)
+	}
+}
+
 // TestManagerLifecycle: no directory until the first writer, gone after
 // Cleanup, and Remove releases individual files early.
 func TestManagerLifecycle(t *testing.T) {

@@ -85,16 +85,25 @@ func (l *lexer) next() (token, error) {
 	c := l.in[l.pos]
 	switch {
 	case c == '\'':
+		// A doubled quote inside the literal is the SQL escape for a single
+		// quote character ('it''s' → it's); any other quote closes it.
 		l.pos++
-		for l.pos < len(l.in) && l.in[l.pos] != '\'' {
+		var text strings.Builder
+		for l.pos < len(l.in) {
+			if l.in[l.pos] != '\'' {
+				text.WriteByte(l.in[l.pos])
+				l.pos++
+				continue
+			}
+			if l.pos+1 < len(l.in) && l.in[l.pos+1] == '\'' {
+				text.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
 			l.pos++
+			return token{kind: tokString, text: text.String(), pos: start}, nil
 		}
-		if l.pos >= len(l.in) {
-			return token{}, fmt.Errorf("tsql: unterminated string at %d", start)
-		}
-		text := l.in[start+1 : l.pos]
-		l.pos++
-		return token{kind: tokString, text: text, pos: start}, nil
+		return token{}, fmt.Errorf("tsql: unterminated string at %d", start)
 	case isDigit(c):
 		for l.pos < len(l.in) && isDigit(l.in[l.pos]) {
 			l.pos++

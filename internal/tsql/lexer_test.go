@@ -77,6 +77,40 @@ func TestLexErrors(t *testing.T) {
 	}
 }
 
+// TestLexEscapedQuote is the regression for the doubled-quote escape: the
+// lexer used to close the literal at the first quote, so 'it''s' lexed as
+// the string "it" followed by a second string "s " — two tokens and a
+// silently different literal. A doubled quote must stay inside the literal
+// as one quote character.
+func TestLexEscapedQuote(t *testing.T) {
+	for _, tc := range []struct {
+		in, want string
+	}{
+		{"'it''s'", "it's"},
+		{"''''", "'"},
+		{"''", ""},
+		{"'a''b''c'", "a'b'c"},
+		{"'  two  spaces '", "  two  spaces "},
+		{"'trailing escape'''", "trailing escape'"},
+	} {
+		ts, err := lex(tc.in)
+		if err != nil {
+			t.Fatalf("lex(%q): %v", tc.in, err)
+		}
+		if len(ts) != 2 || ts[0].kind != tokString || ts[1].kind != tokEOF {
+			t.Fatalf("lex(%q) = %d tokens (%v), want one string + EOF", tc.in, len(ts), kinds(ts))
+		}
+		if ts[0].text != tc.want {
+			t.Fatalf("lex(%q) string = %q, want %q", tc.in, ts[0].text, tc.want)
+		}
+	}
+	// A doubled quote immediately before the true closer must not swallow
+	// the terminator: '...''' is terminated, '...'' is not.
+	if _, err := lex("'oops''"); err == nil {
+		t.Error("a literal ending in an escaped quote with no closer must fail")
+	}
+}
+
 func TestLexCaseInsensitiveKeywords(t *testing.T) {
 	ts, err := lex("select Distinct validtime intersect")
 	if err != nil {
