@@ -404,25 +404,52 @@ func BenchmarkEngines(b *testing.B) {
 		pred := expr.Compare(expr.Eq, expr.Column("1.Grp"), expr.Column("2.Grp"))
 		plan := algebra.NewCoal(algebra.NewTRdup(algebra.NewTJoin(pred, ln, rn)))
 
+		// Sorted clones drive the merge leg: both sides sorted and declared
+		// on the join key, so the engine compiles the merge join on the same
+		// pipeline — the columnar merge path next to the hash legs.
+		byGrp := relation.OrderSpec{relation.Key("Grp")}
+		lm, rm := l.Clone(), r.Clone()
+		for _, rel := range []*relation.Relation{lm, rm} {
+			if err := rel.SortStable(byGrp); err != nil {
+				b.Fatal(err)
+			}
+		}
+		srcM := eval.MapSource{"L": lm, "R": rm}
+		planM := algebra.NewCoal(algebra.NewTRdup(algebra.NewTJoin(pred,
+			algebra.NewRel("L", lm.Schema(), algebra.BaseInfo{Order: byGrp}),
+			algebra.NewRel("R", rm.Schema(), algebra.BaseInfo{Order: byGrp}))))
+
 		engines := []struct {
 			name string
 			eng  eval.Engine
+			plan algebra.Node
 		}{
-			{"reference", eval.New(src)},
-			{"exec", exec.New(src)},
-			{"exec-novec", exec.NewWith(src, exec.Options{NoColumnar: true})},
+			{"reference", eval.New(src), plan},
+			{"exec", exec.New(src), plan},
+			{"exec-novec", exec.NewWith(src, exec.Options{NoColumnar: true}), plan},
+			{"exec-merge", exec.New(srcM), planM},
+			{"exec-par8", exec.NewWith(src, exec.Options{Parallelism: 8}), plan},
+			{"exec-mem16M", exec.NewWith(src, exec.Options{MemoryBudget: 16 << 20}), plan},
 		}
 		if n == 1000 {
 			want, err := engines[0].eng.Eval(plan)
 			if err != nil {
 				b.Fatal(err)
 			}
+			wantM, err := eval.New(srcM).Eval(planM)
+			if err != nil {
+				b.Fatal(err)
+			}
 			for _, e := range engines[1:] {
-				got, err := e.eng.Eval(plan)
+				got, err := e.eng.Eval(e.plan)
 				if err != nil {
 					b.Fatalf("engine %s eval failed: %v", e.name, err)
 				}
-				if !got.EqualAsList(want) {
+				w := want
+				if e.name == "exec-merge" {
+					w = wantM
+				}
+				if !got.EqualAsList(w) {
 					b.Fatalf("%s and reference disagree on the benchmark plan", e.name)
 				}
 			}
@@ -436,7 +463,7 @@ func BenchmarkEngines(b *testing.B) {
 				m0 := snapMem()
 				start := time.Now()
 				for i := 0; i < b.N; i++ {
-					out, err := e.eng.Eval(plan)
+					out, err := e.eng.Eval(e.plan)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -475,6 +502,23 @@ func BenchmarkColumnar(b *testing.B) {
 		pred := expr.Compare(expr.Eq, expr.Column("1.Grp"), expr.Column("2.Grp"))
 		plan := algebra.NewCoal(algebra.NewTRdup(algebra.NewTJoin(pred, filtered, rn)))
 
+		// The merge leg runs the same shape over join-key-sorted, declared
+		// inputs so the merge join (and the batch paths behind it) compiles
+		// instead of the hash join.
+		byGrp := relation.OrderSpec{relation.Key("Grp")}
+		lm, rm := l.Clone(), r.Clone()
+		for _, rel := range []*relation.Relation{lm, rm} {
+			if err := rel.SortStable(byGrp); err != nil {
+				b.Fatal(err)
+			}
+		}
+		srcM := eval.MapSource{"L": lm, "R": rm}
+		planM := algebra.NewCoal(algebra.NewTRdup(algebra.NewTJoin(pred,
+			algebra.NewSelect(
+				expr.Compare(expr.Lt, expr.Column("Grp"), expr.Literal(value.Int(int64(n/8)))),
+				algebra.NewRel("L", lm.Schema(), algebra.BaseInfo{Order: byGrp})),
+			algebra.NewRel("R", rm.Schema(), algebra.BaseInfo{Order: byGrp}))))
+
 		if n == 100000 {
 			vec := exec.New(src)
 			got, err := vec.Eval(plan)
@@ -491,20 +535,41 @@ func BenchmarkColumnar(b *testing.B) {
 			if st := vec.Stats(); st.VectorOps == 0 || st.VectorBatches == 0 {
 				b.Fatalf("vacuous columnar benchmark: VectorOps=%d VectorBatches=%d", st.VectorOps, st.VectorBatches)
 			}
+			// The merge leg must really be the merge plan, columnar included.
+			mrg := exec.New(srcM)
+			gotM, err := mrg.Eval(planM)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wantM, err := exec.NewWith(srcM, exec.Options{NoColumnar: true}).Eval(planM)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !gotM.EqualAsList(wantM) {
+				b.Fatal("merge columnar and tuple engines disagree on the sorted benchmark plan")
+			}
+			if st := mrg.Stats(); st.MergeJoins == 0 || st.VectorOps == 0 {
+				b.Fatalf("vacuous merge leg: MergeJoins=%d VectorOps=%d", st.MergeJoins, st.VectorOps)
+			}
 		}
 		for _, e := range []struct {
 			name string
 			opts exec.Options
+			src  eval.MapSource
+			plan algebra.Node
 		}{
-			{"exec", exec.Options{}},
-			{"exec-novec", exec.Options{NoColumnar: true}},
+			{"exec", exec.Options{}, src, plan},
+			{"exec-novec", exec.Options{NoColumnar: true}, src, plan},
+			{"exec-merge", exec.Options{}, srcM, planM},
+			{"exec-par8", exec.Options{Parallelism: 8}, src, plan},
+			{"exec-mem16M", exec.Options{MemoryBudget: 16 << 20}, src, plan},
 		} {
 			b.Run(fmt.Sprintf("n=%d/%s", n, e.name), func(b *testing.B) {
 				var rows int
 				m0 := snapMem()
 				start := time.Now()
 				for i := 0; i < b.N; i++ {
-					out, err := exec.NewWith(src, e.opts).Eval(plan)
+					out, err := exec.NewWith(e.src, e.opts).Eval(e.plan)
 					if err != nil {
 						b.Fatal(err)
 					}

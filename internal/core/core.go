@@ -142,6 +142,9 @@ func WithEngine(spec eval.EngineSpec) Option {
 		// spilling against the engine's memory budget.
 		p.Parallelism = spec.Parallelism
 		p.MemoryBudget = spec.MemoryBudget
+		// A columnar engine's exchanges and spills move batch views, not
+		// copied tuples; price them with the vectorized discounts.
+		p.Vectorized = spec.Vectorized
 		o.model = cost.New(o.cat, p)
 	}
 }

@@ -96,6 +96,22 @@ type Params struct {
 	// TupleBytes estimates the resident bytes of one tuple, converting
 	// cardinality estimates into working-set bytes for the spill decision.
 	TupleBytes float64
+	// Vectorized declares that the engine runs the columnar batch pipeline
+	// (eval.EngineSpec.Vectorized): exchanges route row positions over
+	// shared column planes instead of copying tuples, and budgeted
+	// operators encode spill blocks straight off the planes. The per-tuple
+	// exchange/gather and spill prices scale by the factors below.
+	Vectorized bool
+	// VecExchangeFactor scales ExchangeTuple and GatherTuple for a
+	// vectorized engine: the scatter is a hash over column planes plus one
+	// appended row index, and the gather merges ascending selection
+	// vectors — no tuple copy on either side.
+	VecExchangeFactor float64
+	// VecSpillFactor scales SpillWrite and SpillRead for a vectorized
+	// engine: the block codec reads cells off the planes on the way out and
+	// decodes block-at-a-time into batches on the way back, skipping the
+	// per-tuple materialization of the boxed path.
+	VecSpillFactor float64
 }
 
 // DefaultParams returns the calibration used by the experiments, matching
@@ -117,6 +133,8 @@ func DefaultParams() Params {
 		SpillWrite:          0.8,
 		SpillRead:           0.6,
 		TupleBytes:          192,
+		VecExchangeFactor:   0.4,
+		VecSpillFactor:      0.6,
 	}
 }
 
@@ -133,15 +151,38 @@ func partitionedOp(op algebra.Op) bool {
 	return false
 }
 
+// vecBatchOp reports the operators the columnar engine carries as batch
+// pipelines through its parallel exchanges and grace spills: the hash
+// family — dedup, the diff/union budgets, and the keyed joins. The sort,
+// the temporal group family and the keyless products run tuple-at-a-time
+// on those paths, so they keep the boxed exchange and spill prices; the
+// discount must not make the optimizer prefer shapes the engine cannot
+// actually vectorize.
+func vecBatchOp(op algebra.Op) bool {
+	switch op {
+	case algebra.OpRdup, algebra.OpDiff, algebra.OpUnion, algebra.OpJoin, algebra.OpTJoin:
+		return true
+	}
+	return false
+}
+
 // parallelShape reprices one partitioned operator's own cost for a W-way
 // parallel engine: the per-partition work is the sequential work divided
 // across the workers, every input tuple pays the exchange routing, and
 // every output tuple one gather-merge step.
-func (p Params) parallelShape(own, inRows, outRows float64) float64 {
+// A vectorized engine's exchange scatters batch views (a hash plus a row
+// index per tuple, no copy), so the routing and gather prices of the
+// batch-compiled operators scale by VecExchangeFactor.
+func (p Params) parallelShape(op algebra.Op, own, inRows, outRows float64) float64 {
 	if p.Parallelism <= 1 {
 		return own
 	}
-	return own/float64(p.Parallelism) + inRows*p.ExchangeTuple + outRows*p.GatherTuple
+	ex, ga := p.ExchangeTuple, p.GatherTuple
+	if p.Vectorized && vecBatchOp(op) {
+		ex *= p.VecExchangeFactor
+		ga *= p.VecExchangeFactor
+	}
+	return own/float64(p.Parallelism) + inRows*ex + outRows*ga
 }
 
 // memShare is the per-worker budget share the engine compares operator
@@ -158,11 +199,19 @@ func (p Params) memShare() float64 {
 // materialized state — inRows tuples at TupleBytes each — exceeds the
 // per-worker budget share: one spill write and one read per input tuple
 // (recursive re-partitioning passes are rare and left unpriced).
-func (p Params) spillShape(own, inRows float64) float64 {
+// A vectorized engine encodes spill blocks straight off the column planes
+// and re-reads them block-at-a-time into batches, so the per-tuple spill
+// prices of the batch-compiled operators scale by VecSpillFactor.
+func (p Params) spillShape(op algebra.Op, own, inRows float64) float64 {
 	if p.MemoryBudget <= 0 || inRows*p.TupleBytes <= p.memShare() {
 		return own
 	}
-	return own + inRows*(p.SpillWrite+p.SpillRead)
+	wr, rd := p.SpillWrite, p.SpillRead
+	if p.Vectorized && vecBatchOp(op) {
+		wr *= p.VecSpillFactor
+		rd *= p.VecSpillFactor
+	}
+	return own + inRows*(wr+rd)
 }
 
 // spillExempt reports the compilations whose budgeted state is bounded
@@ -217,9 +266,9 @@ func (p Params) OpUnitsOrdered(op algebra.Op, rows int, tupleCost, penalty float
 	// keep both shapes: they still fan out (range exchange) and, budgeted,
 	// their materializing variants still partition to disk.
 	if streaming && partitionedOp(op) && !(op == algebra.OpSort && ordered) {
-		units = p.parallelShape(units, float64(rows), float64(rows))
+		units = p.parallelShape(op, units, float64(rows), float64(rows))
 		if !spillExempt(op, ordered) {
-			units = p.spillShape(units, float64(rows))
+			units = p.spillShape(op, units, float64(rows))
 		}
 	}
 	return units
@@ -388,7 +437,7 @@ func (m *Model) estimate(n algebra.Node, site props.Site, ce []Estimate, orders 
 			in += c.Rows
 		}
 		if p.Parallelism > 1 {
-			est.Cost = p.parallelShape(est.Cost, in, est.Rows)
+			est.Cost = p.parallelShape(n.Op(), est.Cost, in, est.Rows)
 		}
 		if p.MemoryBudget > 0 {
 			ordered := false
@@ -396,7 +445,7 @@ func (m *Model) estimate(n algebra.Node, site props.Site, ce []Estimate, orders 
 				ordered = physical.Decide(n, orders).Ordered()
 			}
 			if !spillExempt(n.Op(), ordered) {
-				est.Cost = p.spillShape(est.Cost, in)
+				est.Cost = p.spillShape(n.Op(), est.Cost, in)
 			}
 		}
 	}

@@ -169,3 +169,67 @@ func TestReferenceParamsIgnoreParallelism(t *testing.T) {
 		t.Errorf("non-streaming params must ignore Parallelism: %.1f vs %.1f", seq, par)
 	}
 }
+
+// TestVectorizedDiscount pins the columnar calibration: a parallel (and
+// budgeted) plan whose operators the engine batch-compiles — the hash
+// family — prices cheaper for a vectorized engine, while operators the
+// engine runs tuple-at-a-time on those paths (the sort, the temporal
+// group family) keep the boxed prices exactly. The discount is a factor,
+// never an exemption, and never reaches shapes the engine cannot
+// vectorize — a sort-family discount once steered the optimizer onto
+// plans whose layered execution lost the DBMS's order determinism.
+func TestVectorizedDiscount(t *testing.T) {
+	c := datagen.EmployeeDB(datagen.EmployeeSpec{Employees: 400, SpellsPerEmp: 3, AssignmentsPerEmp: 4, Seed: 1})
+	costWith := func(plan algebra.Node, vec bool, par int, budget int64) float64 {
+		p := cost.ParamsFor(true)
+		p.Parallelism = par
+		p.MemoryBudget = budget
+		p.Vectorized = vec
+		got, err := cost.New(c, p).Cost(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	// The exchange discount shows on a partitioned hash-family operator:
+	// dedup over the 1200-row EMPLOYEE scan, fanned out four ways.
+	dedup := algebra.NewRdup(algebra.NewTransferS(catalog.PaperProjection(c.MustNode("EMPLOYEE"))))
+	boxed, vec := costWith(dedup, false, 4, 0), costWith(dedup, true, 4, 0)
+	if !(vec < boxed) {
+		t.Errorf("vectorized exchange must price below the boxed one: vec=%.0f boxed=%.0f", vec, boxed)
+	}
+	// The spill discount shows on the same operator when its build state
+	// outgrows a 64 KiB budget share.
+	boxedSpill, vecSpill := costWith(dedup, false, 1, 64<<10), costWith(dedup, true, 1, 64<<10)
+	if !(vecSpill < boxedSpill) {
+		t.Errorf("vectorized spill must price below the boxed one: vec=%.0f boxed=%.0f", vecSpill, boxedSpill)
+	}
+	// The paper's optimized plan partitions only sorts and temporal group
+	// operators — shapes the engine exchanges tuple-wise — so the flag must
+	// not move its price; a blanket discount here once steered the server
+	// onto a plan whose layered execution lost the DBMS's order guarantee.
+	plan := catalog.PaperOptimizedPlan(c)
+	if bp, vp := costWith(plan, false, 4, 0), costWith(plan, true, 4, 0); bp != vp {
+		t.Errorf("temporal-family plan must ignore the vectorized flag: boxed=%.0f vec=%.0f", bp, vp)
+	}
+	// A stratum sort spills and exchanges tuple-wise — no batch variant on
+	// either path — so the vectorized flag must not move its price at all.
+	srt := algebra.NewSort(relation.OrderSpec{relation.Key("EmpName")},
+		algebra.NewTransferS(catalog.PaperProjection(c.MustNode("EMPLOYEE"))))
+	for _, cfg := range []struct {
+		name   string
+		par    int
+		budget int64
+	}{{"budgeted", 1, 64 << 10}, {"parallel", 4, 0}} {
+		bs, vs := costWith(srt, false, cfg.par, cfg.budget), costWith(srt, true, cfg.par, cfg.budget)
+		if bs != vs {
+			t.Errorf("%s sort must ignore the vectorized flag: boxed=%.0f vec=%.0f", cfg.name, bs, vs)
+		}
+	}
+	// The discount scales the charges; it must not erase them. A no-charge
+	// bound: sequential unbudgeted cost divided by the worker count.
+	seq := costWith(dedup, true, 1, 0)
+	if vec <= seq/4 {
+		t.Errorf("vectorized 4-way cost %.0f must stay above the exchange floor (seq/4 = %.0f)", vec, seq/4)
+	}
+}

@@ -76,6 +76,13 @@ type EngineSpec struct {
 	// operators whose estimated state exceeds the per-worker budget share,
 	// so the optimizer can trade sorts against spilling hash operators.
 	MemoryBudget int64
+	// Vectorized reports that the engine runs the columnar batch pipeline:
+	// parallel exchanges scatter batch views over shared column planes
+	// instead of copying tuples, and budgeted operators write spill
+	// partitions as columnar blocks without materializing rows. The cost
+	// model scales its per-tuple exchange and spill prices down accordingly
+	// (cost.Params VecExchangeFactor/VecSpillFactor).
+	Vectorized bool
 }
 
 // Instantiate constructs a fresh engine over src from the spec — the

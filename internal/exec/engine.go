@@ -47,9 +47,11 @@ type Options struct {
 	// every operator that would compile batch-at-a-time falls back to its
 	// tuple-at-a-time implementation. The flag exists for differential
 	// testing and for measuring vectorization in isolation; columnar
-	// execution is also implicitly off under NoMerge/NoSortElision,
-	// parallelism, or a memory budget, whose specialized variants take
-	// precedence.
+	// execution is also implicitly off under NoMerge/NoSortElision (the
+	// hash-only differential baseline). The parallel and budgeted engines
+	// run columnar too: exchanges scatter batch views and budgeted operators
+	// spill columnar blocks, with tuple adapters bridging the operators that
+	// have no batch variant yet.
 	NoColumnar bool
 }
 
@@ -90,13 +92,14 @@ type Engine struct {
 }
 
 // columnar reports whether the engine may compile the vectorized columnar
-// variants: only in the full-featured sequential engine. The restricted
-// modes keep their existing pipelines untouched — hash-only mode is PR 1's
-// differential baseline, and the parallel and budgeted paths have their own
-// specialized operators that take precedence anyway.
+// variants. Hash-only mode (NoMerge/NoSortElision) keeps its tuple pipeline
+// untouched — it is PR 1's differential baseline — but the parallel and
+// budgeted engines are columnar-capable: their exchanges scatter batch
+// views over shared column planes and their grace operators spill columnar
+// blocks, falling back to tuple adapters only where no batch variant
+// exists.
 func (e *Engine) columnar() bool {
-	return !e.opts.NoColumnar && !e.opts.NoMerge && !e.opts.NoSortElision &&
-		!e.parallel() && !e.budgeted()
+	return !e.opts.NoColumnar && !e.opts.NoMerge && !e.opts.NoSortElision
 }
 
 // batchOf returns r's columnar image, converting on first use. The image
@@ -109,8 +112,12 @@ func (e *Engine) batchOf(r *relation.Relation) *batch {
 	if b, ok := r.ColumnarImage().(*batch); ok {
 		return b
 	}
+	// Capture the list version before reading the tuples: a mutation racing
+	// with the conversion bumps it, and the versioned store below then
+	// drops the stale image instead of caching pre-mutation order.
+	v := r.ColumnarVersion()
 	b := batchOfTuples(r.Schema(), r.Tuples())
-	r.SetColumnarImage(b)
+	r.SetColumnarImage(b, v)
 	return b
 }
 
@@ -147,6 +154,7 @@ func Spec() eval.EngineSpec {
 		New:        func(src eval.Source) eval.Engine { return New(src) },
 		Streaming:  true,
 		OrderAware: true,
+		Vectorized: true,
 	}
 }
 
@@ -178,6 +186,7 @@ func ParallelSpec(n int) eval.EngineSpec {
 		Streaming:   true,
 		OrderAware:  true,
 		Parallelism: n,
+		Vectorized:  true,
 	}
 }
 
@@ -207,6 +216,7 @@ func BudgetedSpec(workers int, budget int64) eval.EngineSpec {
 		OrderAware:   true,
 		Parallelism:  workers,
 		MemoryBudget: budget,
+		Vectorized:   true,
 	}
 }
 
@@ -242,6 +252,7 @@ func SpecWith(opts Options) eval.EngineSpec {
 		OrderAware:   !opts.NoMerge && !opts.NoSortElision,
 		Parallelism:  opts.Parallelism,
 		MemoryBudget: opts.MemoryBudget,
+		Vectorized:   !opts.NoColumnar && !opts.NoMerge && !opts.NoSortElision,
 	}
 }
 

@@ -491,6 +491,13 @@ func (e *Engine) graceRun2(l, r *source, lidx, ridx []int, emit func(ls, rs *gra
 	if err != nil {
 		return nil, err
 	}
+	return e.graceRun2From(ls, rs, lidx, ridx, emit)
+}
+
+// graceRun2From is graceRun2 after the drains, for callers that drain the
+// sides themselves (the hybrid join drains its build side first and only
+// drains the probe side when the build overflowed).
+func (e *Engine) graceRun2From(ls, rs *graceSide, lidx, ridx []int, emit func(ls, rs *graceSide) graceEmit2) ([]relation.Tuple, error) {
 	em := emit(ls, rs)
 	if !ls.spilled && !rs.spilled {
 		out, err := em(ls.rows, rs.rows)
@@ -739,14 +746,113 @@ func (e *Engine) graceTUnionSource(l, r *source) *source {
 	})
 }
 
-// graceJoinSource compiles an equi-keyed × / ×ᵀ in memory-bounded mode:
-// both sides partition on the join keys, each bucket builds on its right
-// rows and probes its left rows in sequence order, and the pairs gather
-// into the reference's left-major sequence.
+// residentSource wraps a drained-but-resident grace side as an ordinary
+// build-side source, the rows in their arrival order.
+func residentSource(side *graceSide, sch *schema.Schema) *source {
+	brows := make([]relation.Tuple, len(side.rows))
+	for i, pr := range side.rows {
+		brows[i] = pr.t
+	}
+	rel := relation.FromTuplesTrusted(sch, brows)
+	return &source{it: &sliceIter{ts: rel.Tuples(), owned: true}, schema: sch}
+}
+
+// graceJoinSource compiles an equi-keyed × / ×ᵀ in memory-bounded mode as a
+// hybrid hash join. The build (right) side drains against half the operator
+// share first; while it stays resident the probe side is a stream between
+// operators — not operator state — so it is never drained, and the ordinary
+// hash join runs against the resident build rows, columnar when the engine
+// is columnar. Only when the build side itself overflows do both sides
+// grace-partition on the join keys, each bucket building on its right rows
+// and probing its left rows in sequence order, the pairs gathering into the
+// reference's left-major sequence.
 func (e *Engine) graceJoinSource(l, r *source, j *pairJoiner, order relation.OrderSpec) *source {
+	if e.columnar() {
+		e.stats.VectorOps++
+		compute := func() ([]*batch, error) {
+			rs, err := e.drainGrace(r, j.ridx, e.opShare()/2)
+			if err != nil {
+				l.it.close()
+				return nil, err
+			}
+			if !rs.spilled {
+				defer e.releaseResident(rs)
+				v := &vecJoinIter{
+					e: e, left: l.vecInput(), right: residentSource(rs, r.schema),
+					out: j.out, lw: j.lw, rw: j.rw,
+					lidx: j.lidx, ridx: j.ridx, residual: j.residual,
+					temporal: j.temporal, lt1: j.lt1, lt2: j.lt2,
+				}
+				var out []*batch
+				for {
+					b, err := v.nextBatch()
+					if err != nil {
+						v.close()
+						return nil, err
+					}
+					if b == nil {
+						break
+					}
+					out = append(out, b)
+				}
+				if err := v.close(); err != nil {
+					return nil, err
+				}
+				return out, nil
+			}
+			ts, err := e.graceJoinSpilled(l, rs, j)
+			if err != nil {
+				return nil, err
+			}
+			out := tupleBatches(j.out, ts)
+			e.stats.VectorBatches += len(out)
+			return out, nil
+		}
+		return vecSource(&lazyBatchesIter{compute: compute}, j.out, order)
+	}
 	return lazySource(j.out, order, func() ([]relation.Tuple, error) {
-		return e.graceRun2(l, r, j.lidx, j.ridx, func(_, _ *graceSide) graceEmit2 {
-			return j.joinPartition
-		})
+		rs, err := e.drainGrace(r, j.ridx, e.opShare()/2)
+		if err != nil {
+			l.it.close()
+			return nil, err
+		}
+		if !rs.spilled {
+			defer e.releaseResident(rs)
+			it := &productIter{
+				left: l.it, right: residentSource(rs, r.schema),
+				out: j.out, lw: j.lw, rw: j.rw, lidx: j.lidx, ridx: j.ridx,
+				residual: j.residual, temporal: j.temporal, lt1: j.lt1, lt2: j.lt2,
+			}
+			var out []relation.Tuple
+			for {
+				t, err := it.next()
+				if err != nil {
+					it.close()
+					return nil, err
+				}
+				if t == nil {
+					break
+				}
+				out = append(out, t)
+			}
+			if err := it.close(); err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+		return e.graceJoinSpilled(l, rs, j)
+	})
+}
+
+// graceJoinSpilled is the hybrid's overflow path: with the build side
+// already partitioned to disk the probe side drains against its half-share
+// too, and the two-sided grace recursion pairs the buckets.
+func (e *Engine) graceJoinSpilled(l *source, rs *graceSide, j *pairJoiner) ([]relation.Tuple, error) {
+	ls, err := e.drainGrace(l, j.lidx, e.opShare()/2)
+	if err != nil {
+		return nil, err
+	}
+	return e.graceRun2From(ls, rs, j.lidx, j.ridx, func(_, _ *graceSide) graceEmit2 {
+		return j.joinPartition
 	})
 }

@@ -594,12 +594,26 @@ func (e *Engine) buildProduct(n algebra.Node, pred expr.Pred, temporal bool) (*s
 		return e.graceProductSource(l, r, j, src.order), nil
 	}
 	if e.parallel() {
+		if e.columnar() && len(lidx) > 0 && l.vec != nil {
+			return e.vecParallelJoinSource(l, r, outSchema, lidx, ridx, residual, temporal, src.order), nil
+		}
 		src.it = e.parallelProductIter(l, r, outSchema, lidx, ridx, residual, temporal)
 		return src, nil
 	}
 	if !e.opts.NoMerge && len(lidx) > 0 {
 		if keys, ok := physical.MergeJoinKeys(leftOrder, r.order, l.schema, r.schema, lidx, ridx); ok {
 			e.stats.MergeJoins++
+			if e.columnar() && l.vec != nil {
+				e.stats.VectorOps++
+				v := &vecMergeJoinIter{
+					e: e, left: l.vec, right: r, out: outSchema, lw: lw, rw: rw,
+					cmp: compileVecJoinCmp(l.schema, r.schema, keys), residual: residual, temporal: temporal,
+				}
+				if temporal {
+					v.lt1, v.lt2 = l.schema.TimeIndices()
+				}
+				return vecSource(v, outSchema, src.order), nil
+			}
 			it := &mergeJoinIter{
 				left: l.it, right: r, out: outSchema, lw: lw, rw: rw,
 				keys: keys, residual: residual, temporal: temporal,

@@ -26,7 +26,7 @@ import (
 func TestDifferentialFourWay(t *testing.T) {
 	for _, par := range []int{1, 2, 8} {
 		t.Run(fmt.Sprintf("parallelism=%d", par), func(t *testing.T) {
-			plans, exchanges := 0, 0
+			plans, exchanges, vecOps := 0, 0, 0
 			for seed := int64(200); seed < 230; seed++ {
 				rng := rand.New(rand.NewSource(seed))
 				c, bases := testutil.TemporalCatalog(seed)
@@ -60,6 +60,7 @@ func TestDifferentialFourWay(t *testing.T) {
 						}
 						if eng.name == "exec-parallel" {
 							exchanges += eng.e.Stats().ParallelOps
+							vecOps += eng.e.Stats().VectorOps
 						}
 					}
 					if errRef == nil {
@@ -72,6 +73,9 @@ func TestDifferentialFourWay(t *testing.T) {
 			}
 			if par > 1 && exchanges == 0 {
 				t.Fatal("vacuous run: the parallel engine never compiled an exchange")
+			}
+			if vecOps == 0 {
+				t.Fatal("vacuous run: the parallel engine never compiled a columnar operator")
 			}
 		})
 	}

@@ -89,6 +89,7 @@ func TestDifferentialFiveWay(t *testing.T) {
 
 	spillDir := t.TempDir()
 	plans, spilledSmall, vectorOps, vectorBatches := 0, 0, 0, 0
+	vectorOpsPar, vectorOpsSpill := 0, 0
 	sweep := func(seedLo, seedHi int64, rowsA, rowsB, trials int) {
 		for seed := seedLo; seed < seedHi; seed++ {
 			rng := rand.New(rand.NewSource(seed))
@@ -128,6 +129,10 @@ func TestDifferentialFiveWay(t *testing.T) {
 					case "exec-merge":
 						vectorOps += st.VectorOps
 						vectorBatches += st.VectorBatches
+					case "exec-par3":
+						vectorOpsPar += st.VectorOps
+					case "spill-small", "spill-1M", "spill-unlimited", "spill-small-par3":
+						vectorOpsSpill += st.VectorOps
 					case "exec-novec", "exec-hash":
 						if st.VectorOps != 0 {
 							t.Fatalf("seed %d leg %s: columnar operators compiled with columnar execution disabled", seed, lg.name)
@@ -153,6 +158,12 @@ func TestDifferentialFiveWay(t *testing.T) {
 	if vectorOps == 0 || vectorBatches == 0 {
 		t.Fatalf("vacuous run: the columnar leg compiled %d vectorized operators and flowed %d batches across %d plans",
 			vectorOps, vectorBatches, plans)
+	}
+	// The parallel and budgeted engines are columnar-capable now; either
+	// counter at zero means a newly-columnar path regressed to tuples.
+	if vectorOpsPar == 0 || vectorOpsSpill == 0 {
+		t.Fatalf("vacuous run: parallel leg compiled %d vectorized operators, budgeted legs %d",
+			vectorOpsPar, vectorOpsSpill)
 	}
 	// The shared spill directory must be empty again: every Eval removes
 	// its run directory on completion.

@@ -161,6 +161,12 @@ func (e *Engine) buildSort(n *algebra.Sort) (*source, error) {
 		order = in.order
 	}
 	e.stats.MergeSorts++
+	if e.columnar() && in.vec != nil && !e.budgeted() {
+		// Stable permutation of row indices over the unmoved planes; sorts
+		// its runs across the worker pool under Parallelism. The budgeted
+		// engine keeps the run-spilling external sort below.
+		return e.vecSortSource(in, n.Spec, order), nil
+	}
 	if e.parallel() && !e.budgeted() {
 		return e.parallelSortSource(in, n.Spec, order), nil
 	}
@@ -257,6 +263,11 @@ func (e *Engine) buildRdup(n algebra.Node) (*source, error) {
 		order:  eval.OrderQualifyTime(in.order, outSchema),
 	}
 	if e.parallel() && !e.budgeted() {
+		if e.columnar() && in.vec != nil {
+			// Columnar exchange: scatter row positions by plane hash, merge
+			// ascending survivors into one selection view.
+			return e.vecParallelRdupSource(in, outSchema, src.order), nil
+		}
 		// rdup is grouping on every attribute with the group's first
 		// occurrence surviving; the parallel group exchange merges survivors
 		// back into first-occurrence order.
@@ -264,6 +275,13 @@ func (e *Engine) buildRdup(n algebra.Node) (*source, error) {
 			func(group []relation.Tuple) ([]relation.Tuple, error) { return group[:1], nil }), nil
 	}
 	if !e.opts.NoMerge && physical.GroupsContiguous(in.order, in.schema, identityIdx(in.schema.Len())) {
+		if e.columnar() && in.vec != nil {
+			// The columnar adjacent-compare dedup carries one (batch, row)
+			// reference of state — as memory-bounded as the tuple variant.
+			e.stats.MergeOps++
+			e.stats.VectorOps++
+			return vecSource(&vecDedupSortedIter{e: e, in: in.vec}, outSchema, src.order), nil
+		}
 		// The adjacent-compare variant holds one tuple of state — already
 		// memory-bounded, so the budgeted engine prefers it too.
 		e.stats.MergeOps++
@@ -271,6 +289,11 @@ func (e *Engine) buildRdup(n algebra.Node) (*source, error) {
 		return src, nil
 	}
 	if e.budgeted() {
+		if e.columnar() && in.vec != nil {
+			// Budgeted columnar rdup: batches spill as columnar blocks and
+			// partitions re-read as batches (vecgrace.go).
+			return e.vecGraceRdupSource(in, outSchema, src.order), nil
+		}
 		idx := identityIdx(in.schema.Len())
 		return e.graceGroupSource(in, idx, outSchema, src.order, func(part []prow) ([]tagged, error) {
 			return rdupPartition(part, idx), nil
@@ -355,12 +378,24 @@ func (e *Engine) buildDiff(n algebra.Node) (*source, error) {
 		return e.graceDiffSource(l, r, outSchema, src.order), nil
 	}
 	if e.parallel() {
+		if e.columnar() && (l.vec != nil || r.vec != nil) {
+			s := e.vecParallelBudgetedSource(l, r, false)
+			s.schema = outSchema
+			s.order = src.order
+			return s, nil
+		}
 		src.it = e.parallelDiffIter(l, r)
 		return src, nil
 	}
 	if !e.opts.NoMerge {
 		if spec, ok := physical.AlignedTotalOrder(l.order, r.order, l.schema); ok {
 			e.stats.MergeOps++
+			if e.columnar() && l.vec != nil {
+				e.stats.VectorOps++
+				m := &vecMergeDiffIter{e: e, left: l.vec, right: r,
+					cmp: compileVecCmp(l.schema, spec)}
+				return vecSource(m, outSchema, src.order), nil
+			}
 			src.it = &mergeDiffIter{left: l.it, right: r, schema: l.schema, spec: spec}
 			return src, nil
 		}
@@ -439,12 +474,21 @@ func (e *Engine) buildUnion(n algebra.Node) (*source, error) {
 		return e.graceUnionSource(l, r, l.schema), nil
 	}
 	if e.parallel() {
+		if e.columnar() && (l.vec != nil || r.vec != nil) {
+			return e.vecParallelBudgetedSource(l, r, true), nil
+		}
 		src.it = e.parallelUnionIter(l, r)
 		return src, nil
 	}
 	if !e.opts.NoMerge {
 		if spec, ok := physical.AlignedTotalOrder(l.order, r.order, l.schema); ok {
 			e.stats.MergeOps++
+			if e.columnar() && r.vec != nil {
+				e.stats.VectorOps++
+				m := &vecMergeUnionIter{e: e, left: l, right: r.vec,
+					cmp: compileVecCmp(l.schema, spec)}
+				return vecSource(m, l.schema, nil), nil
+			}
 			src.it = &mergeUnionIter{left: l, right: r.it, schema: l.schema, spec: spec}
 			return src, nil
 		}

@@ -159,8 +159,25 @@ func (c *colvec) appendRange(o *colvec, lo, hi int) {
 }
 
 // hashInto folds the value at i into a running hash, producing exactly the
-// bits value.Value.HashInto produces for the equal tuple value.
-func (c *colvec) hashInto(i int, h uint64) uint64 { return c.at(i).HashInto(h) }
+// bits value.Value.HashInto produces for the equal tuple value. Typed
+// planes feed the value package's typed kernels directly, so hashing a
+// group key or a join key never boxes a Value.
+func (c *colvec) hashInto(i int, h uint64) uint64 {
+	switch c.kind {
+	case value.KindInt:
+		return value.HashIntInto(h, c.ints[i])
+	case value.KindBool:
+		return value.HashBoolInto(h, c.ints[i] != 0)
+	case value.KindTime:
+		return value.HashTimeInto(h, c.ints[i])
+	case value.KindFloat:
+		return value.HashFloatInto(h, c.floats[i])
+	case value.KindString:
+		return value.HashStringInto(h, c.strs[i])
+	default:
+		return c.vals[i].HashInto(h)
+	}
+}
 
 // equalAt reports value equality between c[i] and o[j] under the canonical
 // Compare order, with typed fast paths for the exact-match kinds. Floats go
@@ -282,6 +299,39 @@ func (b *batch) withSel(sel []int) *batch {
 	return &nb
 }
 
+// slice returns a capacity-capped view of the values [lo,hi): shared
+// storage, zero copies, and any append on the view reallocates instead of
+// clobbering the parent plane.
+func (c *colvec) slice(lo, hi int) colvec {
+	s := colvec{kind: c.kind}
+	switch c.kind {
+	case value.KindInt, value.KindBool, value.KindTime:
+		s.ints = c.ints[lo:hi:hi]
+	case value.KindFloat:
+		s.floats = c.floats[lo:hi:hi]
+	case value.KindString:
+		s.strs = c.strs[lo:hi:hi]
+	default:
+		s.vals = c.vals[lo:hi:hi]
+	}
+	return s
+}
+
+// rangeView returns a zero-copy view of b's presented rows [lo,hi). An
+// unselected batch subslices its column planes — an offset view over the
+// shared storage with no selection indirection on later scans; a selected
+// batch subslices the selection instead.
+func (b *batch) rangeView(lo, hi int) *batch {
+	if b.sel != nil {
+		return b.withSel(b.sel[lo:hi])
+	}
+	nb := &batch{schema: b.schema, cols: make([]colvec, len(b.cols)), n: hi - lo}
+	for c := range b.cols {
+		nb.cols[c] = b.cols[c].slice(lo, hi)
+	}
+	return nb
+}
+
 // batchOfTuples converts a tuple list to one batch.
 func batchOfTuples(s *schema.Schema, ts []relation.Tuple) *batch {
 	b := newBatch(s, len(ts))
@@ -386,6 +436,18 @@ func vecSource(v vecIterator, sch *schema.Schema, order relation.OrderSpec) *sou
 // grouping inputs). A stream of exactly one unselected batch is returned
 // as-is, copy-free.
 func vecDrainOne(v vecIterator, sch *schema.Schema) (*batch, error) {
+	b, err := vecDrainOneView(v, sch)
+	if err != nil {
+		return nil, err
+	}
+	return b.compact(), nil
+}
+
+// vecDrainOneView drains v into a single batch like vecDrainOne but keeps
+// a lone selected batch as its selection view instead of compacting it —
+// for consumers that split or scan presented rows and never index the
+// physical planes directly.
+func vecDrainOneView(v vecIterator, sch *schema.Schema) (*batch, error) {
 	var parts []*batch
 	total := 0
 	for {
@@ -403,7 +465,7 @@ func vecDrainOne(v vecIterator, sch *schema.Schema) (*batch, error) {
 	if err := v.close(); err != nil {
 		return nil, err
 	}
-	if len(parts) == 1 && parts[0].sel == nil {
+	if len(parts) == 1 {
 		return parts[0], nil
 	}
 	out := newBatch(sch, total)
@@ -422,6 +484,21 @@ func vecDrainOne(v vecIterator, sch *schema.Schema) (*batch, error) {
 	}
 	out.n = total
 	return out, nil
+}
+
+// tupleBatches packs a materialized tuple list into vecBatchRows-sized
+// batches — the re-batching step when a grace overflow path hands its
+// gathered tuples back to a columnar parent.
+func tupleBatches(sch *schema.Schema, ts []relation.Tuple) []*batch {
+	var out []*batch
+	for lo := 0; lo < len(ts); lo += vecBatchRows {
+		hi := lo + vecBatchRows
+		if hi > len(ts) {
+			hi = len(ts)
+		}
+		out = append(out, batchOfTuples(sch, ts[lo:hi]))
+	}
+	return out
 }
 
 // drainVec materializes a columnar stage into a relation.

@@ -1,0 +1,628 @@
+// Columnar variants of the merge operator family (merge.go, sort.go):
+// order-spec comparison compiled against column planes, adjacent-compare
+// dedup, the two-pointer merge diff/union sweeps, and sort as a stable
+// permutation of row indices emitted as one selection view. Every operator
+// here is bit-identical to its tuple counterpart — the compare, equality
+// and hash kernels are the exact typed specializations of the canonical
+// value semantics — so the differential suites compare the two pipelines
+// on the same plans.
+package exec
+
+import (
+	"sort"
+
+	"tqp/internal/expr"
+	"tqp/internal/period"
+	"tqp/internal/physical"
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+	"tqp/internal/value"
+)
+
+// vecCmp orders row ai of batch a against row bi of batch b (physical
+// indices) under a compiled order spec, with the sign contract of
+// relation.CompareOn.
+type vecCmp func(a *batch, ai int, b *batch, bi int) int
+
+// intPlaneKind reports the kinds stored unboxed on the int64 plane, whose
+// payload order is the canonical Compare order for same-kind values.
+func intPlaneKind(k value.Kind) bool {
+	return k == value.KindInt || k == value.KindBool || k == value.KindTime
+}
+
+// compileVecCmp compiles an order spec against a schema into a columnar
+// comparator: per key, a typed plane compare when both columns hold the
+// schema kind unboxed, the generic value compare otherwise (floats always —
+// their NaN and cross-kind ordering is the generic path's). The result is
+// CompareOn restricted to the spec, computed without constructing tuples.
+func compileVecCmp(s *schema.Schema, spec relation.OrderSpec) vecCmp {
+	type key struct {
+		col  int
+		kind value.Kind
+		desc bool
+	}
+	keys := make([]key, len(spec))
+	for i, k := range spec {
+		c := s.Index(k.Attr)
+		keys[i] = key{col: c, kind: s.At(c).Kind, desc: k.Dir == relation.Desc}
+	}
+	return func(a *batch, ai int, b *batch, bi int) int {
+		for _, k := range keys {
+			ca, cb := &a.cols[k.col], &b.cols[k.col]
+			var c int
+			switch {
+			case intPlaneKind(k.kind) && ca.kind == k.kind && cb.kind == k.kind:
+				va, vb := ca.ints[ai], cb.ints[bi]
+				switch {
+				case va < vb:
+					c = -1
+				case va > vb:
+					c = 1
+				}
+			case k.kind == value.KindString && ca.kind == value.KindString && cb.kind == value.KindString:
+				va, vb := ca.strs[ai], cb.strs[bi]
+				switch {
+				case va < vb:
+					c = -1
+				case va > vb:
+					c = 1
+				}
+			default:
+				c = ca.at(ai).Compare(cb.at(bi))
+			}
+			if k.desc {
+				c = -c
+			}
+			if c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+}
+
+// rowsEqual reports full-row equality between two batch rows (physical
+// indices) — the columnar Tuple.Equal.
+func rowsEqual(a *batch, ai int, b *batch, bi int) bool {
+	for c := range a.cols {
+		if !a.cols[c].equalAt(ai, &b.cols[c], bi) {
+			return false
+		}
+	}
+	return true
+}
+
+// vecDedupSortedIter streams rdup over a columnar input whose delivered
+// order covers every attribute: the first row of each equal run survives,
+// found by a single adjacent comparison carried across batch boundaries.
+// Survivors are emitted as selection views over the input batches.
+type vecDedupSortedIter struct {
+	e     *Engine
+	in    vecIterator
+	prevB *batch
+	prevI int
+}
+
+func (d *vecDedupSortedIter) nextBatch() (*batch, error) {
+	for {
+		b, err := d.in.nextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		n := b.rows()
+		sel := make([]int, 0, n)
+		for k := 0; k < n; k++ {
+			i := b.rowIndex(k)
+			if d.prevB != nil && rowsEqual(b, i, d.prevB, d.prevI) {
+				continue
+			}
+			d.prevB, d.prevI = b, i
+			sel = append(sel, i)
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		d.e.stats.VectorBatches++
+		if b.sel == nil && len(sel) == n {
+			return b, nil
+		}
+		return b.withSel(sel), nil
+	}
+}
+
+func (d *vecDedupSortedIter) close() error { return d.in.close() }
+
+// vecMergeDiffIter is mergeDiffIter over batches: the sorted right side
+// drains into one compacted batch, a single pointer sweeps it alongside
+// the streaming left batches, and each left batch's survivors emit as a
+// selection view. The sweep state persists across batches because the left
+// stream is globally ordered.
+type vecMergeDiffIter struct {
+	e     *Engine
+	left  vecIterator
+	right *source
+	cmp   vecCmp
+
+	built    bool
+	rb       *batch
+	ri       int // start of the current right group
+	gEnd     int // end of the current right group
+	consumed int // left occurrences the current group has absorbed
+}
+
+func (m *vecMergeDiffIter) nextBatch() (*batch, error) {
+	if !m.built {
+		rb, err := vecDrainOne(m.right.vecInput(), m.right.schema)
+		if err != nil {
+			return nil, err
+		}
+		m.rb = rb
+		m.built = true
+	}
+	for {
+		b, err := m.left.nextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		n := b.rows()
+		sel := make([]int, 0, n)
+		for k := 0; k < n; k++ {
+			i := b.rowIndex(k)
+			cmp := 1 // right side exhausted: every remaining left row survives
+			for m.ri < m.rb.n {
+				cmp = m.cmp(m.rb, m.ri, b, i)
+				if cmp >= 0 {
+					break
+				}
+				m.ri++
+				m.gEnd = m.ri
+				m.consumed = 0
+			}
+			if cmp == 0 {
+				for m.gEnd < m.rb.n && m.cmp(m.rb, m.gEnd, b, i) == 0 {
+					m.gEnd++
+				}
+				if m.consumed < m.gEnd-m.ri {
+					m.consumed++
+					continue
+				}
+			}
+			sel = append(sel, i)
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		m.e.stats.VectorBatches++
+		if b.sel == nil && len(sel) == n {
+			return b, nil
+		}
+		return b.withSel(sel), nil
+	}
+}
+
+func (m *vecMergeDiffIter) close() error { return m.left.close() }
+
+// vecMergeUnionIter is mergeUnionIter over batches: the left side drains
+// into one compacted batch and emits in full, then the right batches stream
+// against a pointer into it, survivors emitting as selection views.
+type vecMergeUnionIter struct {
+	e     *Engine
+	left  *source
+	right vecIterator
+	cmp   vecCmp
+
+	built    bool
+	emitted  bool
+	lb       *batch
+	gi       int // start of the current left group (right-side phase)
+	gEnd     int
+	consumed int
+}
+
+func (m *vecMergeUnionIter) nextBatch() (*batch, error) {
+	if !m.built {
+		lb, err := vecDrainOne(m.left.vecInput(), m.left.schema)
+		if err != nil {
+			return nil, err
+		}
+		m.lb = lb
+		m.built = true
+	}
+	if !m.emitted {
+		m.emitted = true
+		if m.lb.n > 0 {
+			m.e.stats.VectorBatches++
+			return m.lb, nil
+		}
+	}
+	for {
+		b, err := m.right.nextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		n := b.rows()
+		sel := make([]int, 0, n)
+		for k := 0; k < n; k++ {
+			i := b.rowIndex(k)
+			cmp := 1 // left side exhausted: every remaining right row survives
+			for m.gi < m.lb.n {
+				cmp = m.cmp(m.lb, m.gi, b, i)
+				if cmp >= 0 {
+					break
+				}
+				m.gi++
+				m.gEnd = m.gi
+				m.consumed = 0
+			}
+			if cmp == 0 {
+				for m.gEnd < m.lb.n && m.cmp(m.lb, m.gEnd, b, i) == 0 {
+					m.gEnd++
+				}
+				if m.consumed < m.gEnd-m.gi {
+					m.consumed++
+					continue
+				}
+			}
+			sel = append(sel, i)
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		m.e.stats.VectorBatches++
+		if b.sel == nil && len(sel) == n {
+			return b, nil
+		}
+		return b.withSel(sel), nil
+	}
+}
+
+func (m *vecMergeUnionIter) close() error { return m.right.close() }
+
+// vecSortSource sorts a columnar input without materializing tuples: the
+// input drains into one compacted batch, a row-index permutation stable-
+// sorts under the compiled comparator, and the result is a single selection
+// view over the unmoved column planes. Under Parallelism the permutation
+// sorts as fixed-size index runs across the worker pool and gathers through
+// a k-way merge whose run-index tie-break reproduces the global stable sort
+// — the columnar form of parallelSortSource's run heap.
+func (e *Engine) vecSortSource(in *source, spec relation.OrderSpec, order relation.OrderSpec) *source {
+	workers := 1
+	if e.parallel() {
+		workers = e.exchange()
+	}
+	e.stats.VectorOps++
+	sch := in.schema
+	compute := func() (*batch, error) {
+		b, err := vecDrainOne(in.vec, sch)
+		if err != nil {
+			return nil, err
+		}
+		if b.n == 0 {
+			return nil, nil
+		}
+		cmp := compileVecCmp(sch, spec)
+		idx := make([]int, b.n)
+		for i := range idx {
+			idx[i] = i
+		}
+		if workers <= 1 || b.n <= sortRunSize {
+			sort.SliceStable(idx, func(x, y int) bool {
+				return cmp(b, idx[x], b, idx[y]) < 0
+			})
+			e.stats.VectorBatches++
+			return b.withSel(idx), nil
+		}
+		nRuns := (b.n + sortRunSize - 1) / sortRunSize
+		if err := runTasks(workers, nRuns, func(r int) error {
+			lo, hi := r*sortRunSize, (r+1)*sortRunSize
+			if hi > b.n {
+				hi = b.n
+			}
+			run := idx[lo:hi]
+			sort.SliceStable(run, func(x, y int) bool {
+				return cmp(b, run[x], b, run[y]) < 0
+			})
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		e.stats.VectorBatches++
+		return b.withSel(mergeSortedRuns(b, idx, nRuns, cmp)), nil
+	}
+	return vecSource(&onceBatchIter{compute: compute}, sch, order)
+}
+
+// mergeSortedRuns k-way merges the sorted index runs idx[r*sortRunSize :
+// (r+1)*sortRunSize) into one sorted permutation, breaking comparator ties
+// by run index — runs partition the input in order, so the tie-break is
+// exactly the stable sort's arrival order.
+func mergeSortedRuns(b *batch, idx []int, nRuns int, cmp vecCmp) []int {
+	type cursor struct {
+		run []int
+		pos int
+		r   int
+	}
+	h := make([]*cursor, 0, nRuns)
+	for r := 0; r < nRuns; r++ {
+		lo, hi := r*sortRunSize, (r+1)*sortRunSize
+		if hi > len(idx) {
+			hi = len(idx)
+		}
+		if lo < hi {
+			h = append(h, &cursor{run: idx[lo:hi], r: r})
+		}
+	}
+	less := func(a, c *cursor) bool {
+		d := cmp(b, a.run[a.pos], b, c.run[c.pos])
+		if d != 0 {
+			return d < 0
+		}
+		return a.r < c.r
+	}
+	down := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(h) && less(h[l], h[m]) {
+				m = l
+			}
+			if r < len(h) && less(h[r], h[m]) {
+				m = r
+			}
+			if m == i {
+				return
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		down(i)
+	}
+	out := make([]int, 0, len(idx))
+	for len(h) > 0 {
+		c := h[0]
+		out = append(out, c.run[c.pos])
+		c.pos++
+		if c.pos >= len(c.run) {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		down(0)
+	}
+	return out
+}
+
+// compileVecJoinCmp compiles a merge join's aligned key sequence into a
+// cross-schema columnar comparator: left column L[k] against right column
+// R[k] under Dirs[k], on the typed planes when both sides store the same
+// unboxed kind, the generic value compare otherwise (floats always — their
+// NaN and cross-kind ordering is the generic path's). The sign contract is
+// physical.JoinKeys.Compare's exactly.
+func compileVecJoinCmp(ls, rs *schema.Schema, keys physical.JoinKeys) vecCmp {
+	type key struct {
+		lc, rc int
+		kind   value.Kind // shared unboxed kind; KindInvalid = generic path
+		desc   bool
+	}
+	ks := make([]key, len(keys.L))
+	for i := range keys.L {
+		k := ls.At(keys.L[i]).Kind
+		if rs.At(keys.R[i]).Kind != k {
+			k = value.KindInvalid
+		}
+		ks[i] = key{lc: keys.L[i], rc: keys.R[i], kind: k, desc: keys.Dirs[i] == relation.Desc}
+	}
+	return func(a *batch, ai int, b *batch, bi int) int {
+		for _, k := range ks {
+			ca, cb := &a.cols[k.lc], &b.cols[k.rc]
+			var c int
+			switch {
+			case intPlaneKind(k.kind) && ca.kind == k.kind && cb.kind == k.kind:
+				va, vb := ca.ints[ai], cb.ints[bi]
+				switch {
+				case va < vb:
+					c = -1
+				case va > vb:
+					c = 1
+				}
+			case k.kind == value.KindString && ca.kind == value.KindString && cb.kind == value.KindString:
+				va, vb := ca.strs[ai], cb.strs[bi]
+				switch {
+				case va < vb:
+					c = -1
+				case va > vb:
+					c = 1
+				}
+			default:
+				c = ca.at(ai).Compare(cb.at(bi))
+			}
+			if k.desc {
+				c = -c
+			}
+			if c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+}
+
+// vecMergeJoinIter is mergeJoinIter over batches: the sorted right side
+// drains into one compacted batch, a single group pointer advances
+// monotonically as the sorted left batches stream through, and output rows
+// assemble column-wise — each probe row pairing with its contiguous right
+// key group in right-list order, the tuple merge join's exact left-major
+// sequence at zero hashing cost.
+type vecMergeJoinIter struct {
+	e        *Engine
+	left     vecIterator
+	right    *source
+	out      *schema.Schema
+	lw, rw   int
+	cmp      vecCmp // left key columns against right key columns
+	residual expr.Pred
+	temporal bool
+	lt1, lt2 int
+
+	built    bool
+	rb       *batch
+	periods  []period.Period
+	ri, gEnd int // current right key group [ri, gEnd)
+
+	pb      *batch
+	pk      int // next presented row in pb
+	cur     int // physical probe row parked on the cursor
+	ci      int // next right row within the parked group
+	curP    period.Period
+	live    bool
+	scratch relation.Tuple
+}
+
+func (m *vecMergeJoinIter) buildSide() error {
+	rb, err := vecDrainOne(m.right.vecInput(), m.right.schema)
+	if err != nil {
+		return err
+	}
+	m.rb = rb
+	if m.temporal {
+		rt1, rt2 := m.right.schema.TimeIndices()
+		m.periods = make([]period.Period, rb.n)
+		for i := 0; i < rb.n; i++ {
+			m.periods[i] = rb.periodAt(rt1, rt2, i)
+		}
+	}
+	m.built = true
+	return nil
+}
+
+// advance parks the cursor on the next probe row with a right key group,
+// pulling probe batches as needed; false when the left is exhausted. Left
+// rows arrive in key order, so the right pointer never moves backwards.
+func (m *vecMergeJoinIter) advance() (bool, error) {
+	for {
+		if m.pb == nil || m.pk >= m.pb.rows() {
+			b, err := m.left.nextBatch()
+			if err != nil {
+				return false, err
+			}
+			if b == nil {
+				return false, nil
+			}
+			m.pb, m.pk = b, 0
+			continue
+		}
+		i := m.pb.rowIndex(m.pk)
+		m.pk++
+		cmp := -1 // right side exhausted: no match for any further left key
+		for m.ri < m.rb.n {
+			cmp = m.cmp(m.pb, i, m.rb, m.ri)
+			if cmp <= 0 {
+				break
+			}
+			m.ri++
+		}
+		if cmp == 0 {
+			if m.gEnd <= m.ri {
+				m.gEnd = m.ri + 1
+				for m.gEnd < m.rb.n && m.cmp(m.pb, i, m.rb, m.gEnd) == 0 {
+					m.gEnd++
+				}
+			}
+			m.cur = i
+			m.ci = m.ri
+			if m.temporal {
+				m.curP = m.pb.periodAt(m.lt1, m.lt2, i)
+			}
+			return true, nil
+		}
+	}
+}
+
+func (m *vecMergeJoinIter) nextBatch() (*batch, error) {
+	if !m.built {
+		if err := m.buildSide(); err != nil {
+			return nil, err
+		}
+		ok, err := m.advance()
+		if err != nil {
+			return nil, err
+		}
+		m.live = ok
+	}
+	if !m.live {
+		return nil, nil
+	}
+	out := newBatch(m.out, vecBatchRows)
+	for m.live {
+		for m.ci < m.gEnd {
+			ri := m.ci
+			m.ci++
+			var iv period.Period
+			if m.temporal {
+				iv = m.curP.Intersect(m.periods[ri])
+				if iv.Empty() {
+					continue
+				}
+			}
+			if m.residual != nil {
+				ok, err := m.residualHolds(ri, iv)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			for c := 0; c < m.lw; c++ {
+				out.cols[c].appendFrom(&m.pb.cols[c], m.cur)
+			}
+			for c := 0; c < m.rw; c++ {
+				out.cols[m.lw+c].appendFrom(&m.rb.cols[c], ri)
+			}
+			if m.temporal {
+				out.cols[m.lw+m.rw].append(value.Time(iv.Start))
+				out.cols[m.lw+m.rw+1].append(value.Time(iv.End))
+			}
+			out.n++
+		}
+		if out.n >= vecBatchRows {
+			break
+		}
+		ok, err := m.advance()
+		if err != nil {
+			return nil, err
+		}
+		m.live = ok
+	}
+	if out.n == 0 {
+		return nil, nil
+	}
+	m.e.stats.VectorBatches++
+	return out, nil
+}
+
+// residualHolds evaluates the fused residual on the would-be output row,
+// assembled into a reused scratch tuple exactly as the hash join does.
+func (m *vecMergeJoinIter) residualHolds(ri int, iv period.Period) (bool, error) {
+	if m.scratch == nil {
+		width := m.lw + m.rw
+		if m.temporal {
+			width += 2
+		}
+		m.scratch = make(relation.Tuple, width)
+	}
+	for c := 0; c < m.lw; c++ {
+		m.scratch[c] = m.pb.cols[c].at(m.cur)
+	}
+	for c := 0; c < m.rw; c++ {
+		m.scratch[m.lw+c] = m.rb.cols[c].at(ri)
+	}
+	if m.temporal {
+		m.scratch[m.lw+m.rw] = value.Time(iv.Start)
+		m.scratch[m.lw+m.rw+1] = value.Time(iv.End)
+	}
+	return m.residual.Holds(m.out, m.scratch)
+}
+
+func (m *vecMergeJoinIter) close() error { return m.left.close() }

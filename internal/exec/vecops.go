@@ -462,7 +462,8 @@ type vecJoinIter struct {
 	temporal bool
 	lt1, lt2 int
 
-	built   bool
+	built   bool // the shared build state below is ready
+	started bool // this iterator's probe cursor has taken its first step
 	build   *batch
 	periods []period.Period
 	table   *vecGroups
@@ -539,6 +540,12 @@ func (j *vecJoinIter) nextBatch() (*batch, error) {
 		if err := j.buildSide(); err != nil {
 			return nil, err
 		}
+	}
+	// The probe cursor starts separately from the build: the parallel join
+	// hands each worker a copy with the build state already shared (built
+	// but not started), and every copy advances its own probe range.
+	if !j.started {
+		j.started = true
 		ok, err := j.advance()
 		if err != nil {
 			return nil, err
@@ -593,7 +600,11 @@ func (j *vecJoinIter) nextBatch() (*batch, error) {
 	if out.n == 0 {
 		return nil, nil
 	}
-	j.e.stats.VectorBatches++
+	// Worker copies in the parallel join run with e == nil: the spawner
+	// owns the batch counter, so concurrent workers never race on stats.
+	if j.e != nil {
+		j.e.stats.VectorBatches++
+	}
 	return out, nil
 }
 

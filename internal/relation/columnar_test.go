@@ -1,0 +1,136 @@
+package relation
+
+import (
+	"sync"
+	"testing"
+
+	"tqp/internal/schema"
+	"tqp/internal/value"
+)
+
+func twoRowRelation(t *testing.T) *Relation {
+	t.Helper()
+	s := schema.MustNew(schema.Attr("K", value.KindInt))
+	return MustFromRows(s, [][]any{{2}, {1}})
+}
+
+// TestColumnarImageStaleAfterSort pins the check-then-act race of the
+// columnar scan cache as a deterministic interleaving: an engine reads the
+// tuple list and starts converting, a concurrent SortStable permutes the
+// list and invalidates the cache, and the engine then stores its pre-sort
+// image. The row count is unchanged, so a staleness check based on it
+// accepts the stale image and serves pre-sort order to every later query.
+// The cache must reject the late store instead.
+func TestColumnarImageStaleAfterSort(t *testing.T) {
+	r := twoRowRelation(t)
+
+	// Engine: observes the pre-sort tuple list and begins converting.
+	v := r.ColumnarVersion()
+	staleImg := append([]Tuple(nil), r.Tuples()...)
+
+	// Concurrent writer: permutes the list, invalidating the cache.
+	if err := r.SortStable(OrderSpec{Key("K")}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Engine: finishes and stores the image built from the pre-sort list.
+	r.SetColumnarImage(staleImg, v)
+
+	if got := r.ColumnarImage(); got != nil {
+		t.Fatalf("cache served an image stored against the pre-sort list: %v", got)
+	}
+}
+
+// TestColumnarImageVersionMonotonic checks that the version counter never
+// re-admits an image across a mutate-and-restore cycle: sorting back to the
+// original order must still reject an image captured before the first sort
+// (the rows check cannot distinguish the two states; a monotonic counter
+// can).
+func TestColumnarImageVersionMonotonic(t *testing.T) {
+	r := twoRowRelation(t)
+	v := r.ColumnarVersion()
+
+	if err := r.SortStable(OrderSpec{Key("K")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SortStable(OrderSpec{KeyDesc("K")}); err != nil {
+		t.Fatal(err)
+	}
+
+	r.SetColumnarImage("image-of-the-original-list", v)
+	if got := r.ColumnarImage(); got != nil {
+		t.Fatalf("cache re-admitted an image from before two sorts: %v", got)
+	}
+
+	// A store made against the current version is accepted…
+	v2 := r.ColumnarVersion()
+	r.SetColumnarImage("fresh", v2)
+	if got := r.ColumnarImage(); got != "fresh" {
+		t.Fatalf("cache rejected a fresh image: %v", got)
+	}
+	// …and dropped by the next mutation.
+	r.Append(Tuple{value.Int(3)})
+	if got := r.ColumnarImage(); got != nil {
+		t.Fatalf("cache survived Append: %v", got)
+	}
+}
+
+// TestColumnarImageConcurrentSortAndStore stresses the cache under the race
+// detector: builders repeatedly capture a version, snapshot the first tuple,
+// and store an image; a writer flips the sort order between rounds. At every
+// point a served image must have been stored at the relation's then-current
+// version, so after the writer's final sort the cache can only hold an image
+// stored after it.
+func TestColumnarImageConcurrentSortAndStore(t *testing.T) {
+	r := twoRowRelation(t)
+	asc := OrderSpec{Key("K")}
+	desc := OrderSpec{KeyDesc("K")}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := r.ColumnarVersion()
+				r.SetColumnarImage(v, v)
+				if got := r.ColumnarImage(); got != nil {
+					// A served image must carry the version it was stored
+					// at; the load path guarantees it matches the current
+					// version at the moment of the check.
+					if _, ok := got.(uint64); !ok {
+						t.Errorf("cache holds a foreign image: %v", got)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		spec := asc
+		if i%2 == 1 {
+			spec = desc
+		}
+		if err := r.SortStable(spec); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiesced: one final mutation, then no builder runs again — the cache
+	// must be empty, not holding any image stored against an older list.
+	if err := r.SortStable(asc); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ColumnarImage(); got != nil {
+		t.Fatalf("cache holds an image from before the final sort: %v", got)
+	}
+}

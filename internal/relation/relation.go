@@ -30,33 +30,58 @@ type Relation struct {
 	// instance so the one-time conversion amortizes across every engine and
 	// query that scans this relation. The pointer is atomic — concurrent
 	// queries share catalog relations — and every tuple-list mutation drops
-	// it.
+	// it and bumps the version counter.
 	columnar atomic.Pointer[columnarImage]
+
+	// version counts tuple-list mutations monotonically. A builder captures
+	// the version before reading the list and passes it back to
+	// SetColumnarImage; a store whose version no longer matches is a stale
+	// image of a list that has since mutated and is discarded. A row-count
+	// check cannot do this job — a sort permutes without changing the count.
+	version atomic.Uint64
 }
 
-// columnarImage pairs the engine's opaque image with the tuple count it was
-// built from, a cheap staleness cross-check on top of explicit
-// invalidation.
+// columnarImage pairs the engine's opaque image with the tuple-list version
+// it was built from.
 type columnarImage struct {
-	img  any
-	rows int
+	img     any
+	version uint64
 }
+
+// ColumnarVersion returns the current mutation version of the tuple list.
+// Builders read it before converting and hand it to SetColumnarImage, so a
+// mutation racing with the conversion invalidates the resulting image.
+func (r *Relation) ColumnarVersion() uint64 { return r.version.Load() }
 
 // ColumnarImage returns the cached columnar image, or nil when none is
-// cached or the cache no longer matches the tuple count.
+// cached or the cached image was built from an older version of the list.
 func (r *Relation) ColumnarImage() any {
 	c := r.columnar.Load()
-	if c == nil || c.rows != len(r.tuples) {
+	if c == nil || c.version != r.version.Load() {
 		return nil
 	}
 	return c.img
 }
 
-// SetColumnarImage caches img as the columnar form of the current tuple
-// list. The image must be immutable; concurrent builders may race and any
-// winner is acceptable.
-func (r *Relation) SetColumnarImage(img any) {
-	r.columnar.Store(&columnarImage{img: img, rows: len(r.tuples)})
+// SetColumnarImage caches img as the columnar form of the tuple list as it
+// stood at version v (from ColumnarVersion, read before the conversion
+// started). The image must be immutable; concurrent builders may race and
+// any same-version winner is acceptable. A store against an outdated
+// version is dropped — and even if it lands between a mutation's version
+// bump and a reader's load, the version embedded in the image keeps the
+// reader from ever serving it.
+func (r *Relation) SetColumnarImage(img any, v uint64) {
+	if v != r.version.Load() {
+		return
+	}
+	r.columnar.Store(&columnarImage{img: img, version: v})
+}
+
+// invalidateColumnar records a tuple-list mutation: the cache drops and the
+// version advances so in-flight conversions of the old list cannot re-store.
+func (r *Relation) invalidateColumnar() {
+	r.version.Add(1)
+	r.columnar.Store(nil)
 }
 
 // New returns an empty relation over s.
@@ -157,7 +182,7 @@ func (r *Relation) Tuples() []Tuple { return r.tuples }
 // guarantees schema alignment.
 func (r *Relation) Append(t Tuple) {
 	r.tuples = append(r.tuples, t)
-	r.columnar.Store(nil)
+	r.invalidateColumnar()
 }
 
 // Order returns the known order of the relation, the paper's Order(r). An
@@ -354,7 +379,7 @@ func (r *Relation) SortStable(o OrderSpec) error {
 		return CompareOn(r.schema, o, r.tuples[i], r.tuples[j]) < 0
 	})
 	r.order = o
-	r.columnar.Store(nil)
+	r.invalidateColumnar()
 	return nil
 }
 

@@ -91,11 +91,11 @@ func (c *Client) Query(sql string) (*relation.Relation, *QueryMeta, error) {
 		return nil, &QueryMeta{}, nil
 	}
 	if head.Kind != KindSchema {
-		return nil, nil, fmt.Errorf("server: expected schema frame, got %q", head.Kind)
+		return nil, nil, protoErr(fmt.Errorf("server: expected schema frame, got %q", head.Kind))
 	}
 	sch, err := schemaOf(head.Cols)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, protoErr(err)
 	}
 	var tuples []relation.Tuple
 	for {
@@ -114,15 +114,15 @@ func (c *Client) Query(sql string) (*relation.Relation, *QueryMeta, error) {
 				ts, err = decodeRows(sch, resp.Rows)
 			}
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, protoErr(err)
 			}
 			tuples = append(tuples, ts...)
 		case KindDone:
 			if resp.Done == nil {
-				return nil, nil, fmt.Errorf("server: done frame without payload")
+				return nil, nil, protoErr(fmt.Errorf("server: done frame without payload"))
 			}
 			if resp.Done.Tuples != len(tuples) {
-				return nil, nil, fmt.Errorf("server: done frame claims %d tuples, received %d", resp.Done.Tuples, len(tuples))
+				return nil, nil, protoErr(fmt.Errorf("server: done frame claims %d tuples, received %d", resp.Done.Tuples, len(tuples)))
 			}
 			rel := relation.FromTuplesTrusted(sch, tuples)
 			rel.SetOrder(orderSpecOf(head.Order))
@@ -134,7 +134,7 @@ func (c *Client) Query(sql string) (*relation.Relation, *QueryMeta, error) {
 				Engine:            resp.Done.Engine,
 			}, nil
 		default:
-			return nil, nil, fmt.Errorf("server: unexpected frame %q inside a result stream", resp.Kind)
+			return nil, nil, protoErr(fmt.Errorf("server: unexpected frame %q inside a result stream", resp.Kind))
 		}
 	}
 }

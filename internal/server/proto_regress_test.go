@@ -1,0 +1,117 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"testing"
+
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+)
+
+// TestZeroArityRowsSurviveWire pins the representability hole that motivated
+// the server's row-major fallback: the column-major layout derives its column
+// count from the first tuple's arity, so n zero-arity rows encode to zero
+// columns and the row count is gone. The row-major layout carries one (empty)
+// slice per row and survives.
+func TestZeroArityRowsSurviveWire(t *testing.T) {
+	sch := schema.MustNew()
+	tuples := []relation.Tuple{{}, {}, {}}
+
+	// Column-major cannot carry these rows at all.
+	cols := encodeCols(tuples, 0, len(tuples))
+	if len(cols) != 0 {
+		t.Fatalf("zero-arity tuples encoded to %d columns; the layout has no column to put them in", len(cols))
+	}
+	back, err := decodeCols(sch, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Fatalf("decodeCols conjured %d rows from an empty frame", len(back))
+	}
+
+	// Row-major — the layout the server falls back to for zero-arity
+	// schemas — round-trips the count exactly.
+	rows := encodeRows(tuples, 0, len(tuples))
+	if len(rows) != len(tuples) {
+		t.Fatalf("encodeRows kept %d of %d rows", len(rows), len(tuples))
+	}
+	got, err := decodeRows(sch, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tuples) {
+		t.Fatalf("row-major round trip kept %d of %d rows", len(got), len(tuples))
+	}
+}
+
+// fakePeer runs script against the server side of an in-memory connection
+// and returns a Client wired to the other side. script receives the peer's
+// reader/writer; the client under test talks to whatever frames it sends.
+func fakePeer(t *testing.T, script func(br *bufio.Reader, bw *bufio.Writer)) *Client {
+	t.Helper()
+	cliConn, srvConn := net.Pipe()
+	t.Cleanup(func() { cliConn.Close(); srvConn.Close() })
+	go func() {
+		br, bw := bufio.NewReader(srvConn), bufio.NewWriter(srvConn)
+		script(br, bw)
+		bw.Flush()
+	}()
+	return &Client{conn: cliConn, br: bufio.NewReader(cliConn), bw: bufio.NewWriter(cliConn)}
+}
+
+// readRequest consumes the client's request frame so the pipe does not stall.
+func readRequest(t *testing.T, br *bufio.Reader) {
+	t.Helper()
+	var req Request
+	if err := ReadFrame(br, &req); err != nil {
+		t.Errorf("reading client request: %v", err)
+	}
+}
+
+// TestClientMalformedFramesAreTypedProtoErrors pins the contract the decode
+// fuzzing established: any malformed frame from a peer — ragged columns, a
+// lying done count, an unexpected frame kind — surfaces from Client.Query as
+// a *ServerError carrying CodeProto, not an untyped string.
+func TestClientMalformedFramesAreTypedProtoErrors(t *testing.T) {
+	schemaFrame := &Response{Kind: KindSchema, Cols: []Col{{Name: "N", Kind: "int"}}}
+	cases := []struct {
+		name   string
+		frames []*Response
+	}{
+		{"not a schema frame", []*Response{{Kind: KindPong}}},
+		{"undecodable schema kind", []*Response{{Kind: KindSchema, Cols: []Col{{Name: "N", Kind: "complex128"}}}}},
+		{"ragged columnar frame", []*Response{schemaFrame, {Kind: KindRows, ColRows: [][]string{{"1", "2"}, {"3"}}}}},
+		{"kind-confused cell", []*Response{schemaFrame, {Kind: KindRows, ColRows: [][]string{{"not-an-int"}}}}},
+		{"done frame without payload", []*Response{schemaFrame, {Kind: KindDone}}},
+		{"lying done count", []*Response{schemaFrame, {Kind: KindRows, ColRows: [][]string{{"1"}}}, {Kind: KindDone, Done: &Done{Tuples: 7}}}},
+		{"stats frame mid-stream", []*Response{schemaFrame, {Kind: KindStats, Stats: &StatsReply{}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := fakePeer(t, func(br *bufio.Reader, bw *bufio.Writer) {
+				readRequest(t, br)
+				for _, f := range tc.frames {
+					if err := WriteFrame(bw, f); err != nil {
+						t.Errorf("writing frame: %v", err)
+						return
+					}
+					bw.Flush()
+				}
+			})
+			_, _, err := c.Query("SELECT N FROM R")
+			if err == nil {
+				t.Fatal("malformed stream decoded without error")
+			}
+			var se *ServerError
+			if !errors.As(err, &se) {
+				t.Fatalf("error is untyped: %v", err)
+			}
+			if se.Code != CodeProto {
+				t.Fatalf("error carries code %q, want %q: %v", se.Code, CodeProto, se)
+			}
+		})
+	}
+}

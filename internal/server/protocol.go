@@ -167,6 +167,18 @@ type ServerError struct {
 
 func (e *ServerError) Error() string { return fmt.Sprintf("server: [%s] %s", e.Code, e.Msg) }
 
+// protoErr types a malformed-frame failure from the decode path: every way a
+// peer's frames can be malformed — wrong frame kind, undecodable schema,
+// ragged or kind-confused rows, a lying done count — surfaces as the same
+// typed proto error a server-side frame rejection carries, so callers branch
+// on the code rather than on message text.
+func protoErr(err error) error {
+	if se, ok := err.(*ServerError); ok {
+		return se
+	}
+	return &ServerError{Code: CodeProto, Msg: err.Error()}
+}
+
 // WriteFrame marshals v and writes it as one length-prefixed frame.
 func WriteFrame(w io.Writer, v any) error {
 	payload, err := json.Marshal(v)

@@ -430,7 +430,17 @@ func (s *Server) runQuery(sql string, sess *session, w io.Writer) error {
 		if to > len(tuples) {
 			to = len(tuples)
 		}
-		if err := WriteFrame(w, &Response{Kind: KindRows, ColRows: encodeCols(tuples, from, to)}); err != nil {
+		frame := &Response{Kind: KindRows}
+		if result.Schema().Len() == 0 {
+			// Column-major has no column to carry the row count of a
+			// zero-arity result, so those frames would silently lose every
+			// row; fall back to the row-major layout, which carries one
+			// (empty) slice per row.
+			frame.Rows = encodeRows(tuples, from, to)
+		} else {
+			frame.ColRows = encodeCols(tuples, from, to)
+		}
+		if err := WriteFrame(w, frame); err != nil {
 			return err
 		}
 	}

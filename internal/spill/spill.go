@@ -118,6 +118,11 @@ const writerBufSize = 16 << 10
 // single corrupt block's blast radius small.
 const blockRows = 256
 
+// BlockRows exposes the block packing cap: callers batching rows for
+// AppendBlockCols flush at this granularity so their buffering matches the
+// writer's own.
+const BlockRows = blockRows
+
 // Writer appends sequence-tagged tuples to one spill file, packing them
 // into columnar blocks of up to blockRows same-arity tuples. Appended
 // tuples are referenced, not copied, until their block flushes — safe
@@ -169,6 +174,41 @@ func (w *Writer) flush() error {
 		return fmt.Errorf("spill: writing %s: %w", w.f.Name(), err)
 	}
 	w.bytes += int64(len(w.buf))
+	return nil
+}
+
+// AppendBlockCols appends len(seqs) same-arity rows read through a cell
+// accessor, encoding them straight into columnar blocks — the batch
+// pipeline's write path, which never materializes a tuple. Rows chunk at
+// blockRows; any tuples pending from Append flush first so interleaved use
+// stays block-aligned. memBytes is the rows' resident cost in TupleMemSize
+// currency (the caller reads it off its column planes), keeping the file's
+// MemBytes — and with it the engine's recursion decisions — identical to
+// the tuple write path's.
+func (w *Writer) AppendBlockCols(seqs []int, arity int, memBytes int64, cell func(row, col int) value.Value) error {
+	if len(seqs) == 0 {
+		return nil
+	}
+	if len(w.pend) > 0 {
+		if err := w.flush(); err != nil {
+			return err
+		}
+	}
+	for lo := 0; lo < len(seqs); lo += blockRows {
+		hi := lo + blockRows
+		if hi > len(seqs) {
+			hi = len(seqs)
+		}
+		w.buf = encodeBlockCols(w.buf[:0], seqs[lo:hi], arity, func(row, col int) value.Value {
+			return cell(lo+row, col)
+		})
+		if _, err := w.bw.Write(w.buf); err != nil {
+			return fmt.Errorf("spill: writing %s: %w", w.f.Name(), err)
+		}
+		w.bytes += int64(len(w.buf))
+	}
+	w.count += len(seqs)
+	w.memBytes += memBytes
 	return nil
 }
 
@@ -283,6 +323,32 @@ func (r *Reader) Next() (seq int, t relation.Tuple, ok bool, err error) {
 	return seq, t, true, nil
 }
 
+// NextBlock returns the not-yet-consumed rows of the current block —
+// decoding a fresh block when the current one is spent — as parallel
+// seq/tuple slices, the batch pipeline's read path. ok=false with a nil
+// error marks the end of the file. The seqs slice is valid only until the
+// next NextBlock or Next call (it recycles the reader's scratch); the
+// tuples are freshly allocated per block and may be retained.
+func (r *Reader) NextBlock() (seqs []int, rows []relation.Tuple, ok bool, err error) {
+	if r.blkPos == len(r.blkRows) {
+		if r.remaining == 0 {
+			return nil, nil, false, nil
+		}
+		r.blkSeqs, r.blkRows, r.buf, err = decodeBlock(r.br, r.blkSeqs[:0], r.buf)
+		if err != nil {
+			return nil, nil, false, fmt.Errorf("spill: reading %s: %w", r.f.Name(), err)
+		}
+		if len(r.blkRows) > r.remaining {
+			return nil, nil, false, fmt.Errorf("spill: reading %s: block holds %d tuples, only %d expected", r.f.Name(), len(r.blkRows), r.remaining)
+		}
+		r.blkPos = 0
+	}
+	seqs, rows = r.blkSeqs[r.blkPos:], r.blkRows[r.blkPos:]
+	r.blkPos = len(r.blkRows)
+	r.remaining -= len(rows)
+	return seqs, rows, true, nil
+}
+
 // Close releases the file handle.
 func (r *Reader) Close() error { return r.f.Close() }
 
@@ -353,6 +419,44 @@ func encodeBlock(dst []byte, seqs []int, rows []relation.Tuple) []byte {
 			for _, t := range rows {
 				payload = append(payload, byte(t[j].Kind()))
 				payload = appendCell(payload, t[j])
+			}
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+}
+
+// encodeBlockCols is encodeBlock reading cells through an accessor instead
+// of tuples — byte-for-byte the same block format, so files written from
+// column planes and files written from tuples are indistinguishable to the
+// reader (and to repartitioning, which streams either kind).
+func encodeBlockCols(dst []byte, seqs []int, arity int, cell func(row, col int) value.Value) []byte {
+	nrows := len(seqs)
+	payload := binary.AppendUvarint(nil, uint64(nrows))
+	payload = binary.AppendUvarint(payload, uint64(arity))
+	for _, s := range seqs {
+		payload = binary.AppendUvarint(payload, uint64(s))
+	}
+	for j := 0; j < arity; j++ {
+		k := cell(0, j).Kind()
+		homog := k != value.KindInvalid
+		for i := 1; homog && i < nrows; i++ {
+			if cell(i, j).Kind() != k {
+				homog = false
+			}
+		}
+		if homog {
+			payload = append(payload, byte(k))
+			for i := 0; i < nrows; i++ {
+				payload = appendCell(payload, cell(i, j))
+			}
+		} else {
+			payload = append(payload, kindHetero)
+			for i := 0; i < nrows; i++ {
+				v := cell(i, j)
+				payload = append(payload, byte(v.Kind()))
+				payload = appendCell(payload, v)
 			}
 		}
 	}
@@ -532,7 +636,7 @@ const valueSize = 40
 // bound, and over-counting errs toward spilling early rather than blowing
 // the budget.
 func TupleMemSize(t relation.Tuple) int64 {
-	n := int64(tupleOverhead) + int64(len(t))*valueSize
+	n := RowMemSize(len(t))
 	for _, v := range t {
 		if v.Kind() == value.KindString {
 			n += int64(len(v.AsString()))
@@ -540,3 +644,9 @@ func TupleMemSize(t relation.Tuple) int64 {
 	}
 	return n
 }
+
+// RowMemSize is TupleMemSize's fixed part for an arity-column row. Callers
+// accounting rows that live on column planes (no tuple to hand to
+// TupleMemSize) add string payload bytes on top of this, keeping the two
+// pipelines' arbiter accounting identical.
+func RowMemSize(arity int) int64 { return int64(tupleOverhead) + int64(arity)*valueSize }

@@ -74,6 +74,7 @@ func NewWithEngine(cat *catalog.Catalog, seed int64, spec eval.EngineSpec) *Exec
 	params.OrderBlind = !spec.OrderAware
 	params.Parallelism = spec.Parallelism
 	params.MemoryBudget = spec.MemoryBudget
+	params.Vectorized = spec.Vectorized
 	return &Executor{
 		cat:    cat,
 		engine: dbms.New(cat, seed),

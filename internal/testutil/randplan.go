@@ -11,6 +11,7 @@ package testutil
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"tqp/internal/algebra"
@@ -230,16 +231,41 @@ func conventionalTail(rng *rand.Rand, p algebra.Node) algebra.Node {
 	}
 }
 
-// randomCmp compares an attribute against a random literal of its domain.
+// randomCmp compares an attribute against a random literal of its domain —
+// deliberately crossing the numeric kinds: an int attribute compares
+// against float literals (integral and fractional) and a float attribute
+// against int and NaN literals about a third of the time, so the canonical
+// cross-kind equality and the NaN comparison boundary run through every
+// engine the differential suites pit against each other.
 func randomCmp(rng *rand.Rand, a schema.Attribute) expr.Pred {
 	ops := []expr.CmpOp{expr.Lt, expr.Le, expr.Gt, expr.Ge, expr.Ne}
 	op := ops[rng.Intn(len(ops))]
 	var lit value.Value
 	switch a.Kind {
 	case value.KindInt:
-		lit = value.Int(int64(rng.Intn(6)))
+		switch rng.Intn(6) {
+		case 0:
+			// Integral float: equal to an int value under the canonical
+			// numeric comparison (Int(3) == Float(3.0)).
+			lit = value.Float(float64(rng.Intn(6)))
+		case 1:
+			// Fractional float: strictly between the int domain's values.
+			lit = value.Float(float64(rng.Intn(6)) + 0.5)
+		default:
+			lit = value.Int(int64(rng.Intn(6)))
+		}
 	case value.KindFloat:
-		lit = value.Float(float64(rng.Intn(6)))
+		switch rng.Intn(6) {
+		case 0:
+			lit = value.Int(int64(rng.Intn(6)))
+		case 1:
+			// NaN orders canonically (not IEEE): both engines must agree.
+			lit = value.Float(math.NaN())
+		case 2:
+			lit = value.Float(float64(rng.Intn(6)) + 0.5)
+		default:
+			lit = value.Float(float64(rng.Intn(6)))
+		}
 	case value.KindString:
 		lit = value.String_(fmt.Sprintf("v%d", rng.Intn(4)))
 	case value.KindBool:
@@ -289,11 +315,18 @@ func projectedNames(rng *rand.Rand, s *schema.Schema) []string {
 
 func randomAggs(rng *rand.Rand) []expr.Aggregate {
 	aggs := []expr.Aggregate{{Func: expr.CountAll, As: "cnt"}}
-	switch rng.Intn(3) {
+	switch rng.Intn(4) {
 	case 0:
 		aggs = append(aggs, expr.Aggregate{Func: expr.Sum, Arg: "Grp", As: "total"})
 	case 1:
 		aggs = append(aggs, expr.Aggregate{Func: expr.Max, Arg: "Grp", As: "top"})
+	case 2:
+		// AVG introduces a float column — usually holding integral floats —
+		// into the cap's schema, so the conventional tail's sorts, dedups
+		// and comparisons downstream run the float hash/compare boundary
+		// (including the int/float cross-kind equality the canonical
+		// semantics define) through every engine under test.
+		aggs = append(aggs, expr.Aggregate{Func: expr.Avg, Arg: "Grp", As: "mean"})
 	}
 	return aggs
 }

@@ -291,45 +291,77 @@ const (
 	fnvPrime  = 1099511628211
 )
 
+func hashByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
+
+func hashUint64(h uint64, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = hashByte(h, byte(x))
+		x >>= 8
+	}
+	return h
+}
+
+// The typed HashXInto kernels fold an unboxed payload into a running hash,
+// byte-for-byte identical to boxing the payload and calling HashInto. They
+// exist for columnar callers that hold whole planes of one kind and must
+// hash rows without constructing Values; any change here must change
+// HashInto identically (the value tests pin the agreement).
+
+// HashIntInto folds an int payload as HashInto folds Int(v).
+func HashIntInto(h uint64, v int64) uint64 {
+	return hashUint64(hashByte(h, 'i'), uint64(v))
+}
+
+// HashFloatInto folds a float payload as HashInto folds Float(f): every NaN
+// folds as the one canonical NaN, and integral floats fold as their int.
+func HashFloatInto(h uint64, f float64) uint64 {
+	if math.IsNaN(f) {
+		return hashByte(hashByte(h, 'f'), 'N')
+	}
+	if isInt64Exact(f) {
+		return hashUint64(hashByte(h, 'i'), uint64(int64(f)))
+	}
+	return hashUint64(hashByte(h, 'f'), math.Float64bits(f))
+}
+
+// HashStringInto folds a string payload as HashInto folds String_(s).
+func HashStringInto(h uint64, s string) uint64 {
+	h = hashByte(h, 's')
+	for i := 0; i < len(s); i++ {
+		h = hashByte(h, s[i])
+	}
+	return h
+}
+
+// HashBoolInto folds a bool payload as HashInto folds Bool(b).
+func HashBoolInto(h uint64, b bool) uint64 {
+	if b {
+		return hashByte(hashByte(h, 'b'), 'T')
+	}
+	return hashByte(hashByte(h, 'b'), 'F')
+}
+
+// HashTimeInto folds a chronon payload as HashInto folds Time(c).
+func HashTimeInto(h uint64, c int64) uint64 {
+	return hashUint64(hashByte(h, 't'), uint64(c))
+}
+
 // HashInto folds v into a running FNV-1a hash. The canonical form mirrors
 // Key and Compare: values that compare equal fold identically — in
 // particular an integral float folds as the equal int — and values of
 // different domain ranks fold a distinguishing rank byte first.
 func (v Value) HashInto(h uint64) uint64 {
-	hashByte := func(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
-	hashUint64 := func(h uint64, x uint64) uint64 {
-		for i := 0; i < 8; i++ {
-			h = hashByte(h, byte(x))
-			x >>= 8
-		}
-		return h
-	}
 	switch v.kind {
 	case KindInt:
-		return hashUint64(hashByte(h, 'i'), uint64(v.i))
+		return HashIntInto(h, v.i)
 	case KindFloat:
-		// Every NaN payload is one value under Compare and Key ("fNaN").
-		if math.IsNaN(v.f) {
-			return hashByte(hashByte(h, 'f'), 'N')
-		}
-		// Integral floats hash as their int, mirroring Key and Compare.
-		if isInt64Exact(v.f) {
-			return hashUint64(hashByte(h, 'i'), uint64(int64(v.f)))
-		}
-		return hashUint64(hashByte(h, 'f'), math.Float64bits(v.f))
+		return HashFloatInto(h, v.f)
 	case KindString:
-		h = hashByte(h, 's')
-		for i := 0; i < len(v.s); i++ {
-			h = hashByte(h, v.s[i])
-		}
-		return h
+		return HashStringInto(h, v.s)
 	case KindBool:
-		if v.i != 0 {
-			return hashByte(hashByte(h, 'b'), 'T')
-		}
-		return hashByte(hashByte(h, 'b'), 'F')
+		return HashBoolInto(h, v.i != 0)
 	case KindTime:
-		return hashUint64(hashByte(h, 't'), uint64(v.i))
+		return HashTimeInto(h, v.i)
 	default:
 		return hashByte(h, '?')
 	}

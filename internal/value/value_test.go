@@ -1,6 +1,7 @@
 package value
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -173,5 +174,56 @@ func TestNumericValue(t *testing.T) {
 	}
 	if !Int(1).Numeric() || !Float(1).Numeric() || String_("x").Numeric() {
 		t.Error("Numeric predicate")
+	}
+}
+
+// TestTypedHashKernelsMatchHashInto pins the bit-level agreement between
+// the exported typed hash kernels (HashIntInto and friends — the columnar
+// pipeline hashes straight off its planes with them) and Value.HashInto.
+// Any divergence silently breaks the differential equality of the columnar
+// and tuple engines, so the corpus leans on the canonicalization edges:
+// NaN, integral floats (which hash as their integer form), -0.0, the int64
+// extremes, and the empty string.
+func TestTypedHashKernelsMatchHashInto(t *testing.T) {
+	seeds := []uint64{HashSeed(), 0, 0xdeadbeefcafe}
+	ints := []int64{0, 1, -1, 42, -(1 << 62), 1 << 62, math.MaxInt64, math.MinInt64}
+	floats := []float64{0, math.Copysign(0, -1), 1, -1, 0.5, -2.75, 3e18, -3e18,
+		math.NaN(), math.Inf(1), math.Inf(-1), 1e300, float64(1 << 53)}
+	strs := []string{"", "a", "département", "x\x00y", "long-" + string(make([]byte, 300))}
+	times := []int64{0, 1, -5, 1 << 40}
+	for _, h := range seeds {
+		for _, v := range ints {
+			if got, want := HashIntInto(h, v), Int(v).HashInto(h); got != want {
+				t.Errorf("HashIntInto(%#x, %d) = %#x, HashInto = %#x", h, v, got, want)
+			}
+		}
+		for _, v := range floats {
+			if got, want := HashFloatInto(h, v), Float(v).HashInto(h); got != want {
+				t.Errorf("HashFloatInto(%#x, %v) = %#x, HashInto = %#x", h, v, got, want)
+			}
+		}
+		for _, v := range strs {
+			if got, want := HashStringInto(h, v), String_(v).HashInto(h); got != want {
+				t.Errorf("HashStringInto(%#x, %q) = %#x, HashInto = %#x", h, v, got, want)
+			}
+		}
+		for _, v := range []bool{true, false} {
+			if got, want := HashBoolInto(h, v), Bool(v).HashInto(h); got != want {
+				t.Errorf("HashBoolInto(%#x, %v) = %#x, HashInto = %#x", h, v, got, want)
+			}
+		}
+		for _, v := range times {
+			if got, want := HashTimeInto(h, v), Time(period.Chronon(v)).HashInto(h); got != want {
+				t.Errorf("HashTimeInto(%#x, %d) = %#x, HashInto = %#x", h, v, got, want)
+			}
+		}
+	}
+	// The cross-kind canonicalization the kernels must preserve: an
+	// integral float hashes identically to its int64 — equal values must
+	// hash equal whichever plane they live on.
+	for _, v := range []int64{0, 7, -9, 1 << 50} {
+		if HashFloatInto(HashSeed(), float64(v)) != HashIntInto(HashSeed(), v) {
+			t.Errorf("integral float %d must hash as its int form", v)
+		}
 	}
 }
