@@ -7,6 +7,7 @@
 package tqp_test
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 
 	"tqp/internal/algebra"
 	"tqp/internal/catalog"
+	"tqp/internal/coord"
 	"tqp/internal/core"
 	"tqp/internal/cost"
 	"tqp/internal/datagen"
@@ -29,6 +31,7 @@ import (
 	"tqp/internal/relation"
 	"tqp/internal/rules"
 	"tqp/internal/server"
+	"tqp/internal/shard"
 	"tqp/internal/stratum"
 	"tqp/internal/testutil"
 	"tqp/internal/tsql"
@@ -802,7 +805,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 				defer srv.Close()
 				cls := make([]*server.Client, clients)
 				for i := range cls {
-					cl, err := server.Dial(srv.Addr())
+					cl, err := server.Dial(context.Background(), srv.Addr())
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -810,7 +813,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 					cls[i] = cl
 				}
 				// Sanity (and the warm leg's cache fill): one query up front.
-				r, _, err := cls[0].Query(paperSQL)
+				r, _, err := cls[0].Query(context.Background(), paperSQL)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -826,7 +829,7 @@ func BenchmarkServerThroughput(b *testing.B) {
 					go func(cl *server.Client) {
 						defer wg.Done()
 						for j := 0; j < b.N; j++ {
-							if _, _, err := cl.Query(paperSQL); err != nil {
+							if _, _, err := cl.Query(context.Background(), paperSQL); err != nil {
 								errc <- err
 								return
 							}
@@ -845,6 +848,95 @@ func BenchmarkServerThroughput(b *testing.B) {
 				b.ReportMetric(float64(rows), "rows")
 			})
 		}
+	}
+}
+
+// BenchmarkSharded measures the scale-out path end to end: an in-process
+// fleet of 1, 2 and 4 shard servers behind the coordinator, firing the
+// paper query at a ~1M-row synthetic employee database. Each iteration is
+// one coordinated query — split, scatter over the wire protocol, per-shard
+// fragment execution, deterministic gather, remainder — with the plan
+// cache warm, so the cells chart how the same statement scales as shards
+// are added. The 1-shard cell is the distribution overhead floor (all the
+// wire and merge cost, none of the parallelism); on a multi-core host the
+// speedup at 4 shards over 1 is the scale-out evidence, while on one core
+// — as with BenchmarkParallel — the records document the distribution
+// overhead instead (fleet and coordinator time-slice a single CPU, so
+// extra shards cannot win wall-clock). Bit-identity against a single node is
+// asserted at the 1-shard cell (the differential suite in internal/coord
+// covers every fleet size); records land in BENCH_engines.json
+// ("sharded"; rows = shard count) and gate in CI like the engine suites.
+func BenchmarkSharded(b *testing.B) {
+	db := datagen.EmployeeDB(datagen.EmployeeSpec{
+		Employees: 143000, SpellsPerEmp: 3, AssignmentsPerEmp: 4, Seed: 42,
+	})
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			m, err := shard.NewMapMode(db, n, shard.Auto)
+			if err != nil {
+				b.Fatal(err)
+			}
+			addrs := make([]string, n)
+			for i := 0; i < n; i++ {
+				sub, pos, err := m.Partition(i)
+				if err != nil {
+					b.Fatal(err)
+				}
+				srv, err := server.Start(server.Config{
+					Addr: "127.0.0.1:0", Catalog: sub, ShardPositions: pos, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer srv.Close()
+				addrs[i] = srv.Addr()
+			}
+			c, err := coord.New(context.Background(), coord.Config{
+				Catalog: db, Addrs: addrs, Spec: exec.Spec(), Seed: 1,
+				QueryTimeout: 10 * time.Minute,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			// Warm the plan cache; at 1 shard also pin bit-identity
+			// against a single node planned with the same cost model.
+			got, _, err := c.Query(context.Background(), paperSQL)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n == 1 {
+				oracle := core.New(db, core.WithEngine(exec.Spec()), core.WithDBMSSeed(1),
+					core.WithCostParams(core.ShardedCostParams(exec.Spec(), n)))
+				prep, err := oracle.Prepare(paperSQL)
+				if err != nil {
+					b.Fatal(err)
+				}
+				want, _, err := oracle.ExecutePlan(prep.Plan, exec.Spec())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !want.EqualAsList(got) {
+					b.Fatal("sharded result diverges from single node")
+				}
+			}
+			rows := got.Len()
+
+			b.ResetTimer()
+			m0 := snapMem()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				out, _, err := c.Query(context.Background(), paperSQL)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = out.Len()
+			}
+			elapsed := time.Since(start)
+			bPerOp, allocsPerOp := m0.since(b.N)
+			recordEngineBench("sharded", n, "coord", elapsed, b.N, rows, bPerOp, allocsPerOp)
+			b.ReportMetric(float64(rows), "rows")
+		})
 	}
 }
 

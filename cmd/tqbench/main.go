@@ -28,6 +28,7 @@ import (
 	"os"
 
 	"tqp/internal/core"
+	"tqp/internal/exec"
 	"tqp/internal/experiments"
 )
 
@@ -44,7 +45,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tqbench: -mem: %v\n", err)
 		os.Exit(2)
 	}
-	spec, err := core.EngineSpecWith(*engine, *parallel, budget)
+	spec, err := core.EngineFor(*engine, exec.Config{Parallelism: *parallel, MemoryBudget: budget})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tqbench: %v\n", err)
 		os.Exit(2)

@@ -56,7 +56,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tqplan: -mem: %v\n", err)
 		os.Exit(2)
 	}
-	spec, err := tqp.ResolveEngineWith(*engine, *parallel, budget)
+	spec, err := tqp.ResolveEngineFor(*engine, tqp.EngineConfig{Parallelism: *parallel, MemoryBudget: budget})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tqplan: %v\n", err)
 		os.Exit(2)

@@ -11,6 +11,12 @@
 // Flags mirror the other commands where they overlap (-db, -engine, -mem)
 // and add the serving knobs: -max-concurrent, -queue, -queue-timeout,
 // -workers, -cache, -spill-dir, -drain-timeout.
+//
+// With -shard i/n the server loads only slice i of an n-way partitioning
+// of the database (derived deterministically from the full catalog; see
+// internal/shard) and answers the coordinator's partial-plan requests over
+// it. Start n such servers with the same -db/-seed/-shard-mode flags and
+// point tqcoord at them.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"tqp"
 	"tqp/internal/core"
 	"tqp/internal/server"
+	"tqp/internal/shard"
 )
 
 func main() {
@@ -41,11 +48,13 @@ func main() {
 		spillDir     = flag.String("spill-dir", "", "directory for the budgeted engine's spill files (empty = system temp)")
 		seed         = flag.Int64("seed", 1, "simulated DBMS order-nondeterminism seed")
 		drain        = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain deadline")
+		shardSpec    = flag.String("shard", "", "serve slice i of an n-way partitioning, as 'i/n' with 0 <= i < n (empty = whole database)")
+		shardMode    = flag.String("shard-mode", "auto", "partitioning strategy with -shard: 'auto', 'hash' or 'range'")
 	)
 	flag.Parse()
 
 	cfg, err := buildConfig(*addr, *db, *employees, *engine, *maxConc, *queue, *queueTimeout,
-		*workers, *mem, *cacheSize, *spillDir, *seed, *drain)
+		*workers, *mem, *cacheSize, *spillDir, *seed, *drain, *shardSpec, *shardMode)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tqserver: %v\n", err)
 		os.Exit(2)
@@ -75,7 +84,7 @@ func main() {
 // main for testability.
 func buildConfig(addr, db string, employees int, engine string, maxConc, queue int,
 	queueTimeout time.Duration, workers int, mem string, cacheSize int,
-	spillDir string, seed int64, drain time.Duration) (server.Config, error) {
+	spillDir string, seed int64, drain time.Duration, shardSpec, shardMode string) (server.Config, error) {
 	budget, err := core.ParseBytes(mem)
 	if err != nil {
 		return server.Config{}, err
@@ -91,18 +100,47 @@ func buildConfig(addr, db string, employees int, engine string, maxConc, queue i
 	default:
 		return server.Config{}, fmt.Errorf("unknown database %q (want 'paper' or 'synth')", db)
 	}
+	var positions map[string][]int
+	if shardSpec != "" {
+		cat, positions, err = shardSlice(cat, shardSpec, shardMode)
+		if err != nil {
+			return server.Config{}, err
+		}
+	}
 	return server.Config{
-		Addr:          addr,
-		Catalog:       cat,
-		Engine:        engine,
-		MaxConcurrent: maxConc,
-		MaxQueue:      queue,
-		QueueTimeout:  queueTimeout,
-		Workers:       workers,
-		MemoryBudget:  budget,
-		SpillDir:      spillDir,
-		CacheSize:     cacheSize,
-		Seed:          seed,
-		DrainTimeout:  drain,
+		Addr:           addr,
+		Catalog:        cat,
+		Engine:         engine,
+		MaxConcurrent:  maxConc,
+		MaxQueue:       queue,
+		QueueTimeout:   queueTimeout,
+		Workers:        workers,
+		MemoryBudget:   budget,
+		SpillDir:       spillDir,
+		CacheSize:      cacheSize,
+		Seed:           seed,
+		DrainTimeout:   drain,
+		ShardPositions: positions,
 	}, nil
+}
+
+// shardSlice replaces the catalog with slice i of its n-way partitioning,
+// parsed from an 'i/n' flag value.
+func shardSlice(cat *tqp.Catalog, spec, modeName string) (*tqp.Catalog, map[string][]int, error) {
+	var i, n int
+	if _, err := fmt.Sscanf(spec, "%d/%d", &i, &n); err != nil {
+		return nil, nil, fmt.Errorf("bad -shard %q (want 'i/n', e.g. 0/4)", spec)
+	}
+	if n < 1 || i < 0 || i >= n {
+		return nil, nil, fmt.Errorf("bad -shard %q (want 0 <= i < n)", spec)
+	}
+	mode, err := shard.ParseMode(modeName)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := shard.NewMapMode(cat, n, mode)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m.Partition(i)
 }

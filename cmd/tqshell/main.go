@@ -18,6 +18,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -40,7 +41,7 @@ func main() {
 	flag.Parse()
 
 	if *connect != "" {
-		cl, err := server.Dial(*connect)
+		cl, err := server.Dial(context.Background(), *connect)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tqshell: %v\n", err)
 			os.Exit(2)
@@ -166,7 +167,7 @@ func (b *localBackend) rebuild() error {
 		b.opt = tqp.NewOptimizer(b.cat)
 		return nil
 	}
-	spec, err := tqp.ResolveEngineWith(b.engine, b.parallel, b.mem)
+	spec, err := tqp.ResolveEngineFor(b.engine, tqp.EngineConfig{Parallelism: b.parallel, MemoryBudget: b.mem})
 	if err != nil {
 		return err
 	}
@@ -273,7 +274,7 @@ func (b *remoteBackend) banner() string {
 }
 
 func (b *remoteBackend) set(name, value string) error {
-	if err := b.cl.Set(name, value); err != nil {
+	if err := b.cl.Set(context.Background(), name, value); err != nil {
 		return err
 	}
 	b.track(name, value)
@@ -306,7 +307,7 @@ func (b *remoteBackend) plan(_ string, out io.Writer) {
 }
 
 func (b *remoteBackend) run(sql string, out io.Writer) {
-	result, meta, err := b.cl.Query(sql)
+	result, meta, err := b.cl.Query(context.Background(), sql)
 	if err != nil {
 		fmt.Fprintln(out, "error:", err)
 		return

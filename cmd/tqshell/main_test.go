@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -145,7 +146,7 @@ func TestSessionClientMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	cl, err := server.Dial(srv.Addr())
+	cl, err := server.Dial(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}

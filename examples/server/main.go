@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func main() {
 	defer srv.Close()
 	fmt.Println("serving on", srv.Addr())
 
-	cl, err := server.Dial(srv.Addr())
+	cl, err := server.Dial(context.Background(), srv.Addr())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func main() {
 	const sql = `VALIDTIME SELECT DISTINCT COALESCED EmpName FROM EMPLOYEE
 	             EXCEPT SELECT EmpName FROM PROJECT ORDER BY EmpName ASC`
 	for i := 0; i < 2; i++ {
-		result, meta, err := cl.Query(sql)
+		result, meta, err := cl.Query(context.Background(), sql)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -55,17 +56,17 @@ func main() {
 	}
 
 	// Sessions carry engine settings; SET statements change them in-band.
-	if _, _, err := cl.Query("SET engine parallel"); err != nil {
+	if _, _, err := cl.Query(context.Background(), "SET engine parallel"); err != nil {
 		log.Fatal(err)
 	}
-	result, meta, err := cl.Query(sql)
+	result, meta, err := cl.Query(context.Background(), sql)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("parallel session: %d tuples on engine %s (cache hit: %v — each engine spec keys its own plan)\n",
 		result.Len(), meta.Engine, meta.CacheHit)
 
-	stats, err := cl.Stats()
+	stats, err := cl.Stats(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -67,6 +67,23 @@ func (c *Catalog) Add(name string, r *relation.Relation, info algebra.BaseInfo) 
 	return nil
 }
 
+// AddTrusted registers a relation whose Info the caller vouches for,
+// skipping Add's instance verification, the defensive clone, and the O(n)
+// statistics pass. It exists for execution-only catalogs built from data
+// that already passed Add once — shard slices of a verified relation, or a
+// coordinator's gathered intermediate results — where re-verification per
+// shard would turn setup into an O(shards·n) scan. The relation must not
+// be mutated after registration. Stats are the trivial estimate; these
+// catalogs execute plans, they don't cost them.
+func (c *Catalog) AddTrusted(name string, r *relation.Relation, info algebra.BaseInfo) error {
+	if _, dup := c.entries[name]; dup {
+		return fmt.Errorf("catalog: relation %q already exists", name)
+	}
+	r.SetOrder(info.Order)
+	c.entries[name] = &Entry{Name: name, Rel: r, Info: info, Stats: Stats{Card: r.Len(), DistinctFrac: 1}}
+	return nil
+}
+
 // MustAdd is Add panicking on error, for catalog literals.
 func (c *Catalog) MustAdd(name string, r *relation.Relation, info algebra.BaseInfo) {
 	if err := c.Add(name, r, info); err != nil {

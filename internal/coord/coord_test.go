@@ -1,0 +1,248 @@
+package coord_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"tqp/internal/catalog"
+	"tqp/internal/coord"
+	"tqp/internal/core"
+	"tqp/internal/datagen"
+	"tqp/internal/exec"
+	"tqp/internal/relation"
+	"tqp/internal/server"
+	"tqp/internal/shard"
+)
+
+const paperSQL = `VALIDTIME SELECT DISTINCT COALESCED EmpName FROM EMPLOYEE
+	EXCEPT SELECT EmpName FROM PROJECT ORDER BY EmpName ASC`
+
+// queries covers every fragment shape: bare scans, filtered chains, pushed
+// sorts, grouped push-downs, joins and set operations in the remainder.
+var queries = []string{
+	"SELECT EmpName, Dept FROM EMPLOYEE",
+	"VALIDTIME SELECT EmpName FROM EMPLOYEE WHERE Dept = 'Ship'",
+	paperSQL,
+	"VALIDTIME SELECT Dept, COUNT(*) AS headcount FROM EMPLOYEE GROUP BY Dept",
+	"VALIDTIME SELECT DISTINCT 1.EmpName FROM EMPLOYEE, PROJECT WHERE 1.EmpName = 2.EmpName",
+	"VALIDTIME SELECT DISTINCT COALESCED EmpName FROM EMPLOYEE ORDER BY EmpName ASC",
+}
+
+// startShards boots n in-process shard servers over cat's n-way
+// partitioning and returns their addresses. Cleanup closes them.
+func startShards(t *testing.T, cat *catalog.Catalog, n int, mode shard.Mode) []string {
+	t.Helper()
+	m, err := shard.NewMapMode(cat, n, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		sub, pos, err := m.Partition(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.Start(server.Config{
+			Addr: "127.0.0.1:0", Catalog: sub, ShardPositions: pos, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = srv.Addr()
+	}
+	return addrs
+}
+
+// TestCoordinatorDifferential is the reference-vs-sharded leg over the real
+// wire protocol: for both databases, both forced partitioning strategies
+// and 1/2/4 shards, every query's coordinated result must be bit-identical
+// to a single node's. The fragment counters guard against a vacuously
+// green run.
+func TestCoordinatorDifferential(t *testing.T) {
+	paper := catalog.Paper()
+	synth := datagen.EmployeeDB(datagen.EmployeeSpec{
+		Employees: 30, SpellsPerEmp: 3, AssignmentsPerEmp: 4, Seed: 42,
+	})
+	for _, db := range []struct {
+		name string
+		cat  *catalog.Catalog
+	}{{"paper", paper}, {"synth", synth}} {
+		for _, mode := range []shard.Mode{shard.ForceHash, shard.ForceRange} {
+			for _, n := range []int{1, 2, 4} {
+				t.Run(fmt.Sprintf("%s/%v/%d", db.name, mode, n), func(t *testing.T) {
+					// The oracle plans exactly the way the coordinator does
+					// — Prepare with the scale-out cost model — so both
+					// execute the same physical plan; the bit-identity
+					// contract is per plan.
+					oracle := core.New(db.cat, core.WithEngine(exec.Spec()), core.WithDBMSSeed(1),
+						core.WithCostParams(core.ShardedCostParams(exec.Spec(), n)))
+					single := func(sql string) *relation.Relation {
+						prep, err := oracle.Prepare(sql)
+						if err != nil {
+							t.Fatalf("%s: prepare: %v", sql, err)
+						}
+						want, _, err := oracle.ExecutePlan(prep.Plan, exec.Spec())
+						if err != nil {
+							t.Fatalf("%s: single-node: %v", sql, err)
+						}
+						return want
+					}
+					addrs := startShards(t, db.cat, n, mode)
+					c, err := coord.New(context.Background(), coord.Config{
+						Catalog: db.cat, Addrs: addrs, Mode: mode, Spec: exec.Spec(), Seed: 1,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer c.Close()
+					for _, sql := range queries {
+						want := single(sql)
+						got, meta, err := c.Query(context.Background(), sql)
+						if err != nil {
+							t.Fatalf("%s: coordinated: %v", sql, err)
+						}
+						if !want.EqualAsList(got) {
+							t.Fatalf("%s: sharded result diverges\nwant:\n%s\ngot:\n%s", sql, want, got)
+						}
+						if meta.Shards != n || meta.Fragments == 0 {
+							t.Fatalf("%s: meta %+v", sql, meta)
+						}
+					}
+					// Cached replay: bit-identical again, with a cache hit.
+					got, meta, err := c.Query(context.Background(), paperSQL)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if want := single(paperSQL); !want.EqualAsList(got) {
+						t.Fatal("cached replay diverges")
+					}
+					if !meta.CacheHit {
+						t.Fatal("replay must hit the plan cache")
+					}
+					st := c.Stats()
+					if st.Fragments["chain"] == 0 || st.Fragments["sorted"]+st.Fragments["grouped"] == 0 {
+						t.Fatalf("vacuous differential: fragment kinds %v", st.Fragments)
+					}
+					// A single range shard has no interior cuts, so every
+					// group is trivially colocated and the grouped push
+					// must fire; more shards may legitimately split groups.
+					if mode == shard.ForceRange && n == 1 && st.Fragments["grouped"] == 0 {
+						t.Fatalf("range partitioning colocates whole value groups; expected a grouped push, got %v", st.Fragments)
+					}
+					if st.ShardCalls == 0 || st.Queries != len(queries)+1 || st.CacheHits != 1 {
+						t.Fatalf("stats %+v", st)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCoordinatorAutoMode smoke-checks the default derivation end to end.
+func TestCoordinatorAutoMode(t *testing.T) {
+	cat := catalog.Paper()
+	addrs := startShards(t, cat, 2, shard.Auto)
+	c, err := coord.New(context.Background(), coord.Config{Catalog: cat, Addrs: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	oracle := core.New(cat, core.WithEngine(exec.Spec()), core.WithDBMSSeed(1))
+	want, _, _, err := oracle.Run(paperSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.Query(context.Background(), paperSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.EqualAsList(got) {
+		t.Fatal("auto-mode sharded result diverges")
+	}
+	if _, _, err := c.Query(context.Background(), "SET engine exec"); err == nil {
+		t.Fatal("SET must be rejected by the coordinator")
+	}
+}
+
+// TestCoordinatorShardFailure pins the partial-failure contract: a dead
+// shard fails the whole query with a *ShardError naming the shard, the
+// other shards stay usable, and tearing the coordinator down leaks no
+// goroutines.
+func TestCoordinatorShardFailure(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cat := catalog.Paper()
+	m, err := shard.NewMapMode(cat, 2, shard.ForceHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvs := make([]*server.Server, 2)
+	addrs := make([]string, 2)
+	for i := 0; i < 2; i++ {
+		sub, pos, err := m.Partition(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvs[i], err = server.Start(server.Config{
+			Addr: "127.0.0.1:0", Catalog: sub, ShardPositions: pos, Seed: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = srvs[i].Addr()
+	}
+	c, err := coord.New(context.Background(), coord.Config{
+		Catalog: cat, Addrs: addrs, Mode: shard.ForceHash,
+		DialTimeout: 2 * time.Second, QueryTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Query(context.Background(), paperSQL); err != nil {
+		t.Fatalf("both shards up: %v", err)
+	}
+
+	srvs[1].Close() // kill shard 1; the redial retry must fail too
+	_, _, err = c.Query(context.Background(), paperSQL)
+	var se *coord.ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *coord.ShardError, got %v", err)
+	}
+	if se.Index != 1 || se.Addr != addrs[1] {
+		t.Fatalf("error names shard %d (%s), want 1 (%s)", se.Index, se.Addr, addrs[1])
+	}
+
+	c.Close()
+	srvs[0].Close()
+	// Every server and coordinator goroutine must wind down.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("goroutine leak: %d before, %d after shutdown", before, n)
+	}
+}
+
+// TestCoordinatorDialFailure pins New's contract: an unreachable shard
+// fails construction with a *ShardError and closes the connections already
+// made.
+func TestCoordinatorDialFailure(t *testing.T) {
+	cat := catalog.Paper()
+	addrs := startShards(t, cat, 1, shard.Auto)
+	_, err := coord.New(context.Background(), coord.Config{
+		Catalog: cat, Addrs: []string{addrs[0], "127.0.0.1:1"},
+		DialTimeout: time.Second,
+	})
+	var se *coord.ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *coord.ShardError, got %v", err)
+	}
+	if se.Index != 1 {
+		t.Fatalf("error names shard %d, want 1", se.Index)
+	}
+}

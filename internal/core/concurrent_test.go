@@ -37,7 +37,7 @@ var auditStatements = []string{
 // requires every result to be bit-identical to the sequential outcome.
 func TestOptimizerConcurrentUse(t *testing.T) {
 	cat := catalog.Paper()
-	spec := exec.SpecWith(exec.Options{Parallelism: 2})
+	spec := exec.NewSpec(exec.Config{Parallelism: 2})
 	opt := core.New(cat, core.WithEngine(spec), core.WithDBMSSeed(1))
 
 	// Sequential oracle first.
@@ -103,13 +103,13 @@ func TestSharedPreparedConcurrentExecution(t *testing.T) {
 	}
 	specs := []struct {
 		name string
-		opts exec.Options
+		opts exec.Config
 	}{
-		{"seq", exec.Options{}},
-		{"par2", exec.Options{Parallelism: 2}},
-		{"mem64K", exec.Options{MemoryBudget: 64 << 10}},
+		{"seq", exec.Config{}},
+		{"par2", exec.Config{Parallelism: 2}},
+		{"mem64K", exec.Config{MemoryBudget: 64 << 10}},
 	}
-	want, _, err := opt.ExecutePlan(prep.Plan, exec.SpecWith(specs[0].opts))
+	want, _, err := opt.ExecutePlan(prep.Plan, exec.NewSpec(specs[0].opts))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,9 +120,9 @@ func TestSharedPreparedConcurrentExecution(t *testing.T) {
 	for _, sc := range specs {
 		for k := 0; k < perSpec; k++ {
 			wg.Add(1)
-			go func(name string, o exec.Options) {
+			go func(name string, o exec.Config) {
 				defer wg.Done()
-				got, _, err := opt.ExecutePlan(prep.Plan, exec.SpecWith(o))
+				got, _, err := opt.ExecutePlan(prep.Plan, exec.NewSpec(o))
 				if err != nil {
 					errc <- fmt.Errorf("%s: %w", name, err)
 					return

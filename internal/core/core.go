@@ -46,46 +46,52 @@ type Option func(*Optimizer)
 // package exec, "parallel" its morsel-parallel variant at GOMAXPROCS
 // workers. All produce identical result lists; they differ in speed and
 // therefore in the cost shapes the optimizer assumes.
-func EngineSpec(name string) (eval.EngineSpec, error) { return EngineSpecWith(name, 0, 0) }
+func EngineSpec(name string) (eval.EngineSpec, error) { return EngineFor(name, exec.Config{}) }
 
-// EngineSpecWith resolves an engine name with an explicit worker count and
-// memory budget (the CLIs' -parallel and -mem flags): parallelism > 1
-// selects the morsel-parallel exec engine at that width under "exec" or
-// "parallel", and memBudget > 0 bounds the exec engine's blocking-operator
-// working sets with grace-hash spilling to temp files. The reference
-// evaluator is single-threaded and unbudgeted; it rejects both requests.
-func EngineSpecWith(name string, parallelism int, memBudget int64) (eval.EngineSpec, error) {
-	if memBudget < 0 {
-		return eval.EngineSpec{}, fmt.Errorf("core: negative memory budget %d", memBudget)
+// EngineFor resolves an engine name against an exec.Config (the CLIs' and
+// sessions' -parallel/-mem/-spill knobs in one struct): "exec" and
+// "parallel" honor every Config field — parallelism > 1 selects the
+// morsel-parallel engine at that width, MemoryBudget > 0 bounds the
+// blocking operators with grace-hash spilling, and "parallel" defaults a
+// missing width to GOMAXPROCS. The reference evaluator is single-threaded
+// and unbudgeted; it rejects both requests.
+func EngineFor(name string, cfg exec.Config) (eval.EngineSpec, error) {
+	if cfg.MemoryBudget < 0 {
+		return eval.EngineSpec{}, fmt.Errorf("core: negative memory budget %d", cfg.MemoryBudget)
 	}
 	switch name {
 	case "", "reference":
-		if parallelism > 1 {
-			return eval.EngineSpec{}, fmt.Errorf("core: the reference evaluator is single-threaded; use -engine exec with -parallel %d", parallelism)
+		if cfg.Parallelism > 1 {
+			return eval.EngineSpec{}, fmt.Errorf("core: the reference evaluator is single-threaded; use -engine exec with -parallel %d", cfg.Parallelism)
 		}
-		if memBudget > 0 {
+		if cfg.MemoryBudget > 0 {
 			return eval.EngineSpec{}, fmt.Errorf("core: the reference evaluator does not spill; use -engine exec with -mem")
 		}
 		return eval.Reference(), nil
 	case "exec":
-		if memBudget > 0 {
-			return exec.BudgetedSpec(parallelism, memBudget), nil
-		}
-		if parallelism > 1 {
-			return exec.ParallelSpec(parallelism), nil
-		}
-		return exec.Spec(), nil
+		return exec.NewSpec(cfg), nil
 	case "parallel":
-		if parallelism < 1 {
-			parallelism = runtime.GOMAXPROCS(0)
+		if cfg.Parallelism < 1 {
+			cfg.Parallelism = runtime.GOMAXPROCS(0)
 		}
-		if memBudget > 0 {
-			return exec.BudgetedSpec(parallelism, memBudget), nil
+		if cfg.Parallelism == 1 && cfg.MemoryBudget <= 0 {
+			// Keep the historical "exec-par1" name for the degenerate
+			// width so single-core experiment traces stay distinguishable
+			// from plain "exec" runs.
+			return exec.ParallelSpec(1), nil
 		}
-		return exec.ParallelSpec(parallelism), nil
+		return exec.NewSpec(cfg), nil
 	default:
 		return eval.EngineSpec{}, fmt.Errorf("core: unknown engine %q (want \"reference\", \"exec\" or \"parallel\")", name)
 	}
+}
+
+// EngineSpecWith resolves an engine name with positional worker-count and
+// memory-budget arguments.
+//
+// Deprecated: use EngineFor, which takes the knobs as an exec.Config.
+func EngineSpecWith(name string, parallelism int, memBudget int64) (eval.EngineSpec, error) {
+	return EngineFor(name, exec.Config{Parallelism: parallelism, MemoryBudget: memBudget})
 }
 
 // ParseBytes parses a human-friendly byte count for the CLIs' -mem flags:
@@ -157,6 +163,20 @@ func WithRules(rs []rules.Rule) Option {
 // WithMaxPlans caps enumeration.
 func WithMaxPlans(n int) Option {
 	return func(o *Optimizer) { o.config.MaxPlans = n }
+}
+
+// ShardedCostParams is the calibration for a coordinator planning over N
+// shards: the engine spec's shapes (streaming, order-aware, parallel,
+// budgeted, vectorized) plus the scale-out pricing — DBMS-site work
+// divides across the shards, shipped tuples pay the wire-and-merge hop.
+func ShardedCostParams(spec eval.EngineSpec, shards int) cost.Params {
+	p := cost.ParamsFor(spec.Streaming)
+	p.OrderBlind = !spec.OrderAware
+	p.Parallelism = spec.Parallelism
+	p.MemoryBudget = spec.MemoryBudget
+	p.Vectorized = spec.Vectorized
+	p.Shards = shards
+	return p
 }
 
 // WithCostParams overrides the cost model calibration.

@@ -5,6 +5,7 @@ import (
 
 	"tqp/internal/catalog"
 	"tqp/internal/core"
+	"tqp/internal/exec"
 	"tqp/internal/relation"
 )
 
@@ -31,7 +32,7 @@ func TestRunOnBothEngines(t *testing.T) {
 		{"exec", 0, 64 << 10, "exec-mem64K"},
 		{"exec", 2, 16 << 20, "exec-par2-mem16M"},
 	} {
-		spec, err := core.EngineSpecWith(tc.name, tc.parallel, tc.mem)
+		spec, err := core.EngineFor(tc.name, exec.Config{Parallelism: tc.parallel, MemoryBudget: tc.mem})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -61,22 +62,27 @@ func TestEngineSpecRejectsUnknown(t *testing.T) {
 	if err != nil || spec.Name != "reference" {
 		t.Fatalf("empty name must default to the reference engine, got %q, %v", spec.Name, err)
 	}
-	if _, err := core.EngineSpecWith("reference", 8, 0); err == nil {
+	if _, err := core.EngineFor("reference", exec.Config{Parallelism: 8}); err == nil {
 		t.Fatal("the single-threaded reference evaluator must reject a parallelism request")
 	}
-	if _, err := core.EngineSpecWith("reference", 0, 1<<20); err == nil {
+	if _, err := core.EngineFor("reference", exec.Config{MemoryBudget: 1 << 20}); err == nil {
 		t.Fatal("the reference evaluator must reject a memory budget")
 	}
-	if _, err := core.EngineSpecWith("exec", 0, -1); err == nil {
+	if _, err := core.EngineFor("exec", exec.Config{MemoryBudget: -1}); err == nil {
 		t.Fatal("a negative memory budget must be rejected")
 	}
-	spec, err = core.EngineSpecWith("parallel", 0, 0)
+	spec, err = core.EngineFor("parallel", exec.Config{})
 	if err != nil || spec.Parallelism < 1 {
 		t.Fatalf("'parallel' must default to a positive worker count, got %d, %v", spec.Parallelism, err)
 	}
-	spec, err = core.EngineSpecWith("exec", 0, 64<<10)
+	spec, err = core.EngineFor("exec", exec.Config{MemoryBudget: 64 << 10})
 	if err != nil || spec.MemoryBudget != 64<<10 {
 		t.Fatalf("budgeted spec must carry its budget, got %d, %v", spec.MemoryBudget, err)
+	}
+	// The deprecated positional wrapper must resolve identically.
+	old, err := core.EngineSpecWith("exec", 2, 16<<20)
+	if err != nil || old.Name != "exec-par2-mem16M" {
+		t.Fatalf("EngineSpecWith wrapper: got %q, %v", old.Name, err)
 	}
 }
 

@@ -112,6 +112,16 @@ type Params struct {
 	// decodes block-at-a-time into batches on the way back, skipping the
 	// per-tuple materialization of the boxed path.
 	VecSpillFactor float64
+	// Shards prices coordinated scale-out execution: with N > 1 shards the
+	// DBMS-site work of a plan — the pushed-down scan/filter/sort chains —
+	// runs on all shards concurrently, so each DBMS operation's own cost
+	// divides by N, while every tuple crossing a transfer additionally
+	// pays ShipTuple for the wire hop and the coordinator's deterministic
+	// merge step. 0 or 1 prices single-node execution.
+	Shards int
+	// ShipTuple is the per-tuple cost of shipping one shard-result row to
+	// the coordinator and routing it through the k-way gather merge.
+	ShipTuple float64
 }
 
 // DefaultParams returns the calibration used by the experiments, matching
@@ -135,6 +145,7 @@ func DefaultParams() Params {
 		TupleBytes:          192,
 		VecExchangeFactor:   0.4,
 		VecSpillFactor:      0.6,
+		ShipTuple:           0.5,
 	}
 }
 
@@ -427,6 +438,17 @@ func (m *Model) node(n algebra.Node, st props.States, es Estimates) (Estimate, e
 func (m *Model) estimate(n algebra.Node, site props.Site, ce []Estimate, orders []relation.OrderSpec) Estimate {
 	est := m.estimateOne(n, site, ce, orders)
 	p := m.params
+	// Scale-out: DBMS-site operations run sharded (each shard works its
+	// slice concurrently), transfers additionally pay the wire hop and the
+	// coordinator's gather merge per shipped tuple.
+	if p.Shards > 1 {
+		switch {
+		case n.Op() == algebra.OpTransferS || n.Op() == algebra.OpTransferD:
+			est.Cost += ce[0].Rows * p.ShipTuple
+		case site == props.DBMS:
+			est.Cost /= float64(p.Shards)
+		}
+	}
 	// The sequential unbudgeted configuration — the common case, paid per
 	// candidate plan by the beam search — takes neither shape; skip the
 	// decision work outright.

@@ -1,0 +1,110 @@
+package exec
+
+import (
+	"fmt"
+
+	"tqp/internal/eval"
+)
+
+// Config is the one engine-configuration surface: every knob of the exec
+// engine in a single struct, consumed by NewSpec. It replaces the
+// constructor sprawl of Spec/HashOnlySpec/ParallelSpec/BudgetedSpec/SpecWith
+// — those remain as thin deprecated wrappers for one release. The zero
+// value is the fully-enabled sequential engine ("exec").
+type Config struct {
+	// Parallelism is the number of workers a partitionable operator may fan
+	// out to (see parallel.go): join/product, rdup, \, ∪, the temporal
+	// value-group family and aggregation hash- or range-partition their
+	// inputs, sort parallelizes run generation, and a deterministic gather
+	// keeps every result list bit-identical to the sequential engine's.
+	// 0 or 1 compiles the sequential pipeline.
+	Parallelism int
+	// MemoryBudget bounds the working-set bytes of the blocking operators
+	// (hash tables, materialized build sides, sort runs; see grace.go). An
+	// operator whose state would exceed its share grace-hash partitions its
+	// inputs to temp files and processes one partition at a time, recursing
+	// while a partition still exceeds the share; the spilled partitions
+	// replay in original list order via sequence keys, so results stay
+	// bit-identical to the unbudgeted engine. 0 means unlimited (no
+	// spilling). With Parallelism > 1 the budget divides into per-worker
+	// shares: W partition tasks run concurrently, each bounded by budget/W.
+	MemoryBudget int64
+	// SpillDir is the directory spill files are created under (a fresh
+	// subdirectory per Eval, removed when the run ends — success or error).
+	// Empty means the system temp directory.
+	SpillDir string
+	// NoMerge disables the merge/sort-based variants (merge join, merge
+	// diff/union, adjacent-compare dedup, streaming group-at-a-time
+	// temporal operators); every operator uses its hash variant.
+	NoMerge bool
+	// NoSortElision forces every sort node to physically sort, even when
+	// its input already delivers the requested order.
+	NoSortElision bool
+	// NoColumnar disables the vectorized columnar variants (see vec.go):
+	// every operator that would compile batch-at-a-time falls back to its
+	// tuple-at-a-time implementation. The flag exists for differential
+	// testing and for measuring vectorization in isolation; columnar
+	// execution is also implicitly off under NoMerge/NoSortElision (the
+	// hash-only differential baseline).
+	NoColumnar bool
+}
+
+// SpecOption adjusts a Config functionally — the composable form of the
+// same knobs, for call sites that build a spec from a base configuration.
+type SpecOption func(*Config)
+
+// WithParallelism sets the worker fan-out width.
+func WithParallelism(n int) SpecOption { return func(c *Config) { c.Parallelism = n } }
+
+// WithMemoryBudget bounds the blocking operators' working sets to b bytes.
+func WithMemoryBudget(b int64) SpecOption { return func(c *Config) { c.MemoryBudget = b } }
+
+// WithSpillDir roots the budgeted engine's spill files at dir.
+func WithSpillDir(dir string) SpecOption { return func(c *Config) { c.SpillDir = dir } }
+
+// WithHashOnly restricts the engine to PR 1's hash variants (no merge
+// operators, no sort elision) — the differential baseline.
+func WithHashOnly() SpecOption {
+	return func(c *Config) { c.NoMerge, c.NoSortElision = true, true }
+}
+
+// WithoutColumnar disables the vectorized columnar variants.
+func WithoutColumnar() SpecOption { return func(c *Config) { c.NoColumnar = true } }
+
+// NewSpec derives an immutable engine spec from a Config (optionally
+// adjusted by functional options), named consistently across the whole
+// surface: "exec", "exec-hash", "exec-novec", "exec-par4", "exec-par4-mem16M",
+// …. It is the general constructor: a session's engine settings plus the
+// admission controller's resource shares (and the server's spill directory)
+// become one spec, instantiated per query via eval.EngineSpec.Instantiate.
+// The restriction flags (NoMerge, NoSortElision) are reflected in OrderAware
+// so the cost model never prices variants the engine won't compile.
+func NewSpec(cfg Config, opts ...SpecOption) eval.EngineSpec {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.Parallelism < 1 {
+		cfg.Parallelism = 1
+	}
+	name := "exec"
+	if cfg.NoMerge || cfg.NoSortElision {
+		name = "exec-hash"
+	} else if cfg.NoColumnar {
+		name += "-novec"
+	}
+	if cfg.Parallelism > 1 {
+		name += fmt.Sprintf("-par%d", cfg.Parallelism)
+	}
+	if cfg.MemoryBudget > 0 {
+		name += "-mem" + memString(cfg.MemoryBudget)
+	}
+	return eval.EngineSpec{
+		Name:         name,
+		New:          func(src eval.Source) eval.Engine { return NewWith(src, Options(cfg)) },
+		Streaming:    true,
+		OrderAware:   !cfg.NoMerge && !cfg.NoSortElision,
+		Parallelism:  cfg.Parallelism,
+		MemoryBudget: cfg.MemoryBudget,
+		Vectorized:   !cfg.NoColumnar && !cfg.NoMerge && !cfg.NoSortElision,
+	}
+}

@@ -10,50 +10,11 @@ import (
 	"tqp/internal/spill"
 )
 
-// Options select which order-exploiting physical variants the engine may
-// use. The zero value enables everything; the restrictions exist for
-// differential testing (hash-only mode is PR 1's engine) and for measuring
-// the merge family's effect in isolation.
-type Options struct {
-	// NoMerge disables the merge/sort-based variants (merge join, merge
-	// diff/union, adjacent-compare dedup, streaming group-at-a-time
-	// temporal operators); every operator uses its hash variant.
-	NoMerge bool
-	// NoSortElision forces every sort node to physically sort, even when
-	// its input already delivers the requested order.
-	NoSortElision bool
-	// Parallelism is the number of workers a partitionable operator may fan
-	// out to (see parallel.go): join/product, rdup, \, ∪, the temporal
-	// value-group family and aggregation hash- or range-partition their
-	// inputs, sort parallelizes run generation, and a deterministic gather
-	// keeps every result list bit-identical to the sequential engine's.
-	// 0 or 1 compiles the sequential pipeline.
-	Parallelism int
-	// MemoryBudget bounds the working-set bytes of the blocking operators
-	// (hash tables, materialized build sides, sort runs; see grace.go). An
-	// operator whose state would exceed its share grace-hash partitions its
-	// inputs to temp files and processes one partition at a time, recursing
-	// while a partition still exceeds the share; the spilled partitions
-	// replay in original list order via sequence keys, so results stay
-	// bit-identical to the unbudgeted engine. 0 means unlimited (no
-	// spilling). With Parallelism > 1 the budget divides into per-worker
-	// shares: W partition tasks run concurrently, each bounded by budget/W.
-	MemoryBudget int64
-	// SpillDir is the directory spill files are created under (a fresh
-	// subdirectory per Eval, removed when the run ends — success or error).
-	// Empty means the system temp directory.
-	SpillDir string
-	// NoColumnar disables the vectorized columnar variants (see vec.go):
-	// every operator that would compile batch-at-a-time falls back to its
-	// tuple-at-a-time implementation. The flag exists for differential
-	// testing and for measuring vectorization in isolation; columnar
-	// execution is also implicitly off under NoMerge/NoSortElision (the
-	// hash-only differential baseline). The parallel and budgeted engines
-	// run columnar too: exchanges scatter batch views and budgeted operators
-	// spill columnar blocks, with tuple adapters bridging the operators that
-	// have no batch variant yet.
-	NoColumnar bool
-}
+// Options is the historical name for the engine knob struct.
+//
+// Deprecated: use Config. Options is an alias kept for one release so
+// existing NewWith call sites keep compiling.
+type Options = Config
 
 // Stats counts the physical variants the engine's most recent Eval
 // compiled and ran — the run-time record that the order-exploiting,
@@ -145,9 +106,9 @@ func (e *Engine) Close() error {
 	return nil
 }
 
-// Spec returns this engine's spec for the stratum executor, the optimizer's
-// engine registry, and the cost model (Streaming selects the hash/one-pass
-// cost shapes).
+// Spec returns the fully-enabled sequential engine's spec.
+//
+// Deprecated: use NewSpec(Config{}).
 func Spec() eval.EngineSpec {
 	return eval.EngineSpec{
 		Name:       "exec",
@@ -158,102 +119,42 @@ func Spec() eval.EngineSpec {
 	}
 }
 
-// HashOnlySpec returns the engine restricted to PR 1's hash variants (no
-// merge operators, no sort elision) — the baseline the merge family is
-// benchmarked against. OrderAware is false: the cost model and the stratum
-// meter must not price merge variants this engine never compiles.
+// HashOnlySpec returns the engine restricted to PR 1's hash variants.
+//
+// Deprecated: use NewSpec(Config{}, WithHashOnly()).
 func HashOnlySpec() eval.EngineSpec {
-	return eval.EngineSpec{
-		Name:      "exec-hash",
-		New:       func(src eval.Source) eval.Engine { return NewWith(src, Options{NoMerge: true, NoSortElision: true}) },
-		Streaming: true,
-	}
+	return NewSpec(Config{}, WithHashOnly())
 }
 
-// ParallelSpec returns the morsel-parallel engine: every physical variant
-// enabled plus n-way partitioned execution of the expensive operators (see
-// parallel.go). n < 2 degenerates to the sequential engine under a distinct
-// name, so parallelism-1 runs stay traceable in experiments. The cost model
-// prices the spec's parallel shape (per-partition work plus exchange and
-// gather charges) through EngineSpec.Parallelism.
+// ParallelSpec returns the morsel-parallel engine.
+//
+// Deprecated: use NewSpec(Config{Parallelism: n}). Note NewSpec names the
+// sequential degenerate "exec" where ParallelSpec named it "exec-par1";
+// this wrapper keeps the old name for parallelism-1 experiment traces.
 func ParallelSpec(n int) eval.EngineSpec {
 	if n < 1 {
 		n = 1
 	}
-	return eval.EngineSpec{
-		Name:        fmt.Sprintf("exec-par%d", n),
-		New:         func(src eval.Source) eval.Engine { return NewWith(src, Options{Parallelism: n}) },
-		Streaming:   true,
-		OrderAware:  true,
-		Parallelism: n,
-		Vectorized:  true,
+	s := NewSpec(Config{Parallelism: n})
+	if n == 1 {
+		s.Name = "exec-par1"
 	}
+	return s
 }
 
-// BudgetedSpec returns the memory-bounded engine: every physical variant
-// enabled, workers-way parallel when workers > 1, and the blocking
-// operators' working sets bounded by budget bytes with grace-hash spilling
-// to temp files (see grace.go). The cost model prices the spec's spill
-// shape (SpillWrite/SpillRead per tuple on operators whose estimated state
-// exceeds the budget share) through EngineSpec.MemoryBudget.
+// BudgetedSpec returns the memory-bounded engine.
+//
+// Deprecated: use NewSpec(Config{Parallelism: workers, MemoryBudget: budget}).
 func BudgetedSpec(workers int, budget int64) eval.EngineSpec {
-	if workers < 1 {
-		workers = 1
-	}
-	name := "exec"
-	if workers > 1 {
-		name = fmt.Sprintf("exec-par%d", workers)
-	}
-	if budget > 0 {
-		name += "-mem" + memString(budget)
-	}
-	return eval.EngineSpec{
-		Name: name,
-		New: func(src eval.Source) eval.Engine {
-			return NewWith(src, Options{Parallelism: workers, MemoryBudget: budget})
-		},
-		Streaming:    true,
-		OrderAware:   true,
-		Parallelism:  workers,
-		MemoryBudget: budget,
-		Vectorized:   true,
-	}
+	return NewSpec(Config{Parallelism: workers, MemoryBudget: budget})
 }
 
-// SpecWith returns the engine spec for an arbitrary Options value, named
-// consistently with Spec/ParallelSpec/BudgetedSpec ("exec", "exec-par4",
-// "exec-par4-mem16M", …). It is the general constructor the serving layer
-// uses: a session's engine settings plus the admission controller's
-// resource shares (and the server's spill directory) become one immutable
-// spec, instantiated per query via eval.EngineSpec.Instantiate. The
-// restriction flags (NoMerge, NoSortElision) exist for differential tests
-// and are reflected in OrderAware so the cost model never prices variants
-// the engine won't compile.
+// SpecWith returns the engine spec for an arbitrary Options value.
+//
+// Deprecated: use NewSpec, which takes the same struct under its new name
+// (Config) plus functional options.
 func SpecWith(opts Options) eval.EngineSpec {
-	if opts.Parallelism < 1 {
-		opts.Parallelism = 1
-	}
-	name := "exec"
-	if opts.NoMerge || opts.NoSortElision {
-		name = "exec-hash"
-	} else if opts.NoColumnar {
-		name += "-novec"
-	}
-	if opts.Parallelism > 1 {
-		name += fmt.Sprintf("-par%d", opts.Parallelism)
-	}
-	if opts.MemoryBudget > 0 {
-		name += "-mem" + memString(opts.MemoryBudget)
-	}
-	return eval.EngineSpec{
-		Name:         name,
-		New:          func(src eval.Source) eval.Engine { return NewWith(src, opts) },
-		Streaming:    true,
-		OrderAware:   !opts.NoMerge && !opts.NoSortElision,
-		Parallelism:  opts.Parallelism,
-		MemoryBudget: opts.MemoryBudget,
-		Vectorized:   !opts.NoColumnar && !opts.NoMerge && !opts.NoSortElision,
-	}
+	return NewSpec(opts)
 }
 
 // memString renders a byte count compactly for engine names ("64K", "16M",

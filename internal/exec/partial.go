@@ -1,0 +1,301 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"tqp/internal/algebra"
+	"tqp/internal/eval"
+	"tqp/internal/expr"
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+)
+
+// This file is the shard side of distributed execution: a tiny interpreter
+// for pushed-down plan fragments, plus the merge kernels the coordinator
+// uses to reassemble per-shard results into exactly the list a single-node
+// run would produce.
+//
+// A fragment is a chain over one base relation: zero or more selections
+// and projections, optionally a sort, optionally one group operation
+// (temporal coalescing, temporal duplicate elimination, or a conventional
+// aggregate) on top of the sort. Each shard runs the chain over its slice of the relation while
+// threading the rows' global sequence keys — their positions in the
+// unsharded stored order — so the coordinator can merge deterministically:
+// by sequence key alone for unsorted chains, by (sort keys, sequence key)
+// for sorted ones. Group operations consume provenance (their outputs are
+// groups, not stored rows), so grouped fragments return nil sequence keys
+// and are merged block-wise on the grouping prefix instead.
+
+// FragmentOp enumerates the steps a pushed-down fragment may contain.
+type FragmentOp uint8
+
+const (
+	// FragSelect filters rows by a predicate, preserving order and
+	// sequence keys.
+	FragSelect FragmentOp = iota
+	// FragProject maps each row through a projection list (π), preserving
+	// sequence keys row for row.
+	FragProject
+	// FragSort stably sorts the rows on Keys. Stability over the
+	// sequence-ascending input makes the local order the restriction of
+	// the global stable sort to this shard's rows.
+	FragSort
+	// FragCoalT coalesces value-equivalent rows with adjacent or
+	// overlapping periods (the paper's coal operation). Requires the
+	// fragment's groups to be shard-local and contiguous.
+	FragCoalT
+	// FragRdupT is temporal duplicate elimination under the same
+	// contiguity contract as FragCoalT.
+	FragRdupT
+	// FragAggr is a conventional aggregate (GROUP BY + aggregate list),
+	// again over shard-local contiguous groups.
+	FragAggr
+)
+
+// String names the op for diagnostics and the wire codec.
+func (op FragmentOp) String() string {
+	switch op {
+	case FragSelect:
+		return "select"
+	case FragProject:
+		return "project"
+	case FragSort:
+		return "sort"
+	case FragCoalT:
+		return "coalT"
+	case FragRdupT:
+		return "rdupT"
+	case FragAggr:
+		return "aggr"
+	default:
+		return fmt.Sprintf("frag(%d)", uint8(op))
+	}
+}
+
+// FragmentStep is one step of a fragment chain; which fields matter depends
+// on Op (see the FragmentOp docs).
+type FragmentStep struct {
+	Op      FragmentOp
+	Pred    expr.Pred          // FragSelect
+	Items   []algebra.ProjItem // FragProject
+	Keys    relation.OrderSpec // FragSort
+	GroupBy []string           // FragAggr
+	Aggs    []expr.Aggregate   // FragAggr
+}
+
+// RunFragment executes a fragment chain over one shard's slice of a base
+// relation. seqs carries the slice rows' global sequence keys (nil means
+// the identity — an unsharded run). It returns the result plus the output
+// rows' sequence keys; a grouped fragment (coalT/rdupT/aggr tail) returns
+// nil keys because its rows are derived groups, not stored tuples.
+func RunFragment(rel *relation.Relation, seqs []int, steps []FragmentStep) (*relation.Relation, []int, error) {
+	sch := rel.Schema()
+	n := rel.Len()
+	if seqs == nil {
+		seqs = make([]int, n)
+		for i := range seqs {
+			seqs[i] = i
+		}
+	} else if len(seqs) != n {
+		return nil, nil, fmt.Errorf("exec: %d sequence keys for a %d-row shard slice", len(seqs), n)
+	} else {
+		seqs = append([]int(nil), seqs...)
+	}
+	cur := make([]relation.Tuple, n)
+	for i := range cur {
+		cur[i] = rel.At(i)
+	}
+	order := rel.Order()
+
+	for si, st := range steps {
+		switch st.Op {
+		case FragSelect:
+			if st.Pred == nil {
+				return nil, nil, fmt.Errorf("exec: fragment step %d: select without a predicate", si)
+			}
+			kept := cur[:0]
+			keptSeqs := seqs[:0]
+			for i, t := range cur {
+				ok, err := st.Pred.Holds(sch, t)
+				if err != nil {
+					return nil, nil, err
+				}
+				if ok {
+					kept = append(kept, t)
+					keptSeqs = append(keptSeqs, seqs[i])
+				}
+			}
+			cur, seqs = kept, keptSeqs
+
+		case FragProject:
+			if len(st.Items) == 0 {
+				return nil, nil, fmt.Errorf("exec: fragment step %d: projection without items", si)
+			}
+			node := algebra.NewProject(st.Items, algebra.NewRel("@frag", sch, algebra.BaseInfo{}))
+			outSch, err := node.Schema()
+			if err != nil {
+				return nil, nil, fmt.Errorf("exec: fragment step %d: %w", si, err)
+			}
+			nt := make([]relation.Tuple, len(cur))
+			for i, t := range cur {
+				row := make(relation.Tuple, len(st.Items))
+				for j, it := range st.Items {
+					v, err := it.Expr.Eval(sch, t)
+					if err != nil {
+						return nil, nil, err
+					}
+					row[j] = v
+				}
+				nt[i] = row
+			}
+			cur, sch, order = nt, outSch, eval.OrderAfterProject(order, node)
+
+		case FragSort:
+			if len(st.Keys) == 0 {
+				return nil, nil, fmt.Errorf("exec: fragment step %d: sort without keys", si)
+			}
+			idx := make([]int, len(cur))
+			for i := range idx {
+				idx[i] = i
+			}
+			keys := st.Keys
+			sort.SliceStable(idx, func(a, b int) bool {
+				return relation.CompareOn(sch, keys, cur[idx[a]], cur[idx[b]]) < 0
+			})
+			nt := make([]relation.Tuple, len(cur))
+			ns := make([]int, len(cur))
+			for i, j := range idx {
+				nt[i], ns[i] = cur[j], seqs[j]
+			}
+			cur, seqs, order = nt, ns, keys
+
+		case FragCoalT, FragRdupT, FragAggr:
+			if si != len(steps)-1 {
+				return nil, nil, fmt.Errorf("exec: fragment step %d: %s must be the final step", si, st.Op)
+			}
+			in := relation.FromTuplesTrusted(sch, cur)
+			in.SetOrder(order)
+			leaf := algebra.NewRel("@frag", sch, algebra.BaseInfo{Order: order})
+			var node algebra.Node
+			switch st.Op {
+			case FragCoalT:
+				node = algebra.NewCoal(leaf)
+			case FragRdupT:
+				node = algebra.NewTRdup(leaf)
+			default:
+				node = algebra.NewAggregate(st.GroupBy, st.Aggs, leaf)
+			}
+			out, err := New(eval.MapSource{"@frag": in}).Eval(node)
+			if err != nil {
+				return nil, nil, fmt.Errorf("exec: fragment %s: %w", st.Op, err)
+			}
+			return out, nil, nil
+
+		default:
+			return nil, nil, fmt.Errorf("exec: fragment step %d: unknown op %d", si, uint8(st.Op))
+		}
+	}
+	out := relation.FromTuplesTrusted(sch, cur)
+	out.SetOrder(order)
+	return out, seqs, nil
+}
+
+// TaggedRows pairs one shard's fragment output with its sequence keys,
+// parallel slices (Seqs[i] is Rows[i]'s global stored position).
+type TaggedRows struct {
+	Rows []relation.Tuple
+	Seqs []int
+}
+
+// MergeBySeq merges per-shard fragment outputs back into the global stored
+// order: ascending sequence key. Partitioning assigns each stored row to
+// exactly one shard, so the keys are disjoint and the merge is a plain
+// k-way minimum.
+func MergeBySeq(parts []TaggedRows) []relation.Tuple {
+	total := 0
+	for _, p := range parts {
+		total += len(p.Rows)
+	}
+	out := make([]relation.Tuple, 0, total)
+	at := make([]int, len(parts))
+	for len(out) < total {
+		best := -1
+		for k, p := range parts {
+			if at[k] >= len(p.Rows) {
+				continue
+			}
+			if best < 0 || p.Seqs[at[k]] < parts[best].Seqs[at[best]] {
+				best = k
+			}
+		}
+		out = append(out, parts[best].Rows[at[best]])
+		at[best]++
+	}
+	return out
+}
+
+// MergeSorted merges per-shard sorted fragment outputs into the global
+// stable sort order: by the sort keys, ties broken by sequence key. Each
+// shard's list is sorted by exactly that compound order (a stable local
+// sort over a sequence-ascending slice), so this is a standard k-way merge.
+func MergeSorted(sch *schema.Schema, keys relation.OrderSpec, parts []TaggedRows) []relation.Tuple {
+	total := 0
+	for _, p := range parts {
+		total += len(p.Rows)
+	}
+	out := make([]relation.Tuple, 0, total)
+	at := make([]int, len(parts))
+	for len(out) < total {
+		best := -1
+		for k, p := range parts {
+			if at[k] >= len(p.Rows) {
+				continue
+			}
+			if best < 0 {
+				best = k
+				continue
+			}
+			c := relation.CompareOn(sch, keys, p.Rows[at[k]], parts[best].Rows[at[best]])
+			if c < 0 || (c == 0 && p.Seqs[at[k]] < parts[best].Seqs[at[best]]) {
+				best = k
+			}
+		}
+		out = append(out, parts[best].Rows[at[best]])
+		at[best]++
+	}
+	return out
+}
+
+// MergeGroups merges per-shard grouped fragment outputs block-wise on the
+// grouping prefix. The push-down contract guarantees every group lives
+// wholly on one shard and distinct groups differ on the prefix, so whole
+// blocks of prefix-equal rows move intact; ties across shards cannot occur
+// for real groups, and shard index breaks them deterministically anyway.
+func MergeGroups(sch *schema.Schema, prefix relation.OrderSpec, parts [][]relation.Tuple) []relation.Tuple {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]relation.Tuple, 0, total)
+	at := make([]int, len(parts))
+	for len(out) < total {
+		best := -1
+		for k, p := range parts {
+			if at[k] >= len(p) {
+				continue
+			}
+			if best < 0 || relation.CompareOn(sch, prefix, p[at[k]], parts[best][at[best]]) < 0 {
+				best = k
+			}
+		}
+		// Move the whole prefix-equal block from the chosen shard.
+		p := parts[best]
+		head := p[at[best]]
+		for at[best] < len(p) && relation.CompareOn(sch, prefix, p[at[best]], head) == 0 {
+			out = append(out, p[at[best]])
+			at[best]++
+		}
+	}
+	return out
+}

@@ -2,9 +2,11 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"tqp/internal/relation"
 )
@@ -13,16 +15,25 @@ import (
 // a time (guarded by a mutex, so a Client may be shared across goroutines —
 // requests serialize). Each Client maps to one server session, so engine
 // settings applied with Set stick to this connection.
+//
+// Every method takes a context.Context first: a deadline bounds the whole
+// round trip (dial, request write, response reads) via connection
+// deadlines, and cancellation interrupts blocked I/O. A context failure
+// poisons the connection — frames may be half-read — so the Client is
+// closed and every later call fails; redial to recover.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	broken error // sticky: set when ctx interrupted mid-frame I/O
 }
 
-// Dial connects to a server at addr (host:port).
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// Dial connects to a server at addr (host:port), honoring the context's
+// deadline and cancellation for the connection attempt.
+func Dial(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
 	}
@@ -47,6 +58,52 @@ type QueryMeta struct {
 	TuplesTransferred int
 	// Engine names the engine spec the query ran on.
 	Engine string
+}
+
+// begin arms the connection with the context's deadline and a watcher that
+// interrupts blocked I/O on cancellation. It returns the matching end func;
+// callers hold c.mu for the whole begin/end span.
+func (c *Client) begin(ctx context.Context) (end func(), err error) {
+	if c.broken != nil {
+		return nil, c.broken
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if d, ok := ctx.Deadline(); ok {
+		c.conn.SetDeadline(d)
+	} else {
+		c.conn.SetDeadline(time.Time{})
+	}
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			// Unblock any in-flight read/write; finish translates the
+			// resulting I/O error back into ctx.Err().
+			c.conn.SetDeadline(time.Now())
+		case <-stop:
+		}
+	}()
+	return func() {
+		close(stop)
+		c.conn.SetDeadline(time.Time{})
+	}, nil
+}
+
+// finish maps an I/O error caused by a context interruption back to the
+// context's error and marks the connection broken: the frame stream may
+// have been cut mid-message, so no later request can trust it.
+func (c *Client) finish(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		err = fmt.Errorf("server: request interrupted: %w", ctxErr)
+	}
+	c.broken = err
+	c.conn.Close()
+	return err
 }
 
 // send writes one request frame and flushes it; callers hold c.mu.
@@ -75,11 +132,31 @@ func (c *Client) read() (*Response, error) {
 // Query runs one statement and materializes the result relation (with its
 // delivered order annotation) plus the execution provenance. Server-side
 // failures come back as *ServerError with the wire code preserved, so
-// callers can branch on admission rejections versus statement errors.
-func (c *Client) Query(sql string) (*relation.Relation, *QueryMeta, error) {
+// callers can branch on admission rejections versus statement errors; a
+// context deadline/cancellation surfaces as the context's error.
+func (c *Client) Query(ctx context.Context, sql string) (*relation.Relation, *QueryMeta, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.send(&Request{Op: OpQuery, SQL: sql}); err != nil {
+	end, err := c.begin(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer end()
+	rel, meta, err := c.query(&Request{Op: OpQuery, SQL: sql}, nil)
+	if err != nil {
+		if _, ok := err.(*ServerError); ok {
+			return nil, nil, err // in-protocol failure: the stream is intact
+		}
+		return nil, nil, c.finish(ctx, err)
+	}
+	return rel, meta, nil
+}
+
+// query runs one result-streaming request (OpQuery or OpPartial); callers
+// hold c.mu with the connection armed. When seqs is non-nil, sequence-key
+// frames are gathered into it (the partial-plan protocol's provenance).
+func (c *Client) query(req *Request, seqs *[]int) (*relation.Relation, *QueryMeta, error) {
+	if err := c.send(req); err != nil {
 		return nil, nil, err
 	}
 	head, err := c.read()
@@ -116,6 +193,17 @@ func (c *Client) Query(sql string) (*relation.Relation, *QueryMeta, error) {
 			if err != nil {
 				return nil, nil, protoErr(err)
 			}
+			if seqs != nil {
+				if resp.Seqs == nil {
+					*seqs = nil
+					seqs = nil // the server stopped sending provenance
+				} else {
+					if len(resp.Seqs) != len(ts) {
+						return nil, nil, protoErr(fmt.Errorf("server: %d sequence keys for %d rows", len(resp.Seqs), len(ts)))
+					}
+					*seqs = append(*seqs, resp.Seqs...)
+				}
+			}
 			tuples = append(tuples, ts...)
 		case KindDone:
 			if resp.Done == nil {
@@ -139,53 +227,82 @@ func (c *Client) Query(sql string) (*relation.Relation, *QueryMeta, error) {
 	}
 }
 
-// Set updates one session setting (engine, parallel, mem).
-func (c *Client) Set(name, val string) error {
+// Partial runs one partial plan on the server's catalog shard and returns
+// the fragment's rows plus their global sequence keys (nil when the
+// fragment is grouped — its rows have no per-tuple provenance). This is
+// the coordinator's workhorse; see WirePlan for the fragment grammar.
+func (c *Client) Partial(ctx context.Context, plan *WirePlan) (*relation.Relation, []int, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.send(&Request{Op: OpSet, Name: name, Value: val}); err != nil {
-		return err
-	}
-	resp, err := c.read()
+	end, err := c.begin(ctx)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
-	if resp.Kind != KindOK {
-		return fmt.Errorf("server: expected ok frame, got %q", resp.Kind)
+	defer end()
+	seqs := []int{}
+	rel, _, err := c.query(&Request{Op: OpPartial, Plan: plan}, &seqs)
+	if err != nil {
+		if _, ok := err.(*ServerError); ok {
+			return nil, nil, err
+		}
+		return nil, nil, c.finish(ctx, err)
 	}
-	return nil
+	return rel, seqs, nil
+}
+
+// Set updates one session setting (engine, parallel, mem).
+func (c *Client) Set(ctx context.Context, name, val string) error {
+	return c.roundTrip(ctx, &Request{Op: OpSet, Name: name, Value: val}, KindOK, nil)
 }
 
 // Stats fetches the server's cache and admission statistics.
-func (c *Client) Stats() (*StatsReply, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.send(&Request{Op: OpStats}); err != nil {
-		return nil, err
-	}
-	resp, err := c.read()
-	if err != nil {
-		return nil, err
-	}
-	if resp.Kind != KindStats || resp.Stats == nil {
-		return nil, fmt.Errorf("server: expected stats frame, got %q", resp.Kind)
-	}
-	return resp.Stats, nil
+func (c *Client) Stats(ctx context.Context) (*StatsReply, error) {
+	var stats *StatsReply
+	err := c.roundTrip(ctx, &Request{Op: OpStats}, KindStats, func(resp *Response) error {
+		if resp.Stats == nil {
+			return fmt.Errorf("server: stats frame without payload")
+		}
+		stats = resp.Stats
+		return nil
+	})
+	return stats, err
 }
 
 // Ping round-trips a connectivity check.
-func (c *Client) Ping() error {
+func (c *Client) Ping(ctx context.Context) error {
+	return c.roundTrip(ctx, &Request{Op: OpPing}, KindPong, nil)
+}
+
+// roundTrip runs one single-frame request/response exchange.
+func (c *Client) roundTrip(ctx context.Context, req *Request, want string, accept func(*Response) error) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.send(&Request{Op: OpPing}); err != nil {
-		return err
-	}
-	resp, err := c.read()
+	end, err := c.begin(ctx)
 	if err != nil {
 		return err
 	}
-	if resp.Kind != KindPong {
-		return fmt.Errorf("server: expected pong frame, got %q", resp.Kind)
+	defer end()
+	exchange := func() error {
+		if err := c.send(req); err != nil {
+			return err
+		}
+		resp, err := c.read()
+		if err != nil {
+			return err
+		}
+		if resp.Kind != want {
+			return protoErr(fmt.Errorf("server: expected %s frame, got %q", want, resp.Kind))
+		}
+		if accept != nil {
+			return accept(resp)
+		}
+		return nil
+	}
+	if err := exchange(); err != nil {
+		if _, ok := err.(*ServerError); ok {
+			return err
+		}
+		return c.finish(ctx, err)
 	}
 	return nil
 }

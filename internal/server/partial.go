@@ -1,0 +1,377 @@
+package server
+
+import (
+	"fmt"
+
+	"tqp/internal/algebra"
+	"tqp/internal/exec"
+	"tqp/internal/expr"
+	"tqp/internal/value"
+)
+
+// This file is the wire form of pushed-down plan fragments (OpPartial): a
+// small JSON tree mirroring exec.FragmentStep chains plus the predicate and
+// scalar expression grammar. Operator spellings reuse the packages' String
+// renderings ("=", "<>", "OVERLAPS", "SUM", ...) so the wire vocabulary is
+// exactly the dialect's surface syntax; literal values travel under the
+// same kind-aware string codec as result rows (see encodeValue).
+
+// WirePlan is the payload of an OpPartial request: a fragment chain over
+// one base relation of the server's catalog shard.
+type WirePlan struct {
+	Rel   string     `json:"rel"`
+	Steps []WireStep `json:"steps,omitempty"`
+}
+
+// WireStep is one fragment step. Op selects the variant: "select" (Pred),
+// "project" (Items), "sort" (Keys), "aggr" (GroupBy/Aggs), "coalT" and
+// "rdupT" (no operands).
+type WireStep struct {
+	Op      string     `json:"op"`
+	Pred    *WirePred  `json:"pred,omitempty"`
+	Items   []WireItem `json:"items,omitempty"`
+	Keys    []Order    `json:"keys,omitempty"`
+	GroupBy []string   `json:"group_by,omitempty"`
+	Aggs    []WireAgg  `json:"aggs,omitempty"`
+}
+
+// WireItem is one output column of a "project" step.
+type WireItem struct {
+	Expr *WireExpr `json:"expr"`
+	As   string    `json:"as"`
+}
+
+// WireAgg is one aggregate of an "aggr" step.
+type WireAgg struct {
+	Func string `json:"func"` // COUNT, COUNT(*), SUM, AVG, MIN, MAX
+	Arg  string `json:"arg,omitempty"`
+	As   string `json:"as"`
+}
+
+// WirePred is a predicate tree node. Node selects the variant: "cmp"
+// (Op/LX/RX), "and"/"or" (L/R), "not" (L), "true", and "period"
+// (Op + Args = [AStart AEnd BStart BEnd]).
+type WirePred struct {
+	Node string      `json:"node"`
+	Op   string      `json:"op,omitempty"`
+	L    *WirePred   `json:"l,omitempty"`
+	R    *WirePred   `json:"r,omitempty"`
+	LX   *WireExpr   `json:"lx,omitempty"`
+	RX   *WireExpr   `json:"rx,omitempty"`
+	Args []*WireExpr `json:"args,omitempty"`
+}
+
+// WireExpr is a scalar expression tree node. Node selects the variant:
+// "col" (Name), "lit" (Kind/Val), "arith" (Op/L/R).
+type WireExpr struct {
+	Node string    `json:"node"`
+	Name string    `json:"name,omitempty"`
+	Kind string    `json:"kind,omitempty"`
+	Val  string    `json:"val,omitempty"`
+	Op   string    `json:"op,omitempty"`
+	L    *WireExpr `json:"l,omitempty"`
+	R    *WireExpr `json:"r,omitempty"`
+}
+
+// EncodePlan renders a fragment chain for the wire.
+func EncodePlan(rel string, steps []exec.FragmentStep) (*WirePlan, error) {
+	out := &WirePlan{Rel: rel, Steps: make([]WireStep, len(steps))}
+	for i, st := range steps {
+		ws := WireStep{Op: st.Op.String()}
+		switch st.Op {
+		case exec.FragSelect:
+			p, err := encodePred(st.Pred)
+			if err != nil {
+				return nil, err
+			}
+			ws.Pred = p
+		case exec.FragProject:
+			ws.Items = make([]WireItem, len(st.Items))
+			for j, it := range st.Items {
+				e, err := encodeExpr(it.Expr)
+				if err != nil {
+					return nil, err
+				}
+				ws.Items[j] = WireItem{Expr: e, As: it.As}
+			}
+		case exec.FragSort:
+			ws.Keys = orderOf(st.Keys)
+		case exec.FragAggr:
+			ws.GroupBy = st.GroupBy
+			ws.Aggs = make([]WireAgg, len(st.Aggs))
+			for j, a := range st.Aggs {
+				ws.Aggs[j] = WireAgg{Func: a.Func.String(), Arg: a.Arg, As: a.As}
+			}
+		case exec.FragCoalT, exec.FragRdupT:
+		default:
+			return nil, fmt.Errorf("server: cannot encode fragment op %d", uint8(st.Op))
+		}
+		out.Steps[i] = ws
+	}
+	return out, nil
+}
+
+// DecodePlan parses a wire plan back into a fragment chain.
+func DecodePlan(p *WirePlan) (string, []exec.FragmentStep, error) {
+	if p == nil || p.Rel == "" {
+		return "", nil, fmt.Errorf("server: partial plan without a relation")
+	}
+	steps := make([]exec.FragmentStep, len(p.Steps))
+	for i, ws := range p.Steps {
+		var st exec.FragmentStep
+		switch ws.Op {
+		case "select":
+			pr, err := decodePred(ws.Pred)
+			if err != nil {
+				return "", nil, err
+			}
+			st = exec.FragmentStep{Op: exec.FragSelect, Pred: pr}
+		case "project":
+			if len(ws.Items) == 0 {
+				return "", nil, fmt.Errorf("server: project step without items")
+			}
+			items := make([]algebra.ProjItem, len(ws.Items))
+			for j, wi := range ws.Items {
+				e, err := decodeExpr(wi.Expr)
+				if err != nil {
+					return "", nil, err
+				}
+				items[j] = algebra.ProjItem{Expr: e, As: wi.As}
+			}
+			st = exec.FragmentStep{Op: exec.FragProject, Items: items}
+		case "sort":
+			if len(ws.Keys) == 0 {
+				return "", nil, fmt.Errorf("server: sort step without keys")
+			}
+			st = exec.FragmentStep{Op: exec.FragSort, Keys: orderSpecOf(ws.Keys)}
+		case "coalT":
+			st = exec.FragmentStep{Op: exec.FragCoalT}
+		case "rdupT":
+			st = exec.FragmentStep{Op: exec.FragRdupT}
+		case "aggr":
+			aggs := make([]expr.Aggregate, len(ws.Aggs))
+			for j, wa := range ws.Aggs {
+				f, err := aggFuncOf(wa.Func)
+				if err != nil {
+					return "", nil, err
+				}
+				aggs[j] = expr.Aggregate{Func: f, Arg: wa.Arg, As: wa.As}
+			}
+			st = exec.FragmentStep{Op: exec.FragAggr, GroupBy: ws.GroupBy, Aggs: aggs}
+		default:
+			return "", nil, fmt.Errorf("server: unknown fragment step %q", ws.Op)
+		}
+		steps[i] = st
+	}
+	return p.Rel, steps, nil
+}
+
+func encodePred(p expr.Pred) (*WirePred, error) {
+	switch q := p.(type) {
+	case expr.TruePred:
+		return &WirePred{Node: "true"}, nil
+	case expr.Cmp:
+		l, err := encodeExpr(q.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := encodeExpr(q.R)
+		if err != nil {
+			return nil, err
+		}
+		return &WirePred{Node: "cmp", Op: q.Op.String(), LX: l, RX: r}, nil
+	case expr.And:
+		l, err := encodePred(q.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := encodePred(q.R)
+		if err != nil {
+			return nil, err
+		}
+		return &WirePred{Node: "and", L: l, R: r}, nil
+	case expr.Or:
+		l, err := encodePred(q.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := encodePred(q.R)
+		if err != nil {
+			return nil, err
+		}
+		return &WirePred{Node: "or", L: l, R: r}, nil
+	case expr.Not:
+		l, err := encodePred(q.P)
+		if err != nil {
+			return nil, err
+		}
+		return &WirePred{Node: "not", L: l}, nil
+	case expr.PeriodPred:
+		args := make([]*WireExpr, 4)
+		for i, e := range []expr.Expr{q.AStart, q.AEnd, q.BStart, q.BEnd} {
+			w, err := encodeExpr(e)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = w
+		}
+		return &WirePred{Node: "period", Op: q.Op.String(), Args: args}, nil
+	default:
+		return nil, fmt.Errorf("server: cannot encode predicate %T", p)
+	}
+}
+
+func decodePred(w *WirePred) (expr.Pred, error) {
+	if w == nil {
+		return nil, fmt.Errorf("server: select step without a predicate")
+	}
+	switch w.Node {
+	case "true":
+		return expr.TruePred{}, nil
+	case "cmp":
+		op, err := cmpOpOf(w.Op)
+		if err != nil {
+			return nil, err
+		}
+		l, err := decodeExpr(w.LX)
+		if err != nil {
+			return nil, err
+		}
+		r, err := decodeExpr(w.RX)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Compare(op, l, r), nil
+	case "and", "or":
+		l, err := decodePred(w.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := decodePred(w.R)
+		if err != nil {
+			return nil, err
+		}
+		if w.Node == "and" {
+			return expr.Conj(l, r), nil
+		}
+		return expr.Disj(l, r), nil
+	case "not":
+		l, err := decodePred(w.L)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Neg(l), nil
+	case "period":
+		op, err := periodOpOf(w.Op)
+		if err != nil {
+			return nil, err
+		}
+		if len(w.Args) != 4 {
+			return nil, fmt.Errorf("server: period predicate wants 4 operands, got %d", len(w.Args))
+		}
+		var ops [4]expr.Expr
+		for i, a := range w.Args {
+			e, err := decodeExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			ops[i] = e
+		}
+		return expr.PeriodPred{Op: op, AStart: ops[0], AEnd: ops[1], BStart: ops[2], BEnd: ops[3]}, nil
+	default:
+		return nil, fmt.Errorf("server: unknown predicate node %q", w.Node)
+	}
+}
+
+func encodeExpr(e expr.Expr) (*WireExpr, error) {
+	switch x := e.(type) {
+	case expr.Col:
+		return &WireExpr{Node: "col", Name: x.Name}, nil
+	case expr.Lit:
+		return &WireExpr{Node: "lit", Kind: x.Val.Kind().String(), Val: encodeValue(x.Val)}, nil
+	case expr.Arith:
+		l, err := encodeExpr(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := encodeExpr(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return &WireExpr{Node: "arith", Op: x.Op.String(), L: l, R: r}, nil
+	default:
+		return nil, fmt.Errorf("server: cannot encode expression %T", e)
+	}
+}
+
+func decodeExpr(w *WireExpr) (expr.Expr, error) {
+	if w == nil {
+		return nil, fmt.Errorf("server: missing expression operand")
+	}
+	switch w.Node {
+	case "col":
+		return expr.Column(w.Name), nil
+	case "lit":
+		k, err := value.ParseKind(w.Kind)
+		if err != nil {
+			return nil, err
+		}
+		v, err := decodeValue(k, w.Val)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Literal(v), nil
+	case "arith":
+		op, err := arithOpOf(w.Op)
+		if err != nil {
+			return nil, err
+		}
+		l, err := decodeExpr(w.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := decodeExpr(w.R)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Arith{Op: op, L: l, R: r}, nil
+	default:
+		return nil, fmt.Errorf("server: unknown expression node %q", w.Node)
+	}
+}
+
+func cmpOpOf(s string) (expr.CmpOp, error) {
+	for _, op := range []expr.CmpOp{expr.Eq, expr.Ne, expr.Lt, expr.Le, expr.Gt, expr.Ge} {
+		if op.String() == s {
+			return op, nil
+		}
+	}
+	return 0, fmt.Errorf("server: unknown comparison operator %q", s)
+}
+
+func arithOpOf(s string) (expr.ArithOp, error) {
+	for _, op := range []expr.ArithOp{expr.Add, expr.Sub, expr.Mul, expr.Div} {
+		if op.String() == s {
+			return op, nil
+		}
+	}
+	return 0, fmt.Errorf("server: unknown arithmetic operator %q", s)
+}
+
+func aggFuncOf(s string) (expr.AggFunc, error) {
+	for _, f := range []expr.AggFunc{expr.Count, expr.CountAll, expr.Sum, expr.Avg, expr.Min, expr.Max} {
+		if f.String() == s {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("server: unknown aggregate function %q", s)
+}
+
+func periodOpOf(s string) (expr.PeriodOp, error) {
+	for _, op := range []expr.PeriodOp{expr.POverlaps, expr.PContains, expr.PMeets, expr.PPrecedes} {
+		if op.String() == s {
+			return op, nil
+		}
+	}
+	return 0, fmt.Errorf("server: unknown period operator %q", s)
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"tqp/internal/algebra"
+	"tqp/internal/exec"
+	"tqp/internal/expr"
+	"tqp/internal/relation"
+	"tqp/internal/value"
+)
+
+// TestPartialPlanRoundTrip pins the fragment wire codec: a chain touching
+// every step variant and every predicate/expression grammar node survives
+// EncodePlan → JSON → DecodePlan → EncodePlan with an identical wire form.
+// (Decoded predicates aren't directly comparable, so equality is checked
+// on the canonical re-encoding.)
+func TestPartialPlanRoundTrip(t *testing.T) {
+	steps := []exec.FragmentStep{
+		{Op: exec.FragSelect, Pred: expr.Conj(
+			expr.Disj(
+				expr.Compare(expr.Ge, expr.Column("T1"), expr.Literal(value.Int(10))),
+				expr.Neg(expr.Compare(expr.Ne, expr.Column("Dept"), expr.Literal(value.String_("Ship")))),
+			),
+			expr.PeriodPred{
+				Op:     expr.POverlaps,
+				AStart: expr.Column("T1"), AEnd: expr.Column("T2"),
+				BStart: expr.Literal(value.Int(5)),
+				BEnd:   expr.Arith{Op: expr.Add, L: expr.Column("T1"), R: expr.Literal(value.Int(7))},
+			},
+		)},
+		{Op: exec.FragSelect, Pred: expr.TruePred{}},
+		{Op: exec.FragProject, Items: []algebra.ProjItem{
+			algebra.ColItem("EmpName"),
+			{Expr: expr.Arith{Op: expr.Mul, L: expr.Column("T2"), R: expr.Literal(value.Int(2))}, As: "Til"},
+		}},
+		{Op: exec.FragSort, Keys: relation.OrderSpec{relation.Key("EmpName"), relation.KeyDesc("Til")}},
+		{Op: exec.FragCoalT},
+		{Op: exec.FragRdupT},
+		{Op: exec.FragAggr, GroupBy: []string{"Dept"}, Aggs: []expr.Aggregate{
+			{Func: expr.CountAll, As: "n"},
+			{Func: expr.Sum, Arg: "T1", As: "total"},
+		}},
+	}
+	wire, err := EncodePlan("EMPLOYEE", steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back WirePlan
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	rel, decoded, err := DecodePlan(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != "EMPLOYEE" || len(decoded) != len(steps) {
+		t.Fatalf("decoded %q with %d steps, want EMPLOYEE with %d", rel, len(decoded), len(steps))
+	}
+	again, err := EncodePlan(rel, decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wire, again) {
+		t.Fatalf("round trip is not a fixed point\nfirst:  %+v\nsecond: %+v", wire, again)
+	}
+}
+
+// TestPartialPlanDecodeRejects pins the codec's typed rejections: a
+// malformed wire plan fails decoding instead of producing a bogus chain.
+func TestPartialPlanDecodeRejects(t *testing.T) {
+	for name, p := range map[string]*WirePlan{
+		"nil plan":        nil,
+		"no relation":     {Steps: []WireStep{{Op: "coalT"}}},
+		"unknown step":    {Rel: "R", Steps: []WireStep{{Op: "zigzag"}}},
+		"empty project":   {Rel: "R", Steps: []WireStep{{Op: "project"}}},
+		"keyless sort":    {Rel: "R", Steps: []WireStep{{Op: "sort"}}},
+		"predless select": {Rel: "R", Steps: []WireStep{{Op: "select"}}},
+		"bad cmp op": {Rel: "R", Steps: []WireStep{{Op: "select", Pred: &WirePred{
+			Node: "cmp", Op: "≈", LX: &WireExpr{Node: "col", Name: "a"}, RX: &WireExpr{Node: "col", Name: "b"},
+		}}}},
+		"bad literal kind": {Rel: "R", Steps: []WireStep{{Op: "select", Pred: &WirePred{
+			Node: "cmp", Op: "=", LX: &WireExpr{Node: "lit", Kind: "blob", Val: "x"}, RX: &WireExpr{Node: "col", Name: "b"},
+		}}}},
+		"bad agg func": {Rel: "R", Steps: []WireStep{{Op: "aggr", Aggs: []WireAgg{{Func: "MEDIAN", As: "m"}}}}},
+		"short period": {Rel: "R", Steps: []WireStep{{Op: "select", Pred: &WirePred{
+			Node: "period", Op: "OVERLAPS", Args: []*WireExpr{{Node: "col", Name: "a"}},
+		}}}},
+	} {
+		if _, _, err := DecodePlan(p); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"net"
 	"testing"
@@ -101,7 +102,7 @@ func TestClientMalformedFramesAreTypedProtoErrors(t *testing.T) {
 					bw.Flush()
 				}
 			})
-			_, _, err := c.Query("SELECT N FROM R")
+			_, _, err := c.Query(context.Background(), "SELECT N FROM R")
 			if err == nil {
 				t.Fatal("malformed stream decoded without error")
 			}

@@ -54,6 +54,11 @@ const (
 	OpStats = "stats"
 	// OpPing answers with a pong frame; a connectivity check.
 	OpPing = "ping"
+	// OpPartial executes a partial plan (a pushed-down plan fragment; see
+	// WirePlan) against the server's catalog shard, streaming the fragment's
+	// rows plus their global sequence keys back for the coordinator's
+	// deterministic merge.
+	OpPartial = "partial"
 )
 
 // Response kinds.
@@ -96,6 +101,8 @@ type Request struct {
 	// Name/Value carry a session setting (OpSet).
 	Name  string `json:"name,omitempty"`
 	Value string `json:"value,omitempty"`
+	// Plan is the pushed-down plan fragment (OpPartial).
+	Plan *WirePlan `json:"plan,omitempty"`
 }
 
 // Col is one result column of a schema frame.
@@ -149,14 +156,18 @@ type StatsReply struct {
 // onto the wire: one slice per column per frame instead of one per row;
 // clients decode both.
 type Response struct {
-	Kind    string      `json:"kind"`
-	Cols    []Col       `json:"cols,omitempty"`
-	Order   []Order     `json:"order,omitempty"`
-	Rows    [][]string  `json:"rows,omitempty"`
-	ColRows [][]string  `json:"colrows,omitempty"`
-	Done    *Done       `json:"done,omitempty"`
-	Err     *WireError  `json:"error,omitempty"`
-	Stats   *StatsReply `json:"stats,omitempty"`
+	Kind    string     `json:"kind"`
+	Cols    []Col      `json:"cols,omitempty"`
+	Order   []Order    `json:"order,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	ColRows [][]string `json:"colrows,omitempty"`
+	// Seqs carries the frame's rows' global sequence keys (the stored
+	// positions in the unsharded relation), parallel to the rows, on
+	// partial-plan responses whose fragment preserves per-tuple provenance.
+	Seqs  []int       `json:"seqs,omitempty"`
+	Done  *Done       `json:"done,omitempty"`
+	Err   *WireError  `json:"error,omitempty"`
+	Stats *StatsReply `json:"stats,omitempty"`
 }
 
 // ServerError is the client-side form of an error response.
@@ -427,7 +438,7 @@ func decodeCols(s *schema.Schema, cols [][]string) ([]relation.Tuple, error) {
 // whitespace outside single-quoted literals collapse to one space, leading
 // and trailing whitespace is trimmed, and a trailing semicolon is dropped.
 // A doubled quote inside a literal is the dialect's escape for a quote
-// character ('it''s'), so it keeps the in-literal state — whitespace in the
+// character ('it”s'), so it keeps the in-literal state — whitespace in the
 // remainder of the literal is part of the value and is never collapsed.
 // It is deliberately conservative — identifier and keyword case are left
 // alone (identifiers are case-sensitive in the dialect), so a case variant

@@ -14,6 +14,7 @@ import (
 	"tqp/internal/catalog"
 	"tqp/internal/core"
 	"tqp/internal/eval"
+	"tqp/internal/exec"
 )
 
 // Config parameterizes a Server. The zero value of every field has a
@@ -61,6 +62,13 @@ type Config struct {
 	// DrainTimeout bounds how long Close waits for in-flight queries;
 	// default 10s.
 	DrainTimeout time.Duration
+	// ShardPositions, set when Catalog is one shard of a partitioned
+	// database, maps each relation to its rows' global sequence keys (the
+	// positions in the unsharded relation, parallel to the stored rows).
+	// Partial-plan responses report these so a coordinator can merge
+	// shard results deterministically; nil means the catalog is whole and
+	// positions are the identity.
+	ShardPositions map[string][]int
 }
 
 // withDefaults fills unset fields.
@@ -328,6 +336,8 @@ func (s *Server) handleRequest(req *Request, sess *session, w io.Writer) error {
 			return WriteFrame(w, &Response{Kind: KindOK})
 		}
 		return s.runQuery(req.SQL, sess, w)
+	case OpPartial:
+		return s.runPartial(req.Plan, w)
 	default:
 		return writeError(w, CodeProto, fmt.Errorf("server: unknown op %q", req.Op))
 	}
@@ -452,6 +462,84 @@ func (s *Server) runQuery(sql string, sess *session, w io.Writer) error {
 		TuplesTransferred: trace.TuplesTransferred,
 		Engine:            spec.Name,
 	}})
+}
+
+// runPartial executes one pushed-down plan fragment against the server's
+// catalog (shard) and streams the result with per-row sequence keys. It
+// takes an admission slot like a query — a fragment is a query's work,
+// just with the planning already done coordinator-side — but skips the
+// plan cache: fragments arrive pre-planned.
+func (s *Server) runPartial(plan *WirePlan, w io.Writer) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return writeError(w, CodeShutdown, ErrClosing)
+	}
+	s.queries.Add(1)
+	gate := s.execGate
+	s.mu.Unlock()
+	defer s.queries.Done()
+
+	if _, err := s.adm.acquire(); err != nil {
+		code := CodeAdmission
+		if errors.Is(err, ErrClosing) {
+			code = CodeShutdown
+		}
+		return writeError(w, code, err)
+	}
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			s.adm.release()
+		}
+	}
+	defer release()
+	if gate != nil {
+		gate()
+	}
+
+	rel, steps, err := DecodePlan(plan)
+	if err != nil {
+		return writeError(w, CodeProto, err)
+	}
+	base, err := s.cfg.Catalog.Resolve(rel)
+	if err != nil {
+		return writeError(w, CodePlan, err)
+	}
+	result, seqs, err := exec.RunFragment(base, s.cfg.ShardPositions[rel], steps)
+	if err != nil {
+		return writeError(w, CodeExec, err)
+	}
+	release()
+
+	if err := WriteFrame(w, &Response{
+		Kind:  KindSchema,
+		Cols:  colsOf(result.Schema()),
+		Order: orderOf(result.Order()),
+	}); err != nil {
+		return err
+	}
+	tuples := result.Tuples()
+	for from := 0; from < len(tuples); from += s.cfg.BatchRows {
+		to := from + s.cfg.BatchRows
+		if to > len(tuples) {
+			to = len(tuples)
+		}
+		frame := &Response{Kind: KindRows}
+		if result.Schema().Len() == 0 {
+			frame.Rows = encodeRows(tuples, from, to)
+		} else {
+			frame.ColRows = encodeCols(tuples, from, to)
+		}
+		if seqs != nil {
+			frame.Seqs = seqs[from:to]
+		}
+		if err := WriteFrame(w, frame); err != nil {
+			return err
+		}
+	}
+	return WriteFrame(w, &Response{Kind: KindDone, Done: &Done{Tuples: result.Len()}})
 }
 
 // optimizerFor returns the planning optimizer calibrated to the spec,

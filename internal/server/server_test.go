@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -92,7 +93,7 @@ func TestServerEndToEnd32Clients(t *testing.T) {
 
 	// The direct-execution oracle: the identical planning and execution
 	// pipeline, run sequentially in-process.
-	spec := exec.SpecWith(exec.Options{Parallelism: 1})
+	spec := exec.NewSpec(exec.Config{Parallelism: 1})
 	opt := core.New(cat, core.WithEngine(spec), core.WithDBMSSeed(1))
 	rng := rand.New(rand.NewSource(7))
 	want := make(map[string]*relation.Relation)
@@ -121,7 +122,7 @@ func TestServerEndToEnd32Clients(t *testing.T) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			cl, err := Dial(srv.Addr())
+			cl, err := Dial(context.Background(), srv.Addr())
 			if err != nil {
 				errc <- err
 				return
@@ -130,7 +131,7 @@ func TestServerEndToEnd32Clients(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(1000 + c)))
 			for i := 0; i < perClient; i++ {
 				sql := pool[rng.Intn(len(pool))]
-				got, meta, err := cl.Query(sql)
+				got, meta, err := cl.Query(context.Background(), sql)
 				if err != nil {
 					errc <- fmt.Errorf("client %d: %q: %w", c, sql, err)
 					return
@@ -180,13 +181,13 @@ func TestServerEndToEnd32Clients(t *testing.T) {
 // (plans are keyed per engine spec).
 func TestServerCacheHitSkipsPlanning(t *testing.T) {
 	srv := startServer(t, Config{Catalog: catalog.Paper(), MaxConcurrent: 2, Workers: 2})
-	cl, err := Dial(srv.Addr())
+	cl, err := Dial(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
 	const sql = "VALIDTIME SELECT DISTINCT COALESCED EmpName FROM EMPLOYEE EXCEPT SELECT EmpName FROM PROJECT ORDER BY EmpName ASC"
-	r1, m1, err := cl.Query(sql)
+	r1, m1, err := cl.Query(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestServerCacheHitSkipsPlanning(t *testing.T) {
 		t.Fatal("first execution cannot hit")
 	}
 	// Whitespace variant: same normalized statement, must hit.
-	r2, m2, err := cl.Query("  " + sql + " ;")
+	r2, m2, err := cl.Query(context.Background(), "  "+sql+" ;")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,10 +209,10 @@ func TestServerCacheHitSkipsPlanning(t *testing.T) {
 		t.Fatal("cached plan produced a different result")
 	}
 	// A different engine spec misses: its plans are costed differently.
-	if err := cl.Set("engine", "reference"); err != nil {
+	if err := cl.Set(context.Background(), "engine", "reference"); err != nil {
 		t.Fatal(err)
 	}
-	r3, m3, err := cl.Query(sql)
+	r3, m3, err := cl.Query(context.Background(), sql)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +239,7 @@ func TestServerSessionSettings(t *testing.T) {
 		MemoryBudget:  64 << 20, // per-query share: 32M
 		SpillDir:      t.TempDir(),
 	})
-	cl, err := Dial(srv.Addr())
+	cl, err := Dial(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func TestServerSessionSettings(t *testing.T) {
 
 	engineOf := func() string {
 		t.Helper()
-		_, meta, err := cl.Query(sql)
+		_, meta, err := cl.Query(context.Background(), sql)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -260,28 +261,28 @@ func TestServerSessionSettings(t *testing.T) {
 		t.Fatalf("default engine: %q", got)
 	}
 	// parallel defaults to the full worker share.
-	if err := cl.Set("engine", "parallel"); err != nil {
+	if err := cl.Set(context.Background(), "engine", "parallel"); err != nil {
 		t.Fatal(err)
 	}
 	if got := engineOf(); got != "exec-par4-mem32M" {
 		t.Fatalf("parallel engine: %q", got)
 	}
 	// Requests are capped at the share, never widened.
-	if err := cl.Set("parallel", "64"); err != nil {
+	if err := cl.Set(context.Background(), "parallel", "64"); err != nil {
 		t.Fatal(err)
 	}
 	if got := engineOf(); got != "exec-par4-mem32M" {
 		t.Fatalf("capped parallel: %q", got)
 	}
 	// In-band SET statement: narrow the budget.
-	if _, _, err := cl.Query("SET mem = 1M"); err != nil {
+	if _, _, err := cl.Query(context.Background(), "SET mem = 1M"); err != nil {
 		t.Fatal(err)
 	}
 	if got := engineOf(); got != "exec-par4-mem1M" {
 		t.Fatalf("narrowed budget: %q", got)
 	}
 	// The reference engine refuses parallelism; the session stays intact.
-	err = cl.Set("engine", "reference")
+	err = cl.Set(context.Background(), "engine", "reference")
 	var se *ServerError
 	if !errors.As(err, &se) || se.Code != CodeSet {
 		t.Fatalf("reference+parallel: want a set error, got %v", err)
@@ -292,23 +293,23 @@ func TestServerSessionSettings(t *testing.T) {
 	// Dropping parallelism and the budget share... mem 0 restores the
 	// share, so reference still refuses on a budgeted server only if the
 	// *requested* budget is nonzero. Clear both, then switch.
-	if _, _, err := cl.Query("SET parallel 0"); err != nil {
+	if _, _, err := cl.Query(context.Background(), "SET parallel 0"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := cl.Query("SET mem 0"); err != nil {
+	if _, _, err := cl.Query(context.Background(), "SET mem 0"); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Set("engine", "reference"); err != nil {
+	if err := cl.Set(context.Background(), "engine", "reference"); err != nil {
 		t.Fatal(err)
 	}
 	if got := engineOf(); got != "reference" {
 		t.Fatalf("reference engine: %q", got)
 	}
 	// Unknown setting and malformed SET are typed errors.
-	if err := cl.Set("bogus", "1"); err == nil {
+	if err := cl.Set(context.Background(), "bogus", "1"); err == nil {
 		t.Fatal("unknown setting must fail")
 	}
-	if _, _, err := cl.Query("SET engine"); err == nil {
+	if _, _, err := cl.Query(context.Background(), "SET engine"); err == nil {
 		t.Fatal("malformed SET must fail")
 	}
 }
@@ -316,7 +317,7 @@ func TestServerSessionSettings(t *testing.T) {
 // TestServerQueryErrors pins the typed error codes clients branch on.
 func TestServerQueryErrors(t *testing.T) {
 	srv := startServer(t, Config{Catalog: catalog.Paper(), MaxConcurrent: 2, Workers: 2})
-	cl, err := Dial(srv.Addr())
+	cl, err := Dial(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,14 +329,14 @@ func TestServerQueryErrors(t *testing.T) {
 		// classification must track the stage, not the message prefix.
 		{"SELECT DISTINCT COALESCED EmpName FROM EMPLOYEE", CodePlan},
 	} {
-		_, _, err := cl.Query(c.sql)
+		_, _, err := cl.Query(context.Background(), c.sql)
 		var se *ServerError
 		if !errors.As(err, &se) || se.Code != c.code {
 			t.Errorf("%q: want code %q, got %v", c.sql, c.code, err)
 		}
 	}
 	// The connection survives statement errors.
-	if _, _, err := cl.Query("SELECT EmpName FROM EMPLOYEE"); err != nil {
+	if _, _, err := cl.Query(context.Background(), "SELECT EmpName FROM EMPLOYEE"); err != nil {
 		t.Fatalf("connection must survive statement errors: %v", err)
 	}
 	// An unknown op is a protocol error.
@@ -380,18 +381,18 @@ func TestServerQueryErrors(t *testing.T) {
 func TestServerStatsAndPing(t *testing.T) {
 	cat := catalog.Paper()
 	srv := startServer(t, Config{Catalog: cat, MaxConcurrent: 2, Workers: 2})
-	cl, err := Dial(srv.Addr())
+	cl, err := Dial(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if err := cl.Ping(); err != nil {
+	if err := cl.Ping(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := cl.Query("SELECT EmpName FROM EMPLOYEE"); err != nil {
+	if _, _, err := cl.Query(context.Background(), "SELECT EmpName FROM EMPLOYEE"); err != nil {
 		t.Fatal(err)
 	}
-	st, err := cl.Stats()
+	st, err := cl.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -418,12 +419,12 @@ func TestServerAdmissionRejection(t *testing.T) {
 	entered := make(chan struct{}, 1)
 	setGate(srv, func() { entered <- struct{}{}; <-gate })
 
-	cl1, err := Dial(srv.Addr())
+	cl1, err := Dial(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl1.Close()
-	cl2, err := Dial(srv.Addr())
+	cl2, err := Dial(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -432,12 +433,12 @@ func TestServerAdmissionRejection(t *testing.T) {
 	const sql = "SELECT EmpName FROM EMPLOYEE"
 	held := make(chan error, 1)
 	go func() {
-		_, _, err := cl1.Query(sql)
+		_, _, err := cl1.Query(context.Background(), sql)
 		held <- err
 	}()
 	<-entered // cl1 now owns the only slot
 
-	_, _, err = cl2.Query(sql)
+	_, _, err = cl2.Query(context.Background(), sql)
 	var se *ServerError
 	if !errors.As(err, &se) || se.Code != CodeAdmission {
 		t.Fatalf("saturated server: want an admission error, got %v", err)
@@ -451,7 +452,7 @@ func TestServerAdmissionRejection(t *testing.T) {
 	if err := <-held; err != nil {
 		t.Fatalf("the held query must complete: %v", err)
 	}
-	if _, _, err := cl2.Query(sql); err != nil {
+	if _, _, err := cl2.Query(context.Background(), sql); err != nil {
 		t.Fatalf("rejected client must be able to retry: %v", err)
 	}
 }
@@ -472,12 +473,12 @@ func TestServerGracefulShutdown(t *testing.T) {
 	entered := make(chan struct{}, 1)
 	setGate(srv, func() { entered <- struct{}{}; <-gate })
 
-	cl1, err := Dial(srv.Addr())
+	cl1, err := Dial(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl1.Close()
-	cl2, err := Dial(srv.Addr()) // dialed before the listener closes
+	cl2, err := Dial(context.Background(), srv.Addr()) // dialed before the listener closes
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -490,7 +491,7 @@ func TestServerGracefulShutdown(t *testing.T) {
 	}
 	held := make(chan outcome, 1)
 	go func() {
-		r, _, err := cl1.Query(sql)
+		r, _, err := cl1.Query(context.Background(), sql)
 		held <- outcome{r, err}
 	}()
 	<-entered
@@ -503,7 +504,7 @@ func TestServerGracefulShutdown(t *testing.T) {
 	// the flag concurrently with our request.)
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		_, _, err := cl2.Query(sql)
+		_, _, err := cl2.Query(context.Background(), sql)
 		var se *ServerError
 		if errors.As(err, &se) && se.Code == CodeShutdown {
 			break
@@ -532,8 +533,8 @@ func TestServerGracefulShutdown(t *testing.T) {
 	// immediately on first use).
 	if conn, err := net.DialTimeout("tcp", srv.Addr(), time.Second); err == nil {
 		conn.Close()
-		if cl, err := Dial(srv.Addr()); err == nil {
-			if err := cl.Ping(); err == nil {
+		if cl, err := Dial(context.Background(), srv.Addr()); err == nil {
+			if err := cl.Ping(context.Background()); err == nil {
 				t.Fatal("a closed server must not answer pings")
 			}
 			cl.Close()
@@ -555,14 +556,14 @@ func TestServerDrainDeadline(t *testing.T) {
 	entered := make(chan struct{}, 1)
 	setGate(srv, func() { entered <- struct{}{}; <-gate })
 
-	cl, err := Dial(srv.Addr())
+	cl, err := Dial(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
 	done := make(chan struct{})
 	go func() {
-		cl.Query("SELECT EmpName FROM EMPLOYEE")
+		cl.Query(context.Background(), "SELECT EmpName FROM EMPLOYEE")
 		close(done)
 	}()
 	<-entered
@@ -597,7 +598,7 @@ func TestServerSpillLifecycle(t *testing.T) {
 
 	// Vacuity guard: under the per-query share this statement's plan
 	// really spills (checked on a private engine over the same plan).
-	spec := exec.SpecWith(exec.Options{MemoryBudget: 32 << 10, SpillDir: spill})
+	spec := exec.NewSpec(exec.Config{MemoryBudget: 32 << 10, SpillDir: spill})
 	opt := core.New(cat, core.WithEngine(spec), core.WithDBMSSeed(1))
 	prep, err := opt.Prepare(sql)
 	if err != nil {
@@ -612,13 +613,13 @@ func TestServerSpillLifecycle(t *testing.T) {
 		t.Fatal("vacuous spill test: the statement does not spill at this budget")
 	}
 
-	cl, err := Dial(srv.Addr())
+	cl, err := Dial(context.Background(), srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
 	for i := 0; i < 3; i++ {
-		got, _, err := cl.Query(sql)
+		got, _, err := cl.Query(context.Background(), sql)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -694,13 +695,13 @@ func TestServerQueueHandover(t *testing.T) {
 	results := make(chan error, 2)
 	for i := 0; i < 2; i++ {
 		go func() {
-			cl, err := Dial(srv.Addr())
+			cl, err := Dial(context.Background(), srv.Addr())
 			if err != nil {
 				results <- err
 				return
 			}
 			defer cl.Close()
-			_, _, err = cl.Query("SELECT EmpName FROM EMPLOYEE")
+			_, _, err = cl.Query(context.Background(), "SELECT EmpName FROM EMPLOYEE")
 			results <- err
 		}()
 	}

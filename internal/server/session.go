@@ -71,7 +71,7 @@ func (s *session) set(name, val string) error {
 // and the spill directory is the server's, so every spill file lands under
 // one root the operator chose. Engine-name validation and the reference
 // engine's single-threaded/no-spill conflicts delegate to
-// core.EngineSpecWith, the same resolution the CLIs use, so the error
+// core.EngineFor, the same resolution the CLIs use, so the error
 // vocabulary stays in one place.
 func (s *session) rebuild() error {
 	switch s.engine {
@@ -87,16 +87,16 @@ func (s *session) rebuild() error {
 		if mem == 0 || (s.grant.Memory > 0 && mem > s.grant.Memory) {
 			mem = s.grant.Memory // 0 stays 0 on an unbudgeted server
 		}
-		s.spec = exec.SpecWith(exec.Options{
+		s.spec = exec.NewSpec(exec.Config{
 			Parallelism:  workers,
 			MemoryBudget: mem,
 			SpillDir:     s.spill,
 		})
 		return nil
 	default:
-		// "", "reference", and unknown names: EngineSpecWith validates the
+		// "", "reference", and unknown names: EngineFor validates the
 		// name and the reference engine's conflicts with parallel/mem.
-		spec, err := core.EngineSpecWith(s.engine, s.parallel, s.mem)
+		spec, err := core.EngineFor(s.engine, exec.Config{Parallelism: s.parallel, MemoryBudget: s.mem})
 		if err != nil {
 			return err
 		}

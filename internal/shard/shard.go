@@ -1,0 +1,320 @@
+// Package shard derives a deterministic partitioning of a catalog across n
+// shards — the coordinator's and the shard servers' shared view of who
+// holds which rows. Both sides derive the same Map from the same catalog
+// (the derivation is a pure function of the stored data), so no shard map
+// ever travels over the wire: tqserver -shard i/n keeps slice i, the
+// coordinator plans against the full catalog and knows exactly where every
+// row went.
+//
+// Two strategies exist per relation. Range partitioning cuts the stored
+// order into contiguous slices, aligned to value-group boundaries when the
+// relation's value-equivalent rows are stored contiguously — that keeps
+// whole groups on one shard, which is what lets group operations (temporal
+// coalescing, duplicate elimination, aggregation) push down without a
+// cross-shard combine. Hash partitioning assigns each row by a hash of its
+// value attributes, which also colocates value-equivalent rows but spreads
+// groups evenly regardless of storage order. Auto mode picks Range when
+// the data is stored grouped and Hash otherwise. Either way a shard's
+// slice preserves the stored order of its rows, so every local row keeps
+// its global sequence key (its position in the unsharded relation) — the
+// coordinate system the coordinator's deterministic merges work in.
+package shard
+
+import (
+	"fmt"
+
+	"tqp/internal/catalog"
+	"tqp/internal/physical"
+	"tqp/internal/relation"
+)
+
+// Strategy is how one relation is split across shards.
+type Strategy uint8
+
+const (
+	// Hash assigns row t to shard HashOn(valueAttrs) % n.
+	Hash Strategy = iota
+	// Range assigns contiguous slices of the stored order.
+	Range
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s == Range {
+		return "range"
+	}
+	return "hash"
+}
+
+// Mode selects how NewMap picks each relation's strategy.
+type Mode uint8
+
+const (
+	// Auto picks Range for relations stored grouped on their value
+	// attributes, Hash otherwise.
+	Auto Mode = iota
+	// ForceHash hashes every relation.
+	ForceHash
+	// ForceRange range-partitions every relation (cut at group
+	// boundaries when the data allows, plain equal slices otherwise).
+	ForceRange
+)
+
+// ParseMode parses a mode flag value: "auto", "hash" or "range".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "auto", "":
+		return Auto, nil
+	case "hash":
+		return ForceHash, nil
+	case "range":
+		return ForceRange, nil
+	}
+	return Auto, fmt.Errorf("shard: unknown mode %q (want 'auto', 'hash' or 'range')", s)
+}
+
+// Map is the partitioning of one catalog across N shards.
+type Map struct {
+	N    int
+	cat  *catalog.Catalog
+	rels map[string]*relPart
+}
+
+type relPart struct {
+	strategy Strategy
+	vidx     []int // value-attribute positions (hash input, colocation set)
+	cuts     []int // Range: N+1 slice boundaries into the stored order
+	assign   []int // Hash: row position -> shard index
+}
+
+// NewMap derives the partitioning of cat across n shards in Auto mode.
+func NewMap(cat *catalog.Catalog, n int) (*Map, error) {
+	return NewMapMode(cat, n, Auto)
+}
+
+// NewMapMode derives the partitioning with an explicit strategy mode.
+func NewMapMode(cat *catalog.Catalog, n int, mode Mode) (*Map, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: want at least 1 shard, got %d", n)
+	}
+	m := &Map{N: n, cat: cat, rels: make(map[string]*relPart)}
+	for _, name := range cat.Names() {
+		e, err := cat.Entry(name)
+		if err != nil {
+			return nil, err
+		}
+		vidx := physical.ValueIdx(e.Rel.Schema())
+		grouped, bounds := groupRuns(e.Rel, vidx)
+		p := &relPart{vidx: vidx}
+		useRange := mode == ForceRange || (mode == Auto && grouped)
+		if useRange {
+			p.strategy = Range
+			if !grouped {
+				// Forced range over ungrouped data: cut anywhere.
+				bounds = everyRow(e.Rel.Len())
+			}
+			p.cuts = cutAt(bounds, e.Rel.Len(), n)
+		} else {
+			p.strategy = Hash
+			p.assign = make([]int, e.Rel.Len())
+			for i, t := range e.Rel.Tuples() {
+				p.assign[i] = int(t.HashOn(vidx) % uint64(n))
+			}
+		}
+		m.rels[name] = p
+	}
+	return m, nil
+}
+
+// StrategyOf reports the strategy chosen for one relation.
+func (m *Map) StrategyOf(rel string) (Strategy, bool) {
+	p, ok := m.rels[rel]
+	if !ok {
+		return 0, false
+	}
+	return p.strategy, true
+}
+
+// Positions returns the global sequence keys of shard i's slice of rel, in
+// stored order.
+func (m *Map) Positions(rel string, i int) ([]int, error) {
+	p, ok := m.rels[rel]
+	if !ok {
+		return nil, fmt.Errorf("shard: unknown relation %q", rel)
+	}
+	if i < 0 || i >= m.N {
+		return nil, fmt.Errorf("shard: index %d out of range [0,%d)", i, m.N)
+	}
+	if p.strategy == Range {
+		lo, hi := p.cuts[i], p.cuts[i+1]
+		out := make([]int, hi-lo)
+		for j := range out {
+			out[j] = lo + j
+		}
+		return out, nil
+	}
+	var out []int
+	for j, s := range p.assign {
+		if s == i {
+			out = append(out, j)
+		}
+	}
+	if out == nil {
+		out = []int{}
+	}
+	return out, nil
+}
+
+// Partition materializes shard i: a catalog holding slice i of every
+// relation (stored order preserved, base info carried over — every flag is
+// downward-closed under taking subsequences) plus the slices' global
+// sequence keys. The sub-catalog is what a shard server loads; the
+// positions are what it reports for provenance.
+func (m *Map) Partition(i int) (*catalog.Catalog, map[string][]int, error) {
+	out := catalog.New()
+	positions := make(map[string][]int, len(m.rels))
+	for _, name := range m.cat.Names() {
+		e, err := m.cat.Entry(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		pos, err := m.Positions(name, i)
+		if err != nil {
+			return nil, nil, err
+		}
+		tuples := make([]relation.Tuple, len(pos))
+		for j, g := range pos {
+			tuples[j] = e.Rel.At(g)
+		}
+		sub := relation.FromTuplesTrusted(e.Rel.Schema(), tuples)
+		if err := out.AddTrusted(name, sub, e.Info); err != nil {
+			return nil, nil, err
+		}
+		positions[name] = pos
+	}
+	return out, positions, nil
+}
+
+// Colocated reports whether every group of value-equivalent-on-attrs rows
+// of rel lives wholly on one shard — the precondition for pushing a group
+// operation on attrs down to the shards. Hash partitioning colocates any
+// grouping that includes all hashed attributes; Range partitioning is
+// checked against the data: the grouping must be contiguous in the stored
+// order and no cut may split a run.
+func (m *Map) Colocated(rel string, attrs []string) bool {
+	p, ok := m.rels[rel]
+	if !ok {
+		return false
+	}
+	e, err := m.cat.Entry(rel)
+	if err != nil {
+		return false
+	}
+	sch := e.Rel.Schema()
+	idx := make([]int, 0, len(attrs))
+	for _, a := range attrs {
+		j := sch.Index(a)
+		if j < 0 {
+			return false
+		}
+		idx = append(idx, j)
+	}
+	if p.strategy == Hash {
+		// Rows agreeing on attrs ⊇ vidx agree on vidx, so they hash alike.
+		for _, v := range p.vidx {
+			found := false
+			for _, j := range idx {
+				if j == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	grouped, bounds := groupRuns(e.Rel, idx)
+	if !grouped {
+		return false
+	}
+	isBound := make(map[int]bool, len(bounds))
+	for _, b := range bounds {
+		isBound[b] = true
+	}
+	for _, c := range p.cuts[1:m.N] {
+		if c != e.Rel.Len() && !isBound[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// groupRuns scans rel's stored order for runs of rows equal on the idx
+// attributes. It reports whether the relation is grouped — every distinct
+// idx-combination occupies exactly one contiguous run — and the run-start
+// boundaries (excluding 0). Repeat detection hashes combinations; a
+// collision can only demote "grouped" to "ungrouped", never the reverse,
+// so the answer errs on the safe side.
+func groupRuns(rel *relation.Relation, idx []int) (bool, []int) {
+	n := rel.Len()
+	var bounds []int
+	seen := make(map[uint64]bool)
+	grouped := true
+	for i := 0; i < n; i++ {
+		if i > 0 && equalOn(rel.At(i-1), rel.At(i), idx) {
+			continue
+		}
+		if i > 0 {
+			bounds = append(bounds, i)
+		}
+		h := rel.At(i).HashOn(idx)
+		if seen[h] {
+			grouped = false
+		}
+		seen[h] = true
+	}
+	return grouped, bounds
+}
+
+func equalOn(a, b relation.Tuple, idx []int) bool {
+	for _, j := range idx {
+		if !a[j].Equal(b[j]) {
+			return false
+		}
+	}
+	return true
+}
+
+// everyRow is the boundary set of ungrouped data: a cut may fall anywhere.
+func everyRow(n int) []int {
+	out := make([]int, 0, n)
+	for i := 1; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// cutAt picks n+1 slice boundaries over a length-total relation, each cut
+// at the first allowed boundary at or past the balanced position.
+func cutAt(bounds []int, total, n int) []int {
+	cuts := make([]int, n+1)
+	cuts[n] = total
+	bi := 0
+	for i := 1; i < n; i++ {
+		ideal := i * total / n
+		if ideal < cuts[i-1] {
+			ideal = cuts[i-1]
+		}
+		for bi < len(bounds) && bounds[bi] < ideal {
+			bi++
+		}
+		if bi < len(bounds) {
+			cuts[i] = bounds[bi]
+		} else {
+			cuts[i] = total
+		}
+	}
+	return cuts
+}

@@ -69,6 +69,7 @@ import (
 	"tqp/internal/datagen"
 	"tqp/internal/equiv"
 	"tqp/internal/eval"
+	"tqp/internal/exec"
 	"tqp/internal/period"
 	"tqp/internal/relation"
 	"tqp/internal/schema"
@@ -170,11 +171,20 @@ var (
 	// ResolveEngine maps an engine name ("reference", "exec", "parallel")
 	// to its spec.
 	ResolveEngine = core.EngineSpec
-	// ResolveEngineWith resolves an engine name with an explicit worker
-	// count for the morsel-parallel engine and a memory budget in bytes
-	// (0 = unlimited) for the memory-bounded engine.
+	// ResolveEngineFor resolves an engine name against an EngineConfig
+	// (worker count, memory budget, spill directory, variant restrictions).
+	ResolveEngineFor = core.EngineFor
+	// ResolveEngineWith resolves an engine name with positional worker
+	// count and memory budget.
+	//
+	// Deprecated: use ResolveEngineFor with an EngineConfig.
 	ResolveEngineWith = core.EngineSpecWith
 )
+
+// EngineConfig is the unified engine-configuration surface (exec.Config):
+// every exec-engine knob in one struct, consumed by ResolveEngineFor and
+// exec.NewSpec.
+type EngineConfig = exec.Config
 
 // EngineSpec describes a physical execution engine for the stratum.
 type EngineSpec = eval.EngineSpec
