@@ -37,6 +37,7 @@ func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:7040", "TCP listen address (use :0 for an ephemeral port)")
 		db           = flag.String("db", "paper", "database: 'paper' or 'synth'")
+		dbDir        = flag.String("db-dir", "", "persistent store directory; seeded from -db on first open, read from disk after (empty = in-memory)")
 		employees    = flag.Int("employees", 1000, "synthetic database size (with -db synth)")
 		engine       = flag.String("engine", "exec", "default session engine: 'reference', 'exec' or 'parallel'")
 		maxConc      = flag.Int("max-concurrent", 0, "concurrent query cap (0 = GOMAXPROCS)")
@@ -53,7 +54,7 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg, err := buildConfig(*addr, *db, *employees, *engine, *maxConc, *queue, *queueTimeout,
+	cfg, err := buildConfig(*addr, *db, *dbDir, *employees, *engine, *maxConc, *queue, *queueTimeout,
 		*workers, *mem, *cacheSize, *spillDir, *seed, *drain, *shardSpec, *shardMode)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tqserver: %v\n", err)
@@ -82,7 +83,7 @@ func main() {
 
 // buildConfig resolves the flag surface to a server.Config; split out of
 // main for testability.
-func buildConfig(addr, db string, employees int, engine string, maxConc, queue int,
+func buildConfig(addr, db, dbDir string, employees int, engine string, maxConc, queue int,
 	queueTimeout time.Duration, workers int, mem string, cacheSize int,
 	spillDir string, seed int64, drain time.Duration, shardSpec, shardMode string) (server.Config, error) {
 	budget, err := core.ParseBytes(mem)
@@ -99,6 +100,14 @@ func buildConfig(addr, db string, employees int, engine string, maxConc, queue i
 		})
 	default:
 		return server.Config{}, fmt.Errorf("unknown database %q (want 'paper' or 'synth')", db)
+	}
+	if dbDir != "" {
+		// The in-memory catalog built above becomes the seed for a fresh
+		// store; a restart on the same directory ignores it and reads disk.
+		cat, err = tqp.OpenDiskCatalog(dbDir, cat)
+		if err != nil {
+			return server.Config{}, err
+		}
 	}
 	var positions map[string][]int
 	if shardSpec != "" {

@@ -33,6 +33,7 @@ import (
 
 func main() {
 	db := flag.String("db", "paper", "database: 'paper' or 'synth' (local mode)")
+	dbDir := flag.String("db-dir", "", "persistent store directory; seeded from -db on first open, read from disk after (local mode, empty = in-memory)")
 	employees := flag.Int("employees", 50, "synthetic database size (with -db synth)")
 	engine := flag.String("engine", "reference", "physical engine for stratum subplans: 'reference', 'exec' or 'parallel'")
 	parallel := flag.Int("parallel", 0, "worker count for the morsel-parallel engine (with -engine exec|parallel)")
@@ -56,7 +57,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tqshell: -mem: %v\n", err)
 		os.Exit(2)
 	}
-	cat, err := openCatalog(*db, *employees)
+	cat, err := openCatalog(*db, *dbDir, *employees)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tqshell: %v\n", err)
 		os.Exit(2)
@@ -69,18 +70,23 @@ func main() {
 	runREPL(b, os.Stdin, os.Stdout)
 }
 
-// openCatalog resolves the -db flag to a catalog instance.
-func openCatalog(db string, employees int) (*tqp.Catalog, error) {
+// openCatalog resolves the -db/-db-dir flags to a catalog instance.
+func openCatalog(db, dbDir string, employees int) (*tqp.Catalog, error) {
+	var cat *tqp.Catalog
 	switch db {
 	case "paper":
-		return tqp.PaperCatalog(), nil
+		cat = tqp.PaperCatalog()
 	case "synth":
-		return tqp.SyntheticEmployeeDB(tqp.EmployeeSpec{
+		cat = tqp.SyntheticEmployeeDB(tqp.EmployeeSpec{
 			Employees: employees, SpellsPerEmp: 3, AssignmentsPerEmp: 4, Seed: 42,
-		}), nil
+		})
 	default:
 		return nil, fmt.Errorf("unknown database %q", db)
 	}
+	if dbDir != "" {
+		return tqp.OpenDiskCatalog(dbDir, cat)
+	}
+	return cat, nil
 }
 
 // backend is what the REPL drives: local in-process evaluation or a remote

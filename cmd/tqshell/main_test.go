@@ -13,7 +13,7 @@ import (
 // the rendered transcript.
 func session(t *testing.T, lines ...string) string {
 	t.Helper()
-	cat, err := openCatalog("paper", 0)
+	cat, err := openCatalog("paper", "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestSessionSetLocal(t *testing.T) {
 // session, in-band SET statements work, and repeat statements hit the plan
 // cache.
 func TestSessionClientMode(t *testing.T) {
-	cat, err := openCatalog("paper", 0)
+	cat, err := openCatalog("paper", "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,10 +197,10 @@ func TestSessionClientMode(t *testing.T) {
 
 // TestOpenCatalogRejectsUnknown pins the -db error path.
 func TestOpenCatalogRejectsUnknown(t *testing.T) {
-	if _, err := openCatalog("mystery", 0); err == nil {
+	if _, err := openCatalog("mystery", "", 0); err == nil {
 		t.Fatal("unknown database name must be rejected")
 	}
-	if cat, err := openCatalog("synth", 5); err != nil || len(cat.Names()) == 0 {
+	if cat, err := openCatalog("synth", "", 5); err != nil || len(cat.Names()) == 0 {
 		t.Fatalf("synth catalog: %v", err)
 	}
 }

@@ -10,8 +10,10 @@ import (
 	"sort"
 
 	"tqp/internal/algebra"
+	"tqp/internal/period"
 	"tqp/internal/relation"
 	"tqp/internal/schema"
+	"tqp/internal/store"
 	"tqp/internal/value"
 )
 
@@ -23,6 +25,11 @@ type Stats struct {
 	DistinctFrac float64
 	// AvgPeriod is the mean period duration of a temporal relation.
 	AvgPeriod float64
+	// MinT and MaxT bound the non-empty periods of a temporal relation
+	// (earliest start, latest end) — the selectivity anchors for
+	// time-travel scans. Both are 0 for snapshot relations and for
+	// temporal relations with no non-empty periods.
+	MinT, MaxT period.Chronon
 }
 
 // Entry is one catalog relation.
@@ -31,11 +38,23 @@ type Entry struct {
 	Rel   *relation.Relation
 	Info  algebra.BaseInfo
 	Stats Stats
+
+	// segs mirrors the persistent store's segment list for a disk-backed
+	// relation (append order; cumulative Rows give each segment's row
+	// range within Rel). Nil for purely in-memory entries, which have no
+	// period index to prune with.
+	segs []store.SegmentInfo
 }
 
 // Catalog is a set of named relations.
 type Catalog struct {
 	entries map[string]*Entry
+
+	// st is the persistent store backing this catalog's relations, or nil
+	// for an in-memory catalog. Appends and compactions write through to
+	// it, and its manifest version is folded into Fingerprint so cached
+	// plans never outlive the data they were planned against.
+	st *store.Store
 }
 
 // New returns an empty catalog.
@@ -49,17 +68,8 @@ func (c *Catalog) Add(name string, r *relation.Relation, info algebra.BaseInfo) 
 	if _, dup := c.entries[name]; dup {
 		return fmt.Errorf("catalog: relation %q already exists", name)
 	}
-	if info.Distinct && r.HasDuplicates() {
-		return fmt.Errorf("catalog: %q declared distinct but has duplicates", name)
-	}
-	if info.SnapshotDistinct && r.HasSnapshotDuplicates() {
-		return fmt.Errorf("catalog: %q declared snapshot-distinct but has snapshot duplicates", name)
-	}
-	if info.Coalesced && !r.IsCoalesced() {
-		return fmt.Errorf("catalog: %q declared coalesced but is not", name)
-	}
-	if !info.Order.Empty() && !r.SortedBy(info.Order) {
-		return fmt.Errorf("catalog: %q declared sorted by %s but is not", name, info.Order)
+	if err := verifyInfo(name, r, info); err != nil {
+		return err
 	}
 	r = r.Clone()
 	r.SetOrder(info.Order)
@@ -91,6 +101,25 @@ func (c *Catalog) MustAdd(name string, r *relation.Relation, info algebra.BaseIn
 	}
 }
 
+// verifyInfo checks declared base-info flags against the instance — the
+// truth gate shared by Add and by appends to existing entries (an append
+// must not silently falsify what the optimizer was promised).
+func verifyInfo(name string, r *relation.Relation, info algebra.BaseInfo) error {
+	if info.Distinct && r.HasDuplicates() {
+		return fmt.Errorf("catalog: %q declared distinct but has duplicates", name)
+	}
+	if info.SnapshotDistinct && r.HasSnapshotDuplicates() {
+		return fmt.Errorf("catalog: %q declared snapshot-distinct but has snapshot duplicates", name)
+	}
+	if info.Coalesced && !r.IsCoalesced() {
+		return fmt.Errorf("catalog: %q declared coalesced but is not", name)
+	}
+	if !info.Order.Empty() && !r.SortedBy(info.Order) {
+		return fmt.Errorf("catalog: %q declared sorted by %s but is not", name, info.Order)
+	}
+	return nil
+}
+
 func computeStats(r *relation.Relation) Stats {
 	s := Stats{Card: r.Len(), DistinctFrac: 1}
 	if r.Len() > 0 {
@@ -102,21 +131,31 @@ func computeStats(r *relation.Relation) Stats {
 	}
 	if r.Temporal() && r.Len() > 0 {
 		var total int64
+		first := true
 		for _, p := range r.Periods() {
 			total += p.Duration()
+			if p.Empty() {
+				continue
+			}
+			if first || p.Start < s.MinT {
+				s.MinT = p.Start
+			}
+			if first || p.End > s.MaxT {
+				s.MaxT = p.End
+			}
+			first = false
 		}
 		s.AvgPeriod = float64(total) / float64(r.Len())
 	}
 	return s
 }
 
-// Resolve implements eval.Source.
+// Resolve implements eval.Source. Scan names carrying a time-travel suffix
+// (see ScanName) resolve to the period-filtered view of their base
+// relation.
 func (c *Catalog) Resolve(name string) (*relation.Relation, error) {
-	e, ok := c.entries[name]
-	if !ok {
-		return nil, fmt.Errorf("catalog: unknown relation %q", name)
-	}
-	return e.Rel, nil
+	r, _, _, err := c.ResolveScan(name)
+	return r, err
 }
 
 // Entry returns the catalog entry for name.
@@ -158,10 +197,17 @@ func (c *Catalog) Fingerprint() string {
 	h := fnv.New64a()
 	for _, name := range c.Names() {
 		e := c.entries[name]
-		fmt.Fprintf(h, "%s|%s|%v|%v|%v|%s|%d|%.9g|%.9g;",
+		fmt.Fprintf(h, "%s|%s|%v|%v|%v|%s|%d|%.9g|%.9g|%d|%d|%d;",
 			name, e.Rel.Schema(), e.Info.Distinct, e.Info.SnapshotDistinct,
 			e.Info.Coalesced, e.Info.Order, e.Stats.Card,
-			e.Stats.DistinctFrac, e.Stats.AvgPeriod)
+			e.Stats.DistinctFrac, e.Stats.AvgPeriod,
+			e.Stats.MinT, e.Stats.MaxT, len(e.segs))
+	}
+	if c.st != nil {
+		// The manifest version counts every durable commit, so a cached
+		// plan keyed under an older fingerprint can never be replayed over
+		// appended or compacted data.
+		fmt.Fprintf(h, "store|%d;", c.st.Version())
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }

@@ -122,6 +122,14 @@ type Params struct {
 	// ShipTuple is the per-tuple cost of shipping one shard-result row to
 	// the coordinator and routing it through the k-way gather merge.
 	ShipTuple float64
+	// SegmentRead is the per-segment cost of a disk-backed base scan: one
+	// store segment's worth of block reads, CRC checks and decoding. A
+	// time-travel scan pays it only for segments surviving the period
+	// index's fence pruning, which is what makes an indexed scan of a
+	// narrow period cheaper than a full scan of the same relation.
+	// In-memory relations have no segments and price scans at zero, as
+	// before.
+	SegmentRead float64
 }
 
 // DefaultParams returns the calibration used by the experiments, matching
@@ -146,6 +154,7 @@ func DefaultParams() Params {
 		VecExchangeFactor:   0.4,
 		VecSpillFactor:      0.6,
 		ShipTuple:           0.5,
+		SegmentRead:         32.0,
 	}
 }
 
@@ -523,13 +532,18 @@ func (m *Model) estimateOne(n algebra.Node, site props.Site, ce []Estimate, orde
 
 	switch n.Op() {
 	case algebra.OpRel:
-		rows := 32.0
+		rows, cst := 32.0, 0.0
 		if rel, ok := n.(*algebra.Rel); ok {
-			if e, err := m.cat.Entry(rel.Name); err == nil {
-				rows = float64(e.Stats.Card)
+			// The catalog's scan estimate understands travel-suffixed names
+			// (BASE@asof:t) and counts only the disk segments surviving the
+			// period index's fence pruning; in-memory relations report zero
+			// segments and keep the historical free scan.
+			if est, ok := m.cat.ScanEstimate(rel.Name); ok {
+				rows = est.Rows
+				cst = float64(est.Segments) * p.SegmentRead
 			}
 		}
-		return Estimate{Rows: rows, Cost: 0}
+		return Estimate{Rows: rows, Cost: cst}
 	case algebra.OpSelect:
 		in := ce[0].Rows
 		return Estimate{Rows: in * p.DefaultSelectivity, Cost: in * tuple}

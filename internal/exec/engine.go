@@ -35,6 +35,9 @@ type Stats struct {
 
 	VectorOps     int // operators compiled batch-at-a-time over columnar input
 	VectorBatches int // columnar batches emitted by those operators this run
+
+	SegmentsScanned int // store segments read by base scans this run
+	SegmentsSkipped int // store segments pruned by the period index this run
 }
 
 // Engine is the streaming hash- and merge-based engine. It implements

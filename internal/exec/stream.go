@@ -11,9 +11,26 @@ import (
 	"tqp/internal/schema"
 )
 
+// scanSource is the optional richer resolution interface a source may
+// implement (the catalog does): alongside the relation it reports how many
+// store segments the scan read and how many the period index pruned. The
+// assertion is structural so exec needs no catalog import.
+type scanSource interface {
+	ResolveScan(name string) (*relation.Relation, int, int, error)
+}
+
 // buildRel compiles a base-relation scan.
 func (e *Engine) buildRel(n *algebra.Rel) (*source, error) {
-	r, err := e.src.Resolve(n.Name)
+	var r *relation.Relation
+	var err error
+	if ss, ok := e.src.(scanSource); ok {
+		var scanned, skipped int
+		r, scanned, skipped, err = ss.ResolveScan(n.Name)
+		e.stats.SegmentsScanned += scanned
+		e.stats.SegmentsSkipped += skipped
+	} else {
+		r, err = e.src.Resolve(n.Name)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -115,55 +115,70 @@ func FromTuples(s *schema.Schema, tuples []Tuple) (*Relation, error) {
 // catalogs), converting each cell to the schema's domain. It panics on any
 // mismatch.
 func MustFromRows(s *schema.Schema, rows [][]any) *Relation {
-	r := New(s)
-	for _, row := range rows {
-		if len(row) != s.Len() {
-			panic(fmt.Sprintf("relation: row arity %d vs schema %s", len(row), s))
-		}
-		t := make(Tuple, len(row))
-		for i, cell := range row {
-			t[i] = convertCell(s.At(i).Kind, cell)
-		}
-		r.tuples = append(r.tuples, t)
+	r, err := FromRows(s, rows)
+	if err != nil {
+		panic(err.Error())
 	}
 	return r
 }
 
-func convertCell(k value.Kind, cell any) value.Value {
+// FromRows is MustFromRows returning conversion errors instead of
+// panicking — the ingestion path for data that did not come from a fixture
+// (e.g. rows appended to a persistent catalog at runtime).
+func FromRows(s *schema.Schema, rows [][]any) (*Relation, error) {
+	r := New(s)
+	for j, row := range rows {
+		if len(row) != s.Len() {
+			return nil, fmt.Errorf("relation: row %d arity %d vs schema %s", j, len(row), s)
+		}
+		t := make(Tuple, len(row))
+		for i, cell := range row {
+			v, ok := convertCell(s.At(i).Kind, cell)
+			if !ok {
+				return nil, fmt.Errorf("relation: row %d: cannot convert %T to %s", j, cell, s.At(i).Kind)
+			}
+			t[i] = v
+		}
+		r.tuples = append(r.tuples, t)
+	}
+	return r, nil
+}
+
+func convertCell(k value.Kind, cell any) (value.Value, bool) {
 	switch k {
 	case value.KindInt:
 		switch c := cell.(type) {
 		case int:
-			return value.Int(int64(c))
+			return value.Int(int64(c)), true
 		case int64:
-			return value.Int(c)
+			return value.Int(c), true
 		}
 	case value.KindFloat:
 		switch c := cell.(type) {
 		case float64:
-			return value.Float(c)
+			return value.Float(c), true
 		case int:
-			return value.Float(float64(c))
+			return value.Float(float64(c)), true
 		}
 	case value.KindString:
 		if c, ok := cell.(string); ok {
-			return value.String_(c)
+			return value.String_(c), true
 		}
 	case value.KindBool:
 		if c, ok := cell.(bool); ok {
-			return value.Bool(c)
+			return value.Bool(c), true
 		}
 	case value.KindTime:
 		switch c := cell.(type) {
 		case int:
-			return value.Time(period.Chronon(c))
+			return value.Time(period.Chronon(c)), true
 		case int64:
-			return value.Time(period.Chronon(c))
+			return value.Time(period.Chronon(c)), true
 		case period.Chronon:
-			return value.Time(c)
+			return value.Time(c), true
 		}
 	}
-	panic(fmt.Sprintf("relation: cannot convert %T to %s", cell, k))
+	return value.Value{}, false
 }
 
 // Schema returns the relation's schema.

@@ -1,0 +1,54 @@
+package server
+
+import "testing"
+
+// TestPlanKeyTravelDistinctness pins the cache-correctness property the FOR
+// clause depends on: two statements that differ only in their travel
+// restriction must never share a plan-cache entry, while trivial whitespace
+// and case variants of one statement must collapse onto one. A collision
+// here would serve yesterday's snapshot for today's query.
+func TestPlanKeyTravelDistinctness(t *testing.T) {
+	const fp, eng = "fp0", "exec"
+	key := func(sql string) string { return PlanKey(fp, eng, sql) }
+
+	distinct := []string{
+		"SELECT EmpName FROM EMPLOYEE",
+		"SELECT EmpName FROM EMPLOYEE FOR SYSTEM_TIME AS OF 5",
+		"SELECT EmpName FROM EMPLOYEE FOR SYSTEM_TIME AS OF 6",
+		"SELECT EmpName FROM EMPLOYEE FOR SYSTEM_TIME AS OF -5",
+		"SELECT EmpName FROM EMPLOYEE FOR PERIOD (2, 9)",
+		"SELECT EmpName FROM EMPLOYEE FOR PERIOD (2, 10)",
+		"SELECT EmpName FROM EMPLOYEE FOR PERIOD (3, 9)",
+	}
+	seen := make(map[string]string, len(distinct))
+	for _, sql := range distinct {
+		k := key(sql)
+		if prev, ok := seen[k]; ok {
+			t.Errorf("PlanKey collision between %q and %q", prev, sql)
+		}
+		seen[k] = sql
+	}
+
+	// Whitespace-only variants of one travel statement share an entry
+	// (normalization is case-preserving, so case variants are only misses).
+	base := key("SELECT EmpName FROM EMPLOYEE FOR SYSTEM_TIME AS OF 5")
+	for _, sql := range []string{
+		"SELECT  EmpName  FROM  EMPLOYEE  FOR  SYSTEM_TIME  AS  OF  5",
+		"\tSELECT EmpName\nFROM EMPLOYEE FOR SYSTEM_TIME AS OF 5  ",
+		"SELECT EmpName FROM EMPLOYEE FOR SYSTEM_TIME AS OF 5;",
+	} {
+		if key(sql) != base {
+			t.Errorf("variant %q missed the cached entry", sql)
+		}
+	}
+
+	// The other two key components still separate entries: a catalog change
+	// (fingerprint) or a different engine must not reuse the plan.
+	sql := "SELECT EmpName FROM EMPLOYEE FOR SYSTEM_TIME AS OF 5"
+	if PlanKey("fp1", eng, sql) == PlanKey("fp2", eng, sql) {
+		t.Error("fingerprint does not separate entries")
+	}
+	if PlanKey(fp, "merge", sql) == PlanKey(fp, "exec", sql) {
+		t.Error("engine does not separate entries")
+	}
+}

@@ -623,6 +623,26 @@ func decodeBlock(br *bufio.Reader, seqs []int, buf []byte) ([]int, []relation.Tu
 // drive a multi-gigabyte allocation.
 const maxBlockSize = 64 << 20
 
+// EncodeBlock appends one columnar block of same-arity tuples to dst in the
+// spill block format (see encodeBlock) and returns the extended slice. It is
+// the exported face of the codec for other on-disk formats — the persistent
+// temporal store's segment files carry exactly these blocks, so both disk
+// representations share one codec, one checksum, and one corruption story.
+// len(seqs) must equal len(rows), both non-empty, and rows must share one
+// arity; callers chunk at BlockRows to match the writer's own packing.
+func EncodeBlock(dst []byte, seqs []int, rows []relation.Tuple) []byte {
+	return encodeBlock(dst, seqs, rows)
+}
+
+// DecodeBlock reads one block from br, verifying the length bound and the
+// CRC-32C checksum. seqs and buf are scratch recycled across calls (pass the
+// returned buf back in); the returned tuples are freshly allocated and may
+// be retained. Any error — truncation, checksum mismatch, malformed cells —
+// identifies a corrupt or torn block; the codec never panics on bad input.
+func DecodeBlock(br *bufio.Reader, seqs []int, buf []byte) ([]int, []relation.Tuple, []byte, error) {
+	return decodeBlock(br, seqs, buf)
+}
+
 // tupleOverhead approximates the resident cost of one tuple beyond its
 // values: the slice header plus allocator slack.
 const tupleOverhead = 48

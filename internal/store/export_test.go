@@ -1,0 +1,6 @@
+package store
+
+// SetFault installs the test-only fault hook: fn is called at the named
+// points of the commit sequence ("segment", "manifest") and a non-nil return
+// abandons the commit there, simulating a writer killed mid-commit.
+func (s *Store) SetFault(fn func(point string) error) { s.fault = fn }

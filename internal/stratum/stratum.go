@@ -37,6 +37,12 @@ type Trace struct {
 	DBMSUnits    float64
 	// TransferUnits is the simulated transfer cost.
 	TransferUnits float64
+	// SegmentsScanned and SegmentsSkipped meter the persistent store's
+	// period index over this run's base scans at the DBMS site: segments
+	// read versus segments whose min/max chronon fences proved they cannot
+	// overlap a time-travel scan's query period.
+	SegmentsScanned int
+	SegmentsSkipped int
 }
 
 // TotalUnits is the simulated total cost of the run.
@@ -45,9 +51,26 @@ func (t *Trace) TotalUnits() float64 { return t.StratumUnits + t.DBMSUnits + t.T
 // Executor runs layered plans.
 type Executor struct {
 	cat    *catalog.Catalog
+	src    *countingSource
 	engine *dbms.Engine
 	params cost.Params
 	phys   eval.EngineSpec
+}
+
+// countingSource wraps the catalog as the DBMS's base-relation source so
+// that leaf scans are metered: it forwards the catalog's travel-aware
+// resolution and accumulates the store's segment counters for the trace.
+type countingSource struct {
+	cat     *catalog.Catalog
+	scanned int
+	skipped int
+}
+
+func (cs *countingSource) Resolve(name string) (*relation.Relation, error) {
+	r, scanned, skipped, err := cs.cat.ResolveScan(name)
+	cs.scanned += scanned
+	cs.skipped += skipped
+	return r, err
 }
 
 // New returns an executor over the catalog whose DBMS uses the given
@@ -75,9 +98,11 @@ func NewWithEngine(cat *catalog.Catalog, seed int64, spec eval.EngineSpec) *Exec
 	params.Parallelism = spec.Parallelism
 	params.MemoryBudget = spec.MemoryBudget
 	params.Vectorized = spec.Vectorized
+	src := &countingSource{cat: cat}
 	return &Executor{
 		cat:    cat,
-		engine: dbms.New(cat, seed),
+		src:    src,
+		engine: dbms.New(src, seed),
 		params: params,
 		phys:   spec,
 	}
@@ -86,6 +111,7 @@ func NewWithEngine(cat *catalog.Catalog, seed int64, spec eval.EngineSpec) *Exec
 // Execute runs the plan and returns its result with a trace.
 func (x *Executor) Execute(plan algebra.Node) (*relation.Relation, *Trace, error) {
 	tr := &Trace{Engine: x.phys.Name}
+	x.src.scanned, x.src.skipped = 0, 0
 	x.engine.SetStratumCallback(func(n algebra.Node) (*relation.Relation, error) {
 		r, err := x.exec(n, tr)
 		if err != nil {
@@ -99,6 +125,7 @@ func (x *Executor) Execute(plan algebra.Node) (*relation.Relation, *Trace, error
 	if err != nil {
 		return nil, nil, err
 	}
+	tr.SegmentsScanned, tr.SegmentsSkipped = x.src.scanned, x.src.skipped
 	return r, tr, nil
 }
 

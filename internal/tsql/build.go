@@ -7,6 +7,7 @@ import (
 	"tqp/internal/catalog"
 	"tqp/internal/equiv"
 	"tqp/internal/expr"
+	"tqp/internal/period"
 	"tqp/internal/relation"
 	"tqp/internal/schema"
 )
@@ -101,14 +102,31 @@ func (q *Query) Plan(cat *catalog.Catalog) (algebra.Node, error) {
 	return plan, nil
 }
 
+// travelOf converts the parsed FOR restriction to the catalog's form.
+func travelOf(t *travelAST) *catalog.Travel {
+	if t.asOf {
+		return &catalog.Travel{Kind: catalog.TravelAsOf, T: period.Chronon(t.t)}
+	}
+	return &catalog.Travel{Kind: catalog.TravelPeriod, Start: period.Chronon(t.start), End: period.Chronon(t.end)}
+}
+
 // buildSelect maps one SELECT block.
 func buildSelect(sel *selectAST, cat *catalog.Catalog, vt bool) (algebra.Node, error) {
 	if len(sel.from) == 0 {
 		return nil, fmt.Errorf("tsql: empty FROM")
 	}
 	var plan algebra.Node
-	for i, name := range sel.from {
-		rel, err := cat.Node(name)
+	for i, f := range sel.from {
+		var rel *algebra.Rel
+		var err error
+		if f.travel != nil {
+			// A FOR restriction lowers to an indexed period scan: the leaf's
+			// name encodes the query period, and the catalog's resolution
+			// layer prunes segments by their min/max chronon fences.
+			rel, err = cat.TravelNode(f.name, travelOf(f.travel))
+		} else {
+			rel, err = cat.Node(f.name)
+		}
 		if err != nil {
 			return nil, err
 		}

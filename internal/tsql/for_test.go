@@ -1,0 +1,198 @@
+package tsql
+
+import (
+	"strings"
+	"testing"
+
+	"tqp/internal/algebra"
+	"tqp/internal/catalog"
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+	"tqp/internal/value"
+)
+
+// TestParseForClause pins the FROM-clause FOR grammar: both travel forms,
+// per-relation attachment, negative chronons, and normal FROM lists around
+// them.
+func TestParseForClause(t *testing.T) {
+	q, err := Parse("SELECT EmpName FROM EMPLOYEE FOR SYSTEM_TIME AS OF 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := q.ast.selects[0].from
+	if len(from) != 1 || from[0].name != "EMPLOYEE" {
+		t.Fatalf("from = %+v", from)
+	}
+	tr := from[0].travel
+	if tr == nil || !tr.asOf || tr.t != 5 {
+		t.Fatalf("travel = %+v, want AS OF 5", tr)
+	}
+
+	q, err = Parse("SELECT EmpName FROM EMPLOYEE FOR PERIOD (2, 9), PROJECT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	from = q.ast.selects[0].from
+	if len(from) != 2 {
+		t.Fatalf("from = %+v", from)
+	}
+	tr = from[0].travel
+	if tr == nil || tr.asOf || tr.start != 2 || tr.end != 9 {
+		t.Fatalf("travel = %+v, want PERIOD (2, 9)", tr)
+	}
+	if from[1].travel != nil {
+		t.Fatalf("PROJECT picked up a travel restriction: %+v", from[1].travel)
+	}
+
+	q, err = Parse("SELECT EmpName FROM EMPLOYEE FOR SYSTEM_TIME AS OF -3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr := q.ast.selects[0].from[0].travel; tr.t != -3 {
+		t.Fatalf("negative chronon parsed as %d", tr.t)
+	}
+
+	// Case-insensitive like every other keyword.
+	if _, err := Parse("select EmpName from EMPLOYEE for system_time as of 5"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseForErrors rejects the malformed FOR shapes with parse errors,
+// not silent misreads.
+func TestParseForErrors(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT EmpName FROM EMPLOYEE FOR",
+		"SELECT EmpName FROM EMPLOYEE FOR BUSINESS_TIME AS OF 5",
+		"SELECT EmpName FROM EMPLOYEE FOR SYSTEM_TIME AS 5",
+		"SELECT EmpName FROM EMPLOYEE FOR SYSTEM_TIME OF 5",
+		"SELECT EmpName FROM EMPLOYEE FOR SYSTEM_TIME AS OF EmpName",
+		"SELECT EmpName FROM EMPLOYEE FOR SYSTEM_TIME AS OF 1.5",
+		"SELECT EmpName FROM EMPLOYEE FOR PERIOD (2)",
+		"SELECT EmpName FROM EMPLOYEE FOR PERIOD (2, )",
+		"SELECT EmpName FROM EMPLOYEE FOR PERIOD 2, 9",
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+// TestForClauseLowersToTravelScan: planning a FOR query produces a leaf
+// whose name encodes the restriction, and distinct chronons produce
+// distinct leaves (the plan-cache distinctness anchor).
+func TestForClauseLowersToTravelScan(t *testing.T) {
+	cat := catalog.Paper()
+	leafNames := func(sql string) []string {
+		q, err := Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := q.Plan(cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var names []string
+		algebra.Walk(plan, func(n algebra.Node, _ algebra.Path) bool {
+			if r, ok := n.(*algebra.Rel); ok {
+				names = append(names, r.Name)
+			}
+			return true
+		})
+		return names
+	}
+	got := leafNames("SELECT EmpName FROM EMPLOYEE FOR SYSTEM_TIME AS OF 5")
+	if len(got) != 1 || got[0] != "EMPLOYEE@asof:5" {
+		t.Fatalf("leaves = %v, want [EMPLOYEE@asof:5]", got)
+	}
+	other := leafNames("SELECT EmpName FROM EMPLOYEE FOR SYSTEM_TIME AS OF 6")
+	if got[0] == other[0] {
+		t.Fatal("different AS OF chronons lowered to the same scan")
+	}
+	got = leafNames("SELECT EmpName FROM EMPLOYEE FOR PERIOD (2, 9)")
+	if got[0] != "EMPLOYEE@during:2:9" {
+		t.Fatalf("leaves = %v, want [EMPLOYEE@during:2:9]", got)
+	}
+}
+
+// TestForClauseRejectsSnapshotRelations: the restriction needs periods.
+func TestForClauseRejectsSnapshotRelations(t *testing.T) {
+	cat := catalog.New()
+	snap := relation.MustFromRows(schema.MustNew(schema.Attr("X", value.KindInt)), [][]any{{1}})
+	if err := cat.Add("SNAP", snap, algebra.BaseInfo{}); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Parse("SELECT X FROM SNAP FOR SYSTEM_TIME AS OF 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Plan(cat); err == nil {
+		t.Fatal("FOR over a snapshot relation must fail at plan time")
+	}
+}
+
+// TestLexForKeywords: the three new words lex as keywords (SYSTEM_TIME as a
+// single token — underscores are identifier characters).
+func TestLexForKeywords(t *testing.T) {
+	ts, err := lex("for System_Time of")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"FOR", "SYSTEM_TIME", "OF"} {
+		if ts[i].kind != tokKeyword || ts[i].text != want {
+			t.Errorf("token %d = %v %q, want keyword %q", i, ts[i].kind, ts[i].text, want)
+		}
+	}
+}
+
+// TestLexerRoundTrip re-renders token streams to text and re-lexes them:
+// the second pass must reproduce the first stream exactly (kinds and
+// texts). This pins that token boundaries carry through rendering — the
+// property the statement normalizer and SQL generator rely on.
+func TestLexerRoundTrip(t *testing.T) {
+	statements := []string{
+		"SELECT EmpName FROM EMPLOYEE FOR SYSTEM_TIME AS OF 5",
+		"SELECT EmpName FROM EMPLOYEE FOR PERIOD (2, 9), PROJECT FOR SYSTEM_TIME AS OF -1",
+		"VALIDTIME SELECT DISTINCT COALESCED EmpName FROM EMPLOYEE EXCEPT SELECT EmpName FROM PROJECT ORDER BY EmpName ASC",
+		"SELECT EmpName, 1.5, COUNT(*) AS n FROM EMPLOYEE WHERE Dept = 'it''s' GROUP BY EmpName",
+		"SELECT * FROM EMPLOYEE WHERE PERIOD(T1, T2) OVERLAPS PERIOD(2, 9) AND NOT Dept <> 'Sales'",
+	}
+	render := func(ts []token) string {
+		var parts []string
+		for _, tok := range ts {
+			if tok.kind == tokEOF {
+				break
+			}
+			text := tok.text
+			if tok.kind == tokString {
+				text = "'" + strings.ReplaceAll(text, "'", "''") + "'"
+			}
+			parts = append(parts, text)
+		}
+		return strings.Join(parts, " ")
+	}
+	for _, sql := range statements {
+		first, err := lex(sql)
+		if err != nil {
+			t.Fatalf("lex(%q): %v", sql, err)
+		}
+		rendered := render(first)
+		second, err := lex(rendered)
+		if err != nil {
+			t.Fatalf("re-lex(%q): %v", rendered, err)
+		}
+		if len(first) != len(second) {
+			t.Fatalf("%q: %d tokens, re-lex %d", sql, len(first), len(second))
+		}
+		for i := range first {
+			if first[i].kind != second[i].kind || first[i].text != second[i].text {
+				t.Fatalf("%q token %d: %v %q vs %v %q", sql, i,
+					first[i].kind, first[i].text, second[i].kind, second[i].text)
+			}
+		}
+		// And the rendered form still parses.
+		if _, err := Parse(rendered); err != nil {
+			t.Fatalf("Parse(render(%q)): %v", sql, err)
+		}
+	}
+}

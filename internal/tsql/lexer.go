@@ -51,6 +51,7 @@ var keywords = map[string]bool{
 	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
 	"TRUE": true, "FALSE": true, "PERIOD": true, "OVERLAPS": true,
 	"CONTAINS": true, "MEETS": true, "PRECEDES": true,
+	"FOR": true, "SYSTEM_TIME": true, "OF": true,
 }
 
 type lexer struct {

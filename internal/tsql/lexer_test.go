@@ -78,7 +78,7 @@ func TestLexErrors(t *testing.T) {
 }
 
 // TestLexEscapedQuote is the regression for the doubled-quote escape: the
-// lexer used to close the literal at the first quote, so 'it''s' lexed as
+// lexer used to close the literal at the first quote, so 'it”s' lexed as
 // the string "it" followed by a second string "s " — two tokens and a
 // silently different literal. A doubled quote must stay inside the literal
 // as one quote character.

@@ -25,9 +25,22 @@ type selectAST struct {
 	coalesced bool
 	star      bool
 	items     []itemAST
-	from      []string
+	from      []fromItem
 	where     expr.Pred
 	groupBy   []string
+}
+
+// fromItem is one FROM entry: a relation name with an optional time-travel
+// restriction (FOR SYSTEM_TIME AS OF t | FOR PERIOD (a, b)).
+type fromItem struct {
+	name   string
+	travel *travelAST
+}
+
+type travelAST struct {
+	asOf       bool  // FOR SYSTEM_TIME AS OF t
+	t          int64 // the AS OF chronon
+	start, end int64 // FOR PERIOD (start, end)
 }
 
 type itemAST struct {
@@ -174,7 +187,15 @@ func (p *parser) selectStmt() (*selectAST, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.from = append(s.from, id.text)
+		item := fromItem{name: id.text}
+		if p.accept(tokKeyword, "FOR") {
+			tr, err := p.travel()
+			if err != nil {
+				return nil, err
+			}
+			item.travel = tr
+		}
+		s.from = append(s.from, item)
 		if !p.accept(tokSymbol, ",") {
 			break
 		}
@@ -202,6 +223,64 @@ func (p *parser) selectStmt() (*selectAST, error) {
 		}
 	}
 	return s, nil
+}
+
+// travel parses the body of a FROM-clause FOR restriction:
+//
+//	FOR SYSTEM_TIME AS OF <chronon>
+//	FOR PERIOD ( <chronon> , <chronon> )
+func (p *parser) travel() (*travelAST, error) {
+	switch {
+	case p.accept(tokKeyword, "SYSTEM_TIME"):
+		if _, err := p.expect(tokKeyword, "AS"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "OF"); err != nil {
+			return nil, err
+		}
+		t, err := p.chronon()
+		if err != nil {
+			return nil, err
+		}
+		return &travelAST{asOf: true, t: t}, nil
+	case p.accept(tokKeyword, "PERIOD"):
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		a, err := p.chronon()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ","); err != nil {
+			return nil, err
+		}
+		b, err := p.chronon()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &travelAST{start: a, end: b}, nil
+	}
+	return nil, fmt.Errorf("tsql: expected SYSTEM_TIME or PERIOD after FOR, found %q at %d", p.cur().text, p.cur().pos)
+}
+
+// chronon parses an integer time point, allowing a leading minus.
+func (p *parser) chronon() (int64, error) {
+	neg := p.accept(tokSymbol, "-")
+	t, err := p.expect(tokNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("tsql: chronon must be an integer, got %q at %d", t.text, t.pos)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
 }
 
 var aggFuncs = map[string]expr.AggFunc{

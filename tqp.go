@@ -149,6 +149,25 @@ func NewCatalog() *Catalog { return catalog.New() }
 // PaperCatalog returns the paper's Figure 1 database (EMPLOYEE, PROJECT).
 func PaperCatalog() *Catalog { return catalog.Paper() }
 
+// OpenDiskCatalog opens (or initializes) the persistent store at dir and
+// returns a catalog over its relations. If the store is empty and seed is
+// non-nil, seed's relations are imported — persisted — first, so a fresh
+// -db-dir starts from the built-in database and every later open reads
+// disk. Appends via Catalog.AppendRows write through to new segments; the
+// per-segment period index serves FOR SYSTEM_TIME AS OF / FOR PERIOD scans.
+func OpenDiskCatalog(dir string, seed *Catalog) (*Catalog, error) {
+	cat, err := catalog.OpenDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(cat.Names()) == 0 && seed != nil {
+		if err := cat.ImportFrom(seed); err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}
+
 // NewOptimizer returns an optimizer over the catalog; see core.Option
 // (re-exported below) for configuration.
 func NewOptimizer(cat *Catalog, opts ...core.Option) *Optimizer {
