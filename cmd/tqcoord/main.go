@@ -21,6 +21,11 @@
 // flags: both sides derive the shard map from the full catalog, and the
 // bit-identity contract assumes they agree on the data and the seed.
 // Without -q the command reads statements from stdin, one per line.
+//
+// With -addr the coordinator instead serves the wire protocol itself, so
+// tqshell -connect (including \stats) works against it exactly as against
+// a single tqserver; -metrics-addr adds a /metrics + /debug/pprof HTTP
+// listener either way.
 package main
 
 import (
@@ -30,12 +35,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"tqp"
 	"tqp/internal/coord"
 	"tqp/internal/core"
 	"tqp/internal/exec"
+	"tqp/internal/obs"
 	"tqp/internal/server"
 	"tqp/internal/shard"
 )
@@ -49,19 +57,21 @@ func main() {
 		engine    = flag.String("engine", "exec", "engine for planning and the coordinator-side remainder: 'reference', 'exec' or 'parallel'")
 		parallel  = flag.Int("parallel", 0, "worker count for the morsel-parallel engine")
 		mem       = flag.String("mem", "", "memory budget for the exec engine's blocking operators, e.g. 64K, 16MB")
-		mode      = flag.String("mode", "auto", "partitioning strategy: 'auto', 'hash' or 'range' (must match the shard servers' -shard-mode)")
-		seed      = flag.Int64("seed", 1, "simulated DBMS order-nondeterminism seed (must match the shard servers)")
-		query     = flag.String("q", "", "run one statement and exit (default: read statements from stdin)")
+		mode        = flag.String("mode", "auto", "partitioning strategy: 'auto', 'hash' or 'range' (must match the shard servers' -shard-mode)")
+		seed        = flag.Int64("seed", 1, "simulated DBMS order-nondeterminism seed (must match the shard servers)")
+		query       = flag.String("q", "", "run one statement and exit (default: read statements from stdin)")
+		addr        = flag.String("addr", "", "serve the coordinator over the wire protocol on this address instead of running statements (connect with tqshell -connect)")
+		metricsAddr = flag.String("metrics-addr", "", "HTTP listen address for /metrics (Prometheus text) and /debug/pprof (empty = disabled)")
 	)
 	flag.Parse()
-	if err := run(*shards, *spawn, *db, *employees, *engine, *parallel, *mem, *mode, *seed, *query, os.Stdin, os.Stdout); err != nil {
+	if err := run(*shards, *spawn, *db, *employees, *engine, *parallel, *mem, *mode, *seed, *query, *addr, *metricsAddr, os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "tqcoord: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(shards string, spawn int, db string, employees int, engine string, parallel int,
-	mem, modeName string, seed int64, query string, in io.Reader, out io.Writer) error {
+	mem, modeName string, seed int64, query, addr, metricsAddr string, in io.Reader, out io.Writer) error {
 	budget, err := core.ParseBytes(mem)
 	if err != nil {
 		return err
@@ -118,6 +128,33 @@ func run(shards string, spawn int, db string, employees int, engine string, para
 	defer c.Close()
 	fmt.Fprintf(out, "tqcoord: coordinating %d shards over the %s database (engine %s)\n",
 		len(addrs), db, spec.Name)
+
+	if metricsAddr != "" {
+		reg := obs.NewRegistry()
+		c.RegisterMetrics(reg)
+		bound, stopMetrics, err := obs.Serve(metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("-metrics-addr: %w", err)
+		}
+		defer stopMetrics()
+		fmt.Fprintf(out, "tqcoord: metrics on http://%s/metrics (pprof on /debug/pprof/)\n", bound)
+	}
+
+	if addr != "" {
+		// Listen mode: serve the coordinator over the wire protocol until
+		// interrupted; any protocol client (tqshell -connect) works.
+		f, err := c.Serve(addr)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		fmt.Fprintf(out, "tqcoord: serving the wire protocol on %s\n", f.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(out, "tqcoord: shutting down")
+		return nil
+	}
 
 	if query != "" {
 		return runOne(ctx, c, query, out)

@@ -49,6 +49,7 @@ func main() {
 	sorted := flag.Bool("sorted", false, "pre-sort base relations on their value attributes and declare the order")
 	enumerate := flag.Bool("enumerate", false, "list every enumerated plan")
 	execute := flag.Bool("execute", true, "execute the chosen plan and print the result")
+	analyze := flag.Bool("analyze", false, "run EXPLAIN ANALYZE: execute and render per-node estimated vs actual cardinalities")
 	flag.Parse()
 
 	budget, err := core.ParseBytes(*mem)
@@ -82,6 +83,27 @@ func main() {
 	}
 
 	opt := tqp.NewOptimizer(cat, tqp.WithEngine(spec))
+
+	if *analyze {
+		// EXPLAIN ANALYZE mode: prepare, execute, and render the chosen
+		// plan with per-node estimated vs actual cardinalities.
+		prep, err := opt.Prepare(*query)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tqplan: %v\n", err)
+			os.Exit(1)
+		}
+		an, err := opt.ExplainAnalyze(prep, spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tqplan: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(an.Text)
+		if *execute {
+			fmt.Printf("\nresult (%d tuples):\n%s", an.Result.Len(), an.Result)
+		}
+		return
+	}
+
 	plans, err := opt.OptimizeSQL(*query)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tqplan: %v\n", err)

@@ -12,6 +12,11 @@
 // and add the serving knobs: -max-concurrent, -queue, -queue-timeout,
 // -workers, -cache, -spill-dir, -drain-timeout.
 //
+// Observability: -metrics-addr starts an HTTP listener exposing the
+// Prometheus text endpoint /metrics and the pprof handlers under
+// /debug/pprof/; -query-log writes one JSON record per query (see
+// obs.QueryRecord), filtered by -slow-query-ms.
+//
 // With -shard i/n the server loads only slice i of an n-way partitioning
 // of the database (derived deterministically from the full catalog; see
 // internal/shard) and answers the coordinator's partial-plan requests over
@@ -29,9 +34,23 @@ import (
 
 	"tqp"
 	"tqp/internal/core"
+	"tqp/internal/obs"
 	"tqp/internal/server"
 	"tqp/internal/shard"
 )
+
+// openQueryLog resolves the -query-log flag value to a sink: "-" is
+// stderr, anything else a file opened for append.
+func openQueryLog(dest string) (obs.Sink, func(), error) {
+	if dest == "-" {
+		return obs.WriterSink(os.Stderr), func() {}, nil
+	}
+	f, err := os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return obs.WriterSink(f), func() { f.Close() }, nil
+}
 
 func main() {
 	var (
@@ -51,6 +70,9 @@ func main() {
 		drain        = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain deadline")
 		shardSpec    = flag.String("shard", "", "serve slice i of an n-way partitioning, as 'i/n' with 0 <= i < n (empty = whole database)")
 		shardMode    = flag.String("shard-mode", "auto", "partitioning strategy with -shard: 'auto', 'hash' or 'range'")
+		metricsAddr  = flag.String("metrics-addr", "", "HTTP listen address for /metrics (Prometheus text) and /debug/pprof (empty = disabled)")
+		queryLog     = flag.String("query-log", "", "structured query log destination: a file path, or '-' for stderr (empty = disabled)")
+		slowMS       = flag.Float64("slow-query-ms", 0, "with -query-log, log only queries at least this slow; errors always log (0 = every query)")
 	)
 	flag.Parse()
 
@@ -60,6 +82,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tqserver: %v\n", err)
 		os.Exit(2)
 	}
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+	}
+	if *queryLog != "" {
+		sink, closeLog, err := openQueryLog(*queryLog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tqserver: -query-log: %v\n", err)
+			os.Exit(2)
+		}
+		defer closeLog()
+		cfg.QueryLog = obs.NewQueryLog(sink, *slowMS)
+	}
 	srv, err := server.Start(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tqserver: %v\n", err)
@@ -67,6 +103,16 @@ func main() {
 	}
 	fmt.Printf("tqserver: serving the %s database on %s (engine %s, cap %d, cache %d)\n",
 		*db, srv.Addr(), cfg.Engine, cfg.MaxConcurrent, cfg.CacheSize)
+	if reg != nil {
+		bound, stopMetrics, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tqserver: -metrics-addr: %v\n", err)
+			srv.Close()
+			os.Exit(2)
+		}
+		defer stopMetrics()
+		fmt.Printf("tqserver: metrics on http://%s/metrics (pprof on /debug/pprof/)\n", bound)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -7,6 +7,9 @@
 //	\d                list relations (local mode)
 //	\d NAME           show a relation's contents (local mode)
 //	\plan SQL         explain without executing (local mode)
+//	\explain SQL      rendered physical plan (alias for EXPLAIN SQL)
+//	\explain analyze SQL  execute and render est-vs-actual per plan node
+//	\stats            server/coordinator statistics (client mode)
 //	\set              show the session's engine settings
 //	\set NAME VALUE   change a setting: engine, parallel or mem
 //	\q                quit
@@ -23,11 +26,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"tqp"
 	"tqp/internal/core"
+	"tqp/internal/obs"
 	"tqp/internal/server"
 )
 
@@ -102,6 +108,10 @@ type backend interface {
 	// describe renders \d (arg "" lists relations); plan renders \plan.
 	describe(arg string, out io.Writer)
 	plan(sql string, out io.Writer)
+	// explain renders \explain (analyze=false) or \explain analyze.
+	explain(sql string, analyze bool, out io.Writer)
+	// stats renders \stats.
+	stats(out io.Writer)
 }
 
 // runREPL is the session loop over an explicit input and output, so tests
@@ -135,6 +145,15 @@ func runREPL(b backend, in io.Reader, out io.Writer) {
 			}
 		case strings.HasPrefix(line, `\plan `):
 			b.plan(strings.TrimSpace(line[6:]), out)
+		case strings.HasPrefix(line, `\explain `):
+			arg := strings.TrimSpace(line[len(`\explain `):])
+			if rest, ok := cutFold(arg, "analyze"); ok {
+				b.explain(rest, true, out)
+			} else {
+				b.explain(arg, false, out)
+			}
+		case line == `\stats`:
+			b.stats(out)
 		default:
 			b.run(line, out)
 		}
@@ -143,6 +162,16 @@ func runREPL(b backend, in io.Reader, out io.Writer) {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(out, "error: reading input:", err)
 	}
+}
+
+// cutFold strips a leading case-insensitive word plus the whitespace after
+// it, reporting whether the word was present.
+func cutFold(s, word string) (string, bool) {
+	if len(s) > len(word) && strings.EqualFold(s[:len(word)], word) &&
+		(s[len(word)] == ' ' || s[len(word)] == '\t') {
+		return strings.TrimSpace(s[len(word):]), true
+	}
+	return s, false
 }
 
 // localBackend evaluates statements in process over a catalog. It keeps
@@ -250,6 +279,28 @@ func (b *localBackend) plan(sql string, out io.Writer) {
 		len(plans.All), plans.BestCost, plans.InitialCost, rendered)
 }
 
+func (b *localBackend) explain(sql string, analyze bool, out io.Writer) {
+	if !analyze {
+		b.plan(sql, out)
+		return
+	}
+	prep, err := b.opt.Prepare(sql)
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	an, err := b.opt.ExplainAnalyze(prep, b.opt.Engine())
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	fmt.Fprint(out, an.Text)
+}
+
+func (b *localBackend) stats(out io.Writer) {
+	fmt.Fprintln(out, `error: \stats is not available in local mode (connect to a tqserver or tqcoord)`)
+}
+
 func (b *localBackend) run(sql string, out io.Writer) {
 	result, plans, trace, err := b.opt.Run(sql)
 	if err != nil {
@@ -310,6 +361,103 @@ func (b *remoteBackend) describe(_ string, out io.Writer) {
 
 func (b *remoteBackend) plan(_ string, out io.Writer) {
 	fmt.Fprintln(out, `error: \plan is not available in client mode`)
+}
+
+func (b *remoteBackend) explain(sql string, analyze bool, out io.Writer) {
+	prefix := "EXPLAIN "
+	if analyze {
+		prefix = "EXPLAIN ANALYZE "
+	}
+	result, _, err := b.cl.Query(context.Background(), prefix+sql)
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	if result == nil || result.Schema().Len() != 1 {
+		fmt.Fprint(out, result)
+		return
+	}
+	// The plan text travels as one string column, one row per line; print
+	// the lines raw rather than boxing them into a result table.
+	for _, t := range result.Tuples() {
+		fmt.Fprintln(out, t[0].AsString())
+	}
+}
+
+func (b *remoteBackend) stats(out io.Writer) {
+	st, err := b.cl.Stats(context.Background())
+	if err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	head := fmt.Sprintf("endpoint %s — fingerprint %s, %d conns", b.addr, st.Fingerprint, st.Conns)
+	if st.UptimeSeconds > 0 {
+		head += fmt.Sprintf(", up %s", time.Duration(st.UptimeSeconds*float64(time.Second)).Round(time.Second))
+	}
+	if st.Queries > 0 {
+		head += fmt.Sprintf(", %d queries", st.Queries)
+	}
+	fmt.Fprintln(out, head)
+	fmt.Fprintf(out, "  plan cache: %d hits / %d misses / %d evictions (%d entries)\n",
+		st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions, st.Cache.Entries)
+	a := st.Admission
+	if a != (server.AdmissionStats{}) {
+		fmt.Fprintf(out, "  admission: %d admitted, %d rejected, %d timed out; %d active (peak %d), %d queued (peak %d)\n",
+			a.Admitted, a.Rejected, a.TimedOut, a.Active, a.PeakActive, a.Queued, a.PeakQueued)
+	}
+	if len(st.Errors) > 0 {
+		codes := make([]string, 0, len(st.Errors))
+		for code := range st.Errors {
+			codes = append(codes, code)
+		}
+		sort.Strings(codes)
+		fmt.Fprint(out, "  errors:")
+		for _, code := range codes {
+			fmt.Fprintf(out, " %s=%d", code, st.Errors[code])
+		}
+		fmt.Fprintln(out)
+	}
+	printSnapshot(out, "latency", st.Latency)
+	printSnapshot(out, "queue wait", st.QueueWait)
+	if c := st.Coord; c != nil {
+		fmt.Fprintf(out, "  coord: %d shards — %d queries (%d cache hits), %d shard calls, %d retries",
+			c.Shards, c.Queries, c.CacheHits, c.ShardCalls, c.Retries)
+		if len(c.Fragments) > 0 {
+			kinds := make([]string, 0, len(c.Fragments))
+			for k := range c.Fragments {
+				kinds = append(kinds, k)
+			}
+			sort.Strings(kinds)
+			fmt.Fprint(out, "; fragments")
+			for _, k := range kinds {
+				fmt.Fprintf(out, " %s=%d", k, c.Fragments[k])
+			}
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+// printSnapshot renders one latency-histogram summary line, skipping
+// sections an older server did not send.
+func printSnapshot(out io.Writer, name string, s *obs.Snapshot) {
+	if s == nil || s.Count == 0 {
+		return
+	}
+	fmt.Fprintf(out, "  %s: n=%d p50=%s p95=%s p99=%s\n", name, s.Count,
+		fmtSecs(s.P50), fmtSecs(s.P95), fmtSecs(s.P99))
+}
+
+// fmtSecs renders a quantile in seconds as a rounded duration.
+func fmtSecs(v float64) string {
+	d := time.Duration(v * float64(time.Second))
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Microsecond).String()
+	}
 }
 
 func (b *remoteBackend) run(sql string, out io.Writer) {

@@ -55,6 +55,9 @@ type Catalog struct {
 	// it, and its manifest version is folded into Fingerprint so cached
 	// plans never outlive the data they were planned against.
 	st *store.Store
+
+	// met holds the cumulative scan counters (see metrics.go).
+	met meters
 }
 
 // New returns an empty catalog.

@@ -1,0 +1,42 @@
+package catalog
+
+import (
+	"sync/atomic"
+
+	"tqp/internal/obs"
+)
+
+// meters are the catalog's cumulative scan counters, atomic because one
+// catalog serves any number of concurrent executors. They accumulate
+// across queries — the per-query figures stay on stratum.Trace — so a
+// scrape shows the period index's lifetime hit rate.
+type meters struct {
+	scans      atomic.Int64
+	segScanned atomic.Int64
+	segSkipped atomic.Int64
+}
+
+// countScan records one resolved scan's segment work.
+func (c *Catalog) countScan(scanned, skipped int) {
+	c.met.scans.Add(1)
+	c.met.segScanned.Add(int64(scanned))
+	c.met.segSkipped.Add(int64(skipped))
+}
+
+// RegisterMetrics exports the catalog's counters into reg as scrape-time
+// readers, and the backing store's counters when the catalog is
+// disk-backed.
+func (c *Catalog) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("tqp_catalog_scans_total", "Base-relation scans resolved.", func() float64 {
+		return float64(c.met.scans.Load())
+	})
+	reg.CounterFunc("tqp_segments_scanned_total", "Store segments read by base scans.", func() float64 {
+		return float64(c.met.segScanned.Load())
+	})
+	reg.CounterFunc("tqp_segments_skipped_total", "Store segments pruned by the period index's min/max fences.", func() float64 {
+		return float64(c.met.segSkipped.Load())
+	})
+	if c.st != nil {
+		c.st.RegisterMetrics(reg)
+	}
+}

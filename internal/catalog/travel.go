@@ -116,6 +116,7 @@ func (c *Catalog) ResolveScan(name string) (*relation.Relation, int, int, error)
 	// literal name that merely looks like a travel suffix must resolve to
 	// themselves, never be reinterpreted.
 	if e, ok := c.entries[name]; ok {
+		c.countScan(len(e.segs), 0)
 		return e.Rel, len(e.segs), 0, nil
 	}
 	base, tr := ParseScanName(name)
@@ -159,6 +160,7 @@ func (c *Catalog) ResolveScan(name string) (*relation.Relation, int, int, error)
 		}
 	}
 	out.SetOrder(e.Rel.Order())
+	c.countScan(scanned, skipped)
 	return out, scanned, skipped, nil
 }
 

@@ -14,6 +14,8 @@ import (
 	"math"
 	"runtime"
 	"strconv"
+	"strings"
+	"time"
 
 	"tqp/internal/algebra"
 	"tqp/internal/catalog"
@@ -22,6 +24,8 @@ import (
 	"tqp/internal/equiv"
 	"tqp/internal/eval"
 	"tqp/internal/exec"
+	"tqp/internal/obs"
+	"tqp/internal/physical"
 	"tqp/internal/props"
 	"tqp/internal/relation"
 	"tqp/internal/rules"
@@ -329,6 +333,22 @@ type Prepared struct {
 	// PlanCount and BestCost record the enumeration outcome.
 	PlanCount int
 	BestCost  float64
+	// Estimates holds the cost model's per-node predictions keyed by
+	// algebra path ("ε", "0", "0.1"). Plan trees are immutable, so paths
+	// are stable node IDs; EXPLAIN ANALYZE joins execution actuals against
+	// this map, and the ROADMAP's cardinality-feedback loop will consume
+	// the same pairs.
+	Estimates map[string]NodeEstimate
+	// Fingerprint identifies the physical plan: a truncated SHA-256 over
+	// its canonical text. The structured query log records it, so a slow
+	// query can be joined back to the exact plan that ran it.
+	Fingerprint string
+}
+
+// NodeEstimate is the estimator's prediction for one plan node.
+type NodeEstimate struct {
+	Rows float64
+	Cost float64
 }
 
 // Prepare parses, plans and costs a statement down to a single executable
@@ -355,13 +375,25 @@ func (o *Optimizer) Prepare(sql string) (*Prepared, error) {
 	if err := stratum.ValidateSites(plan); err != nil {
 		return nil, err
 	}
+	es, err := o.model.Plan(plan)
+	if err != nil {
+		return nil, err
+	}
+	estimates := make(map[string]NodeEstimate, algebra.Count(plan))
+	algebra.Walk(plan, func(n algebra.Node, p algebra.Path) bool {
+		e := es[n]
+		estimates[p.String()] = NodeEstimate{Rows: e.Rows, Cost: e.Cost}
+		return true
+	})
 	return &Prepared{
-		SQL:        sql,
-		Plan:       plan,
-		ResultType: ps.ResultType,
-		OrderBy:    ps.OrderBy,
-		PlanCount:  len(ps.All),
-		BestCost:   ps.BestCost,
+		SQL:         sql,
+		Plan:        plan,
+		ResultType:  ps.ResultType,
+		OrderBy:     ps.OrderBy,
+		PlanCount:   len(ps.All),
+		BestCost:    ps.BestCost,
+		Estimates:   estimates,
+		Fingerprint: obs.Hash(algebra.Canonical(plan)),
 	}, nil
 }
 
@@ -462,4 +494,122 @@ func (o *Optimizer) Explain(plan algebra.Node, rt equiv.ResultType) (string, err
 		return fmt.Sprintf("%s  site=%s rows≈%.0f cost≈%.0f",
 			pm[n].Vector(), st[n].Site, es[n].Rows, es[n].Cost)
 	}), nil
+}
+
+// Analysis is the outcome of one EXPLAIN ANALYZE execution: the rendered
+// annotated plan plus the artifacts callers verify with (the result
+// relation — analyzed runs must be bit-identical to plain runs — and the
+// probe holding raw per-node actuals for programmatic consumers).
+type Analysis struct {
+	Text   string
+	Result *relation.Relation
+	Trace  *stratum.Trace
+	Probe  *obs.PlanProbe
+	Wall   time.Duration
+}
+
+// ExplainAnalyze executes a prepared plan with per-node instrumentation on
+// the given engine spec and renders the physical tree with estimated
+// versus actual rows and the misestimate ratio per node. Actuals exist for
+// every node the stratum executor evaluates — stratum operators and TS
+// transfers (whose actual is the transferred row count, timed over the
+// whole DBMS region below) — while nodes inside a DBMS region render
+// estimates only: the simulated DBMS rewrites its subplan before running
+// it, so per-node actuals below a TS do not exist in the layered
+// architecture. Instrumentation only observes; the result is bit-identical
+// to an unanalyzed ExecutePlan of the same plan and spec.
+func (o *Optimizer) ExplainAnalyze(prep *Prepared, spec eval.EngineSpec) (*Analysis, error) {
+	if err := stratum.ValidateSites(prep.Plan); err != nil {
+		return nil, err
+	}
+	x := stratum.NewWithEngine(o.cat, o.seed, spec)
+	probe := obs.NewPlanProbe()
+	x.SetProbe(probe.Observe)
+	start := time.Now()
+	r, tr, err := x.Execute(prep.Plan)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+
+	st, err := props.InferStates(prep.Plan)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := physical.Annotate(prep.Plan)
+	if err != nil {
+		return nil, err
+	}
+	tree := algebra.Render(prep.Plan, func(n algebra.Node, p algebra.Path) string {
+		est, hasEst := prep.Estimates[p.String()]
+		var b strings.Builder
+		if d, ok := dec[n]; ok && d.Algo != "" {
+			fmt.Fprintf(&b, "(%s)  ", d.Algo)
+		}
+		if hasEst {
+			fmt.Fprintf(&b, "rows est≈%.0f", est.Rows)
+		} else {
+			b.WriteString("rows est=?")
+		}
+		ns := probe.Get(p.String())
+		if ns == nil {
+			// Inside the DBMS black box (or never evaluated): no actuals.
+			if st[n].Site == props.DBMS {
+				b.WriteString(" act=(dbms)")
+			} else {
+				b.WriteString(" act=?")
+			}
+			return b.String()
+		}
+		fmt.Fprintf(&b, " act=%d", ns.Rows)
+		if hasEst {
+			fmt.Fprintf(&b, " (%s)", misestimate(est.Rows, float64(ns.Rows)))
+		}
+		fmt.Fprintf(&b, "  time=%s", fmtWall(ns.Wall))
+		if ns.Batches > 0 {
+			fmt.Fprintf(&b, " batches=%d", ns.Batches)
+		}
+		if ns.SpilledOps > 0 {
+			fmt.Fprintf(&b, " spilled=%dB/%dops", ns.SpilledBytes, ns.SpilledOps)
+		}
+		if ns.Evals > 1 {
+			fmt.Fprintf(&b, " evals=%d", ns.Evals)
+		}
+		return b.String()
+	})
+	header := fmt.Sprintf(
+		"EXPLAIN ANALYZE  engine=%s  wall=%s  rows=%d  transferred=%d  plan=%s",
+		spec.Name, fmtWall(wall), r.Len(), tr.TuplesTransferred, prep.Fingerprint)
+	return &Analysis{
+		Text:   header + "\n" + tree,
+		Result: r,
+		Trace:  tr,
+		Probe:  probe,
+		Wall:   wall,
+	}, nil
+}
+
+// misestimate renders the actual/estimated row ratio ("×1.00" is a perfect
+// estimate; "×25.00" a 25-fold underestimate — the shape the cardinality-
+// feedback loop hunts for).
+func misestimate(est, act float64) string {
+	if est <= 0 {
+		if act == 0 {
+			return "×1.00"
+		}
+		return "×∞"
+	}
+	return fmt.Sprintf("×%.2f", act/est)
+}
+
+// fmtWall renders a wall time compactly for plan annotations.
+func fmtWall(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
 }

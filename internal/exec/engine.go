@@ -2,9 +2,11 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"tqp/internal/algebra"
 	"tqp/internal/eval"
+	"tqp/internal/obs"
 	"tqp/internal/relation"
 	"tqp/internal/schema"
 	"tqp/internal/spill"
@@ -53,7 +55,17 @@ type Engine struct {
 	// Options.MemoryBudget > 0 and torn down when the run ends.
 	mem      *arbiter
 	spillMgr *spill.Manager
+
+	// probe, when set, receives one RunSample at the end of each successful
+	// Eval. EXPLAIN ANALYZE installs it through the stratum executor, which
+	// evaluates layered plans node-by-node on fresh engine instances — so
+	// each sample is one plan node's actuals. When nil (every normal query)
+	// the instrumentation is a single branch on the Eval exit path.
+	probe func(obs.RunSample)
 }
+
+// SetProbe installs (or, with nil, removes) the per-run sample callback.
+func (e *Engine) SetProbe(fn func(obs.RunSample)) { e.probe = fn }
 
 // columnar reports whether the engine may compile the vectorized columnar
 // variants. Hash-only mode (NoMerge/NoSortElision) keeps its tuple pipeline
@@ -181,6 +193,27 @@ func memString(b int64) string {
 // budget the run's spill files live in a fresh temp directory that is
 // removed before Eval returns, on the success and error paths alike.
 func (e *Engine) Eval(n algebra.Node) (*relation.Relation, error) {
+	if e.probe == nil {
+		return e.eval(n)
+	}
+	start := time.Now()
+	r, err := e.eval(n)
+	if err != nil {
+		return nil, err
+	}
+	e.probe(obs.RunSample{
+		Rows:         int64(r.Len()),
+		Batches:      int64(e.stats.VectorBatches),
+		Wall:         time.Since(start),
+		SpilledBytes: e.stats.SpilledBytes,
+		SpilledOps:   int64(e.stats.SpilledOps),
+		PeakBytes:    e.stats.PeakBytes,
+	})
+	return r, nil
+}
+
+// eval is Eval's uninstrumented body.
+func (e *Engine) eval(n algebra.Node) (*relation.Relation, error) {
 	e.stats = Stats{}
 	if e.opts.MemoryBudget > 0 {
 		e.mem = &arbiter{}

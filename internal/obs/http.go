@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler serving the registry on /metrics in
+// Prometheus text format, with the runtime profiling endpoints wired
+// under /debug/pprof/. Both tqserver and tqcoord mount this on their
+// -metrics-addr listener; the explicit pprof routes (instead of the
+// net/http/pprof side-effect import) keep the handlers off
+// http.DefaultServeMux, so nothing leaks onto a mux the binary does not
+// own.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr and serves Handler(r) on it until the returned
+// shutdown function is called. It returns the bound address (useful with
+// ":0" in tests) or an error if the listen fails. Serving errors after a
+// successful bind are dropped: the metrics listener is best-effort
+// scaffolding and must never take the query service down with it.
+func Serve(addr string, r *Registry) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// RunSample is one engine evaluation's worth of actuals. The exec engines
+// surface it through SetProbe at the end of each Eval; the stratum
+// executor evaluates layered plans node-by-node on fresh engine
+// instances, so under EXPLAIN ANALYZE each sample maps one-to-one onto a
+// plan node.
+type RunSample struct {
+	Rows         int64         // tuples in the evaluation's result
+	Batches      int64         // columnar batches produced (0 on tuple paths)
+	Wall         time.Duration // wall time of the evaluation
+	SpilledBytes int64         // bytes written to spill files
+	SpilledOps   int64         // operators that spilled
+	PeakBytes    int64         // peak tracked memory
+}
+
+// NodeStats accumulates samples for one plan node, keyed by the node's
+// algebra path (the stable plan-node ID). Evals and Merge exist because a
+// node can be evaluated more than once (retries, shard fan-out); for the
+// single-process EXPLAIN ANALYZE path Evals is 1.
+type NodeStats struct {
+	RunSample
+	Evals int64
+}
+
+// Merge folds s into n. Rows/Batches/Spill accumulate; Wall accumulates
+// (total time attributed to the node); PeakBytes keeps the max.
+func (n *NodeStats) Merge(s RunSample) {
+	n.Evals++
+	n.Rows += s.Rows
+	n.Batches += s.Batches
+	n.Wall += s.Wall
+	n.SpilledBytes += s.SpilledBytes
+	n.SpilledOps += s.SpilledOps
+	if s.PeakBytes > n.PeakBytes {
+		n.PeakBytes = s.PeakBytes
+	}
+}
+
+// PlanProbe collects per-node actuals for one analyzed execution. Node
+// IDs are algebra path strings ("ε", "0", "0.1.0"); obs stays
+// dependency-free by treating them as opaque keys. Safe for concurrent
+// use — parallel engines may observe from worker goroutines.
+type PlanProbe struct {
+	mu    sync.Mutex
+	nodes map[string]*NodeStats
+}
+
+// NewPlanProbe returns an empty probe.
+func NewPlanProbe() *PlanProbe {
+	return &PlanProbe{nodes: make(map[string]*NodeStats)}
+}
+
+// Observe records one evaluation sample for the node at path.
+func (p *PlanProbe) Observe(path string, s RunSample) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ns, ok := p.nodes[path]
+	if !ok {
+		ns = &NodeStats{}
+		p.nodes[path] = ns
+	}
+	ns.Merge(s)
+}
+
+// Get returns the accumulated stats for path, or nil if the node was
+// never observed (e.g. it executed inside the DBMS black box).
+func (p *PlanProbe) Get(path string) *NodeStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.nodes[path]
+}
+
+// Len returns the number of observed nodes.
+func (p *PlanProbe) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.nodes)
+}
+
+// Each calls fn for every observed node. Iteration order is unspecified;
+// fn must not call back into the probe.
+func (p *PlanProbe) Each(fn func(path string, n *NodeStats)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for path, n := range p.nodes {
+		fn(path, n)
+	}
+}

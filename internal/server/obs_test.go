@@ -1,0 +1,226 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"tqp/internal/catalog"
+	"tqp/internal/obs"
+)
+
+const obsTestSQL = "VALIDTIME SELECT DISTINCT COALESCED EmpName FROM EMPLOYEE EXCEPT SELECT EmpName FROM PROJECT ORDER BY EmpName ASC"
+
+// TestExplainOverWire sends EXPLAIN and EXPLAIN ANALYZE through the
+// protocol and checks the plan text comes back as a single-column result,
+// with the cache keyed by the stripped statement.
+func TestExplainOverWire(t *testing.T) {
+	srv := startServer(t, Config{Catalog: catalog.Paper()})
+	cl, err := Dial(context.Background(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Run the plain statement first: the prepared plan lands in the cache.
+	if _, _, err := cl.Query(context.Background(), obsTestSQL); err != nil {
+		t.Fatal(err)
+	}
+
+	plan, meta, err := cl.Query(context.Background(), "EXPLAIN "+obsTestSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Schema().Len() != 1 || plan.Schema().At(0).Name != "QUERY PLAN" {
+		t.Fatalf("EXPLAIN schema = %s", plan.Schema())
+	}
+	if !meta.CacheHit {
+		t.Error("EXPLAIN of a cached statement must hit the plan cache")
+	}
+	if plan.Len() == 0 {
+		t.Fatal("empty EXPLAIN output")
+	}
+
+	an, meta, err := cl.Query(context.Background(), "EXPLAIN ANALYZE "+obsTestSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !meta.CacheHit {
+		t.Error("EXPLAIN ANALYZE of a cached statement must hit the plan cache")
+	}
+	text := make([]string, 0, an.Len())
+	for _, tp := range an.Tuples() {
+		text = append(text, tp[0].AsString())
+	}
+	joined := strings.Join(text, "\n")
+	for _, want := range []string{"EXPLAIN ANALYZE", "rows est≈", " act=", "act=(dbms)"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("EXPLAIN ANALYZE output missing %q:\n%s", want, joined)
+		}
+	}
+	if meta.TuplesTransferred == 0 {
+		t.Error("EXPLAIN ANALYZE must report the analyzed execution's transfer count")
+	}
+}
+
+// TestStatsReplyExtensions pins the richer stats shape: uptime, query
+// totals, per-code error counts and latency summaries — and that old
+// fields survive untouched for old clients.
+func TestStatsReplyExtensions(t *testing.T) {
+	srv := startServer(t, Config{Catalog: catalog.Paper()})
+	cl, err := Dial(context.Background(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, _, err := cl.Query(context.Background(), obsTestSQL); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Query(context.Background(), "SELECT nope FROM nowhere"); err == nil {
+		t.Fatal("bad statement must fail")
+	}
+
+	st, err := cl.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fingerprint == "" || st.Conns != 1 {
+		t.Fatalf("legacy fields regressed: %+v", st)
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Error("uptime missing")
+	}
+	if st.Queries != 2 {
+		t.Errorf("queries = %d, want 2 (failures count)", st.Queries)
+	}
+	if len(st.Errors) == 0 {
+		t.Errorf("error counts missing: %+v", st.Errors)
+	}
+	if st.Latency == nil || st.Latency.Count != 2 {
+		t.Errorf("latency summary = %+v, want count 2", st.Latency)
+	}
+	if st.QueueWait == nil || st.QueueWait.Count == 0 {
+		t.Errorf("queue wait summary = %+v", st.QueueWait)
+	}
+	if st.Coord != nil {
+		t.Error("a plain server must not fill the Coord section")
+	}
+}
+
+// TestServerMetricsScrape wires a server into an external registry, runs
+// queries, and asserts the scrape shows the serving-path families plus
+// the catalog counters the server registers on its behalf.
+func TestServerMetricsScrape(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := startServer(t, Config{Catalog: catalog.Paper(), Metrics: reg})
+	addr, shutdown, err := obs.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	cl, err := Dial(context.Background(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, _, err := cl.Query(context.Background(), obsTestSQL); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Query(context.Background(), "SELECT broken"); err == nil {
+		t.Fatal("bad statement must fail")
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	out := string(body)
+	for _, want := range []string{
+		"tqp_queries_total 2",
+		"tqp_query_latency_seconds_count 2",
+		"tqp_query_errors_total{code=\"parse\"} 1",
+		"tqp_tuples_transferred_total",
+		"tqp_plan_cache_misses_total 2", // the failed statement misses too
+		"tqp_uptime_seconds",
+		"tqp_connections 1",
+		"tqp_catalog_scans_total", // the catalog registers through the server
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestQueryLogEmission pins the serving path's structured records: one
+// per query, with hashes, cache-hit flags, the latency breakdown, and the
+// error code on failures.
+func TestQueryLogEmission(t *testing.T) {
+	rec := &recordingSink{}
+	srv := startServer(t, Config{
+		Catalog:  catalog.Paper(),
+		QueryLog: obs.NewQueryLog(rec, 0),
+	})
+	cl, err := Dial(context.Background(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, _, err := cl.Query(context.Background(), obsTestSQL); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Query(context.Background(), obsTestSQL); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Query(context.Background(), "SELECT broken"); err == nil {
+		t.Fatal("bad statement must fail")
+	}
+
+	recs := rec.snapshot()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	first, second, third := recs[0], recs[1], recs[2]
+	if first.SQLHash == "" || first.SQLHash != second.SQLHash {
+		t.Errorf("repeat statement must share a SQL hash: %q vs %q", first.SQLHash, second.SQLHash)
+	}
+	if first.Fingerprint == "" || first.Fingerprint != second.Fingerprint {
+		t.Errorf("repeat statement must share a plan fingerprint")
+	}
+	if first.CacheHit || !second.CacheHit {
+		t.Errorf("cache hits = %v, %v; want false, true", first.CacheHit, second.CacheHit)
+	}
+	if first.Rows == 0 || first.ExecMS < 0 || first.Engine == "" {
+		t.Errorf("first record incomplete: %+v", first)
+	}
+	if second.PlanMS != 0 {
+		t.Errorf("cache hit must report plan_ms 0, got %v", second.PlanMS)
+	}
+	if third.Code != CodeParse {
+		t.Errorf("failure code = %q, want %q", third.Code, CodeParse)
+	}
+}
+
+type recordingSink struct {
+	mu   sync.Mutex
+	recs []*obs.QueryRecord
+}
+
+func (s *recordingSink) Emit(r *obs.QueryRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recs = append(s.recs, r)
+}
+
+func (s *recordingSink) snapshot() []*obs.QueryRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*obs.QueryRecord(nil), s.recs...)
+}

@@ -32,6 +32,7 @@ import (
 	"strconv"
 	"strings"
 
+	"tqp/internal/obs"
 	"tqp/internal/period"
 	"tqp/internal/relation"
 	"tqp/internal/schema"
@@ -141,12 +142,46 @@ type WireError struct {
 	Msg  string `json:"msg"`
 }
 
-// StatsReply is the payload of a stats response.
+// StatsReply is the payload of a stats response. The observability fields
+// below Fingerprint are extensions: they carry omitempty, so an old
+// client parsing a new server (or the reverse) sees the original shape
+// and simply lacks the extras.
 type StatsReply struct {
 	Cache       CacheStats     `json:"cache"`
 	Admission   AdmissionStats `json:"admission"`
 	Conns       int            `json:"conns"`
 	Fingerprint string         `json:"fingerprint"`
+
+	// UptimeSeconds is the server process's age.
+	UptimeSeconds float64 `json:"uptime_seconds,omitempty"`
+	// Queries counts every query the serving path accepted, failures
+	// included.
+	Queries int64 `json:"queries,omitempty"`
+	// Errors counts failed queries by wire error code.
+	Errors map[string]int64 `json:"errors,omitempty"`
+	// Latency and QueueWait summarize the registry's histograms (seconds).
+	Latency   *obs.Snapshot `json:"latency,omitempty"`
+	QueueWait *obs.Snapshot `json:"queue_wait,omitempty"`
+	// Coord is present when the replying endpoint is a coordinator rather
+	// than a shard server.
+	Coord *CoordStats `json:"coord,omitempty"`
+}
+
+// CoordStats is the coordinator's section of a stats reply: scatter/gather
+// provenance a shard server has no equivalent of.
+type CoordStats struct {
+	// Shards is the fleet size.
+	Shards int `json:"shards"`
+	// Queries and CacheHits count coordinator-planned statements.
+	Queries   int64 `json:"queries"`
+	CacheHits int64 `json:"cache_hits"`
+	// Fragments counts pushed-down fragment executions by kind (the
+	// fragment step chain, e.g. "scan+select").
+	Fragments map[string]int `json:"fragments,omitempty"`
+	// ShardCalls and Retries count partial-plan round trips and the
+	// redial-and-retry recoveries among them.
+	ShardCalls int64 `json:"shard_calls"`
+	Retries    int64 `json:"retries"`
 }
 
 // Response is one server→client message. A rows frame carries its tuples

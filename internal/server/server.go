@@ -15,6 +15,12 @@ import (
 	"tqp/internal/core"
 	"tqp/internal/eval"
 	"tqp/internal/exec"
+	"tqp/internal/obs"
+	"tqp/internal/relation"
+	"tqp/internal/schema"
+	"tqp/internal/stratum"
+	"tqp/internal/tsql"
+	"tqp/internal/value"
 )
 
 // Config parameterizes a Server. The zero value of every field has a
@@ -69,6 +75,16 @@ type Config struct {
 	// shard results deterministically; nil means the catalog is whole and
 	// positions are the identity.
 	ShardPositions map[string][]int
+	// Metrics, when set, is the external registry the server's metric
+	// families register into (cmd/tqserver passes the one its
+	// -metrics-addr listener serves). When nil the server keeps a private
+	// registry — the counters still drive the stats reply's uptime, error
+	// and latency sections, they just aren't scrapeable.
+	Metrics *obs.Registry
+	// QueryLog, when set, receives one structured record per query (see
+	// obs.QueryRecord); its slow threshold decides which records pass.
+	// Nil disables query logging.
+	QueryLog *obs.QueryLog
 }
 
 // withDefaults fills unset fields.
@@ -114,11 +130,14 @@ func (c Config) withDefaults() Config {
 
 // Server is one running temporal-query service instance.
 type Server struct {
-	cfg   Config
-	ln    net.Listener
-	fp    string
-	cache *planCache
-	adm   *admission
+	cfg     Config
+	ln      net.Listener
+	fp      string
+	cache   *planCache
+	adm     *admission
+	start   time.Time
+	metrics *serverMetrics // never nil; backed by Config.Metrics or a private registry
+	qlog    *obs.QueryLog
 
 	mu     sync.Mutex
 	conns  map[net.Conn]bool
@@ -161,9 +180,21 @@ func Start(cfg Config) (*Server, error) {
 		fp:    cfg.Catalog.Fingerprint(),
 		cache: newPlanCache(cfg.CacheSize),
 		adm:   adm,
+		start: time.Now(),
+		qlog:  cfg.QueryLog,
 		conns: make(map[net.Conn]bool),
 		opts:  make(map[string]*core.Optimizer),
 	}
+	// The metric families always exist — they feed the stats reply's
+	// uptime/error/latency sections — but only register into a scrapeable
+	// registry when the caller provides one.
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	} else {
+		cfg.Catalog.RegisterMetrics(reg)
+	}
+	s.metrics = newServerMetrics(reg, s)
 	s.accept.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -322,7 +353,7 @@ func (s *Server) handleRequest(req *Request, sess *session, w io.Writer) error {
 		return WriteFrame(w, &Response{Kind: KindStats, Stats: s.statsReply()})
 	case OpSet:
 		if err := sess.set(strings.ToLower(req.Name), req.Value); err != nil {
-			return writeError(w, CodeSet, err)
+			return s.replyError(w, CodeSet, err)
 		}
 		return WriteFrame(w, &Response{Kind: KindOK})
 	case OpQuery:
@@ -331,7 +362,7 @@ func (s *Server) handleRequest(req *Request, sess *session, w io.Writer) error {
 				err = sess.set(name, val)
 			}
 			if err != nil {
-				return writeError(w, CodeSet, err)
+				return s.replyError(w, CodeSet, err)
 			}
 			return WriteFrame(w, &Response{Kind: KindOK})
 		}
@@ -339,7 +370,7 @@ func (s *Server) handleRequest(req *Request, sess *session, w io.Writer) error {
 	case OpPartial:
 		return s.runPartial(req.Plan, w)
 	default:
-		return writeError(w, CodeProto, fmt.Errorf("server: unknown op %q", req.Op))
+		return s.replyError(w, CodeProto, fmt.Errorf("server: unknown op %q", req.Op))
 	}
 }
 
@@ -347,11 +378,18 @@ func (s *Server) statsReply() *StatsReply {
 	s.mu.Lock()
 	conns := len(s.conns)
 	s.mu.Unlock()
+	lat := s.metrics.latency.Snapshot()
+	qw := s.metrics.queueWait.Snapshot()
 	return &StatsReply{
-		Cache:       s.cache.stats(),
-		Admission:   s.adm.stats(),
-		Conns:       conns,
-		Fingerprint: s.fp,
+		Cache:         s.cache.stats(),
+		Admission:     s.adm.stats(),
+		Conns:         conns,
+		Fingerprint:   s.fp,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Queries:       s.metrics.queries.Value(),
+		Errors:        s.metrics.errorCounts(),
+		Latency:       &lat,
+		QueueWait:     &qw,
 	}
 }
 
@@ -360,9 +398,66 @@ func writeError(w io.Writer, code string, err error) error {
 	return WriteFrame(w, &Response{Kind: KindError, Err: &WireError{Code: code, Msg: err.Error()}})
 }
 
+// replyError counts the failure under its code and writes the error frame.
+func (s *Server) replyError(w io.Writer, code string, err error) error {
+	s.metrics.errorCounter(code).Inc()
+	return writeError(w, code, err)
+}
+
+// queryTiming is one query's latency breakdown, filled in as runQuery
+// moves through its phases and flushed to the metrics registry and query
+// log when the query ends (success and failure alike).
+type queryTiming struct {
+	queue, plan, exec, stream time.Duration
+}
+
+// finishQuery flushes one completed query's measurements. code is the wire
+// error code, empty on success.
+func (s *Server) finishQuery(t *queryTiming, sql string, spec eval.EngineSpec, prep *core.Prepared, hit bool, rows int, trace *stratum.Trace, code string, started time.Time) {
+	total := t.queue + t.plan + t.exec + t.stream
+	s.metrics.latency.Observe(total.Seconds())
+	s.metrics.queueWait.Observe(t.queue.Seconds())
+	if code == "" {
+		s.metrics.rows.Observe(float64(rows))
+	}
+	if trace != nil {
+		s.metrics.spillBytes.Add(trace.SpilledBytes)
+		s.metrics.transferred.Add(int64(trace.TuplesTransferred))
+	}
+	if !s.qlog.Enabled() {
+		return
+	}
+	rec := &obs.QueryRecord{
+		Time:         started,
+		SQLHash:      obs.Hash(NormalizeSQL(sql)),
+		Engine:       spec.Name,
+		Parallelism:  spec.Parallelism,
+		MemoryBudget: spec.MemoryBudget,
+		CacheHit:     hit,
+		Rows:         int64(rows),
+		QueueMS:      float64(t.queue) / float64(time.Millisecond),
+		PlanMS:       float64(t.plan) / float64(time.Millisecond),
+		ExecMS:       float64(t.exec) / float64(time.Millisecond),
+		StreamMS:     float64(t.stream) / float64(time.Millisecond),
+		Code:         code,
+	}
+	if prep != nil {
+		rec.Fingerprint = prep.Fingerprint
+	}
+	if trace != nil {
+		rec.PeakBytes = trace.PeakBytes
+		rec.SpilledOps = trace.SpilledOps
+		rec.SpilledBytes = trace.SpilledBytes
+	}
+	s.qlog.Emit(rec)
+}
+
 // runQuery is the serving path: admission, plan-cache lookup (preparing on
 // a miss), execution on the session's engine share, and batched result
-// streaming.
+// streaming. An EXPLAIN [ANALYZE] prefix reuses the same path — same
+// admission, same plan cache — but returns the rendered plan as a
+// single-column result instead of (EXPLAIN) or alongside running (EXPLAIN
+// ANALYZE) the statement's own rows.
 func (s *Server) runQuery(sql string, sess *session, w io.Writer) error {
 	// Count the query as in flight before touching admission, under the
 	// same lock Close uses to flip closed — after Close observes closed,
@@ -370,20 +465,39 @@ func (s *Server) runQuery(sql string, sess *session, w io.Writer) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return writeError(w, CodeShutdown, ErrClosing)
+		return s.replyError(w, CodeShutdown, ErrClosing)
 	}
 	s.queries.Add(1)
 	gate := s.execGate
 	s.mu.Unlock()
 	defer s.queries.Done()
 
+	mode, stripped := tsql.StripExplain(sql)
+	sql = stripped
+	s.metrics.queries.Inc()
+	started := time.Now()
+	spec := sess.spec
+
+	// The failure path flushes timing through finish; the success path
+	// nils it out and flushes itself with the full measurements.
+	var t queryTiming
+	var prep *core.Prepared
+	var trace *stratum.Trace
+	hit := false
+	finish := func(code string) {
+		s.finishQuery(&t, sql, spec, prep, hit, 0, trace, code, started)
+	}
+
 	if _, err := s.adm.acquire(); err != nil {
+		t.queue = time.Since(started)
 		code := CodeAdmission
 		if errors.Is(err, ErrClosing) {
 			code = CodeShutdown
 		}
-		return writeError(w, code, err)
+		finish(code)
+		return s.replyError(w, code, err)
 	}
+	t.queue = time.Since(started)
 	// The slot covers the expensive phases — planning and execution. It
 	// releases before result streaming: the result is fully materialized
 	// by then, so a slow (or stalled) reader must not keep a slot from
@@ -400,14 +514,15 @@ func (s *Server) runQuery(sql string, sess *session, w io.Writer) error {
 		gate()
 	}
 
-	spec := sess.spec
 	key := PlanKey(s.fp, spec.Name, sql)
-	prep := s.cache.get(key)
-	hit := prep != nil
+	prep = s.cache.get(key)
+	hit = prep != nil
 	opt := s.optimizerFor(spec)
 	if prep == nil {
+		planStart := time.Now()
 		var err error
 		prep, err = opt.Prepare(sql)
+		t.plan = time.Since(planStart)
 		if err != nil {
 			// Classify exactly: if the statement does not even parse it
 			// is a parse error; anything after (name resolution, planning,
@@ -416,17 +531,67 @@ func (s *Server) runQuery(sql string, sess *session, w io.Writer) error {
 			if _, perr := opt.Parse(sql); perr != nil {
 				code = CodeParse
 			}
-			return writeError(w, code, err)
+			finish(code)
+			return s.replyError(w, code, err)
 		}
 		s.cache.put(key, prep)
 	}
 
-	result, trace, err := opt.ExecutePlan(prep.Plan, spec)
-	if err != nil {
-		return writeError(w, CodeExec, err)
+	var result *relation.Relation
+	execStart := time.Now()
+	switch mode {
+	case tsql.ExplainPlan:
+		text, err := opt.Explain(prep.Plan, prep.ResultType)
+		t.exec = time.Since(execStart)
+		if err != nil {
+			finish(CodePlan)
+			return s.replyError(w, CodePlan, err)
+		}
+		result = textRelation(text)
+	case tsql.ExplainAnalyze:
+		an, err := opt.ExplainAnalyze(prep, spec)
+		t.exec = time.Since(execStart)
+		if err != nil {
+			finish(CodeExec)
+			return s.replyError(w, CodeExec, err)
+		}
+		result, trace = textRelation(an.Text), an.Trace
+	default:
+		var err error
+		result, trace, err = opt.ExecutePlan(prep.Plan, spec)
+		t.exec = time.Since(execStart)
+		if err != nil {
+			finish(CodeExec)
+			return s.replyError(w, CodeExec, err)
+		}
 	}
 	release()
 
+	streamStart := time.Now()
+	done := &Done{
+		Tuples:   result.Len(),
+		Plans:    prep.PlanCount,
+		CacheHit: hit,
+		BestCost: prep.BestCost,
+		Engine:   spec.Name,
+	}
+	if trace != nil {
+		done.TuplesTransferred = trace.TuplesTransferred
+	}
+	err := StreamResult(w, result, s.cfg.BatchRows, done)
+	t.stream = time.Since(streamStart)
+	s.finishQuery(&t, sql, spec, prep, hit, result.Len(), trace, "", started)
+	return err
+}
+
+// StreamResult writes a materialized result as protocol frames — one
+// schema frame, batched rows frames, the terminal done frame — the
+// server's answer to a query. Exported so the coordinator's frontend
+// streams its gathered results with the exact same encoding.
+func StreamResult(w io.Writer, result *relation.Relation, batchRows int, done *Done) error {
+	if batchRows <= 0 {
+		batchRows = 256
+	}
 	if err := WriteFrame(w, &Response{
 		Kind:  KindSchema,
 		Cols:  colsOf(result.Schema()),
@@ -435,8 +600,8 @@ func (s *Server) runQuery(sql string, sess *session, w io.Writer) error {
 		return err
 	}
 	tuples := result.Tuples()
-	for from := 0; from < len(tuples); from += s.cfg.BatchRows {
-		to := from + s.cfg.BatchRows
+	for from := 0; from < len(tuples); from += batchRows {
+		to := from + batchRows
 		if to > len(tuples) {
 			to = len(tuples)
 		}
@@ -454,14 +619,22 @@ func (s *Server) runQuery(sql string, sess *session, w io.Writer) error {
 			return err
 		}
 	}
-	return WriteFrame(w, &Response{Kind: KindDone, Done: &Done{
-		Tuples:            result.Len(),
-		Plans:             prep.PlanCount,
-		CacheHit:          hit,
-		BestCost:          prep.BestCost,
-		TuplesTransferred: trace.TuplesTransferred,
-		Engine:            spec.Name,
-	}})
+	return WriteFrame(w, &Response{Kind: KindDone, Done: done})
+}
+
+// textRelation wraps rendered plan text as a single-column result
+// relation, one row per line — EXPLAIN output travels through the normal
+// result-streaming protocol, so every client renders it unchanged.
+func textRelation(text string) *relation.Relation {
+	sch, err := schema.New(schema.Attr("QUERY PLAN", value.KindString))
+	if err != nil {
+		panic(err) // static schema; cannot fail
+	}
+	r := relation.New(sch)
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		r.Append(relation.NewTuple(value.String_(line)))
+	}
+	return r
 }
 
 // runPartial executes one pushed-down plan fragment against the server's

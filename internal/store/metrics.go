@@ -1,0 +1,66 @@
+package store
+
+import (
+	"sync/atomic"
+
+	"tqp/internal/obs"
+)
+
+// meters are the store's cumulative observability counters. They live on
+// the Store handle (not the registry) so the store stays usable without
+// any observability wiring; RegisterMetrics bridges them into a registry
+// with scrape-time readers. Reads are atomic because concurrent readers
+// of committed state are allowed even though the store is single-writer.
+type meters struct {
+	segmentsWritten atomic.Int64
+	segmentsRead    atomic.Int64
+	bytesWritten    atomic.Int64
+	bytesRead       atomic.Int64
+	commits         atomic.Int64
+	compactions     atomic.Int64
+}
+
+// Meters is a point-in-time snapshot of the store's counters.
+type Meters struct {
+	SegmentsWritten int64
+	SegmentsRead    int64
+	BytesWritten    int64
+	BytesRead       int64
+	Commits         int64
+	Compactions     int64
+}
+
+// Meters snapshots the cumulative counters.
+func (s *Store) Meters() Meters {
+	return Meters{
+		SegmentsWritten: s.met.segmentsWritten.Load(),
+		SegmentsRead:    s.met.segmentsRead.Load(),
+		BytesWritten:    s.met.bytesWritten.Load(),
+		BytesRead:       s.met.bytesRead.Load(),
+		Commits:         s.met.commits.Load(),
+		Compactions:     s.met.compactions.Load(),
+	}
+}
+
+// RegisterMetrics exports the store's counters into reg as scrape-time
+// readers.
+func (s *Store) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("tqp_store_segments_written_total", "Segment files committed by appends and compactions.", func() float64 {
+		return float64(s.met.segmentsWritten.Load())
+	})
+	reg.CounterFunc("tqp_store_segments_read_total", "Segment files decoded from disk.", func() float64 {
+		return float64(s.met.segmentsRead.Load())
+	})
+	reg.CounterFunc("tqp_store_bytes_written_total", "Encoded segment bytes written.", func() float64 {
+		return float64(s.met.bytesWritten.Load())
+	})
+	reg.CounterFunc("tqp_store_bytes_read_total", "Encoded segment bytes read.", func() float64 {
+		return float64(s.met.bytesRead.Load())
+	})
+	reg.CounterFunc("tqp_store_commits_total", "Manifest commits (the atomic rename protocol).", func() float64 {
+		return float64(s.met.commits.Load())
+	})
+	reg.CounterFunc("tqp_store_compactions_total", "Relation compactions performed.", func() float64 {
+		return float64(s.met.compactions.Load())
+	})
+}

@@ -65,6 +65,9 @@ type Store struct {
 	// (segment bytes buffered, nothing synced), "manifest" (tmp manifest
 	// written, not renamed) — after the rename the commit is durable.
 	fault func(point string) error
+
+	// met holds the cumulative observability counters (see metrics.go).
+	met meters
 }
 
 // Open opens the store at dir, creating the directory and an empty
@@ -263,6 +266,7 @@ func (s *Store) Compact(name string) error {
 	for _, sg := range old {
 		os.Remove(filepath.Join(s.dir, sg.File)) // best effort; Open sweeps leftovers
 	}
+	s.met.compactions.Add(1)
 	return nil
 }
 
@@ -328,6 +332,8 @@ func (s *Store) readSegment(sg SegmentInfo, sch *schema.Schema, dst []relation.T
 	if _, err := br.ReadByte(); err != io.EOF {
 		return dst, fmt.Errorf("store: segment %s has bytes past its last block: %w", sg.File, ErrCorrupt)
 	}
+	s.met.segmentsRead.Add(1)
+	s.met.bytesRead.Add(sg.Bytes)
 	return dst, nil
 }
 
@@ -379,6 +385,8 @@ func (s *Store) writeSegment(next *manifest, sch *schema.Schema, rows []relation
 	if err := f.Close(); err != nil {
 		return SegmentInfo{}, fmt.Errorf("store: closing segment %s: %w", name, err)
 	}
+	s.met.segmentsWritten.Add(1)
+	s.met.bytesWritten.Add(bytes)
 	seg := SegmentInfo{File: name, Rows: len(rows), Bytes: bytes}
 	if sch.Temporal() {
 		seg.Fenced = true
@@ -413,6 +421,7 @@ func (s *Store) commit(next *manifest) error {
 		return err
 	}
 	s.man = next
+	s.met.commits.Add(1)
 	return nil
 }
 

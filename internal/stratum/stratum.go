@@ -10,12 +10,14 @@ package stratum
 
 import (
 	"fmt"
+	"time"
 
 	"tqp/internal/algebra"
 	"tqp/internal/catalog"
 	"tqp/internal/cost"
 	"tqp/internal/dbms"
 	"tqp/internal/eval"
+	"tqp/internal/obs"
 	"tqp/internal/physical"
 	"tqp/internal/relation"
 )
@@ -43,6 +45,13 @@ type Trace struct {
 	// overlap a time-travel scan's query period.
 	SegmentsScanned int
 	SegmentsSkipped int
+	// SpilledBytes and SpilledOps accumulate the budgeted engine's
+	// grace-hash spilling across this run's node evaluations; PeakBytes is
+	// the largest single evaluation's tracked working set. All zero for
+	// unbudgeted engines.
+	SpilledBytes int64
+	SpilledOps   int64
+	PeakBytes    int64
 }
 
 // TotalUnits is the simulated total cost of the run.
@@ -55,7 +64,29 @@ type Executor struct {
 	engine *dbms.Engine
 	params cost.Params
 	phys   eval.EngineSpec
+
+	// probe, when set, receives per-node actuals keyed by the node's
+	// algebra path in the executed plan — the EXPLAIN ANALYZE hook. The
+	// executor evaluates stratum nodes one at a time over materialized
+	// children, so rows and wall time fall out of the normal execution; an
+	// engine that itself supports probing (exec's SetProbe) additionally
+	// contributes batch, spill and peak-memory counts. Nodes inside a DBMS
+	// region are not observable: the simulated DBMS rewrites its subplan
+	// before executing, so only the TS transfer above it gets an actual
+	// (the transferred row count).
+	probe func(path string, s obs.RunSample)
 }
+
+// engineProbe is the structural hook an instantiated engine may offer
+// (exec.Engine does); asserting it here keeps stratum free of an exec
+// dependency while the reference evaluator simply doesn't match.
+type engineProbe interface {
+	SetProbe(func(obs.RunSample))
+}
+
+// SetProbe installs (or, with nil, removes) the per-node sample callback
+// for subsequent Execute calls.
+func (x *Executor) SetProbe(fn func(path string, s obs.RunSample)) { x.probe = fn }
 
 // countingSource wraps the catalog as the DBMS's base-relation source so
 // that leaf scans are metered: it forwards the catalog's travel-aware
@@ -113,7 +144,10 @@ func (x *Executor) Execute(plan algebra.Node) (*relation.Relation, *Trace, error
 	tr := &Trace{Engine: x.phys.Name}
 	x.src.scanned, x.src.skipped = 0, 0
 	x.engine.SetStratumCallback(func(n algebra.Node) (*relation.Relation, error) {
-		r, err := x.exec(n, tr)
+		// A TD re-entry runs inside a DBMS region whose subplan the DBMS
+		// may have rewritten; its nodes have no stable path in the original
+		// plan, so the re-entrant region executes unprobed.
+		r, err := x.exec(n, nil, false, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -121,7 +155,7 @@ func (x *Executor) Execute(plan algebra.Node) (*relation.Relation, *Trace, error
 		tr.TransferUnits += float64(r.Len()) * x.params.TransferTuple
 		return r, nil
 	})
-	r, err := x.exec(plan, tr)
+	r, err := x.exec(plan, nil, true, tr)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -163,11 +197,12 @@ func validateSites(n algebra.Node, inStratum bool) error {
 	}
 }
 
-func (x *Executor) exec(n algebra.Node, tr *Trace) (*relation.Relation, error) {
+func (x *Executor) exec(n algebra.Node, path algebra.Path, probed bool, tr *Trace) (*relation.Relation, error) {
 	switch n.Op() {
 	case algebra.OpRel:
 		return nil, fmt.Errorf("stratum: base relation %s accessed in the stratum; wrap it in TS", n.Label())
 	case algebra.OpTransferS:
+		start := time.Now()
 		res, err := x.engine.Execute(n.Children()[0])
 		if err != nil {
 			return nil, err
@@ -176,6 +211,11 @@ func (x *Executor) exec(n algebra.Node, tr *Trace) (*relation.Relation, error) {
 		tr.TuplesTransferred += res.Rel.Len()
 		tr.TransferUnits += float64(res.Rel.Len()) * x.params.TransferTuple
 		x.meterDBMS(n.Children()[0], res.Rel.Len(), tr)
+		if probed && x.probe != nil {
+			// The TS node's actual is the transferred row count; its wall
+			// time covers the whole DBMS region below it.
+			x.probe(path.String(), obs.RunSample{Rows: int64(res.Rel.Len()), Wall: time.Since(start)})
+		}
 		return res.Rel, nil
 	case algebra.OpTransferD:
 		return nil, fmt.Errorf("stratum: TD outside a DBMS region")
@@ -187,7 +227,7 @@ func (x *Executor) exec(n algebra.Node, tr *Trace) (*relation.Relation, error) {
 	childOrders := make([]relation.OrderSpec, len(ch))
 	inRows := 0
 	for i, c := range ch {
-		r, err := x.exec(c, tr)
+		r, err := x.exec(c, path.Child(i), probed, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -201,9 +241,31 @@ func (x *Executor) exec(n algebra.Node, tr *Trace) (*relation.Relation, error) {
 	// A fresh engine instance per node evaluation (EngineSpec.Instantiate):
 	// the spec is shared and immutable, engine state never is — this is what
 	// lets the server run many executors over one catalog concurrently.
-	out, err := x.phys.Instantiate(src).Eval(rebound)
+	eng := x.phys.Instantiate(src)
+	// The engine's own sample contributes the counters only it can see
+	// (batches, spill, peak memory) — for the trace's spill accounting
+	// always, and for the per-node probe when one is installed. Rows and
+	// wall are measured here at the stratum level, which also covers
+	// engines without a probe hook (the reference evaluator). The cost is
+	// one callback per plan node, not per tuple.
+	var sample obs.RunSample
+	if ep, ok := eng.(engineProbe); ok {
+		ep.SetProbe(func(s obs.RunSample) { sample = s })
+	}
+	start := time.Now()
+	out, err := eng.Eval(rebound)
 	if err != nil {
 		return nil, err
+	}
+	tr.SpilledBytes += sample.SpilledBytes
+	tr.SpilledOps += sample.SpilledOps
+	if sample.PeakBytes > tr.PeakBytes {
+		tr.PeakBytes = sample.PeakBytes
+	}
+	if probed && x.probe != nil {
+		sample.Rows = int64(out.Len())
+		sample.Wall = time.Since(start)
+		x.probe(path.String(), sample)
 	}
 	// Meter with the physical variant the engine actually compiled: the
 	// decision procedure is shared (package physical), driven here by the

@@ -1,0 +1,36 @@
+package tsql
+
+// ExplainMode classifies a statement's EXPLAIN prefix.
+type ExplainMode int
+
+const (
+	// ExplainNone: a plain statement, execute it.
+	ExplainNone ExplainMode = iota
+	// ExplainPlan: EXPLAIN <stmt> — render the chosen plan, don't run it.
+	ExplainPlan
+	// ExplainAnalyze: EXPLAIN ANALYZE <stmt> — run the plan with per-node
+	// instrumentation and render estimated versus actual rows.
+	ExplainAnalyze
+)
+
+// StripExplain detects and removes an EXPLAIN [ANALYZE] prefix, returning
+// the mode and the statement that follows it. Detection is lexical (case-
+// insensitive, whitespace-tolerant), so "explain  analyze select ..."
+// strips cleanly; anything that does not open with the EXPLAIN keyword —
+// including unlexable garbage, which Parse will report properly — comes
+// back unchanged as ExplainNone. Serving layers call this before Parse
+// and key plan caches by the stripped statement, so EXPLAIN ANALYZE of a
+// cached query is itself a cache hit.
+func StripExplain(sql string) (ExplainMode, string) {
+	l := &lexer{in: sql}
+	t, err := l.next()
+	if err != nil || t.kind != tokKeyword || t.text != "EXPLAIN" {
+		return ExplainNone, sql
+	}
+	afterExplain := l.pos
+	t2, err := l.next()
+	if err == nil && t2.kind == tokKeyword && t2.text == "ANALYZE" {
+		return ExplainAnalyze, sql[l.pos:]
+	}
+	return ExplainPlan, sql[afterExplain:]
+}

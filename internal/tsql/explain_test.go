@@ -1,0 +1,46 @@
+package tsql_test
+
+import (
+	"testing"
+
+	"tqp/internal/tsql"
+)
+
+func TestStripExplain(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		mode tsql.ExplainMode
+		rest string
+	}{
+		{"SELECT EmpName FROM EMPLOYEE", tsql.ExplainNone, "SELECT EmpName FROM EMPLOYEE"},
+		{"EXPLAIN SELECT EmpName FROM EMPLOYEE", tsql.ExplainPlan, " SELECT EmpName FROM EMPLOYEE"},
+		{"EXPLAIN ANALYZE SELECT EmpName FROM EMPLOYEE", tsql.ExplainAnalyze, " SELECT EmpName FROM EMPLOYEE"},
+		{"explain  analyze\n select 1", tsql.ExplainAnalyze, "\n select 1"},
+		{"  Explain Select 1", tsql.ExplainPlan, " Select 1"},
+		// ANALYZE without EXPLAIN first is not a prefix.
+		{"ANALYZE SELECT 1", tsql.ExplainNone, "ANALYZE SELECT 1"},
+		// EXPLAIN as a prefix of an identifier must not strip.
+		{"EXPLAINER", tsql.ExplainNone, "EXPLAINER"},
+		// Unlexable garbage passes through for Parse to report.
+		{"", tsql.ExplainNone, ""},
+		{"!!!", tsql.ExplainNone, "!!!"},
+	} {
+		mode, rest := tsql.StripExplain(tc.in)
+		if mode != tc.mode || rest != tc.rest {
+			t.Errorf("StripExplain(%q) = (%v, %q), want (%v, %q)", tc.in, mode, rest, tc.mode, tc.rest)
+		}
+	}
+}
+
+// TestStripExplainParses pins that the stripped remainder of a full
+// EXPLAIN ANALYZE statement is exactly what Parse accepts.
+func TestStripExplainParses(t *testing.T) {
+	mode, rest := tsql.StripExplain(
+		"EXPLAIN ANALYZE VALIDTIME SELECT DISTINCT EmpName FROM EMPLOYEE ORDER BY EmpName ASC")
+	if mode != tsql.ExplainAnalyze {
+		t.Fatalf("mode = %v", mode)
+	}
+	if _, err := tsql.Parse(rest); err != nil {
+		t.Fatalf("stripped statement does not parse: %v", err)
+	}
+}

@@ -52,6 +52,7 @@ var keywords = map[string]bool{
 	"TRUE": true, "FALSE": true, "PERIOD": true, "OVERLAPS": true,
 	"CONTAINS": true, "MEETS": true, "PRECEDES": true,
 	"FOR": true, "SYSTEM_TIME": true, "OF": true,
+	"EXPLAIN": true, "ANALYZE": true,
 }
 
 type lexer struct {
